@@ -1,0 +1,45 @@
+"""Shared fixtures for the benchmark harness.
+
+Every paper artefact (table or figure) has one benchmark module.  Each
+benchmark regenerates the artefact through the experiment registry,
+attaches the headline paper-vs-measured numbers to the benchmark record
+(``extra_info``, visible in ``--benchmark-json`` output and the saved
+storage), and prints the rendered report so a benchmark run doubles as a
+reproduction run (use ``-s`` to see the reports inline).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Run a heavyweight experiment exactly once under the benchmark timer.
+
+    The measurement campaigns are deterministic, so statistical rounds add
+    nothing; one timed round keeps ``pytest benchmarks/`` quick while still
+    recording wall time per artefact.
+    """
+
+    def _run(func, *args, **kwargs):
+        return benchmark.pedantic(
+            func, args=args, kwargs=kwargs, rounds=1, iterations=1, warmup_rounds=0
+        )
+
+    return _run
+
+
+@pytest.fixture
+def record(benchmark):
+    """Attach an experiment's headline values to the benchmark record."""
+
+    def _record(result, keys=None):
+        values = result.values if keys is None else {
+            k: result.values[k] for k in keys
+        }
+        benchmark.extra_info.update(
+            {k: round(float(v), 6) for k, v in values.items()}
+        )
+
+    return _record

@@ -1,0 +1,16 @@
+"""Fig. 1 benchmark: the two-level model's scope claims."""
+
+from __future__ import annotations
+
+import math
+
+from repro.experiments import run_experiment
+
+
+def test_fig1_reproduction(benchmark, run_once, record):
+    result = run_once(run_experiment, "fig1")
+    record(result)
+    print()
+    print(result.text)
+    assert result.value("matmul_sqrt2_deviation") < 1e-9
+    assert result.value("matmul_profile_ratio") <= math.sqrt(2.0) + 1e-9

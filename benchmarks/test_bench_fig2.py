@@ -1,0 +1,61 @@
+"""Fig. 2 benchmark: theoretical roofline/arch-line/powerline generation.
+
+Also micro-benchmarks the raw model-evaluation throughput (the analytic
+core should evaluate millions of intensities per second — cheap enough
+to embed in autotuners and schedulers).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.energy_model import EnergyModel
+from repro.core.power_model import PowerModel
+from repro.core.time_model import TimeModel
+from repro.experiments import run_experiment
+from repro.machines.catalog import keckler_fermi
+
+
+def test_fig2_reproduction(benchmark, run_once, record):
+    result = run_once(run_experiment, "fig2")
+    record(result)
+    print()
+    print(result.text)
+    assert abs(result.value("max_power_rel") - 5.0) < 0.05
+    assert abs(result.value("memory_limit_rel") - 4.0) < 0.05
+
+
+def test_fig2_roofline_evaluation_throughput(benchmark):
+    """Model-math speed: eq. (3) over a dense intensity grid."""
+    model = TimeModel(keckler_fermi())
+    grid = np.exp2(np.linspace(-2, 9, 10_000)).tolist()
+
+    def evaluate():
+        return [model.normalized_performance(i) for i in grid]
+
+    values = benchmark(evaluate)
+    assert max(values) == 1.0
+
+
+def test_fig2_archline_evaluation_throughput(benchmark):
+    """Model-math speed: eqs. (5)-(6) over a dense intensity grid."""
+    model = EnergyModel(keckler_fermi())
+    grid = np.exp2(np.linspace(-2, 9, 10_000)).tolist()
+
+    def evaluate():
+        return [model.normalized_efficiency(i) for i in grid]
+
+    values = benchmark(evaluate)
+    assert 0.0 < min(values) < max(values) < 1.0
+
+
+def test_fig2_powerline_evaluation_throughput(benchmark):
+    """Model-math speed: eq. (7) over a dense intensity grid."""
+    model = PowerModel(keckler_fermi())
+    grid = np.exp2(np.linspace(-2, 9, 10_000)).tolist()
+
+    def evaluate():
+        return [model.power(i) for i in grid]
+
+    values = benchmark(evaluate)
+    assert max(values) > min(values)

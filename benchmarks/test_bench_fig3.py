@@ -1,0 +1,14 @@
+"""Fig. 3 benchmark: measurement-wiring validation."""
+
+from __future__ import annotations
+
+from repro.experiments import run_experiment
+
+
+def test_fig3_reproduction(benchmark, run_once, record):
+    result = run_once(run_experiment, "fig3")
+    record(result)
+    print()
+    print(result.text)
+    assert result.value("slot_within_spec") == 1.0
+    assert result.value("interposer_undercount") > 0.10

@@ -1,0 +1,143 @@
+"""§V-C benchmark: the full FMM U-list cache-energy study.
+
+Paper headlines reproduced over the full 390-variant space:
+
+* naive eq. (2) estimates low by ~33% on average;
+* fitted cache-access energy ~187 pJ/B;
+* corrected estimates with ~4.1% median error on the 160 L1/L2-only
+  variants.
+
+Component benchmarks time the real substrate pieces: octree build,
+U-list construction, and the vectorised Algorithm 1 evaluation.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import run_experiment
+from repro.fmm.kernel import evaluate_ulist
+from repro.fmm.points import uniform_cloud
+from repro.fmm.tree import Octree
+from repro.fmm.ulist import build_ulist
+
+
+def test_fmm_study_reproduction(benchmark, run_once, record):
+    result = run_once(run_experiment, "fmm")
+    record(result)
+    print()
+    print(result.text)
+    assert result.value("n_variants") == 390
+    assert result.value("n_l1l2_variants") == 160
+    assert abs(result.value("naive_mean_signed_error") + 0.33) < 0.06
+    assert abs(result.value("eps_cache_fit_pj") - 187.0) < 15.0
+    assert abs(result.value("corrected_median_error") - 0.041) < 0.03
+
+
+@pytest.fixture(scope="module")
+def geometry():
+    positions, densities = uniform_cloud(4000, seed=3)
+    tree = Octree.build(positions, densities, leaf_capacity=64)
+    return tree, build_ulist(tree)
+
+
+def test_fmm_tree_build(benchmark):
+    positions, densities = uniform_cloud(4000, seed=3)
+    tree = benchmark(Octree.build, positions, densities, leaf_capacity=64)
+    assert tree.n_points == 4000
+
+
+def test_fmm_ulist_build(benchmark, geometry):
+    tree, _ = geometry
+    ulist = benchmark(build_ulist, tree)
+    assert len(ulist) == tree.n_leaves
+
+
+def test_fmm_ulist_evaluation(benchmark, geometry):
+    """The actual Algorithm 1 math over the whole tree (numpy-tiled)."""
+    tree, ulist = geometry
+    phi, pairs = benchmark(evaluate_ulist, tree, ulist)
+    assert pairs > 0
+    assert phi.shape == (tree.n_points,)
+
+
+def test_fmm_farfield_evaluation(benchmark, geometry):
+    """The multipole far field over the whole tree."""
+    from repro.fmm.farfield import compute_moments, evaluate_far_field
+
+    tree, ulist = geometry
+    moments = compute_moments(tree)
+    far = benchmark(evaluate_far_field, tree, ulist, moments=moments)
+    assert far.shape == (tree.n_points,)
+
+
+def test_fmm_full_vs_direct_accuracy(benchmark):
+    """Full treecode vs the O(n^2) oracle: accuracy and pair savings."""
+    import numpy as np
+
+    from repro.fmm.farfield import direct_reference, evaluate_full
+
+    positions, densities = uniform_cloud(1200, seed=5)
+    tree = Octree.build(positions, densities, leaf_capacity=48)
+    ulist = build_ulist(tree)
+
+    def run():
+        return evaluate_full(tree, ulist)
+
+    phi, stats = benchmark.pedantic(run, rounds=1, iterations=1, warmup_rounds=0)
+    exact = direct_reference(tree)
+    median_err = float(np.median(np.abs(phi - exact) / np.abs(exact)))
+    benchmark.extra_info.update(
+        {
+            "median_rel_error": round(median_err, 6),
+            "pair_saving": round(stats["speedup_proxy"], 2),
+        }
+    )
+    assert median_err < 1e-3
+
+
+def test_fmm_barnes_hut_evaluation(benchmark):
+    """Hierarchical evaluation with the default MAC, accuracy recorded."""
+    import numpy as np
+
+    from repro.fmm.farfield import barnes_hut_evaluate, direct_reference
+
+    positions, densities = uniform_cloud(1000, seed=4)
+    tree = Octree.build(positions, densities, leaf_capacity=48)
+
+    phi, stats = benchmark.pedantic(
+        barnes_hut_evaluate, args=(tree,), kwargs={"theta": 0.4},
+        rounds=1, iterations=1, warmup_rounds=0,
+    )
+    exact = direct_reference(tree)
+    median_err = float(np.median(np.abs(phi - exact) / np.abs(exact)))
+    benchmark.extra_info.update(
+        {
+            "median_rel_error": round(median_err, 8),
+            "direct_fraction": round(stats["direct_fraction"], 3),
+        }
+    )
+    assert median_err < 1e-4
+
+
+def test_fmm_cachesim_trace(benchmark, geometry):
+    """The LRU-cache validation of the traffic-counter model."""
+    from repro.cachesim import simulate_ulist_traffic
+    from repro.fmm.variants import reference_variant
+
+    positions, densities = uniform_cloud(1500, seed=7)
+    tree = Octree.build(positions, densities, leaf_capacity=48)
+    ulist = build_ulist(tree)
+
+    result = benchmark.pedantic(
+        simulate_ulist_traffic, args=(tree, ulist, reference_variant()),
+        rounds=1, iterations=1, warmup_rounds=0,
+    )
+    benchmark.extra_info.update(
+        {
+            "l1_bytes_per_pair_measured": round(result.measured_l1_bytes_per_pair, 2),
+            "l1_bytes_per_pair_modelled": round(result.modelled_l1_bytes_per_pair, 2),
+            "l1_hit_rate": round(result.measured.l1_hit_rate, 3),
+        }
+    )
+    assert result.measured.l1_bytes > result.measured.dram_bytes

@@ -1,0 +1,22 @@
+"""Eq. (10) benchmark: the greenup/speedup frontier map."""
+
+from __future__ import annotations
+
+from repro.experiments import run_experiment
+
+
+def test_greenup_reproduction(benchmark, run_once, record):
+    result = run_once(run_experiment, "greenup")
+    record(result)
+    print()
+    print(result.text)
+    # Eq. (10) structure: thresholds increase with m toward the ceiling.
+    assert (
+        1.0
+        < result.value("threshold_m2_closed")
+        < result.value("threshold_m8_closed")
+        < result.value("ceiling")
+    )
+    # All four (f, m) outcomes are populated somewhere on the lattice.
+    assert result.value("census_both") > 0
+    assert result.value("census_neither") > 0

@@ -1,0 +1,17 @@
+"""Table II benchmark: Keckler-Fermi parameter derivation.
+
+Paper values: tau_flop 1.9 ps, tau_mem 6.9 ps, B_tau 3.6, B_eps 14.4.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import run_experiment
+
+
+def test_table2_reproduction(benchmark, run_once, record):
+    result = run_once(run_experiment, "table2")
+    record(result)
+    print()
+    print(result.text)
+    assert abs(result.value("b_tau") - 3.576) < 0.01
+    assert abs(result.value("b_eps") - 14.4) < 0.01

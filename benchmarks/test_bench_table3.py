@@ -1,0 +1,14 @@
+"""Table III benchmark: the platform spec sheet and derived balances."""
+
+from __future__ import annotations
+
+from repro.experiments import run_experiment
+
+
+def test_table3_reproduction(benchmark, run_once, record):
+    result = run_once(run_experiment, "table3")
+    record(result)
+    print()
+    print(result.text)
+    assert result.value("gpu_peak_sp_gflops") == 1581.06
+    assert result.value("cpu_bandwidth_gbytes") == 25.6

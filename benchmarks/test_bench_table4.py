@@ -1,0 +1,37 @@
+"""Table IV benchmark: eq. (9) regression recovering the coefficients.
+
+Paper (= hidden simulator truth):
+
+================  ======  ======  ========  =====
+ platform           eps_s   eps_d   eps_mem   pi0
+================  ======  ======  ========  =====
+ GTX 580            99.7    212     513       122
+ i7-950             371     670     795       122
+================  ======  ======  ========  =====
+"""
+
+from __future__ import annotations
+
+from repro.experiments import run_experiment
+
+PAPER = {
+    "gpu_eps_single_pj": 99.7,
+    "gpu_eps_double_pj": 212.0,
+    "gpu_eps_mem_pj": 513.0,
+    "gpu_pi0": 122.0,
+    "cpu_eps_single_pj": 371.0,
+    "cpu_eps_double_pj": 670.0,
+    "cpu_eps_mem_pj": 795.0,
+    "cpu_pi0": 122.0,
+}
+
+
+def test_table4_reproduction(benchmark, run_once, record):
+    result = run_once(run_experiment, "table4")
+    record(result)
+    print()
+    print(result.text)
+    for key, paper_value in PAPER.items():
+        assert abs(result.value(key) / paper_value - 1.0) < 0.03, key
+    assert result.value("gpu_r_squared") > 0.999
+    assert result.value("cpu_r_squared") > 0.999

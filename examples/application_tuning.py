@@ -1,0 +1,104 @@
+#!/usr/bin/env python
+"""Tune a whole application for time, energy, power — and see them differ.
+
+Pulls the extension layers together on a realistic scenario: an FMM
+n-body pipeline whose phases straddle the balance structure of a
+GPU+CPU system.
+
+1. **Phase analysis** — which phase dominates time vs energy;
+2. **Heterogeneous partitioning** — split the divisible far-field phase
+   across GPU and CPU: the time-optimal and energy-optimal splits
+   differ, and the Pareto frontier prices the gap;
+3. **DVFS** — for the memory-bound tree phase on the CPU, when does
+   down-clocking beat race-to-halt?  (Answer: only if constant power is
+   mostly clock-gated.)
+4. **Fused metrics** — EDP arbitration between two algorithm variants;
+5. **Sensitivity** — which machine parameter an architect should attack
+   for this workload.
+
+Run:  python examples/application_tuning.py
+"""
+
+from __future__ import annotations
+
+from repro.core.dvfs import DvfsMachine, DvfsPolicy
+from repro.core.metrics import FusedMetrics
+from repro.core.sensitivity import energy_sensitivity, whatif_pi0_zero
+from repro.machines.catalog import gtx580_single, i7_950_single
+from repro.scheduler import Device, HeterogeneousScheduler
+from repro.workloads import fmm_pipeline
+
+
+def main() -> None:
+    gpu = gtx580_single().with_power_cap(None)
+    cpu = i7_950_single()
+    app = fmm_pipeline(500_000, leaf_size=128)
+
+    # ------------------------------------------------------------------
+    # 1. Phase analysis on the GPU.
+    # ------------------------------------------------------------------
+    print(app.describe(gpu))
+    tb = app.time_bottleneck(gpu)
+    eb = app.energy_bottleneck(gpu)
+    print(f"\ntime bottleneck: {tb.name} ({tb.time_fraction:.0%}); "
+          f"energy bottleneck: {eb.name} ({eb.energy_fraction:.0%})\n")
+
+    # ------------------------------------------------------------------
+    # 2. Partition the far-field phase across GPU + CPU.
+    # ------------------------------------------------------------------
+    farfield = next(p for p in app.phases if p.name == "far-field").total_profile
+    scheduler = HeterogeneousScheduler(Device("gpu", gpu), Device("cpu", cpu))
+    print(scheduler.summary(farfield))
+    frontier = scheduler.pareto_frontier(farfield, grid=401)
+    print(f"Pareto frontier: {len(frontier)} non-dominated splits from "
+          f"alpha={frontier[0].alpha:.2f} (fastest) to "
+          f"alpha={frontier[-1].alpha:.2f} (greenest)\n")
+
+    # ------------------------------------------------------------------
+    # 3. DVFS on the CPU for the memory-bound tree phase.
+    # ------------------------------------------------------------------
+    tree = next(p for p in app.phases if p.name == "tree+comm").total_profile
+    for static, label in ((0.9, "mostly-static pi0 (2013-like)"),
+                          (0.1, "mostly clock-gated pi0")):
+        dvfs = DvfsMachine(cpu, DvfsPolicy(static_fraction=static))
+        best = dvfs.energy_optimal_setting(tree)
+        full = dvfs.evaluate(tree, 1.0)
+        verdict = "race-to-halt" if dvfs.race_to_halt_wins(tree) else "crawl"
+        print(f"DVFS [{label}]: optimal s = {best.s:.2f} "
+              f"(saves {1 - best.energy / full.energy:.1%} energy) -> {verdict}")
+    print()
+
+    # ------------------------------------------------------------------
+    # 4. EDP arbitration between algorithmic variants of the U-list.
+    # ------------------------------------------------------------------
+    ulist = next(p for p in app.phases if p.name == "u-list").total_profile
+    # A recompute-heavy variant: 1.5x the work for 8x less traffic.
+    variant = ulist.with_work_trade(1.5, 8.0)
+    metrics = FusedMetrics(gpu)
+    ratios = metrics.improvement(ulist, variant)
+    print("U-list variant (f=1.5, m=8) vs baseline "
+          "(ratios > 1 favour the variant):")
+    for name, ratio in ratios.items():
+        print(f"  {name:<8} {ratio:6.3f}")
+    w = metrics.crossover_weight(ulist, variant)
+    if w is None:
+        print("  one variant dominates across the whole EDP family")
+    else:
+        print(f"  metrics flip at EDP weight w = {w:.2f}")
+    print()
+
+    # ------------------------------------------------------------------
+    # 5. Sensitivity: what should the architect improve?
+    # ------------------------------------------------------------------
+    total = app.total_profile
+    print(energy_sensitivity(gpu, total).describe())
+    whatif = whatif_pi0_zero(gpu, total)
+    print(f"pi0 -> 0 would save {whatif['energy_saving']:.1%} of this "
+          f"application's energy"
+          + (" and flip the race-to-halt verdict"
+             if whatif["race_to_halt_flips"] else
+             " without flipping the race-to-halt verdict"))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,102 @@
+#!/usr/bin/env python
+"""Characterise an unknown machine's energy costs from measurements.
+
+No vendor publishes joules-per-flop.  The paper's answer (§IV-B) is to
+*measure* them: run intensity-controlled microbenchmarks, record
+(W, Q, T, E) per run, and fit eq. (9) by linear regression.
+
+This example runs that full campaign against the simulated Intel i7-950
+rig — microbenchmark generation, auto-tuning, PowerMon sampling across
+the ATX rails, regression — and then uses the fitted coefficients to
+instantiate the energy model and predict the cost of a *new* workload it
+never measured.
+
+Run:  python examples/characterize_machine.py
+"""
+
+from __future__ import annotations
+
+from repro.core.algorithm import spmv_profile
+from repro.core.energy_model import EnergyModel
+from repro.core.fitting import fit_energy_coefficients
+from repro.machines.specs import I7_950_SPEC
+from repro.microbench.sweep import IntensitySweep
+from repro.simulator.device import SimulatedDevice, i7_950_truth
+from repro.simulator.kernel import Precision
+
+
+def main() -> None:
+    truth = i7_950_truth()  # the "hardware" — its energy costs are hidden
+
+    # ------------------------------------------------------------------
+    # 1. Measurement campaign: intensity sweeps at both precisions.
+    #    Each sweep auto-tunes the kernel launch, then measures every
+    #    intensity with the PowerMon protocol (100 reps, 128 Hz).
+    # ------------------------------------------------------------------
+    intensities = [0.25, 0.5, 1.0, 2.0, 4.0, 8.0, 16.0]
+    samples = []
+    for precision in (Precision.SINGLE, Precision.DOUBLE):
+        sweep = IntensitySweep(truth, precision=precision)
+        result = sweep.run(intensities)
+        print(
+            f"{precision.value:>7}: tuned to {result.tuning.launch} "
+            f"in {result.tuning.evaluations} trials; achieved "
+            f"{result.max_gflops:.1f} GFLOP/s, "
+            f"{result.max_bandwidth_gbytes:.1f} GB/s"
+        )
+        samples.extend(result.energy_samples())
+
+    # ------------------------------------------------------------------
+    # 2. Fit eq. (9):  E/W = eps_s + eps_mem Q/W + pi0 T/W + delta_d R.
+    # ------------------------------------------------------------------
+    fit = fit_energy_coefficients(samples)
+    print()
+    print(fit.regression.summary())
+    print()
+    print(f"{'coefficient':<12}{'fitted':>12}{'hidden truth':>14}")
+    rows = [
+        ("eps_s", fit.eps_single * 1e12, truth.eps_single * 1e12, "pJ/flop"),
+        ("eps_d", fit.eps_double * 1e12, truth.eps_double * 1e12, "pJ/flop"),
+        ("eps_mem", fit.eps_mem * 1e12, truth.eps_mem * 1e12, "pJ/B"),
+        ("pi0", fit.pi0, truth.pi0, "W"),
+    ]
+    for name, fitted, actual, unit in rows:
+        print(f"{name:<12}{fitted:>10.1f} {unit:<8}{actual:>10.1f} {unit}")
+    print()
+
+    # ------------------------------------------------------------------
+    # 3. Use the fit: build a machine model and predict a NEW workload.
+    # ------------------------------------------------------------------
+    machine = fit.to_machine(
+        "i7-950 (fitted, double)",
+        tau_flop=I7_950_SPEC.tau_flop(double_precision=True),
+        tau_mem=I7_950_SPEC.tau_mem,
+        double_precision=True,
+    )
+    workload = spmv_profile(2_000_000, nnz_per_row=27)
+    predicted = EnergyModel(machine).energy(workload)
+
+    # Validate against a simulated "measurement" of that workload.
+    from repro.powermon.channels import atx_cpu_rails
+    from repro.powermon.session import MeasurementSession
+    from repro.simulator.kernel import KernelSpec
+
+    device = SimulatedDevice(truth)
+    session = MeasurementSession(device, atx_cpu_rails(), seed=11)
+    kernel = KernelSpec(
+        name=workload.name,
+        work=workload.work * 400,  # repeat to satisfy the sampler
+        traffic=workload.traffic * 400,
+        precision=Precision.DOUBLE,
+        launch=truth.tuning.optimal_launch,
+    )
+    measured = session.measure(kernel).energy / 400
+
+    print(f"new workload: {workload.name} (I = {workload.intensity:.3f} flop/B)")
+    print(f"  model prediction: {predicted:.4f} J")
+    print(f"  measured:         {measured:.4f} J")
+    print(f"  error:            {abs(predicted / measured - 1):.1%}")
+
+
+if __name__ == "__main__":
+    main()

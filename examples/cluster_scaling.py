@@ -1,0 +1,74 @@
+#!/usr/bin/env python
+"""Strong scaling without extra energy — and where it breaks.
+
+The paper's nearest neighbour (Demmel, Gearhart, Schwartz & Lipshitz)
+shows that a distributed computation can strong-scale *perfectly in
+time at constant energy* — up to a communication-determined node count.
+This example reproduces that analysis with our cluster extension:
+
+* SUMMA matrix multiply (network volume ~ sqrt(p)): a wide flat range;
+* halo-exchange stencil (~ p^(1/3)): wider still per unit volume;
+* allreduce (~ p): the flat range collapses almost immediately.
+
+It also shows the constant-power identity behind the result: while
+speedup is perfect, p * pi0 * T(p) is exactly p-invariant.
+
+Run:  python examples/cluster_scaling.py
+"""
+
+from __future__ import annotations
+
+from repro.cluster import (
+    ClusterModel,
+    allreduce_workload,
+    stencil_halo_workload,
+    summa_matmul_workload,
+)
+from repro.machines.catalog import i7_950_double
+
+
+def main() -> None:
+    node = i7_950_double()
+    cluster = ClusterModel(node, net_bandwidth=4e9, eps_net=1e-9)
+    counts = [1, 4, 16, 64, 256, 1024]
+
+    # ------------------------------------------------------------------
+    # 1. The headline table: SUMMA strong scaling.
+    # ------------------------------------------------------------------
+    summa = summa_matmul_workload(8192)
+    print(cluster.describe_scaling(summa, counts))
+    print()
+
+    # The constant-power identity.
+    e1 = cluster.evaluate(summa, 1)
+    e16 = cluster.evaluate(summa, 16)
+    print(
+        f"constant-energy identity: p*pi0*T(p) at p=1 -> {e1.energy_constant:.1f} J, "
+        f"at p=16 -> {e16.energy_constant:.1f} J (invariant while speedup is perfect)"
+    )
+    print()
+
+    # ------------------------------------------------------------------
+    # 2. Flat-range comparison across communication patterns.
+    # ------------------------------------------------------------------
+    gated = ClusterModel(
+        node.with_constant_power(0.0), net_bandwidth=4e9, eps_net=1e-9,
+        max_nodes=1 << 16,
+    )
+    print("energy-flat strong-scaling range (E(p) <= 1.1 E(1), pi0 = 0):")
+    for workload in (
+        summa_matmul_workload(8192),
+        stencil_halo_workload(512, sweeps=64),
+        allreduce_workload(200_000_000),
+    ):
+        limit = gated.energy_flat_limit(workload)
+        speed = gated.speedup(workload, limit)
+        print(f"  {workload.name:<28} flat to p = {limit:>6} "
+              f"(speedup there: {speed:,.0f}x)")
+    print()
+    print("communication growth decides everything: sqrt(p) scales far, "
+          "linear-in-p barely scales at all.")
+
+
+if __name__ == "__main__":
+    main()

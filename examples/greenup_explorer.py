@@ -1,0 +1,64 @@
+#!/usr/bin/env python
+"""Explore work-communication trade-offs: when is extra work green? (§VII)
+
+A transformed algorithm (f·W, Q/m) does f times the work to cut
+communication by m.  Eq. (10) bounds the work inflation that still saves
+energy.  This example maps that frontier for a memory-bound kernel on:
+
+* today's GTX 580 (constant power included);
+* the same silicon with pi0 -> 0 (the paper's "what if architects drive
+  constant power to zero" thought experiment) — where the balance gap
+  reopens and energy-driven algorithm design diverges from time-driven.
+
+Run:  python examples/greenup_explorer.py
+"""
+
+from __future__ import annotations
+
+from repro.core.algorithm import AlgorithmProfile
+from repro.core.balance import analyze
+from repro.core.tradeoff import TradeoffAnalyzer, greenup_work_ceiling
+from repro.machines.catalog import gtx580_double
+
+
+def frontier_table(machine, baseline) -> None:
+    analyzer = TradeoffAnalyzer(machine, baseline)
+    ceiling = greenup_work_ceiling(
+        b_eps=machine.b_eps, intensity=baseline.intensity
+    )
+    print(f"--- {machine.name} ---")
+    print(analyze(machine).describe())
+    print()
+    print(f"baseline: I = {baseline.intensity:g} flop/B")
+    print(f"{'m':>8}{'eq.(10) f*':>14}{'exact f*':>12}{'speedup@f*':>13}")
+    for m in (1.5, 2.0, 4.0, 8.0, 32.0):
+        closed = analyzer.greenup_threshold(m)
+        exact = analyzer.exact_greenup_threshold(m)
+        at_threshold = analyzer.evaluate(exact, m)
+        print(f"{m:>8.1f}{closed:>14.3f}{exact:>12.3f}{at_threshold.speedup:>13.3f}")
+    print(f"hard ceiling (m -> inf, pi0=0): f < {ceiling:.3f}")
+    print()
+
+
+def main() -> None:
+    baseline = AlgorithmProfile.from_intensity(0.5, work=1e12, name="baseline")
+
+    today = gtx580_double().with_power_cap(None)
+    frontier_table(today, baseline)
+
+    future = today.with_constant_power(0.0)
+    frontier_table(future, baseline)
+
+    # The punchline: a concrete trade that pays off differently.
+    f, m = 1.8, 4.0
+    for machine in (today, future):
+        point = TradeoffAnalyzer(machine, baseline).evaluate(f, m)
+        print(
+            f"trade (f={f}, m={m}) on {machine.name}: "
+            f"speedup {point.speedup:.2f}x, greenup {point.greenup:.2f}x "
+            f"-> {point.outcome}"
+        )
+
+
+if __name__ == "__main__":
+    main()

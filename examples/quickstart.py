@@ -1,0 +1,111 @@
+#!/usr/bin/env python
+"""Quickstart: the energy roofline model in five minutes.
+
+Walks through the library's core workflow:
+
+1. describe a machine (time + energy cost coefficients);
+2. characterise algorithms as (work, traffic) pairs;
+3. ask the three models — time, energy, power — what they cost;
+4. read the balance analysis: is race-to-halt sound here?
+5. draw the roofline and arch line.
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    AlgorithmProfile,
+    EnergyModel,
+    MachineModel,
+    PowerModel,
+    TimeModel,
+    analyze,
+    machines,
+    roofline_vs_archline,
+)
+from repro.core.algorithm import matmul_profile, reduction_profile, stencil_profile
+from repro.core.rooflines import vertical_markers
+from repro.viz.ascii_chart import render_chart
+
+
+def main() -> None:
+    # ------------------------------------------------------------------
+    # 1. A machine is five numbers.  Use a catalog entry (the paper's
+    #    GTX 580 at double precision), or build your own from peaks.
+    # ------------------------------------------------------------------
+    gpu = machines.gtx580_double()
+    print(gpu.describe())
+    print()
+
+    custom = MachineModel.from_peaks(
+        "my-accelerator",
+        gflops=500.0,          # peak arithmetic throughput
+        gbytes_per_s=200.0,    # peak memory bandwidth
+        eps_flop=80e-12,       # 80 pJ per flop
+        eps_mem=400e-12,       # 400 pJ per byte
+        pi0=60.0,              # 60 W constant power
+    )
+    print(custom.describe())
+    print()
+
+    # ------------------------------------------------------------------
+    # 2. An algorithm is (W, Q).  Use the canonical profiles or raw numbers.
+    # ------------------------------------------------------------------
+    workloads = [
+        reduction_profile(100_000_000),                # I = O(1): bandwidth-bound
+        stencil_profile(256, points=7, sweeps=10),     # moderate intensity
+        matmul_profile(2048, fast_bytes=2 * 1024**2),  # I = O(sqrt(Z)): compute-bound
+        AlgorithmProfile(work=1e12, traffic=5e10, name="custom kernel"),
+    ]
+
+    # ------------------------------------------------------------------
+    # 3. Ask the models.
+    # ------------------------------------------------------------------
+    time_model, energy_model, power_model = (
+        TimeModel(gpu), EnergyModel(gpu), PowerModel(gpu),
+    )
+    print(f"workload costs on {gpu.name}:")
+    header = f"{'workload':<28}{'I (F/B)':>9}{'time':>12}{'energy':>12}{'power':>9}"
+    print(header)
+    print("-" * len(header))
+    for profile in workloads:
+        t = time_model.time(profile)
+        e = energy_model.energy(profile)
+        p = power_model.average_power(profile)
+        print(
+            f"{profile.name[:27]:<28}{profile.intensity:>9.2f}"
+            f"{t * 1e3:>10.2f}ms{e:>11.2f}J{p:>8.1f}W"
+        )
+    print()
+
+    # Energy breakdown for the reduction: where do the joules go?
+    breakdown = energy_model.breakdown(workloads[0])
+    print(
+        f"reduction energy split: flops {breakdown.fraction('flops'):.0%}, "
+        f"memory {breakdown.fraction('mem'):.0%}, "
+        f"constant {breakdown.fraction('constant'):.0%}"
+    )
+    print()
+
+    # ------------------------------------------------------------------
+    # 4. Balance analysis: compare time- and energy-balance points.
+    # ------------------------------------------------------------------
+    print(analyze(gpu).describe())
+    print()
+
+    # ------------------------------------------------------------------
+    # 5. Draw the curves (Fig. 2a style).
+    # ------------------------------------------------------------------
+    roof, arch = roofline_vs_archline(gpu, lo=0.25, hi=64.0)
+    print(
+        render_chart(
+            [roof, arch],
+            markers=vertical_markers(gpu),
+            title=f"{gpu.name}: roofline (time) vs arch line (energy)",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,35 @@
+"""Statistical analysis utilities: OLS regression, error metrics, reports.
+
+These are the numerical tools behind the paper's §IV "model instantiation"
+(fitting eq. 9 by linear regression, footnote 8's R² and p-value quality
+checks) and §V-C's median-relative-error evaluation of the FMM estimator.
+"""
+
+from repro.analysis.bootstrap import BootstrapResult, CoefficientInterval, bootstrap_fit
+from repro.analysis.regression import OLSResult, ols
+from repro.analysis.report import fmt_num, fmt_pct, fmt_si_time, markdown_table, text_table
+from repro.analysis.stats import (
+    ErrorSummary,
+    mean_relative_error,
+    median_relative_error,
+    relative_errors,
+    summarize_errors,
+)
+
+__all__ = [
+    "OLSResult",
+    "ols",
+    "BootstrapResult",
+    "CoefficientInterval",
+    "bootstrap_fit",
+    "text_table",
+    "markdown_table",
+    "fmt_si_time",
+    "fmt_pct",
+    "fmt_num",
+    "ErrorSummary",
+    "relative_errors",
+    "mean_relative_error",
+    "median_relative_error",
+    "summarize_errors",
+]

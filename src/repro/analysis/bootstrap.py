@@ -1,0 +1,152 @@
+"""Bootstrap confidence intervals for fitted energy coefficients.
+
+The paper reports point estimates (Table IV) with footnote-level fit
+quality.  For a production tool, users characterising *their* machine
+want uncertainty on each coefficient: resample the measured runs with
+replacement, refit eq. (9) on each resample, and read percentile
+intervals off the resulting coefficient distributions (the
+case-resampling bootstrap — appropriate here because whole runs, not
+residuals, are the independent units).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Sequence
+
+import numpy as np
+
+from repro.exceptions import FittingError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.fitting import EnergySample
+
+__all__ = ["CoefficientInterval", "BootstrapResult", "bootstrap_fit"]
+
+
+@dataclass(frozen=True, slots=True)
+class CoefficientInterval:
+    """A point estimate with a percentile confidence interval."""
+
+    name: str
+    estimate: float
+    low: float
+    high: float
+    level: float
+
+    @property
+    def width(self) -> float:
+        """Interval width (same units as the estimate)."""
+        return self.high - self.low
+
+    @property
+    def relative_width(self) -> float:
+        """Width over the estimate's magnitude — the precision figure."""
+        if self.estimate == 0:
+            return float("inf")
+        return self.width / abs(self.estimate)
+
+    def contains(self, value: float) -> bool:
+        """Whether a value falls in the interval."""
+        return self.low <= value <= self.high
+
+    def describe(self) -> str:
+        return (
+            f"{self.name}: {self.estimate:.4g} "
+            f"[{self.low:.4g}, {self.high:.4g}] @ {self.level:.0%}"
+        )
+
+
+@dataclass(frozen=True)
+class BootstrapResult:
+    """Intervals for every eq. (9) coefficient."""
+
+    eps_single: CoefficientInterval
+    eps_double: CoefficientInterval | None
+    eps_mem: CoefficientInterval
+    pi0: CoefficientInterval
+    replicates: int
+
+    def describe(self) -> str:
+        lines = [f"bootstrap fit ({self.replicates} replicates):"]
+        for interval in (self.eps_single, self.eps_double, self.eps_mem, self.pi0):
+            if interval is not None:
+                lines.append("  " + interval.describe())
+        return "\n".join(lines)
+
+
+def bootstrap_fit(
+    samples: Sequence[EnergySample],
+    *,
+    replicates: int = 200,
+    level: float = 0.95,
+    seed: int = 0,
+) -> BootstrapResult:
+    """Case-resampling bootstrap of :func:`fit_energy_coefficients`.
+
+    Resamples that happen to be degenerate (all one intensity →
+    collinear design) are redrawn; a pathological sample set that cannot
+    produce ``replicates`` valid fits raises :class:`FittingError`.
+    """
+    # Imported here: repro.core.fitting itself uses repro.analysis, so a
+    # module-level import would be circular.
+    from repro.core.fitting import fit_energy_coefficients
+
+    if replicates < 10:
+        raise FittingError("need at least 10 bootstrap replicates")
+    if not 0.5 < level < 1.0:
+        raise FittingError("confidence level must be in (0.5, 1)")
+    point = fit_energy_coefficients(list(samples))
+    rng = np.random.default_rng(seed)
+    n = len(samples)
+
+    draws: dict[str, list[float]] = {
+        "eps_single": [], "eps_double": [], "eps_mem": [], "pi0": []
+    }
+    attempts = 0
+    collected = 0
+    while collected < replicates:
+        attempts += 1
+        if attempts > replicates * 10:
+            raise FittingError(
+                "bootstrap could not collect enough valid resamples; "
+                "the sample set is too degenerate"
+            )
+        idx = rng.integers(0, n, size=n)
+        resample = [samples[i] for i in idx]
+        try:
+            fit = fit_energy_coefficients(resample)
+        except FittingError:
+            continue
+        if (point.eps_double is None) != (fit.eps_double is None):
+            continue  # resample lost one precision class entirely
+        draws["eps_single"].append(fit.eps_single)
+        if fit.eps_double is not None:
+            draws["eps_double"].append(fit.eps_double)
+        draws["eps_mem"].append(fit.eps_mem)
+        draws["pi0"].append(fit.pi0)
+        collected += 1
+
+    alpha = (1.0 - level) / 2.0
+
+    def interval(name: str, estimate: float) -> CoefficientInterval:
+        values = np.asarray(draws[name])
+        return CoefficientInterval(
+            name=name,
+            estimate=estimate,
+            low=float(np.quantile(values, alpha)),
+            high=float(np.quantile(values, 1.0 - alpha)),
+            level=level,
+        )
+
+    return BootstrapResult(
+        eps_single=interval("eps_single", point.eps_single),
+        eps_double=(
+            interval("eps_double", point.eps_double)
+            if point.eps_double is not None
+            else None
+        ),
+        eps_mem=interval("eps_mem", point.eps_mem),
+        pi0=interval("pi0", point.pi0),
+        replicates=replicates,
+    )

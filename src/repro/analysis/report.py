@@ -1,0 +1,77 @@
+"""Report rendering: aligned text and Markdown tables.
+
+Small, dependency-free table builders used by the CLI, the experiments,
+and EXPERIMENTS.md-style outputs.  Cells are strings; numeric alignment
+is the caller's choice of formatter (the :func:`fmt` helpers cover the
+common cases used across the reproduction).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.exceptions import ParameterError
+
+__all__ = ["text_table", "markdown_table", "fmt_si_time", "fmt_pct", "fmt_num"]
+
+
+def _normalise(
+    header: Sequence[str], rows: Iterable[Sequence[str]]
+) -> tuple[list[str], list[list[str]]]:
+    head = [str(h) for h in header]
+    body = [[str(c) for c in row] for row in rows]
+    if not head:
+        raise ParameterError("table needs at least one column")
+    for row in body:
+        if len(row) != len(head):
+            raise ParameterError(
+                f"row has {len(row)} cells for {len(head)} columns: {row}"
+            )
+    return head, body
+
+
+def text_table(header: Sequence[str], rows: Iterable[Sequence[str]]) -> str:
+    """Fixed-width aligned table with a rule under the header."""
+    head, body = _normalise(header, rows)
+    widths = [
+        max(len(head[i]), *(len(r[i]) for r in body)) if body else len(head[i])
+        for i in range(len(head))
+    ]
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(f"{c:<{w}}" for c, w in zip(cells, widths)).rstrip()
+
+    out = [line(head), line(["-" * w for w in widths])]
+    out.extend(line(r) for r in body)
+    return "\n".join(out)
+
+
+def markdown_table(header: Sequence[str], rows: Iterable[Sequence[str]]) -> str:
+    """GitHub-flavoured Markdown table."""
+    head, body = _normalise(header, rows)
+    out = [
+        "| " + " | ".join(head) + " |",
+        "|" + "|".join("---" for _ in head) + "|",
+    ]
+    out.extend("| " + " | ".join(r) + " |" for r in body)
+    return "\n".join(out)
+
+
+def fmt_si_time(seconds: float) -> str:
+    """Human-scale time: '12.3 ms', '4.56 s', '980 us'."""
+    if seconds < 0:
+        raise ParameterError("time must be non-negative")
+    for scale, suffix in ((1.0, "s"), (1e-3, "ms"), (1e-6, "us"), (1e-9, "ns")):
+        if seconds >= scale:
+            return f"{seconds / scale:.3g} {suffix}"
+    return f"{seconds:.3g} s"
+
+
+def fmt_pct(fraction: float, *, signed: bool = False) -> str:
+    """A fraction as a percentage string ('4.1%' or '+2.0%')."""
+    sign = "+" if signed and fraction >= 0 else ""
+    return f"{sign}{fraction * 100:.1f}%"
+
+
+def fmt_num(value: float, *, digits: int = 4) -> str:
+    """General-purpose significant-figure formatting."""
+    return f"{value:.{digits}g}"

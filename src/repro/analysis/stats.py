@@ -1,0 +1,102 @@
+"""Error metrics used to judge model estimates against measurements.
+
+§V-C's headline numbers are relative-error statistics: the naive eq. (2)
+estimator is "lower by 33% on average"; the cache-corrected estimator has
+"a median error of 4.1%".  These helpers compute exactly those quantities,
+plus a fuller :class:`ErrorSummary` for reports and ablations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import ParameterError
+
+__all__ = [
+    "relative_errors",
+    "signed_relative_errors",
+    "mean_relative_error",
+    "median_relative_error",
+    "mean_signed_error",
+    "ErrorSummary",
+    "summarize_errors",
+]
+
+
+def _validate(estimated: np.ndarray, measured: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    est = np.asarray(estimated, dtype=float)
+    mea = np.asarray(measured, dtype=float)
+    if est.shape != mea.shape or est.ndim != 1:
+        raise ParameterError(
+            f"estimated {est.shape} and measured {mea.shape} must be equal-length 1-D"
+        )
+    if est.size == 0:
+        raise ParameterError("need at least one observation")
+    if np.any(mea <= 0):
+        raise ParameterError("measured values must be positive")
+    return est, mea
+
+
+def signed_relative_errors(estimated: np.ndarray, measured: np.ndarray) -> np.ndarray:
+    """``(estimated − measured) / measured`` per observation.
+
+    Negative values mean the estimate is low — the direction of the
+    paper's 33% underestimate.
+    """
+    est, mea = _validate(estimated, measured)
+    return (est - mea) / mea
+
+
+def relative_errors(estimated: np.ndarray, measured: np.ndarray) -> np.ndarray:
+    """Absolute relative errors ``|estimated − measured| / measured``."""
+    return np.abs(signed_relative_errors(estimated, measured))
+
+
+def mean_relative_error(estimated: np.ndarray, measured: np.ndarray) -> float:
+    """Mean of the absolute relative errors."""
+    return float(np.mean(relative_errors(estimated, measured)))
+
+
+def median_relative_error(estimated: np.ndarray, measured: np.ndarray) -> float:
+    """Median of the absolute relative errors (§V-C's 4.1% metric)."""
+    return float(np.median(relative_errors(estimated, measured)))
+
+
+def mean_signed_error(estimated: np.ndarray, measured: np.ndarray) -> float:
+    """Mean signed relative error (§V-C's −33% metric)."""
+    return float(np.mean(signed_relative_errors(estimated, measured)))
+
+
+@dataclass(frozen=True, slots=True)
+class ErrorSummary:
+    """Distributional summary of estimate-vs-measurement errors."""
+
+    n: int
+    mean_signed: float
+    mean_abs: float
+    median_abs: float
+    p90_abs: float
+    max_abs: float
+
+    def describe(self) -> str:
+        return (
+            f"n={self.n}: signed mean {self.mean_signed:+.1%}, "
+            f"abs mean {self.mean_abs:.1%}, median {self.median_abs:.1%}, "
+            f"p90 {self.p90_abs:.1%}, max {self.max_abs:.1%}"
+        )
+
+
+def summarize_errors(estimated: np.ndarray, measured: np.ndarray) -> ErrorSummary:
+    """Build an :class:`ErrorSummary` from parallel estimate/measurement arrays."""
+    signed = signed_relative_errors(estimated, measured)
+    abs_err = np.abs(signed)
+    return ErrorSummary(
+        n=int(abs_err.size),
+        mean_signed=float(np.mean(signed)),
+        mean_abs=float(np.mean(abs_err)),
+        median_abs=float(np.median(abs_err)),
+        p90_abs=float(np.percentile(abs_err, 90)),
+        max_abs=float(np.max(abs_err)),
+    )

@@ -1,0 +1,27 @@
+"""A small set-associative cache simulator.
+
+The FMM study's traffic counters (:mod:`repro.fmm.counters`) are an
+analytic model of what a profiler would report.  This package provides
+the ground-check: an actual LRU cache hierarchy simulated over the
+U-list phase's real address stream, so the counter model's *shape
+assumptions* — DRAM re-fetch falling with block size, the L1→L2 refill
+ratio growing with the working-set footprint, cache traffic scaling
+with interaction pairs — can be validated against a mechanism instead
+of asserted.
+
+* :mod:`repro.cachesim.cache` — set-associative LRU levels and a
+  two-level hierarchy with per-level byte counters;
+* :mod:`repro.cachesim.fmmtrace` — the reference U-list variant's
+  address stream and its simulation harness.
+"""
+
+from repro.cachesim.cache import CacheHierarchy, CacheLevel, HierarchyCounters
+from repro.cachesim.fmmtrace import TraceResult, simulate_ulist_traffic
+
+__all__ = [
+    "CacheLevel",
+    "CacheHierarchy",
+    "HierarchyCounters",
+    "simulate_ulist_traffic",
+    "TraceResult",
+]

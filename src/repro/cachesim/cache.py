@@ -1,0 +1,139 @@
+"""Set-associative LRU caches with exact byte accounting.
+
+Deliberately simple and exact: one :class:`CacheLevel` is ``sets ×
+ways`` tag slots with true-LRU replacement; a :class:`CacheHierarchy`
+chains levels (inclusive, read-only modelling — adequate for the FMM
+source stream, which is read-dominated).  Counters report, per level,
+how many accesses and bytes it served, plus the bytes that fell through
+to memory — the quantities the analytic traffic model estimates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exceptions import SimulationError
+
+__all__ = ["CacheLevel", "HierarchyCounters", "CacheHierarchy"]
+
+
+class CacheLevel:
+    """One set-associative, true-LRU cache level."""
+
+    def __init__(self, name: str, *, size_bytes: int, ways: int, line_bytes: int):
+        if size_bytes <= 0 or ways <= 0 or line_bytes <= 0:
+            raise SimulationError("cache geometry must be positive")
+        if size_bytes % (ways * line_bytes) != 0:
+            raise SimulationError(
+                f"{name}: size {size_bytes} not divisible by ways*line "
+                f"({ways}*{line_bytes})"
+            )
+        self.name = name
+        self.line_bytes = line_bytes
+        self.ways = ways
+        self.n_sets = size_bytes // (ways * line_bytes)
+        # Per-set LRU stacks: most-recently-used at the end.
+        self._sets: list[list[int]] = [[] for _ in range(self.n_sets)]
+        self.accesses = 0
+        self.hits = 0
+
+    @property
+    def misses(self) -> int:
+        return self.accesses - self.hits
+
+    @property
+    def size_bytes(self) -> int:
+        return self.n_sets * self.ways * self.line_bytes
+
+    def access(self, line_addr: int) -> bool:
+        """Touch one line (address already line-aligned); True on hit."""
+        self.accesses += 1
+        index = line_addr % self.n_sets
+        stack = self._sets[index]
+        if line_addr in stack:
+            self.hits += 1
+            stack.remove(line_addr)
+            stack.append(line_addr)
+            return True
+        if len(stack) >= self.ways:
+            stack.pop(0)  # evict LRU
+        stack.append(line_addr)
+        return False
+
+    def reset(self) -> None:
+        """Clear contents and counters."""
+        self._sets = [[] for _ in range(self.n_sets)]
+        self.accesses = 0
+        self.hits = 0
+
+
+@dataclass(frozen=True, slots=True)
+class HierarchyCounters:
+    """Byte accounting after a simulated trace.
+
+    ``l1_bytes``/``l2_bytes`` are bytes *served by* each level (an
+    access touches L1 always; L2 only on an L1 miss); ``dram_bytes``
+    are line fills from memory.  These mirror the profiler counters the
+    analytic model estimates.
+    """
+
+    accesses: int
+    l1_bytes: float
+    l2_bytes: float
+    dram_bytes: float
+    l1_hit_rate: float
+    l2_hit_rate: float
+
+
+class CacheHierarchy:
+    """An inclusive two-level (L1 → L2) read hierarchy over DRAM."""
+
+    def __init__(self, l1: CacheLevel, l2: CacheLevel):
+        if l1.line_bytes != l2.line_bytes:
+            raise SimulationError("levels must share a line size (simplification)")
+        if l2.size_bytes <= l1.size_bytes:
+            raise SimulationError("L2 must be larger than L1")
+        self.l1 = l1
+        self.l2 = l2
+        self.dram_lines = 0
+
+    @classmethod
+    def gtx580_like(cls) -> "CacheHierarchy":
+        """Per-SM L1 (16 KB, 4-way) over a 768 KB 16-way L2, 128 B lines."""
+        return cls(
+            CacheLevel("L1", size_bytes=16 * 1024, ways=4, line_bytes=128),
+            CacheLevel("L2", size_bytes=768 * 1024, ways=16, line_bytes=128),
+        )
+
+    def access_line(self, line_addr: int) -> None:
+        """One line-granular read through the hierarchy."""
+        if not self.l1.access(line_addr):
+            if not self.l2.access(line_addr):
+                self.dram_lines += 1
+
+    def access_bytes(self, addr: int, size: int) -> None:
+        """A sized read: touches every line the range spans."""
+        if size <= 0:
+            raise SimulationError("access size must be positive")
+        line = self.l1.line_bytes
+        first = addr // line
+        last = (addr + size - 1) // line
+        for line_addr in range(first, last + 1):
+            self.access_line(line_addr)
+
+    def counters(self) -> HierarchyCounters:
+        """Snapshot the byte accounting."""
+        line = self.l1.line_bytes
+        return HierarchyCounters(
+            accesses=self.l1.accesses,
+            l1_bytes=float(self.l1.accesses * line),
+            l2_bytes=float(self.l2.accesses * line),
+            dram_bytes=float(self.dram_lines * line),
+            l1_hit_rate=(self.l1.hits / self.l1.accesses) if self.l1.accesses else 0.0,
+            l2_hit_rate=(self.l2.hits / self.l2.accesses) if self.l2.accesses else 0.0,
+        )
+
+    def reset(self) -> None:
+        self.l1.reset()
+        self.l2.reset()
+        self.dram_lines = 0

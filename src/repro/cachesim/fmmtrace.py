@@ -1,0 +1,111 @@
+"""The U-list phase's address stream, simulated through real caches.
+
+Memory layout (matching §V-C's single-precision data):
+
+* source records: 16 B each (x, y, z, density), packed in point order;
+* potentials: 4 B each, in a separate region.
+
+Access pattern of the reference variant (plain cached loads, no
+register blocking): target leaves are processed block-by-block
+(``targets_per_block`` points per block); for each source leaf in the
+target leaf's U-list, every *warp* of the block streams all of that
+leaf's source records (one coalesced access per record per warp — 32
+threads reading the same record broadcast).  Each target's potential is
+read once at block start and written once at block end.
+
+:func:`simulate_ulist_traffic` runs that stream through a
+:class:`~repro.cachesim.cache.CacheHierarchy` and reports the measured
+per-level traffic next to the analytic counter model's estimate for the
+same geometry — the validation the tests and the ablation bench lean on.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.cachesim.cache import CacheHierarchy, HierarchyCounters
+from repro.exceptions import SimulationError
+from repro.fmm.counters import POINT_BYTES, TrafficCounters, count_traffic
+from repro.fmm.tree import Octree
+from repro.fmm.variants import MemoryPath, Variant
+
+__all__ = ["TraceResult", "simulate_ulist_traffic"]
+
+_WARP = 32
+_PHI_BYTES = 4
+
+
+@dataclass(frozen=True)
+class TraceResult:
+    """Measured (simulated) versus modelled traffic for one variant."""
+
+    variant: Variant
+    measured: HierarchyCounters
+    modelled: TrafficCounters
+    pairs: int
+
+    @property
+    def measured_l1_bytes_per_pair(self) -> float:
+        return self.measured.l1_bytes / self.pairs
+
+    @property
+    def modelled_l1_bytes_per_pair(self) -> float:
+        return self.modelled.q_l1 / self.pairs
+
+    @property
+    def measured_refill_ratio(self) -> float:
+        """L2-served over L1-served bytes — the l2_refill_ratio analogue."""
+        if self.measured.l1_bytes == 0:
+            return 0.0
+        return self.measured.l2_bytes / self.measured.l1_bytes
+
+
+def simulate_ulist_traffic(
+    tree: Octree,
+    ulist: list[list[int]],
+    variant: Variant,
+    *,
+    hierarchy: CacheHierarchy | None = None,
+) -> TraceResult:
+    """Run one L1/L2-path variant's address stream through real caches.
+
+    Only the plain cached path is meaningful here (shared/texture
+    variants move their reuse outside L1/L2 by construction).
+    """
+    if variant.path is not MemoryPath.L1L2:
+        raise SimulationError(
+            "cache-trace validation applies to L1/L2-path variants only"
+        )
+    caches = hierarchy or CacheHierarchy.gtx580_like()
+    caches.reset()
+
+    n = tree.n_points
+    phi_base = n * POINT_BYTES  # potentials live after the point records
+
+    pairs = 0
+    tpb = variant.targets_per_block
+    for leaf in tree.leaves:
+        targets = leaf.points
+        for block_start in range(0, len(targets), tpb):
+            block = targets[block_start : block_start + tpb]
+            warps = math.ceil(len(block) / _WARP)
+            # Read each target's running potential once per block.
+            for t in block:
+                caches.access_bytes(phi_base + int(t) * _PHI_BYTES, _PHI_BYTES)
+            for source_leaf_index in ulist[leaf.index]:
+                source_points = tree.leaves[source_leaf_index].points
+                for _ in range(warps):
+                    for s in source_points:
+                        caches.access_bytes(int(s) * POINT_BYTES, POINT_BYTES)
+                pairs += len(block) * len(source_points)
+            # Write back the potentials (modelled as a read-for-ownership).
+            for t in block:
+                caches.access_bytes(phi_base + int(t) * _PHI_BYTES, _PHI_BYTES)
+
+    return TraceResult(
+        variant=variant,
+        measured=caches.counters(),
+        modelled=count_traffic(tree, ulist, variant),
+        pairs=pairs,
+    )

@@ -1,0 +1,425 @@
+"""Command-line interface: ``energy-roofline`` / ``python -m repro``.
+
+Subcommands
+-----------
+``machines``
+    List the machine catalog.
+``describe MACHINE``
+    Raw and derived parameters plus the balance/race-to-halt analysis.
+``curves MACHINE``
+    Render roofline/arch-line/powerline ASCII charts; ``--csv`` exports
+    the series for external plotting.
+``experiment list`` / ``experiment run ID``
+    The paper's tables and figures (see :mod:`repro.experiments`).
+``fit CSV``
+    Fit eq. (9) energy coefficients from a measurement CSV with columns
+    ``work,traffic,time,energy,double`` (header required).
+``tradeoff MACHINE``
+    Greenup thresholds for a work–communication trade at a baseline
+    intensity.
+``partition MACHINE_A MACHINE_B``
+    Time- vs energy-optimal splits of a divisible workload across two
+    devices.
+``dvfs MACHINE``
+    Frequency sweep and the energy-optimal operating point for a
+    workload intensity.
+``app NAME MACHINE``
+    Per-phase cost table for a library application (cg, fmm,
+    fft-poisson, jacobi).
+"""
+
+from __future__ import annotations
+
+import argparse
+import csv
+import sys
+from pathlib import Path
+
+from repro.core.balance import analyze
+from repro.core.fitting import EnergySample, fit_energy_coefficients
+from repro.core.rooflines import (
+    archline_series,
+    powerline_series,
+    roofline_series,
+    vertical_markers,
+)
+from repro.core.tradeoff import TradeoffAnalyzer
+from repro.core.algorithm import AlgorithmProfile
+from repro.exceptions import ReproError
+from repro.machines.catalog import list_machines
+from repro.machines.catalog import get_machine as _catalog_get
+from repro.machines.io import load_machine
+
+
+def get_machine(key_or_path: str):
+    """Resolve a machine argument: catalog key, or path to a JSON file.
+
+    A value ending in ``.json`` (or pointing at an existing file) loads
+    via :func:`repro.machines.io.load_machine`; anything else is a
+    catalog key.
+    """
+    from pathlib import Path as _Path
+
+    candidate = _Path(key_or_path)
+    if key_or_path.endswith(".json") or candidate.is_file():
+        return load_machine(candidate)
+    return _catalog_get(key_or_path)
+from repro.viz.ascii_chart import render_chart
+from repro.viz.series import write_csv
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse command tree (exposed for tests and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="energy-roofline",
+        description="Energy roofline model analysis (IPDPS 2013 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("machines", help="list the machine catalog")
+
+    p_desc = sub.add_parser("describe", help="show a machine's parameters")
+    p_desc.add_argument("machine", help="catalog key, e.g. gtx580-double")
+
+    p_curves = sub.add_parser("curves", help="render model curves")
+    p_curves.add_argument("machine")
+    p_curves.add_argument(
+        "--kind",
+        choices=("roofline", "archline", "powerline", "all"),
+        default="all",
+    )
+    p_curves.add_argument("--lo", type=float, default=0.25)
+    p_curves.add_argument("--hi", type=float, default=64.0)
+    p_curves.add_argument("--csv", type=Path, help="also export series as CSV")
+    p_curves.add_argument("--svg", type=Path, help="also render the chart as SVG")
+
+    p_exp = sub.add_parser("experiment", help="run paper experiments")
+    exp_sub = p_exp.add_subparsers(dest="exp_command", required=True)
+    exp_sub.add_parser("list", help="list available experiments")
+    exp_sub.add_parser(
+        "summary", help="run everything; print the paper-vs-measured digest"
+    )
+    p_run = exp_sub.add_parser("run", help="run one experiment")
+    p_run.add_argument("id", help="experiment id, e.g. fig4")
+    p_run.add_argument(
+        "--output", type=Path,
+        help="directory to archive the report (<id>.txt) and headline "
+             "values (<id>.json)",
+    )
+
+    p_fit = sub.add_parser("fit", help="fit eq. (9) coefficients from a CSV")
+    p_fit.add_argument("csv", type=Path)
+
+    p_trade = sub.add_parser("tradeoff", help="greenup thresholds for (f, m) trades")
+    p_trade.add_argument("machine")
+    p_trade.add_argument("--intensity", type=float, required=True)
+    p_trade.add_argument(
+        "--m", type=float, nargs="+", default=[2.0, 4.0, 8.0], dest="m_values"
+    )
+
+    p_part = sub.add_parser(
+        "partition", help="split a divisible workload across two devices"
+    )
+    p_part.add_argument("machine_a")
+    p_part.add_argument("machine_b")
+    p_part.add_argument("--intensity", type=float, required=True)
+    p_part.add_argument("--work", type=float, default=1e12)
+    p_part.add_argument(
+        "--idle-policy", choices=("halt", "idle"), default="halt"
+    )
+
+    p_dvfs = sub.add_parser("dvfs", help="frequency-scaling analysis")
+    p_dvfs.add_argument("machine")
+    p_dvfs.add_argument("--intensity", type=float, required=True)
+    p_dvfs.add_argument("--static-fraction", type=float, default=0.5)
+    p_dvfs.add_argument("--steps", type=int, default=7)
+
+    p_scale = sub.add_parser(
+        "scaling", help="distributed strong-scaling time/energy analysis"
+    )
+    p_scale.add_argument("machine", help="node machine (catalog key)")
+    p_scale.add_argument(
+        "workload", choices=("summa", "stencil", "allreduce")
+    )
+    p_scale.add_argument("--size", type=int, default=4096)
+    p_scale.add_argument("--net-gbytes", type=float, default=4.0,
+                         help="per-node network bandwidth (GB/s)")
+    p_scale.add_argument("--eps-net", type=float, default=1000.0,
+                         help="network energy (pJ/B)")
+    p_scale.add_argument(
+        "--nodes", type=int, nargs="+", default=[1, 4, 16, 64, 256]
+    )
+
+    p_app = sub.add_parser("app", help="phase-level application analysis")
+    p_app.add_argument(
+        "name", choices=("cg", "fmm", "fft-poisson", "jacobi")
+    )
+    p_app.add_argument("machine")
+    p_app.add_argument("--size", type=int, default=None,
+                       help="problem size (app-specific default)")
+    return parser
+
+
+def _cmd_machines() -> str:
+    from repro.core.params import MachineModel
+
+    machines = [get_machine(key) for key, _ in list_machines()]
+    return MachineModel.table(machines)
+
+
+def _cmd_describe(key: str) -> str:
+    machine = get_machine(key)
+    return machine.describe() + "\n\n" + analyze(machine).describe()
+
+
+def _cmd_curves(args: argparse.Namespace) -> str:
+    machine = get_machine(args.machine)
+    kw = dict(lo=args.lo, hi=args.hi)
+    series = []
+    if args.kind in ("roofline", "all"):
+        series.append(roofline_series(machine, normalized=True, **kw))
+    if args.kind in ("archline", "all"):
+        series.append(archline_series(machine, normalized=True, **kw))
+    blocks = []
+    if series:
+        blocks.append(
+            render_chart(series, markers=vertical_markers(machine), title=machine.name)
+        )
+    if args.kind in ("powerline", "all"):
+        power = powerline_series(machine, normalized=False, **kw)
+        blocks.append(
+            render_chart(
+                [power],
+                markers={"B_tau": machine.b_tau},
+                title=f"{machine.name} — powerline (W)",
+            )
+        )
+        series.append(power)
+    if args.csv:
+        write_csv(series, args.csv)
+        blocks.append(f"series written to {args.csv}")
+    if args.svg:
+        from repro.viz.svg import write_svg
+
+        write_svg(
+            args.svg,
+            series,
+            markers=vertical_markers(machine),
+            title=machine.name,
+        )
+        blocks.append(f"chart written to {args.svg}")
+    return "\n\n".join(blocks)
+
+
+def _cmd_experiment(args: argparse.Namespace) -> str:
+    from repro.experiments import list_experiments, run_experiment
+
+    if args.exp_command == "list":
+        return "\n".join(f"{eid:<10} {title}" for eid, title in list_experiments())
+    if args.exp_command == "summary":
+        from repro.experiments.summary import build_summary
+
+        return build_summary()
+    result = run_experiment(args.id)
+    if getattr(args, "output", None):
+        import json
+
+        args.output.mkdir(parents=True, exist_ok=True)
+        (args.output / f"{result.experiment_id}.txt").write_text(
+            result.text + "\n"
+        )
+        (args.output / f"{result.experiment_id}.json").write_text(
+            json.dumps(
+                {"title": result.title, "values": result.values},
+                indent=2,
+                sort_keys=True,
+            )
+            + "\n"
+        )
+        return (
+            result.text
+            + f"\n\nreport archived under {args.output}/"
+            f"{result.experiment_id}.{{txt,json}}"
+        )
+    return result.text
+
+
+def _cmd_fit(path: Path) -> str:
+    samples = []
+    with path.open() as handle:
+        reader = csv.DictReader(handle)
+        required = {"work", "traffic", "time", "energy", "double"}
+        if reader.fieldnames is None or not required <= set(reader.fieldnames):
+            raise ReproError(
+                f"CSV must have columns {sorted(required)}, "
+                f"got {reader.fieldnames}"
+            )
+        for row in reader:
+            samples.append(
+                EnergySample(
+                    work=float(row["work"]),
+                    traffic=float(row["traffic"]),
+                    time=float(row["time"]),
+                    energy=float(row["energy"]),
+                    double_precision=row["double"].strip().lower()
+                    in ("1", "true", "yes"),
+                )
+            )
+    fit = fit_energy_coefficients(samples)
+    lines = [fit.regression.summary(), "", fit.table_row(path.stem)]
+    return "\n".join(lines)
+
+
+def _cmd_tradeoff(args: argparse.Namespace) -> str:
+    machine = get_machine(args.machine)
+    baseline = AlgorithmProfile.from_intensity(args.intensity, work=1e12)
+    analyzer = TradeoffAnalyzer(machine, baseline)
+    lines = [
+        f"{machine.name}: baseline I = {args.intensity:g} flop/B",
+        f"{'m':>8}{'f* eq.(10)':>14}{'f* exact':>12}",
+    ]
+    for m, closed, exact in analyzer.frontier(args.m_values):
+        lines.append(f"{m:>8.2f}{closed:>14.3f}{exact:>12.3f}")
+    return "\n".join(lines)
+
+
+def _cmd_partition(args: argparse.Namespace) -> str:
+    from repro.scheduler import Device, HeterogeneousScheduler, IdlePolicy
+
+    scheduler = HeterogeneousScheduler(
+        Device(args.machine_a, get_machine(args.machine_a)),
+        Device(args.machine_b, get_machine(args.machine_b)),
+        idle_policy=IdlePolicy(args.idle_policy),
+    )
+    workload = AlgorithmProfile.from_intensity(
+        args.intensity, work=args.work, name="workload"
+    )
+    return scheduler.summary(workload)
+
+
+def _cmd_dvfs(args: argparse.Namespace) -> str:
+    from repro.core.dvfs import DvfsMachine, DvfsPolicy
+
+    machine = get_machine(args.machine)
+    dvfs = DvfsMachine(
+        machine, DvfsPolicy(static_fraction=args.static_fraction)
+    )
+    profile = AlgorithmProfile.from_intensity(args.intensity, work=1e12)
+    lines = [
+        f"{machine.name}: I = {args.intensity:g} flop/B, "
+        f"static pi0 fraction {args.static_fraction:g}",
+        f"{'s':>6}{'time':>12}{'energy':>12}{'power':>10}",
+    ]
+    for point in dvfs.sweep(profile, steps=args.steps):
+        lines.append(
+            f"{point.s:>6.2f}{point.time:>11.4g}s{point.energy:>11.4g}J"
+            f"{point.power:>9.1f}W"
+        )
+    best = dvfs.energy_optimal_setting(profile)
+    verdict = "race-to-halt" if dvfs.race_to_halt_wins(profile) else "crawl"
+    lines.append(
+        f"energy-optimal s = {best.s:.3f} ({best.energy:.4g} J) -> {verdict}"
+    )
+    return "\n".join(lines)
+
+
+def _cmd_scaling(args: argparse.Namespace) -> str:
+    from repro.cluster import (
+        ClusterModel,
+        allreduce_workload,
+        stencil_halo_workload,
+        summa_matmul_workload,
+    )
+
+    builders = {
+        "summa": summa_matmul_workload,
+        "stencil": stencil_halo_workload,
+        "allreduce": allreduce_workload,
+    }
+    workload = builders[args.workload](args.size)
+    cluster = ClusterModel(
+        get_machine(args.machine),
+        net_bandwidth=args.net_gbytes * 1e9,
+        eps_net=args.eps_net * 1e-12,
+    )
+    lines = [cluster.describe_scaling(workload, args.nodes)]
+    limit = cluster.energy_flat_limit(workload)
+    lines.append(
+        f"energy-flat (within 10%) up to p = {limit}"
+        if limit < cluster.max_nodes
+        else "energy-flat beyond the search limit"
+    )
+    return "\n".join(lines)
+
+
+def _cmd_app(args: argparse.Namespace) -> str:
+    from repro.workloads import (
+        cg_solver,
+        fft_poisson_solver,
+        fmm_pipeline,
+        jacobi_heat_solver,
+    )
+
+    builders = {
+        "cg": lambda n: cg_solver(n or 1_000_000),
+        "fmm": lambda n: fmm_pipeline(n or 200_000),
+        "fft-poisson": lambda n: fft_poisson_solver(n or (1 << 20)),
+        "jacobi": lambda n: jacobi_heat_solver(n or 128),
+    }
+    app = builders[args.name](args.size)
+    machine = get_machine(args.machine)
+    lines = [app.describe(machine)]
+    tb = app.time_bottleneck(machine)
+    eb = app.energy_bottleneck(machine)
+    lines.append(
+        f"time bottleneck: {tb.name} ({tb.time_fraction:.0%}); "
+        f"energy bottleneck: {eb.name} ({eb.energy_fraction:.0%})"
+    )
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        if args.command == "machines":
+            output = _cmd_machines()
+        elif args.command == "describe":
+            output = _cmd_describe(args.machine)
+        elif args.command == "curves":
+            output = _cmd_curves(args)
+        elif args.command == "experiment":
+            output = _cmd_experiment(args)
+        elif args.command == "fit":
+            output = _cmd_fit(args.csv)
+        elif args.command == "tradeoff":
+            output = _cmd_tradeoff(args)
+        elif args.command == "partition":
+            output = _cmd_partition(args)
+        elif args.command == "dvfs":
+            output = _cmd_dvfs(args)
+        elif args.command == "scaling":
+            output = _cmd_scaling(args)
+        elif args.command == "app":
+            output = _cmd_app(args)
+        else:  # pragma: no cover - argparse enforces choices
+            parser.error(f"unknown command {args.command}")
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    try:
+        print(output)
+    except BrokenPipeError:
+        # Downstream pager/head closed the pipe; that is not our error.
+        try:
+            sys.stdout.close()
+        except BrokenPipeError:
+            pass
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

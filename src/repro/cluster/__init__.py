@@ -1,0 +1,39 @@
+"""Distributed-memory extension: energy rooflines at cluster scale.
+
+The paper's closest relative (§VI) is Demmel, Gearhart, Schwartz &
+Lipshitz's *"Perfect strong scaling using no additional energy"*: on a
+distributed machine, running ``p`` times more nodes can cut time by
+``p`` while leaving total energy *flat* — until communication energy
+catches up.  This package reproduces that analysis inside our model:
+
+* :mod:`repro.cluster.workload` — distributed workloads: per-run work,
+  node-local memory traffic, and a network-volume function of ``p``
+  (SUMMA matmul, halo-exchange stencils, allreduce);
+* :mod:`repro.cluster.model` — the cluster time/energy model: a node
+  :class:`~repro.core.params.MachineModel` replicated ``p`` ways plus an
+  interconnect with its own bandwidth and energy-per-byte, and the
+  strong-scaling analyses (speedup, energy ratio, the energy-flat
+  range and its breakdown point);
+* :mod:`repro.cluster.iso` — iso-energy-efficiency curves ``n*(p)``
+  (the Song-et-al. thread of §VI, made algorithm-explicit).
+"""
+
+from repro.cluster.iso import IsoEfficiencyAnalyzer, IsoPoint
+from repro.cluster.model import ClusterModel, ScalingPoint
+from repro.cluster.workload import (
+    DistributedWorkload,
+    allreduce_workload,
+    stencil_halo_workload,
+    summa_matmul_workload,
+)
+
+__all__ = [
+    "ClusterModel",
+    "IsoEfficiencyAnalyzer",
+    "IsoPoint",
+    "ScalingPoint",
+    "DistributedWorkload",
+    "summa_matmul_workload",
+    "stencil_halo_workload",
+    "allreduce_workload",
+]

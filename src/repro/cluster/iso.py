@@ -1,0 +1,134 @@
+"""Iso-energy-efficiency analysis (§VI: Song, Grove & Cameron).
+
+The iso-efficiency idea, energy flavour: as a machine scales out, a
+fixed problem's energy efficiency decays (communication and idle
+constant power grow); to *hold* efficiency at a target level, the
+problem must grow with the node count.  The function ``n*(p)`` — the
+smallest problem size sustaining a target efficiency on ``p`` nodes —
+is the workload's **iso-energy-efficiency curve**, and its growth rate
+is the scalability verdict.  Unlike the original systems-centric model,
+ours derives the curve from algorithmic quantities (the workload's
+``W(n)``, ``Q(n)``, ``Q_net(n, p)``), which was the paper's complaint
+about that line of work ("not explicit about algorithmic features").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.cluster.model import ClusterModel
+from repro.cluster.workload import DistributedWorkload
+from repro.exceptions import ParameterError
+
+__all__ = ["IsoPoint", "IsoEfficiencyAnalyzer"]
+
+
+@dataclass(frozen=True, slots=True)
+class IsoPoint:
+    """One node count's minimum problem size for the target efficiency."""
+
+    p: int
+    n: int
+    efficiency: float
+
+
+class IsoEfficiencyAnalyzer:
+    """Find problem sizes that sustain a target energy efficiency.
+
+    Parameters
+    ----------
+    cluster:
+        The machine.
+    workload_family:
+        ``n -> DistributedWorkload`` — a parametric algorithm
+        (e.g. ``summa_matmul_workload``).
+    """
+
+    def __init__(
+        self,
+        cluster: ClusterModel,
+        workload_family: Callable[[int], DistributedWorkload],
+    ):
+        self.cluster = cluster
+        self.workload_family = workload_family
+
+    # ------------------------------------------------------------------
+
+    def efficiency(self, n: int, p: int) -> float:
+        """Energy efficiency at ``(n, p)``, as a fraction of the node's
+        flops-only ideal ``1/ε̂_flop`` — the arch line's normalisation
+        lifted to cluster scale (so 1.0 is unreachable and 0.5 plays the
+        role of the effective balance crossing)."""
+        workload = self.workload_family(n)
+        point = self.cluster.evaluate(workload, p)
+        achieved = workload.work / point.energy
+        return achieved * self.cluster.node.eps_flop_hat
+
+    def iso_size(
+        self,
+        p: int,
+        *,
+        target: float,
+        n_lo: int = 64,
+        n_hi: int = 1 << 20,
+    ) -> IsoPoint | None:
+        """Smallest ``n`` in ``[n_lo, n_hi]`` with efficiency ≥ target.
+
+        Returns ``None`` when even ``n_hi`` falls short.  Efficiency is
+        monotone non-decreasing in ``n`` for the library's workload
+        families (bigger problems amortise communication and idle
+        energy), so bisection applies; the assumption is validated by a
+        guard on the bracketing evaluations.
+        """
+        if not 0.0 < target < 1.0:
+            raise ParameterError(f"target must be in (0, 1), got {target}")
+        if n_lo < 1 or n_hi <= n_lo:
+            raise ParameterError("need 1 <= n_lo < n_hi")
+        eff_lo = self.efficiency(n_lo, p)
+        eff_hi = self.efficiency(n_hi, p)
+        if eff_hi < eff_lo - 1e-9:
+            raise ParameterError(
+                "efficiency is not non-decreasing in n for this family; "
+                "iso-size bisection does not apply"
+            )
+        if eff_lo >= target:
+            return IsoPoint(p=p, n=n_lo, efficiency=eff_lo)
+        if eff_hi < target:
+            return None
+        lo, hi = n_lo, n_hi
+        while hi - lo > 1:
+            mid = (lo + hi) // 2
+            if self.efficiency(mid, p) >= target:
+                hi = mid
+            else:
+                lo = mid
+        return IsoPoint(p=p, n=hi, efficiency=self.efficiency(hi, p))
+
+    def curve(
+        self, node_counts: list[int], *, target: float, n_hi: int = 1 << 20
+    ) -> list[IsoPoint | None]:
+        """The iso-efficiency curve ``n*(p)`` over several node counts."""
+        if not node_counts:
+            raise ParameterError("need at least one node count")
+        return [
+            self.iso_size(p, target=target, n_hi=n_hi)
+            for p in sorted(set(node_counts))
+        ]
+
+    def describe(
+        self, node_counts: list[int], *, target: float
+    ) -> str:
+        """Render the curve as a table."""
+        points = self.curve(node_counts, target=target)
+        lines = [
+            f"iso-energy-efficiency: hold {target:.0%} of the flops-only "
+            f"ideal on {self.cluster.node.name} nodes",
+            f"{'p':>6}{'n*':>10}{'eff at n*':>11}",
+        ]
+        for p, point in zip(sorted(set(node_counts)), points):
+            if point is None:
+                lines.append(f"{p:>6}{'unreachable':>10}")
+            else:
+                lines.append(f"{point.p:>6}{point.n:>10}{point.efficiency:>11.3f}")
+        return "\n".join(lines)

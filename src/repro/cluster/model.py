@@ -1,0 +1,173 @@
+"""The cluster time/energy model and strong-scaling analysis.
+
+A cluster is ``p`` identical nodes (each a
+:class:`~repro.core.params.MachineModel`) joined by an interconnect with
+per-node injection bandwidth ``net_bandwidth`` and energy cost
+``eps_net`` per byte.  Per run:
+
+* **time** — per-node, with overlap across all three resources
+  (the eq. (3) philosophy extended one level):
+  ``T(p) = max(W/p·τ_flop, Q_loc/p·τ_mem, Q_node_net(p)/net_bw)``;
+* **energy** — nothing overlaps, everything sums (eq. (4) extended):
+  ``E(p) = W·ε_flop + Q_loc·ε_mem + Q_net(p)·ε_net + p·π0·T(p)``.
+
+The Demmel-et-al. observation falls straight out: while the computation
+stays compute-bound, ``T(p) = T(1)/p`` so ``p·π0·T(p)`` is *constant* —
+and dynamic compute/memory energy never depended on ``p`` — leaving
+network energy as the only growth term.  Strong scaling is energy-flat
+exactly until communication (energy or time) catches up, and
+:meth:`ClusterModel.energy_flat_limit` finds that breakdown node count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cluster.workload import DistributedWorkload
+from repro.core.params import MachineModel
+from repro.exceptions import ParameterError
+
+__all__ = ["ScalingPoint", "ClusterModel"]
+
+
+@dataclass(frozen=True, slots=True)
+class ScalingPoint:
+    """One node count's outcome for a workload."""
+
+    p: int
+    time: float
+    energy: float
+    energy_net: float
+    energy_constant: float
+
+    @property
+    def power(self) -> float:
+        """Whole-cluster average power (W)."""
+        return self.energy / self.time
+
+
+class ClusterModel:
+    """``p`` replicated nodes plus an interconnect."""
+
+    def __init__(
+        self,
+        node: MachineModel,
+        *,
+        net_bandwidth: float,
+        eps_net: float,
+        max_nodes: int = 1 << 20,
+    ):
+        if net_bandwidth <= 0:
+            raise ParameterError("net_bandwidth must be positive (B/s per node)")
+        if eps_net < 0:
+            raise ParameterError("eps_net must be non-negative (J/B)")
+        if max_nodes < 1:
+            raise ParameterError("max_nodes must be >= 1")
+        self.node = node
+        self.net_bandwidth = net_bandwidth
+        self.eps_net = eps_net
+        self.max_nodes = max_nodes
+
+    # ------------------------------------------------------------------
+
+    def time(self, workload: DistributedWorkload, p: int) -> float:
+        """Overlapped per-run time at node count ``p`` (s)."""
+        self._check_p(p)
+        share = workload.node_profile(p)
+        t_flops = share.work * self.node.tau_flop
+        t_mem = share.traffic * self.node.tau_mem
+        t_net = workload.net_bytes_per_node(p) / self.net_bandwidth
+        return max(t_flops, t_mem, t_net)
+
+    def evaluate(self, workload: DistributedWorkload, p: int) -> ScalingPoint:
+        """Time and full energy accounting at node count ``p``."""
+        t = self.time(workload, p)
+        e_net = workload.net_traffic(p) * self.eps_net
+        e_const = p * self.node.pi0 * t
+        energy = (
+            workload.work * self.node.eps_flop
+            + workload.local_traffic * self.node.eps_mem
+            + e_net
+            + e_const
+        )
+        return ScalingPoint(
+            p=p, time=t, energy=energy, energy_net=e_net, energy_constant=e_const
+        )
+
+    # ------------------------------------------------------------------
+
+    def strong_scaling(
+        self, workload: DistributedWorkload, node_counts: list[int]
+    ) -> list[ScalingPoint]:
+        """Evaluate a list of node counts (need not be contiguous)."""
+        if not node_counts:
+            raise ParameterError("need at least one node count")
+        return [self.evaluate(workload, p) for p in sorted(set(node_counts))]
+
+    def speedup(self, workload: DistributedWorkload, p: int) -> float:
+        """``T(1)/T(p)`` — at most ``p``; exactly ``p`` while
+        communication stays hidden."""
+        return self.time(workload, 1) / self.time(workload, p)
+
+    def energy_ratio(self, workload: DistributedWorkload, p: int) -> float:
+        """``E(p)/E(1)`` — 1.0 is the perfect-strong-scaling ideal."""
+        return self.evaluate(workload, p).energy / self.evaluate(workload, 1).energy
+
+    def energy_flat_limit(
+        self,
+        workload: DistributedWorkload,
+        *,
+        tolerance: float = 0.10,
+    ) -> int:
+        """Largest ``p ≤ max_nodes`` with ``E(p) ≤ (1 + tol)·E(1)``.
+
+        Scans powers of two then bisects the breakdown octave.  Energy
+        is monotone non-decreasing in ``p`` for the workloads here
+        (network volume grows, the constant term can only grow once
+        speedup saturates), making the bisection sound.
+        """
+        if tolerance <= 0:
+            raise ParameterError("tolerance must be positive")
+        budget = (1.0 + tolerance) * self.evaluate(workload, 1).energy
+
+        if self.evaluate(workload, self.max_nodes).energy <= budget:
+            return self.max_nodes
+        lo = 1  # E(1) <= budget by construction
+        hi = 2
+        while self.evaluate(workload, hi).energy <= budget:
+            lo = hi
+            hi = min(hi * 2, self.max_nodes)
+        while hi - lo > 1:
+            mid = (lo + hi) // 2
+            if self.evaluate(workload, mid).energy <= budget:
+                lo = mid
+            else:
+                hi = mid
+        return lo
+
+    def describe_scaling(
+        self, workload: DistributedWorkload, node_counts: list[int]
+    ) -> str:
+        """Strong-scaling table: speedup, energy ratio, component shares."""
+        rows = self.strong_scaling(workload, node_counts)
+        base = rows[0]
+        lines = [
+            f"strong scaling: {workload.name} on {self.node.name} nodes",
+            f"{'p':>6}{'time':>12}{'speedup':>9}{'E(p)/E(1)':>11}"
+            f"{'net %':>8}{'const %':>9}",
+        ]
+        for point in rows:
+            lines.append(
+                f"{point.p:>6}{point.time:>11.4g}s"
+                f"{base.time / point.time:>9.1f}"
+                f"{point.energy / base.energy:>11.3f}"
+                f"{point.energy_net / point.energy:>8.1%}"
+                f"{point.energy_constant / point.energy:>9.1%}"
+            )
+        return "\n".join(lines)
+
+    def _check_p(self, p: int) -> None:
+        if not 1 <= p <= self.max_nodes:
+            raise ParameterError(
+                f"p must be in [1, {self.max_nodes}], got {p}"
+            )

@@ -1,0 +1,153 @@
+"""Distributed workloads: (W, Q_local, Q_net(p)).
+
+A distributed workload extends the two-level characterisation with a
+third traffic class — bytes crossing the network — whose *total volume
+depends on the node count*: scaling out usually means communicating
+more in aggregate, and that dependence is exactly what decides how far
+energy-flat strong scaling reaches.
+
+Canonical instances (communication volumes from the standard
+communication-cost literature):
+
+* **SUMMA matmul** — total network volume ``Θ(n²·√p)`` words (each of
+  the ``√p × √p`` process grid's rows/columns broadcasts its panels);
+* **halo-exchange stencil** — volume ``Θ(n²·p^{1/3})`` per sweep for a
+  3-D domain decomposition (surface-to-volume);
+* **allreduce** — volume ``Θ(n·p)`` total for a vector reduction
+  (``2·n`` words per node in a bandwidth-optimal ring).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.core.algorithm import AlgorithmProfile
+from repro.exceptions import ProfileError
+from repro.units import BYTES_PER_DOUBLE
+
+__all__ = [
+    "DistributedWorkload",
+    "summa_matmul_workload",
+    "stencil_halo_workload",
+    "allreduce_workload",
+]
+
+
+@dataclass(frozen=True)
+class DistributedWorkload:
+    """A divisible workload with a p-dependent network volume.
+
+    Attributes
+    ----------
+    name:
+        Label for reports.
+    work:
+        Total useful operations across the whole run (flops).
+    local_traffic:
+        Total node-local slow-memory traffic across all nodes (bytes);
+        assumed to split evenly (weak assumption, standard for
+        well-balanced codes).
+    net_traffic:
+        ``p -> total network bytes``; must return 0 for ``p = 1``.
+    """
+
+    name: str
+    work: float
+    local_traffic: float
+    net_traffic: Callable[[int], float]
+
+    def __post_init__(self) -> None:
+        if self.work <= 0:
+            raise ProfileError(f"work must be positive, got {self.work}")
+        if self.local_traffic < 0:
+            raise ProfileError("local_traffic must be non-negative")
+        if self.net_traffic(1) != 0.0:
+            raise ProfileError("a single node must need no network traffic")
+
+    def node_profile(self, p: int) -> AlgorithmProfile:
+        """The per-node (W, Q_local) share at node count ``p``."""
+        if p < 1:
+            raise ProfileError(f"p must be >= 1, got {p}")
+        return AlgorithmProfile(
+            work=self.work / p,
+            traffic=self.local_traffic / p,
+            name=f"{self.name}/node(p={p})",
+        )
+
+    def net_bytes_per_node(self, p: int) -> float:
+        """Network bytes each node sends/receives at node count ``p``."""
+        if p < 1:
+            raise ProfileError(f"p must be >= 1, got {p}")
+        total = self.net_traffic(p)
+        if total < 0:
+            raise ProfileError(f"net_traffic({p}) returned a negative volume")
+        return total / p
+
+
+def summa_matmul_workload(
+    n: int, *, word_bytes: int = BYTES_PER_DOUBLE
+) -> DistributedWorkload:
+    """SUMMA ``n×n`` matrix multiply.
+
+    ``W = 2n³``; node-local traffic per the blocked single-node profile
+    (each node streams its panels through its own memory ~twice); total
+    network volume ``2·n²·√p`` words (panel broadcasts along both grid
+    dimensions).
+    """
+    if n < 1:
+        raise ProfileError("n must be >= 1")
+    return DistributedWorkload(
+        name=f"summa({n})",
+        work=2.0 * n**3,
+        local_traffic=4.0 * n * n * word_bytes,
+        net_traffic=lambda p: (
+            0.0 if p == 1 else 2.0 * n * n * math.sqrt(p) * word_bytes
+        ),
+    )
+
+
+def stencil_halo_workload(
+    n: int, *, sweeps: int = 1, word_bytes: int = BYTES_PER_DOUBLE
+) -> DistributedWorkload:
+    """7-point stencil on an ``n³`` grid with 3-D domain decomposition.
+
+    Per sweep: 14 flops and 16 bytes per cell locally; each node's halo
+    is ``6·(n/p^{1/3})²`` cells, so the total network volume is
+    ``6·n²·p^{1/3}`` words per sweep.
+    """
+    if n < 1 or sweeps < 1:
+        raise ProfileError("n and sweeps must be >= 1")
+    cells = float(n) ** 3
+    return DistributedWorkload(
+        name=f"stencil-halo({n}^3 x{sweeps})",
+        work=14.0 * cells * sweeps,
+        local_traffic=16.0 * cells * sweeps,
+        net_traffic=lambda p: (
+            0.0
+            if p == 1
+            else 6.0 * n * n * p ** (1.0 / 3.0) * word_bytes * sweeps
+        ),
+    )
+
+
+def allreduce_workload(
+    n: int, *, word_bytes: int = BYTES_PER_DOUBLE
+) -> DistributedWorkload:
+    """Global sum of a length-``n`` distributed vector.
+
+    ``W = n`` additions; local traffic one read per element.  A
+    bandwidth-optimal ring allreduce sends ``2·n·(p−1)/p`` words per
+    node (reduce-scatter + allgather), so the total network volume is
+    ``2·n·(p−1)`` words — growing linearly in ``p``: the workload whose
+    energy-flat scaling range collapses fastest.
+    """
+    if n < 1:
+        raise ProfileError("n must be >= 1")
+    return DistributedWorkload(
+        name=f"allreduce({n})",
+        work=float(n),
+        local_traffic=float(n * word_bytes),
+        net_traffic=lambda p: 2.0 * n * (p - 1) * word_bytes if p > 1 else 0.0,
+    )

@@ -1,0 +1,340 @@
+"""Algorithm characterisation: work ``W``, traffic ``Q``, intensity ``I``.
+
+An algorithm, for the purposes of the model, is the pair ``(W, Q)``:
+
+* ``W`` — useful operations ("flops" by convention, but any algorithmic
+  unit works: comparisons for sorting, edges for graph traversal);
+* ``Q`` — bytes moved between slow and fast memory ("mops").
+
+Their ratio ``I = W/Q`` (flops per byte) is the computational intensity,
+the x-axis of every roofline, arch-line, and powerline chart.
+
+Besides the raw :class:`AlgorithmProfile` container, this module provides
+*symbolic* profiles for the canonical kernels the paper's §II-A discusses —
+array reduction (``I = O(1)``), cache-blocked matrix multiplication
+(``I = O(sqrt(Z))``), stencils, FFTs, and the FMM U-list phase — so that
+intensity-versus-cache-size behaviour can be explored analytically.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+
+from repro.exceptions import ProfileError
+from repro.units import BYTES_PER_DOUBLE
+
+__all__ = [
+    "AlgorithmProfile",
+    "reduction_profile",
+    "dot_product_profile",
+    "stream_triad_profile",
+    "matmul_profile",
+    "matmul_max_intensity",
+    "stencil_profile",
+    "fft_profile",
+    "comparison_sort_profile",
+    "fmm_ulist_profile",
+    "spmv_profile",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class AlgorithmProfile:
+    """An algorithm abstracted to ``(W, Q)`` with optional provenance.
+
+    Parameters
+    ----------
+    work:
+        Total useful operations ``W`` (flops).
+    traffic:
+        Total slow-memory traffic ``Q`` in bytes.  May be zero for a
+        purely in-cache computation, in which case :attr:`intensity`
+        is ``math.inf``.
+    name:
+        Optional label used in reports.
+    """
+
+    work: float
+    traffic: float
+    name: str = "algorithm"
+
+    def __post_init__(self) -> None:
+        if not math.isfinite(self.work) or self.work <= 0:
+            raise ProfileError(f"work must be positive and finite, got {self.work}")
+        if not math.isfinite(self.traffic) or self.traffic < 0:
+            raise ProfileError(
+                f"traffic must be non-negative and finite, got {self.traffic}"
+            )
+
+    @property
+    def intensity(self) -> float:
+        """Computational intensity ``I = W / Q`` in flops per byte."""
+        if self.traffic == 0:
+            return math.inf
+        return self.work / self.traffic
+
+    @classmethod
+    def from_intensity(
+        cls, intensity: float, *, work: float = 1e9, name: str = "synthetic"
+    ) -> "AlgorithmProfile":
+        """Construct a profile with a prescribed intensity.
+
+        Used throughout the microbenchmark sweeps: fix ``W`` and derive
+        ``Q = W / I``.
+        """
+        if not math.isfinite(intensity) or intensity <= 0:
+            raise ProfileError(f"intensity must be positive, got {intensity}")
+        return cls(work=work, traffic=work / intensity, name=name)
+
+    # ------------------------------------------------------------------
+    # Transformations
+    # ------------------------------------------------------------------
+
+    def scaled(self, factor: float) -> "AlgorithmProfile":
+        """Scale both ``W`` and ``Q`` (e.g. to model repeated execution).
+
+        Intensity is invariant under scaling.
+        """
+        if factor <= 0:
+            raise ProfileError(f"scale factor must be positive, got {factor}")
+        return replace(self, work=self.work * factor, traffic=self.traffic * factor)
+
+    def with_work_trade(self, f: float, m: float) -> "AlgorithmProfile":
+        """The §VII work–communication trade: ``(W, Q) -> (f·W, Q/m)``.
+
+        A transformed algorithm does ``f`` times the work to reduce
+        communication by a factor ``m``.  ``f > 1, m > 1`` is the
+        "new algorithm" of the paper's trade-off analysis; ``f = m = 1``
+        is the identity.
+        """
+        if f <= 0 or m <= 0:
+            raise ProfileError(f"trade factors must be positive, got f={f}, m={m}")
+        return AlgorithmProfile(
+            work=self.work * f,
+            traffic=self.traffic / m,
+            name=f"{self.name} (f={f:g}, m={m:g})",
+        )
+
+    def __add__(self, other: "AlgorithmProfile") -> "AlgorithmProfile":
+        """Sequential composition: work and traffic add."""
+        if not isinstance(other, AlgorithmProfile):
+            return NotImplemented
+        return AlgorithmProfile(
+            work=self.work + other.work,
+            traffic=self.traffic + other.traffic,
+            name=f"{self.name}+{other.name}",
+        )
+
+
+# ---------------------------------------------------------------------------
+# Canonical symbolic profiles (§II-A examples)
+# ---------------------------------------------------------------------------
+
+
+def _require_positive(**kwargs: float) -> None:
+    for key, value in kwargs.items():
+        if value <= 0:
+            raise ProfileError(f"{key} must be positive, got {value}")
+
+
+def reduction_profile(n: int, word_bytes: int = BYTES_PER_DOUBLE) -> AlgorithmProfile:
+    """Summing an ``n``-element array: ``W = n − 1``, ``Q = n`` words.
+
+    Intensity is ``O(1)`` — independent of problem size and of cache size
+    ``Z`` — the paper's example of an algorithm that cannot benefit from a
+    bigger fast memory.
+    """
+    _require_positive(n=n, word_bytes=word_bytes)
+    if n < 2:
+        raise ProfileError("reduction needs at least two elements")
+    return AlgorithmProfile(
+        work=float(n - 1), traffic=float(n * word_bytes), name=f"reduction(n={n})"
+    )
+
+
+def dot_product_profile(n: int, word_bytes: int = BYTES_PER_DOUBLE) -> AlgorithmProfile:
+    """Dot product of two ``n``-vectors: ``W = 2n``, ``Q = 2n`` words."""
+    _require_positive(n=n, word_bytes=word_bytes)
+    return AlgorithmProfile(
+        work=2.0 * n, traffic=2.0 * n * word_bytes, name=f"dot(n={n})"
+    )
+
+
+def stream_triad_profile(n: int, word_bytes: int = BYTES_PER_DOUBLE) -> AlgorithmProfile:
+    """STREAM triad ``a[i] = b[i] + s*c[i]``: ``W = 2n``, ``Q = 3n`` words."""
+    _require_positive(n=n, word_bytes=word_bytes)
+    return AlgorithmProfile(
+        work=2.0 * n, traffic=3.0 * n * word_bytes, name=f"triad(n={n})"
+    )
+
+
+def matmul_max_intensity(fast_bytes: float, word_bytes: int = BYTES_PER_DOUBLE) -> float:
+    """Upper bound on matmul intensity (flops per byte) for ``Z`` bytes of cache.
+
+    Hong & Kung's red–blue pebble game result: no schedule of the classical
+    ``n^3`` algorithm moves fewer than ``Θ(n^3 / sqrt(Z))`` words, so
+    ``I = O(sqrt(Z))``.  We use the standard blocked-algorithm constant:
+    a ``b×b`` block fits three operands when ``3·b²`` words ≤ ``Z``, giving
+    ``I ≈ 2·b / 3`` flops per word — doubling ``Z`` buys only ``sqrt(2)``.
+    """
+    _require_positive(fast_bytes=fast_bytes, word_bytes=word_bytes)
+    words = fast_bytes / word_bytes
+    block = math.sqrt(words / 3.0)
+    return (2.0 * block / 3.0) / word_bytes
+
+
+def matmul_profile(
+    n: int,
+    fast_bytes: float,
+    word_bytes: int = BYTES_PER_DOUBLE,
+) -> AlgorithmProfile:
+    """Cache-blocked ``n×n`` matrix multiplication.
+
+    ``W = 2·n³`` flops.  Traffic for a blocked schedule with block size
+    ``b = sqrt(Z_words / 3)``:  each of the ``(n/b)³`` block-multiplies
+    streams ``2·b²`` input words (the C block stays resident across the
+    k-loop, costing a further ``2·n²`` words overall), plus the ``3·n²``
+    compulsory traffic.  For ``n² ≫ Z`` this approaches the Hong–Kung
+    lower-bound shape ``Q = Θ(n³/sqrt(Z))``.
+    """
+    _require_positive(n=n, fast_bytes=fast_bytes, word_bytes=word_bytes)
+    words = fast_bytes / word_bytes
+    block = max(1.0, math.sqrt(words / 3.0))
+    block = min(block, float(n))
+    blocks_per_dim = n / block
+    q_words = (blocks_per_dim**3) * 2.0 * block * block + 2.0 * n * n + 3.0 * n * n
+    return AlgorithmProfile(
+        work=2.0 * n**3,
+        traffic=q_words * word_bytes,
+        name=f"matmul(n={n}, Z={fast_bytes:g}B)",
+    )
+
+
+def stencil_profile(
+    n: int,
+    points: int = 7,
+    sweeps: int = 1,
+    word_bytes: int = BYTES_PER_DOUBLE,
+) -> AlgorithmProfile:
+    """``sweeps`` Jacobi sweeps of a ``points``-point stencil on ``n³`` cells.
+
+    Per sweep each cell does ``points`` multiply-adds (``2·points`` flops)
+    and streams one read + one write per cell (assuming the planes of the
+    stencil neighbourhood fit in fast memory).
+    """
+    _require_positive(n=n, points=points, sweeps=sweeps, word_bytes=word_bytes)
+    cells = float(n) ** 3
+    return AlgorithmProfile(
+        work=2.0 * points * cells * sweeps,
+        traffic=2.0 * cells * sweeps * word_bytes,
+        name=f"stencil{points}(n={n}^3, sweeps={sweeps})",
+    )
+
+
+def fft_profile(
+    n: int,
+    fast_bytes: float,
+    word_bytes: int = 2 * BYTES_PER_DOUBLE,
+) -> AlgorithmProfile:
+    """Out-of-cache radix-2 FFT of ``n`` complex points.
+
+    ``W = 5·n·log2(n)`` flops (the standard FFT operation count).  The
+    I/O lower bound is ``Q = Θ(n·log(n)/log(Z))``: each pass through fast
+    memory advances ``log2(Z_words)`` butterfly stages.
+    """
+    _require_positive(n=n, fast_bytes=fast_bytes, word_bytes=word_bytes)
+    if n < 2:
+        raise ProfileError("fft needs n >= 2")
+    words = max(2.0, fast_bytes / word_bytes)
+    stages = math.log2(n)
+    passes = max(1.0, stages / math.log2(words))
+    return AlgorithmProfile(
+        work=5.0 * n * stages,
+        traffic=2.0 * n * passes * word_bytes,
+        name=f"fft(n={n}, Z={fast_bytes:g}B)",
+    )
+
+
+def comparison_sort_profile(
+    n: int,
+    fast_bytes: float,
+    word_bytes: int = BYTES_PER_DOUBLE,
+) -> AlgorithmProfile:
+    """External merge sort of ``n`` keys; ``W`` counts comparisons.
+
+    ``W = n·log2(n)`` comparisons; merge passes move the whole array once
+    per ``log(Z)``-fold reduction in run count:
+    ``Q = Θ(n·log(n)/log(Z))`` — same I/O shape as the FFT.
+    """
+    _require_positive(n=n, fast_bytes=fast_bytes, word_bytes=word_bytes)
+    if n < 2:
+        raise ProfileError("sort needs n >= 2")
+    words = max(2.0, fast_bytes / word_bytes)
+    passes = max(1.0, math.log2(n) / math.log2(words))
+    return AlgorithmProfile(
+        work=n * math.log2(n),
+        traffic=2.0 * n * passes * word_bytes,
+        name=f"sort(n={n}, Z={fast_bytes:g}B)",
+    )
+
+
+def fmm_ulist_profile(
+    n_points: int,
+    leaf_size: int,
+    neighbors: int = 27,
+    word_bytes: int = 4,
+    flops_per_pair: int = 11,
+) -> AlgorithmProfile:
+    """The FMM U-list phase of the paper's §V-C, analytically.
+
+    With ``n`` points in leaves of ``q`` points each and ``u`` neighbouring
+    source leaves per target leaf (27 for a uniform octree including self),
+    every target point interacts with ``u·q`` sources at 11 flops per pair
+    (Algorithm 1, counting ``rsqrt`` as one flop).  DRAM traffic is the
+    streaming of source coordinates+density (4 words/point) per target
+    leaf plus target reads/writes — giving ``I = O(q)``: compute-bound for
+    the typical ``q`` of hundreds.
+    """
+    _require_positive(
+        n_points=n_points,
+        leaf_size=leaf_size,
+        neighbors=neighbors,
+        word_bytes=word_bytes,
+        flops_per_pair=flops_per_pair,
+    )
+    n_leaves = max(1.0, n_points / leaf_size)
+    pairs = n_points * neighbors * leaf_size
+    # Each target leaf streams u source leaves (4 words per source point:
+    # x, y, z, density) and reads+writes its own targets (4 + 1 words).
+    q_words = n_leaves * neighbors * leaf_size * 4.0 + n_points * 5.0
+    return AlgorithmProfile(
+        work=float(flops_per_pair) * pairs,
+        traffic=q_words * word_bytes,
+        name=f"fmm_ulist(n={n_points}, q={leaf_size})",
+    )
+
+
+def spmv_profile(
+    n_rows: int,
+    nnz_per_row: float,
+    index_bytes: int = 4,
+    word_bytes: int = BYTES_PER_DOUBLE,
+) -> AlgorithmProfile:
+    """CSR sparse matrix–vector multiply: the classic bandwidth-bound kernel.
+
+    ``W = 2·nnz`` flops; traffic streams values + column indices + the
+    row pointer array + source/destination vectors.
+    """
+    _require_positive(n_rows=n_rows, nnz_per_row=nnz_per_row)
+    nnz = n_rows * nnz_per_row
+    traffic = (
+        nnz * (word_bytes + index_bytes)  # values + colidx
+        + n_rows * index_bytes  # rowptr
+        + 2.0 * n_rows * word_bytes  # x read (best case) + y write
+    )
+    return AlgorithmProfile(
+        work=2.0 * nnz,
+        traffic=traffic,
+        name=f"spmv(n={n_rows}, nnz/row={nnz_per_row:g})",
+    )

@@ -1,0 +1,151 @@
+"""Balance gaps, bound quadrants, and race-to-halt analysis (§II-D, §V-B).
+
+The paper's central qualitative finding is that the relationship between
+the time-balance ``Bτ`` and the (effective) energy-balance decides the
+*strategy* for saving energy:
+
+* ``B̂ε < Bτ`` — time-efficiency implies energy-efficiency: once code is
+  compute-bound in time it is already within 2x of optimal energy
+  efficiency.  **Race-to-halt** (run at full speed, then power off) is a
+  sound first-order policy.  This is where 2013 hardware sits, largely
+  because constant power is high.
+* ``B̂ε > Bτ`` — a *balance gap* opens: an algorithm with
+  ``Bτ < I < B̂ε`` is compute-bound in time yet memory-bound in energy.
+  Optimising for energy is then strictly harder than optimising for time,
+  and race-to-halt breaks.
+
+Energy-efficiency implies time-efficiency whenever ``Bε ≥ Bτ``
+(``I > Bε ⇒ I > Bτ``) — the paper's argument that energy is "the nobler
+goal" if one metric must be chosen.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.core.energy_model import EnergyModel
+from repro.core.params import MachineModel
+from repro.core.time_model import TimeBound, TimeModel
+
+__all__ = ["BoundQuadrant", "BalanceReport", "classify_quadrant", "analyze"]
+
+
+class BoundQuadrant(enum.Enum):
+    """Joint time/energy boundedness of an intensity on a machine."""
+
+    MEMORY_MEMORY = "memory-bound in time and energy"
+    COMPUTE_MEMORY = "compute-bound in time, memory-bound in energy"
+    MEMORY_COMPUTE = "memory-bound in time, compute-bound in energy"
+    COMPUTE_COMPUTE = "compute-bound in time and energy"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+def classify_quadrant(machine: MachineModel, intensity: float) -> BoundQuadrant:
+    """Classify an intensity into the joint time/energy quadrant.
+
+    The energy threshold is the effective balance crossing ``I = B̂ε(I)``
+    (the arch line's half-efficiency point), so the classification matches
+    what the paper annotates on its Fig. 4 panels.  Exactly-balanced
+    intensities count as compute-bound.
+    """
+    time_compute = TimeModel(machine).classify(intensity) in (
+        TimeBound.COMPUTE,
+        TimeBound.BALANCED,
+    )
+    energy_compute = EnergyModel(machine).classify(intensity) in (
+        TimeBound.COMPUTE,
+        TimeBound.BALANCED,
+    )
+    if time_compute and energy_compute:
+        return BoundQuadrant.COMPUTE_COMPUTE
+    if time_compute:
+        return BoundQuadrant.COMPUTE_MEMORY
+    if energy_compute:
+        return BoundQuadrant.MEMORY_COMPUTE
+    return BoundQuadrant.MEMORY_MEMORY
+
+
+@dataclass(frozen=True, slots=True)
+class BalanceReport:
+    """Summary of a machine's balance structure and its strategic meaning.
+
+    Attributes
+    ----------
+    machine_name:
+        Which machine was analysed.
+    b_tau, b_eps, b_eps_effective:
+        Time-balance, raw energy-balance (π0-independent), and the
+        effective crossing with constant power folded in.
+    raw_gap, effective_gap:
+        ``Bε/Bτ`` and ``B̂ε*/Bτ``.  An effective gap below 1 is the
+        race-to-halt regime.
+    race_to_halt_effective:
+        True when time-efficiency implies (within 2x) energy-efficiency.
+    energy_implies_time:
+        True when an algorithm past the energy balance is necessarily past
+        the time balance too (``Bε ≥ Bτ``).
+    gap_interval:
+        The interval of intensities that are compute-bound in time but
+        memory-bound in energy, or ``None`` when it is empty.
+    """
+
+    machine_name: str
+    b_tau: float
+    b_eps: float
+    b_eps_effective: float
+    raw_gap: float
+    effective_gap: float
+    race_to_halt_effective: bool
+    energy_implies_time: bool
+    gap_interval: tuple[float, float] | None
+
+    def describe(self) -> str:
+        """Human-readable strategy summary."""
+        lines = [
+            f"balance analysis: {self.machine_name}",
+            f"  B_tau = {self.b_tau:.3f} flop/B, B_eps = {self.b_eps:.3f} flop/B, "
+            f"effective B_eps = {self.b_eps_effective:.3f} flop/B",
+            f"  raw gap       = {self.raw_gap:.3f}",
+            f"  effective gap = {self.effective_gap:.3f}",
+        ]
+        if self.race_to_halt_effective:
+            lines.append(
+                "  regime: effective B_eps <= B_tau -- time-efficiency implies "
+                "energy-efficiency (within 2x); race-to-halt is sound"
+            )
+        else:
+            assert self.gap_interval is not None
+            lo, hi = self.gap_interval
+            lines.append(
+                f"  regime: balance gap open -- intensities in ({lo:.3f}, {hi:.3f}) "
+                "are compute-bound in time but memory-bound in energy; "
+                "race-to-halt breaks"
+            )
+        if self.energy_implies_time:
+            lines.append(
+                "  energy-efficiency implies time-efficiency (B_eps >= B_tau)"
+            )
+        return "\n".join(lines)
+
+
+def analyze(machine: MachineModel) -> BalanceReport:
+    """Produce the :class:`BalanceReport` for a machine."""
+    b_tau = machine.b_tau
+    b_eps = machine.b_eps
+    crossing = machine.effective_balance_crossing
+    race = crossing <= b_tau
+    gap_interval = None if race else (b_tau, crossing)
+    return BalanceReport(
+        machine_name=machine.name,
+        b_tau=b_tau,
+        b_eps=b_eps,
+        b_eps_effective=crossing,
+        raw_gap=b_eps / b_tau,
+        effective_gap=crossing / b_tau,
+        race_to_halt_effective=race,
+        energy_implies_time=b_eps >= b_tau,
+        gap_interval=gap_interval,
+    )

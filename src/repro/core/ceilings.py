@@ -1,0 +1,192 @@
+"""Roofline ceilings — and their energy arch-line analogues.
+
+The roofline tradition (Williams, Waterman, Patterson) draws *ceilings*
+under the peak roof: the performance attainable without SIMD, without
+FMA, without enough memory-level parallelism, etc.  A measured point's
+band between ceilings diagnoses *which* optimisation is missing.
+
+This module adds the ceilings to the time roofline and — following the
+paper's programme of building energy analogues — derives each ceiling's
+**arch line**: losing a compute feature stretches ``τ_flop``, which
+feeds energy only through the constant-power term ``π0·T``.  The
+consequence is itself a finding the tests pin down: on a machine with no
+constant power, compute ceilings cost *time but zero energy*, while on
+2013-class machines (π0 ≈ 122 W) leaving SIMD unused wastes energy in
+direct proportion to the stretched runtime.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.core.energy_model import EnergyModel
+from repro.core.params import MachineModel
+from repro.core.time_model import TimeModel
+from repro.exceptions import ParameterError
+
+__all__ = ["Ceiling", "CeilingDiagnosis", "RooflineCeilings"]
+
+
+@dataclass(frozen=True, slots=True)
+class Ceiling:
+    """One attainability ceiling.
+
+    ``compute_fraction`` scales peak arithmetic throughput;
+    ``bandwidth_fraction`` scales peak bandwidth.  A classic CPU ceiling
+    stack: no-SIMD = 1/width compute, no-FMA = 1/2 compute, no-NUMA or
+    single-stream = fractional bandwidth.
+    """
+
+    name: str
+    compute_fraction: float = 1.0
+    bandwidth_fraction: float = 1.0
+
+    def __post_init__(self) -> None:
+        for attr in ("compute_fraction", "bandwidth_fraction"):
+            value = getattr(self, attr)
+            if not 0.0 < value <= 1.0:
+                raise ParameterError(f"{attr} must be in (0, 1], got {value}")
+
+
+@dataclass(frozen=True, slots=True)
+class CeilingDiagnosis:
+    """Where a measured point falls in the ceiling stack.
+
+    ``below`` is the tightest ceiling the point is under; ``above`` the
+    next one it has already cleared (``None`` at the extremes).
+    ``advice`` names the feature whose absence the band suggests.
+    """
+
+    intensity: float
+    achieved_fraction: float
+    below: str | None
+    above: str | None
+
+    @property
+    def advice(self) -> str:
+        if self.below is None:
+            return "at or above the peak roof -- measurement or model error?"
+        if self.above is None:
+            return f"below every ceiling -- profile for issues before {self.below}"
+        return (
+            f"between '{self.above}' and '{self.below}': "
+            f"the '{self.below}' feature is the likely missing optimisation"
+        )
+
+
+class RooflineCeilings:
+    """A machine plus an ordered stack of ceilings."""
+
+    def __init__(self, machine: MachineModel, ceilings: list[Ceiling]):
+        names = [c.name for c in ceilings]
+        if len(set(names)) != len(names):
+            raise ParameterError(f"duplicate ceiling names: {names}")
+        # Sort loosest (closest to the roof) first for banding.
+        self.machine = machine
+        self.ceilings = sorted(
+            ceilings,
+            key=lambda c: c.compute_fraction * c.bandwidth_fraction,
+            reverse=True,
+        )
+
+    @classmethod
+    def classic_cpu(cls, machine: MachineModel, *, simd_width: int = 4) -> "RooflineCeilings":
+        """The textbook CPU stack: no-FMA, no-SIMD, single-stream bandwidth."""
+        return cls(
+            machine,
+            [
+                Ceiling("no-FMA", compute_fraction=0.5),
+                Ceiling("no-SIMD", compute_fraction=1.0 / simd_width),
+                Ceiling("single-stream", bandwidth_fraction=0.5),
+            ],
+        )
+
+    # ------------------------------------------------------------------
+
+    def machine_under(self, ceiling: Ceiling) -> MachineModel:
+        """The machine as seen by code that hits this ceiling."""
+        return replace(
+            self.machine,
+            name=f"{self.machine.name} [{ceiling.name}]",
+            tau_flop=self.machine.tau_flop / ceiling.compute_fraction,
+            tau_mem=self.machine.tau_mem / ceiling.bandwidth_fraction,
+        )
+
+    def attainable_fraction(self, intensity: float, ceiling: Ceiling | None = None) -> float:
+        """Attainable performance (fraction of the *peak* roof) under a ceiling."""
+        if ceiling is None:
+            return TimeModel(self.machine).normalized_performance(intensity)
+        limited = self.machine_under(ceiling)
+        achieved = TimeModel(limited).attainable_gflops(intensity)
+        return achieved / self.machine.peak_gflops
+
+    def energy_penalty_fraction(self, intensity: float, ceiling: Ceiling) -> float:
+        """Extra energy per flop caused by the ceiling, as a fraction.
+
+        ``E_ceiling/E_peak − 1`` at this intensity.  Zero exactly when
+        π0 = 0 (dynamic energy is time-independent) — the time/energy
+        asymmetry of ceilings.
+        """
+        base = EnergyModel(self.machine).energy_per_flop(intensity)
+        limited = EnergyModel(self.machine_under(ceiling)).energy_per_flop(intensity)
+        return limited / base - 1.0
+
+    # ------------------------------------------------------------------
+
+    def diagnose(self, intensity: float, achieved_gflops: float) -> CeilingDiagnosis:
+        """Band a measured point within the ceiling stack."""
+        if achieved_gflops <= 0:
+            raise ParameterError("achieved_gflops must be positive")
+        fraction = achieved_gflops / self.machine.peak_gflops
+        roof = self.attainable_fraction(intensity)
+        below: str | None = None
+        above: str | None = None
+        if fraction >= roof * (1 - 1e-9):
+            return CeilingDiagnosis(
+                intensity=intensity,
+                achieved_fraction=fraction,
+                below=None,
+                above="peak",
+            )
+        # Band against the levels *at this intensity*: a ceiling that does
+        # not bind here (e.g. a bandwidth ceiling in the compute-bound
+        # region) sits at the roof and must not capture the point.
+        levels = sorted(
+            (
+                (c.name, self.attainable_fraction(intensity, c))
+                for c in self.ceilings
+            ),
+            key=lambda kv: kv[1],
+            reverse=True,
+        )
+        below = "peak"
+        for name, level in levels:
+            if level >= roof * (1 - 1e-9):
+                continue  # ceiling does not bind at this intensity
+            if fraction >= level * (1 - 1e-9):
+                above = name
+                break
+            below = name
+        else:
+            above = None
+        return CeilingDiagnosis(
+            intensity=intensity,
+            achieved_fraction=fraction,
+            below=below,
+            above=above,
+        )
+
+    def describe(self, intensity: float) -> str:
+        """The ceiling stack's attainable levels at one intensity."""
+        lines = [
+            f"{self.machine.name} at I = {intensity:g} flop/B:",
+            f"  {'peak roof':<16} {self.attainable_fraction(intensity):7.3f} of peak",
+        ]
+        for ceiling in self.ceilings:
+            frac = self.attainable_fraction(intensity, ceiling)
+            penalty = self.energy_penalty_fraction(intensity, ceiling)
+            lines.append(
+                f"  {ceiling.name:<16} {frac:7.3f} of peak "
+                f"(energy penalty {penalty:+.1%})"
+            )
+        return "\n".join(lines)

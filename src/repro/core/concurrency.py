@@ -1,0 +1,146 @@
+"""Concurrency-limited bandwidth: the latency refinement (§VII limit 1).
+
+The basic model assumes *sufficient concurrency* so that throughput
+constants apply.  The paper defers latency effects to Czechowski et
+al.'s balance principles (its ref. [1]); this module implements that
+refinement's memory side: by Little's law, a code sustaining ``c``
+outstanding cache-line requests against a memory latency ``L`` achieves
+
+    ``BW_eff = min(BW_peak, c · line_bytes / L)``
+
+so a low-concurrency kernel sees a *lower personal roofline* whose
+balance point shifts left.  Because energy carries ``π0·T``, exposed
+latency costs energy too — the same asymmetry as ceilings and depth:
+dynamic energy is untouched, constant energy inflates with the stretch.
+
+:class:`ConcurrencyModel` answers the designer's question directly:
+how many outstanding misses does this machine *require* before the
+bandwidth-bound roofline is real (``c_min = BW_peak·L/line``), and what
+do time and energy look like below that.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+
+from repro.core.algorithm import AlgorithmProfile
+from repro.core.energy_model import EnergyModel
+from repro.core.params import MachineModel
+from repro.core.time_model import TimeModel
+from repro.exceptions import ParameterError
+
+__all__ = ["MemorySubsystem", "ConcurrencyModel"]
+
+
+@dataclass(frozen=True, slots=True)
+class MemorySubsystem:
+    """Latency-side description of the memory system.
+
+    ``latency`` in seconds per miss; ``line_bytes`` per transfer.
+    Representative 2013 values: ~60-100 ns DRAM latency, 64 B lines
+    (CPU) / 128 B sectors (GPU).
+    """
+
+    latency: float
+    line_bytes: int = 64
+
+    def __post_init__(self) -> None:
+        if not math.isfinite(self.latency) or self.latency <= 0:
+            raise ParameterError(f"latency must be positive, got {self.latency}")
+        if self.line_bytes < 1:
+            raise ParameterError("line_bytes must be >= 1")
+
+    def achievable_bandwidth(self, concurrency: float) -> float:
+        """Little's law: ``c·line/L`` bytes per second."""
+        if concurrency <= 0:
+            raise ParameterError(f"concurrency must be positive, got {concurrency}")
+        return concurrency * self.line_bytes / self.latency
+
+
+class ConcurrencyModel:
+    """The basic model with a concurrency-limited memory pipe."""
+
+    def __init__(self, machine: MachineModel, memory: MemorySubsystem):
+        self.machine = machine
+        self.memory = memory
+
+    # ------------------------------------------------------------------
+
+    @property
+    def required_concurrency(self) -> float:
+        """Outstanding misses needed to saturate peak bandwidth.
+
+        ``c_min = BW_peak · L / line`` — the machine-balance statement of
+        Little's law.  A 25.6 GB/s, 80 ns, 64 B system needs 32 misses in
+        flight; a 192 GB/s GPU at 400 ns needs ~600 — which is why GPUs
+        demand massive thread counts.
+        """
+        return self.machine.peak_bandwidth * self.memory.latency / self.memory.line_bytes
+
+    def effective_machine(self, concurrency: float) -> MachineModel:
+        """The machine this kernel actually experiences.
+
+        Bandwidth capped by Little's law; everything else unchanged.
+        At or above :attr:`required_concurrency` this is the machine
+        itself.
+        """
+        bandwidth = min(
+            self.machine.peak_bandwidth,
+            self.memory.achievable_bandwidth(concurrency),
+        )
+        return replace(
+            self.machine,
+            name=f"{self.machine.name} [c={concurrency:g}]",
+            tau_mem=1.0 / bandwidth,
+        )
+
+    def time(self, profile: AlgorithmProfile, concurrency: float) -> float:
+        """Eq. (3) time under the concurrency-limited bandwidth (s)."""
+        return TimeModel(self.effective_machine(concurrency)).time(profile)
+
+    def energy(self, profile: AlgorithmProfile, concurrency: float) -> float:
+        """Eq. (4) energy; only the π0·T term responds to concurrency (J)."""
+        return EnergyModel(self.effective_machine(concurrency)).energy(profile)
+
+    def effective_balance(self, concurrency: float) -> float:
+        """The personal time-balance ``Bτ(c)`` (flop/B).
+
+        Grows as concurrency falls: a latency-bound kernel is
+        "memory-bound" at intensities where a well-pipelined one is
+        compute-bound.
+        """
+        return self.effective_machine(concurrency).b_tau
+
+    def latency_penalty(
+        self, profile: AlgorithmProfile, concurrency: float
+    ) -> float:
+        """Slowdown versus the fully concurrent ideal (≥ 1)."""
+        ideal = TimeModel(self.machine).time(profile)
+        return self.time(profile, concurrency) / ideal
+
+    def energy_penalty(
+        self, profile: AlgorithmProfile, concurrency: float
+    ) -> float:
+        """Energy inflation versus the ideal (≥ 1; = 1 when π0 = 0).
+
+        The tests pin the identity: with no constant power, exposed
+        latency costs *zero* energy — only time.
+        """
+        ideal = EnergyModel(self.machine).energy(profile)
+        return self.energy(profile, concurrency) / ideal
+
+    def concurrency_for_half_efficiency(self, profile: AlgorithmProfile) -> float:
+        """The concurrency below which the kernel loses 2x in time.
+
+        Solves ``latency_penalty = 2`` in closed form.  For a kernel
+        memory-bound even at full bandwidth, halving effective bandwidth
+        doubles time: ``c = c_sat/2`` where ``c_sat`` saturates *its*
+        requirement; for compute-bound kernels the answer is lower —
+        bandwidth can degrade until ``Bτ(c) = I`` before time suffers at
+        all, then scales.
+        """
+        ideal = TimeModel(self.machine).time(profile)
+        # Time = max(W·tau_flop, Q/BW(c)); penalty 2 ⇒ Q/BW(c) = 2·ideal.
+        bw_needed = profile.traffic / (2.0 * ideal)
+        return bw_needed * self.memory.latency / self.memory.line_bytes

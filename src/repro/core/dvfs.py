@@ -1,0 +1,203 @@
+"""Dynamic voltage and frequency scaling on top of the basic model (§VI).
+
+The paper contrasts its algorithmic time-energy trade-off with the DVFS
+flavour — superlinear power-vs-frequency scaling that lets systems trade
+clock speed for energy.  This module adds that axis to the machine model
+so the two interact:
+
+Scaling model (the standard first-order one)
+--------------------------------------------
+At relative frequency ``s = f/f_nominal``:
+
+* compute throughput scales: ``τ_flop(s) = τ_flop/s``;
+* memory bandwidth does not (DRAM clocks separately): ``τ_mem`` fixed;
+* supply voltage tracks frequency linearly between ``v_floor`` and 1:
+  ``v(s) = v_floor + (1 − v_floor)·s``;
+* switching energy per op scales with ``v²``:
+  ``ε_flop(s) = ε_flop·v(s)²``; memory energy is unscaled;
+* constant power splits into static leakage (unscaled) and a clocked
+  part scaling with ``s·v(s)²``:
+  ``π0(s) = π0·[σ + (1 − σ)·s·v(s)²]`` with static fraction ``σ``.
+
+What this buys
+--------------
+:class:`DvfsMachine.machine_at` instantiates the full roofline/arch-line
+machinery at any operating point, and :meth:`energy_optimal_setting`
+answers the race-to-halt-vs-crawl question *quantitatively*: with high
+static power, running flat-out and halting wins (the paper's 2013
+reality); with mostly-dynamic constant power and a memory-bound kernel,
+slowing the clock to the bandwidth-matched frequency is greener.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+
+from repro.core.algorithm import AlgorithmProfile
+from repro.core.energy_model import EnergyModel
+from repro.core.params import MachineModel
+from repro.core.time_model import TimeModel
+from repro.exceptions import ParameterError
+
+__all__ = ["DvfsPolicy", "OperatingPoint", "DvfsMachine"]
+
+
+@dataclass(frozen=True, slots=True)
+class DvfsPolicy:
+    """How a machine's costs respond to frequency scaling.
+
+    Attributes
+    ----------
+    s_min, s_max:
+        Relative frequency range (1.0 = nominal).
+    v_floor:
+        Voltage at ``s -> 0`` as a fraction of nominal — transistors need
+        a threshold-ish minimum; typical ~0.6.
+    static_fraction:
+        Share of constant power that does not scale with the clock
+        (leakage, always-on uncore).  The race-to-halt knob.
+    """
+
+    s_min: float = 0.4
+    s_max: float = 1.0
+    v_floor: float = 0.6
+    static_fraction: float = 0.5
+
+    def __post_init__(self) -> None:
+        if not 0 < self.s_min <= self.s_max:
+            raise ParameterError("need 0 < s_min <= s_max")
+        if not 0.0 <= self.v_floor < 1.0:
+            raise ParameterError("v_floor must be in [0, 1)")
+        if not 0.0 <= self.static_fraction <= 1.0:
+            raise ParameterError("static_fraction must be in [0, 1]")
+
+    def voltage(self, s: float) -> float:
+        """Relative supply voltage at relative frequency ``s``."""
+        return self.v_floor + (1.0 - self.v_floor) * s
+
+    def flop_energy_scale(self, s: float) -> float:
+        """``ε_flop`` multiplier: ``v(s)²``."""
+        return self.voltage(s) ** 2
+
+    def constant_power_scale(self, s: float) -> float:
+        """``π0`` multiplier: static share + clocked share ``s·v(s)²``."""
+        return self.static_fraction + (1.0 - self.static_fraction) * s * self.voltage(
+            s
+        ) ** 2
+
+
+@dataclass(frozen=True, slots=True)
+class OperatingPoint:
+    """One DVFS setting's outcome for a specific algorithm."""
+
+    s: float
+    time: float
+    energy: float
+
+    @property
+    def power(self) -> float:
+        """Average power at this setting (W)."""
+        return self.energy / self.time
+
+
+class DvfsMachine:
+    """A machine plus its frequency-scaling behaviour."""
+
+    def __init__(self, base: MachineModel, policy: DvfsPolicy | None = None):
+        self.base = base
+        self.policy = policy or DvfsPolicy()
+
+    def machine_at(self, s: float) -> MachineModel:
+        """The full :class:`MachineModel` at relative frequency ``s``.
+
+        Every derived quantity — balances, arch lines, powerlines —
+        is available at the scaled point; note that ``Bτ`` shrinks with
+        ``s`` (slower clock, same bandwidth), moving kernels toward
+        compute-bound.
+        """
+        policy = self.policy
+        if not policy.s_min <= s <= policy.s_max:
+            raise ParameterError(
+                f"s={s} outside the policy range [{policy.s_min}, {policy.s_max}]"
+            )
+        return replace(
+            self.base,
+            name=f"{self.base.name} @ {s:.2f}f",
+            tau_flop=self.base.tau_flop / s,
+            eps_flop=self.base.eps_flop * policy.flop_energy_scale(s),
+            pi0=self.base.pi0 * policy.constant_power_scale(s),
+        )
+
+    def evaluate(self, profile: AlgorithmProfile, s: float) -> OperatingPoint:
+        """Time and energy for an algorithm at one frequency setting."""
+        machine = self.machine_at(s)
+        return OperatingPoint(
+            s=s,
+            time=TimeModel(machine).time(profile),
+            energy=EnergyModel(machine).energy(profile),
+        )
+
+    def sweep(
+        self, profile: AlgorithmProfile, *, steps: int = 25
+    ) -> list[OperatingPoint]:
+        """Evaluate the whole frequency range on a uniform grid."""
+        if steps < 2:
+            raise ParameterError("need at least 2 steps")
+        policy = self.policy
+        span = policy.s_max - policy.s_min
+        return [
+            self.evaluate(profile, policy.s_min + span * i / (steps - 1))
+            for i in range(steps)
+        ]
+
+    def energy_optimal_setting(
+        self, profile: AlgorithmProfile, *, tol: float = 1e-6
+    ) -> OperatingPoint:
+        """The frequency minimising total energy, by golden-section search.
+
+        ``E(s)`` is unimodal under this scaling model: pushing ``s`` up
+        raises per-flop switching energy (``v²``) but shortens the time
+        static power burns; the optimum sits where those derivatives
+        balance — at ``s_max`` exactly when static power dominates
+        (race-to-halt), in the interior when it does not.
+        """
+        policy = self.policy
+        lo, hi = policy.s_min, policy.s_max
+        inv_phi = (math.sqrt(5.0) - 1.0) / 2.0
+        a, b = lo, hi
+        c = b - inv_phi * (b - a)
+        d = a + inv_phi * (b - a)
+        fc = self.evaluate(profile, c).energy
+        fd = self.evaluate(profile, d).energy
+        while b - a > tol:
+            if fc < fd:
+                b, d, fd = d, c, fc
+                c = b - inv_phi * (b - a)
+                fc = self.evaluate(profile, c).energy
+            else:
+                a, c, fc = c, d, fd
+                d = a + inv_phi * (b - a)
+                fd = self.evaluate(profile, d).energy
+        s_star = (a + b) / 2.0
+        # The optimum may sit on a boundary; compare explicitly.
+        candidates = [
+            self.evaluate(profile, s) for s in (lo, s_star, hi)
+        ]
+        return min(candidates, key=lambda p: p.energy)
+
+    def race_to_halt_wins(self, profile: AlgorithmProfile) -> bool:
+        """Whether running at full frequency is (weakly) energy-optimal."""
+        best = self.energy_optimal_setting(profile)
+        full = self.evaluate(profile, self.policy.s_max)
+        return full.energy <= best.energy * (1.0 + 1e-9)
+
+    def bandwidth_matched_setting(self, profile: AlgorithmProfile) -> float:
+        """The frequency where the kernel becomes exactly balanced.
+
+        For a memory-bound kernel (``I < Bτ`` at nominal), slowing to
+        ``s = I/Bτ`` makes compute exactly keep pace with memory — the
+        classic DVFS target.  Clamped to the policy range.
+        """
+        s = profile.intensity / self.base.b_tau
+        return min(self.policy.s_max, max(self.policy.s_min, s))

@@ -1,0 +1,165 @@
+"""The energy model — eqs. (4)–(6) and the "arch line".
+
+Energy differs from time in two essential ways (§II-B):
+
+1. **Energy does not overlap.**  Every joule spent on arithmetic, memory
+   traffic, and baseline (constant) power must be paid — so the energy
+   cost is a *sum*, not a max, and the energy "roofline" is a smooth arch
+   rather than a sharp-cornered roof.
+2. **Constant energy.**  A machine burns constant power ``π0`` for the
+   entire duration ``T`` of a computation, coupling the energy model back
+   to the time model: slow code costs extra energy just by existing.
+
+The total energy is
+
+    ``E = W·ε_flop + Q·ε_mem + π0·T
+       = W·ε̂_flop · (1 + B̂ε(I)/I)``                           (eqs. 4–5)
+
+with the effective energy-balance ``B̂ε(I)`` of eq. (6) folding the
+constant-power term into an intensity-dependent communication penalty.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.algorithm import AlgorithmProfile
+from repro.core.params import MachineModel
+from repro.core.time_model import TimeBound, TimeModel
+from repro.exceptions import ParameterError
+
+__all__ = ["EnergyBreakdown", "EnergyModel"]
+
+
+@dataclass(frozen=True, slots=True)
+class EnergyBreakdown:
+    """Component energies for one (algorithm, machine) pairing (eq. 2)."""
+
+    flops: float
+    mem: float
+    constant: float
+
+    @property
+    def total(self) -> float:
+        """Total energy ``E = E_flops + E_mem + E0`` (J)."""
+        return self.flops + self.mem + self.constant
+
+    @property
+    def dynamic(self) -> float:
+        """Energy excluding the constant term (J)."""
+        return self.flops + self.mem
+
+    def fraction(self, component: str) -> float:
+        """Fraction of total energy spent on ``'flops'|'mem'|'constant'``."""
+        value = getattr(self, component)
+        return value / self.total
+
+
+class EnergyModel:
+    """Evaluate eqs. (4)–(6) for a fixed machine.
+
+    The energy model owns a :class:`TimeModel` because the constant-power
+    term ``π0·T`` requires execution time; both use the same overlapped
+    eq. (3) time.
+    """
+
+    def __init__(self, machine: MachineModel):
+        self.machine = machine
+        self.time_model = TimeModel(machine)
+
+    # ------------------------------------------------------------------
+    # Absolute quantities
+    # ------------------------------------------------------------------
+
+    def breakdown(self, profile: AlgorithmProfile) -> EnergyBreakdown:
+        """Component energies of eq. (2)/(4)."""
+        m = self.machine
+        t = self.time_model.time(profile)
+        return EnergyBreakdown(
+            flops=profile.work * m.eps_flop,
+            mem=profile.traffic * m.eps_mem,
+            constant=m.pi0 * t,
+        )
+
+    def energy(self, profile: AlgorithmProfile) -> float:
+        """Total energy ``E`` (J), eq. (4)."""
+        return self.breakdown(profile).total
+
+    def flops_per_joule(self, profile: AlgorithmProfile) -> float:
+        """Achieved energy efficiency ``W / E`` (flop/J)."""
+        return profile.work / self.energy(profile)
+
+    # ------------------------------------------------------------------
+    # Intensity-parameterised (arch-line) quantities
+    # ------------------------------------------------------------------
+
+    def energy_penalty(self, intensity: float) -> float:
+        """``B̂ε(I)/I`` — the effective energy communication penalty.
+
+        Unlike the time penalty this is paid *on top of* the ideal
+        (``1 + penalty``), because energy does not overlap.
+        """
+        self._check_intensity(intensity)
+        return self.machine.b_eps_hat(intensity) / intensity
+
+    def normalized_efficiency(self, intensity: float) -> float:
+        """The arch line ``W·ε̂_flop / E = 1 / (1 + B̂ε(I)/I) ∈ (0, 1)``.
+
+        The smooth blue curve of the paper's Fig. 2a: energy efficiency as
+        a fraction of the flop-only ideal.  Crosses 1/2 exactly at
+        ``I = B̂ε(I)`` (:attr:`MachineModel.effective_balance_crossing`);
+        with ``π0 = 0`` that point is the energy-balance ``Bε``.
+        """
+        return 1.0 / (1.0 + self.energy_penalty(intensity))
+
+    def attainable_gflops_per_joule(self, intensity: float) -> float:
+        """Arch line in absolute units (GFLOP/J, the paper's Fig. 4 axis)."""
+        return (
+            self.normalized_efficiency(intensity)
+            * self.machine.peak_gflops_per_joule
+        )
+
+    def energy_per_flop(self, intensity: float) -> float:
+        """``E / W`` at this intensity: ``ε̂_flop · (1 + B̂ε(I)/I)`` (J)."""
+        self._check_intensity(intensity)
+        return self.machine.eps_flop_hat * (1.0 + self.energy_penalty(intensity))
+
+    def classify(self, intensity: float) -> TimeBound:
+        """Memory- vs compute-bound *in energy* at this intensity.
+
+        The threshold is the effective balance crossing ``I = B̂ε(I)``:
+        below it, more than half the energy goes to communication plus
+        the constant power it forces.  When ``Bτ ≠ Bε`` this can disagree
+        with the time classification — the balance-gap phenomenon of §II-D.
+        """
+        self._check_intensity(intensity)
+        crossing = self.machine.effective_balance_crossing
+        if math.isclose(intensity, crossing, rel_tol=1e-9):
+            return TimeBound.BALANCED
+        return TimeBound.COMPUTE if intensity > crossing else TimeBound.MEMORY
+
+    # ------------------------------------------------------------------
+    # Consistency check (used heavily by tests)
+    # ------------------------------------------------------------------
+
+    def energy_closed_form(self, profile: AlgorithmProfile) -> float:
+        """Eq. (5): ``W·ε̂_flop·(1 + B̂ε(I)/I)``.
+
+        Mathematically identical to :meth:`energy` (which sums eq. 4
+        components); kept separate so tests can verify the paper's
+        algebraic refactoring eq. (4) -> eq. (5) holds for all parameters.
+        """
+        return profile.work * self.energy_per_flop(profile.intensity)
+
+    @staticmethod
+    def _check_intensity(intensity: float) -> None:
+        if not intensity > 0:
+            raise ParameterError(f"intensity must be positive, got {intensity}")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        m = self.machine
+        return (
+            f"EnergyModel({m.name!r}, B_eps={m.b_eps:.3g}, "
+            f"eta={m.eta_flop:.3g})"
+        )

@@ -1,0 +1,146 @@
+"""Fused time-energy metrics: EDP and friends (§VI "Metrics").
+
+The paper reasons directly in time, energy, and power, and notes that
+multi-objective trade-offs are often judged through fused metrics:
+
+* **energy-delay product** ``EDP = E·T`` (Gonzalez & Horowitz) and the
+  generalised ``ED^w P = E·T^w`` family — larger ``w`` weights delay
+  more heavily;
+* **flops per joule** (the Green500's FLOP/s-per-watt is the same
+  quantity) — the arch line's y-axis.
+
+This module evaluates those metrics under the eq. (3)/(5) models and
+answers the questions they raise: what does the *metric's* "roofline"
+look like as a function of intensity, and where do different metrics
+disagree about whether an optimisation helped?
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.algorithm import AlgorithmProfile
+from repro.core.energy_model import EnergyModel
+from repro.core.params import MachineModel
+from repro.core.time_model import TimeModel
+from repro.exceptions import ParameterError
+
+__all__ = ["MetricPoint", "FusedMetrics", "edp", "ed2p", "generalized_edp"]
+
+
+def edp(energy: float, time: float) -> float:
+    """Energy-delay product ``E·T`` (J·s)."""
+    return generalized_edp(energy, time, weight=1.0)
+
+
+def ed2p(energy: float, time: float) -> float:
+    """Energy-delay-squared product ``E·T²`` (J·s²).
+
+    Voltage-scaling-invariant under the classic ``E ∝ V²``, ``T ∝ 1/V``
+    model, which is why architects reach for it when judging DVFS.
+    """
+    return generalized_edp(energy, time, weight=2.0)
+
+
+def generalized_edp(energy: float, time: float, *, weight: float) -> float:
+    """``E·T^w`` — the fused-metric family; ``w = 0`` is plain energy."""
+    if energy < 0 or time < 0:
+        raise ParameterError("energy and time must be non-negative")
+    if weight < 0:
+        raise ParameterError(f"weight must be >= 0, got {weight}")
+    return energy * time**weight
+
+
+@dataclass(frozen=True, slots=True)
+class MetricPoint:
+    """All fused metrics for one (algorithm, machine) pairing."""
+
+    time: float
+    energy: float
+
+    @property
+    def power(self) -> float:
+        """Average power ``E/T`` (W)."""
+        return self.energy / self.time
+
+    @property
+    def edp(self) -> float:
+        """``E·T`` (J·s)."""
+        return edp(self.energy, self.time)
+
+    @property
+    def ed2p(self) -> float:
+        """``E·T²`` (J·s²)."""
+        return ed2p(self.energy, self.time)
+
+    def edwp(self, weight: float) -> float:
+        """``E·T^w``."""
+        return generalized_edp(self.energy, self.time, weight=weight)
+
+
+class FusedMetrics:
+    """Evaluate fused metrics under the roofline/arch-line models."""
+
+    def __init__(self, machine: MachineModel):
+        self.machine = machine
+        self.time_model = TimeModel(machine)
+        self.energy_model = EnergyModel(machine)
+
+    def evaluate(self, profile: AlgorithmProfile) -> MetricPoint:
+        """Metrics for a concrete algorithm."""
+        return MetricPoint(
+            time=self.time_model.time(profile),
+            energy=self.energy_model.energy(profile),
+        )
+
+    def edp_per_flop_squared(self, intensity: float) -> float:
+        """The intensity-parameterised EDP density ``(E/W)·(T/W)``.
+
+        For fixed work ``W``, ``EDP = W² · (E/W)(T/W)``; this per-``W²``
+        density is the natural roofline-style curve for EDP.  It is
+        strictly decreasing in intensity — raising intensity always
+        improves EDP, since it improves (or holds) both factors.
+        """
+        if intensity <= 0:
+            raise ParameterError(f"intensity must be positive, got {intensity}")
+        return self.energy_model.energy_per_flop(
+            intensity
+        ) * self.time_model.time_per_flop(intensity)
+
+    def improvement(
+        self, baseline: AlgorithmProfile, candidate: AlgorithmProfile
+    ) -> dict[str, float]:
+        """Ratios baseline/candidate for each metric (>1 = improvement).
+
+        Different metrics can genuinely disagree: a transformation that
+        trades a little extra energy for a large time win loses on
+        energy, wins on time, and the EDP family arbitrates by ``w``.
+        """
+        base = self.evaluate(baseline)
+        cand = self.evaluate(candidate)
+        return {
+            "time": base.time / cand.time,
+            "energy": base.energy / cand.energy,
+            "edp": base.edp / cand.edp,
+            "ed2p": base.ed2p / cand.ed2p,
+        }
+
+    def crossover_weight(
+        self, baseline: AlgorithmProfile, candidate: AlgorithmProfile
+    ) -> float | None:
+        """The EDP weight at which the two variants tie, if any.
+
+        Solves ``E_b·T_b^w = E_c·T_c^w``:
+        ``w* = ln(E_c/E_b) / ln(T_b/T_c)``.  Returns ``None`` when one
+        variant dominates (better in both time and energy) or they only
+        tie at negative weight.
+        """
+        base = self.evaluate(baseline)
+        cand = self.evaluate(candidate)
+        if base.time == cand.time:
+            return None
+        log_energy = math.log(cand.energy / base.energy)
+        log_time = math.log(base.time / cand.time)
+        w_star = log_energy / log_time
+        return w_star if w_star > 0 else None

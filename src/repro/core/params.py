@@ -1,0 +1,343 @@
+"""Machine characterisation: the cost coefficients of Table I.
+
+A machine, for the purposes of the model, is four throughput-based cost
+coefficients plus a constant-power term:
+
+=============  =====================================  ==================
+ symbol         meaning                                attribute
+=============  =====================================  ==================
+ ``tau_flop``   time per arithmetic operation (s)      :attr:`MachineModel.tau_flop`
+ ``tau_mem``    time per byte of slow-memory traffic   :attr:`MachineModel.tau_mem`
+ ``eps_flop``   energy per arithmetic operation (J)    :attr:`MachineModel.eps_flop`
+ ``eps_mem``    energy per byte (J)                    :attr:`MachineModel.eps_mem`
+ ``pi0``        constant power (W)                     :attr:`MachineModel.pi0`
+=============  =====================================  ==================
+
+Everything else in Table I is *derived*, and exposed as properties:
+time-balance ``B_tau``, energy-balance ``B_eps``, constant energy per flop
+``eps0``, effective flop energy ``eps_flop_hat``, constant-flop efficiency
+``eta_flop``, flop power ``pi_flop``, and the intensity-dependent effective
+energy-balance ``B_eps_hat(I)`` of eq. (6).
+
+The model intentionally uses *throughput* (not latency) cost values; see
+the paper's §II-B footnote 2 — this assumes sufficient concurrency, and a
+memory-bound computation is really memory-*bandwidth* bound.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+from typing import Iterable
+
+from repro.exceptions import ParameterError
+from repro.units import (
+    GIGA,
+    time_per_byte_from_gbytes,
+    time_per_flop_from_gflops,
+)
+
+__all__ = ["MachineModel", "effective_energy_balance"]
+
+
+def effective_energy_balance(
+    intensity: float,
+    b_tau: float,
+    b_eps: float,
+    eta_flop: float,
+) -> float:
+    """Effective energy-balance ``B̂ε(I)`` of eq. (6).
+
+    ``B̂ε(I) = η·Bε + (1 − η)·max(0, Bτ − I)``
+
+    The first term is the energy-balance discounted by the constant-flop
+    efficiency; the second charges constant energy burned during the
+    memory-bound stretch of execution (``I < Bτ``) to the communication
+    penalty.  With no constant power (``η = 1``) this reduces to ``Bε``.
+    """
+    if intensity <= 0:
+        raise ParameterError(f"intensity must be positive, got {intensity}")
+    if not 0.0 < eta_flop <= 1.0:
+        raise ParameterError(f"eta_flop must be in (0, 1], got {eta_flop}")
+    return eta_flop * b_eps + (1.0 - eta_flop) * max(0.0, b_tau - intensity)
+
+
+@dataclass(frozen=True, slots=True)
+class MachineModel:
+    """A machine in the model: cost coefficients plus derived balances.
+
+    Parameters
+    ----------
+    name:
+        Human-readable identifier, e.g. ``"NVIDIA GTX 580 (double)"``.
+    tau_flop:
+        Time per useful arithmetic operation, seconds per flop.
+    tau_mem:
+        Time per byte moved between slow and fast memory, seconds per byte.
+    eps_flop:
+        Energy per arithmetic operation, joules per flop.
+    eps_mem:
+        Energy per byte, joules per byte.
+    pi0:
+        Constant power, watts.  Burned for the entire duration of the
+        computation regardless of what it does.  Defaults to zero, the
+        idealised setting of the paper's Fig. 2.
+    power_cap:
+        Optional maximum sustained power (W), e.g. the GTX 580's 244 W
+        rating.  ``None`` disables the §V-B power-cap refinement.
+
+    Notes
+    -----
+    Instances are immutable; use :meth:`with_constant_power` or
+    :func:`dataclasses.replace` to derive variants (e.g. the paper's
+    "const=0" curves).
+    """
+
+    name: str
+    tau_flop: float
+    tau_mem: float
+    eps_flop: float
+    eps_mem: float
+    pi0: float = 0.0
+    power_cap: float | None = None
+
+    def __post_init__(self) -> None:
+        for attr in ("tau_flop", "tau_mem", "eps_flop", "eps_mem"):
+            value = getattr(self, attr)
+            if not (isinstance(value, (int, float)) and math.isfinite(value)):
+                raise ParameterError(f"{attr} must be a finite number, got {value!r}")
+            if value <= 0:
+                raise ParameterError(f"{attr} must be positive, got {value}")
+        if not math.isfinite(self.pi0) or self.pi0 < 0:
+            raise ParameterError(f"pi0 must be finite and >= 0, got {self.pi0}")
+        if self.power_cap is not None:
+            if not math.isfinite(self.power_cap) or self.power_cap <= 0:
+                raise ParameterError(f"power_cap must be positive, got {self.power_cap}")
+            if self.power_cap <= self.pi0:
+                raise ParameterError(
+                    f"power_cap ({self.power_cap} W) must exceed constant power "
+                    f"pi0 ({self.pi0} W); otherwise no work can ever run"
+                )
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_peaks(
+        cls,
+        name: str,
+        *,
+        gflops: float,
+        gbytes_per_s: float,
+        eps_flop: float,
+        eps_mem: float,
+        pi0: float = 0.0,
+        power_cap: float | None = None,
+    ) -> "MachineModel":
+        """Build a machine from peak throughputs (Table II derivation).
+
+        ``tau_flop`` and ``tau_mem`` are the reciprocals of the peak
+        arithmetic throughput (GFLOP/s) and memory bandwidth (GB/s).
+        """
+        return cls(
+            name=name,
+            tau_flop=time_per_flop_from_gflops(gflops),
+            tau_mem=time_per_byte_from_gbytes(gbytes_per_s),
+            eps_flop=eps_flop,
+            eps_mem=eps_mem,
+            pi0=pi0,
+            power_cap=power_cap,
+        )
+
+    def with_constant_power(self, pi0: float) -> "MachineModel":
+        """Return a copy with a different constant power.
+
+        ``machine.with_constant_power(0.0)`` produces the paper's
+        "const=0" hypothetical used in Figs. 4 and 5.
+        """
+        suffix = " (const=0)" if pi0 == 0.0 and self.pi0 != 0.0 else ""
+        return replace(self, name=self.name + suffix, pi0=pi0)
+
+    def with_power_cap(self, power_cap: float | None) -> "MachineModel":
+        """Return a copy with the power cap set (or removed with ``None``)."""
+        return replace(self, power_cap=power_cap)
+
+    # ------------------------------------------------------------------
+    # Derived quantities (Table I)
+    # ------------------------------------------------------------------
+
+    @property
+    def peak_flops(self) -> float:
+        """Peak arithmetic throughput, flop/s (``1/tau_flop``)."""
+        return 1.0 / self.tau_flop
+
+    @property
+    def peak_bandwidth(self) -> float:
+        """Peak memory bandwidth, B/s (``1/tau_mem``)."""
+        return 1.0 / self.tau_mem
+
+    @property
+    def peak_gflops(self) -> float:
+        """Peak arithmetic throughput in GFLOP/s."""
+        return self.peak_flops / GIGA
+
+    @property
+    def peak_gbytes(self) -> float:
+        """Peak memory bandwidth in GB/s."""
+        return self.peak_bandwidth / GIGA
+
+    @property
+    def b_tau(self) -> float:
+        """Time-balance ``Bτ = tau_mem / tau_flop`` (flops per byte).
+
+        The classical machine-balance point: the intensity above which a
+        perfectly overlapped computation is compute-bound in time.
+        """
+        return self.tau_mem / self.tau_flop
+
+    @property
+    def b_eps(self) -> float:
+        """Energy-balance ``Bε = eps_mem / eps_flop`` (flops per byte).
+
+        The intensity at which energy spent on flops equals energy spent
+        on memory traffic, ignoring constant power.
+        """
+        return self.eps_mem / self.eps_flop
+
+    @property
+    def eps0(self) -> float:
+        """Constant energy per flop, ``ε0 = π0 · tau_flop`` (J)."""
+        return self.pi0 * self.tau_flop
+
+    @property
+    def eps_flop_hat(self) -> float:
+        """Actual energy to execute one flop, ``ε̂ = ε_flop + ε0`` (J).
+
+        The minimum energy per flop achievable on this machine: the flop
+        itself plus the constant power burned while it executes at peak
+        throughput.
+        """
+        return self.eps_flop + self.eps0
+
+    @property
+    def eta_flop(self) -> float:
+        """Constant-flop energy efficiency ``η = ε_flop / ε̂ ∈ (0, 1]``.
+
+        Equals 1 exactly when the machine needs no constant power.
+        """
+        return self.eps_flop / self.eps_flop_hat
+
+    @property
+    def pi_flop(self) -> float:
+        """Power of flop execution excluding constant power,
+        ``π_flop = ε_flop / tau_flop`` (W)."""
+        return self.eps_flop / self.tau_flop
+
+    @property
+    def pi_mem(self) -> float:
+        """Power of saturated memory streaming excluding constant power,
+        ``π_mem = ε_mem / tau_mem`` (W).
+
+        Not named in the paper's Table I but implied by the powerline's
+        memory-bound limit: ``π_mem = π_flop · Bε / Bτ``.
+        """
+        return self.eps_mem / self.tau_mem
+
+    @property
+    def balance_gap(self) -> float:
+        """The balance gap ``Bε / Bτ`` (dimensionless, §II-D).
+
+        Values above 1 mean energy-efficiency is harder to reach than
+        time-efficiency (an algorithm can be compute-bound in time yet
+        memory-bound in energy); the paper finds values below ~1 on 2013
+        hardware once constant power is accounted for.
+        """
+        return self.b_eps / self.b_tau
+
+    @property
+    def peak_flops_per_joule(self) -> float:
+        """Best possible energy efficiency, flop/J: ``1/ε̂`` (flops only)."""
+        return 1.0 / self.eps_flop_hat
+
+    @property
+    def peak_gflops_per_joule(self) -> float:
+        """Best possible energy efficiency in GFLOP/J (paper's Fig. 4 axis)."""
+        return self.peak_flops_per_joule / GIGA
+
+    # ------------------------------------------------------------------
+    # Intensity-dependent derived quantities
+    # ------------------------------------------------------------------
+
+    def b_eps_hat(self, intensity: float) -> float:
+        """Effective energy-balance ``B̂ε(I)`` of eq. (6)."""
+        return effective_energy_balance(
+            intensity, self.b_tau, self.b_eps, self.eta_flop
+        )
+
+    @property
+    def effective_balance_crossing(self) -> float:
+        """The intensity where the arch line crosses half of peak efficiency.
+
+        Solves ``I = B̂ε(I)`` in closed form.  With ``π0 = 0`` this is just
+        ``Bε``; with constant power it shifts left (lower), which is what
+        makes race-to-halt effective on real machines (§V-B).  This is the
+        "effective energy-balance" the paper annotates on Fig. 4
+        (0.79 / 4.5 / 1.1 / 2.1 for its four device-precision cases).
+        """
+        eta = self.eta_flop
+        candidate = eta * self.b_eps
+        if candidate >= self.b_tau:
+            # Crossing falls in the compute-bound region where B̂ε is constant.
+            return candidate
+        # Crossing in the memory-bound region: I = η·Bε + (1−η)(Bτ − I).
+        return (eta * self.b_eps + (1.0 - eta) * self.b_tau) / (2.0 - eta)
+
+    # ------------------------------------------------------------------
+    # Presentation
+    # ------------------------------------------------------------------
+
+    def describe(self) -> str:
+        """Multi-line human-readable summary of raw and derived parameters."""
+        lines = [
+            f"machine: {self.name}",
+            f"  tau_flop  = {self.tau_flop:.4e} s/flop   (peak {self.peak_gflops:.2f} GFLOP/s)",
+            f"  tau_mem   = {self.tau_mem:.4e} s/B      (peak {self.peak_gbytes:.2f} GB/s)",
+            f"  eps_flop  = {self.eps_flop:.4e} J/flop  ({self.eps_flop * 1e12:.1f} pJ)",
+            f"  eps_mem   = {self.eps_mem:.4e} J/B     ({self.eps_mem * 1e12:.1f} pJ)",
+            f"  pi0       = {self.pi0:.2f} W",
+            f"  B_tau     = {self.b_tau:.3f} flop/B",
+            f"  B_eps     = {self.b_eps:.3f} flop/B",
+            f"  eta_flop  = {self.eta_flop:.4f}",
+            f"  B_eps_eff = {self.effective_balance_crossing:.3f} flop/B (arch-line y=1/2)",
+            f"  gap       = {self.balance_gap:.3f} (B_eps / B_tau)",
+            f"  peak eff  = {self.peak_gflops_per_joule:.3f} GFLOP/J",
+        ]
+        if self.power_cap is not None:
+            lines.append(f"  power cap = {self.power_cap:.1f} W")
+        return "\n".join(lines)
+
+    @staticmethod
+    def table(machines: Iterable["MachineModel"]) -> str:
+        """Render several machines as an aligned comparison table."""
+        rows = [
+            (
+                m.name,
+                f"{m.peak_gflops:.1f}",
+                f"{m.peak_gbytes:.1f}",
+                f"{m.b_tau:.2f}",
+                f"{m.b_eps:.2f}",
+                f"{m.effective_balance_crossing:.2f}",
+                f"{m.pi0:.0f}",
+            )
+            for m in machines
+        ]
+        header = ("machine", "GFLOP/s", "GB/s", "B_tau", "B_eps", "B_eps_eff", "pi0(W)")
+        widths = [
+            max(len(header[i]), *(len(r[i]) for r in rows)) if rows else len(header[i])
+            for i in range(len(header))
+        ]
+        fmt = "  ".join(f"{{:<{w}}}" for w in widths)
+        out = [fmt.format(*header), fmt.format(*("-" * w for w in widths))]
+        out.extend(fmt.format(*r) for r in rows)
+        return "\n".join(out)

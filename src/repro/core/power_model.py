@@ -1,0 +1,135 @@
+"""The power model — eqs. (7)–(8) and the "powerline".
+
+Average power is just ``P = E / T``; dividing eq. (5) by eq. (3) gives
+the closed form
+
+    ``P = (π_flop/η) · [ min(I,Bτ)/Bτ + B̂ε(I)/max(I,Bτ) ]``       (eq. 7)
+
+whose shape (the paper's Fig. 2b "power-line") has three landmarks:
+
+* **compute-bound limit** (``I → ∞``): ``P → π_flop/η = π_flop + π0`` —
+  flop power plus constant power;
+* **memory-bound limit** (``I → 0``): ``P → π_mem + π0`` where
+  ``π_mem = π_flop·Bε/Bτ`` — streaming power;
+* **maximum at ``I = Bτ``**: both pipelines saturated simultaneously,
+  ``P = π_flop + π_mem + π0 ≤ π_flop(1 + Bε/Bτ) + π0``        (eq. 8).
+
+The peak at the balance point is why power caps bite exactly where the
+roofline has its corner — the §V-B observation reproduced by
+:mod:`repro.core.powercap`.
+"""
+
+from __future__ import annotations
+
+from repro.core.algorithm import AlgorithmProfile
+from repro.core.energy_model import EnergyModel
+from repro.core.params import MachineModel
+from repro.core.time_model import TimeModel
+from repro.exceptions import ParameterError
+
+__all__ = ["PowerModel"]
+
+
+class PowerModel:
+    """Evaluate eq. (7) for a fixed machine."""
+
+    def __init__(self, machine: MachineModel):
+        self.machine = machine
+        self.time_model = TimeModel(machine)
+        self.energy_model = EnergyModel(machine)
+
+    # ------------------------------------------------------------------
+    # Absolute quantities
+    # ------------------------------------------------------------------
+
+    def average_power(self, profile: AlgorithmProfile) -> float:
+        """Average power ``P = E/T`` (W) for a concrete algorithm."""
+        return self.energy_model.energy(profile) / self.time_model.time(profile)
+
+    # ------------------------------------------------------------------
+    # Intensity-parameterised (powerline) quantities
+    # ------------------------------------------------------------------
+
+    def power(self, intensity: float) -> float:
+        """The powerline, eq. (7), in watts."""
+        self._check_intensity(intensity)
+        m = self.machine
+        b_tau = m.b_tau
+        b_eps_hat = m.b_eps_hat(intensity)
+        return (m.pi_flop / m.eta_flop) * (
+            min(intensity, b_tau) / b_tau + b_eps_hat / max(intensity, b_tau)
+        )
+
+    def normalized_power(self, intensity: float) -> float:
+        """Power relative to flop power.
+
+        With ``π0 = 0`` this is the paper's Fig. 2b axis (relative to
+        ``π_flop``); with ``π0 > 0`` the paper's Fig. 5 normalises to
+        flop-plus-constant power, ``π_flop + π0``, which is what this
+        method uses so that the compute-bound limit is always 1.
+        """
+        return self.power(intensity) / (self.machine.pi_flop + self.machine.pi0)
+
+    def power_ratio_check(self, profile: AlgorithmProfile) -> float:
+        """``(E/T) / P(I)`` — identically 1; exposed for test validation.
+
+        Verifies the paper's claim that eq. (7) follows from dividing
+        eq. (5) by eq. (3), for any concrete profile.
+        """
+        return self.average_power(profile) / self.power(profile.intensity)
+
+    # ------------------------------------------------------------------
+    # Landmarks
+    # ------------------------------------------------------------------
+
+    @property
+    def compute_bound_limit(self) -> float:
+        """``lim_{I→∞} P = π_flop + π0`` (W)."""
+        return self.machine.pi_flop + self.machine.pi0
+
+    @property
+    def memory_bound_limit(self) -> float:
+        """``lim_{I→0} P = π_mem + π0 = π_flop·Bε/Bτ + π0`` (W).
+
+        The paper's Fig. 2b lower dashed line (y = Bε/Bτ = 4.0 in units of
+        π_flop, for the Keckler-Fermi parameters with π0 = 0).
+        """
+        m = self.machine
+        return m.pi_flop * m.b_eps / m.b_tau + m.pi0
+
+    @property
+    def max_power(self) -> float:
+        """Peak of the powerline, attained at ``I = Bτ`` (eq. 8 + π0).
+
+        ``P_max = π_flop·(1 + Bε/Bτ) + π0`` — both pipelines saturated.
+        """
+        return self.power(self.machine.b_tau)
+
+    @property
+    def argmax_intensity(self) -> float:
+        """The intensity of maximum power: the time-balance point ``Bτ``."""
+        return self.machine.b_tau
+
+    def exceeds_cap(self, intensity: float) -> bool:
+        """Whether eq. (7) demands more than the machine's power cap.
+
+        Returns ``False`` when no cap is configured.  Where this is true,
+        the uncapped model over-predicts power and under-predicts time —
+        the discrepancy the paper observes for the GTX 580 in single
+        precision near ``Bτ`` (needs ~387 W against a 244 W rating).
+        """
+        cap = self.machine.power_cap
+        if cap is None:
+            return False
+        return self.power(intensity) > cap
+
+    @staticmethod
+    def _check_intensity(intensity: float) -> None:
+        if not intensity > 0:
+            raise ParameterError(f"intensity must be positive, got {intensity}")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"PowerModel({self.machine.name!r}, "
+            f"P_max={self.max_power:.3g} W at I={self.argmax_intensity:.3g})"
+        )

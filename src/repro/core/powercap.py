@@ -1,0 +1,191 @@
+"""Power-cap refinement of the basic model (§V-B, paper's stated extension).
+
+The basic powerline, eq. (7), peaks at the time-balance point and — on the
+GTX 580 in single precision — demands ~387 W against the card's 244 W
+rating.  Real hardware throttles instead: sustained power cannot exceed the
+cap, so near ``Bτ`` the machine runs *slower* than eq. (3) predicts, which
+is exactly the departure from the roofline the paper measures in Fig. 4b.
+
+Model
+-----
+Dynamic energy is work-determined (``E_dyn = W·ε_flop + Q·ε_mem`` must be
+spent regardless of speed), so a cap limits the *rate* at which dynamic
+energy can be converted:
+
+    ``T_capped = max(T_roofline, E_dyn / (P_cap − π0))``
+
+Consequences captured here:
+
+* capped time / throughput / normalized-performance curves (the sagging
+  roofline of Fig. 4b near ``Bτ``);
+* capped powerline: ``min(P_uncapped, P_cap)`` exactly (clipping);
+* total energy under the cap *rises* near ``Bτ`` because constant power
+  burns for the extended duration — a genuinely non-obvious interaction
+  that the capped energy model exposes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.algorithm import AlgorithmProfile
+from repro.core.energy_model import EnergyModel
+from repro.core.params import MachineModel
+from repro.core.power_model import PowerModel
+from repro.core.time_model import TimeModel
+from repro.exceptions import ParameterError
+
+__all__ = ["CapAnalysis", "CappedModel"]
+
+
+@dataclass(frozen=True, slots=True)
+class CapAnalysis:
+    """Where and how hard a machine's power cap binds.
+
+    ``interval`` is the intensity range over which the uncapped eq. (7)
+    exceeds the cap (``None`` when the cap never binds); ``peak_demand``
+    is the uncapped maximum power at ``I = Bτ``; ``worst_slowdown`` the
+    largest time dilation factor the cap forces.
+    """
+
+    cap: float
+    peak_demand: float
+    interval: tuple[float, float] | None
+    worst_slowdown: float
+
+    @property
+    def binds(self) -> bool:
+        """True when some intensity is throttled."""
+        return self.interval is not None
+
+
+class CappedModel:
+    """Time/energy/power model with an explicit sustained-power cap.
+
+    Falls back to the uncapped models when the machine declares no cap.
+    """
+
+    def __init__(self, machine: MachineModel):
+        self.machine = machine
+        self.time_model = TimeModel(machine)
+        self.energy_model = EnergyModel(machine)
+        self.power_model = PowerModel(machine)
+
+    # ------------------------------------------------------------------
+    # Per-intensity quantities
+    # ------------------------------------------------------------------
+
+    def _dynamic_power_budget(self) -> float | None:
+        cap = self.machine.power_cap
+        if cap is None:
+            return None
+        return cap - self.machine.pi0
+
+    def slowdown(self, intensity: float) -> float:
+        """Time dilation factor ``T_capped / T_roofline`` (≥ 1)."""
+        self._check_intensity(intensity)
+        budget = self._dynamic_power_budget()
+        if budget is None:
+            return 1.0
+        uncapped = self.power_model.power(intensity)
+        dynamic_demand = uncapped - self.machine.pi0
+        if dynamic_demand <= budget:
+            return 1.0
+        return dynamic_demand / budget
+
+    def time_per_flop(self, intensity: float) -> float:
+        """``T/W`` with throttling applied (s per flop)."""
+        return self.time_model.time_per_flop(intensity) * self.slowdown(intensity)
+
+    def time(self, profile: AlgorithmProfile) -> float:
+        """Capped execution time (s)."""
+        return profile.work * self.time_per_flop(profile.intensity)
+
+    def normalized_performance(self, intensity: float) -> float:
+        """Capped roofline: sags below ``min(1, I/Bτ)`` where the cap binds.
+
+        This is the curve that explains the paper's Fig. 4b single-precision
+        GPU measurements departing from the ideal roofline near ``Bτ``.
+        """
+        return self.time_model.normalized_performance(intensity) / self.slowdown(
+            intensity
+        )
+
+    def attainable_gflops(self, intensity: float) -> float:
+        """Capped roofline in absolute GFLOP/s."""
+        return self.normalized_performance(intensity) * self.machine.peak_gflops
+
+    def power(self, intensity: float) -> float:
+        """Capped average power: ``min(P_uncapped, P_cap)``.
+
+        Clipping is exact: during throttling the machine runs pinned at the
+        cap (dynamic energy spread over the dilated time plus π0 is the cap
+        by construction).
+        """
+        uncapped = self.power_model.power(intensity)
+        cap = self.machine.power_cap
+        return uncapped if cap is None else min(uncapped, cap)
+
+    def energy_per_flop(self, intensity: float) -> float:
+        """``E/W`` including extra constant energy burned while throttled.
+
+        Dynamic energy is unchanged by the cap; only the ``π0·T`` term
+        grows with the dilated time.
+        """
+        self._check_intensity(intensity)
+        m = self.machine
+        dynamic = m.eps_flop + m.eps_mem / intensity
+        return dynamic + m.pi0 * self.time_per_flop(intensity)
+
+    def energy(self, profile: AlgorithmProfile) -> float:
+        """Capped total energy (J)."""
+        return profile.work * self.energy_per_flop(profile.intensity)
+
+    def normalized_efficiency(self, intensity: float) -> float:
+        """Capped arch line (fraction of the *uncapped* flop-only peak)."""
+        return self.machine.eps_flop_hat / self.energy_per_flop(intensity)
+
+    # ------------------------------------------------------------------
+    # Cap structure analysis
+    # ------------------------------------------------------------------
+
+    def analyze(self, *, lo: float = 1e-3, hi: float = 1e6) -> CapAnalysis:
+        """Find the binding interval of the cap in closed form.
+
+        The uncapped powerline is strictly increasing below ``Bτ`` and
+        strictly decreasing above, so the set ``{I : P(I) > cap}`` is an
+        interval around ``Bτ`` whose endpoints solve ``P(I) = cap`` on each
+        monotone branch; we solve each branch analytically.
+        """
+        m = self.machine
+        cap = m.power_cap
+        peak = self.power_model.max_power
+        if cap is None or peak <= cap:
+            return CapAnalysis(
+                cap=cap if cap is not None else float("inf"),
+                peak_demand=peak,
+                interval=None,
+                worst_slowdown=1.0,
+            )
+        scale = m.pi_flop / m.eta_flop  # = pi_flop + pi0
+        eta = m.eta_flop
+        b_tau, b_eps = m.b_tau, m.b_eps
+        # Rising branch (I < Bτ): P = scale*(eta*I/Bτ + eta*Bε/Bτ + (1−eta)).
+        lo_root = (cap / scale - (1.0 - eta)) * b_tau / eta - b_eps
+        lo_root = max(lo_root, lo)
+        # Falling branch (I > Bτ): P = scale*(1 + eta*Bε/I).
+        frac = cap / scale - 1.0
+        hi_root = hi if frac <= 0 else eta * b_eps / frac
+        hi_root = min(hi_root, hi)
+        worst = self.slowdown(b_tau)
+        return CapAnalysis(
+            cap=cap,
+            peak_demand=peak,
+            interval=(float(lo_root), float(hi_root)),
+            worst_slowdown=worst,
+        )
+
+    @staticmethod
+    def _check_intensity(intensity: float) -> None:
+        if not intensity > 0:
+            raise ParameterError(f"intensity must be positive, got {intensity}")

@@ -1,0 +1,130 @@
+"""Mixed-precision time/energy analysis (§VI: Dongarra et al.).
+
+The related work observes "the energy benefits of mixed-precision".
+Our machine catalog carries per-precision coefficients (a double flop
+costs 2.1x the energy of a single flop on the GTX 580; double peak is
+1/8 of single), so the model can price precision choices directly:
+
+* run a workload fully in double, fully in single, or **mixed** — a
+  fraction ``rho`` of the work in single precision with its traffic
+  shrunk by the word-size ratio (the iterative-refinement pattern:
+  bulk work cheap, a residual pass exact);
+* report speedup and greenup of each choice over the double baseline.
+
+The single- and double-precision machines must describe the *same*
+device (same bandwidth, same constant power); the constructor checks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.algorithm import AlgorithmProfile
+from repro.core.energy_model import EnergyModel
+from repro.core.params import MachineModel
+from repro.core.time_model import TimeModel
+from repro.exceptions import ParameterError
+
+__all__ = ["PrecisionOutcome", "MixedPrecisionAnalyzer"]
+
+
+@dataclass(frozen=True, slots=True)
+class PrecisionOutcome:
+    """Cost of one precision strategy, with ratios vs the double baseline."""
+
+    label: str
+    time: float
+    energy: float
+    speedup: float
+    greenup: float
+
+
+class MixedPrecisionAnalyzer:
+    """Price double / single / mixed execution of a workload."""
+
+    def __init__(self, single: MachineModel, double: MachineModel):
+        if abs(single.tau_mem - double.tau_mem) > 1e-18:
+            raise ParameterError(
+                "single and double machines must share memory bandwidth "
+                "(they describe one device)"
+            )
+        if single.pi0 != double.pi0:
+            raise ParameterError(
+                "single and double machines must share constant power"
+            )
+        if single.eps_flop >= double.eps_flop:
+            raise ParameterError(
+                "single-precision flops should cost less energy than double"
+            )
+        self.single = single
+        self.double = double
+
+    # ------------------------------------------------------------------
+
+    def _cost(self, machine: MachineModel, profile: AlgorithmProfile) -> tuple[float, float]:
+        return (
+            TimeModel(machine).time(profile),
+            EnergyModel(machine).energy(profile),
+        )
+
+    def evaluate(
+        self, profile: AlgorithmProfile, *, single_fraction: float
+    ) -> PrecisionOutcome:
+        """Cost with a fraction ``rho`` of work done in single precision.
+
+        The single part's memory traffic halves (4 B words instead of
+        8 B); phases run sequentially (no precision overlap on one
+        device), so times and energies add.
+        """
+        if not 0.0 <= single_fraction <= 1.0:
+            raise ParameterError(
+                f"single_fraction must be in [0, 1], got {single_fraction}"
+            )
+        rho = single_fraction
+        t = e = 0.0
+        if rho > 0.0:
+            part = AlgorithmProfile(
+                work=profile.work * rho,
+                traffic=profile.traffic * rho / 2.0,
+                name=f"{profile.name}[single]",
+            )
+            dt, de = self._cost(self.single, part)
+            t, e = t + dt, e + de
+        if rho < 1.0:
+            part = AlgorithmProfile(
+                work=profile.work * (1.0 - rho),
+                traffic=profile.traffic * (1.0 - rho),
+                name=f"{profile.name}[double]",
+            )
+            dt, de = self._cost(self.double, part)
+            t, e = t + dt, e + de
+        base_t, base_e = self._cost(self.double, profile)
+        label = {0.0: "double", 1.0: "single"}.get(rho, f"mixed(rho={rho:g})")
+        return PrecisionOutcome(
+            label=label,
+            time=t,
+            energy=e,
+            speedup=base_t / t,
+            greenup=base_e / e,
+        )
+
+    def compare(
+        self, profile: AlgorithmProfile, *, fractions: tuple[float, ...] = (0.0, 0.5, 0.9, 1.0)
+    ) -> list[PrecisionOutcome]:
+        """Evaluate several strategies, double-first."""
+        return [self.evaluate(profile, single_fraction=r) for r in fractions]
+
+    def describe(self, profile: AlgorithmProfile) -> str:
+        """Comparison table for a workload."""
+        rows = self.compare(profile)
+        lines = [
+            f"mixed-precision analysis: {profile.name} "
+            f"(I = {profile.intensity:g} flop/B double)",
+            f"{'strategy':<18}{'time':>12}{'energy':>12}{'speedup':>9}{'greenup':>9}",
+        ]
+        for row in rows:
+            lines.append(
+                f"{row.label:<18}{row.time:>11.4g}s{row.energy:>11.4g}J"
+                f"{row.speedup:>9.2f}{row.greenup:>9.2f}"
+            )
+        return "\n".join(lines)

@@ -1,0 +1,115 @@
+"""Parameter sensitivity: which machine improvements matter? (§V-B, §VII)
+
+The paper closes on architects' questions: *to what extent will π0 go
+toward 0, and to what extent will microarchitectural inefficiencies
+reduce?*  — i.e., which cost coefficient most constrains energy
+efficiency for a given workload.  This module answers that with exact
+elasticities of the energy model.
+
+For ``E = W·ε_flop + Q·ε_mem + π0·T`` the elasticity of ``E`` with
+respect to a parameter ``p`` is ``(p/E)·∂E/∂p`` — the fractional energy
+change per fractional parameter change.  The three energy elasticities
+are simply the component energy fractions (E is linear in each); the
+time-cost elasticities act through the ``π0·T`` term and are nonzero
+only for the binding time component.  All elasticities are
+non-negative and the energy ones sum to 1 — invariants the tests check.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.algorithm import AlgorithmProfile
+from repro.core.energy_model import EnergyModel
+from repro.core.params import MachineModel
+from repro.core.time_model import TimeBound, TimeModel
+
+__all__ = ["EnergySensitivity", "energy_sensitivity", "whatif_pi0_zero"]
+
+
+@dataclass(frozen=True, slots=True)
+class EnergySensitivity:
+    """Elasticities of total energy w.r.t. each machine parameter.
+
+    Each value answers: "if this parameter improved by 1%, by what
+    percentage would this workload's energy fall?"
+    """
+
+    eps_flop: float
+    eps_mem: float
+    pi0: float
+    tau_flop: float
+    tau_mem: float
+
+    @property
+    def ranked(self) -> list[tuple[str, float]]:
+        """Parameters sorted by leverage, biggest first."""
+        items = [
+            ("eps_flop", self.eps_flop),
+            ("eps_mem", self.eps_mem),
+            ("pi0", self.pi0),
+            ("tau_flop", self.tau_flop),
+            ("tau_mem", self.tau_mem),
+        ]
+        return sorted(items, key=lambda kv: kv[1], reverse=True)
+
+    def describe(self) -> str:
+        lines = ["energy elasticities (1% parameter cut -> x% energy cut):"]
+        for name, value in self.ranked:
+            lines.append(f"  {name:<10} {value:7.4f}")
+        return "\n".join(lines)
+
+
+def energy_sensitivity(
+    machine: MachineModel, profile: AlgorithmProfile
+) -> EnergySensitivity:
+    """Exact elasticities of eq. (4) energy for one workload.
+
+    Derivation: with ``E = W ε_f + Q ε_m + π0 T``,
+
+    * ``∂E/∂ε_f · ε_f/E = E_flops/E`` (and analogously ε_m, π0);
+    * ``T = max(W τ_f, Q τ_m)`` depends only on the binding component,
+      so ``∂E/∂τ_f · τ_f/E = E_const/E`` when compute-bound in time,
+      0 when memory-bound (and vice versa for ``τ_m``).  At the exact
+      balance point we attribute the constant term to both sides
+      (subgradient choice; measure-zero in practice).
+    """
+    energy_model = EnergyModel(machine)
+    breakdown = energy_model.breakdown(profile)
+    total = breakdown.total
+    const_share = breakdown.constant / total
+
+    bound = TimeModel(machine).classify(profile.intensity)
+    tau_flop_share = const_share if bound in (TimeBound.COMPUTE, TimeBound.BALANCED) else 0.0
+    tau_mem_share = const_share if bound in (TimeBound.MEMORY, TimeBound.BALANCED) else 0.0
+
+    return EnergySensitivity(
+        eps_flop=breakdown.flops / total,
+        eps_mem=breakdown.mem / total,
+        pi0=const_share,
+        tau_flop=tau_flop_share,
+        tau_mem=tau_mem_share,
+    )
+
+
+def whatif_pi0_zero(
+    machine: MachineModel, profile: AlgorithmProfile
+) -> dict[str, float]:
+    """The paper's π0 → 0 thought experiment for one workload.
+
+    Returns the energy saving, the balance-gap change, and whether the
+    race-to-halt verdict flips — the Fig. 4a "const=0" scenario made
+    quantitative.
+    """
+    base_energy = EnergyModel(machine).energy(profile)
+    zero = machine.with_constant_power(0.0)
+    zero_energy = EnergyModel(zero).energy(profile)
+    return {
+        "energy_saving": 1.0 - zero_energy / base_energy,
+        "effective_gap_before": machine.effective_balance_crossing / machine.b_tau,
+        "effective_gap_after": zero.effective_balance_crossing / zero.b_tau,
+        "race_to_halt_flips": float(
+            (machine.effective_balance_crossing <= machine.b_tau)
+            != (zero.effective_balance_crossing <= zero.b_tau)
+        ),
+    }

@@ -1,0 +1,190 @@
+"""Work–communication trade-offs: speedups, greenups, and eq. (10) (§VII).
+
+An algorithmic transformation that does ``f ≥ 1`` times the work to cut
+communication by ``m ≥ 1`` — e.g. recomputation instead of spilling,
+communication-avoiding variants — takes the baseline ``(W, Q)`` to
+``(f·W, Q/m)``.  This module answers the paper's closing question: *under
+what conditions on (f, m) do we get a speedup, a greenup, both, or
+neither?*
+
+The paper's eq. (10) gives the π0 = 0 greenup condition
+
+    ``ΔE > 1  ⟺  f < 1 + (m−1)/m · Bε/I``
+
+with the hard ceiling ``f < 1 + Bε/I`` even as ``m → ∞``, tightening to
+``f < 1 + Bε/Bτ`` for an already compute-bound baseline.  We implement the
+exact ratios for arbitrary π0 (constant power couples energy back to the
+max-based time model, so the general condition is piecewise), plus the
+closed-form π0 = 0 threshold for direct comparison with the paper.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.algorithm import AlgorithmProfile
+from repro.core.energy_model import EnergyModel
+from repro.core.params import MachineModel
+from repro.core.time_model import TimeModel
+from repro.exceptions import ParameterError
+
+__all__ = [
+    "TradeOutcome",
+    "TradeoffPoint",
+    "TradeoffAnalyzer",
+    "greenup_threshold_work",
+    "greenup_work_ceiling",
+]
+
+
+class TradeOutcome(enum.Enum):
+    """Joint classification of a candidate ``(f, m)`` transformation."""
+
+    BOTH = "speedup and greenup"
+    SPEEDUP_ONLY = "speedup only"
+    GREENUP_ONLY = "greenup only"
+    NEITHER = "neither"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+def greenup_threshold_work(*, m: float, b_eps: float, intensity: float) -> float:
+    """Eq. (10)'s right-hand side: the largest work inflation with ΔE > 1.
+
+    ``f* = 1 + (m−1)/m · Bε/I`` — valid for π0 = 0.  ``m = 1`` gives
+    ``f* = 1``: with no communication savings, any extra work loses.
+    """
+    if m < 1:
+        raise ParameterError(f"m must be >= 1, got {m}")
+    if intensity <= 0 or b_eps <= 0:
+        raise ParameterError("intensity and b_eps must be positive")
+    return 1.0 + (m - 1.0) / m * b_eps / intensity
+
+
+def greenup_work_ceiling(*, b_eps: float, intensity: float) -> float:
+    """The ``m → ∞`` hard upper limit on work inflation: ``1 + Bε/I``.
+
+    Even eliminating communication entirely cannot pay for more extra work
+    than this.  For a compute-bound baseline (``I ≥ Bτ``) substitute
+    ``I = Bτ`` for the loosest case: ``f < 1 + Bε/Bτ``.
+    """
+    if intensity <= 0 or b_eps <= 0:
+        raise ParameterError("intensity and b_eps must be positive")
+    return 1.0 + b_eps / intensity
+
+
+@dataclass(frozen=True, slots=True)
+class TradeoffPoint:
+    """Evaluation of one ``(f, m)`` candidate against a baseline.
+
+    ``speedup = T_baseline / T_new`` and ``greenup = E_baseline / E_new``
+    (the paper's ΔE); values above 1 are improvements.
+    """
+
+    f: float
+    m: float
+    speedup: float
+    greenup: float
+
+    @property
+    def outcome(self) -> TradeOutcome:
+        faster = self.speedup > 1.0
+        greener = self.greenup > 1.0
+        if faster and greener:
+            return TradeOutcome.BOTH
+        if faster:
+            return TradeOutcome.SPEEDUP_ONLY
+        if greener:
+            return TradeOutcome.GREENUP_ONLY
+        return TradeOutcome.NEITHER
+
+
+class TradeoffAnalyzer:
+    """Explore the ``(f, m)`` plane for a baseline algorithm on a machine."""
+
+    def __init__(self, machine: MachineModel, baseline: AlgorithmProfile):
+        self.machine = machine
+        self.baseline = baseline
+        self._time = TimeModel(machine)
+        self._energy = EnergyModel(machine)
+        self._t0 = self._time.time(baseline)
+        self._e0 = self._energy.energy(baseline)
+
+    def evaluate(self, f: float, m: float) -> TradeoffPoint:
+        """Exact speedup and greenup of the ``(f·W, Q/m)`` variant.
+
+        Valid for any π0 ≥ 0; uses the full eq. (3)/(4) models rather than
+        the π0 = 0 closed form.
+        """
+        if f <= 0 or m <= 0:
+            raise ParameterError(f"f and m must be positive, got f={f}, m={m}")
+        new = self.baseline.with_work_trade(f, m)
+        return TradeoffPoint(
+            f=f,
+            m=m,
+            speedup=self._t0 / self._time.time(new),
+            greenup=self._e0 / self._energy.energy(new),
+        )
+
+    def greenup_threshold(self, m: float) -> float:
+        """Closed-form eq. (10) threshold for this baseline (π0 = 0 form)."""
+        return greenup_threshold_work(
+            m=m, b_eps=self.machine.b_eps, intensity=self.baseline.intensity
+        )
+
+    def exact_greenup_threshold(self, m: float, *, tol: float = 1e-12) -> float:
+        """The exact work-inflation threshold with π0 ≥ 0, by bisection.
+
+        Solves ``greenup(f, m) = 1`` for ``f``.  Greenup is strictly
+        decreasing in ``f`` (more work always costs more energy), so the
+        root is unique.  With π0 = 0 this agrees with eq. (10) — a
+        property tests verify.
+        """
+        if m < 1:
+            raise ParameterError(f"m must be >= 1, got {m}")
+        lo = 1.0
+        if self.evaluate(lo, m).greenup <= 1.0 + tol:
+            return 1.0
+        hi = 2.0
+        while self.evaluate(hi, m).greenup > 1.0:
+            hi *= 2.0
+            if hi > 1e12:  # pragma: no cover - defensive
+                raise ParameterError("greenup threshold diverged")
+        for _ in range(200):
+            mid = 0.5 * (lo + hi)
+            if self.evaluate(mid, m).greenup > 1.0:
+                lo = mid
+            else:
+                hi = mid
+            if hi - lo < tol * hi:
+                break
+        return 0.5 * (lo + hi)
+
+    def frontier(
+        self, m_values: np.ndarray | list[float]
+    ) -> list[tuple[float, float, float]]:
+        """For each ``m``: (m, eq.(10) threshold, exact π0-aware threshold).
+
+        The gap between the two columns quantifies how constant power
+        *expands* the greenup region (slower baselines burn more π0·T, so
+        trading work for communication pays off sooner... or contracts it,
+        depending on which side of Bτ the trade lands).
+        """
+        return [
+            (float(m), self.greenup_threshold(float(m)), self.exact_greenup_threshold(float(m)))
+            for m in m_values
+        ]
+
+    def outcome_grid(
+        self,
+        f_values: np.ndarray | list[float],
+        m_values: np.ndarray | list[float],
+    ) -> list[list[TradeoffPoint]]:
+        """Dense evaluation of the (f, m) plane; rows are f, columns m."""
+        return [
+            [self.evaluate(float(f), float(m)) for m in m_values] for f in f_values
+        ]

@@ -1,0 +1,114 @@
+"""Work-depth (latency-aware) refinement of the time model.
+
+The basic model's throughput cost constants assume *sufficient
+concurrency* (§II-B, and the paper's limitation 1 in §VII, deferring to
+Czechowski et al.'s balance-principles work).  When an algorithm's
+critical path ``D`` (its *depth*) is long relative to ``W/P`` on ``P``
+processors, Brent's bound governs arithmetic time:
+
+    ``T_flops = (W/P + D) · τ_flop``
+
+and the roofline's compute ceiling drops by the utilisation factor
+``(W/P) / (W/P + D)``.  Because energy carries the ``π0·T`` term, poor
+concurrency costs energy too — low-depth algorithms are greener on
+constant-power-dominated machines, which this module quantifies.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.algorithm import AlgorithmProfile
+from repro.core.params import MachineModel
+from repro.exceptions import ParameterError, ProfileError
+
+__all__ = ["DepthProfile", "WorkDepthTimeModel"]
+
+
+@dataclass(frozen=True, slots=True)
+class DepthProfile:
+    """An algorithm with an explicit critical path.
+
+    ``depth`` is the length of the longest chain of dependent operations,
+    in the same units as ``base.work`` (flops).  ``depth <= work`` always.
+    """
+
+    base: AlgorithmProfile
+    depth: float
+
+    def __post_init__(self) -> None:
+        if not math.isfinite(self.depth) or self.depth <= 0:
+            raise ProfileError(f"depth must be positive, got {self.depth}")
+        if self.depth > self.base.work:
+            raise ProfileError(
+                f"depth ({self.depth}) cannot exceed work ({self.base.work})"
+            )
+
+    @property
+    def parallelism(self) -> float:
+        """Average available parallelism ``W / D``."""
+        return self.base.work / self.depth
+
+
+class WorkDepthTimeModel:
+    """Brent-bound time model on ``P`` lanes of ``1/τ_flop`` throughput each.
+
+    The machine's ``τ_flop`` is interpreted as the *aggregate* peak (the
+    same convention as the basic model); a single lane therefore runs at
+    ``P·τ_flop`` per flop.  Memory time keeps the throughput model — the
+    refinement targets arithmetic latency only, matching the paper's
+    framing.
+    """
+
+    def __init__(self, machine: MachineModel, processors: int):
+        if processors < 1:
+            raise ParameterError(f"processors must be >= 1, got {processors}")
+        self.machine = machine
+        self.processors = processors
+
+    def flop_time(self, profile: DepthProfile) -> float:
+        """``T_flops = (W/P + D)·(P·τ_flop_lane)`` with lane time derived.
+
+        With aggregate peak ``1/τ_flop`` over ``P`` lanes, one lane does a
+        flop in ``P·τ_flop``; Brent gives
+        ``T = (W/P + D)·P·τ_flop = (W + P·D)·τ_flop``.
+        At full concurrency (``D → W/parallelism`` small) this tends to
+        the basic model's ``W·τ_flop``.
+        """
+        w = profile.base.work
+        return (w + self.processors * profile.depth) * self.machine.tau_flop
+
+    def time(self, profile: DepthProfile) -> float:
+        """Overlapped total time with latency-limited arithmetic."""
+        mem = profile.base.traffic * self.machine.tau_mem
+        return max(self.flop_time(profile), mem)
+
+    def utilization(self, profile: DepthProfile) -> float:
+        """Fraction of peak arithmetic throughput achieved, ``∈ (0, 1]``."""
+        ideal = profile.base.work * self.machine.tau_flop
+        return ideal / self.flop_time(profile)
+
+    def energy(self, profile: DepthProfile) -> float:
+        """Eq. (4) energy with the latency-refined time in the π0 term.
+
+        Dynamic energy is still work-determined; only constant energy
+        grows when depth stretches execution.
+        """
+        base = profile.base
+        return (
+            base.work * self.machine.eps_flop
+            + base.traffic * self.machine.eps_mem
+            + self.machine.pi0 * self.time(profile)
+        )
+
+    def energy_overhead_vs_ideal(self, profile: DepthProfile) -> float:
+        """Ratio of this energy to the basic (infinite-concurrency) energy.
+
+        Equals 1 when π0 = 0 (energy is then depth-independent) — a model
+        property tests verify; grows with depth otherwise.
+        """
+        from repro.core.energy_model import EnergyModel
+
+        ideal = EnergyModel(self.machine).energy(profile.base)
+        return self.energy(profile) / ideal

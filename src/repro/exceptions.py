@@ -1,0 +1,58 @@
+"""Typed exception hierarchy for the energy-roofline library.
+
+All library-raised errors derive from :class:`ReproError` so callers can
+catch model-level failures without masking programming errors.  Input
+validation raises the most specific subclass available; ``ValueError`` and
+``TypeError`` from the standard library are reserved for trivially local
+argument checks (e.g. a negative count passed to a pure helper).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by :mod:`repro`."""
+
+
+class ParameterError(ReproError, ValueError):
+    """A machine or algorithm parameter is out of its physical domain.
+
+    Examples: negative time-per-flop, zero memory traffic with nonzero
+    intensity requested, constant power below zero.
+    """
+
+
+class ProfileError(ReproError, ValueError):
+    """An algorithm profile (W, Q) is inconsistent or unsupported."""
+
+
+class FittingError(ReproError, RuntimeError):
+    """Linear-regression fitting failed (rank deficiency, too few points)."""
+
+
+class MeasurementError(ReproError, RuntimeError):
+    """A simulated measurement session was misconfigured or failed."""
+
+
+class SamplingError(MeasurementError):
+    """Sampling-rate or channel configuration violates device limits.
+
+    PowerMon 2 supports at most 1024 Hz per channel and 3072 Hz aggregate;
+    exceeding either raises this error, mirroring the real device's limits.
+    """
+
+
+class SimulationError(ReproError, RuntimeError):
+    """The device simulator was asked to execute an invalid kernel."""
+
+
+class AutotuneError(ReproError, RuntimeError):
+    """The microbenchmark auto-tuner could not find a feasible configuration."""
+
+
+class ExperimentError(ReproError, RuntimeError):
+    """An experiment in :mod:`repro.experiments` failed or is unknown."""
+
+
+class TreeError(ReproError, ValueError):
+    """FMM spatial-tree construction received invalid geometry."""

@@ -1,0 +1,51 @@
+"""Experiment harness: one module per table/figure of the paper.
+
+Every experiment is a callable registered in
+:mod:`repro.experiments.registry` that returns an
+:class:`~repro.experiments.registry.ExperimentResult` — a rendered text
+report plus the key numbers as a dict (which the benchmark harness
+prints and the tests assert against).
+
+=============  ===============================================
+ id             paper artefact
+=============  ===============================================
+ ``table2``     Table II — Keckler-Fermi model parameters
+ ``table3``     Table III — platform spec sheet
+ ``fig1``       Fig. 1 — two-level model scope, scale-checked
+ ``fig2``       Fig. 2a/2b — roofline vs arch line; powerline
+ ``fig3``       Fig. 3 — probe placement, validated as configuration
+ ``fig4``       Fig. 4a/4b — measured vs model, time and energy
+ ``table4``     Table IV — regression-fitted energy coefficients
+ ``fig5``       Fig. 5a/5b — measured powerlines and the power cap
+ ``fmm``        §V-C — FMM U-list cache-energy study
+ ``greenup``    eq. (10) — work–communication trade-off frontier
+=============  ===============================================
+"""
+
+from repro.experiments.registry import (
+    ExperimentResult,
+    get_experiment,
+    list_experiments,
+    run_experiment,
+)
+
+# Importing the modules registers their experiments.
+from repro.experiments import (  # noqa: F401  (registration side effects)
+    fig1,
+    fig2,
+    fig3,
+    fig4,
+    fig5,
+    fmm_study,
+    greenup,
+    table2,
+    table3,
+    table4,
+)
+
+__all__ = [
+    "ExperimentResult",
+    "get_experiment",
+    "list_experiments",
+    "run_experiment",
+]

@@ -1,0 +1,77 @@
+"""Shared sweep infrastructure for the measurement-driven experiments.
+
+Figures 4 and 5 and Table IV all consume the same four intensity sweeps
+(GPU/CPU × single/double).  This module runs them once per process and
+memoises the results, keyed by the sweep configuration, so running
+several experiments in one session does not repeat the (deterministic)
+simulated measurement campaign.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+import numpy as np
+
+from repro.config import DEFAULT_SEED
+from repro.core.params import MachineModel
+from repro.machines.catalog import (
+    gtx580_double,
+    gtx580_single,
+    i7_950_double,
+    i7_950_single,
+)
+from repro.microbench.sweep import IntensitySweep, SweepResult
+from repro.simulator.device import DeviceTruth, gtx580_truth, i7_950_truth
+from repro.simulator.kernel import Precision
+
+__all__ = ["PANELS", "panel_machine", "panel_truth", "run_panel", "panel_intensities"]
+
+#: The four device-precision panels of Figs. 4 and 5, in paper order.
+PANELS: tuple[tuple[str, str], ...] = (
+    ("gpu", "double"),
+    ("cpu", "double"),
+    ("gpu", "single"),
+    ("cpu", "single"),
+)
+
+
+def panel_truth(device: str) -> DeviceTruth:
+    """Device ground truth for a panel key (``"gpu"`` or ``"cpu"``)."""
+    return gtx580_truth() if device == "gpu" else i7_950_truth()
+
+
+def panel_machine(device: str, precision: str) -> MachineModel:
+    """The Table III+IV catalog machine for a panel."""
+    table = {
+        ("gpu", "single"): gtx580_single,
+        ("gpu", "double"): gtx580_double,
+        ("cpu", "single"): i7_950_single,
+        ("cpu", "double"): i7_950_double,
+    }
+    return table[(device, precision)]()
+
+
+def panel_intensities(precision: str, *, points_per_octave: int = 2) -> tuple[float, ...]:
+    """The paper's intensity grids: 1/4..16 (double), 1/4..64 (single)."""
+    hi = 4.0 if precision == "double" else 6.0  # log2 upper bound
+    n = int((hi + 2.0) * points_per_octave) + 1
+    return tuple(float(2.0 ** x) for x in np.linspace(-2.0, hi, n))
+
+
+@lru_cache(maxsize=None)
+def run_panel(
+    device: str,
+    precision: str,
+    *,
+    points_per_octave: int = 2,
+    seed: int = DEFAULT_SEED,
+) -> SweepResult:
+    """Run (or fetch the memoised) sweep for one panel."""
+    truth = panel_truth(device)
+    sweep = IntensitySweep(
+        truth,
+        precision=Precision.DOUBLE if precision == "double" else Precision.SINGLE,
+        seed=seed,
+    )
+    return sweep.run(list(panel_intensities(precision, points_per_octave=points_per_octave)))

@@ -1,0 +1,71 @@
+"""Fig. 2: rooflines versus arch lines, and the powerline.
+
+Fig. 2a plots the normalized time roofline against the energy arch line
+for the Keckler-Fermi parameters (π0 = 0): the roofline kinks sharply at
+``Bτ = 3.6`` while the arch line crosses half-efficiency smoothly at
+``Bε = 14.4``.  Fig. 2b plots average power relative to flop power, with
+its three landmarks: 1 (compute-bound limit), ``Bε/Bτ = 4.0``
+(memory-bound limit), and ``1 + Bε/Bτ = 5.0`` (maximum, at ``I = Bτ``).
+"""
+
+from __future__ import annotations
+
+from repro.core.power_model import PowerModel
+from repro.core.rooflines import (
+    powerline_series,
+    roofline_vs_archline,
+    vertical_markers,
+)
+from repro.experiments.registry import ExperimentResult, experiment
+from repro.machines.catalog import keckler_fermi
+from repro.viz.ascii_chart import render_chart
+
+__all__ = ["run"]
+
+
+@experiment("fig2", "Fig. 2 — rooflines, arch lines, and power lines")
+def run() -> ExperimentResult:
+    """Regenerate both panels for the Table II machine."""
+    machine = keckler_fermi()
+    roof, arch = roofline_vs_archline(machine, lo=0.5, hi=512.0)
+    markers = vertical_markers(machine)
+    chart_a = render_chart(
+        [roof, arch],
+        markers={"B_tau": markers["B_tau"], "B_eps": markers["B_eps (const=0)"]},
+        title="Fig. 2a — roofline (time) vs arch line (energy), normalized",
+    )
+
+    power = powerline_series(machine, lo=0.5, hi=512.0, normalized=True)
+    chart_b = render_chart(
+        [power],
+        markers={"B_tau": machine.b_tau, "B_eps": machine.b_eps},
+        title="Fig. 2b — powerline (average power / flop power)",
+    )
+
+    pm = PowerModel(machine)
+    pi_flop = machine.pi_flop
+    landmarks = {
+        "compute_limit_rel": pm.compute_bound_limit / pi_flop,
+        "memory_limit_rel": pm.memory_bound_limit / pi_flop,
+        "max_power_rel": pm.max_power / pi_flop,
+        "argmax_intensity": pm.argmax_intensity,
+        "arch_half_point": machine.effective_balance_crossing,
+        "roofline_kink": machine.b_tau,
+    }
+    text = "\n\n".join(
+        [
+            chart_a,
+            chart_b,
+            "powerline landmarks (× flop power): "
+            f"compute-bound {landmarks['compute_limit_rel']:.2f} (paper 1.0), "
+            f"memory-bound {landmarks['memory_limit_rel']:.2f} (paper 4.0), "
+            f"max {landmarks['max_power_rel']:.2f} at I = "
+            f"{landmarks['argmax_intensity']:.2f} (paper 5.0 at 3.6)",
+        ]
+    )
+    return ExperimentResult(
+        experiment_id="fig2",
+        title="Fig. 2 — rooflines, arch lines, and power lines",
+        text=text,
+        values=landmarks,
+    )

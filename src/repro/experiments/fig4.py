@@ -1,0 +1,155 @@
+"""Fig. 4: measured time and energy versus the model, four panels.
+
+For each device (GTX 580, i7-950) and precision, the intensity
+microbenchmark sweep produces measured (time, energy) points that are
+normalized and overlaid on the model curves:
+
+* **time panels** — achieved GFLOP/s over the spec-sheet peak against the
+  roofline ``min(1, I/Bτ)``;
+* **energy panels** — achieved GFLOP/J over the flops-only peak
+  ``1/ε̂_flop`` against the arch line ``1/(1 + B̂ε(I)/I)``, with the
+  "const=0" energy-balance and effective energy-balance markers.
+
+Headline checks mirrored from the paper: achieved fractions of peak
+(88.3% bandwidth / 99.3% flops on the GPU in double precision, 73%/93%
+on the CPU), and the GPU single-precision departure from the roofline
+near ``Bτ`` that the power cap explains (§V-B).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.energy_model import EnergyModel
+from repro.core.rooflines import archline_series, roofline_series
+from repro.core.time_model import TimeModel
+from repro.experiments.registry import ExperimentResult, experiment
+from repro.experiments._sweeps import PANELS, panel_machine, run_panel
+from repro.microbench.sweep import SweepResult
+from repro.viz.ascii_chart import render_chart
+from repro.viz.series import ScatterSeries
+
+__all__ = ["run"]
+
+
+def _panel_report(device: str, precision: str, sweep: SweepResult) -> tuple[str, dict[str, float]]:
+    machine = panel_machine(device, precision)
+    intensities = np.array(sweep.intensities())
+    lo, hi = float(intensities.min()) / 1.2, float(intensities.max()) * 1.2
+
+    measured_time = ScatterSeries(
+        label="measured (GFLOP/s / peak)",
+        intensities=intensities,
+        values=np.array(
+            [p.measurement.achieved_gflops / machine.peak_gflops for p in sweep.points]
+        ),
+    )
+    roof = roofline_series(machine, lo=lo, hi=hi, normalized=True)
+    time_chart = render_chart(
+        [roof],
+        [measured_time],
+        markers={"B_tau": machine.b_tau},
+        title=f"Fig. 4 time — {machine.name}: peak {machine.peak_gflops:.0f} GFLOP/s",
+        height=14,
+    )
+
+    measured_energy = ScatterSeries(
+        label="measured (GFLOP/J / peak)",
+        intensities=intensities,
+        values=np.array(
+            [
+                p.measurement.gflops_per_joule / machine.peak_gflops_per_joule
+                for p in sweep.points
+            ]
+        ),
+    )
+    arch = archline_series(machine, lo=lo, hi=hi, normalized=True)
+    energy_chart = render_chart(
+        [arch],
+        [measured_energy],
+        markers={
+            "B_eps_eff": machine.effective_balance_crossing,
+            "B_eps(const=0)": machine.b_eps,
+        },
+        title=(
+            f"Fig. 4 energy — {machine.name}: "
+            f"peak {machine.peak_gflops_per_joule:.2g} GFLOP/J"
+        ),
+        height=14,
+    )
+
+    # Model-vs-measured agreement, judged against the *effective* machine —
+    # spec peaks scaled by the achieved fractions this very sweep reached at
+    # its extremes.  Measured points sit below the ideal roofline by those
+    # fractions everywhere (visible in the charts, exactly as in the paper's
+    # Fig. 4); what the model must explain is the *residual* deviation,
+    # which is zero except where the power cap throttles (§V-B).
+    from dataclasses import replace as _replace
+
+    effective = _replace(
+        machine,
+        tau_flop=machine.tau_flop * machine.peak_gflops / sweep.max_gflops,
+        tau_mem=machine.tau_mem * machine.peak_gbytes / sweep.max_bandwidth_gbytes,
+        power_cap=None,
+    )
+    energy_model = EnergyModel(effective)
+    model_gfj = np.array(
+        [
+            energy_model.attainable_gflops_per_joule(i)
+            for i in intensities
+        ]
+    )
+    measured_gfj = np.array(
+        [p.measurement.gflops_per_joule for p in sweep.points]
+    )
+    energy_dev = float(np.max(np.abs(measured_gfj / model_gfj - 1.0)))
+
+    time_model = TimeModel(effective)
+    roof_gflops = np.array(
+        [time_model.attainable_gflops(i) for i in intensities]
+    )
+    measured_gflops = np.array(
+        [p.measurement.achieved_gflops for p in sweep.points]
+    )
+    time_sag = float(np.max(1.0 - measured_gflops / roof_gflops))
+
+    key = f"{device}_{precision}"
+    values = {
+        f"{key}_max_gflops": sweep.max_gflops,
+        f"{key}_max_bandwidth": sweep.max_bandwidth_gbytes,
+        f"{key}_flop_fraction": sweep.max_gflops / machine.peak_gflops,
+        f"{key}_bandwidth_fraction": sweep.max_bandwidth_gbytes / machine.peak_gbytes,
+        f"{key}_peak_gflops_per_joule": machine.peak_gflops_per_joule,
+        f"{key}_b_tau": machine.b_tau,
+        f"{key}_b_eps": machine.b_eps,
+        f"{key}_b_eps_eff": machine.effective_balance_crossing,
+        f"{key}_energy_model_max_dev": energy_dev,
+        f"{key}_time_roofline_max_sag": time_sag,
+    }
+    summary = (
+        f"{machine.name}: achieved {sweep.max_gflops:.1f} GFLOP/s "
+        f"({100 * values[f'{key}_flop_fraction']:.1f}% of peak), "
+        f"{sweep.max_bandwidth_gbytes:.1f} GB/s "
+        f"({100 * values[f'{key}_bandwidth_fraction']:.1f}% of peak); "
+        f"max roofline sag {100 * time_sag:.1f}%; "
+        f"energy model within {100 * energy_dev:.1f}%"
+    )
+    return "\n\n".join([time_chart, energy_chart, summary]), values
+
+
+@experiment("fig4", "Fig. 4 — measured time and energy vs the model")
+def run(*, points_per_octave: int = 2) -> ExperimentResult:
+    """Regenerate all four panels of Fig. 4 (both precisions)."""
+    sections: list[str] = []
+    values: dict[str, float] = {}
+    for device, precision in PANELS:
+        sweep = run_panel(device, precision, points_per_octave=points_per_octave)
+        text, panel_values = _panel_report(device, precision, sweep)
+        sections.append(text)
+        values.update(panel_values)
+    return ExperimentResult(
+        experiment_id="fig4",
+        title="Fig. 4 — measured time and energy vs the model",
+        text="\n\n".join(sections),
+        values=values,
+    )

@@ -1,0 +1,78 @@
+"""Eq. (10): the work–communication trade-off / greenup frontier (§VII).
+
+For a memory-bound baseline on the GTX 580 (double precision), maps the
+``(f, m)`` plane: for each communication-reduction factor ``m``, the
+largest work inflation ``f`` that still improves energy — both the
+paper's π0 = 0 closed form and the exact π0-aware threshold — plus the
+hard ceiling ``1 + Bε/I`` and the speedup/greenup quadrant census.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.algorithm import AlgorithmProfile
+from repro.core.tradeoff import TradeOutcome, TradeoffAnalyzer, greenup_work_ceiling
+from repro.experiments.registry import ExperimentResult, experiment
+from repro.machines.catalog import gtx580_double
+
+__all__ = ["run"]
+
+
+@experiment("greenup", "eq. (10) — greenup/speedup trade-off frontier")
+def run(*, baseline_intensity: float = 0.5) -> ExperimentResult:
+    """Map the trade-off frontier for a memory-bound baseline."""
+    machine = gtx580_double().with_power_cap(None)
+    baseline = AlgorithmProfile.from_intensity(
+        baseline_intensity, work=1e12, name="baseline"
+    )
+    analyzer = TradeoffAnalyzer(machine, baseline)
+
+    m_values = [1.0, 1.5, 2.0, 4.0, 8.0, 16.0, 64.0]
+    lines = [
+        f"machine: {machine.name} (B_tau={machine.b_tau:.2f}, "
+        f"B_eps={machine.b_eps:.2f}, pi0={machine.pi0:.0f} W)",
+        f"baseline: I = {baseline.intensity:g} flop/B (memory-bound)",
+        "",
+        f"{'m':>6}{'eq.(10) f* (pi0=0)':>22}{'exact f* (pi0>0)':>20}",
+    ]
+    frontier = analyzer.frontier(m_values)
+    for m, closed, exact in frontier:
+        lines.append(f"{m:>6.1f}{closed:>22.3f}{exact:>20.3f}")
+    ceiling = greenup_work_ceiling(b_eps=machine.b_eps, intensity=baseline.intensity)
+    lines.append("")
+    lines.append(
+        f"hard ceiling (m -> inf, pi0=0): f < 1 + B_eps/I = {ceiling:.3f}; "
+        f"compute-bound baselines: f < 1 + B_eps/B_tau = "
+        f"{1.0 + machine.balance_gap:.3f}"
+    )
+
+    # Quadrant census over a (f, m) lattice.
+    f_grid = np.linspace(1.0, ceiling * 1.3, 14)
+    m_grid = np.array([1.0, 2.0, 4.0, 8.0, 32.0])
+    census = {outcome: 0 for outcome in TradeOutcome}
+    for row in analyzer.outcome_grid(f_grid, m_grid):
+        for point in row:
+            census[point.outcome] += 1
+    lines.append("")
+    lines.append("quadrant census over the (f, m) lattice:")
+    for outcome, count in census.items():
+        lines.append(f"  {outcome.value:<28} {count}")
+
+    values = {
+        "ceiling": ceiling,
+        "threshold_m2_closed": analyzer.greenup_threshold(2.0),
+        "threshold_m2_exact": analyzer.exact_greenup_threshold(2.0),
+        "threshold_m8_closed": analyzer.greenup_threshold(8.0),
+        "threshold_m8_exact": analyzer.exact_greenup_threshold(8.0),
+        "census_both": float(census[TradeOutcome.BOTH]),
+        "census_neither": float(census[TradeOutcome.NEITHER]),
+        "census_speedup_only": float(census[TradeOutcome.SPEEDUP_ONLY]),
+        "census_greenup_only": float(census[TradeOutcome.GREENUP_ONLY]),
+    }
+    return ExperimentResult(
+        experiment_id="greenup",
+        title="eq. (10) — greenup/speedup trade-off frontier",
+        text="\n".join(lines),
+        values=values,
+    )

@@ -1,0 +1,98 @@
+"""Experiment registration and execution.
+
+An experiment is a function ``(**kwargs) -> ExperimentResult`` declared
+with the :func:`experiment` decorator.  The registry gives the CLI, the
+benchmark harness, and EXPERIMENTS.md a single source of truth for what
+can be reproduced and what each run produced.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.exceptions import ExperimentError
+
+__all__ = [
+    "ExperimentResult",
+    "experiment",
+    "get_experiment",
+    "list_experiments",
+    "run_experiment",
+]
+
+
+@dataclass(frozen=True)
+class ExperimentResult:
+    """Outcome of one experiment run.
+
+    Attributes
+    ----------
+    experiment_id:
+        Registry key, e.g. ``"fig4"``.
+    title:
+        Human-readable title including the paper reference.
+    text:
+        The rendered report — tables and ASCII charts.
+    values:
+        Headline numbers keyed by stable names; tests assert on these
+        and EXPERIMENTS.md quotes them.
+    """
+
+    experiment_id: str
+    title: str
+    text: str
+    values: dict[str, float] = field(default_factory=dict)
+
+    def value(self, key: str) -> float:
+        """Look up a headline number; raises with the available keys."""
+        try:
+            return self.values[key]
+        except KeyError:
+            raise ExperimentError(
+                f"experiment {self.experiment_id!r} has no value {key!r}; "
+                f"available: {sorted(self.values)}"
+            ) from None
+
+
+@dataclass(frozen=True)
+class _Registered:
+    experiment_id: str
+    title: str
+    func: Callable[..., ExperimentResult]
+
+
+_REGISTRY: dict[str, _Registered] = {}
+
+
+def experiment(experiment_id: str, title: str):
+    """Decorator registering an experiment function under an id."""
+
+    def decorate(func: Callable[..., ExperimentResult]):
+        if experiment_id in _REGISTRY:
+            raise ExperimentError(f"duplicate experiment id {experiment_id!r}")
+        _REGISTRY[experiment_id] = _Registered(experiment_id, title, func)
+        return func
+
+    return decorate
+
+
+def get_experiment(experiment_id: str) -> Callable[..., ExperimentResult]:
+    """The experiment function for an id."""
+    try:
+        return _REGISTRY[experiment_id].func
+    except KeyError:
+        raise ExperimentError(
+            f"unknown experiment {experiment_id!r}; "
+            f"available: {', '.join(sorted(_REGISTRY))}"
+        ) from None
+
+
+def list_experiments() -> list[tuple[str, str]]:
+    """(id, title) pairs for every registered experiment."""
+    return [(r.experiment_id, r.title) for r in sorted(_REGISTRY.values(), key=lambda r: r.experiment_id)]
+
+
+def run_experiment(experiment_id: str, **kwargs: Any) -> ExperimentResult:
+    """Run an experiment by id with optional keyword overrides."""
+    return get_experiment(experiment_id)(**kwargs)

@@ -1,0 +1,106 @@
+"""One-screen digest: every artefact's paper-vs-measured headline.
+
+:func:`build_summary` runs the full experiment registry (at a reduced
+sweep density suitable for an interactive command) and renders the
+EXPERIMENTS.md-style comparison table — the quickest way to confirm the
+whole reproduction holds on a given installation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.report import text_table
+from repro.experiments.registry import run_experiment
+
+__all__ = ["SummaryRow", "build_rows", "build_summary"]
+
+
+@dataclass(frozen=True, slots=True)
+class SummaryRow:
+    """One headline comparison."""
+
+    artefact: str
+    quantity: str
+    paper: str
+    measured: str
+
+
+def build_rows(*, fast: bool = True) -> list[SummaryRow]:
+    """Run every experiment and extract the headline comparisons.
+
+    ``fast=True`` reduces sweep density and FMM size; the asserted
+    quantities are the same either way.
+    """
+    sweep_kwargs = {"points_per_octave": 1} if fast else {}
+    fmm_kwargs = (
+        {"n_points": 2000, "leaf_capacity": 48} if fast else {}
+    )
+
+    table2 = run_experiment("table2")
+    fig1 = run_experiment("fig1")
+    fig2 = run_experiment("fig2")
+    fig3 = run_experiment("fig3")
+    fig4 = run_experiment("fig4", **sweep_kwargs)
+    table4 = run_experiment("table4", **sweep_kwargs)
+    fig5 = run_experiment("fig5", **sweep_kwargs)
+    fmm = run_experiment("fmm", **fmm_kwargs)
+    greenup = run_experiment("greenup")
+
+    rows = [
+        SummaryRow("Table II", "B_tau / B_eps (flop/B)", "3.6 / 14.4",
+                   f"{table2.value('b_tau'):.2f} / {table2.value('b_eps'):.1f}"),
+        SummaryRow("Fig. 1", "matmul intensity gain per Z doubling", "sqrt(2)",
+                   f"{1.4142 - fig1.value('matmul_sqrt2_deviation'):.4f}"),
+        SummaryRow("Fig. 2b", "power landmarks (x pi_flop)", "1.0 / 4.0 / 5.0",
+                   f"{fig2.value('compute_limit_rel'):.2f} / "
+                   f"{fig2.value('memory_limit_rel'):.2f} / "
+                   f"{fig2.value('max_power_rel'):.2f}"),
+        SummaryRow("Fig. 3", "slot share invisible w/o interposer", "(diagram)",
+                   f"{fig3.value('interposer_undercount'):.1%} at 250 W"),
+        SummaryRow("Fig. 4", "GPU dbl peak GFLOP/s (fraction)", "196 (99.3%)",
+                   f"{fig4.value('gpu_double_max_gflops'):.0f} "
+                   f"({fig4.value('gpu_double_flop_fraction'):.1%})"),
+        SummaryRow("Fig. 4", "CPU sgl bandwidth GB/s (fraction)", "18.7 (73.1%)",
+                   f"{fig4.value('cpu_single_max_bandwidth'):.1f} "
+                   f"({fig4.value('cpu_single_bandwidth_fraction'):.1%})"),
+        SummaryRow("Fig. 4b", "GPU sgl roofline sag near B_tau", "visible departure",
+                   f"{fig4.value('gpu_single_time_roofline_max_sag'):.0%} max"),
+        SummaryRow("Table IV", "GTX 580 eps_s/eps_d/eps_mem (pJ), pi0 (W)",
+                   "99.7 / 212 / 513, 122",
+                   f"{table4.value('gpu_eps_single_pj'):.1f} / "
+                   f"{table4.value('gpu_eps_double_pj'):.1f} / "
+                   f"{table4.value('gpu_eps_mem_pj'):.1f}, "
+                   f"{table4.value('gpu_pi0'):.1f}"),
+        SummaryRow("Table IV", "i7-950 eps_s/eps_d/eps_mem (pJ), pi0 (W)",
+                   "371 / 670 / 795, 122",
+                   f"{table4.value('cpu_eps_single_pj'):.1f} / "
+                   f"{table4.value('cpu_eps_double_pj'):.1f} / "
+                   f"{table4.value('cpu_eps_mem_pj'):.1f}, "
+                   f"{table4.value('cpu_pi0'):.1f}"),
+        SummaryRow("Fig. 5b", "GPU sgl model peak vs rating (W)", "~387 vs 244",
+                   f"{fig5.value('gpu_single_model_peak_watts'):.0f} vs "
+                   f"{fig5.value('gpu_single_cap_watts'):.0f}"),
+        SummaryRow("SecV-C", "naive estimate bias", "-33% mean",
+                   f"{fmm.value('naive_mean_signed_error'):+.1%}"),
+        SummaryRow("SecV-C", "fitted cache energy (pJ/B)", "187",
+                   f"{fmm.value('eps_cache_fit_pj'):.0f}"),
+        SummaryRow("SecV-C", "corrected median error", "4.1%",
+                   f"{fmm.value('corrected_median_error'):.1%}"),
+        SummaryRow("eq. 10", "greenup ceiling, I=0.5 GPU dbl", "1 + B_eps/I",
+                   f"{greenup.value('ceiling'):.2f}"),
+    ]
+    return rows
+
+
+def build_summary(*, fast: bool = True) -> str:
+    """The rendered paper-vs-measured digest."""
+    rows = build_rows(fast=fast)
+    table = text_table(
+        ["artefact", "quantity", "paper", "this repo"],
+        [[r.artefact, r.quantity, r.paper, r.measured] for r in rows],
+    )
+    return (
+        "A Roofline Model of Energy (IPDPS 2013) -- reproduction digest\n\n"
+        + table
+    )

@@ -1,0 +1,49 @@
+"""Table II: sample model parameters for the Keckler-Fermi estimate.
+
+The paper's Table II derives the model's cost coefficients from peak
+capabilities of an NVIDIA Fermi GPU as characterised by Keckler et al.:
+515 GFLOP/s double precision, 144 GB/s, 25 pJ/flop (half a 50 pJ FMA),
+360 pJ/B — yielding ``τ_flop ≈ 1.9 ps``, ``τ_mem ≈ 6.9 ps/B``,
+``Bτ ≈ 3.6`` and ``Bε = 14.4`` flops per byte.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.registry import ExperimentResult, experiment
+from repro.machines.catalog import keckler_fermi
+
+__all__ = ["run"]
+
+
+@experiment("table2", "Table II — Keckler-Fermi model parameters")
+def run() -> ExperimentResult:
+    """Derive every Table II row from the peak specifications."""
+    m = keckler_fermi()
+    tau_flop_ps = m.tau_flop * 1e12
+    tau_mem_ps = m.tau_mem * 1e12
+    rows = [
+        ("tau_flop", f"(515 GFLOP/s)^-1 = {tau_flop_ps:.2f} ps per flop", "1.9 ps"),
+        ("tau_mem", f"(144 GB/s)^-1 = {tau_mem_ps:.2f} ps per byte", "6.9 ps"),
+        ("B_tau", f"{tau_mem_ps:.1f}/{tau_flop_ps:.1f} = {m.b_tau:.2f} flop/B", "3.6"),
+        ("eps_flop", f"{m.eps_flop * 1e12:.0f} pJ per flop", "25 pJ"),
+        ("eps_mem", f"{m.eps_mem * 1e12:.0f} pJ per byte", "360 pJ"),
+        ("B_eps", f"360/25 = {m.b_eps:.2f} flop/B", "14.4"),
+    ]
+    width = max(len(r[1]) for r in rows)
+    lines = ["Table II — representative values (NVIDIA Fermi, Keckler et al.)", ""]
+    lines.append(f"{'variable':<10}{'derived':<{width + 2}}paper")
+    for name, derived, paper in rows:
+        lines.append(f"{name:<10}{derived:<{width + 2}}{paper}")
+    return ExperimentResult(
+        experiment_id="table2",
+        title="Table II — Keckler-Fermi model parameters",
+        text="\n".join(lines),
+        values={
+            "tau_flop_ps": tau_flop_ps,
+            "tau_mem_ps": tau_mem_ps,
+            "b_tau": m.b_tau,
+            "b_eps": m.b_eps,
+            "eps_flop_pj": m.eps_flop * 1e12,
+            "eps_mem_pj": m.eps_mem * 1e12,
+        },
+    )

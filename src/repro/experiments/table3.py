@@ -1,0 +1,45 @@
+"""Table III: the experimental platforms' spec sheet.
+
+Renders the platform table and derives the per-precision time-balance
+points the later figures annotate.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.registry import ExperimentResult, experiment
+from repro.machines.specs import PLATFORM_TABLE
+
+__all__ = ["run"]
+
+
+@experiment("table3", "Table III — experimental platforms")
+def run() -> ExperimentResult:
+    """Render Table III plus the derived balance points."""
+    lines = [
+        "Table III — platforms",
+        "",
+        f"{'dev':<5}{'model':<26}{'GFLOP/s sp (dp)':>18}{'GB/s':>8}{'TDP W':>7}",
+    ]
+    values: dict[str, float] = {}
+    for spec in PLATFORM_TABLE:
+        lines.append(spec.table_row())
+        key = "cpu" if spec.device == "CPU" else "gpu"
+        values[f"{key}_peak_sp_gflops"] = spec.peak_sp_gflops
+        values[f"{key}_peak_dp_gflops"] = spec.peak_dp_gflops
+        values[f"{key}_bandwidth_gbytes"] = spec.bandwidth_gbytes
+        values[f"{key}_tdp_watts"] = spec.tdp_watts
+        values[f"{key}_b_tau_single"] = spec.b_tau(double_precision=False)
+        values[f"{key}_b_tau_double"] = spec.b_tau(double_precision=True)
+    lines.append("")
+    lines.append("derived time-balance points (flop/B):")
+    for spec in PLATFORM_TABLE:
+        lines.append(
+            f"  {spec.model}: single {spec.b_tau(double_precision=False):.2f}, "
+            f"double {spec.b_tau(double_precision=True):.2f}"
+        )
+    return ExperimentResult(
+        experiment_id="table3",
+        title="Table III — experimental platforms",
+        text="\n".join(lines),
+        values=values,
+    )

@@ -1,0 +1,86 @@
+"""Point-cloud generators for FMM experiments.
+
+Three distributions with different tree shapes:
+
+* :func:`uniform_cloud` — uniform in the unit cube; near-perfect octrees,
+  every interior leaf has the full 27-neighbour U-list.
+* :func:`clustered_cloud` — Gaussian blobs; adaptive trees with mixed
+  leaf sizes, exercising the U-list's unequal-box adjacency logic.
+* :func:`plummer_cloud` — the Plummer model standard in n-body work;
+  strong central concentration, deep trees.
+
+All generators return ``(positions, densities)`` with positions scaled
+into the unit cube (the tree's root domain) and strictly positive
+densities.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import TreeError
+
+__all__ = ["uniform_cloud", "clustered_cloud", "plummer_cloud"]
+
+
+def _finalize(
+    positions: np.ndarray, rng: np.random.Generator
+) -> tuple[np.ndarray, np.ndarray]:
+    """Scale into the open unit cube and attach random densities."""
+    lo = positions.min(axis=0)
+    hi = positions.max(axis=0)
+    span = np.where(hi - lo > 0, hi - lo, 1.0)
+    scaled = (positions - lo) / span
+    # Keep strictly inside [0, 1) so root-box membership is unambiguous.
+    scaled = scaled * (1.0 - 1e-9)
+    densities = rng.uniform(0.5, 1.5, size=len(positions))
+    return scaled, densities
+
+
+def _check_n(n: int) -> None:
+    if n < 1:
+        raise TreeError(f"need at least one point, got {n}")
+
+
+def uniform_cloud(n: int, *, seed: int = 0) -> tuple[np.ndarray, np.ndarray]:
+    """``n`` points uniform in the unit cube."""
+    _check_n(n)
+    rng = np.random.default_rng(seed)
+    return _finalize(rng.random((n, 3)), rng)
+
+
+def clustered_cloud(
+    n: int, *, clusters: int = 8, spread: float = 0.05, seed: int = 0
+) -> tuple[np.ndarray, np.ndarray]:
+    """``n`` points in Gaussian blobs around random centres."""
+    _check_n(n)
+    if clusters < 1:
+        raise TreeError(f"need at least one cluster, got {clusters}")
+    if spread <= 0:
+        raise TreeError(f"spread must be positive, got {spread}")
+    rng = np.random.default_rng(seed)
+    centres = rng.random((clusters, 3))
+    assignment = rng.integers(0, clusters, size=n)
+    positions = centres[assignment] + rng.normal(0.0, spread, size=(n, 3))
+    return _finalize(positions, rng)
+
+
+def plummer_cloud(n: int, *, seed: int = 0) -> tuple[np.ndarray, np.ndarray]:
+    """``n`` points from the Plummer sphere (centrally concentrated)."""
+    _check_n(n)
+    rng = np.random.default_rng(seed)
+    # Inverse-CDF radius; clip the mass fraction away from 1 to keep the
+    # occasional far outlier from flattening the core after rescaling.
+    m = rng.uniform(0.0, 0.99, size=n)
+    radius = (m ** (-2.0 / 3.0) - 1.0) ** -0.5
+    phi = rng.uniform(0.0, 2.0 * np.pi, size=n)
+    costheta = rng.uniform(-1.0, 1.0, size=n)
+    sintheta = np.sqrt(1.0 - costheta**2)
+    positions = np.column_stack(
+        (
+            radius * sintheta * np.cos(phi),
+            radius * sintheta * np.sin(phi),
+            radius * costheta,
+        )
+    )
+    return _finalize(positions, rng)

@@ -1,0 +1,105 @@
+"""U-list construction: each leaf's geometrically adjacent source leaves.
+
+In the FMM, a target leaf ``B`` interacts directly with its *U-list*
+``U(B)`` — the leaves whose boxes touch ``B``'s box (including ``B``
+itself); everything farther away is handled by multipole approximation.
+For adaptive trees the neighbours may be larger or smaller boxes, so
+adjacency is the box-overlap test
+
+    ``|c_a[d] − c_b[d]| <= h_a + h_b + slack``  for every dimension d.
+
+Construction uses a uniform spatial hash at the finest leaf scale to
+avoid the O(L²) all-pairs test; a naive quadratic reference is kept for
+property tests.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+import numpy as np
+
+from repro.exceptions import TreeError
+from repro.fmm.tree import Octree
+
+__all__ = ["build_ulist", "build_ulist_naive", "boxes_adjacent"]
+
+#: Relative slack for the touch test; boxes meeting exactly at a face,
+#: edge, or corner count as adjacent.
+_SLACK = 1e-9
+
+
+def boxes_adjacent(
+    center_a: np.ndarray,
+    half_a: float,
+    center_b: np.ndarray,
+    half_b: float,
+) -> bool:
+    """Whether two axis-aligned cubes touch or overlap."""
+    limit = half_a + half_b + _SLACK
+    return bool(np.all(np.abs(center_a - center_b) <= limit))
+
+
+def build_ulist_naive(tree: Octree) -> list[list[int]]:
+    """O(L²) reference construction; exact, used as the test oracle."""
+    leaves = tree.leaves
+    ulist: list[list[int]] = [[] for _ in leaves]
+    for a in leaves:
+        for b in leaves:
+            if boxes_adjacent(a.center, a.half_width, b.center, b.half_width):
+                ulist[a.index].append(b.index)
+    return ulist
+
+
+def build_ulist(tree: Octree) -> list[list[int]]:
+    """Spatial-hash U-list construction.
+
+    Bins every leaf by its centre on a grid at the finest leaf scale and
+    tests only leaves from candidate bins.  Coarse leaves overlapping
+    many fine bins are registered in each bin they intersect, so no
+    adjacency is missed across resolution levels.
+
+    Returns, for each leaf index, the sorted list of adjacent leaf
+    indices (self included) — ``U(B)`` of Algorithm 1.
+    """
+    leaves = tree.leaves
+    if not leaves:
+        raise TreeError("tree has no leaves")
+    finest = min(leaf.half_width for leaf in leaves)
+    cell = 2.0 * finest  # bin edge = finest box edge
+    bins: dict[tuple[int, int, int], list[int]] = defaultdict(list)
+
+    def bin_range(leaf) -> tuple[np.ndarray, np.ndarray]:
+        lo = np.floor((leaf.center - leaf.half_width) / cell - _SLACK).astype(int)
+        hi = np.floor((leaf.center + leaf.half_width) / cell + _SLACK).astype(int)
+        return lo, hi
+
+    for leaf in leaves:
+        lo, hi = bin_range(leaf)
+        for ix in range(lo[0], hi[0] + 1):
+            for iy in range(lo[1], hi[1] + 1):
+                for iz in range(lo[2], hi[2] + 1):
+                    bins[(ix, iy, iz)].append(leaf.index)
+
+    ulist: list[list[int]] = []
+    for leaf in leaves:
+        lo, hi = bin_range(leaf)
+        candidates: set[int] = set()
+        # Expand by one bin on each side: neighbours merely *touching* the
+        # box may live entirely in the adjacent bin.
+        for ix in range(lo[0] - 1, hi[0] + 2):
+            for iy in range(lo[1] - 1, hi[1] + 2):
+                for iz in range(lo[2] - 1, hi[2] + 2):
+                    candidates.update(bins.get((ix, iy, iz), ()))
+        adjacent = [
+            other
+            for other in sorted(candidates)
+            if boxes_adjacent(
+                leaf.center,
+                leaf.half_width,
+                leaves[other].center,
+                leaves[other].half_width,
+            )
+        ]
+        ulist.append(adjacent)
+    return ulist

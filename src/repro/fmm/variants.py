@@ -1,0 +1,164 @@
+"""The FMM implementation-variant space (§V-C's "approximately 390").
+
+The paper draws on ~390 previously generated FMM U-list implementations
+spanning "a variety of performance optimization techniques and tuning
+parameter values", of which about 160 rely only on the L1/L2 caches for
+data reuse.  We reconstruct an equivalent space:
+
+* **memory path** — where source points are staged for reuse:
+  ``L1L2`` (plain global loads through the cache hierarchy — the
+  reference implementation's family), ``SHARED`` (explicit shared-memory
+  tiling), ``TEXTURE`` (the read-only texture path);
+* **targets per block**, **source tile size**, **unroll factor**,
+  **register blocking** — the numeric tuning parameters.
+
+The grids are sized so the space contains exactly 390 variants, 160 of
+them L1/L2-only — matching the paper's counts.  Each variant carries a
+deterministic execution-efficiency model (fraction of the device's
+achievable throughput) and the traffic-model parameters the counters
+use.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+import math
+from dataclasses import dataclass
+
+from repro.exceptions import ProfileError
+
+__all__ = ["MemoryPath", "Variant", "generate_variants", "reference_variant"]
+
+
+class MemoryPath(enum.Enum):
+    """Which on-chip storage a variant stages source data through."""
+
+    L1L2 = "l1l2"
+    SHARED = "shared"
+    TEXTURE = "texture"
+
+
+#: Per-path ceiling on execution efficiency: explicit shared-memory
+#: staging wins; the plain cached path pays more replay overhead.
+_PATH_EFFICIENCY = {
+    MemoryPath.L1L2: 0.80,
+    MemoryPath.SHARED: 0.95,
+    MemoryPath.TEXTURE: 0.88,
+}
+
+
+@dataclass(frozen=True, slots=True)
+class Variant:
+    """One FMM U-list implementation variant.
+
+    Attributes
+    ----------
+    vid:
+        Stable identifier, e.g. ``"shared-b128-t32-u2-r1"``.
+    path:
+        Memory path for source staging.
+    targets_per_block:
+        Target points processed per thread block.
+    source_tile:
+        Source points staged per inner iteration.
+    unroll:
+        Inner-loop unroll factor.
+    register_block:
+        Targets held in registers per thread (register tiling).
+    """
+
+    vid: str
+    path: MemoryPath
+    targets_per_block: int
+    source_tile: int
+    unroll: int
+    register_block: int
+
+    def __post_init__(self) -> None:
+        for attr in ("targets_per_block", "source_tile", "unroll", "register_block"):
+            if getattr(self, attr) < 1:
+                raise ProfileError(f"{attr} must be >= 1")
+
+    @property
+    def uses_only_l1l2(self) -> bool:
+        """True for the variants the §V-C cache correction applies to."""
+        return self.path is MemoryPath.L1L2
+
+    # ------------------------------------------------------------------
+    # Deterministic execution-efficiency model
+    # ------------------------------------------------------------------
+
+    def efficiency(self) -> float:
+        """Fraction of achievable throughput this variant reaches, (0, 1].
+
+        Path ceiling × an occupancy ridge over ``targets_per_block``
+        (optimum 128) × saturating tile reuse (optimum ≥32) × saturating
+        unroll (optimum ≥4) × a register-pressure trade-off that rewards
+        moderate register blocking and punishes heavy blocking at large
+        unroll.
+        """
+        occ_distance = math.log2(self.targets_per_block / 128.0)
+        occupancy = 1.0 / (1.0 + (occ_distance / 2.0) ** 2)
+        tile = min(1.0, 0.55 + 0.15 * math.log2(self.source_tile / 4.0))
+        unroll = min(1.0, 0.7 + 0.1 * self.unroll)
+        pressure = self.register_block * self.unroll
+        registers = 1.0 if pressure <= 8 else max(0.4, 1.0 - 0.05 * (pressure - 8))
+        reg_gain = min(1.0, 0.9 + 0.05 * self.register_block)
+        value = _PATH_EFFICIENCY[self.path] * occupancy * tile * unroll * registers * reg_gain
+        return max(0.05, min(1.0, value))
+
+
+def _build(
+    path: MemoryPath, tpb: int, tile: int, unroll: int, reg: int
+) -> Variant:
+    vid = f"{path.value}-b{tpb}-t{tile}-u{unroll}-r{reg}"
+    return Variant(
+        vid=vid,
+        path=path,
+        targets_per_block=tpb,
+        source_tile=tile,
+        unroll=unroll,
+        register_block=reg,
+    )
+
+
+def generate_variants() -> list[Variant]:
+    """The full 390-variant space (160 L1/L2-only), deterministic order.
+
+    Grids:
+
+    * L1/L2: 5 block sizes × 4 tiles × 4 unrolls × 2 register blockings
+      = **160**;
+    * shared: 5 × 3 (tiles ≥ 16 — staging smaller tiles is useless)
+      × 4 × 2 = **120**;
+    * texture: 5 × 4 × 4 with register blocking 1 (the texture path's
+      generated kernels did not register-block) = 80, plus a
+      texture+register-block-2 subfamily 5 × 3 × 2 = 30 → **110**.
+
+    Total 390.
+    """
+    blocks = (32, 64, 128, 256, 512)
+    variants: list[Variant] = []
+    for tpb, tile, unroll, reg in itertools.product(
+        blocks, (8, 16, 32, 64), (1, 2, 4, 8), (1, 2)
+    ):
+        variants.append(_build(MemoryPath.L1L2, tpb, tile, unroll, reg))
+    for tpb, tile, unroll, reg in itertools.product(
+        blocks, (16, 32, 64), (1, 2, 4, 8), (1, 2)
+    ):
+        variants.append(_build(MemoryPath.SHARED, tpb, tile, unroll, reg))
+    for tpb, tile, unroll in itertools.product(blocks, (8, 16, 32, 64), (1, 2, 4, 8)):
+        variants.append(_build(MemoryPath.TEXTURE, tpb, tile, unroll, 1))
+    for tpb, tile, unroll in itertools.product(blocks, (16, 32, 64), (2, 4)):
+        variants.append(_build(MemoryPath.TEXTURE, tpb, tile, unroll, 2))
+    return variants
+
+
+def reference_variant() -> Variant:
+    """The §V-C reference implementation: plain cached loads, no tricks.
+
+    "relies only on L1 and L2 caches for data reuse ... does not use
+    shared or texture memory or register-level blocking."
+    """
+    return _build(MemoryPath.L1L2, 128, 32, 1, 1)

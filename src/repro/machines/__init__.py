@@ -1,0 +1,38 @@
+"""Machine catalog: the paper's platforms as ready-made model instances.
+
+* :mod:`repro.machines.specs` — spec-sheet data (Table III) as
+  :class:`~repro.machines.specs.HardwareSpec`.
+* :mod:`repro.machines.catalog` — named :class:`~repro.core.params.MachineModel`
+  instances combining Table III peaks with Table IV fitted energy
+  coefficients (and the Table II Keckler-Fermi estimates).
+"""
+
+from repro.machines.catalog import (
+    MACHINES,
+    get_machine,
+    gtx580_double,
+    gtx580_single,
+    i7_950_double,
+    i7_950_single,
+    keckler_fermi,
+    list_machines,
+)
+from repro.machines.specs import (
+    GTX580_SPEC,
+    I7_950_SPEC,
+    HardwareSpec,
+)
+
+__all__ = [
+    "HardwareSpec",
+    "GTX580_SPEC",
+    "I7_950_SPEC",
+    "MACHINES",
+    "get_machine",
+    "list_machines",
+    "keckler_fermi",
+    "gtx580_single",
+    "gtx580_double",
+    "i7_950_single",
+    "i7_950_double",
+]

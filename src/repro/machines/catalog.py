@@ -1,0 +1,161 @@
+"""Named machine models combining Tables II, III, and IV.
+
+Four device-precision combinations drive the paper's Figs. 4–5:
+
+=====================  ==========  ==========  ==========  =======
+ machine                ε_flop      ε_mem       π0          cap
+=====================  ==========  ==========  ==========  =======
+ ``gtx580-single``      99.7 pJ     513 pJ/B    122 W       244 W
+ ``gtx580-double``      212 pJ      513 pJ/B    122 W       244 W
+ ``i7-950-single``      371 pJ      795 pJ/B    122 W       130 W
+ ``i7-950-double``      670 pJ      795 pJ/B    122 W       130 W
+=====================  ==========  ==========  ==========  =======
+
+plus the Table II "Keckler-Fermi" literature estimate (515 GFLOP/s,
+144 GB/s, 25 pJ/flop, 360 pJ/B, π0 = 0) used in the theoretical Fig. 2.
+"""
+
+from __future__ import annotations
+
+from repro.core.params import MachineModel
+from repro.exceptions import ParameterError
+from repro.machines.specs import GTX580_SPEC, I7_950_SPEC
+from repro.units import picojoules
+
+__all__ = [
+    "keckler_fermi",
+    "gtx580_single",
+    "gtx580_double",
+    "i7_950_single",
+    "i7_950_double",
+    "MACHINES",
+    "get_machine",
+    "list_machines",
+]
+
+# Table IV fitted energy coefficients (ground truth for our simulator).
+_GTX580_EPS_SINGLE = picojoules(99.7)
+_GTX580_EPS_DOUBLE = picojoules(212.0)
+_GTX580_EPS_MEM = picojoules(513.0)
+_I7_EPS_SINGLE = picojoules(371.0)
+_I7_EPS_DOUBLE = picojoules(670.0)
+_I7_EPS_MEM = picojoules(795.0)
+#: "As it happens, the π0 coefficients turned out to be identical to three
+#: digits on the two platforms." (Table IV caption.)
+_PI0 = 122.0
+
+
+def keckler_fermi() -> MachineModel:
+    """Table II: the NVIDIA Fermi estimates from Keckler et al. [14].
+
+    π0 = 0 by the paper's assumption in §II-C; balance points work out to
+    ``Bτ ≈ 3.6`` and ``Bε = 14.4`` flops per byte, the dashed verticals of
+    Fig. 2.
+    """
+    return MachineModel.from_peaks(
+        "Keckler-Fermi (Table II, double)",
+        gflops=515.0,
+        gbytes_per_s=144.0,
+        eps_flop=picojoules(25.0),
+        eps_mem=picojoules(360.0),
+        pi0=0.0,
+    )
+
+
+def gtx580_single() -> MachineModel:
+    """GTX 580 at single precision (Tables III + IV)."""
+    return MachineModel(
+        name="NVIDIA GTX 580 (single)",
+        tau_flop=GTX580_SPEC.tau_flop(double_precision=False),
+        tau_mem=GTX580_SPEC.tau_mem,
+        eps_flop=_GTX580_EPS_SINGLE,
+        eps_mem=_GTX580_EPS_MEM,
+        pi0=_PI0,
+        power_cap=GTX580_SPEC.tdp_watts,
+    )
+
+
+def gtx580_double() -> MachineModel:
+    """GTX 580 at double precision (Tables III + IV)."""
+    return MachineModel(
+        name="NVIDIA GTX 580 (double)",
+        tau_flop=GTX580_SPEC.tau_flop(double_precision=True),
+        tau_mem=GTX580_SPEC.tau_mem,
+        eps_flop=_GTX580_EPS_DOUBLE,
+        eps_mem=_GTX580_EPS_MEM,
+        pi0=_PI0,
+        power_cap=GTX580_SPEC.tdp_watts,
+    )
+
+
+def i7_950_single() -> MachineModel:
+    """Core i7-950 at single precision (Tables III + IV)."""
+    return MachineModel(
+        name="Intel i7-950 (single)",
+        tau_flop=I7_950_SPEC.tau_flop(double_precision=False),
+        tau_mem=I7_950_SPEC.tau_mem,
+        eps_flop=_I7_EPS_SINGLE,
+        eps_mem=_I7_EPS_MEM,
+        pi0=_PI0,
+        power_cap=None,
+    )
+
+
+def i7_950_double() -> MachineModel:
+    """Core i7-950 at double precision (Tables III + IV)."""
+    return MachineModel(
+        name="Intel i7-950 (double)",
+        tau_flop=I7_950_SPEC.tau_flop(double_precision=True),
+        tau_mem=I7_950_SPEC.tau_mem,
+        eps_flop=_I7_EPS_DOUBLE,
+        eps_mem=_I7_EPS_MEM,
+        pi0=_PI0,
+        power_cap=None,
+    )
+
+
+#: Registry of catalog machines by CLI-friendly key.
+MACHINES: dict[str, "_MachineFactory"] = {}
+
+
+class _MachineFactory:
+    """Lazy machine constructor with a docstring-derived description."""
+
+    def __init__(self, key: str, builder):
+        self.key = key
+        self.builder = builder
+        doc = (builder.__doc__ or "").strip().splitlines()
+        self.description = doc[0] if doc else key
+
+    def __call__(self) -> MachineModel:
+        return self.builder()
+
+
+for _key, _builder in (
+    ("keckler-fermi", keckler_fermi),
+    ("gtx580-single", gtx580_single),
+    ("gtx580-double", gtx580_double),
+    ("i7-950-single", i7_950_single),
+    ("i7-950-double", i7_950_double),
+):
+    MACHINES[_key] = _MachineFactory(_key, _builder)
+
+
+def get_machine(key: str) -> MachineModel:
+    """Construct a catalog machine by key.
+
+    Raises :class:`~repro.exceptions.ParameterError` for unknown keys,
+    listing the valid ones.
+    """
+    try:
+        factory = MACHINES[key]
+    except KeyError:
+        raise ParameterError(
+            f"unknown machine {key!r}; available: {', '.join(sorted(MACHINES))}"
+        ) from None
+    return factory()
+
+
+def list_machines() -> list[tuple[str, str]]:
+    """(key, description) pairs for every catalog machine."""
+    return [(key, MACHINES[key].description) for key in sorted(MACHINES)]

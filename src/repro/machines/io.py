@@ -1,0 +1,113 @@
+"""Machine definitions on disk: load and save JSON machine files.
+
+Users characterising their own hardware (`energy-roofline fit`) need a
+place to keep the result.  A machine file is a small JSON document:
+
+.. code-block:: json
+
+    {
+      "name": "my-accelerator",
+      "tau_flop": 2.0e-12,
+      "tau_mem": 5.0e-12,
+      "eps_flop": 8.0e-11,
+      "eps_mem": 4.0e-10,
+      "pi0": 60.0,
+      "power_cap": 250.0
+    }
+
+Alternatively, peaks may be given instead of times (mirroring
+:meth:`MachineModel.from_peaks`): ``gflops`` + ``gbytes_per_s`` replace
+``tau_flop`` + ``tau_mem``.  Unknown keys are an error — silently
+ignoring a typo like ``"eps_flops"`` would corrupt every downstream
+analysis.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.core.params import MachineModel
+from repro.exceptions import ParameterError
+
+__all__ = ["machine_from_dict", "machine_to_dict", "load_machine", "save_machine"]
+
+_TIME_KEYS = {"tau_flop", "tau_mem"}
+_PEAK_KEYS = {"gflops", "gbytes_per_s"}
+_COMMON_KEYS = {"name", "eps_flop", "eps_mem", "pi0", "power_cap"}
+
+
+def machine_from_dict(data: dict) -> MachineModel:
+    """Build a :class:`MachineModel` from a parsed machine document."""
+    if not isinstance(data, dict):
+        raise ParameterError(f"machine document must be an object, got {type(data)}")
+    keys = set(data)
+    unknown = keys - _TIME_KEYS - _PEAK_KEYS - _COMMON_KEYS
+    if unknown:
+        raise ParameterError(
+            f"unknown machine keys {sorted(unknown)}; "
+            f"allowed: {sorted(_TIME_KEYS | _PEAK_KEYS | _COMMON_KEYS)}"
+        )
+    missing_common = {"name", "eps_flop", "eps_mem"} - keys
+    if missing_common:
+        raise ParameterError(f"machine document missing {sorted(missing_common)}")
+    has_time = _TIME_KEYS <= keys
+    has_peaks = _PEAK_KEYS <= keys
+    if has_time == has_peaks:
+        raise ParameterError(
+            "specify exactly one of (tau_flop + tau_mem) or "
+            "(gflops + gbytes_per_s)"
+        )
+    common = dict(
+        eps_flop=float(data["eps_flop"]),
+        eps_mem=float(data["eps_mem"]),
+        pi0=float(data.get("pi0", 0.0)),
+        power_cap=(
+            float(data["power_cap"]) if data.get("power_cap") is not None else None
+        ),
+    )
+    if has_time:
+        return MachineModel(
+            name=str(data["name"]),
+            tau_flop=float(data["tau_flop"]),
+            tau_mem=float(data["tau_mem"]),
+            **common,
+        )
+    return MachineModel.from_peaks(
+        str(data["name"]),
+        gflops=float(data["gflops"]),
+        gbytes_per_s=float(data["gbytes_per_s"]),
+        **common,
+    )
+
+
+def machine_to_dict(machine: MachineModel) -> dict:
+    """Serialise a machine to the canonical (time-coefficient) document."""
+    doc = {
+        "name": machine.name,
+        "tau_flop": machine.tau_flop,
+        "tau_mem": machine.tau_mem,
+        "eps_flop": machine.eps_flop,
+        "eps_mem": machine.eps_mem,
+        "pi0": machine.pi0,
+    }
+    if machine.power_cap is not None:
+        doc["power_cap"] = machine.power_cap
+    return doc
+
+
+def load_machine(path: str | Path) -> MachineModel:
+    """Read a machine JSON file."""
+    target = Path(path)
+    try:
+        data = json.loads(target.read_text())
+    except json.JSONDecodeError as exc:
+        raise ParameterError(f"{target}: not valid JSON ({exc})") from exc
+    return machine_from_dict(data)
+
+
+def save_machine(machine: MachineModel, path: str | Path) -> Path:
+    """Write a machine JSON file; returns the path."""
+    target = Path(path)
+    target.write_text(json.dumps(machine_to_dict(machine), indent=2) + "\n")
+    return target

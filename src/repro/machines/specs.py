@@ -1,0 +1,102 @@
+"""Hardware spec sheets — the paper's Table III.
+
+A :class:`HardwareSpec` records the manufacturer-claimed peaks: single- and
+double-precision throughput, memory bandwidth, and the chip-only TDP.  Time
+cost coefficients (``τ_flop``, ``τ_mem``) derive from these; energy
+coefficients do not (no vendor publishes them), which is why the paper
+fits them from measurements (Table IV, :mod:`repro.core.fitting`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exceptions import ParameterError
+from repro.units import time_per_byte_from_gbytes, time_per_flop_from_gflops
+
+__all__ = ["HardwareSpec", "GTX580_SPEC", "I7_950_SPEC", "PLATFORM_TABLE"]
+
+
+@dataclass(frozen=True, slots=True)
+class HardwareSpec:
+    """Manufacturer peaks for one platform (Table III row).
+
+    Attributes
+    ----------
+    device:
+        ``"CPU"`` or ``"GPU"``.
+    model:
+        Marketing name.
+    peak_sp_gflops, peak_dp_gflops:
+        Peak single/double-precision throughput, GFLOP/s.
+    bandwidth_gbytes:
+        Peak memory bandwidth, GB/s.
+    tdp_watts:
+        Chip-only thermal design power / maximum rating, watts.
+    """
+
+    device: str
+    model: str
+    peak_sp_gflops: float
+    peak_dp_gflops: float
+    bandwidth_gbytes: float
+    tdp_watts: float
+
+    def __post_init__(self) -> None:
+        for attr in ("peak_sp_gflops", "peak_dp_gflops", "bandwidth_gbytes", "tdp_watts"):
+            if getattr(self, attr) <= 0:
+                raise ParameterError(f"{attr} must be positive")
+        if self.peak_dp_gflops > self.peak_sp_gflops:
+            raise ParameterError(
+                "double-precision peak cannot exceed single-precision peak"
+            )
+
+    def tau_flop(self, *, double_precision: bool) -> float:
+        """Seconds per flop at the selected precision."""
+        peak = self.peak_dp_gflops if double_precision else self.peak_sp_gflops
+        return time_per_flop_from_gflops(peak)
+
+    @property
+    def tau_mem(self) -> float:
+        """Seconds per byte of DRAM traffic."""
+        return time_per_byte_from_gbytes(self.bandwidth_gbytes)
+
+    def b_tau(self, *, double_precision: bool) -> float:
+        """Time-balance at the selected precision (flops per byte)."""
+        peak = self.peak_dp_gflops if double_precision else self.peak_sp_gflops
+        return peak / self.bandwidth_gbytes
+
+    def table_row(self) -> str:
+        """One Table III-style text row."""
+        return (
+            f"{self.device:<5}{self.model:<26}{self.peak_sp_gflops:>9.2f} "
+            f"({self.peak_dp_gflops:.2f})  {self.bandwidth_gbytes:>7.1f}  "
+            f"{self.tdp_watts:>6.0f}"
+        )
+
+
+#: Intel Core i7-950 (quad-core Nehalem) — Table III first row.
+I7_950_SPEC = HardwareSpec(
+    device="CPU",
+    model="Intel Core i7-950",
+    peak_sp_gflops=106.56,
+    peak_dp_gflops=53.28,
+    bandwidth_gbytes=25.6,
+    tdp_watts=130.0,
+)
+
+#: NVIDIA GeForce GTX 580 (Fermi consumer part) — Table III second row.
+#: The 244 W figure is NVIDIA's maximum graphics-card power for the part,
+#: which §V-B uses as the power cap that clips the single-precision
+#: powerline.
+GTX580_SPEC = HardwareSpec(
+    device="GPU",
+    model="NVIDIA GeForce GTX 580",
+    peak_sp_gflops=1581.06,
+    peak_dp_gflops=197.63,
+    bandwidth_gbytes=192.4,
+    tdp_watts=244.0,
+)
+
+#: Table III in row order.
+PLATFORM_TABLE: tuple[HardwareSpec, ...] = (I7_950_SPEC, GTX580_SPEC)

@@ -1,0 +1,43 @@
+"""Intensity microbenchmarks (§IV-B).
+
+The paper's validation instrument is a pair of tuned synthetic kernels
+whose intensity is a free parameter: a GPU kernel mixing independent FMA
+operations with memory loads, and a CPU polynomial-evaluation kernel
+whose degree controls intensity.  This package provides:
+
+* :mod:`repro.microbench.generator` — the kernels, with exact flop/byte
+  bookkeeping *and* numpy reference computations that verify the
+  bookkeeping against actually-executed arithmetic;
+* :mod:`repro.microbench.autotune` — exhaustive and greedy launch-
+  parameter tuning against a simulated device (the §IV-B "auto-tuned ...
+  to maximize performance" step);
+* :mod:`repro.microbench.sweep` — the full intensity sweep protocol that
+  produces Fig. 4/5's measured points and Table IV's regression input.
+"""
+
+from repro.microbench.autotune import AutoTuner, TuneResult
+from repro.microbench.generator import (
+    cpu_polynomial_kernel,
+    fma_load_mix_for_intensity,
+    fma_load_mix_reference,
+    gpu_fma_load_kernel,
+    polynomial_degree_for_intensity,
+    polynomial_reference,
+    size_work_for_duration,
+)
+from repro.microbench.sweep import IntensitySweep, SweepPoint, SweepResult
+
+__all__ = [
+    "gpu_fma_load_kernel",
+    "fma_load_mix_for_intensity",
+    "cpu_polynomial_kernel",
+    "polynomial_degree_for_intensity",
+    "polynomial_reference",
+    "fma_load_mix_reference",
+    "size_work_for_duration",
+    "AutoTuner",
+    "TuneResult",
+    "IntensitySweep",
+    "SweepPoint",
+    "SweepResult",
+]

@@ -1,0 +1,143 @@
+"""Launch-parameter auto-tuning (§IV-B's "auto-tuned this microbenchmark").
+
+Tuning maximises simulated throughput over the launch space — thread
+block size, grid size, per-thread memory requests, unroll — just as the
+paper tunes its CUDA kernel.  Two strategies:
+
+* :meth:`AutoTuner.exhaustive` — full sweep of a powers-of-two lattice;
+  the gold standard, quadratic-ish in lattice size.
+* :meth:`AutoTuner.greedy` — hill-climbing over neighbour configs
+  (double/halve one field); converges in a handful of evaluations on the
+  tuning landscapes of :class:`~repro.simulator.nonideal.TuningModel`
+  because each factor is unimodal.
+
+Tuning is done *in time* (maximise GFLOP/s).  An energy-tuning variant is
+also provided; on machines where the balance gap is closed the two find
+the same optimum — one of the model's testable claims.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+
+from repro.exceptions import AutotuneError
+from repro.simulator.device import SimulatedDevice
+from repro.simulator.kernel import KernelSpec, LaunchConfig
+
+__all__ = ["TuneResult", "AutoTuner"]
+
+
+@dataclass(frozen=True, slots=True)
+class TuneResult:
+    """Outcome of a tuning run.
+
+    ``objective`` is flop/s for time tuning and flop/J for energy tuning;
+    ``evaluations`` counts simulated executions spent searching.
+    """
+
+    launch: LaunchConfig
+    objective: float
+    evaluations: int
+    strategy: str
+
+
+class AutoTuner:
+    """Searches launch configurations on a simulated device."""
+
+    #: Default powers-of-two lattice for exhaustive search.
+    THREADS = (32, 64, 128, 256, 512, 1024)
+    BLOCKS = (16, 32, 64, 128, 256, 512)
+    REQUESTS = (1, 2, 4, 8, 16, 32)
+    UNROLL = (1, 2, 4, 8, 16, 32)
+
+    def __init__(self, device: SimulatedDevice, *, objective: str = "time"):
+        if objective not in ("time", "energy"):
+            raise AutotuneError(f"objective must be 'time' or 'energy', got {objective!r}")
+        self.device = device
+        self.objective = objective
+
+    def _score(self, kernel: KernelSpec, launch: LaunchConfig) -> float:
+        result = self.device.execute(kernel.with_launch(launch))
+        if self.objective == "time":
+            return kernel.work / result.time
+        return kernel.work / result.energy
+
+    def exhaustive(
+        self,
+        kernel: KernelSpec,
+        *,
+        threads: tuple[int, ...] | None = None,
+        blocks: tuple[int, ...] | None = None,
+        requests: tuple[int, ...] | None = None,
+        unroll: tuple[int, ...] | None = None,
+    ) -> TuneResult:
+        """Evaluate every configuration on the lattice; return the best."""
+        lattice = list(
+            itertools.product(
+                threads or self.THREADS,
+                blocks or self.BLOCKS,
+                requests or self.REQUESTS,
+                unroll or self.UNROLL,
+            )
+        )
+        best_launch: LaunchConfig | None = None
+        best_score = -1.0
+        for tpb, blk, req, unr in lattice:
+            launch = LaunchConfig(
+                threads_per_block=tpb, blocks=blk, requests_per_thread=req, unroll=unr
+            )
+            score = self._score(kernel, launch)
+            if score > best_score:
+                best_score, best_launch = score, launch
+        assert best_launch is not None  # lattice is never empty
+        return TuneResult(
+            launch=best_launch,
+            objective=best_score,
+            evaluations=len(lattice),
+            strategy="exhaustive",
+        )
+
+    def greedy(
+        self,
+        kernel: KernelSpec,
+        *,
+        start: LaunchConfig | None = None,
+        max_steps: int = 64,
+    ) -> TuneResult:
+        """Hill-climb from ``start`` until no neighbour improves.
+
+        Raises :class:`AutotuneError` if the step budget is exhausted
+        before reaching a local optimum (indicating a pathological
+        landscape rather than a user error).
+        """
+        current = start or kernel.launch
+        current_score = self._score(kernel, current)
+        evaluations = 1
+        for _ in range(max_steps):
+            improved = False
+            for candidate in current.neighbors():
+                score = self._score(kernel, candidate)
+                evaluations += 1
+                if score > current_score * (1.0 + 1e-12):
+                    current, current_score = candidate, score
+                    improved = True
+            if not improved:
+                return TuneResult(
+                    launch=current,
+                    objective=current_score,
+                    evaluations=evaluations,
+                    strategy="greedy",
+                )
+        raise AutotuneError(
+            f"greedy tuning did not converge within {max_steps} steps "
+            f"(last config {current})"
+        )
+
+    def tune(self, kernel: KernelSpec, *, strategy: str = "greedy") -> TuneResult:
+        """Tune with the named strategy (``'greedy'`` or ``'exhaustive'``)."""
+        if strategy == "greedy":
+            return self.greedy(kernel)
+        if strategy == "exhaustive":
+            return self.exhaustive(kernel)
+        raise AutotuneError(f"unknown strategy {strategy!r}")

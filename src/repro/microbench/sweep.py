@@ -1,0 +1,194 @@
+"""Intensity sweeps: the experimental protocol behind Figs. 4–5 & Table IV.
+
+An :class:`IntensitySweep` ties everything together: pick a device rig
+(simulated device + rails), auto-tune the kernel launch once on a
+compute-bound instance, then for each requested intensity build a kernel
+of appropriate size, run it under the measurement session, and collect
+:class:`SweepPoint` records.  The resulting :class:`SweepResult` converts
+directly into eq. (9) regression samples and into the measured dots of
+the paper's figures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import DEFAULT_SEED, MeasurementProtocol, NoiseProfile
+from repro.core.fitting import EnergySample
+from repro.exceptions import MeasurementError
+from repro.microbench.autotune import AutoTuner, TuneResult
+from repro.microbench.generator import (
+    cpu_polynomial_kernel,
+    fma_load_mix_for_intensity,
+    gpu_fma_load_kernel,
+    polynomial_degree_for_intensity,
+    size_work_for_duration,
+)
+from repro.powermon.channels import RailSet, atx_cpu_rails, gpu_rails
+from repro.powermon.session import Measurement, MeasurementSession
+from repro.simulator.device import DeviceTruth, SimulatedDevice
+from repro.simulator.kernel import KernelSpec, LaunchConfig, Precision
+
+__all__ = ["SweepPoint", "SweepResult", "IntensitySweep"]
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One intensity's measurement within a sweep.
+
+    ``requested_intensity`` is the sweep grid value; the kernel's actual
+    intensity can differ slightly because operation mixes are integral
+    (whole FMAs per load, whole polynomial degrees).
+    """
+
+    requested_intensity: float
+    measurement: Measurement
+
+    @property
+    def intensity(self) -> float:
+        """The kernel's actual intensity (flops per byte)."""
+        return self.measurement.kernel.intensity
+
+
+@dataclass(frozen=True)
+class SweepResult:
+    """A full intensity sweep on one device at one precision."""
+
+    device_name: str
+    precision: Precision
+    points: tuple[SweepPoint, ...]
+    tuning: TuneResult
+
+    def energy_samples(self) -> list[EnergySample]:
+        """Regression rows for eq. (9)."""
+        return [p.measurement.to_energy_sample() for p in self.points]
+
+    def intensities(self) -> list[float]:
+        """Actual kernel intensities in sweep order."""
+        return [p.intensity for p in self.points]
+
+    @property
+    def max_gflops(self) -> float:
+        """Best achieved arithmetic throughput across the sweep (GFLOP/s)."""
+        return max(p.measurement.achieved_gflops for p in self.points)
+
+    @property
+    def max_bandwidth_gbytes(self) -> float:
+        """Best achieved DRAM bandwidth across the sweep (GB/s)."""
+        return max(p.measurement.achieved_bandwidth_gbytes for p in self.points)
+
+    @property
+    def max_gflops_per_joule(self) -> float:
+        """Best achieved energy efficiency across the sweep (GFLOP/J)."""
+        return max(p.measurement.gflops_per_joule for p in self.points)
+
+
+class IntensitySweep:
+    """Run the paper's intensity-microbenchmark protocol on a device."""
+
+    def __init__(
+        self,
+        truth: DeviceTruth,
+        *,
+        precision: Precision,
+        rails: RailSet | None = None,
+        protocol: MeasurementProtocol | None = None,
+        noise: NoiseProfile | None = None,
+        seed: int = DEFAULT_SEED,
+        target_seconds: float = 0.05,
+    ):
+        self.truth = truth
+        self.precision = precision
+        self.device = SimulatedDevice(truth)
+        if rails is None:
+            rails = gpu_rails() if truth.spec.device == "GPU" else atx_cpu_rails()
+        self.session = MeasurementSession(
+            self.device, rails, protocol=protocol, noise=noise, seed=seed
+        )
+        self.target_seconds = target_seconds
+
+    # ------------------------------------------------------------------
+    # Kernel construction
+    # ------------------------------------------------------------------
+
+    def build_kernel(
+        self, intensity: float, launch: LaunchConfig | None = None
+    ) -> KernelSpec:
+        """An intensity-targeted kernel sized for the sampling protocol.
+
+        GPU rigs get the FMA+load mix; CPU rigs the streamed polynomial.
+        Sizing aims at ``target_seconds`` per repetition using only
+        spec-sheet peaks.
+        """
+        work = size_work_for_duration(
+            self.truth,
+            intensity,
+            precision=self.precision,
+            target_seconds=self.target_seconds,
+        )
+        if self.truth.spec.device == "GPU":
+            k, loads = fma_load_mix_for_intensity(intensity, precision=self.precision)
+            n_groups = max(1, round(work / (2.0 * k)))
+            return gpu_fma_load_kernel(
+                k,
+                n_groups,
+                loads_per_group=loads,
+                precision=self.precision,
+                launch=launch,
+            )
+        degree = polynomial_degree_for_intensity(intensity, precision=self.precision)
+        n_elements = max(1, round(work / (2.0 * degree)))
+        return cpu_polynomial_kernel(
+            degree, n_elements, precision=self.precision, launch=launch
+        )
+
+    def tune(self, *, strategy: str = "greedy") -> TuneResult:
+        """Tune the launch on a strongly compute-bound kernel instance.
+
+        Tuning at high intensity isolates the launch factors from
+        bandwidth effects; the tuned launch is reused across the sweep,
+        exactly as a real tuned binary would be.
+        """
+        probe = self.build_kernel(64.0)
+        return AutoTuner(self.device).tune(probe, strategy=strategy)
+
+    # ------------------------------------------------------------------
+    # The sweep itself
+    # ------------------------------------------------------------------
+
+    def run(
+        self,
+        intensities: list[float],
+        *,
+        tune_strategy: str = "greedy",
+        launch: LaunchConfig | None = None,
+    ) -> SweepResult:
+        """Measure every requested intensity; returns the full result.
+
+        Passing an explicit ``launch`` skips tuning (used by ablations
+        measuring the cost of a badly tuned kernel).
+        """
+        if not intensities:
+            raise MeasurementError("need at least one intensity")
+        if any(i <= 0 for i in intensities):
+            raise MeasurementError("intensities must be positive")
+        if launch is None:
+            tuning = self.tune(strategy=tune_strategy)
+            launch = tuning.launch
+        else:
+            tuning = TuneResult(
+                launch=launch, objective=float("nan"), evaluations=0, strategy="fixed"
+            )
+        points = []
+        for intensity in sorted(intensities):
+            kernel = self.build_kernel(intensity, launch=launch)
+            measurement = self.session.measure(kernel)
+            points.append(
+                SweepPoint(requested_intensity=intensity, measurement=measurement)
+            )
+        return SweepResult(
+            device_name=self.truth.name,
+            precision=self.precision,
+            points=tuple(points),
+            tuning=tuning,
+        )

@@ -1,0 +1,49 @@
+"""Simulated power-measurement instrumentation (§IV-A).
+
+The paper measures with **PowerMon 2** — an 8-channel inline DC power
+monitor sampling voltage and current at up to 1024 Hz per channel
+(3072 Hz aggregate) — plus a custom **PCIe interposer** that intercepts
+the motherboard-slot power feeding the GPU.  This package reproduces that
+measurement chain against simulated devices:
+
+* :mod:`repro.powermon.adc` — per-sample quantisation and noise;
+* :mod:`repro.powermon.channels` — rails and channel definitions
+  (ATX 20-pin / 4-pin for the CPU rig, 8-pin / 6-pin / interposer for
+  the GPU rig);
+* :mod:`repro.powermon.interposer` — PCIe slot power split with the
+  75 W slot budget;
+* :mod:`repro.powermon.device` — the PowerMon 2 sampler with its rate
+  and channel-count limits enforced;
+* :mod:`repro.powermon.session` — the full measurement protocol: run a
+  kernel N times, sample all rails, average instantaneous power, and
+  multiply by time to get energy — exactly the paper's method.
+"""
+
+from repro.powermon.adc import ADCModel
+from repro.powermon.channels import (
+    Channel,
+    RailSet,
+    atx_cpu_rails,
+    gpu_rails,
+)
+from repro.powermon.device import PowerMon2, SampleSet
+from repro.powermon.interposer import PCIeInterposer
+from repro.powermon.logfile import dumps, loads, read_log, write_log
+from repro.powermon.session import Measurement, MeasurementSession
+
+__all__ = [
+    "ADCModel",
+    "Channel",
+    "RailSet",
+    "atx_cpu_rails",
+    "gpu_rails",
+    "PCIeInterposer",
+    "PowerMon2",
+    "SampleSet",
+    "Measurement",
+    "MeasurementSession",
+    "dumps",
+    "loads",
+    "read_log",
+    "write_log",
+]

@@ -1,0 +1,105 @@
+"""ADC model: what a digital power monitor does to a true V/I value.
+
+PowerMon 2 reads each channel through a digital power-monitor IC; every
+reading carries quantisation (finite ADC resolution over a full-scale
+range), a multiplicative gain error (shunt/divider tolerance, identical
+for all samples on one channel), and additive Gaussian noise.  These
+imperfections are the reason the paper's fitted coefficients carry
+standard errors at all.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.config import NoiseProfile
+from repro.exceptions import MeasurementError
+
+__all__ = ["ADCModel"]
+
+
+@dataclass(frozen=True, slots=True)
+class ADCModel:
+    """Converts true channel values into noisy, quantised readings.
+
+    Parameters
+    ----------
+    full_scale_voltage:
+        Largest representable voltage (V); readings clip here.
+    full_scale_current:
+        Largest representable current (A).
+    noise:
+        Noise magnitudes (relative sigmas, bit depth, gain error).
+    """
+
+    full_scale_voltage: float = 16.0
+    full_scale_current: float = 40.0
+    noise: NoiseProfile = NoiseProfile()
+
+    def __post_init__(self) -> None:
+        if self.full_scale_voltage <= 0 or self.full_scale_current <= 0:
+            raise MeasurementError("full-scale ranges must be positive")
+
+    @property
+    def voltage_lsb(self) -> float:
+        """Voltage quantisation step (V)."""
+        return self.full_scale_voltage / (2**self.noise.adc_bits)
+
+    @property
+    def current_lsb(self) -> float:
+        """Current quantisation step (A)."""
+        return self.full_scale_current / (2**self.noise.adc_bits)
+
+    def _convert(
+        self,
+        true_values: np.ndarray,
+        *,
+        sigma: float,
+        lsb: float,
+        full_scale: float,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        values = np.asarray(true_values, dtype=float)
+        if np.any(values < 0):
+            raise MeasurementError("true channel values must be non-negative")
+        gained = values * (1.0 + self.noise.gain_error)
+        if sigma > 0:
+            gained = gained * (1.0 + rng.normal(0.0, sigma, size=gained.shape))
+        quantised = np.round(gained / lsb) * lsb
+        return np.clip(quantised, 0.0, full_scale)
+
+    def read_voltage(
+        self, true_volts: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Sample voltages through the ADC."""
+        return self._convert(
+            true_volts,
+            sigma=self.noise.voltage_sigma,
+            lsb=self.voltage_lsb,
+            full_scale=self.full_scale_voltage,
+            rng=rng,
+        )
+
+    def read_current(
+        self, true_amps: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Sample currents through the ADC."""
+        return self._convert(
+            true_amps,
+            sigma=self.noise.current_sigma,
+            lsb=self.current_lsb,
+            full_scale=self.full_scale_current,
+            rng=rng,
+        )
+
+    def worst_case_power_error(self, voltage: float, current: float) -> float:
+        """Upper bound on per-sample power error from quantisation alone (W).
+
+        ``|ΔP| <= V·ΔI + I·ΔV + ΔV·ΔI`` with half-LSB deltas.  Useful for
+        ablation benches relating bit depth to energy accuracy.
+        """
+        dv = 0.5 * self.voltage_lsb
+        di = 0.5 * self.current_lsb
+        return voltage * di + current * dv + dv * di

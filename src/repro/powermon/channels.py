@@ -1,0 +1,151 @@
+"""Power rails and measurement channels.
+
+A :class:`Channel` is one V/I pair PowerMon can monitor: a supply rail
+with a nominal voltage and a *share policy* describing how much of the
+device's total draw flows through it.  A :class:`RailSet` is the set of
+channels wired for one experimental rig:
+
+* **CPU rig** (§IV-A): the ATX 20-pin connector's 3.3 V, 5 V, and 12 V
+  sources plus the 4-pin 12 V CPU connector — GPU and peripherals
+  physically removed.
+* **GPU rig**: the 8-pin and 6-pin PCIe power connectors straight from
+  the PSU, plus the motherboard slot's 12 V and 3.3 V feeds intercepted
+  by the interposer (:mod:`repro.powermon.interposer`).
+
+Share policies: fixed fractions for PSU-side rails, and capacity-limited
+splits for the slot rails (the PCIe specification caps slot power, so
+load beyond the cap shifts to the auxiliary connectors — which is why the
+interposer was needed at all: without it, slot-delivered watts would
+simply be missing from the total).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import MeasurementError
+
+__all__ = ["Channel", "RailSet", "atx_cpu_rails", "gpu_rails"]
+
+
+@dataclass(frozen=True, slots=True)
+class Channel:
+    """One monitored rail.
+
+    Attributes
+    ----------
+    name:
+        Label, e.g. ``"ATX 12V (8-pin)"``.
+    nominal_voltage:
+        Rail voltage (V); true voltage regulates within a fraction of a
+        percent of this.
+    share:
+        Fraction of *residual* device power carried by this rail (after
+        capacity-limited rails take their cut).
+    max_watts:
+        Optional capacity limit; this rail carries
+        ``min(share-weighted residual, max_watts)`` and the remainder
+        cascades to later rails.
+    """
+
+    name: str
+    nominal_voltage: float
+    share: float
+    max_watts: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.nominal_voltage <= 0:
+            raise MeasurementError(f"nominal_voltage must be positive: {self.name}")
+        if not 0.0 <= self.share <= 1.0:
+            raise MeasurementError(f"share must be in [0, 1]: {self.name}")
+        if self.max_watts is not None and self.max_watts <= 0:
+            raise MeasurementError(f"max_watts must be positive: {self.name}")
+
+
+@dataclass(frozen=True)
+class RailSet:
+    """An ordered set of channels that jointly carry a device's power.
+
+    Power is distributed front-to-back: each capacity-limited channel
+    takes ``share × remaining`` up to its cap; the final channel absorbs
+    whatever is left (its ``share`` is ignored), guaranteeing the rails
+    always sum to the true total — conservation the tests verify.
+    """
+
+    name: str
+    channels: tuple[Channel, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.channels) < 1:
+            raise MeasurementError("a rail set needs at least one channel")
+        names = [c.name for c in self.channels]
+        if len(set(names)) != len(names):
+            raise MeasurementError(f"duplicate channel names: {names}")
+
+    def __len__(self) -> int:
+        return len(self.channels)
+
+    def split_power(self, total_power: np.ndarray) -> list[np.ndarray]:
+        """Distribute total power across rails (vectorised over samples).
+
+        Returns per-channel power arrays; their sum equals ``total_power``
+        exactly.
+        """
+        total = np.asarray(total_power, dtype=float)
+        if np.any(total < 0):
+            raise MeasurementError("total power must be non-negative")
+        remaining = total.copy()
+        powers: list[np.ndarray] = []
+        for channel in self.channels[:-1]:
+            p = channel.share * remaining
+            if channel.max_watts is not None:
+                p = np.minimum(p, channel.max_watts)
+            powers.append(p)
+            remaining = remaining - p
+        powers.append(remaining)
+        return powers
+
+    def true_currents(self, total_power: np.ndarray) -> list[np.ndarray]:
+        """Per-channel true current ``I = P_rail / V_nominal`` (A)."""
+        return [
+            p / c.nominal_voltage
+            for p, c in zip(self.split_power(total_power), self.channels)
+        ]
+
+
+def atx_cpu_rails() -> RailSet:
+    """The CPU rig: ATX 20-pin (3.3/5/12 V) + 4-pin 12 V CPU connector.
+
+    Share fractions are representative of a Nehalem desktop under load:
+    the 4-pin 12 V feeds the CPU VRM and dominates; the last rail (20-pin
+    12 V) absorbs the residual.
+    """
+    return RailSet(
+        name="ATX (CPU rig)",
+        channels=(
+            Channel("ATX 3.3V", 3.3, share=0.08),
+            Channel("ATX 5V", 5.0, share=0.12),
+            Channel("ATX 4-pin 12V (CPU)", 12.0, share=0.60),
+            Channel("ATX 20-pin 12V", 12.0, share=1.0),
+        ),
+    )
+
+
+def gpu_rails() -> RailSet:
+    """The GPU rig: PCIe slot rails (interposer) + 8-pin and 6-pin aux.
+
+    The slot rails carry PCIe-specified maxima (66 W on 12 V, 9.9 W on
+    3.3 V); load above those caps shifts to the auxiliary connectors.
+    The 8-pin absorbs the residual beyond the 6-pin's 75 W rating.
+    """
+    return RailSet(
+        name="GPU (interposer + aux)",
+        channels=(
+            Channel("PCIe slot 3.3V", 3.3, share=0.02, max_watts=9.9),
+            Channel("PCIe slot 12V", 12.0, share=0.25, max_watts=66.0),
+            Channel("PCIe 6-pin 12V", 12.0, share=0.40, max_watts=75.0),
+            Channel("PCIe 8-pin 12V", 12.0, share=1.0),
+        ),
+    )

@@ -1,0 +1,183 @@
+"""PowerMon 2: the multi-channel sampler with its hardware limits.
+
+The real device monitors up to eight channels at up to 1024 Hz each with
+an aggregate ceiling of 3072 Hz, emitting time-stamped V/I readings.
+:class:`PowerMon2` enforces exactly those limits, samples a ground-truth
+:class:`~repro.simulator.trace.PowerTrace` through per-channel ADCs, and
+returns a :class:`SampleSet` that computes power and energy the paper's
+way: per-sample ``Σ V·I`` over channels, averaged, times duration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.config import (
+    POWERMON_MAX_AGGREGATE_HZ,
+    POWERMON_MAX_CHANNELS,
+    POWERMON_MAX_CHANNEL_HZ,
+)
+from repro.exceptions import SamplingError
+from repro.powermon.adc import ADCModel
+from repro.powermon.channels import RailSet
+from repro.simulator.trace import PowerTrace
+
+__all__ = ["SampleSet", "PowerMon2"]
+
+
+@dataclass(frozen=True)
+class SampleSet:
+    """Time-stamped multi-channel V/I readings from one acquisition.
+
+    Arrays are shaped ``(n_channels, n_samples)``.  Every derived
+    quantity below uses only the readings — never the ground truth —
+    mirroring what the real instrument delivers.
+    """
+
+    timestamps: np.ndarray
+    voltages: np.ndarray
+    currents: np.ndarray
+    channel_names: tuple[str, ...]
+    sample_hz: float
+
+    def __post_init__(self) -> None:
+        if self.voltages.shape != self.currents.shape:
+            raise SamplingError("voltage and current arrays must match in shape")
+        n_ch, n_s = self.voltages.shape
+        if self.timestamps.shape != (n_s,):
+            raise SamplingError("timestamps must have one entry per sample")
+        if len(self.channel_names) != n_ch:
+            raise SamplingError("need one name per channel")
+
+    @property
+    def n_samples(self) -> int:
+        return int(self.timestamps.size)
+
+    @property
+    def n_channels(self) -> int:
+        return len(self.channel_names)
+
+    def instantaneous_power(self) -> np.ndarray:
+        """Per-sample total power: ``Σ_channels V·I`` (W)."""
+        return np.sum(self.voltages * self.currents, axis=0)
+
+    def channel_power(self, name: str) -> np.ndarray:
+        """Per-sample power on one named channel (W)."""
+        try:
+            idx = self.channel_names.index(name)
+        except ValueError as exc:
+            raise SamplingError(
+                f"no channel {name!r}; have {self.channel_names}"
+            ) from exc
+        return self.voltages[idx] * self.currents[idx]
+
+    def average_power(self) -> float:
+        """Mean of instantaneous power over all samples (W)."""
+        if self.n_samples == 0:
+            raise SamplingError("no samples acquired")
+        return float(np.mean(self.instantaneous_power()))
+
+    def span(self) -> float:
+        """Acquisition duration covered by the samples (s).
+
+        One sample period per sample — each reading represents the
+        interval until the next, so energy integrates as a left Riemann
+        sum.
+        """
+        return self.n_samples / self.sample_hz
+
+    def total_energy(self) -> float:
+        """The paper's energy computation: average power × total time (J)."""
+        return self.average_power() * self.span()
+
+
+class PowerMon2:
+    """The simulated 8-channel power monitor.
+
+    Parameters
+    ----------
+    adc:
+        Conversion model applied to every reading.
+    """
+
+    MAX_CHANNELS = POWERMON_MAX_CHANNELS
+    MAX_CHANNEL_HZ = POWERMON_MAX_CHANNEL_HZ
+    MAX_AGGREGATE_HZ = POWERMON_MAX_AGGREGATE_HZ
+
+    def __init__(self, adc: ADCModel | None = None):
+        self.adc = adc or ADCModel()
+
+    def validate_rates(self, n_channels: int, sample_hz: float) -> None:
+        """Raise :class:`SamplingError` if the acquisition exceeds hardware.
+
+        Mirrors the real device: ≤8 channels, ≤1024 Hz per channel,
+        ≤3072 Hz summed over channels.
+        """
+        if n_channels < 1:
+            raise SamplingError("need at least one channel")
+        if n_channels > self.MAX_CHANNELS:
+            raise SamplingError(
+                f"PowerMon 2 supports at most {self.MAX_CHANNELS} channels, "
+                f"got {n_channels}"
+            )
+        if sample_hz <= 0:
+            raise SamplingError("sample rate must be positive")
+        if sample_hz > self.MAX_CHANNEL_HZ:
+            raise SamplingError(
+                f"per-channel rate {sample_hz} Hz exceeds "
+                f"{self.MAX_CHANNEL_HZ} Hz limit"
+            )
+        aggregate = sample_hz * n_channels
+        if aggregate > self.MAX_AGGREGATE_HZ:
+            raise SamplingError(
+                f"aggregate rate {aggregate} Hz exceeds "
+                f"{self.MAX_AGGREGATE_HZ} Hz limit"
+            )
+
+    def acquire(
+        self,
+        trace: PowerTrace,
+        rails: RailSet,
+        *,
+        sample_hz: float,
+        rng: np.random.Generator,
+        start: float = 0.0,
+        duration: float | None = None,
+    ) -> SampleSet:
+        """Sample a power trace through the rail set and ADCs.
+
+        Samples land at ``start + k/sample_hz`` for ``k = 0..n-1`` over
+        ``duration`` (default: the rest of the trace).  All channels
+        sample synchronously, as the real device's aggregate scan does.
+        """
+        self.validate_rates(len(rails), sample_hz)
+        if duration is None:
+            duration = trace.duration - start
+        if duration <= 0:
+            raise SamplingError(f"sampling window must be positive, got {duration}")
+        n = int(np.floor(duration * sample_hz))
+        if n < 1:
+            raise SamplingError(
+                f"window of {duration:.4g}s yields no samples at {sample_hz} Hz; "
+                "lengthen the run or raise the rate"
+            )
+        times = start + np.arange(n) / sample_hz
+        total_power = trace.power_at(times)
+        true_currents = rails.true_currents(total_power)
+
+        voltages = np.empty((len(rails), n))
+        currents = np.empty((len(rails), n))
+        for i, (channel, current) in enumerate(zip(rails.channels, true_currents)):
+            true_v = np.full(n, channel.nominal_voltage)
+            voltages[i] = self.adc.read_voltage(true_v, rng)
+            currents[i] = self.adc.read_current(current, rng)
+
+        return SampleSet(
+            timestamps=times,
+            voltages=voltages,
+            currents=currents,
+            channel_names=tuple(c.name for c in rails.channels),
+            sample_hz=sample_hz,
+        )

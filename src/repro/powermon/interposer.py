@@ -1,0 +1,83 @@
+"""The PCIe interposer: slot-power interception for GPU isolation.
+
+High-power GPUs draw from *both* auxiliary PSU connectors and the
+motherboard slot.  PSU-side monitoring alone therefore undercounts GPU
+power by up to the slot budget (75 W).  The paper's custom interposer
+sits between card and slot and taps the 12 V and 3.3 V slot pins so the
+full draw is observable.
+
+This module quantifies that: given a rail set with and without the slot
+channels, how many watts (and what fraction of energy) would be missed.
+It exists mostly for the measurement-infrastructure tests and the
+documentation example showing *why* the interposer matters — the actual
+splitting logic lives in :class:`repro.powermon.channels.RailSet`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import MeasurementError
+from repro.powermon.channels import RailSet
+
+__all__ = ["PCIeInterposer"]
+
+#: PCI Express slot power budget (25 W + 41 W on 12 V, 9.9 W on 3.3 V ≈ 75 W
+#: for a x16 graphics slot; we use the spec's rail maxima).
+SLOT_12V_MAX_W = 66.0
+SLOT_33V_MAX_W = 9.9
+
+
+@dataclass(frozen=True)
+class PCIeInterposer:
+    """Analysis wrapper around a GPU rail set's slot channels.
+
+    ``slot_channel_names`` identifies which channels of the rail set are
+    only observable because the interposer exists.
+    """
+
+    rails: RailSet
+    slot_channel_names: tuple[str, ...] = ("PCIe slot 3.3V", "PCIe slot 12V")
+
+    def __post_init__(self) -> None:
+        names = {c.name for c in self.rails.channels}
+        missing = set(self.slot_channel_names) - names
+        if missing:
+            raise MeasurementError(
+                f"rail set {self.rails.name!r} lacks slot channels {sorted(missing)}"
+            )
+
+    def slot_power(self, total_power: np.ndarray) -> np.ndarray:
+        """Watts flowing through the slot at each sample."""
+        split = self.rails.split_power(np.asarray(total_power, dtype=float))
+        slot = np.zeros_like(np.asarray(total_power, dtype=float))
+        for power, channel in zip(split, self.rails.channels):
+            if channel.name in self.slot_channel_names:
+                slot = slot + power
+        return slot
+
+    def undercount_fraction(self, total_power: np.ndarray) -> float:
+        """Average fraction of power invisible without the interposer.
+
+        This is the systematic error a PSU-only measurement of this trace
+        would commit — the motivation for building the interposer.
+        """
+        total = np.asarray(total_power, dtype=float)
+        if total.size == 0:
+            raise MeasurementError("need at least one sample")
+        total_sum = float(np.sum(total))
+        if total_sum == 0:
+            return 0.0
+        return float(np.sum(self.slot_power(total))) / total_sum
+
+    def slot_within_spec(self, total_power: np.ndarray) -> bool:
+        """Whether slot draw stays inside the PCIe budget at every sample."""
+        split = self.rails.split_power(np.asarray(total_power, dtype=float))
+        for power, channel in zip(split, self.rails.channels):
+            if channel.name == "PCIe slot 12V" and np.any(power > SLOT_12V_MAX_W + 1e-9):
+                return False
+            if channel.name == "PCIe slot 3.3V" and np.any(power > SLOT_33V_MAX_W + 1e-9):
+                return False
+        return True

@@ -1,0 +1,151 @@
+"""PowerMon 2 log format: formatted, time-stamped measurement records.
+
+The real PowerMon 2 "reports formatted and time-stamped measurements
+without the need for additional software" (§IV-A).  This module defines
+the reproduction's equivalent on-disk format — a self-describing text
+log — with a writer and a strict parser, so measurement sessions can be
+archived and re-analysed offline (e.g. fed back into ``energy-roofline
+fit`` pipelines or external tooling).
+
+Format (version 1)::
+
+    # powermon2-log v1
+    # sample_hz: 128.0
+    # channels: 4
+    # channel 0: PCIe slot 3.3V
+    # channel 1: PCIe slot 12V
+    ...
+    # columns: time_s ch0_V ch0_A ch1_V ch1_A ...
+    0.0000000 3.3008 0.9871 12.0013 1.0231 ...
+
+Header lines start with ``#``; data rows are whitespace-separated
+floats, one row per synchronous scan.  The parser validates structure
+aggressively — a truncated or reordered file fails loudly rather than
+yielding silently wrong energy numbers.
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+
+import numpy as np
+
+from repro.exceptions import MeasurementError
+from repro.powermon.device import SampleSet
+
+__all__ = ["write_log", "read_log", "dumps", "loads"]
+
+_MAGIC = "# powermon2-log v1"
+
+
+def dumps(samples: SampleSet) -> str:
+    """Serialise a :class:`SampleSet` to the v1 text format."""
+    out = io.StringIO()
+    out.write(_MAGIC + "\n")
+    out.write(f"# sample_hz: {samples.sample_hz!r}\n")
+    out.write(f"# channels: {samples.n_channels}\n")
+    for i, name in enumerate(samples.channel_names):
+        if "\n" in name or "\r" in name:
+            raise MeasurementError(f"channel name contains a newline: {name!r}")
+        out.write(f"# channel {i}: {name}\n")
+    columns = ["time_s"]
+    for i in range(samples.n_channels):
+        columns += [f"ch{i}_V", f"ch{i}_A"]
+    out.write("# columns: " + " ".join(columns) + "\n")
+    for j in range(samples.n_samples):
+        row = [f"{samples.timestamps[j]:.7f}"]
+        for i in range(samples.n_channels):
+            row.append(f"{samples.voltages[i, j]:.6f}")
+            row.append(f"{samples.currents[i, j]:.6f}")
+        out.write(" ".join(row) + "\n")
+    return out.getvalue()
+
+
+def loads(text: str) -> SampleSet:
+    """Parse the v1 text format back into a :class:`SampleSet`.
+
+    Raises :class:`MeasurementError` on any structural defect: wrong
+    magic, missing headers, inconsistent column counts, or non-numeric
+    cells.
+    """
+    lines = text.splitlines()
+    if not lines or lines[0].strip() != _MAGIC:
+        raise MeasurementError(
+            f"not a powermon2-log v1 file (first line {lines[0]!r})"
+            if lines
+            else "empty log"
+        )
+    sample_hz: float | None = None
+    n_channels: int | None = None
+    names: dict[int, str] = {}
+    data_start: int | None = None
+
+    for idx, line in enumerate(lines[1:], start=1):
+        stripped = line.strip()
+        if not stripped.startswith("#"):
+            data_start = idx
+            break
+        body = stripped[1:].strip()
+        if body.startswith("sample_hz:"):
+            sample_hz = float(body.split(":", 1)[1])
+        elif body.startswith("channels:"):
+            n_channels = int(body.split(":", 1)[1])
+        elif body.startswith("channel "):
+            head, name = body.split(":", 1)
+            names[int(head.split()[1])] = name.strip()
+        elif body.startswith("columns:"):
+            pass  # informational
+        else:
+            raise MeasurementError(f"unrecognised header line: {line!r}")
+
+    if sample_hz is None or n_channels is None:
+        raise MeasurementError("missing sample_hz or channels header")
+    if sorted(names) != list(range(n_channels)):
+        raise MeasurementError(
+            f"channel names {sorted(names)} do not cover 0..{n_channels - 1}"
+        )
+    if data_start is None:
+        raise MeasurementError("log contains no data rows")
+
+    expected_cols = 1 + 2 * n_channels
+    rows: list[list[float]] = []
+    for line_no, line in enumerate(lines[data_start:], start=data_start + 1):
+        if not line.strip():
+            continue
+        cells = line.split()
+        if len(cells) != expected_cols:
+            raise MeasurementError(
+                f"line {line_no}: expected {expected_cols} columns, "
+                f"got {len(cells)}"
+            )
+        try:
+            rows.append([float(c) for c in cells])
+        except ValueError as exc:
+            raise MeasurementError(f"line {line_no}: non-numeric cell") from exc
+    if not rows:
+        raise MeasurementError("log contains no data rows")
+
+    data = np.asarray(rows)
+    timestamps = data[:, 0]
+    voltages = data[:, 1::2].T.copy()
+    currents = data[:, 2::2].T.copy()
+    return SampleSet(
+        timestamps=timestamps,
+        voltages=voltages,
+        currents=currents,
+        channel_names=tuple(names[i] for i in range(n_channels)),
+        sample_hz=sample_hz,
+    )
+
+
+def write_log(samples: SampleSet, path: str | Path) -> Path:
+    """Write a sample set to disk; returns the path."""
+    target = Path(path)
+    target.write_text(dumps(samples))
+    return target
+
+
+def read_log(path: str | Path) -> SampleSet:
+    """Read a sample set from disk."""
+    return loads(Path(path).read_text())

@@ -1,0 +1,176 @@
+"""The full measurement protocol of §IV-A, end to end.
+
+A :class:`MeasurementSession` binds a simulated device to a PowerMon and
+a rail set, and measures kernels exactly the way the paper does:
+
+1. execute the kernel ``repetitions`` times back-to-back (a warm-up pass
+   is discarded first);
+2. sample every rail at the protocol rate for the whole active window;
+3. instantaneous power per sample = Σ over rails of V·I;
+4. average power = mean over samples; total energy = average power ×
+   wall time; per-run values divide by the repetition count;
+5. wall time comes from a (slightly jittered) timer, independent of the
+   power samples.
+
+The output :class:`Measurement` carries ``(W, Q, T, E, R)`` — the exact
+4-tuple-plus-energy the eq. (9) regression consumes — and keeps the raw
+sample set for power-trace analyses (Fig. 5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.config import DEFAULT_SEED, MeasurementProtocol, NoiseProfile
+from repro.core.fitting import EnergySample
+from repro.exceptions import MeasurementError
+from repro.powermon.adc import ADCModel
+from repro.powermon.channels import RailSet
+from repro.powermon.device import PowerMon2, SampleSet
+from repro.simulator.device import ExecutionResult, SimulatedDevice
+from repro.simulator.kernel import KernelSpec, Precision
+
+__all__ = ["Measurement", "MeasurementSession"]
+
+#: Relative sigma of the wall-clock timer (gettimeofday-class jitter).
+_TIMER_SIGMA = 1e-4
+
+
+@dataclass(frozen=True)
+class Measurement:
+    """One measured kernel: observables plus (test-only) ground truth.
+
+    ``time``/``energy``/``average_power`` are *per repetition* and come
+    from the measurement chain.  ``truth`` is the simulator's hidden
+    result — production analyses must not use it; tests use it to bound
+    measurement error.
+    """
+
+    kernel: KernelSpec
+    repetitions: int
+    time: float
+    energy: float
+    average_power: float
+    samples: SampleSet
+    truth: ExecutionResult
+
+    @property
+    def achieved_gflops(self) -> float:
+        """Measured arithmetic throughput (GFLOP/s)."""
+        return self.kernel.work / self.time / 1e9
+
+    @property
+    def achieved_bandwidth_gbytes(self) -> float:
+        """Measured DRAM bandwidth (GB/s)."""
+        return self.kernel.traffic / self.time / 1e9
+
+    @property
+    def gflops_per_joule(self) -> float:
+        """Measured energy efficiency (GFLOP/J)."""
+        return self.kernel.work / self.energy / 1e9
+
+    def to_energy_sample(self) -> EnergySample:
+        """The eq. (9) regression row for this measurement."""
+        return EnergySample(
+            work=self.kernel.work,
+            traffic=self.kernel.traffic,
+            time=self.time,
+            energy=self.energy,
+            double_precision=self.kernel.precision is Precision.DOUBLE,
+        )
+
+
+class MeasurementSession:
+    """Runs the §IV-A protocol against a simulated device."""
+
+    def __init__(
+        self,
+        device: SimulatedDevice,
+        rails: RailSet,
+        *,
+        protocol: MeasurementProtocol | None = None,
+        noise: NoiseProfile | None = None,
+        seed: int = DEFAULT_SEED,
+    ):
+        self.device = device
+        self.rails = rails
+        self.protocol = protocol or MeasurementProtocol()
+        self.noise = noise if noise is not None else NoiseProfile()
+        self.powermon = PowerMon2(ADCModel(noise=self.noise))
+        self._timer_noisy = self.noise.voltage_sigma > 0
+        self.rng = np.random.default_rng(seed)
+        # Fail fast: the protocol must be within the instrument's limits.
+        self.powermon.validate_rates(len(rails), self.protocol.sample_hz)
+
+    def measure(
+        self,
+        kernel: KernelSpec,
+        *,
+        cache_traffic: float = 0.0,
+        efficiency: float | None = None,
+    ) -> Measurement:
+        """Measure one kernel per the protocol; returns per-run values.
+
+        Raises :class:`MeasurementError` when the active window is too
+        short to collect at least one sample per repetition on average —
+        the practical "size your benchmark for the sampler" constraint
+        real PowerMon users face.
+        """
+        protocol = self.protocol
+        truth = self.device.execute(
+            kernel, cache_traffic=cache_traffic, efficiency=efficiency
+        )
+        trace = self.device.trace(
+            truth, repetitions=protocol.repetitions, ramp=1e-3, lead=0.0
+        )
+        samples_expected = trace.active_duration * protocol.sample_hz
+        if samples_expected < protocol.repetitions:
+            raise MeasurementError(
+                f"kernel {kernel.name!r} runs {truth.time * 1e3:.3g} ms/rep: "
+                f"{samples_expected:.1f} samples over {protocol.repetitions} reps "
+                f"at {protocol.sample_hz} Hz is too sparse; increase work"
+            )
+
+        samples = self.powermon.acquire(
+            trace,
+            self.rails,
+            sample_hz=protocol.sample_hz,
+            rng=self.rng,
+            start=trace.t_plateau_start,
+            duration=trace.active_duration,
+        )
+
+        wall = trace.active_duration
+        if self._timer_noisy:
+            wall *= 1.0 + float(self.rng.normal(0.0, _TIMER_SIGMA))
+        energy_total = samples.average_power() * wall
+
+        return Measurement(
+            kernel=kernel,
+            repetitions=protocol.repetitions,
+            time=wall / protocol.repetitions,
+            energy=energy_total / protocol.repetitions,
+            average_power=samples.average_power(),
+            samples=samples,
+            truth=truth,
+        )
+
+    def measure_many(
+        self,
+        kernels: list[KernelSpec],
+        *,
+        cache_traffic: list[float] | None = None,
+    ) -> list[Measurement]:
+        """Measure a batch of kernels (e.g. an intensity sweep)."""
+        if cache_traffic is None:
+            cache_traffic = [0.0] * len(kernels)
+        if len(cache_traffic) != len(kernels):
+            raise MeasurementError(
+                "cache_traffic must have one entry per kernel"
+            )
+        return [
+            self.measure(kernel, cache_traffic=traffic)
+            for kernel, traffic in zip(kernels, cache_traffic)
+        ]

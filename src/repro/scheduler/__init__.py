@@ -1,0 +1,20 @@
+"""Heterogeneous work partitioning under the time and energy models.
+
+The related-work thread the paper builds on ("Multi-Amdahl: how should I
+divide my heterogeneous chip?") asks how to split work between unlike
+devices.  With a time model *and* an energy model per device, the answer
+differs by objective: the time-optimal split equalises finish times,
+while the energy-optimal split often runs everything on the greener
+device — unless constant power burned while waiting changes the
+calculus.  :mod:`repro.scheduler.partition` makes those trade-offs
+computable.
+"""
+
+from repro.scheduler.partition import (
+    Device,
+    HeterogeneousScheduler,
+    IdlePolicy,
+    PartitionPlan,
+)
+
+__all__ = ["Device", "IdlePolicy", "PartitionPlan", "HeterogeneousScheduler"]

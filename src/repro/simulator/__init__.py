@@ -1,0 +1,46 @@
+"""Simulated execution substrate standing in for the paper's testbed.
+
+The paper measures real silicon (GTX 580, i7-950) with external power
+instrumentation.  We have neither, so this package provides a *device
+simulator* whose hidden ground truth is the paper's own fitted
+coefficients (Table IV) plus the non-idealities the paper reports:
+achieved-fraction limits on throughput and bandwidth, launch-parameter
+tuning effects, and sustained power caps.
+
+The crucial property: everything downstream (the PowerMon sampler, the
+regression fitting, the figure harness) observes only what the authors
+could observe — wall time and sampled instantaneous power — and must
+*recover* the hidden coefficients.  That keeps the reproduction honest.
+
+Modules
+-------
+* :mod:`repro.simulator.kernel` — kernel descriptions and launch configs.
+* :mod:`repro.simulator.nonideal` — achieved fractions + tuning model.
+* :mod:`repro.simulator.device` — the simulated device itself.
+* :mod:`repro.simulator.trace` — ground-truth power-vs-time traces.
+"""
+
+from repro.simulator.device import (
+    DeviceTruth,
+    ExecutionResult,
+    SimulatedDevice,
+    gtx580_truth,
+    i7_950_truth,
+)
+from repro.simulator.kernel import KernelSpec, LaunchConfig, Precision
+from repro.simulator.nonideal import NonIdealities, TuningModel
+from repro.simulator.trace import PowerTrace
+
+__all__ = [
+    "Precision",
+    "LaunchConfig",
+    "KernelSpec",
+    "NonIdealities",
+    "TuningModel",
+    "DeviceTruth",
+    "SimulatedDevice",
+    "ExecutionResult",
+    "PowerTrace",
+    "gtx580_truth",
+    "i7_950_truth",
+]

@@ -1,0 +1,306 @@
+"""The simulated device: hidden ground truth + execution engine.
+
+:class:`DeviceTruth` bundles everything the real hardware "knows" and the
+experimenter does not: true per-op energy costs (we seed them with the
+paper's Table IV fits), constant and idle power, the sustained power cap,
+achieved-fraction ceilings, and the launch-tuning landscape.
+
+:class:`SimulatedDevice.execute` turns a :class:`KernelSpec` into an
+:class:`ExecutionResult` with wall time and true energy:
+
+1. throughput-limited time from the roofline with achieved fractions and
+   tuning efficiency applied;
+2. dynamic energy ``W·ε_flop + Q·ε_mem + Q_cache·ε_cache`` — spent
+   regardless of speed;
+3. power-cap throttling: if converting that dynamic energy over the ideal
+   time would exceed the cap, time dilates so sustained power equals the
+   cap (§V-B's physical mechanism);
+4. total energy adds ``π0 × (actual time)``.
+
+The result also carries the ground-truth :class:`PowerTrace` that the
+PowerMon simulator samples.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.exceptions import SimulationError
+from repro.machines.specs import GTX580_SPEC, I7_950_SPEC, HardwareSpec
+from repro.simulator.kernel import KernelSpec, Precision
+from repro.simulator.nonideal import NonIdealities, TuningModel
+from repro.simulator.trace import PowerTrace
+from repro.units import picojoules
+
+__all__ = ["DeviceTruth", "ExecutionResult", "SimulatedDevice", "gtx580_truth", "i7_950_truth"]
+
+
+@dataclass(frozen=True, slots=True)
+class DeviceTruth:
+    """Hidden ground-truth characterisation of a simulated device.
+
+    Energy coefficients are joules; powers are watts.  ``eps_cache`` is
+    the per-byte cost of traffic through the on-chip cache hierarchy —
+    invisible to the two-level model, and the source of the §V-C
+    underestimate.
+    """
+
+    name: str
+    spec: HardwareSpec
+    eps_single: float
+    eps_double: float
+    eps_mem: float
+    eps_cache: float
+    pi0: float
+    idle_power: float
+    power_cap: float | None
+    nonideal_single: NonIdealities = field(default_factory=NonIdealities)
+    nonideal_double: NonIdealities = field(default_factory=NonIdealities)
+    tuning: TuningModel = field(default_factory=TuningModel)
+
+    def __post_init__(self) -> None:
+        for attr in ("eps_single", "eps_double", "eps_mem", "eps_cache"):
+            if getattr(self, attr) < 0:
+                raise SimulationError(f"{attr} must be >= 0")
+        if self.pi0 < 0 or self.idle_power < 0:
+            raise SimulationError("powers must be >= 0")
+        if self.power_cap is not None and self.power_cap <= self.pi0:
+            raise SimulationError("power_cap must exceed pi0")
+
+    def eps_flop(self, precision: Precision) -> float:
+        """True energy per flop at a precision (J)."""
+        return self.eps_single if precision is Precision.SINGLE else self.eps_double
+
+    def nonideal(self, precision: Precision) -> NonIdealities:
+        """Achieved-fraction ceilings at a precision."""
+        return (
+            self.nonideal_single
+            if precision is Precision.SINGLE
+            else self.nonideal_double
+        )
+
+    def peak_flops(self, precision: Precision) -> float:
+        """Spec-sheet peak at a precision (flop/s)."""
+        return 1.0 / self.spec.tau_flop(
+            double_precision=precision is Precision.DOUBLE
+        )
+
+    @property
+    def peak_bandwidth(self) -> float:
+        """Spec-sheet peak bandwidth (B/s)."""
+        return 1.0 / self.spec.tau_mem
+
+
+@dataclass(frozen=True, slots=True)
+class ExecutionResult:
+    """Outcome of one simulated kernel execution.
+
+    ``time`` and the derived trace are observable; the energy breakdown
+    fields are ground truth that only tests and oracles may touch (the
+    measurement pipeline must recover energy from sampled power).
+    """
+
+    kernel: KernelSpec
+    time: float
+    energy_flops: float
+    energy_mem: float
+    energy_cache: float
+    energy_constant: float
+    throttle_factor: float
+
+    @property
+    def energy(self) -> float:
+        """True total energy (J)."""
+        return (
+            self.energy_flops
+            + self.energy_mem
+            + self.energy_cache
+            + self.energy_constant
+        )
+
+    @property
+    def average_power(self) -> float:
+        """True average power over the run (W)."""
+        return self.energy / self.time
+
+    @property
+    def achieved_gflops(self) -> float:
+        """Achieved arithmetic rate (GFLOP/s)."""
+        return self.kernel.work / self.time / 1e9
+
+    @property
+    def achieved_bandwidth_gbytes(self) -> float:
+        """Achieved DRAM bandwidth (GB/s)."""
+        return self.kernel.traffic / self.time / 1e9
+
+    @property
+    def flops_per_joule(self) -> float:
+        """Achieved energy efficiency (flop/J)."""
+        return self.kernel.work / self.energy
+
+    @property
+    def throttled(self) -> bool:
+        """Whether the power cap extended this run."""
+        return self.throttle_factor > 1.0
+
+
+class SimulatedDevice:
+    """Executes kernels against a :class:`DeviceTruth`."""
+
+    def __init__(self, truth: DeviceTruth):
+        self.truth = truth
+
+    # ------------------------------------------------------------------
+
+    def effective_rates(
+        self, kernel: KernelSpec, *, efficiency: float | None = None
+    ) -> tuple[float, float]:
+        """(flop rate, bandwidth) after fractions and tuning (per second).
+
+        Tuning efficiency multiplies both pipelines: a badly launched
+        kernel underutilises memory as much as arithmetic.  Pass
+        ``efficiency`` to substitute a caller-supplied utilisation (used
+        by code — like the FMM variant space — whose efficiency model
+        lives outside the launch-parameter landscape).
+        """
+        truth = self.truth
+        frac = truth.nonideal(kernel.precision)
+        if efficiency is None:
+            efficiency = truth.tuning.efficiency(kernel.launch)
+        elif not 0.0 < efficiency <= 1.0:
+            raise SimulationError(f"efficiency must be in (0, 1], got {efficiency}")
+        flop_rate = truth.peak_flops(kernel.precision) * frac.flop_fraction * efficiency
+        bandwidth = truth.peak_bandwidth * frac.bandwidth_fraction * efficiency
+        return flop_rate, bandwidth
+
+    def execute(
+        self,
+        kernel: KernelSpec,
+        *,
+        cache_traffic: float = 0.0,
+        efficiency: float | None = None,
+    ) -> ExecutionResult:
+        """Run a kernel; returns time and (hidden) true energy.
+
+        ``cache_traffic`` is the bytes moved through the on-chip cache
+        hierarchy (beyond DRAM traffic) — zero for the streaming
+        microbenchmarks, substantial for the FMM U-list variants.
+        ``efficiency`` overrides the launch-derived tuning efficiency.
+        """
+        if cache_traffic < 0 or not math.isfinite(cache_traffic):
+            raise SimulationError(f"cache_traffic must be >= 0, got {cache_traffic}")
+        truth = self.truth
+        flop_rate, bandwidth = self.effective_rates(kernel, efficiency=efficiency)
+
+        t_flops = kernel.work / flop_rate
+        t_mem = kernel.traffic / bandwidth if kernel.traffic else 0.0
+        t_ideal = max(t_flops, t_mem)
+
+        e_flops = kernel.work * truth.eps_flop(kernel.precision)
+        e_mem = kernel.traffic * truth.eps_mem
+        e_cache = cache_traffic * truth.eps_cache
+        e_dynamic = e_flops + e_mem + e_cache
+
+        throttle = 1.0
+        time = t_ideal
+        if truth.power_cap is not None:
+            budget = truth.power_cap - truth.pi0
+            demanded = e_dynamic / t_ideal
+            if demanded > budget:
+                throttle = demanded / budget
+                time = e_dynamic / budget
+
+        return ExecutionResult(
+            kernel=kernel,
+            time=time,
+            energy_flops=e_flops,
+            energy_mem=e_mem,
+            energy_cache=e_cache,
+            energy_constant=truth.pi0 * time,
+            throttle_factor=throttle,
+        )
+
+    def trace(
+        self,
+        result: ExecutionResult,
+        *,
+        repetitions: int = 1,
+        ramp: float = 1e-3,
+        lead: float = 0.0,
+    ) -> PowerTrace:
+        """Ground-truth power trace for back-to-back repetitions of a run.
+
+        Back-to-back repetitions share one plateau at the run's average
+        power (constant power is part of the plateau level; idle power
+        appears only outside the active window).
+        """
+        if repetitions < 1:
+            raise SimulationError("repetitions must be >= 1")
+        return PowerTrace(
+            idle_power=self.truth.idle_power,
+            active_power=result.average_power,
+            active_duration=result.time * repetitions,
+            ramp=ramp,
+            lead=lead,
+        )
+
+
+# ---------------------------------------------------------------------------
+# Catalog device truths — the paper's two platforms
+# ---------------------------------------------------------------------------
+
+
+def gtx580_truth() -> DeviceTruth:
+    """GTX 580 ground truth: Table IV energies + §IV-B achieved fractions.
+
+    ``eps_cache`` is the *blended* per-byte on-chip price; the hidden L1
+    (0.3×) and L2 (2.4×) level ratios live in :mod:`repro.fmm.estimator`.
+    Fitting one coefficient through the reference FMM variant's L1+L2 mix
+    recovers ≈190 pJ/B — the experiment-side analogue of the paper's
+    187 pJ/B.  Idle power is the measured 39.6 W.  The sustained-power cap is 280 W — the paper's
+    Fig. 5b shows measured draw *exceeding* the 244 W rating at high
+    intensities (their microbenchmark "already begins to exceed" it), so
+    the card's enforcement point sits above the rating; throttling is
+    observed only near the balance point where the uncapped model demands
+    ~387 W.  280 W reproduces both behaviours: full 1398 GFLOP/s at high
+    intensity, roofline departure near ``Bτ``.
+    """
+    return DeviceTruth(
+        name="NVIDIA GTX 580 (simulated)",
+        spec=GTX580_SPEC,
+        eps_single=picojoules(99.7),
+        eps_double=picojoules(212.0),
+        eps_mem=picojoules(513.0),
+        eps_cache=picojoules(165.0),
+        pi0=122.0,
+        idle_power=39.6,
+        power_cap=280.0,
+        nonideal_single=NonIdealities(flop_fraction=0.884, bandwidth_fraction=0.873),
+        nonideal_double=NonIdealities(flop_fraction=0.993, bandwidth_fraction=0.883),
+        tuning=TuningModel(best_threads=256, min_blocks=64, best_requests=8, best_unroll=8),
+    )
+
+
+def i7_950_truth() -> DeviceTruth:
+    """i7-950 ground truth: Table IV energies + §IV-B achieved fractions.
+
+    The CPU cache-energy cost is not reported by the paper; we reuse a
+    plausible SRAM-traffic cost of the same order as the GPU's.  No cap:
+    the paper never observes CPU throttling.  Idle power is π0 minus the
+    package's gating headroom (a modelling choice; only π0 is fitted).
+    """
+    return DeviceTruth(
+        name="Intel i7-950 (simulated)",
+        spec=I7_950_SPEC,
+        eps_single=picojoules(371.0),
+        eps_double=picojoules(670.0),
+        eps_mem=picojoules(795.0),
+        eps_cache=picojoules(150.0),
+        pi0=122.0,
+        idle_power=85.0,
+        power_cap=None,
+        nonideal_single=NonIdealities(flop_fraction=0.933, bandwidth_fraction=0.731),
+        nonideal_double=NonIdealities(flop_fraction=0.933, bandwidth_fraction=0.738),
+        tuning=TuningModel(best_threads=8, min_blocks=4, best_requests=4, best_unroll=4),
+    )

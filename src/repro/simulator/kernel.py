@@ -1,0 +1,147 @@
+"""Kernel descriptions for the simulated devices.
+
+A :class:`KernelSpec` is what the paper's microbenchmarks are: a declared
+amount of arithmetic ``W`` and memory traffic ``Q`` at a precision, plus a
+:class:`LaunchConfig` — the tunable execution parameters (thread-block
+geometry, unrolling, per-thread memory requests) that the paper's §IV-B
+auto-tuner explores to reach the roofline.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass, replace
+
+from repro.core.algorithm import AlgorithmProfile
+from repro.exceptions import SimulationError
+
+__all__ = ["Precision", "LaunchConfig", "KernelSpec"]
+
+
+class Precision(enum.Enum):
+    """Floating-point precision of a kernel's arithmetic."""
+
+    SINGLE = "single"
+    DOUBLE = "double"
+
+    @property
+    def word_bytes(self) -> int:
+        """Bytes per word at this precision."""
+        return 4 if self is Precision.SINGLE else 8
+
+    @property
+    def regression_flag(self) -> float:
+        """The eq. (9) binary regressor ``R`` (1 for double)."""
+        return 1.0 if self is Precision.DOUBLE else 0.0
+
+
+@dataclass(frozen=True, slots=True)
+class LaunchConfig:
+    """Tunable launch parameters for a kernel.
+
+    The names follow the GPU microbenchmark's tuning space (§IV-B:
+    "number of threads, thread block size, and number of memory requests
+    per thread"); the CPU benchmark maps onto the same fields
+    (``threads_per_block`` ≈ vector width, ``blocks`` ≈ OpenMP threads).
+
+    Attributes
+    ----------
+    threads_per_block:
+        Threads per block (GPU) / SIMD width multiplier (CPU).
+    blocks:
+        Grid size (GPU) / worker threads (CPU).
+    requests_per_thread:
+        Outstanding memory requests per thread — the memory-level
+        parallelism knob.
+    unroll:
+        Inner-loop unroll factor — the instruction-level parallelism knob.
+    """
+
+    threads_per_block: int = 256
+    blocks: int = 512
+    requests_per_thread: int = 4
+    unroll: int = 8
+
+    def __post_init__(self) -> None:
+        for attr in ("threads_per_block", "blocks", "requests_per_thread", "unroll"):
+            value = getattr(self, attr)
+            if not isinstance(value, int) or value < 1:
+                raise SimulationError(f"{attr} must be a positive int, got {value!r}")
+        if self.threads_per_block > 1024:
+            raise SimulationError(
+                f"threads_per_block must be <= 1024, got {self.threads_per_block}"
+            )
+
+    def neighbors(self) -> list["LaunchConfig"]:
+        """Configs one tuning step away (for greedy auto-tuning)."""
+        out: list[LaunchConfig] = []
+        for attr, limit in (
+            ("threads_per_block", 1024),
+            ("blocks", 65535),
+            ("requests_per_thread", 64),
+            ("unroll", 64),
+        ):
+            value = getattr(self, attr)
+            if value * 2 <= limit:
+                out.append(replace(self, **{attr: value * 2}))
+            if value // 2 >= 1:
+                out.append(replace(self, **{attr: value // 2}))
+        return out
+
+
+@dataclass(frozen=True, slots=True)
+class KernelSpec:
+    """A kernel to execute on a simulated device.
+
+    ``work`` in flops, ``traffic`` in bytes.  Zero traffic models a
+    register-resident compute kernel (intensity = ∞); zero work is not
+    allowed (pure copies are modelled as 1-flop kernels by convention).
+    """
+
+    name: str
+    work: float
+    traffic: float
+    precision: Precision = Precision.SINGLE
+    launch: LaunchConfig = LaunchConfig()
+
+    def __post_init__(self) -> None:
+        if not math.isfinite(self.work) or self.work <= 0:
+            raise SimulationError(f"work must be positive, got {self.work}")
+        if not math.isfinite(self.traffic) or self.traffic < 0:
+            raise SimulationError(f"traffic must be >= 0, got {self.traffic}")
+
+    @property
+    def intensity(self) -> float:
+        """``W/Q`` in flops per byte (``inf`` for traffic-free kernels)."""
+        return self.work / self.traffic if self.traffic else math.inf
+
+    @property
+    def profile(self) -> AlgorithmProfile:
+        """The kernel as a model-side :class:`AlgorithmProfile`."""
+        return AlgorithmProfile(work=self.work, traffic=self.traffic, name=self.name)
+
+    def with_launch(self, launch: LaunchConfig) -> "KernelSpec":
+        """Copy of this kernel with a different launch configuration."""
+        return replace(self, launch=launch)
+
+    @classmethod
+    def from_intensity(
+        cls,
+        intensity: float,
+        *,
+        work: float = 2e9,
+        precision: Precision = Precision.SINGLE,
+        launch: LaunchConfig | None = None,
+        name: str | None = None,
+    ) -> "KernelSpec":
+        """Build an intensity-controlled kernel (the microbenchmark shape)."""
+        if not intensity > 0:
+            raise SimulationError(f"intensity must be positive, got {intensity}")
+        return cls(
+            name=name or f"ubench(I={intensity:g}, {precision.value})",
+            work=work,
+            traffic=work / intensity,
+            precision=precision,
+            launch=launch or LaunchConfig(),
+        )

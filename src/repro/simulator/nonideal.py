@@ -1,0 +1,129 @@
+"""Non-ideal execution effects: achieved fractions and launch tuning.
+
+Real kernels do not hit spec-sheet peaks.  The paper reports the achieved
+fractions its *tuned* microbenchmarks reach (§IV-B):
+
+===============  ==============  ===============
+ device            flop fraction   bandwidth frac
+===============  ==============  ===============
+ GTX 580 double    99.3%           88.3%
+ GTX 580 single    88.4%           87.3%
+ i7-950 double     93.3%           73.8%
+ i7-950 single     93.3%           73.1%
+===============  ==============  ===============
+
+Our simulator treats those as the *ceilings* a perfectly tuned kernel
+reaches; a :class:`TuningModel` then multiplies in a launch-configuration
+efficiency in ``(0, 1]`` that peaks at a device-specific optimum — giving
+the auto-tuner (:mod:`repro.microbench.autotune`) a realistic,
+deterministic landscape with plateaus, cliffs, and an interior optimum.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.exceptions import SimulationError
+from repro.simulator.kernel import LaunchConfig
+
+__all__ = ["NonIdealities", "TuningModel"]
+
+
+@dataclass(frozen=True, slots=True)
+class NonIdealities:
+    """Ceilings on achievable throughput as fractions of spec peaks.
+
+    ``flop_fraction`` bounds arithmetic throughput, ``bandwidth_fraction``
+    memory bandwidth.  Both in ``(0, 1]``.
+    """
+
+    flop_fraction: float = 1.0
+    bandwidth_fraction: float = 1.0
+
+    def __post_init__(self) -> None:
+        for attr in ("flop_fraction", "bandwidth_fraction"):
+            value = getattr(self, attr)
+            if not 0.0 < value <= 1.0:
+                raise SimulationError(f"{attr} must be in (0, 1], got {value}")
+
+
+@dataclass(frozen=True, slots=True)
+class TuningModel:
+    """Deterministic launch-parameter efficiency landscape.
+
+    Efficiency is a product of four independent factors, each in
+    ``(0, 1]`` and equal to 1 at the optimum:
+
+    * **occupancy** — peaks when ``threads_per_block`` equals
+      ``best_threads``; falls off log-quadratically on either side
+      (too few threads: latency exposed; too many: register pressure).
+    * **grid utilisation** — saturating in ``blocks``: needs at least
+      ``min_blocks`` to fill the machine.
+    * **memory-level parallelism** — saturating in ``requests_per_thread``
+      with optimum ``best_requests``; beyond it, no further gain but a
+      mild cache-thrash penalty.
+    * **instruction-level parallelism** — saturating in ``unroll``.
+
+    The landscape is intentionally *not* separable-monotone: greedy
+    hill-climbing works but must navigate the occupancy ridge, which is
+    what makes the auto-tuner worth testing.
+    """
+
+    best_threads: int = 256
+    min_blocks: int = 64
+    best_requests: int = 8
+    best_unroll: int = 8
+    occupancy_width: float = 2.0  # octaves of threads_per_block to half-eff.
+    floor: float = 0.05
+
+    def __post_init__(self) -> None:
+        for attr in ("best_threads", "min_blocks", "best_requests", "best_unroll"):
+            if getattr(self, attr) < 1:
+                raise SimulationError(f"{attr} must be >= 1")
+        if self.occupancy_width <= 0:
+            raise SimulationError("occupancy_width must be positive")
+        if not 0 < self.floor < 1:
+            raise SimulationError("floor must be in (0, 1)")
+
+    # Each factor maps a launch field to (0, 1], hitting 1 at its optimum.
+
+    def occupancy(self, threads_per_block: int) -> float:
+        """Log-quadratic ridge centred on ``best_threads``."""
+        distance = math.log2(threads_per_block / self.best_threads)
+        return max(self.floor, 1.0 / (1.0 + (distance / self.occupancy_width) ** 2))
+
+    def grid_utilization(self, blocks: int) -> float:
+        """Saturating ramp: full once ``blocks >= min_blocks``."""
+        return min(1.0, blocks / self.min_blocks)
+
+    def mlp(self, requests_per_thread: int) -> float:
+        """Saturating in outstanding requests, mild penalty past optimum."""
+        if requests_per_thread <= self.best_requests:
+            return max(self.floor, requests_per_thread / self.best_requests)
+        # Over-subscription: each doubling past the optimum costs 5%.
+        excess = math.log2(requests_per_thread / self.best_requests)
+        return max(self.floor, 1.0 - 0.05 * excess)
+
+    def ilp(self, unroll: int) -> float:
+        """Saturating in unroll factor; no penalty for over-unrolling."""
+        return min(1.0, max(self.floor, unroll / self.best_unroll))
+
+    def efficiency(self, launch: LaunchConfig) -> float:
+        """Overall tuning efficiency in ``(0, 1]``."""
+        return (
+            self.occupancy(launch.threads_per_block)
+            * self.grid_utilization(launch.blocks)
+            * self.mlp(launch.requests_per_thread)
+            * self.ilp(launch.unroll)
+        )
+
+    @property
+    def optimal_launch(self) -> LaunchConfig:
+        """The launch configuration with efficiency exactly 1."""
+        return LaunchConfig(
+            threads_per_block=self.best_threads,
+            blocks=max(self.min_blocks, 64),
+            requests_per_thread=self.best_requests,
+            unroll=self.best_unroll,
+        )

@@ -1,0 +1,125 @@
+"""Ground-truth power-vs-time traces for simulated runs.
+
+A measurement session does not see "the energy"; it sees instantaneous
+power at sample times.  :class:`PowerTrace` is the hidden continuous
+power signal a run produces: idle baseline before and after, a finite
+ramp up to the active level (capacitance and control-loop lag), a plateau
+while the kernel repetitions execute back-to-back, and a ramp down.
+
+The trace is exactly integrable, so tests can verify that the sampled
+estimate converges to the true energy as the sampling rate grows — and
+the ablation bench can quantify the error at the paper's 128 Hz.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import SimulationError
+
+__all__ = ["PowerTrace"]
+
+
+@dataclass(frozen=True, slots=True)
+class PowerTrace:
+    """Piecewise-linear power signal: idle → ramp → plateau → ramp → idle.
+
+    Attributes
+    ----------
+    idle_power:
+        Power drawn when nothing is running (W).  The paper measured
+        39.6 W for the GTX 580 — notably *less* than the fitted π0 of
+        122 W, since constant power includes always-on structures that
+        idle power gating turns off.
+    active_power:
+        Average power during kernel execution (W).
+    active_duration:
+        Length of the plateau: repetitions × per-run time (s).
+    ramp:
+        Rise/fall time between idle and active levels (s).
+    lead:
+        Idle time recorded before the ramp begins (s).
+    """
+
+    idle_power: float
+    active_power: float
+    active_duration: float
+    ramp: float = 1e-3
+    lead: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.idle_power < 0 or self.active_power < 0:
+            raise SimulationError("powers must be non-negative")
+        if self.active_duration <= 0:
+            raise SimulationError("active_duration must be positive")
+        if self.ramp < 0 or self.lead < 0:
+            raise SimulationError("ramp and lead must be non-negative")
+
+    # Segment boundaries ----------------------------------------------------
+
+    @property
+    def t_rise_start(self) -> float:
+        return self.lead
+
+    @property
+    def t_plateau_start(self) -> float:
+        return self.lead + self.ramp
+
+    @property
+    def t_plateau_end(self) -> float:
+        return self.t_plateau_start + self.active_duration
+
+    @property
+    def t_fall_end(self) -> float:
+        return self.t_plateau_end + self.ramp
+
+    @property
+    def duration(self) -> float:
+        """Total trace length: lead + ramps + plateau + symmetric tail."""
+        return self.t_fall_end + self.lead
+
+    # Evaluation ------------------------------------------------------------
+
+    def power_at(self, t: float | np.ndarray) -> np.ndarray:
+        """Instantaneous power at time(s) ``t`` (vectorised)."""
+        t = np.asarray(t, dtype=float)
+        p = np.full_like(t, self.idle_power)
+        delta = self.active_power - self.idle_power
+        if self.ramp > 0:
+            rising = (t >= self.t_rise_start) & (t < self.t_plateau_start)
+            p = np.where(
+                rising,
+                self.idle_power + delta * (t - self.t_rise_start) / self.ramp,
+                p,
+            )
+            falling = (t >= self.t_plateau_end) & (t < self.t_fall_end)
+            p = np.where(
+                falling,
+                self.active_power - delta * (t - self.t_plateau_end) / self.ramp,
+                p,
+            )
+        plateau = (t >= self.t_plateau_start) & (t < self.t_plateau_end)
+        p = np.where(plateau, self.active_power, p)
+        return p
+
+    def true_energy(self) -> float:
+        """Exact integral of power over the whole trace (J).
+
+        Plateau + two triangles-over-idle + idle baseline everywhere.
+        """
+        delta = self.active_power - self.idle_power
+        return (
+            self.idle_power * self.duration
+            + delta * self.active_duration
+            + delta * self.ramp  # two half-ramps
+        )
+
+    def active_energy(self) -> float:
+        """Energy of the active window only: plateau × active power (J).
+
+        This is the quantity the per-run accounting targets; the ramps and
+        idle lead are measurement-session artefacts.
+        """
+        return self.active_power * self.active_duration

@@ -1,0 +1,21 @@
+"""Rendering and export of model curves and measured points.
+
+Pure-text tooling (no plotting dependency): log-log ASCII charts that
+approximate the paper's figures in a terminal, and CSV/dict exporters so
+any external plotting stack can regenerate publication-quality versions
+from the same data.
+"""
+
+from repro.viz.ascii_chart import AsciiChart, render_chart
+from repro.viz.series import ScatterSeries, series_to_csv, write_csv
+from repro.viz.svg import svg_chart, write_svg
+
+__all__ = [
+    "AsciiChart",
+    "render_chart",
+    "ScatterSeries",
+    "series_to_csv",
+    "write_csv",
+    "svg_chart",
+    "write_svg",
+]

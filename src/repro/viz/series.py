@@ -1,0 +1,76 @@
+"""Data-series containers and CSV export.
+
+:class:`~repro.core.rooflines.CurveSeries` covers model curves; this
+module adds :class:`ScatterSeries` for measured points (the dots of
+Figs. 4–5) and CSV writers for both, so external tools can replot every
+figure from plain files.
+"""
+
+from __future__ import annotations
+
+import io
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.rooflines import CurveSeries
+from repro.exceptions import ParameterError
+
+__all__ = ["ScatterSeries", "series_to_csv", "write_csv"]
+
+
+@dataclass(frozen=True)
+class ScatterSeries:
+    """Measured points: intensities against values, unordered allowed.
+
+    Unlike :class:`CurveSeries` this permits duplicate or unsorted x
+    values — measurements land where the sweep put them.
+    """
+
+    label: str
+    intensities: np.ndarray
+    values: np.ndarray
+    units: str = ""
+
+    def __post_init__(self) -> None:
+        x = np.asarray(self.intensities, dtype=float)
+        y = np.asarray(self.values, dtype=float)
+        if x.ndim != 1 or y.shape != x.shape:
+            raise ParameterError("intensities and values must be equal-length 1-D")
+        if x.size == 0:
+            raise ParameterError("a scatter series needs at least one point")
+        if np.any(x <= 0):
+            raise ParameterError("intensities must be positive")
+        object.__setattr__(self, "intensities", x)
+        object.__setattr__(self, "values", y)
+
+    def as_rows(self) -> list[tuple[float, float]]:
+        """(intensity, value) tuples in stored order."""
+        return [(float(a), float(b)) for a, b in zip(self.intensities, self.values)]
+
+
+def series_to_csv(series: Sequence[CurveSeries | ScatterSeries]) -> str:
+    """Long-format CSV: ``series,intensity,value`` with a header row.
+
+    Long format keeps differently gridded series in one file, which is
+    what plotting front-ends (ggplot, seaborn, vega) want.
+    """
+    if not series:
+        raise ParameterError("need at least one series")
+    out = io.StringIO()
+    out.write("series,intensity,value\n")
+    for s in series:
+        for x, y in s.as_rows():
+            out.write(f"{s.label},{x!r},{y!r}\n")
+    return out.getvalue()
+
+
+def write_csv(
+    series: Sequence[CurveSeries | ScatterSeries], path: str | Path
+) -> Path:
+    """Write :func:`series_to_csv` output to ``path``; returns the path."""
+    target = Path(path)
+    target.write_text(series_to_csv(series))
+    return target

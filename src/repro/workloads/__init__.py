@@ -1,0 +1,28 @@
+"""Phase-structured applications for whole-program time/energy analysis.
+
+Real applications are sequences of kernels with very different
+intensities — exactly where the balance-gap analysis earns its keep: a
+program can be compute-bound in time overall yet spend most of its
+*energy* in its memory-bound phases.  This package provides the phase
+algebra (:mod:`repro.workloads.phases`) and a library of canonical
+applications (:mod:`repro.workloads.library`) built from the
+:mod:`repro.core.algorithm` profiles.
+"""
+
+from repro.workloads.library import (
+    cg_solver,
+    fft_poisson_solver,
+    fmm_pipeline,
+    jacobi_heat_solver,
+)
+from repro.workloads.phases import Application, Phase, PhaseReport
+
+__all__ = [
+    "Phase",
+    "Application",
+    "PhaseReport",
+    "cg_solver",
+    "fmm_pipeline",
+    "fft_poisson_solver",
+    "jacobi_heat_solver",
+]

@@ -1,0 +1,167 @@
+"""Phase algebra: applications as sequences of (repeated) kernels.
+
+A :class:`Phase` is a kernel profile plus a repeat count; an
+:class:`Application` is an ordered list of phases.  Phases run
+back-to-back (no overlap *between* phases — each phase internally enjoys
+eq. (3)'s compute/memory overlap), so application time and energy are
+sums of per-phase values.
+
+The interesting outputs are the *breakdowns*: which phase dominates
+time, which dominates energy — they differ whenever phases straddle the
+machine's balance structure — and the application's aggregate intensity
+versus its phasewise behaviour (aggregates mislead; the report shows
+both).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.algorithm import AlgorithmProfile
+from repro.core.energy_model import EnergyModel
+from repro.core.params import MachineModel
+from repro.core.time_model import TimeModel
+from repro.exceptions import ProfileError
+
+__all__ = ["Phase", "PhaseReport", "Application"]
+
+
+@dataclass(frozen=True, slots=True)
+class Phase:
+    """One stage of an application: a kernel run ``repeats`` times."""
+
+    name: str
+    profile: AlgorithmProfile
+    repeats: int = 1
+
+    def __post_init__(self) -> None:
+        if self.repeats < 1:
+            raise ProfileError(f"repeats must be >= 1, got {self.repeats}")
+
+    @property
+    def total_profile(self) -> AlgorithmProfile:
+        """The phase's aggregate (W, Q) across all repeats."""
+        return self.profile.scaled(float(self.repeats))
+
+
+@dataclass(frozen=True, slots=True)
+class PhaseReport:
+    """One phase's share of an application's cost on a machine."""
+
+    name: str
+    intensity: float
+    time: float
+    energy: float
+    time_fraction: float
+    energy_fraction: float
+
+    @property
+    def power(self) -> float:
+        """The phase's average power (W)."""
+        return self.energy / self.time
+
+
+@dataclass(frozen=True)
+class Application:
+    """An ordered sequence of phases."""
+
+    name: str
+    phases: tuple[Phase, ...]
+
+    def __post_init__(self) -> None:
+        if not self.phases:
+            raise ProfileError("an application needs at least one phase")
+        names = [p.name for p in self.phases]
+        if len(set(names)) != len(names):
+            raise ProfileError(f"duplicate phase names: {names}")
+
+    # ------------------------------------------------------------------
+
+    @property
+    def total_profile(self) -> AlgorithmProfile:
+        """Aggregate (W, Q) over the whole application.
+
+        Note the aggregate intensity is a harmonic-style blend — it can
+        sit in a regime none of the phases occupies, which is why
+        :meth:`report` is per-phase.
+        """
+        total = self.phases[0].total_profile
+        for phase in self.phases[1:]:
+            total = total + phase.total_profile
+        return AlgorithmProfile(
+            work=total.work, traffic=total.traffic, name=self.name
+        )
+
+    def time(self, machine: MachineModel) -> float:
+        """Total time: sum of per-phase eq. (3) times (s)."""
+        model = TimeModel(machine)
+        return sum(model.time(p.total_profile) for p in self.phases)
+
+    def energy(self, machine: MachineModel) -> float:
+        """Total energy: sum of per-phase eq. (4) energies (J)."""
+        model = EnergyModel(machine)
+        return sum(model.energy(p.total_profile) for p in self.phases)
+
+    def average_power(self, machine: MachineModel) -> float:
+        """Whole-run average power (W)."""
+        return self.energy(machine) / self.time(machine)
+
+    def report(self, machine: MachineModel) -> list[PhaseReport]:
+        """Per-phase costs and shares, in phase order."""
+        time_model = TimeModel(machine)
+        energy_model = EnergyModel(machine)
+        rows = [
+            (
+                p,
+                time_model.time(p.total_profile),
+                energy_model.energy(p.total_profile),
+            )
+            for p in self.phases
+        ]
+        total_t = sum(t for _, t, _ in rows)
+        total_e = sum(e for _, _, e in rows)
+        return [
+            PhaseReport(
+                name=p.name,
+                intensity=p.profile.intensity,
+                time=t,
+                energy=e,
+                time_fraction=t / total_t,
+                energy_fraction=e / total_e,
+            )
+            for p, t, e in rows
+        ]
+
+    def time_bottleneck(self, machine: MachineModel) -> PhaseReport:
+        """The phase with the largest time share."""
+        return max(self.report(machine), key=lambda r: r.time_fraction)
+
+    def energy_bottleneck(self, machine: MachineModel) -> PhaseReport:
+        """The phase with the largest energy share.
+
+        Can differ from the time bottleneck when phases straddle the
+        balance gap — the actionable output for energy tuning.
+        """
+        return max(self.report(machine), key=lambda r: r.energy_fraction)
+
+    def describe(self, machine: MachineModel) -> str:
+        """Aligned per-phase cost table plus totals."""
+        rows = self.report(machine)
+        lines = [
+            f"{self.name} on {machine.name}:",
+            f"{'phase':<22}{'I (F/B)':>9}{'time':>12}{'T%':>7}"
+            f"{'energy':>12}{'E%':>7}{'power':>9}",
+        ]
+        for r in rows:
+            lines.append(
+                f"{r.name[:21]:<22}{r.intensity:>9.3f}{r.time * 1e3:>10.2f}ms"
+                f"{r.time_fraction:>7.1%}{r.energy:>11.3f}J"
+                f"{r.energy_fraction:>7.1%}{r.power:>8.1f}W"
+            )
+        lines.append(
+            f"{'TOTAL':<22}{self.total_profile.intensity:>9.3f}"
+            f"{self.time(machine) * 1e3:>10.2f}ms{'':>7}"
+            f"{self.energy(machine):>11.3f}J{'':>7}"
+            f"{self.average_power(machine):>8.1f}W"
+        )
+        return "\n".join(lines)

@@ -1,0 +1,79 @@
+"""Bootstrap confidence intervals for eq. (9) fits."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.bootstrap import bootstrap_fit
+from repro.core.fitting import EnergySample
+from repro.exceptions import FittingError
+
+
+def noisy_samples(noise: float, *, n_grid: int = 12, seed: int = 5):
+    """Eq. (9)-exact samples plus multiplicative energy noise."""
+    rng = np.random.default_rng(seed)
+    eps_s, eps_mem, pi0, delta = 99.7e-12, 513e-12, 122.0, 112.3e-12
+    out = []
+    for double in (False, True):
+        for k in range(n_grid):
+            intensity = 2.0 ** (-2 + 8 * k / (n_grid - 1))
+            work = 1e10
+            traffic = work / intensity
+            time = max(work / 1.4e12, traffic / 1.7e11)
+            energy = (
+                work * (eps_s + (delta if double else 0.0))
+                + traffic * eps_mem
+                + pi0 * time
+            ) * (1.0 + rng.normal(0.0, noise))
+            out.append(
+                EnergySample(
+                    work=work, traffic=traffic, time=time, energy=energy,
+                    double_precision=double,
+                )
+            )
+    return out
+
+
+class TestBootstrap:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return bootstrap_fit(noisy_samples(0.01), replicates=120, seed=1)
+
+    def test_intervals_contain_truth(self, result):
+        assert result.eps_single.contains(99.7e-12)
+        assert result.eps_mem.contains(513e-12)
+        assert result.pi0.contains(122.0)
+        assert result.eps_double is not None
+        assert result.eps_double.contains(212e-12)
+
+    def test_interval_brackets_estimate(self, result):
+        for ci in (result.eps_single, result.eps_mem, result.pi0):
+            assert ci.low <= ci.estimate <= ci.high
+
+    def test_more_noise_wider_intervals(self):
+        quiet = bootstrap_fit(noisy_samples(0.002), replicates=80, seed=2)
+        loud = bootstrap_fit(noisy_samples(0.03), replicates=80, seed=2)
+        assert loud.eps_mem.relative_width > quiet.eps_mem.relative_width
+
+    def test_deterministic_given_seed(self):
+        samples = noisy_samples(0.01)
+        a = bootstrap_fit(samples, replicates=50, seed=9)
+        b = bootstrap_fit(samples, replicates=50, seed=9)
+        assert a.eps_single.low == b.eps_single.low
+
+    def test_single_precision_only(self):
+        samples = [s for s in noisy_samples(0.01) if not s.double_precision]
+        result = bootstrap_fit(samples, replicates=50)
+        assert result.eps_double is None
+
+    def test_describe(self, result):
+        text = result.describe()
+        assert "eps_mem" in text and "95%" in text
+
+    def test_validation(self):
+        samples = noisy_samples(0.01)
+        with pytest.raises(FittingError):
+            bootstrap_fit(samples, replicates=5)
+        with pytest.raises(FittingError):
+            bootstrap_fit(samples, level=0.3)

@@ -1,0 +1,66 @@
+"""Report-rendering helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.report import (
+    fmt_num,
+    fmt_pct,
+    fmt_si_time,
+    markdown_table,
+    text_table,
+)
+from repro.exceptions import ParameterError
+
+
+class TestTextTable:
+    def test_alignment(self):
+        table = text_table(["name", "x"], [["a", "1"], ["long-name", "22"]])
+        lines = table.splitlines()
+        assert lines[0].startswith("name")
+        assert "----" in lines[1]
+        assert len(lines) == 4
+
+    def test_column_count_enforced(self):
+        with pytest.raises(ParameterError):
+            text_table(["a", "b"], [["only-one"]])
+
+    def test_empty_header_rejected(self):
+        with pytest.raises(ParameterError):
+            text_table([], [])
+
+    def test_empty_body_ok(self):
+        table = text_table(["a"], [])
+        assert "a" in table
+
+
+class TestMarkdownTable:
+    def test_structure(self):
+        table = markdown_table(["k", "v"], [["x", "1"]])
+        lines = table.splitlines()
+        assert lines[0] == "| k | v |"
+        assert lines[1] == "|---|---|"
+        assert lines[2] == "| x | 1 |"
+
+
+class TestFormatters:
+    def test_time_scales(self):
+        assert fmt_si_time(1.5) == "1.5 s"
+        assert fmt_si_time(0.0123) == "12.3 ms"
+        assert fmt_si_time(4.5e-6) == "4.5 us"
+        assert fmt_si_time(4.5e-7) == "450 ns"
+        assert fmt_si_time(3e-9) == "3 ns"
+
+    def test_time_rejects_negative(self):
+        with pytest.raises(ParameterError):
+            fmt_si_time(-1.0)
+
+    def test_pct(self):
+        assert fmt_pct(0.041) == "4.1%"
+        assert fmt_pct(0.02, signed=True) == "+2.0%"
+        assert fmt_pct(-0.33, signed=True) == "-33.0%"
+
+    def test_num(self):
+        assert fmt_num(513.02) == "513"
+        assert fmt_num(0.00012345, digits=3) == "0.000123"

@@ -1,0 +1,92 @@
+"""Relative-error metrics (§V-C's evaluation statistics)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as npst
+
+from repro.analysis.stats import (
+    ErrorSummary,
+    mean_relative_error,
+    mean_signed_error,
+    median_relative_error,
+    relative_errors,
+    signed_relative_errors,
+    summarize_errors,
+)
+from repro.exceptions import ParameterError
+
+
+class TestSignedErrors:
+    def test_underestimate_is_negative(self):
+        errors = signed_relative_errors(np.array([67.0]), np.array([100.0]))
+        assert errors[0] == pytest.approx(-0.33)
+
+    def test_exact_is_zero(self):
+        errors = signed_relative_errors(np.array([5.0, 7.0]), np.array([5.0, 7.0]))
+        assert np.all(errors == 0.0)
+
+    def test_paper_33_percent_example(self):
+        """Estimates 33% low on average -> mean signed error of -0.33."""
+        measured = np.array([100.0, 200.0, 50.0])
+        estimated = measured * 0.67
+        assert mean_signed_error(estimated, measured) == pytest.approx(-0.33)
+
+
+class TestAbsoluteErrors:
+    def test_median(self):
+        measured = np.array([100.0, 100.0, 100.0])
+        estimated = np.array([96.0, 104.1, 90.0])
+        assert median_relative_error(estimated, measured) == pytest.approx(0.041)
+
+    def test_mean(self):
+        measured = np.array([100.0, 100.0])
+        estimated = np.array([90.0, 130.0])
+        assert mean_relative_error(estimated, measured) == pytest.approx(0.2)
+
+    @given(
+        npst.arrays(
+            np.float64,
+            st.integers(1, 30),
+            elements=st.floats(0.1, 1e6),
+        )
+    )
+    def test_abs_errors_nonnegative(self, measured):
+        estimated = measured * 1.1
+        assert np.all(relative_errors(estimated, measured) >= 0)
+
+
+class TestValidation:
+    def test_rejects_nonpositive_measured(self):
+        with pytest.raises(ParameterError):
+            relative_errors(np.array([1.0]), np.array([0.0]))
+
+    def test_rejects_shape_mismatch(self):
+        with pytest.raises(ParameterError):
+            relative_errors(np.array([1.0, 2.0]), np.array([1.0]))
+
+    def test_rejects_empty(self):
+        with pytest.raises(ParameterError):
+            relative_errors(np.array([]), np.array([]))
+
+
+class TestSummary:
+    def test_summary_fields(self):
+        measured = np.full(100, 100.0)
+        rng = np.random.default_rng(0)
+        estimated = measured * (1.0 + rng.normal(0, 0.05, 100))
+        summary = summarize_errors(estimated, measured)
+        assert summary.n == 100
+        assert abs(summary.mean_signed) < 0.02
+        assert 0.0 < summary.median_abs < summary.p90_abs <= summary.max_abs
+
+    def test_describe(self):
+        summary = ErrorSummary(
+            n=3, mean_signed=-0.33, mean_abs=0.33, median_abs=0.3,
+            p90_abs=0.4, max_abs=0.5,
+        )
+        text = summary.describe()
+        assert "n=3" in text and "-33.0%" in text

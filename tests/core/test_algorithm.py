@@ -1,0 +1,185 @@
+"""AlgorithmProfile and the canonical symbolic profiles."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.algorithm import (
+    AlgorithmProfile,
+    comparison_sort_profile,
+    dot_product_profile,
+    fft_profile,
+    fmm_ulist_profile,
+    matmul_max_intensity,
+    matmul_profile,
+    reduction_profile,
+    spmv_profile,
+    stencil_profile,
+    stream_triad_profile,
+)
+from repro.exceptions import ProfileError
+
+
+class TestAlgorithmProfile:
+    def test_intensity(self):
+        assert AlgorithmProfile(work=100, traffic=25).intensity == 4.0
+
+    def test_zero_traffic_gives_infinite_intensity(self):
+        assert AlgorithmProfile(work=100, traffic=0).intensity == math.inf
+
+    def test_rejects_zero_work(self):
+        with pytest.raises(ProfileError):
+            AlgorithmProfile(work=0, traffic=10)
+
+    def test_rejects_negative_traffic(self):
+        with pytest.raises(ProfileError):
+            AlgorithmProfile(work=10, traffic=-1)
+
+    def test_rejects_nan_work(self):
+        with pytest.raises(ProfileError):
+            AlgorithmProfile(work=float("nan"), traffic=10)
+
+    def test_from_intensity(self):
+        profile = AlgorithmProfile.from_intensity(2.5, work=10.0)
+        assert profile.intensity == pytest.approx(2.5)
+        assert profile.traffic == pytest.approx(4.0)
+
+    def test_from_intensity_rejects_nonpositive(self):
+        with pytest.raises(ProfileError):
+            AlgorithmProfile.from_intensity(0.0)
+
+    @given(st.floats(1e-3, 1e3), st.floats(1.0, 1e6))
+    def test_scaling_preserves_intensity(self, intensity, factor):
+        base = AlgorithmProfile.from_intensity(intensity, work=1e6)
+        scaled = base.scaled(factor)
+        assert scaled.intensity == pytest.approx(base.intensity)
+        assert scaled.work == pytest.approx(base.work * factor)
+
+    def test_scaled_rejects_nonpositive(self):
+        with pytest.raises(ProfileError):
+            AlgorithmProfile(work=1, traffic=1).scaled(0)
+
+    @given(st.floats(1.0, 100.0), st.floats(1.0, 100.0))
+    def test_work_trade(self, f, m):
+        base = AlgorithmProfile(work=1e6, traffic=1e6)
+        new = base.with_work_trade(f, m)
+        assert new.work == pytest.approx(f * 1e6)
+        assert new.traffic == pytest.approx(1e6 / m)
+        assert new.intensity == pytest.approx(f * m)
+
+    def test_work_trade_rejects_nonpositive(self):
+        with pytest.raises(ProfileError):
+            AlgorithmProfile(work=1, traffic=1).with_work_trade(0, 2)
+
+    def test_addition_composes(self):
+        total = AlgorithmProfile(work=10, traffic=5) + AlgorithmProfile(
+            work=20, traffic=15
+        )
+        assert total.work == 30
+        assert total.traffic == 20
+
+    def test_addition_rejects_other_types(self):
+        with pytest.raises(TypeError):
+            AlgorithmProfile(work=1, traffic=1) + 3
+
+
+class TestReduction:
+    def test_counts(self):
+        profile = reduction_profile(1000)
+        assert profile.work == 999
+        assert profile.traffic == 8000
+
+    def test_intensity_is_problem_size_independent(self):
+        """The paper's point: reductions have I = O(1), unaffected by Z."""
+        small = reduction_profile(10_000).intensity
+        large = reduction_profile(10_000_000).intensity
+        assert small == pytest.approx(large, rel=1e-3)
+
+    def test_rejects_single_element(self):
+        with pytest.raises(ProfileError):
+            reduction_profile(1)
+
+
+class TestMatmul:
+    def test_work_is_2n_cubed(self):
+        assert matmul_profile(100, 1 << 20).work == 2e6
+
+    def test_intensity_grows_with_sqrt_cache(self):
+        """Doubling Z improves matmul intensity by no more than sqrt(2)."""
+        n = 4096
+        base = matmul_profile(n, 1 << 16).intensity
+        doubled = matmul_profile(n, 1 << 17).intensity
+        ratio = doubled / base
+        assert 1.0 < ratio <= math.sqrt(2) + 0.05
+
+    def test_max_intensity_sqrt_scaling(self):
+        assert matmul_max_intensity(2 << 20) / matmul_max_intensity(
+            1 << 20
+        ) == pytest.approx(math.sqrt(2))
+
+    def test_small_matrix_traffic_is_compulsory(self):
+        """A matrix fitting in cache needs only O(n^2) traffic, not O(n^3)."""
+        profile = matmul_profile(64, 64 * 1024 * 1024)
+        words = profile.traffic / 8
+        assert words <= 7 * 64 * 64
+        assert words >= 3 * 64 * 64  # at least the compulsory traffic
+
+
+class TestOtherProfiles:
+    def test_dot_product(self):
+        profile = dot_product_profile(500)
+        assert profile.work == 1000
+        assert profile.intensity == pytest.approx(0.125)  # 2 flops / 16 B
+
+    def test_stream_triad(self):
+        profile = stream_triad_profile(1000)
+        assert profile.intensity == pytest.approx(2.0 / 24.0)
+
+    def test_stencil_counts(self):
+        profile = stencil_profile(32, points=7, sweeps=2)
+        assert profile.work == 2 * 7 * 32**3 * 2
+        assert profile.intensity == pytest.approx(7.0 / 8.0)
+
+    def test_fft_more_cache_fewer_passes(self):
+        small_cache = fft_profile(1 << 20, 1 << 10)
+        big_cache = fft_profile(1 << 20, 1 << 20)
+        assert big_cache.traffic < small_cache.traffic
+        assert big_cache.work == small_cache.work
+
+    def test_fft_rejects_tiny(self):
+        with pytest.raises(ProfileError):
+            fft_profile(1, 1024)
+
+    def test_sort_work_is_nlogn(self):
+        profile = comparison_sort_profile(1 << 16, 1 << 12)
+        assert profile.work == pytest.approx((1 << 16) * 16)
+
+    def test_fmm_intensity_scales_with_leaf_size(self):
+        """The §V-C claim: FMM U-list has I = O(q), compute-bound for big q."""
+        small = fmm_ulist_profile(100_000, leaf_size=32).intensity
+        large = fmm_ulist_profile(100_000, leaf_size=512).intensity
+        assert large > small * 8
+        assert large / small == pytest.approx(512 / 32, rel=0.25)
+
+    def test_fmm_flops_per_pair_default(self):
+        profile = fmm_ulist_profile(1000, leaf_size=10, neighbors=27)
+        assert profile.work == 11 * 1000 * 27 * 10
+
+    def test_spmv_is_memory_bound_shape(self):
+        profile = spmv_profile(100_000, nnz_per_row=7)
+        assert profile.intensity < 0.25
+
+    def test_profiles_reject_nonpositive_sizes(self):
+        for builder in (
+            lambda: reduction_profile(-5),
+            lambda: matmul_profile(0, 1024),
+            lambda: stencil_profile(16, points=0),
+            lambda: fmm_ulist_profile(0, leaf_size=8),
+            lambda: spmv_profile(10, nnz_per_row=0),
+        ):
+            with pytest.raises(ProfileError):
+                builder()

@@ -1,0 +1,83 @@
+"""Balance gaps, quadrants, and the race-to-halt analysis."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core.balance import BoundQuadrant, analyze, classify_quadrant
+from tests.conftest import machine_strategy
+
+
+class TestQuadrants:
+    def test_fermi_gap_region(self, fermi):
+        """On Keckler-Fermi, B_tau=3.6 < B_eps=14.4: intensities between
+        the two are compute-bound in time, memory-bound in energy."""
+        middle = (fermi.b_tau + fermi.b_eps) / 2
+        assert classify_quadrant(fermi, middle) is BoundQuadrant.COMPUTE_MEMORY
+
+    def test_fermi_corners(self, fermi):
+        assert classify_quadrant(fermi, 0.1) is BoundQuadrant.MEMORY_MEMORY
+        assert classify_quadrant(fermi, 100.0) is BoundQuadrant.COMPUTE_COMPUTE
+
+    def test_gtx580_double_reverse_gap(self, gpu_double):
+        """With constant power the GTX 580's effective balance (0.79) sits
+        below B_tau (1.03): intensities between are memory-bound in time
+        but already compute-bound in energy."""
+        middle = (gpu_double.effective_balance_crossing + gpu_double.b_tau) / 2
+        assert classify_quadrant(gpu_double, middle) is BoundQuadrant.MEMORY_COMPUTE
+
+    @settings(max_examples=100)
+    @given(machine=machine_strategy())
+    def test_every_intensity_has_a_quadrant(self, machine):
+        for intensity in (0.01, machine.b_tau, machine.b_eps, 100.0):
+            assert isinstance(classify_quadrant(machine, intensity), BoundQuadrant)
+
+
+class TestAnalyze:
+    def test_all_catalog_machines_race_to_halt(self, catalog_machine):
+        """The paper's headline empirical finding: on 2013 platforms,
+        effective B_eps <= B_tau everywhere, so race-to-halt is sound."""
+        report = analyze(catalog_machine)
+        assert report.race_to_halt_effective
+        assert report.gap_interval is None
+        assert report.effective_gap <= 1.0 + 1e-9
+
+    def test_fermi_estimate_has_open_gap(self, fermi):
+        """With pi0=0 and the Keckler estimates, the gap is wide open."""
+        report = analyze(fermi)
+        assert not report.race_to_halt_effective
+        assert report.gap_interval == pytest.approx((fermi.b_tau, fermi.b_eps))
+        assert report.raw_gap == pytest.approx(14.4 / 3.576, rel=0.01)
+
+    def test_energy_implies_time_on_fermi(self, fermi):
+        assert analyze(fermi).energy_implies_time
+
+    def test_const_zero_reopens_gpu_gap(self, gpu_double):
+        """The paper's Fig. 4a observation: were pi0 -> 0, the GPU
+        double-precision balance gap would reopen and race-to-halt break."""
+        report = analyze(gpu_double.with_constant_power(0.0))
+        assert not report.race_to_halt_effective
+
+    def test_const_zero_does_not_reopen_cpu_gap(self, cpu_double):
+        """...but on the Intel platform even pi0 = 0 does not invert the
+        gap (eps_flop and eps_mem are closer there) — §V-B."""
+        report = analyze(cpu_double.with_constant_power(0.0))
+        assert report.race_to_halt_effective
+
+    @settings(max_examples=100)
+    @given(machine=machine_strategy())
+    def test_report_internally_consistent(self, machine):
+        report = analyze(machine)
+        assert report.race_to_halt_effective == (report.gap_interval is None)
+        assert report.effective_gap == pytest.approx(
+            report.b_eps_effective / report.b_tau
+        )
+        if report.gap_interval is not None:
+            lo, hi = report.gap_interval
+            assert lo < hi
+            assert lo == pytest.approx(report.b_tau)
+
+    def test_describe_mentions_regime(self, fermi, gpu_double):
+        assert "race-to-halt breaks" in analyze(fermi).describe()
+        assert "race-to-halt is sound" in analyze(gpu_double).describe()

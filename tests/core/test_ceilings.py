@@ -1,0 +1,125 @@
+"""Roofline ceilings and their energy analogues."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.ceilings import Ceiling, RooflineCeilings
+from repro.exceptions import ParameterError
+from tests.conftest import machine_strategy
+
+
+@pytest.fixture
+def stack(cpu_double) -> RooflineCeilings:
+    return RooflineCeilings.classic_cpu(cpu_double, simd_width=4)
+
+
+class TestCeiling:
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            Ceiling("bad", compute_fraction=0.0)
+        with pytest.raises(ParameterError):
+            Ceiling("bad", bandwidth_fraction=1.5)
+
+    def test_duplicate_names_rejected(self, cpu_double):
+        with pytest.raises(ParameterError):
+            RooflineCeilings(
+                cpu_double, [Ceiling("x", 0.5), Ceiling("x", 0.25)]
+            )
+
+
+class TestAttainability:
+    def test_ceilings_sorted_loosest_first(self, stack):
+        products = [
+            c.compute_fraction * c.bandwidth_fraction for c in stack.ceilings
+        ]
+        assert products == sorted(products, reverse=True)
+
+    def test_ceiling_caps_compute_bound_performance(self, stack, cpu_double):
+        high = cpu_double.b_tau * 16
+        no_simd = next(c for c in stack.ceilings if c.name == "no-SIMD")
+        assert stack.attainable_fraction(high, no_simd) == pytest.approx(0.25)
+        assert stack.attainable_fraction(high) == pytest.approx(1.0)
+
+    def test_compute_ceiling_irrelevant_when_memory_bound(self, stack, cpu_double):
+        """Deep in the bandwidth-bound region, losing SIMD costs nothing."""
+        low = cpu_double.b_tau / 64
+        no_simd = next(c for c in stack.ceilings if c.name == "no-SIMD")
+        assert stack.attainable_fraction(low, no_simd) == pytest.approx(
+            stack.attainable_fraction(low)
+        )
+
+    def test_bandwidth_ceiling_bites_when_memory_bound(self, stack, cpu_double):
+        low = cpu_double.b_tau / 64
+        single = next(c for c in stack.ceilings if c.name == "single-stream")
+        assert stack.attainable_fraction(low, single) == pytest.approx(
+            stack.attainable_fraction(low) / 2
+        )
+
+    @settings(max_examples=50)
+    @given(machine=machine_strategy(), frac=st.floats(0.05, 1.0))
+    def test_ceiling_never_exceeds_roof(self, machine, frac):
+        stack = RooflineCeilings(machine, [Ceiling("c", compute_fraction=frac)])
+        for intensity in (0.1, machine.b_tau, 100.0):
+            assert stack.attainable_fraction(intensity, stack.ceilings[0]) <= (
+                stack.attainable_fraction(intensity) * (1 + 1e-12)
+            )
+
+
+class TestEnergyAnalogue:
+    def test_ceiling_costs_no_energy_without_constant_power(self, fermi):
+        """π0 = 0: the ceiling's energy penalty is identically zero —
+        time and energy respond asymmetrically to lost compute features."""
+        stack = RooflineCeilings(fermi, [Ceiling("no-SIMD", compute_fraction=0.25)])
+        for intensity in (0.5, fermi.b_tau, 64.0):
+            assert stack.energy_penalty_fraction(
+                intensity, stack.ceilings[0]
+            ) == pytest.approx(0.0, abs=1e-12)
+
+    def test_ceiling_costs_energy_with_constant_power(self, cpu_double):
+        """π0 > 0: stretched runtime burns constant energy."""
+        stack = RooflineCeilings(cpu_double, [Ceiling("no-SIMD", compute_fraction=0.25)])
+        high = cpu_double.b_tau * 16  # compute-bound: ceiling stretches T 4x
+        penalty = stack.energy_penalty_fraction(high, stack.ceilings[0])
+        assert penalty > 0.5
+
+    def test_memory_bound_ceiling_energy_free(self, cpu_double):
+        """A compute ceiling that doesn't bind leaves energy unchanged."""
+        stack = RooflineCeilings(cpu_double, [Ceiling("no-SIMD", compute_fraction=0.5)])
+        low = cpu_double.b_tau / 64
+        assert stack.energy_penalty_fraction(
+            low, stack.ceilings[0]
+        ) == pytest.approx(0.0, abs=1e-12)
+
+
+class TestDiagnosis:
+    def test_point_at_roof(self, stack, cpu_double):
+        high = cpu_double.b_tau * 8
+        diag = stack.diagnose(high, cpu_double.peak_gflops)
+        assert diag.below is None
+        assert "peak" in diag.advice
+
+    def test_point_in_simd_band(self, stack, cpu_double):
+        """Achieving ~30% of peak when compute-bound: above the no-SIMD
+        ceiling (25%) but below no-FMA (50%) -> missing FMA."""
+        high = cpu_double.b_tau * 8
+        diag = stack.diagnose(high, 0.3 * cpu_double.peak_gflops)
+        assert diag.below == "no-FMA"
+        assert diag.above == "no-SIMD"
+        assert "no-FMA" in diag.advice
+
+    def test_point_below_everything(self, stack, cpu_double):
+        high = cpu_double.b_tau * 8
+        diag = stack.diagnose(high, 0.01 * cpu_double.peak_gflops)
+        assert diag.above is None
+        assert "profile" in diag.advice
+
+    def test_rejects_nonpositive(self, stack):
+        with pytest.raises(ParameterError):
+            stack.diagnose(1.0, 0.0)
+
+    def test_describe(self, stack, cpu_double):
+        text = stack.describe(cpu_double.b_tau * 8)
+        assert "no-SIMD" in text and "energy penalty" in text

@@ -1,0 +1,124 @@
+"""Concurrency-limited bandwidth (the latency refinement)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.algorithm import AlgorithmProfile
+from repro.core.concurrency import ConcurrencyModel, MemorySubsystem
+from repro.core.energy_model import EnergyModel
+from repro.core.time_model import TimeModel
+from repro.exceptions import ParameterError
+from tests.conftest import machine_strategy
+
+
+@pytest.fixture
+def memory() -> MemorySubsystem:
+    return MemorySubsystem(latency=80e-9, line_bytes=64)
+
+
+@pytest.fixture
+def model(cpu_double, memory) -> ConcurrencyModel:
+    return ConcurrencyModel(cpu_double, memory)
+
+
+class TestMemorySubsystem:
+    def test_littles_law(self, memory):
+        assert memory.achievable_bandwidth(10) == pytest.approx(10 * 64 / 80e-9)
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            MemorySubsystem(latency=0.0)
+        with pytest.raises(ParameterError):
+            MemorySubsystem(latency=1e-9, line_bytes=0)
+        with pytest.raises(ParameterError):
+            MemorySubsystem(latency=1e-9).achievable_bandwidth(0)
+
+
+class TestRequiredConcurrency:
+    def test_cpu_needs_tens_of_misses(self, model):
+        """25.6 GB/s at 80 ns with 64 B lines: c_min = 32."""
+        assert model.required_concurrency == pytest.approx(32.0)
+
+    def test_gpu_needs_hundreds(self, gpu_single):
+        gpu_memory = MemorySubsystem(latency=400e-9, line_bytes=128)
+        model = ConcurrencyModel(gpu_single, gpu_memory)
+        assert model.required_concurrency > 500
+
+    def test_saturated_machine_is_the_machine(self, model, cpu_double):
+        effective = model.effective_machine(model.required_concurrency * 2)
+        assert effective.tau_mem == pytest.approx(cpu_double.tau_mem)
+        assert effective.b_tau == pytest.approx(cpu_double.b_tau)
+
+
+class TestPenalties:
+    def test_balance_shifts_right_at_low_concurrency(self, model, cpu_double):
+        starved = model.effective_balance(model.required_concurrency / 4)
+        assert starved == pytest.approx(cpu_double.b_tau * 4)
+
+    def test_memory_bound_time_scales_inversely(self, model, cpu_double):
+        profile = AlgorithmProfile.from_intensity(cpu_double.b_tau / 8, work=1e10)
+        half = model.latency_penalty(profile, model.required_concurrency / 2)
+        assert half == pytest.approx(2.0)
+
+    def test_compute_bound_kernels_tolerate_starvation(self, model, cpu_double):
+        """A strongly compute-bound kernel hides considerable latency."""
+        profile = AlgorithmProfile.from_intensity(cpu_double.b_tau * 8, work=1e10)
+        assert model.latency_penalty(
+            profile, model.required_concurrency / 4
+        ) == pytest.approx(1.0)
+
+    @settings(max_examples=60)
+    @given(
+        machine=machine_strategy(),
+        concurrency=st.floats(0.5, 1e4),
+        intensity=st.floats(0.01, 100.0),
+    )
+    def test_penalty_at_least_one(self, machine, concurrency, intensity):
+        model = ConcurrencyModel(machine, MemorySubsystem(latency=100e-9))
+        profile = AlgorithmProfile.from_intensity(intensity, work=1e9)
+        assert model.latency_penalty(profile, concurrency) >= 1.0 - 1e-12
+
+    @settings(max_examples=60)
+    @given(
+        machine=machine_strategy(allow_pi0=False),
+        concurrency=st.floats(0.5, 1e4),
+        intensity=st.floats(0.01, 100.0),
+    )
+    def test_latency_free_in_energy_without_constant_power(
+        self, machine, concurrency, intensity
+    ):
+        """pi0 = 0: exposed latency costs time but not one joule."""
+        model = ConcurrencyModel(machine, MemorySubsystem(latency=100e-9))
+        profile = AlgorithmProfile.from_intensity(intensity, work=1e9)
+        assert model.energy_penalty(profile, concurrency) == pytest.approx(
+            1.0, rel=1e-9
+        )
+
+    def test_latency_costs_energy_with_constant_power(self, model, cpu_double):
+        profile = AlgorithmProfile.from_intensity(cpu_double.b_tau / 8, work=1e10)
+        assert model.energy_penalty(profile, model.required_concurrency / 4) > 1.5
+
+
+class TestHalfEfficiencyPoint:
+    def test_memory_bound_closed_form(self, model, cpu_double):
+        """For a memory-bound kernel, losing 2x needs exactly half of the
+        concurrency that matches its own bandwidth demand."""
+        profile = AlgorithmProfile.from_intensity(cpu_double.b_tau / 8, work=1e10)
+        c_half = model.concurrency_for_half_efficiency(profile)
+        assert model.latency_penalty(profile, c_half) == pytest.approx(2.0)
+
+    def test_compute_bound_has_headroom(self, model, cpu_double):
+        """Compute-bound kernels reach 2x loss only at much lower
+        concurrency than memory-bound ones."""
+        memory_bound = AlgorithmProfile.from_intensity(
+            cpu_double.b_tau / 8, work=1e10
+        )
+        compute_bound = AlgorithmProfile.from_intensity(
+            cpu_double.b_tau * 8, work=1e10
+        )
+        assert model.concurrency_for_half_efficiency(
+            compute_bound
+        ) < model.concurrency_for_half_efficiency(memory_bound)

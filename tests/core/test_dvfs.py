@@ -1,0 +1,149 @@
+"""DVFS extension: frequency scaling, optimal settings, race-to-halt."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.algorithm import AlgorithmProfile
+from repro.core.dvfs import DvfsMachine, DvfsPolicy
+from repro.exceptions import ParameterError
+from tests.conftest import machine_strategy
+
+
+@pytest.fixture
+def leaky_cpu(cpu_double):
+    """High static power: the race-to-halt regime."""
+    return DvfsMachine(cpu_double, DvfsPolicy(static_fraction=0.95))
+
+
+@pytest.fixture
+def gated_cpu(cpu_double):
+    """Mostly clock-scaled constant power: crawling can win."""
+    return DvfsMachine(cpu_double, DvfsPolicy(static_fraction=0.05))
+
+
+def memory_bound(machine) -> AlgorithmProfile:
+    return AlgorithmProfile.from_intensity(machine.b_tau / 8, work=1e11)
+
+
+def compute_bound(machine) -> AlgorithmProfile:
+    return AlgorithmProfile.from_intensity(machine.b_tau * 8, work=1e11)
+
+
+class TestPolicy:
+    def test_voltage_interpolates(self):
+        policy = DvfsPolicy(v_floor=0.6)
+        assert policy.voltage(1.0) == pytest.approx(1.0)
+        assert policy.voltage(0.5) == pytest.approx(0.8)
+
+    def test_scales_at_nominal_are_one(self):
+        policy = DvfsPolicy()
+        assert policy.flop_energy_scale(1.0) == pytest.approx(1.0)
+        assert policy.constant_power_scale(1.0) == pytest.approx(1.0)
+
+    def test_static_fraction_bounds_constant_scale(self):
+        policy = DvfsPolicy(static_fraction=0.3, s_min=0.1)
+        assert policy.constant_power_scale(0.1) >= 0.3
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            DvfsPolicy(s_min=0.0)
+        with pytest.raises(ParameterError):
+            DvfsPolicy(s_min=0.9, s_max=0.5)
+        with pytest.raises(ParameterError):
+            DvfsPolicy(v_floor=1.0)
+        with pytest.raises(ParameterError):
+            DvfsPolicy(static_fraction=1.5)
+
+
+class TestScaledMachine:
+    def test_nominal_point_is_identity(self, cpu_double):
+        machine = DvfsMachine(cpu_double).machine_at(1.0)
+        assert machine.tau_flop == pytest.approx(cpu_double.tau_flop)
+        assert machine.eps_flop == pytest.approx(cpu_double.eps_flop)
+        assert machine.pi0 == pytest.approx(cpu_double.pi0)
+
+    def test_downclocking_shifts_balance(self, cpu_double):
+        """Slower clock, same bandwidth: B_tau shrinks proportionally."""
+        half = DvfsMachine(cpu_double).machine_at(0.5)
+        assert half.b_tau == pytest.approx(cpu_double.b_tau * 0.5)
+        assert half.tau_mem == cpu_double.tau_mem
+        assert half.eps_mem == cpu_double.eps_mem
+
+    def test_downclocking_cuts_flop_energy(self, cpu_double):
+        half = DvfsMachine(cpu_double).machine_at(0.5)
+        assert half.eps_flop < cpu_double.eps_flop
+
+    def test_out_of_range_rejected(self, cpu_double):
+        with pytest.raises(ParameterError):
+            DvfsMachine(cpu_double).machine_at(0.1)
+
+
+class TestOptimalSetting:
+    def test_race_to_halt_with_static_power(self, leaky_cpu):
+        """With 95% static constant power, full speed is energy-optimal
+        for compute-bound work — slowing just stretches the leakage."""
+        profile = compute_bound(leaky_cpu.base)
+        assert leaky_cpu.race_to_halt_wins(profile)
+        assert leaky_cpu.energy_optimal_setting(profile).s == pytest.approx(
+            1.0, abs=1e-3
+        )
+
+    def test_crawl_wins_when_gated_and_memory_bound(self, gated_cpu):
+        """With power-gated constant power and a bandwidth-bound kernel,
+        downclocking saves energy at no time cost up to the matched
+        frequency — race-to-halt loses."""
+        profile = memory_bound(gated_cpu.base)
+        assert not gated_cpu.race_to_halt_wins(profile)
+        best = gated_cpu.energy_optimal_setting(profile)
+        full = gated_cpu.evaluate(profile, 1.0)
+        assert best.energy < full.energy
+        assert best.s < 1.0
+
+    def test_memory_bound_crawl_is_nearly_free_in_time(self, gated_cpu):
+        """Down to the bandwidth-matched frequency, time is unchanged."""
+        profile = memory_bound(gated_cpu.base)
+        matched = gated_cpu.bandwidth_matched_setting(profile)
+        full = gated_cpu.evaluate(profile, 1.0)
+        at_match = gated_cpu.evaluate(profile, matched)
+        assert at_match.time == pytest.approx(full.time, rel=1e-9)
+
+    def test_optimal_beats_grid(self, gated_cpu):
+        profile = memory_bound(gated_cpu.base)
+        best = gated_cpu.energy_optimal_setting(profile)
+        for point in gated_cpu.sweep(profile, steps=21):
+            assert best.energy <= point.energy * (1 + 1e-6)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        machine=machine_strategy(),
+        static=st.floats(0.0, 1.0),
+        intensity=st.floats(0.01, 100.0),
+    )
+    def test_optimal_never_worse_than_endpoints(self, machine, static, intensity):
+        dvfs = DvfsMachine(machine, DvfsPolicy(static_fraction=static))
+        profile = AlgorithmProfile.from_intensity(intensity, work=1e9)
+        best = dvfs.energy_optimal_setting(profile)
+        for s in (dvfs.policy.s_min, dvfs.policy.s_max):
+            assert best.energy <= dvfs.evaluate(profile, s).energy * (1 + 1e-9)
+
+
+class TestSweep:
+    def test_sweep_covers_range(self, gated_cpu):
+        profile = memory_bound(gated_cpu.base)
+        points = gated_cpu.sweep(profile, steps=11)
+        assert len(points) == 11
+        assert points[0].s == pytest.approx(gated_cpu.policy.s_min)
+        assert points[-1].s == pytest.approx(gated_cpu.policy.s_max)
+
+    def test_time_monotone_in_frequency_for_compute_bound(self, gated_cpu):
+        profile = compute_bound(gated_cpu.base)
+        points = gated_cpu.sweep(profile, steps=11)
+        times = [p.time for p in points]
+        assert all(a >= b - 1e-15 for a, b in zip(times, times[1:]))
+
+    def test_sweep_validates(self, gated_cpu):
+        with pytest.raises(ParameterError):
+            gated_cpu.sweep(memory_bound(gated_cpu.base), steps=1)

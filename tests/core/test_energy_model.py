@@ -1,0 +1,141 @@
+"""EnergyModel: eqs. (4)-(6), the arch line, and its key identities."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core.algorithm import AlgorithmProfile
+from repro.core.energy_model import EnergyModel
+from repro.core.time_model import TimeBound, TimeModel
+from repro.exceptions import ParameterError
+from tests.conftest import intensity_strategy, machine_strategy, profile_strategy
+
+
+class TestBreakdown:
+    def test_components(self, gpu_double):
+        profile = AlgorithmProfile(work=1e9, traffic=1e9)
+        model = EnergyModel(gpu_double)
+        bd = model.breakdown(profile)
+        assert bd.flops == pytest.approx(1e9 * gpu_double.eps_flop)
+        assert bd.mem == pytest.approx(1e9 * gpu_double.eps_mem)
+        expected_const = gpu_double.pi0 * TimeModel(gpu_double).time(profile)
+        assert bd.constant == pytest.approx(expected_const)
+        assert bd.total == pytest.approx(bd.flops + bd.mem + bd.constant)
+
+    def test_dynamic_excludes_constant(self, gpu_double):
+        bd = EnergyModel(gpu_double).breakdown(AlgorithmProfile(work=1e9, traffic=1e9))
+        assert bd.dynamic == pytest.approx(bd.flops + bd.mem)
+
+    def test_fractions_sum_to_one(self, gpu_double):
+        bd = EnergyModel(gpu_double).breakdown(AlgorithmProfile(work=1e9, traffic=1e9))
+        total = bd.fraction("flops") + bd.fraction("mem") + bd.fraction("constant")
+        assert total == pytest.approx(1.0)
+
+    def test_no_constant_energy_without_pi0(self, fermi):
+        bd = EnergyModel(fermi).breakdown(AlgorithmProfile(work=1e9, traffic=1e9))
+        assert bd.constant == 0.0
+
+
+class TestEquationFiveIdentity:
+    """The paper's algebraic refactoring eq. (4) -> eq. (5) must be exact."""
+
+    @settings(max_examples=150)
+    @given(machine=machine_strategy(), profile=profile_strategy())
+    def test_sum_form_equals_closed_form(self, machine, profile):
+        model = EnergyModel(machine)
+        assert model.energy(profile) == pytest.approx(
+            model.energy_closed_form(profile), rel=1e-9
+        )
+
+    @settings(max_examples=50)
+    @given(machine=machine_strategy(allow_pi0=False), profile=profile_strategy())
+    def test_energy_is_additive_in_components_without_pi0(self, machine, profile):
+        model = EnergyModel(machine)
+        expected = (
+            profile.work * machine.eps_flop + profile.traffic * machine.eps_mem
+        )
+        assert model.energy(profile) == pytest.approx(expected, rel=1e-9)
+
+
+class TestArchLine:
+    def test_half_efficiency_at_crossing(self, catalog_machine):
+        model = EnergyModel(catalog_machine)
+        crossing = catalog_machine.effective_balance_crossing
+        assert model.normalized_efficiency(crossing) == pytest.approx(0.5, rel=1e-9)
+
+    def test_half_efficiency_at_b_eps_when_pi0_zero(self, fermi):
+        assert EnergyModel(fermi).normalized_efficiency(fermi.b_eps) == pytest.approx(
+            0.5
+        )
+
+    def test_smoothness_no_kink(self, fermi):
+        """Unlike the roofline, the arch line has no sharp corner at B_eps:
+        the slope changes continuously."""
+        model = EnergyModel(fermi)
+        eps = 1e-6
+        at = fermi.b_eps
+
+        def slope(x):
+            return (model.normalized_efficiency(x + eps) - model.normalized_efficiency(x)) / eps
+
+        assert slope(at * (1 - 1e-3)) == pytest.approx(slope(at * (1 + 1e-3)), rel=0.05)
+
+    @settings(max_examples=100)
+    @given(machine=machine_strategy(), intensity=intensity_strategy())
+    def test_efficiency_strictly_below_one(self, machine, intensity):
+        """Energy cannot overlap: some communication penalty always remains."""
+        value = EnergyModel(machine).normalized_efficiency(intensity)
+        assert 0.0 < value < 1.0
+
+    @settings(max_examples=50)
+    @given(machine=machine_strategy(), intensity=intensity_strategy())
+    def test_efficiency_monotone_in_intensity(self, machine, intensity):
+        model = EnergyModel(machine)
+        assert (
+            model.normalized_efficiency(2 * intensity)
+            >= model.normalized_efficiency(intensity) - 1e-12
+        )
+
+    def test_attainable_gflops_per_joule_limit(self, gpu_double):
+        model = EnergyModel(gpu_double)
+        near_peak = model.attainable_gflops_per_joule(1e6)
+        assert near_peak == pytest.approx(gpu_double.peak_gflops_per_joule, rel=1e-3)
+
+
+class TestClassification:
+    def test_energy_bound_uses_effective_crossing(self, gpu_double):
+        model = EnergyModel(gpu_double)
+        crossing = gpu_double.effective_balance_crossing
+        assert model.classify(crossing / 2) is TimeBound.MEMORY
+        assert model.classify(crossing * 2) is TimeBound.COMPUTE
+        assert model.classify(crossing) is TimeBound.BALANCED
+
+    def test_balance_gap_disagreement(self, fermi):
+        """On the Fermi estimate (B_eps > B_tau), intensities between the
+        two balances are compute-bound in time but memory-bound in energy."""
+        middle = (fermi.b_tau + fermi.b_eps) / 2
+        assert TimeModel(fermi).classify(middle) is TimeBound.COMPUTE
+        assert EnergyModel(fermi).classify(middle) is TimeBound.MEMORY
+
+    def test_rejects_nonpositive_intensity(self, fermi):
+        with pytest.raises(ParameterError):
+            EnergyModel(fermi).normalized_efficiency(-2.0)
+
+
+class TestFlopsPerJoule:
+    @settings(max_examples=50)
+    @given(machine=machine_strategy(), profile=profile_strategy())
+    def test_never_exceeds_peak(self, machine, profile):
+        model = EnergyModel(machine)
+        assert model.flops_per_joule(profile) <= machine.peak_flops_per_joule * (
+            1 + 1e-12
+        )
+
+    def test_energy_per_flop_floor(self, gpu_double):
+        """E/W can never beat eps_flop_hat (the flops-only ideal)."""
+        model = EnergyModel(gpu_double)
+        assert model.energy_per_flop(1e9) == pytest.approx(
+            gpu_double.eps_flop_hat, rel=1e-6
+        )
+        assert model.energy_per_flop(0.01) > gpu_double.eps_flop_hat

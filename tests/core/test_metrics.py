@@ -1,0 +1,100 @@
+"""Fused time-energy metrics (EDP family)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.algorithm import AlgorithmProfile
+from repro.core.metrics import FusedMetrics, MetricPoint, ed2p, edp, generalized_edp
+from repro.exceptions import ParameterError
+from tests.conftest import intensity_strategy, machine_strategy
+
+
+class TestMetricFunctions:
+    def test_edp(self):
+        assert edp(10.0, 2.0) == 20.0
+
+    def test_ed2p(self):
+        assert ed2p(10.0, 2.0) == 40.0
+
+    def test_weight_zero_is_energy(self):
+        assert generalized_edp(10.0, 2.0, weight=0.0) == 10.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ParameterError):
+            generalized_edp(-1.0, 1.0, weight=1.0)
+        with pytest.raises(ParameterError):
+            generalized_edp(1.0, 1.0, weight=-1.0)
+
+
+class TestMetricPoint:
+    def test_derived_values(self):
+        point = MetricPoint(time=2.0, energy=10.0)
+        assert point.power == 5.0
+        assert point.edp == 20.0
+        assert point.ed2p == 40.0
+        assert point.edwp(3.0) == 80.0
+
+
+class TestFusedMetrics:
+    def test_evaluate_consistent_with_models(self, gpu_double):
+        from repro.core.energy_model import EnergyModel
+        from repro.core.time_model import TimeModel
+
+        profile = AlgorithmProfile.from_intensity(2.0, work=1e10)
+        point = FusedMetrics(gpu_double).evaluate(profile)
+        assert point.time == pytest.approx(TimeModel(gpu_double).time(profile))
+        assert point.energy == pytest.approx(EnergyModel(gpu_double).energy(profile))
+
+    @settings(max_examples=60)
+    @given(machine=machine_strategy(), intensity=intensity_strategy())
+    def test_edp_density_decreasing_in_intensity(self, machine, intensity):
+        """Raising intensity never hurts EDP: both factors improve or hold."""
+        metrics = FusedMetrics(machine)
+        assert metrics.edp_per_flop_squared(2 * intensity) <= (
+            metrics.edp_per_flop_squared(intensity) * (1 + 1e-12)
+        )
+
+    def test_edp_density_validates(self, gpu_double):
+        with pytest.raises(ParameterError):
+            FusedMetrics(gpu_double).edp_per_flop_squared(0.0)
+
+    def test_improvement_ratios(self, gpu_double):
+        metrics = FusedMetrics(gpu_double)
+        baseline = AlgorithmProfile.from_intensity(0.5, work=1e10)
+        better = AlgorithmProfile.from_intensity(4.0, work=1e10)
+        ratios = metrics.improvement(baseline, better)
+        assert all(v > 1.0 for v in ratios.values())
+
+    def test_metrics_can_disagree(self, fermi):
+        """A work-inflating, communication-saving trade on a wide-gap
+        machine improves energy but not time; EDP weight arbitrates."""
+        metrics = FusedMetrics(fermi)
+        baseline = AlgorithmProfile.from_intensity(fermi.b_tau / 8, work=1e10)
+        # f=10 > B_tau/I = 8 (slower); far below the eq. (10) threshold (~32, greener).
+        candidate = baseline.with_work_trade(10.0, 32.0)
+        ratios = metrics.improvement(baseline, candidate)
+        assert ratios["energy"] > 1.0
+        assert ratios["time"] < 1.0
+
+    def test_crossover_weight(self, fermi):
+        metrics = FusedMetrics(fermi)
+        baseline = AlgorithmProfile.from_intensity(fermi.b_tau / 8, work=1e10)
+        candidate = baseline.with_work_trade(10.0, 32.0)
+        w_star = metrics.crossover_weight(baseline, candidate)
+        assert w_star is not None and w_star > 0
+        # At the crossover weight, the fused metric ties.
+        base = metrics.evaluate(baseline)
+        cand = metrics.evaluate(candidate)
+        assert base.edwp(w_star) == pytest.approx(cand.edwp(w_star), rel=1e-9)
+
+    def test_crossover_none_when_dominated(self, fermi):
+        metrics = FusedMetrics(fermi)
+        baseline = AlgorithmProfile.from_intensity(0.5, work=1e10)
+        dominated = AlgorithmProfile.from_intensity(0.5, work=2e10)  # strictly worse
+        dominated = AlgorithmProfile(
+            work=baseline.work, traffic=baseline.traffic * 2, name="worse"
+        )
+        assert metrics.crossover_weight(baseline, dominated) is None

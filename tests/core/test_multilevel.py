@@ -1,0 +1,127 @@
+"""Multi-level memory-hierarchy energy (§V-C refinement)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.algorithm import AlgorithmProfile
+from repro.core.multilevel import (
+    HierarchicalProfile,
+    MemoryHierarchy,
+    MemoryLevel,
+    MultiLevelEnergyModel,
+)
+from repro.exceptions import ParameterError, ProfileError
+
+
+@pytest.fixture
+def hierarchy() -> MemoryHierarchy:
+    return MemoryHierarchy.gpu_l1_l2(187e-12)
+
+
+@pytest.fixture
+def profile() -> HierarchicalProfile:
+    return HierarchicalProfile(
+        base=AlgorithmProfile(work=1e9, traffic=1e8),
+        level_traffic={"L1": 4e9, "L2": 2e9},
+    )
+
+
+class TestHierarchy:
+    def test_gpu_l1_l2_levels(self, hierarchy):
+        assert [lvl.name for lvl in hierarchy.levels] == ["L1", "L2"]
+        assert hierarchy.level("L1").eps_per_byte == 187e-12
+
+    def test_level_lookup_unknown(self, hierarchy):
+        with pytest.raises(KeyError):
+            hierarchy.level("L3")
+
+    def test_rejects_duplicate_names(self):
+        with pytest.raises(ParameterError):
+            MemoryHierarchy(levels=(MemoryLevel("L1", 1e-12), MemoryLevel("L1", 2e-12)))
+
+    def test_rejects_negative_cost(self):
+        with pytest.raises(ParameterError):
+            MemoryLevel("L1", -1e-12)
+
+
+class TestHierarchicalProfile:
+    def test_total_cache_traffic(self, profile):
+        assert profile.total_cache_traffic == pytest.approx(6e9)
+
+    def test_rejects_negative_traffic(self):
+        with pytest.raises(ProfileError):
+            HierarchicalProfile(
+                base=AlgorithmProfile(work=1, traffic=1),
+                level_traffic={"L1": -1.0},
+            )
+
+
+class TestEnergy:
+    def test_energy_adds_cache_terms(self, gpu_single, hierarchy, profile):
+        model = MultiLevelEnergyModel(gpu_single, hierarchy)
+        naive = model.two_level_energy(profile)
+        full = model.energy(profile)
+        assert full == pytest.approx(naive + 6e9 * 187e-12)
+
+    def test_naive_matches_energy_model(self, gpu_single, hierarchy, profile):
+        from repro.core.energy_model import EnergyModel
+
+        model = MultiLevelEnergyModel(gpu_single, hierarchy)
+        assert model.two_level_energy(profile) == pytest.approx(
+            EnergyModel(gpu_single).energy(profile.base)
+        )
+
+    def test_unknown_level_is_an_error(self, gpu_single, hierarchy):
+        """Silently dropping traffic would recreate the 33% underestimate."""
+        model = MultiLevelEnergyModel(gpu_single, hierarchy)
+        bad = HierarchicalProfile(
+            base=AlgorithmProfile(work=1e9, traffic=1e8),
+            level_traffic={"texture": 1e9},
+        )
+        with pytest.raises(ProfileError, match="texture"):
+            model.energy(bad)
+
+    def test_zero_cache_traffic_degenerates_to_two_level(self, gpu_single, hierarchy):
+        model = MultiLevelEnergyModel(gpu_single, hierarchy)
+        plain = HierarchicalProfile(base=AlgorithmProfile(work=1e9, traffic=1e8))
+        assert model.energy(plain) == pytest.approx(model.two_level_energy(plain))
+
+    def test_cache_fraction(self, gpu_single, hierarchy, profile):
+        model = MultiLevelEnergyModel(gpu_single, hierarchy)
+        fraction = model.cache_fraction(profile)
+        assert 0.0 < fraction < 1.0
+        expected = 6e9 * 187e-12 / model.energy(profile)
+        assert fraction == pytest.approx(expected)
+
+
+class TestEffectiveIntensity:
+    def test_cache_traffic_lowers_effective_intensity(self, gpu_single, hierarchy, profile):
+        model = MultiLevelEnergyModel(gpu_single, hierarchy)
+        assert model.effective_intensity(profile) < profile.base.intensity
+
+    def test_no_cache_traffic_keeps_intensity(self, gpu_single, hierarchy):
+        model = MultiLevelEnergyModel(gpu_single, hierarchy)
+        plain = HierarchicalProfile(base=AlgorithmProfile(work=1e9, traffic=1e8))
+        assert model.effective_intensity(plain) == pytest.approx(
+            plain.base.intensity
+        )
+
+    def test_traffic_free_profile_is_infinite(self, gpu_single, hierarchy):
+        model = MultiLevelEnergyModel(gpu_single, hierarchy)
+        pure = HierarchicalProfile(base=AlgorithmProfile(work=1e9, traffic=0.0))
+        assert model.effective_intensity(pure) == math.inf
+
+    def test_effective_intensity_prices_by_energy_ratio(self, gpu_single, hierarchy):
+        """A cache byte at eps_mem cost would count as a full DRAM byte."""
+        expensive = MemoryHierarchy(
+            levels=(MemoryLevel("L1", gpu_single.eps_mem),)
+        )
+        model = MultiLevelEnergyModel(gpu_single, expensive)
+        profile = HierarchicalProfile(
+            base=AlgorithmProfile(work=1e9, traffic=1e8),
+            level_traffic={"L1": 1e8},
+        )
+        assert model.effective_intensity(profile) == pytest.approx(1e9 / 2e8)

@@ -1,0 +1,213 @@
+"""MachineModel: validation, derived quantities, and the paper's numbers."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core.params import MachineModel, effective_energy_balance
+from repro.exceptions import ParameterError
+from tests.conftest import intensity_strategy, machine_strategy
+
+
+class TestValidation:
+    def test_rejects_nonpositive_tau_flop(self):
+        with pytest.raises(ParameterError, match="tau_flop"):
+            MachineModel("m", tau_flop=0.0, tau_mem=1e-9, eps_flop=1e-9, eps_mem=1e-9)
+
+    def test_rejects_negative_tau_mem(self):
+        with pytest.raises(ParameterError, match="tau_mem"):
+            MachineModel("m", tau_flop=1e-9, tau_mem=-1e-9, eps_flop=1e-9, eps_mem=1e-9)
+
+    def test_rejects_nan_eps_flop(self):
+        with pytest.raises(ParameterError, match="eps_flop"):
+            MachineModel("m", 1e-9, 1e-9, float("nan"), 1e-9)
+
+    def test_rejects_infinite_eps_mem(self):
+        with pytest.raises(ParameterError, match="eps_mem"):
+            MachineModel("m", 1e-9, 1e-9, 1e-9, float("inf"))
+
+    def test_rejects_negative_pi0(self):
+        with pytest.raises(ParameterError, match="pi0"):
+            MachineModel("m", 1e-9, 1e-9, 1e-9, 1e-9, pi0=-1.0)
+
+    def test_rejects_cap_below_pi0(self):
+        with pytest.raises(ParameterError, match="power_cap"):
+            MachineModel("m", 1e-9, 1e-9, 1e-9, 1e-9, pi0=100.0, power_cap=50.0)
+
+    def test_rejects_zero_cap(self):
+        with pytest.raises(ParameterError, match="power_cap"):
+            MachineModel("m", 1e-9, 1e-9, 1e-9, 1e-9, power_cap=0.0)
+
+    def test_zero_pi0_is_valid(self):
+        machine = MachineModel("m", 1e-9, 1e-9, 1e-9, 1e-9, pi0=0.0)
+        assert machine.eta_flop == 1.0
+
+
+class TestDerivedQuantities:
+    def test_b_tau_is_tau_ratio(self, fermi):
+        assert fermi.b_tau == pytest.approx(fermi.tau_mem / fermi.tau_flop)
+
+    def test_b_eps_is_eps_ratio(self, fermi):
+        assert fermi.b_eps == pytest.approx(fermi.eps_mem / fermi.eps_flop)
+
+    def test_peaks_are_reciprocals(self, fermi):
+        assert fermi.peak_flops == pytest.approx(1.0 / fermi.tau_flop)
+        assert fermi.peak_bandwidth == pytest.approx(1.0 / fermi.tau_mem)
+
+    def test_eps0_is_pi0_times_tau(self, gpu_double):
+        assert gpu_double.eps0 == pytest.approx(gpu_double.pi0 * gpu_double.tau_flop)
+
+    def test_eps_flop_hat_sums(self, gpu_double):
+        assert gpu_double.eps_flop_hat == pytest.approx(
+            gpu_double.eps_flop + gpu_double.eps0
+        )
+
+    def test_eta_flop_in_unit_interval(self, catalog_machine):
+        assert 0.0 < catalog_machine.eta_flop <= 1.0
+
+    def test_eta_is_one_without_constant_power(self, fermi):
+        assert fermi.eta_flop == 1.0
+
+    def test_pi_flop(self, gpu_double):
+        assert gpu_double.pi_flop == pytest.approx(
+            gpu_double.eps_flop / gpu_double.tau_flop
+        )
+
+    def test_pi_mem_equals_pi_flop_times_gap(self, gpu_double):
+        assert gpu_double.pi_mem == pytest.approx(
+            gpu_double.pi_flop * gpu_double.b_eps / gpu_double.b_tau
+        )
+
+    def test_balance_gap(self, fermi):
+        assert fermi.balance_gap == pytest.approx(fermi.b_eps / fermi.b_tau)
+
+
+class TestPaperNumbers:
+    """Table II/III/IV derived values the paper annotates on its figures."""
+
+    def test_fermi_table2(self, fermi):
+        assert fermi.tau_flop * 1e12 == pytest.approx(1.94, abs=0.01)
+        assert fermi.tau_mem * 1e12 == pytest.approx(6.94, abs=0.01)
+        assert fermi.b_tau == pytest.approx(3.576, abs=0.01)
+        assert fermi.b_eps == pytest.approx(14.4, abs=0.01)
+
+    @pytest.mark.parametrize(
+        "key,b_tau,b_eps,b_eff,gflops_per_joule",
+        [
+            ("gtx580-double", 1.03, 2.42, 0.79, 1.2),
+            ("gtx580-single", 8.22, 5.15, 4.5, 5.7),
+            ("i7-950-double", 2.08, 1.19, 1.1, 0.34),
+            ("i7-950-single", 4.16, 2.14, 2.1, 0.66),
+        ],
+    )
+    def test_figure4_annotations(self, key, b_tau, b_eps, b_eff, gflops_per_joule):
+        from repro.machines.catalog import get_machine
+
+        machine = get_machine(key)
+        assert machine.b_tau == pytest.approx(b_tau, rel=0.01)
+        assert machine.b_eps == pytest.approx(b_eps, rel=0.01)
+        # Paper annotations are printed to one decimal; match at that grain.
+        assert round(machine.effective_balance_crossing, 1) == pytest.approx(
+            b_eff, abs=0.051
+        )
+        assert machine.peak_gflops_per_joule == pytest.approx(
+            gflops_per_joule, rel=0.02
+        )
+
+
+class TestEffectiveBalance:
+    def test_reduces_to_b_eps_without_constant_power(self, fermi):
+        for intensity in (0.1, 1.0, fermi.b_tau, 100.0):
+            assert fermi.b_eps_hat(intensity) == pytest.approx(fermi.b_eps)
+
+    def test_constant_above_b_tau(self, gpu_double):
+        m = gpu_double
+        assert m.b_eps_hat(m.b_tau) == pytest.approx(m.b_eps_hat(10 * m.b_tau))
+        assert m.b_eps_hat(m.b_tau) == pytest.approx(m.eta_flop * m.b_eps)
+
+    def test_increases_below_b_tau(self, gpu_double):
+        m = gpu_double
+        assert m.b_eps_hat(m.b_tau / 4) > m.b_eps_hat(m.b_tau / 2) > m.b_eps_hat(m.b_tau)
+
+    def test_rejects_nonpositive_intensity(self, gpu_double):
+        with pytest.raises(ParameterError):
+            gpu_double.b_eps_hat(0.0)
+
+    def test_standalone_function_validates_eta(self):
+        with pytest.raises(ParameterError):
+            effective_energy_balance(1.0, 1.0, 1.0, 0.0)
+        with pytest.raises(ParameterError):
+            effective_energy_balance(1.0, 1.0, 1.0, 1.5)
+
+    @settings(max_examples=100)
+    @given(machine=machine_strategy())
+    def test_crossing_is_fixed_point(self, machine):
+        """The closed-form crossing solves I = B_eps_hat(I) exactly."""
+        crossing = machine.effective_balance_crossing
+        assert crossing == pytest.approx(machine.b_eps_hat(crossing), rel=1e-9)
+
+    @settings(max_examples=100)
+    @given(machine=machine_strategy())
+    def test_crossing_bounded_by_balances(self, machine):
+        """The crossing is a weighted blend of B_eps and B_tau, so it can
+        never escape their envelope; when B_eps >= B_tau, constant power
+        can only pull it *down* from B_eps."""
+        crossing = machine.effective_balance_crossing
+        assert crossing <= max(machine.b_eps, machine.b_tau) * (1 + 1e-12)
+        if machine.b_eps >= machine.b_tau:
+            assert crossing <= machine.b_eps * (1 + 1e-12)
+
+
+class TestTransformations:
+    def test_with_constant_power_zero_annotates_name(self, gpu_double):
+        zero = gpu_double.with_constant_power(0.0)
+        assert zero.pi0 == 0.0
+        assert "(const=0)" in zero.name
+        assert zero.eps_flop == gpu_double.eps_flop
+
+    def test_with_constant_power_nonzero_keeps_name(self, fermi):
+        warm = fermi.with_constant_power(50.0)
+        assert warm.pi0 == 50.0
+        assert warm.name == fermi.name
+
+    def test_const_zero_moves_crossing_to_b_eps(self, gpu_double):
+        zero = gpu_double.with_constant_power(0.0)
+        assert zero.effective_balance_crossing == pytest.approx(zero.b_eps)
+
+    def test_with_power_cap(self, fermi):
+        capped = fermi.with_power_cap(100.0)
+        assert capped.power_cap == 100.0
+        assert capped.with_power_cap(None).power_cap is None
+
+
+class TestFromPeaks:
+    def test_round_trips_peaks(self):
+        machine = MachineModel.from_peaks(
+            "m", gflops=100.0, gbytes_per_s=50.0, eps_flop=1e-10, eps_mem=5e-10
+        )
+        assert machine.peak_gflops == pytest.approx(100.0)
+        assert machine.peak_gbytes == pytest.approx(50.0)
+        assert machine.b_tau == pytest.approx(2.0)
+
+    def test_rejects_zero_throughput(self):
+        with pytest.raises(ValueError):
+            MachineModel.from_peaks(
+                "m", gflops=0.0, gbytes_per_s=50.0, eps_flop=1e-10, eps_mem=5e-10
+            )
+
+
+class TestPresentation:
+    def test_describe_mentions_key_quantities(self, gpu_double):
+        text = gpu_double.describe()
+        assert "B_tau" in text and "B_eps" in text and "power cap" in text
+
+    def test_describe_omits_cap_when_absent(self, fermi):
+        assert "power cap" not in fermi.describe()
+
+    def test_table_renders_all_machines(self, fermi, gpu_double):
+        table = MachineModel.table([fermi, gpu_double])
+        assert fermi.name in table and gpu_double.name in table
+        assert table.count("\n") >= 3

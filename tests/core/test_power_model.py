@@ -1,0 +1,112 @@
+"""PowerModel: eq. (7), the powerline, and its landmarks."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core.algorithm import AlgorithmProfile
+from repro.core.power_model import PowerModel
+from repro.exceptions import ParameterError
+from tests.conftest import intensity_strategy, machine_strategy, profile_strategy
+
+
+class TestEquationSevenIdentity:
+    """Eq. (7) must equal E/T from eqs. (3) and (5) for every profile."""
+
+    @settings(max_examples=150)
+    @given(machine=machine_strategy(), profile=profile_strategy())
+    def test_power_equals_energy_over_time(self, machine, profile):
+        model = PowerModel(machine)
+        assert model.power_ratio_check(profile) == pytest.approx(1.0, rel=1e-9)
+
+    @settings(max_examples=50)
+    @given(machine=machine_strategy(), profile=profile_strategy())
+    def test_average_power_matches_intensity_form(self, machine, profile):
+        model = PowerModel(machine)
+        assert model.average_power(profile) == pytest.approx(
+            model.power(profile.intensity), rel=1e-9
+        )
+
+
+class TestLandmarks:
+    def test_fig2b_values(self, fermi):
+        """The paper's Fig. 2b dashed lines: 1.0, 4.0, and 5.0 x flop power."""
+        model = PowerModel(fermi)
+        pi = fermi.pi_flop
+        assert model.compute_bound_limit / pi == pytest.approx(1.0)
+        assert model.memory_bound_limit / pi == pytest.approx(4.0, abs=0.05)
+        assert model.max_power / pi == pytest.approx(5.0, abs=0.05)
+
+    def test_max_at_time_balance(self, catalog_machine):
+        model = PowerModel(catalog_machine)
+        b_tau = catalog_machine.b_tau
+        peak = model.power(b_tau)
+        for factor in (0.25, 0.5, 2.0, 4.0):
+            assert model.power(b_tau * factor) < peak
+
+    def test_gpu_single_peak_demand_near_387w(self, gpu_single):
+        """§V-B: the uncapped model demands ~387 W on the GTX 580 (single)."""
+        model = PowerModel(gpu_single)
+        assert 360.0 < model.max_power < 400.0
+
+    def test_compute_limit_includes_constant_power(self, gpu_double):
+        model = PowerModel(gpu_double)
+        assert model.compute_bound_limit == pytest.approx(
+            gpu_double.pi_flop + gpu_double.pi0
+        )
+
+    @settings(max_examples=100)
+    @given(machine=machine_strategy())
+    def test_limits_bound_the_powerline(self, machine):
+        model = PowerModel(machine)
+        high = model.power(machine.b_tau * 1e9)
+        low = model.power(machine.b_tau * 1e-9)
+        assert high == pytest.approx(model.compute_bound_limit, rel=1e-3)
+        assert low == pytest.approx(model.memory_bound_limit, rel=1e-3)
+
+    @settings(max_examples=100)
+    @given(machine=machine_strategy(), intensity=intensity_strategy())
+    def test_eq8_upper_bound(self, machine, intensity):
+        """P <= pi_flop (1 + B_eps/B_tau) + pi0 everywhere (eq. 8 + pi0)."""
+        model = PowerModel(machine)
+        bound = machine.pi_flop * (1.0 + machine.b_eps / machine.b_tau) + machine.pi0
+        assert model.power(intensity) <= bound * (1 + 1e-9)
+
+    @settings(max_examples=50)
+    @given(machine=machine_strategy())
+    def test_max_power_attains_eq8_bound(self, machine):
+        model = PowerModel(machine)
+        bound = machine.pi_flop * (1.0 + machine.b_eps / machine.b_tau) + machine.pi0
+        assert model.max_power == pytest.approx(bound, rel=1e-9)
+
+
+class TestNormalizedPower:
+    def test_compute_limit_normalizes_to_one(self, gpu_double):
+        model = PowerModel(gpu_double)
+        assert model.normalized_power(1e6) == pytest.approx(1.0, rel=1e-3)
+
+    def test_fig2b_normalization_without_pi0(self, fermi):
+        model = PowerModel(fermi)
+        assert model.normalized_power(fermi.b_tau) == pytest.approx(5.0, abs=0.05)
+
+
+class TestCapInteraction:
+    def test_exceeds_cap_near_balance(self, gpu_single, gpu_double):
+        single = PowerModel(gpu_single)
+        assert single.exceeds_cap(gpu_single.b_tau)
+        # The 244 W *rating* is exceeded even at high single-precision
+        # intensity (the paper observes exactly this in Fig. 5b)...
+        assert single.exceeds_cap(1e5)
+        # ...but double precision stays under the rating away from B_tau.
+        double = PowerModel(gpu_double)
+        assert not double.exceeds_cap(1e5)
+
+    def test_no_cap_never_exceeds(self, fermi):
+        assert not PowerModel(fermi).exceeds_cap(fermi.b_tau)
+
+
+class TestValidation:
+    def test_rejects_nonpositive_intensity(self, fermi):
+        with pytest.raises(ParameterError):
+            PowerModel(fermi).power(0.0)

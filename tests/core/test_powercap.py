@@ -1,0 +1,150 @@
+"""CappedModel: the §V-B power-cap refinement."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.algorithm import AlgorithmProfile
+from repro.core.powercap import CappedModel
+from repro.core.power_model import PowerModel
+from tests.conftest import intensity_strategy, machine_strategy
+
+
+class TestUncappedPassthrough:
+    def test_no_cap_means_no_slowdown(self, fermi):
+        model = CappedModel(fermi)
+        for intensity in (0.1, fermi.b_tau, 100.0):
+            assert model.slowdown(intensity) == 1.0
+
+    def test_no_cap_matches_base_models(self, fermi):
+        model = CappedModel(fermi)
+        profile = AlgorithmProfile.from_intensity(fermi.b_tau, work=1e9)
+        assert model.time(profile) == pytest.approx(model.time_model.time(profile))
+        assert model.energy(profile) == pytest.approx(
+            model.energy_model.energy(profile)
+        )
+
+
+class TestThrottling:
+    def test_slowdown_peaks_at_balance(self, gpu_single):
+        model = CappedModel(gpu_single)
+        peak = model.slowdown(gpu_single.b_tau)
+        assert peak > 1.0
+        assert model.slowdown(gpu_single.b_tau / 8) <= peak
+        assert model.slowdown(gpu_single.b_tau * 8) <= peak
+
+    @settings(max_examples=100)
+    @given(machine=machine_strategy(allow_cap=True), intensity=intensity_strategy())
+    def test_slowdown_at_least_one(self, machine, intensity):
+        assert CappedModel(machine).slowdown(intensity) >= 1.0
+
+    @settings(max_examples=100)
+    @given(machine=machine_strategy(allow_cap=True), intensity=intensity_strategy())
+    def test_power_never_exceeds_cap(self, machine, intensity):
+        power = CappedModel(machine).power(intensity)
+        if machine.power_cap is not None:
+            assert power <= machine.power_cap * (1 + 1e-9)
+
+    @settings(max_examples=100)
+    @given(machine=machine_strategy(allow_cap=True), intensity=intensity_strategy())
+    def test_capped_never_faster(self, machine, intensity):
+        model = CappedModel(machine)
+        assert model.time_per_flop(intensity) >= model.time_model.time_per_flop(
+            intensity
+        ) * (1 - 1e-12)
+
+    @settings(max_examples=100)
+    @given(machine=machine_strategy(allow_cap=True), intensity=intensity_strategy())
+    def test_capped_energy_at_least_uncapped(self, machine, intensity):
+        """Throttling burns extra constant energy; dynamic energy is fixed."""
+        model = CappedModel(machine)
+        assert model.energy_per_flop(intensity) >= model.energy_model.energy_per_flop(
+            intensity
+        ) * (1 - 1e-12)
+
+    def test_throttled_power_is_pinned_to_cap(self, gpu_single):
+        """Where the cap binds, sustained power equals the cap exactly."""
+        model = CappedModel(gpu_single)
+        at_balance = gpu_single.b_tau
+        assert model.slowdown(at_balance) > 1.0
+        assert model.power(at_balance) == pytest.approx(gpu_single.power_cap)
+
+    def test_roofline_sag_where_cap_binds(self, gpu_single):
+        """The Fig. 4b departure: normalized performance dips below the
+        ideal roofline near B_tau."""
+        model = CappedModel(gpu_single)
+        ideal = model.time_model.normalized_performance(gpu_single.b_tau)
+        assert model.normalized_performance(gpu_single.b_tau) < ideal
+
+
+class TestAnalyze:
+    def test_gpu_single_cap_binds_around_balance(self, gpu_single):
+        analysis = CappedModel(gpu_single).analyze()
+        assert analysis.binds
+        lo, hi = analysis.interval
+        assert lo < gpu_single.b_tau < hi
+        assert analysis.peak_demand > analysis.cap
+        assert analysis.worst_slowdown > 1.0
+
+    def test_interval_endpoints_solve_cap_equation(self, gpu_single):
+        """At interior interval endpoints the uncapped powerline equals the
+        cap.  With a cap above the compute-bound limit both endpoints are
+        interior; the GTX 580's actual 244 W rating sits *below* that
+        limit, so its interval extends to the search bound on the right."""
+        roomy = gpu_single.with_power_cap(300.0)
+        model = PowerModel(roomy)
+        analysis = CappedModel(roomy).analyze()
+        lo, hi = analysis.interval
+        assert model.power(lo) == pytest.approx(300.0, rel=1e-6)
+        assert model.power(hi) == pytest.approx(300.0, rel=1e-6)
+
+    def test_rating_below_compute_limit_binds_forever(self, gpu_single):
+        """The 244 W rating is under the single-precision compute-bound
+        limit (~280 W), so the binding interval is right-unbounded —
+        matching the paper's observation that the microbenchmark exceeds
+        the rating 'at high intensities'."""
+        analysis = CappedModel(gpu_single).analyze()
+        assert analysis.binds
+        model = CappedModel(gpu_single)
+        assert model.slowdown(1e5) > 1.0
+
+    def test_generous_cap_never_binds(self, gpu_double):
+        roomy = gpu_double.with_power_cap(10_000.0)
+        analysis = CappedModel(roomy).analyze()
+        assert not analysis.binds
+        assert analysis.worst_slowdown == 1.0
+
+    def test_no_cap_analysis(self, fermi):
+        analysis = CappedModel(fermi).analyze()
+        assert not analysis.binds
+        assert analysis.cap == float("inf")
+
+    @settings(max_examples=50)
+    @given(machine=machine_strategy(allow_cap=True))
+    def test_outside_interval_no_throttle(self, machine):
+        model = CappedModel(machine)
+        analysis = model.analyze()
+        if not analysis.binds:
+            return
+        lo, hi = analysis.interval
+        if lo > 1e-3 * 1.5:
+            assert model.slowdown(lo * 0.5) == pytest.approx(1.0, abs=1e-9)
+        if hi < 1e6 / 1.5:
+            assert model.slowdown(hi * 2.0) == pytest.approx(1.0, abs=1e-9)
+
+
+class TestEnergyInteraction:
+    def test_throttling_raises_energy_near_balance(self, gpu_single):
+        """The non-obvious capped-model prediction: total energy *rises*
+        where the cap binds because pi0 burns over the dilated time."""
+        model = CappedModel(gpu_single)
+        uncapped = model.energy_model.energy_per_flop(gpu_single.b_tau)
+        capped = model.energy_per_flop(gpu_single.b_tau)
+        assert capped > uncapped
+
+    def test_capped_efficiency_below_archline(self, gpu_single):
+        model = CappedModel(gpu_single)
+        base = model.energy_model.normalized_efficiency(gpu_single.b_tau)
+        assert model.normalized_efficiency(gpu_single.b_tau) < base

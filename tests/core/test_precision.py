@@ -1,0 +1,113 @@
+"""Mixed-precision time/energy analysis."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.algorithm import AlgorithmProfile
+from repro.core.precision import MixedPrecisionAnalyzer
+from repro.exceptions import ParameterError
+from repro.machines.catalog import (
+    gtx580_double,
+    gtx580_single,
+    i7_950_double,
+    i7_950_single,
+)
+
+
+@pytest.fixture
+def gpu_analyzer() -> MixedPrecisionAnalyzer:
+    return MixedPrecisionAnalyzer(
+        gtx580_single().with_power_cap(None),
+        gtx580_double().with_power_cap(None),
+    )
+
+
+@pytest.fixture
+def cpu_analyzer() -> MixedPrecisionAnalyzer:
+    return MixedPrecisionAnalyzer(i7_950_single(), i7_950_double())
+
+
+class TestConstruction:
+    def test_rejects_mismatched_bandwidth(self):
+        import dataclasses
+
+        bad = dataclasses.replace(gtx580_single(), tau_mem=1e-12)
+        with pytest.raises(ParameterError, match="bandwidth"):
+            MixedPrecisionAnalyzer(bad, gtx580_double())
+
+    def test_rejects_mismatched_pi0(self):
+        with pytest.raises(ParameterError, match="constant power"):
+            MixedPrecisionAnalyzer(
+                gtx580_single().with_constant_power(50.0), gtx580_double()
+            )
+
+    def test_rejects_inverted_costs(self):
+        with pytest.raises(ParameterError, match="cost less"):
+            MixedPrecisionAnalyzer(gtx580_double(), gtx580_double())
+
+
+class TestEndpoints:
+    def test_rho_zero_is_double_baseline(self, gpu_analyzer):
+        profile = AlgorithmProfile.from_intensity(2.0, work=1e10)
+        outcome = gpu_analyzer.evaluate(profile, single_fraction=0.0)
+        assert outcome.speedup == pytest.approx(1.0)
+        assert outcome.greenup == pytest.approx(1.0)
+        assert outcome.label == "double"
+
+    def test_full_single_wins_both(self, gpu_analyzer):
+        """Single precision is faster AND greener on the GTX 580: cheaper
+        flops, 8x the peak, and half the bytes."""
+        profile = AlgorithmProfile.from_intensity(2.0, work=1e10)
+        outcome = gpu_analyzer.evaluate(profile, single_fraction=1.0)
+        assert outcome.speedup > 1.5
+        assert outcome.greenup > 1.5
+
+    def test_fraction_validated(self, gpu_analyzer):
+        profile = AlgorithmProfile.from_intensity(2.0, work=1e10)
+        with pytest.raises(ParameterError):
+            gpu_analyzer.evaluate(profile, single_fraction=1.5)
+
+
+class TestMonotonicity:
+    @settings(max_examples=40)
+    @given(
+        intensity=st.floats(0.1, 64.0),
+        rho_low=st.floats(0.0, 1.0),
+        rho_high=st.floats(0.0, 1.0),
+    )
+    def test_more_single_never_hurts_gpu(self, intensity, rho_low, rho_high):
+        """On this device every marginal single flop is cheaper in both
+        time and energy, so outcomes are monotone in rho."""
+        analyzer = MixedPrecisionAnalyzer(
+            gtx580_single().with_power_cap(None),
+            gtx580_double().with_power_cap(None),
+        )
+        lo, hi = sorted((rho_low, rho_high))
+        profile = AlgorithmProfile.from_intensity(intensity, work=1e10)
+        a = analyzer.evaluate(profile, single_fraction=lo)
+        b = analyzer.evaluate(profile, single_fraction=hi)
+        assert b.time <= a.time * (1 + 1e-12)
+        assert b.energy <= a.energy * (1 + 1e-12)
+
+    def test_memory_bound_benefit_is_bandwidth_only(self, cpu_analyzer):
+        """Deep in the bandwidth-bound regime, single precision's ~2x win
+        comes from halved bytes: speedup ≈ 2, independent of flop costs."""
+        profile = AlgorithmProfile.from_intensity(0.05, work=1e9)
+        outcome = cpu_analyzer.evaluate(profile, single_fraction=1.0)
+        assert outcome.speedup == pytest.approx(2.0, rel=0.01)
+
+
+class TestReporting:
+    def test_compare_covers_fractions(self, gpu_analyzer):
+        profile = AlgorithmProfile.from_intensity(4.0, work=1e10)
+        rows = gpu_analyzer.compare(profile)
+        assert [r.label for r in rows][0] == "double"
+        assert rows[-1].label == "single"
+
+    def test_describe(self, cpu_analyzer):
+        profile = AlgorithmProfile.from_intensity(1.0, work=1e10)
+        text = cpu_analyzer.describe(profile)
+        assert "greenup" in text and "mixed" in text

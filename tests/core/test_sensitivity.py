@@ -1,0 +1,105 @@
+"""Parameter-sensitivity analysis."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core.algorithm import AlgorithmProfile
+from repro.core.energy_model import EnergyModel
+from repro.core.sensitivity import energy_sensitivity, whatif_pi0_zero
+from tests.conftest import machine_strategy, profile_strategy
+
+
+class TestElasticities:
+    @settings(max_examples=80)
+    @given(machine=machine_strategy(), profile=profile_strategy())
+    def test_energy_elasticities_sum_to_one(self, machine, profile):
+        """E is linear in (eps_flop, eps_mem, pi0): shares partition."""
+        sens = energy_sensitivity(machine, profile)
+        assert sens.eps_flop + sens.eps_mem + sens.pi0 == pytest.approx(1.0)
+
+    @settings(max_examples=80)
+    @given(machine=machine_strategy(), profile=profile_strategy())
+    def test_all_nonnegative(self, machine, profile):
+        sens = energy_sensitivity(machine, profile)
+        for _, value in sens.ranked:
+            assert value >= 0.0
+
+    @settings(max_examples=40)
+    @given(machine=machine_strategy(), profile=profile_strategy())
+    def test_elasticity_matches_finite_difference(self, machine, profile):
+        """The eps_mem elasticity predicts the effect of an actual 1%
+        parameter change to first order."""
+        import dataclasses
+
+        sens = energy_sensitivity(machine, profile)
+        base = EnergyModel(machine).energy(profile)
+        bumped = dataclasses.replace(machine, eps_mem=machine.eps_mem * 1.01)
+        new = EnergyModel(bumped).energy(profile)
+        predicted = sens.eps_mem * 0.01
+        assert (new - base) / base == pytest.approx(predicted, rel=1e-6, abs=1e-12)
+
+    def test_tau_elasticity_tracks_binding_component(self, gpu_double):
+        memory_bound = AlgorithmProfile.from_intensity(
+            gpu_double.b_tau / 8, work=1e10
+        )
+        compute_bound = AlgorithmProfile.from_intensity(
+            gpu_double.b_tau * 8, work=1e10
+        )
+        mem_sens = energy_sensitivity(gpu_double, memory_bound)
+        comp_sens = energy_sensitivity(gpu_double, compute_bound)
+        assert mem_sens.tau_mem > 0 and mem_sens.tau_flop == 0
+        assert comp_sens.tau_flop > 0 and comp_sens.tau_mem == 0
+
+    def test_tau_elasticity_via_finite_difference(self, gpu_double):
+        import dataclasses
+
+        profile = AlgorithmProfile.from_intensity(gpu_double.b_tau / 8, work=1e10)
+        sens = energy_sensitivity(gpu_double, profile)
+        base = EnergyModel(gpu_double).energy(profile)
+        bumped = dataclasses.replace(gpu_double, tau_mem=gpu_double.tau_mem * 1.001)
+        new = EnergyModel(bumped).energy(profile)
+        assert (new - base) / base == pytest.approx(sens.tau_mem * 0.001, rel=1e-3)
+
+    def test_ranked_order(self, cpu_double):
+        profile = AlgorithmProfile.from_intensity(0.1, work=1e10)
+        ranked = energy_sensitivity(cpu_double, profile).ranked
+        values = [v for _, v in ranked]
+        assert values == sorted(values, reverse=True)
+
+    def test_describe(self, cpu_double):
+        profile = AlgorithmProfile.from_intensity(1.0, work=1e10)
+        text = energy_sensitivity(cpu_double, profile).describe()
+        assert "eps_mem" in text and "pi0" in text
+
+
+class TestWhatIfPi0Zero:
+    def test_saving_equals_constant_share(self, gpu_double):
+        profile = AlgorithmProfile.from_intensity(2.0, work=1e10)
+        result = whatif_pi0_zero(gpu_double, profile)
+        breakdown = EnergyModel(gpu_double).breakdown(profile)
+        assert result["energy_saving"] == pytest.approx(
+            breakdown.fraction("constant")
+        )
+
+    def test_gpu_double_gap_reopens(self, gpu_double):
+        """The Fig. 4a 'const=0' scenario: effective gap crosses 1."""
+        profile = AlgorithmProfile.from_intensity(2.0, work=1e10)
+        result = whatif_pi0_zero(gpu_double, profile)
+        assert result["effective_gap_before"] < 1.0
+        assert result["effective_gap_after"] > 1.0
+        assert result["race_to_halt_flips"] == 1.0
+
+    def test_cpu_gap_does_not_reopen(self, cpu_double):
+        """§V-B: on the Intel platform even pi0 = 0 keeps the gap closed."""
+        profile = AlgorithmProfile.from_intensity(2.0, work=1e10)
+        result = whatif_pi0_zero(cpu_double, profile)
+        assert result["effective_gap_after"] < 1.0
+        assert result["race_to_halt_flips"] == 0.0
+
+    def test_no_constant_power_nothing_changes(self, fermi):
+        profile = AlgorithmProfile.from_intensity(2.0, work=1e10)
+        result = whatif_pi0_zero(fermi, profile)
+        assert result["energy_saving"] == 0.0
+        assert result["race_to_halt_flips"] == 0.0

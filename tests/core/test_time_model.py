@@ -1,0 +1,137 @@
+"""TimeModel: eq. (3), the roofline, and bound classification."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core.algorithm import AlgorithmProfile
+from repro.core.time_model import TimeBound, TimeModel
+from repro.exceptions import ParameterError
+from tests.conftest import intensity_strategy, machine_strategy, profile_strategy
+
+
+class TestBreakdown:
+    def test_component_times(self, fermi):
+        profile = AlgorithmProfile(work=1e9, traffic=1e9)
+        bd = TimeModel(fermi).breakdown(profile)
+        assert bd.flops == pytest.approx(1e9 * fermi.tau_flop)
+        assert bd.mem == pytest.approx(1e9 * fermi.tau_mem)
+        assert bd.total == max(bd.flops, bd.mem)
+
+    def test_serial_vs_overlapped(self, fermi):
+        bd = TimeModel(fermi).breakdown(AlgorithmProfile(work=1e9, traffic=1e9))
+        assert bd.serial == bd.flops + bd.mem
+        assert 1.0 <= bd.overlap_benefit <= 2.0
+
+    def test_bound_classification(self, fermi):
+        model = TimeModel(fermi)
+        memory = AlgorithmProfile.from_intensity(fermi.b_tau / 10, work=1e9)
+        compute = AlgorithmProfile.from_intensity(fermi.b_tau * 10, work=1e9)
+        assert model.breakdown(memory).bound is TimeBound.MEMORY
+        assert model.breakdown(compute).bound is TimeBound.COMPUTE
+
+    def test_balanced_at_b_tau(self, fermi):
+        profile = AlgorithmProfile.from_intensity(fermi.b_tau, work=1e9)
+        assert TimeModel(fermi).breakdown(profile).bound is TimeBound.BALANCED
+
+
+class TestEquationThree:
+    @settings(max_examples=100)
+    @given(machine=machine_strategy(), profile=profile_strategy())
+    def test_max_form_equals_factored_form(self, machine, profile):
+        """T = max(W tau_f, Q tau_m) == W tau_f max(1, B_tau/I)."""
+        model = TimeModel(machine)
+        direct = model.time(profile)
+        factored = profile.work * model.time_per_flop(profile.intensity)
+        assert direct == pytest.approx(factored, rel=1e-9)
+
+    @settings(max_examples=50)
+    @given(machine=machine_strategy(), profile=profile_strategy())
+    def test_time_bounded_below_by_components(self, machine, profile):
+        model = TimeModel(machine)
+        t = model.time(profile)
+        assert t >= profile.work * machine.tau_flop * (1 - 1e-12)
+        assert t >= profile.traffic * machine.tau_mem * (1 - 1e-12)
+
+    def test_compute_bound_time_is_flop_time(self, fermi):
+        profile = AlgorithmProfile.from_intensity(fermi.b_tau * 100, work=1e10)
+        assert TimeModel(fermi).time(profile) == pytest.approx(
+            1e10 * fermi.tau_flop, rel=1e-9
+        )
+
+    def test_memory_bound_time_is_mem_time(self, fermi):
+        profile = AlgorithmProfile.from_intensity(fermi.b_tau / 100, work=1e10)
+        assert TimeModel(fermi).time(profile) == pytest.approx(
+            profile.traffic * fermi.tau_mem, rel=1e-9
+        )
+
+
+class TestRoofline:
+    def test_normalized_performance_caps_at_one(self, fermi):
+        model = TimeModel(fermi)
+        assert model.normalized_performance(fermi.b_tau) == pytest.approx(1.0)
+        assert model.normalized_performance(fermi.b_tau * 8) == pytest.approx(1.0)
+
+    def test_memory_bound_slope_is_linear(self, fermi):
+        model = TimeModel(fermi)
+        assert model.normalized_performance(fermi.b_tau / 2) == pytest.approx(0.5)
+        assert model.normalized_performance(fermi.b_tau / 4) == pytest.approx(0.25)
+
+    def test_attainable_gflops_at_peak(self, fermi):
+        model = TimeModel(fermi)
+        assert model.attainable_gflops(1000.0) == pytest.approx(fermi.peak_gflops)
+
+    def test_attainable_gflops_bandwidth_bound(self, fermi):
+        model = TimeModel(fermi)
+        intensity = 0.5
+        expected = intensity * fermi.peak_gbytes
+        assert model.attainable_gflops(intensity) == pytest.approx(expected)
+
+    @settings(max_examples=50)
+    @given(machine=machine_strategy(), intensity=intensity_strategy())
+    def test_roofline_in_unit_interval(self, machine, intensity):
+        value = TimeModel(machine).normalized_performance(intensity)
+        assert 0.0 < value <= 1.0
+
+    @settings(max_examples=50)
+    @given(machine=machine_strategy(), intensity=intensity_strategy())
+    def test_roofline_monotone_nondecreasing(self, machine, intensity):
+        model = TimeModel(machine)
+        assert model.normalized_performance(intensity * 2) >= model.normalized_performance(
+            intensity
+        ) - 1e-12
+
+
+class TestClassification:
+    def test_classify(self, fermi):
+        model = TimeModel(fermi)
+        assert model.classify(fermi.b_tau / 2) is TimeBound.MEMORY
+        assert model.classify(fermi.b_tau * 2) is TimeBound.COMPUTE
+        assert model.classify(fermi.b_tau) is TimeBound.BALANCED
+
+    def test_communication_penalty(self, fermi):
+        model = TimeModel(fermi)
+        assert model.communication_penalty(fermi.b_tau / 4) == pytest.approx(4.0)
+        assert model.communication_penalty(fermi.b_tau * 4) == 1.0
+
+    def test_rejects_nonpositive_intensity(self, fermi):
+        model = TimeModel(fermi)
+        with pytest.raises(ParameterError):
+            model.normalized_performance(0.0)
+        with pytest.raises(ParameterError):
+            model.classify(-1.0)
+
+
+class TestRates:
+    def test_flops_rate_at_peak_when_compute_bound(self, fermi):
+        profile = AlgorithmProfile.from_intensity(1e4, work=1e12)
+        assert TimeModel(fermi).flops_rate(profile) == pytest.approx(
+            fermi.peak_flops, rel=1e-6
+        )
+
+    def test_bandwidth_at_peak_when_memory_bound(self, fermi):
+        profile = AlgorithmProfile.from_intensity(1e-3, work=1e9)
+        assert TimeModel(fermi).bandwidth(profile) == pytest.approx(
+            fermi.peak_bandwidth, rel=1e-6
+        )

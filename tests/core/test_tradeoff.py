@@ -1,0 +1,170 @@
+"""Work-communication trade-offs: eq. (10) and its generalisations."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.algorithm import AlgorithmProfile
+from repro.core.tradeoff import (
+    TradeOutcome,
+    TradeoffAnalyzer,
+    greenup_threshold_work,
+    greenup_work_ceiling,
+)
+from repro.exceptions import ParameterError
+from tests.conftest import machine_strategy
+
+
+class TestClosedForm:
+    def test_m_equal_one_gives_f_one(self):
+        """No communication savings -> no extra work is ever green."""
+        assert greenup_threshold_work(m=1.0, b_eps=10.0, intensity=1.0) == 1.0
+
+    def test_threshold_monotone_in_m(self):
+        previous = 1.0
+        for m in (1.5, 2.0, 4.0, 16.0, 256.0):
+            current = greenup_threshold_work(m=m, b_eps=10.0, intensity=1.0)
+            assert current > previous
+            previous = current
+
+    def test_threshold_approaches_ceiling(self):
+        ceiling = greenup_work_ceiling(b_eps=10.0, intensity=1.0)
+        near = greenup_threshold_work(m=1e9, b_eps=10.0, intensity=1.0)
+        assert near == pytest.approx(ceiling, rel=1e-6)
+        assert near < ceiling
+
+    def test_ceiling_value(self):
+        assert greenup_work_ceiling(b_eps=14.4, intensity=3.6) == pytest.approx(5.0)
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ParameterError):
+            greenup_threshold_work(m=0.5, b_eps=1.0, intensity=1.0)
+        with pytest.raises(ParameterError):
+            greenup_threshold_work(m=2.0, b_eps=-1.0, intensity=1.0)
+        with pytest.raises(ParameterError):
+            greenup_work_ceiling(b_eps=1.0, intensity=0.0)
+
+
+class TestExactVsClosedForm:
+    @settings(max_examples=60)
+    @given(
+        machine=machine_strategy(allow_pi0=False),
+        intensity=st.floats(0.01, 100.0),
+        m=st.floats(1.0, 64.0),
+    )
+    def test_exact_matches_eq10_when_pi0_zero(self, machine, intensity, m):
+        """With no constant power the bisected threshold IS eq. (10)."""
+        baseline = AlgorithmProfile.from_intensity(intensity, work=1e9)
+        analyzer = TradeoffAnalyzer(machine, baseline)
+        closed = analyzer.greenup_threshold(m)
+        exact = analyzer.exact_greenup_threshold(m)
+        assert exact == pytest.approx(closed, rel=1e-6)
+
+    def test_pi0_changes_threshold(self, gpu_double):
+        baseline = AlgorithmProfile.from_intensity(0.5, work=1e9)
+        analyzer = TradeoffAnalyzer(gpu_double.with_power_cap(None), baseline)
+        closed = analyzer.greenup_threshold(4.0)
+        exact = analyzer.exact_greenup_threshold(4.0)
+        assert exact != pytest.approx(closed, rel=1e-3)
+
+
+class TestEvaluate:
+    def test_identity_trade_is_neutral(self, gpu_double):
+        baseline = AlgorithmProfile.from_intensity(1.0, work=1e9)
+        point = TradeoffAnalyzer(gpu_double, baseline).evaluate(1.0, 1.0)
+        assert point.speedup == pytest.approx(1.0)
+        assert point.greenup == pytest.approx(1.0)
+
+    def test_pure_communication_saving_wins_everything(self, fermi):
+        """f=1, m>1 on a memory-bound baseline: faster and greener."""
+        baseline = AlgorithmProfile.from_intensity(fermi.b_tau / 8, work=1e9)
+        point = TradeoffAnalyzer(fermi, baseline).evaluate(1.0, 4.0)
+        assert point.outcome is TradeOutcome.BOTH
+        assert point.speedup > 1.0 and point.greenup > 1.0
+
+    def test_excessive_work_is_neither(self, fermi):
+        baseline = AlgorithmProfile.from_intensity(fermi.b_tau * 4, work=1e9)
+        point = TradeoffAnalyzer(fermi, baseline).evaluate(100.0, 2.0)
+        assert point.outcome is TradeOutcome.NEITHER
+
+    def test_greenup_only_region_on_wide_gap_machine(self, fermi):
+        """On Fermi (B_eps >> B_tau) the energy model tolerates far more
+        extra work than the time model: between the speedup limit
+        (f = B_tau/I) and the eq. (10) threshold lies a greenup-only band."""
+        baseline = AlgorithmProfile.from_intensity(fermi.b_tau / 16, work=1e9)
+        analyzer = TradeoffAnalyzer(fermi, baseline)
+        speedup_limit = fermi.b_tau / baseline.intensity  # = 16
+        greenup_limit = analyzer.greenup_threshold(16.0)
+        assert greenup_limit > speedup_limit  # the band exists
+        point = analyzer.evaluate((speedup_limit + greenup_limit) / 2, 16.0)
+        assert point.outcome is TradeOutcome.GREENUP_ONLY
+
+    def test_speedup_only_region_on_reverse_gap_machine(self):
+        """With B_eps << B_tau (race-to-halt hardware without constant
+        power), time tolerates more extra work than energy: a
+        speedup-only band appears instead."""
+        from repro.core.params import MachineModel
+
+        machine = MachineModel(
+            "reverse-gap", tau_flop=1e-12, tau_mem=16e-12,
+            eps_flop=1e-10, eps_mem=1e-10,
+        )
+        baseline = AlgorithmProfile.from_intensity(1.0, work=1e9)  # memory-bound
+        analyzer = TradeoffAnalyzer(machine, baseline)
+        greenup_limit = analyzer.greenup_threshold(16.0)  # ~1.94
+        speedup_limit = machine.b_tau / baseline.intensity  # 16
+        assert greenup_limit < speedup_limit
+        point = analyzer.evaluate((greenup_limit + speedup_limit) / 2, 16.0)
+        assert point.outcome is TradeOutcome.SPEEDUP_ONLY
+
+    @settings(max_examples=60)
+    @given(
+        machine=machine_strategy(),
+        intensity=st.floats(0.01, 100.0),
+        m=st.floats(1.0, 32.0),
+        f=st.floats(1.0, 32.0),
+    )
+    def test_greenup_decreasing_in_f(self, machine, intensity, m, f):
+        baseline = AlgorithmProfile.from_intensity(intensity, work=1e9)
+        analyzer = TradeoffAnalyzer(machine, baseline)
+        assert analyzer.evaluate(f * 1.5, m).greenup < analyzer.evaluate(
+            f, m
+        ).greenup * (1 + 1e-12)
+
+    @settings(max_examples=60)
+    @given(
+        machine=machine_strategy(),
+        intensity=st.floats(0.01, 100.0),
+        m=st.floats(1.0, 32.0),
+    )
+    def test_threshold_point_is_energy_neutral(self, machine, intensity, m):
+        baseline = AlgorithmProfile.from_intensity(intensity, work=1e9)
+        analyzer = TradeoffAnalyzer(machine, baseline)
+        f_star = analyzer.exact_greenup_threshold(m)
+        assert analyzer.evaluate(f_star, m).greenup == pytest.approx(1.0, rel=1e-6)
+
+    def test_evaluate_rejects_nonpositive(self, fermi):
+        analyzer = TradeoffAnalyzer(
+            fermi, AlgorithmProfile.from_intensity(1.0, work=1e9)
+        )
+        with pytest.raises(ParameterError):
+            analyzer.evaluate(0.0, 1.0)
+
+
+class TestGrids:
+    def test_frontier_shape(self, gpu_double):
+        baseline = AlgorithmProfile.from_intensity(0.5, work=1e9)
+        analyzer = TradeoffAnalyzer(gpu_double, baseline)
+        rows = analyzer.frontier([1.0, 2.0, 4.0])
+        assert len(rows) == 3
+        for m, closed, exact in rows:
+            assert closed >= 1.0 and exact >= 1.0
+
+    def test_outcome_grid_dimensions(self, fermi):
+        baseline = AlgorithmProfile.from_intensity(1.0, work=1e9)
+        grid = TradeoffAnalyzer(fermi, baseline).outcome_grid(
+            [1.0, 2.0], [1.0, 2.0, 4.0]
+        )
+        assert len(grid) == 2 and all(len(row) == 3 for row in grid)

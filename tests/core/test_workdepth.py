@@ -1,0 +1,114 @@
+"""Work-depth (latency-aware) time refinement."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.algorithm import AlgorithmProfile
+from repro.core.workdepth import DepthProfile, WorkDepthTimeModel
+from repro.exceptions import ParameterError, ProfileError
+from tests.conftest import machine_strategy
+
+
+def depth_profile(work=1e9, intensity=10.0, depth=1e3) -> DepthProfile:
+    return DepthProfile(
+        base=AlgorithmProfile.from_intensity(intensity, work=work), depth=depth
+    )
+
+
+class TestDepthProfile:
+    def test_parallelism(self):
+        profile = depth_profile(work=1e6, depth=1e3)
+        assert profile.parallelism == pytest.approx(1e3)
+
+    def test_depth_cannot_exceed_work(self):
+        with pytest.raises(ProfileError):
+            depth_profile(work=100.0, depth=200.0)
+
+    def test_depth_must_be_positive(self):
+        with pytest.raises(ProfileError):
+            depth_profile(depth=0.0)
+
+
+class TestBrentBound:
+    def test_shallow_profile_approaches_basic_model(self, fermi):
+        """With negligible depth, the refined time tends to W tau_flop."""
+        model = WorkDepthTimeModel(fermi, processors=512)
+        profile = depth_profile(work=1e12, depth=10.0)
+        ideal = profile.base.work * fermi.tau_flop
+        assert model.flop_time(profile) == pytest.approx(ideal, rel=1e-6)
+
+    def test_deep_profile_is_latency_limited(self, fermi):
+        model = WorkDepthTimeModel(fermi, processors=1024)
+        profile = depth_profile(work=1e6, depth=1e6 / 2)
+        # T = (W + P D) tau; with P D >> W the depth term dominates.
+        assert model.flop_time(profile) == pytest.approx(
+            (1e6 + 1024 * 5e5) * fermi.tau_flop
+        )
+
+    @settings(max_examples=60)
+    @given(
+        machine=machine_strategy(),
+        processors=st.integers(1, 4096),
+        parallelism=st.floats(2.0, 1e6),
+    )
+    def test_refined_time_never_beats_basic(self, machine, processors, parallelism):
+        work = 1e9
+        model = WorkDepthTimeModel(machine, processors=processors)
+        profile = DepthProfile(
+            base=AlgorithmProfile.from_intensity(10.0, work=work),
+            depth=work / parallelism,
+        )
+        assert model.flop_time(profile) >= work * machine.tau_flop * (1 - 1e-12)
+
+    def test_utilization_bounds(self, fermi):
+        model = WorkDepthTimeModel(fermi, processors=64)
+        profile = depth_profile(work=1e9, depth=1e5)
+        util = model.utilization(profile)
+        assert 0.0 < util <= 1.0
+        expected = 1e9 / (1e9 + 64 * 1e5)
+        assert util == pytest.approx(expected)
+
+    def test_memory_can_still_dominate(self, fermi):
+        model = WorkDepthTimeModel(fermi, processors=8)
+        profile = DepthProfile(
+            base=AlgorithmProfile.from_intensity(1e-3, work=1e6), depth=10.0
+        )
+        assert model.time(profile) == pytest.approx(
+            profile.base.traffic * fermi.tau_mem
+        )
+
+    def test_rejects_zero_processors(self, fermi):
+        with pytest.raises(ParameterError):
+            WorkDepthTimeModel(fermi, processors=0)
+
+
+class TestEnergyInteraction:
+    @settings(max_examples=60)
+    @given(
+        machine=machine_strategy(allow_pi0=False),
+        processors=st.integers(1, 1024),
+        parallelism=st.floats(2.0, 1e5),
+    )
+    def test_depth_free_energy_without_constant_power(
+        self, machine, processors, parallelism
+    ):
+        """With pi0 = 0, energy is work-determined: depth cannot change it."""
+        work = 1e9
+        model = WorkDepthTimeModel(machine, processors=processors)
+        profile = DepthProfile(
+            base=AlgorithmProfile.from_intensity(5.0, work=work),
+            depth=work / parallelism,
+        )
+        assert model.energy_overhead_vs_ideal(profile) == pytest.approx(1.0, rel=1e-9)
+
+    def test_depth_costs_energy_with_constant_power(self, gpu_double):
+        """With pi0 > 0, longer critical paths burn more constant energy —
+        low-depth algorithms are greener on constant-power machines."""
+        model = WorkDepthTimeModel(gpu_double, processors=512)
+        shallow = depth_profile(work=1e9, depth=1e2)
+        deep = depth_profile(work=1e9, depth=1e6)
+        assert model.energy(deep) > model.energy(shallow)
+        assert model.energy_overhead_vs_ideal(deep) > 1.0

@@ -1,0 +1,92 @@
+"""The purely analytic experiments: Tables II/III, Fig. 2, greenup."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import run_experiment
+
+
+class TestTable2:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_experiment("table2")
+
+    def test_paper_values(self, result):
+        assert result.value("tau_flop_ps") == pytest.approx(1.94, abs=0.01)
+        assert result.value("tau_mem_ps") == pytest.approx(6.94, abs=0.01)
+        assert result.value("b_tau") == pytest.approx(3.58, abs=0.01)
+        assert result.value("b_eps") == pytest.approx(14.4, abs=0.01)
+        assert result.value("eps_flop_pj") == pytest.approx(25.0)
+        assert result.value("eps_mem_pj") == pytest.approx(360.0)
+
+    def test_text_is_a_table(self, result):
+        assert "Table II" in result.text
+        assert "tau_flop" in result.text
+
+
+class TestTable3:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_experiment("table3")
+
+    def test_spec_values(self, result):
+        assert result.value("gpu_peak_sp_gflops") == 1581.06
+        assert result.value("cpu_peak_dp_gflops") == 53.28
+        assert result.value("gpu_bandwidth_gbytes") == 192.4
+        assert result.value("cpu_tdp_watts") == 130.0
+
+    def test_balance_points(self, result):
+        assert result.value("gpu_b_tau_single") == pytest.approx(8.22, abs=0.01)
+        assert result.value("cpu_b_tau_double") == pytest.approx(2.08, abs=0.01)
+
+
+class TestFig2:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_experiment("fig2")
+
+    def test_powerline_landmarks(self, result):
+        """Fig. 2b's dashed lines: 1.0, 4.0, 5.0 (x flop power)."""
+        assert result.value("compute_limit_rel") == pytest.approx(1.0)
+        assert result.value("memory_limit_rel") == pytest.approx(4.0, abs=0.05)
+        assert result.value("max_power_rel") == pytest.approx(5.0, abs=0.05)
+
+    def test_max_power_at_time_balance(self, result):
+        assert result.value("argmax_intensity") == pytest.approx(3.58, abs=0.01)
+
+    def test_arch_crosses_at_b_eps(self, result):
+        """With pi0 = 0 the arch line's half point is B_eps itself."""
+        assert result.value("arch_half_point") == pytest.approx(14.4, abs=0.01)
+
+    def test_charts_rendered(self, result):
+        assert "Fig. 2a" in result.text and "Fig. 2b" in result.text
+
+
+class TestGreenup:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_experiment("greenup")
+
+    def test_thresholds_ordered(self, result):
+        assert 1.0 < result.value("threshold_m2_closed") < result.value(
+            "threshold_m8_closed"
+        )
+        assert result.value("threshold_m8_closed") < result.value("ceiling")
+
+    def test_exact_thresholds_differ_from_closed_form(self, result):
+        """pi0 > 0 moves the exact frontier off eq. (10)."""
+        assert result.value("threshold_m2_exact") != pytest.approx(
+            result.value("threshold_m2_closed"), rel=1e-3
+        )
+
+    def test_ceiling_formula(self, result):
+        from repro.machines.catalog import gtx580_double
+
+        machine = gtx580_double()
+        expected = 1.0 + machine.b_eps / 0.5
+        assert result.value("ceiling") == pytest.approx(expected)
+
+    def test_census_covers_multiple_outcomes(self, result):
+        assert result.value("census_both") > 0
+        assert result.value("census_neither") > 0

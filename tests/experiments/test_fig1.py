@@ -1,0 +1,40 @@
+"""Fig. 1: the two-level model's scope claims."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.experiments import run_experiment
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_experiment("fig1")
+
+
+class TestFig1:
+    def test_matmul_sqrt_z_claim(self, result):
+        """Doubling Z buys exactly sqrt(2) in the intensity bound."""
+        assert result.value("matmul_sqrt2_deviation") < 1e-9
+
+    def test_concrete_profile_approaches_bound(self, result):
+        """A finite blocked profile gains less than sqrt(2) (compulsory
+        traffic dilutes the bound) but more than nothing."""
+        ratio = result.value("matmul_profile_ratio")
+        assert 1.0 < ratio <= math.sqrt(2.0) + 1e-9
+
+    def test_reduction_z_independence(self, result):
+        # (n-1)/(8n): identical to O(1/n) — a 1e-5-level wobble at n=1e4.
+        assert result.value("reduction_intensity_small") == pytest.approx(
+            result.value("reduction_intensity_large"), rel=1e-3
+        )
+
+    def test_both_scales_instantiate(self, result):
+        assert result.value("fpu_b_tau") > 0
+        assert result.value("chip_b_tau") > 0
+
+    def test_diagram_rendered(self, result):
+        assert "xPU" in result.text
+        assert "fast memory" in result.text

@@ -1,0 +1,38 @@
+"""Fig. 3: the validated measurement wiring."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import run_experiment
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_experiment("fig3")
+
+
+class TestFig3:
+    def test_four_channels_per_rig(self, result):
+        """§IV-A: four V/I sources monitored on each rig."""
+        assert result.value("cpu_channels") == 4
+        assert result.value("gpu_channels") == 4
+
+    def test_aggregate_rate_within_limits(self, result):
+        assert result.value("aggregate_hz") == 512.0
+        assert result.value("aggregate_hz") <= 3072.0
+
+    def test_power_conserved_across_split(self, result):
+        assert result.value("cpu_conservation_error") < 1e-9
+        assert result.value("gpu_conservation_error") < 1e-9
+
+    def test_interposer_matters(self, result):
+        """A PSU-only measurement would miss a double-digit share."""
+        assert result.value("interposer_undercount") > 0.10
+
+    def test_slot_within_pcie_budget(self, result):
+        assert result.value("slot_within_spec") == 1.0
+
+    def test_diagram_rendered(self, result):
+        assert "PowerMon 2" in result.text
+        assert "interposer" in result.text

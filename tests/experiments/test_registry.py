@@ -1,0 +1,43 @@
+"""Experiment registry mechanics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ExperimentError
+from repro.experiments import list_experiments, run_experiment
+from repro.experiments.registry import ExperimentResult, experiment, get_experiment
+
+
+class TestRegistry:
+    def test_all_paper_artifacts_registered(self):
+        ids = {eid for eid, _ in list_experiments()}
+        assert ids == {
+            "table2", "table3", "table4", "fig1", "fig2", "fig3", "fig4", "fig5",
+            "fmm", "greenup",
+        }
+
+    def test_unknown_experiment(self):
+        with pytest.raises(ExperimentError, match="unknown"):
+            run_experiment("fig99")
+
+    def test_get_experiment_returns_callable(self):
+        assert callable(get_experiment("table2"))
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ExperimentError, match="duplicate"):
+
+            @experiment("table2", "again")
+            def _dup():  # pragma: no cover - never runs
+                raise AssertionError
+
+
+class TestExperimentResult:
+    def test_value_lookup(self):
+        result = ExperimentResult("x", "t", "text", values={"a": 1.0})
+        assert result.value("a") == 1.0
+
+    def test_value_lookup_lists_available(self):
+        result = ExperimentResult("x", "t", "text", values={"a": 1.0})
+        with pytest.raises(ExperimentError, match="'a'"):
+            result.value("b")

@@ -1,0 +1,38 @@
+"""The paper-vs-measured digest."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.summary import build_rows, build_summary
+
+
+@pytest.fixture(scope="module")
+def rows():
+    return build_rows(fast=True)
+
+
+class TestSummary:
+    def test_covers_every_evaluation_artefact(self, rows):
+        artefacts = {r.artefact for r in rows}
+        for expected in ("Table II", "Fig. 1", "Fig. 2b", "Fig. 3", "Fig. 4",
+                         "Table IV", "Fig. 5b", "SecV-C", "eq. 10"):
+            assert expected in artefacts
+
+    def test_every_row_has_both_sides(self, rows):
+        for row in rows:
+            assert row.paper and row.measured
+
+    def test_rendered_table(self):
+        text = build_summary(fast=True)
+        assert "reproduction digest" in text
+        assert "this repo" in text
+        assert text.count("\n") >= 14
+
+    def test_cli_summary(self, capsys):
+        from repro.cli import main
+
+        code = main(["experiment", "summary"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "digest" in out

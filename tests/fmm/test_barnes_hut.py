@@ -1,0 +1,150 @@
+"""Hierarchical (Barnes-Hut) evaluation: M2M exactness, MAC accuracy."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ProfileError
+from repro.fmm.farfield import (
+    LeafMoments,
+    barnes_hut_evaluate,
+    compute_moments,
+    compute_node_moments,
+    direct_reference,
+    evaluate_moments,
+    translate_moments,
+)
+from repro.fmm.points import clustered_cloud, uniform_cloud
+from repro.fmm.tree import Octree
+
+
+@pytest.fixture(scope="module")
+def tree() -> Octree:
+    positions, densities = uniform_cloud(700, seed=23)
+    return Octree.build(positions, densities, leaf_capacity=32)
+
+
+class TestNodeStructure:
+    def test_root_is_node_zero(self, tree):
+        root = tree.nodes[0]
+        assert root.depth == 0
+        assert root.half_width == 0.5
+
+    def test_children_indices_follow_parents(self, tree):
+        for node in tree.nodes:
+            for child in node.children:
+                assert child > node.index
+
+    def test_leaf_nodes_cover_all_leaves(self, tree):
+        leaf_indices = sorted(
+            node.leaf_index for node in tree.nodes if node.leaf_index is not None
+        )
+        assert leaf_indices == list(range(tree.n_leaves))
+
+    def test_internal_nodes_have_children(self, tree):
+        for node in tree.nodes:
+            if node.leaf_index is None:
+                assert len(node.children) >= 1
+
+    def test_children_are_octants(self, tree):
+        for node in tree.nodes:
+            for child_index in node.children:
+                child = tree.nodes[child_index]
+                assert child.half_width == pytest.approx(node.half_width / 2)
+                assert np.all(
+                    np.abs(child.center - node.center)
+                    <= node.half_width / 2 + 1e-12
+                )
+
+
+class TestM2M:
+    def test_translation_is_exact(self, tree):
+        """Parent moments built by M2M equal moments computed directly
+        from the parent's own points — for every internal node."""
+        node_moments = compute_node_moments(tree)
+        for node in tree.nodes:
+            if node.leaf_index is not None:
+                continue
+            # Gather the node's points by unioning its descendant leaves.
+            stack, point_sets = list(node.children), []
+            while stack:
+                child = tree.nodes[stack.pop()]
+                if child.leaf_index is not None:
+                    point_sets.append(tree.leaves[child.leaf_index].points)
+                else:
+                    stack.extend(child.children)
+            idx = np.concatenate(point_sets)
+            pts = tree.positions[idx] - node.center
+            dens = tree.densities[idx]
+            direct_monopole = float(dens.sum())
+            direct_dipole = pts.T @ dens
+            r2 = np.einsum("ij,ij->i", pts, pts)
+            direct_quad = 3.0 * np.einsum("i,ij,ik->jk", dens, pts, pts)
+            direct_quad -= np.eye(3) * float(dens @ r2)
+
+            m = node_moments[node.index]
+            assert m.monopole == pytest.approx(direct_monopole)
+            assert np.allclose(m.dipole, direct_dipole)
+            assert np.allclose(m.quadrupole, direct_quad)
+
+    def test_translation_preserves_far_potential(self):
+        """Shifting the expansion centre must not change what it predicts
+        at a distant point (to truncation order)."""
+        rng = np.random.default_rng(4)
+        positions = 0.5 + rng.uniform(-0.02, 0.02, size=(20, 3))
+        tree = Octree.build(
+            np.clip(positions, 0, 1 - 1e-9), rng.uniform(0.5, 1.5, 20),
+            leaf_capacity=32,
+        )
+        moments = compute_moments(tree)[0]
+        shifted = translate_moments(moments, moments.center + [0.03, -0.01, 0.02])
+        target = np.array([[0.95, 0.9, 0.93]])
+        a = evaluate_moments(target, moments)[0]
+        b = evaluate_moments(target, shifted)[0]
+        assert a == pytest.approx(b, rel=1e-3)
+
+    def test_identity_translation(self, tree):
+        m = compute_moments(tree)[0]
+        same = translate_moments(m, m.center)
+        assert np.allclose(same.dipole, m.dipole)
+        assert np.allclose(same.quadrupole, m.quadrupole)
+
+
+class TestBarnesHut:
+    @pytest.fixture(scope="class")
+    def exact(self, tree):
+        return direct_reference(tree)
+
+    def test_accuracy_at_default_theta(self, tree, exact):
+        phi, stats = barnes_hut_evaluate(tree, theta=0.4)
+        rel = np.abs(phi - exact) / np.abs(exact)
+        assert np.median(rel) < 1e-4
+        assert np.max(rel) < 1e-2
+        assert stats["approx_evaluations"] > 0
+
+    def test_smaller_theta_more_accurate_more_direct(self, tree, exact):
+        phi_loose, stats_loose = barnes_hut_evaluate(tree, theta=0.7)
+        phi_tight, stats_tight = barnes_hut_evaluate(tree, theta=0.25)
+        err_loose = np.median(np.abs(phi_loose - exact) / np.abs(exact))
+        err_tight = np.median(np.abs(phi_tight - exact) / np.abs(exact))
+        assert err_tight < err_loose
+        assert stats_tight["direct_fraction"] > stats_loose["direct_fraction"]
+
+    def test_saves_pairs(self, tree):
+        _, stats = barnes_hut_evaluate(tree, theta=0.5)
+        assert stats["direct_fraction"] < 1.0
+
+    def test_works_on_clustered_distributions(self):
+        positions, densities = clustered_cloud(600, clusters=5, seed=9)
+        tree = Octree.build(positions, densities, leaf_capacity=32)
+        phi, _ = barnes_hut_evaluate(tree, theta=0.4)
+        exact = direct_reference(tree)
+        rel = np.abs(phi - exact) / np.abs(exact)
+        assert np.median(rel) < 1e-3
+
+    def test_theta_validated(self, tree):
+        with pytest.raises(ProfileError):
+            barnes_hut_evaluate(tree, theta=0.0)
+        with pytest.raises(ProfileError):
+            barnes_hut_evaluate(tree, theta=1.5)

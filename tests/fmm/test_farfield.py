@@ -1,0 +1,139 @@
+"""Far-field multipole expansions and the full treecode evaluation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ProfileError
+from repro.fmm.farfield import (
+    LeafMoments,
+    compute_moments,
+    direct_reference,
+    evaluate_far_field,
+    evaluate_full,
+    evaluate_moments,
+)
+from repro.fmm.kernel import interact
+from repro.fmm.points import uniform_cloud
+from repro.fmm.tree import Octree
+from repro.fmm.ulist import build_ulist
+
+
+@pytest.fixture(scope="module")
+def system():
+    positions, densities = uniform_cloud(800, seed=19)
+    tree = Octree.build(positions, densities, leaf_capacity=40)
+    return tree, build_ulist(tree)
+
+
+class TestMoments:
+    def test_monopole_is_total_density(self, system):
+        tree, _ = system
+        moments = compute_moments(tree)
+        for leaf, m in zip(tree.leaves, moments):
+            assert m.monopole == pytest.approx(
+                float(tree.densities[leaf.points].sum())
+            )
+
+    def test_quadrupole_traceless(self, system):
+        tree, _ = system
+        for m in compute_moments(tree):
+            assert np.trace(m.quadrupole) == pytest.approx(0.0, abs=1e-9)
+
+    def test_quadrupole_symmetric(self, system):
+        tree, _ = system
+        for m in compute_moments(tree):
+            assert np.allclose(m.quadrupole, m.quadrupole.T)
+
+    def test_single_point_leaf_moments(self):
+        """One point at the centre: pure monopole."""
+        positions = np.array([[0.5, 0.5, 0.5]]) * 0.999
+        tree = Octree.build(positions, np.array([2.0]), leaf_capacity=8)
+        m = compute_moments(tree)[0]
+        assert m.monopole == 2.0
+        # The point sits essentially at the box centre.
+        assert np.linalg.norm(m.dipole) < 1e-2
+
+    def test_shape_validation(self):
+        with pytest.raises(ProfileError):
+            LeafMoments(
+                center=np.zeros(3),
+                monopole=1.0,
+                dipole=np.zeros(2),
+                quadrupole=np.zeros((3, 3)),
+            )
+
+
+class TestExpansionAccuracy:
+    def build_source_leaf(self, seed=3):
+        rng = np.random.default_rng(seed)
+        # Sources in a box of half-width 0.05 around (0.5, 0.5, 0.5).
+        positions = 0.5 + rng.uniform(-0.05, 0.05, size=(30, 3))
+        positions = np.clip(positions, 0.0, 1.0 - 1e-9)
+        densities = rng.uniform(0.5, 1.5, 30)
+        tree = Octree.build(positions, densities, leaf_capacity=64)
+        assert tree.n_leaves == 1
+        return tree
+
+    def expansion_error(self, distance, seed=3) -> float:
+        tree = self.build_source_leaf(seed)
+        moments = compute_moments(tree)[0]
+        targets = np.array([[0.5 + distance, 0.5, 0.5]])
+        exact = interact(targets, tree.positions, tree.densities)
+        approx = evaluate_moments(targets, moments)
+        return float(abs(approx[0] - exact[0]) / abs(exact[0]))
+
+    def test_error_small_at_distance(self):
+        assert self.expansion_error(0.4) < 1e-3
+
+    def test_error_decays_cubically(self):
+        """Truncation after quadrupole: error ~ (a/d)^3, so doubling the
+        distance should cut the error by roughly 8x."""
+        near = self.expansion_error(0.2)
+        far = self.expansion_error(0.4)
+        assert near / far > 4.0  # cubic modulo constants
+
+    def test_rejects_target_at_center(self):
+        tree = self.build_source_leaf()
+        moments = compute_moments(tree)[0]
+        with pytest.raises(ProfileError):
+            evaluate_moments(moments.center[None, :], moments)
+
+
+class TestFullEvaluation:
+    def test_full_matches_direct_sum(self, system):
+        """Near-field direct + far-field multipole ≈ the O(n^2) oracle."""
+        tree, ulist = system
+        phi, _ = evaluate_full(tree, ulist)
+        exact = direct_reference(tree)
+        rel = np.abs(phi - exact) / np.abs(exact)
+        assert np.median(rel) < 5e-4
+        assert np.max(rel) < 2e-2
+
+    def test_far_field_is_the_complement(self, system):
+        """Adding the far field must change every point's potential
+        (no leaf is adjacent to all others at this size)."""
+        tree, ulist = system
+        far = evaluate_far_field(tree, ulist)
+        assert np.all(far > 0.0)
+
+    def test_pair_count_savings(self, system):
+        tree, ulist = system
+        _, stats = evaluate_full(tree, ulist)
+        assert stats["speedup_proxy"] > 2.0
+        assert stats["near_pairs"] + stats["far_cell_evaluations"] < stats[
+            "direct_pairs"
+        ]
+
+    def test_ulist_length_validated(self, system):
+        tree, _ = system
+        with pytest.raises(ProfileError):
+            evaluate_far_field(tree, [[0]])
+
+    def test_precomputed_moments_reused(self, system):
+        tree, ulist = system
+        moments = compute_moments(tree)
+        a = evaluate_far_field(tree, ulist, moments=moments)
+        b = evaluate_far_field(tree, ulist)
+        assert np.allclose(a, b)

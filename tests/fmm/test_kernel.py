@@ -1,0 +1,108 @@
+"""Algorithm 1: the direct interaction kernel."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as npst
+
+from repro.exceptions import ProfileError
+from repro.fmm.counters import count_pairs
+from repro.fmm.kernel import (
+    FLOPS_PER_PAIR,
+    evaluate_ulist,
+    interact,
+    interact_reference,
+)
+
+
+def coords(n, seed=0):
+    rng = np.random.default_rng(seed)
+    return rng.random((n, 3))
+
+
+class TestInteract:
+    def test_two_point_analytic(self):
+        """One target, one source at distance 2 with density 6: phi = 3."""
+        targets = np.array([[0.0, 0.0, 0.0]])
+        sources = np.array([[2.0, 0.0, 0.0]])
+        densities = np.array([6.0])
+        assert interact(targets, sources, densities)[0] == pytest.approx(3.0)
+
+    def test_superposition(self):
+        """phi is linear in the source densities."""
+        t, s = coords(5, 1), coords(8, 2)
+        d1 = np.linspace(1.0, 2.0, 8)
+        d2 = np.linspace(0.5, 1.5, 8)
+        combined = interact(t, s, d1 + d2)
+        assert np.allclose(combined, interact(t, s, d1) + interact(t, s, d2))
+
+    def test_self_interaction_skipped(self):
+        """A point colocated with a source contributes nothing (r = 0)."""
+        pts = coords(4, 3)
+        densities = np.ones(4)
+        phi = interact(pts, pts, densities)
+        reference = interact_reference(pts, pts, densities)
+        assert np.all(np.isfinite(phi))
+        assert np.allclose(phi, reference)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        m=st.integers(1, 12),
+        k=st.integers(1, 12),
+        seed=st.integers(0, 1000),
+    )
+    def test_vectorised_matches_reference(self, m, k, seed):
+        rng = np.random.default_rng(seed)
+        targets = rng.random((m, 3))
+        sources = rng.random((k, 3))
+        densities = rng.uniform(0.5, 2.0, k)
+        assert np.allclose(
+            interact(targets, sources, densities),
+            interact_reference(targets, sources, densities),
+        )
+
+    def test_validation(self):
+        with pytest.raises(ProfileError):
+            interact(np.zeros((2, 2)), np.zeros((2, 3)), np.ones(2))
+        with pytest.raises(ProfileError):
+            interact(np.zeros((2, 3)), np.zeros((2, 3)), np.ones(3))
+
+
+class TestEvaluateUlist:
+    def test_matches_direct_nearfield_sum(self, small_tree, small_ulist):
+        """The tiled U-list evaluation equals a direct per-point near-field
+        sum computed without any tree machinery."""
+        phi, _ = evaluate_ulist(small_tree, small_ulist)
+
+        expected = np.zeros(small_tree.n_points)
+        for leaf in small_tree.leaves:
+            source_idx = np.concatenate(
+                [small_tree.leaves[s].points for s in small_ulist[leaf.index]]
+            )
+            expected[leaf.points] = interact_reference(
+                small_tree.positions[leaf.points],
+                small_tree.positions[source_idx],
+                small_tree.densities[source_idx],
+            )
+        assert np.allclose(phi, expected)
+
+    def test_pair_count_matches_counters(self, small_tree, small_ulist):
+        _, pairs = evaluate_ulist(small_tree, small_ulist)
+        assert pairs == count_pairs(small_tree, small_ulist)
+
+    def test_flops_per_pair_is_eleven(self):
+        """The paper's Algorithm 1 accounting."""
+        assert FLOPS_PER_PAIR == 11
+
+    def test_ulist_length_validated(self, small_tree):
+        with pytest.raises(ProfileError):
+            evaluate_ulist(small_tree, [[0]])
+
+    def test_potentials_positive(self, small_tree, small_ulist):
+        """Positive densities -> strictly positive near-field potentials
+        (every point has at least one non-self neighbour here)."""
+        phi, _ = evaluate_ulist(small_tree, small_ulist)
+        assert np.all(phi > 0.0)

@@ -1,0 +1,112 @@
+"""Octree construction and invariants."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import TreeError
+from repro.fmm.points import clustered_cloud, uniform_cloud
+from repro.fmm.tree import Leaf, Octree
+
+
+def build(n=300, q=20, seed=0, generator=uniform_cloud) -> Octree:
+    positions, densities = generator(n, seed=seed)
+    return Octree.build(positions, densities, leaf_capacity=q)
+
+
+class TestConstruction:
+    def test_all_points_in_exactly_one_leaf(self):
+        tree = build()
+        indices = np.concatenate([leaf.points for leaf in tree.leaves])
+        assert np.array_equal(np.sort(indices), np.arange(tree.n_points))
+
+    def test_capacity_respected(self):
+        tree = build(n=1000, q=16)
+        assert tree.leaf_sizes().max() <= 16
+
+    def test_validate_passes(self):
+        build(n=500, q=32).validate()
+
+    def test_single_point_tree(self):
+        positions = np.array([[0.5, 0.5, 0.5]]) * 0.99
+        tree = Octree.build(positions, np.array([1.0]), leaf_capacity=8)
+        assert tree.n_leaves == 1
+        assert tree.leaves[0].size == 1
+
+    def test_all_points_fit_in_root(self):
+        positions, densities = uniform_cloud(50, seed=1)
+        tree = Octree.build(positions, densities, leaf_capacity=100)
+        assert tree.n_leaves == 1
+        assert tree.leaves[0].depth == 0
+
+    def test_duplicate_points_stop_at_max_depth(self):
+        positions = np.tile(np.array([[0.3, 0.3, 0.3]]), (20, 1))
+        tree = Octree.build(
+            positions, np.ones(20), leaf_capacity=4, max_depth=6
+        )
+        assert tree.n_leaves == 1
+        assert tree.leaves[0].size == 20
+        assert tree.leaves[0].depth == 6
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        n=st.integers(1, 400),
+        q=st.integers(1, 64),
+        seed=st.integers(0, 100),
+    )
+    def test_partition_property(self, n, q, seed):
+        """For any cloud and capacity: leaves partition the point set and
+        respect capacity (above the depth limit)."""
+        positions, densities = uniform_cloud(n, seed=seed)
+        tree = Octree.build(positions, densities, leaf_capacity=q)
+        tree.validate()
+
+    def test_adaptive_tree_has_mixed_depths(self):
+        tree = build(n=3000, q=16, generator=clustered_cloud)
+        depths = {leaf.depth for leaf in tree.leaves}
+        assert len(depths) > 1  # clusters force deeper subdivision locally
+
+
+class TestLeafGeometry:
+    def test_points_inside_boxes(self):
+        tree = build(n=800, q=25, seed=3)
+        for leaf in tree.leaves:
+            pts = tree.positions[leaf.points]
+            assert np.all(pts >= leaf.center - leaf.half_width - 1e-12)
+            assert np.all(pts <= leaf.center + leaf.half_width + 1e-12)
+
+    def test_halfwidth_halves_per_level(self):
+        tree = build(n=2000, q=10)
+        for leaf in tree.leaves:
+            assert leaf.half_width == pytest.approx(0.5 / 2**leaf.depth)
+
+    def test_leaf_indices_sequential(self):
+        tree = build()
+        assert [leaf.index for leaf in tree.leaves] == list(range(tree.n_leaves))
+
+
+class TestValidation:
+    def test_rejects_wrong_shape(self):
+        with pytest.raises(TreeError):
+            Octree.build(np.zeros((5, 2)), np.ones(5), leaf_capacity=4)
+
+    def test_rejects_density_mismatch(self):
+        with pytest.raises(TreeError):
+            Octree.build(np.zeros((5, 3)), np.ones(4), leaf_capacity=4)
+
+    def test_rejects_empty(self):
+        with pytest.raises(TreeError):
+            Octree.build(np.zeros((0, 3)), np.zeros(0), leaf_capacity=4)
+
+    def test_rejects_out_of_cube(self):
+        positions = np.array([[1.5, 0.5, 0.5]])
+        with pytest.raises(TreeError):
+            Octree.build(positions, np.ones(1), leaf_capacity=4)
+
+    def test_rejects_zero_capacity(self):
+        positions, densities = uniform_cloud(10, seed=0)
+        with pytest.raises(TreeError):
+            Octree.build(positions, densities, leaf_capacity=0)

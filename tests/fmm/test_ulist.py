@@ -1,0 +1,85 @@
+"""U-list construction: hashed vs naive, symmetry, completeness."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fmm.points import clustered_cloud, plummer_cloud, uniform_cloud
+from repro.fmm.tree import Octree
+from repro.fmm.ulist import boxes_adjacent, build_ulist, build_ulist_naive
+
+
+class TestAdjacency:
+    def test_identical_boxes_adjacent(self):
+        c = np.array([0.5, 0.5, 0.5])
+        assert boxes_adjacent(c, 0.1, c, 0.1)
+
+    def test_touching_faces_adjacent(self):
+        a = np.array([0.25, 0.5, 0.5])
+        b = np.array([0.75, 0.5, 0.5])
+        assert boxes_adjacent(a, 0.25, b, 0.25)
+
+    def test_touching_corners_adjacent(self):
+        a = np.array([0.25, 0.25, 0.25])
+        b = np.array([0.75, 0.75, 0.75])
+        assert boxes_adjacent(a, 0.25, b, 0.25)
+
+    def test_separated_not_adjacent(self):
+        a = np.array([0.1, 0.5, 0.5])
+        b = np.array([0.9, 0.5, 0.5])
+        assert not boxes_adjacent(a, 0.1, b, 0.1)
+
+    def test_different_sizes(self):
+        big = np.array([0.25, 0.25, 0.25])
+        small = np.array([0.5625, 0.0625, 0.0625])
+        assert boxes_adjacent(big, 0.25, small, 0.0625)
+
+
+class TestConstruction:
+    @settings(max_examples=12, deadline=None)
+    @given(
+        n=st.integers(20, 300),
+        q=st.integers(4, 50),
+        seed=st.integers(0, 50),
+        dist=st.sampled_from([uniform_cloud, clustered_cloud, plummer_cloud]),
+    )
+    def test_hashed_matches_naive(self, n, q, seed, dist):
+        """The spatially hashed U-list equals the O(L^2) oracle on any
+        point distribution (including adaptive trees)."""
+        positions, densities = dist(n, seed=seed)
+        tree = Octree.build(positions, densities, leaf_capacity=q)
+        assert build_ulist(tree) == build_ulist_naive(tree)
+
+    def test_self_always_included(self, small_tree, small_ulist):
+        for leaf in small_tree.leaves:
+            assert leaf.index in small_ulist[leaf.index]
+
+    def test_symmetry(self, small_tree, small_ulist):
+        """S in U(B) iff B in U(S) — adjacency is symmetric."""
+        for b, neighbors in enumerate(small_ulist):
+            for s in neighbors:
+                assert b in small_ulist[s]
+
+    def test_entries_sorted_unique(self, small_ulist):
+        for neighbors in small_ulist:
+            assert neighbors == sorted(set(neighbors))
+
+    def test_interior_leaf_of_uniform_grid_has_27_neighbors(self):
+        """A regular grid of equal leaves: interior boxes see the full
+        3x3x3 neighbourhood, the paper's u = 27."""
+        # 4x4x4 grid of leaves: put one point at each cell centre with
+        # capacity 1 so every cell becomes its own leaf.
+        coords = (np.arange(4) + 0.5) / 4
+        grid = np.array([[x, y, z] for x in coords for y in coords for z in coords])
+        tree = Octree.build(grid, np.ones(len(grid)), leaf_capacity=1)
+        ulist = build_ulist(tree)
+        sizes = sorted(len(u) for u in ulist)
+        assert max(sizes) == 27  # interior cells
+        assert min(sizes) == 8  # corner cells
+
+    def test_mean_ulist_size_reasonable(self, small_ulist):
+        mean = np.mean([len(u) for u in small_ulist])
+        assert 4.0 < mean <= 27.0

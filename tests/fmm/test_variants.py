@@ -1,0 +1,88 @@
+"""The 390-variant implementation space."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ProfileError
+from repro.fmm.variants import (
+    MemoryPath,
+    Variant,
+    generate_variants,
+    reference_variant,
+)
+
+
+@pytest.fixture(scope="module")
+def variants() -> list[Variant]:
+    return generate_variants()
+
+
+class TestSpace:
+    def test_exactly_390_variants(self, variants):
+        """Matches the paper's 'approximately 390 different code
+        implementations'."""
+        assert len(variants) == 390
+
+    def test_160_l1l2_only(self, variants):
+        """Matches the paper's 'about 160 such kernels'."""
+        assert sum(v.uses_only_l1l2 for v in variants) == 160
+
+    def test_unique_ids(self, variants):
+        ids = [v.vid for v in variants]
+        assert len(set(ids)) == len(ids)
+
+    def test_deterministic_order(self):
+        assert [v.vid for v in generate_variants()] == [
+            v.vid for v in generate_variants()
+        ]
+
+    def test_all_paths_present(self, variants):
+        paths = {v.path for v in variants}
+        assert paths == {MemoryPath.L1L2, MemoryPath.SHARED, MemoryPath.TEXTURE}
+
+    def test_reference_in_space(self, variants):
+        assert reference_variant() in variants
+
+
+class TestReference:
+    def test_reference_matches_paper_description(self):
+        """'does not use shared or texture memory or register-level
+        blocking'."""
+        ref = reference_variant()
+        assert ref.path is MemoryPath.L1L2
+        assert ref.register_block == 1
+        assert ref.uses_only_l1l2
+
+
+class TestEfficiency:
+    def test_bounded(self, variants):
+        for v in variants:
+            assert 0.0 < v.efficiency() <= 1.0
+
+    def test_shared_beats_l1l2_at_same_parameters(self):
+        shared = Variant("s", MemoryPath.SHARED, 128, 32, 2, 1)
+        cached = Variant("c", MemoryPath.L1L2, 128, 32, 2, 1)
+        assert shared.efficiency() > cached.efficiency()
+
+    def test_occupancy_ridge(self):
+        mid = Variant("m", MemoryPath.L1L2, 128, 32, 4, 1)
+        small = Variant("s", MemoryPath.L1L2, 32, 32, 4, 1)
+        big = Variant("b", MemoryPath.L1L2, 512, 32, 4, 1)
+        assert mid.efficiency() > small.efficiency()
+        assert mid.efficiency() > big.efficiency()
+
+    def test_register_pressure_penalty(self):
+        light = Variant("l", MemoryPath.SHARED, 128, 32, 4, 1)
+        heavy = Variant("h", MemoryPath.SHARED, 128, 32, 8, 2)
+        assert heavy.efficiency() < light.efficiency()
+
+    def test_efficiency_spread_is_wide(self, variants):
+        """The variant space covers a meaningful performance range — the
+        §V-C population was heterogeneous, not near-identical."""
+        values = [v.efficiency() for v in variants]
+        assert max(values) / min(values) > 2.0
+
+    def test_validation(self):
+        with pytest.raises(ProfileError):
+            Variant("x", MemoryPath.L1L2, 0, 32, 1, 1)

@@ -1,0 +1,75 @@
+"""The machine catalog: Table II + III + IV combinations."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ParameterError
+from repro.machines.catalog import (
+    MACHINES,
+    get_machine,
+    gtx580_double,
+    gtx580_single,
+    i7_950_double,
+    i7_950_single,
+    keckler_fermi,
+    list_machines,
+)
+
+
+class TestKecklerFermi:
+    def test_table2_values(self):
+        m = keckler_fermi()
+        assert m.peak_gflops == pytest.approx(515.0)
+        assert m.peak_gbytes == pytest.approx(144.0)
+        assert m.eps_flop == pytest.approx(25e-12)
+        assert m.eps_mem == pytest.approx(360e-12)
+        assert m.pi0 == 0.0
+        assert m.power_cap is None
+
+    def test_peak_efficiency_is_40_gflops_per_joule(self):
+        """The paper's Fig. 2a y-axis normalisation: 40 GFLOP/J."""
+        assert keckler_fermi().peak_gflops_per_joule == pytest.approx(40.0)
+
+
+class TestTableFourMachines:
+    def test_gtx580_energy_coefficients(self):
+        single, double = gtx580_single(), gtx580_double()
+        assert single.eps_flop == pytest.approx(99.7e-12)
+        assert double.eps_flop == pytest.approx(212e-12)
+        assert single.eps_mem == double.eps_mem == pytest.approx(513e-12)
+        assert single.pi0 == double.pi0 == 122.0
+
+    def test_i7_energy_coefficients(self):
+        single, double = i7_950_single(), i7_950_double()
+        assert single.eps_flop == pytest.approx(371e-12)
+        assert double.eps_flop == pytest.approx(670e-12)
+        assert single.eps_mem == pytest.approx(795e-12)
+        assert single.pi0 == 122.0
+
+    def test_gpu_carries_rating_as_cap(self):
+        assert gtx580_single().power_cap == 244.0
+        assert i7_950_single().power_cap is None
+
+    def test_time_costs_from_spec(self):
+        assert gtx580_double().peak_gflops == pytest.approx(197.63)
+        assert i7_950_single().peak_gbytes == pytest.approx(25.6)
+
+
+class TestRegistry:
+    def test_all_keys_construct(self):
+        for key, description in list_machines():
+            machine = get_machine(key)
+            assert machine.name
+            assert description
+
+    def test_unknown_key_lists_alternatives(self):
+        with pytest.raises(ParameterError, match="gtx580-double"):
+            get_machine("rtx-5090")
+
+    def test_registry_has_five_machines(self):
+        assert len(MACHINES) == 5
+
+    def test_factories_return_fresh_instances(self):
+        assert get_machine("gtx580-double") == get_machine("gtx580-double")
+        assert get_machine("gtx580-double") is not get_machine("gtx580-double")

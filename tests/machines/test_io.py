@@ -1,0 +1,114 @@
+"""Machine JSON files: round trips, validation, CLI integration."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.exceptions import ParameterError
+from repro.machines.catalog import gtx580_double
+from repro.machines.io import (
+    load_machine,
+    machine_from_dict,
+    machine_to_dict,
+    save_machine,
+)
+
+
+class TestRoundTrip:
+    def test_save_load_identity(self, tmp_path):
+        machine = gtx580_double()
+        path = save_machine(machine, tmp_path / "gtx.json")
+        restored = load_machine(path)
+        assert restored == machine
+
+    def test_dict_round_trip_preserves_derived(self):
+        machine = gtx580_double()
+        restored = machine_from_dict(machine_to_dict(machine))
+        assert restored.b_tau == pytest.approx(machine.b_tau)
+        assert restored.effective_balance_crossing == pytest.approx(
+            machine.effective_balance_crossing
+        )
+
+    def test_cap_omitted_when_none(self, tmp_path):
+        machine = gtx580_double().with_power_cap(None)
+        doc = machine_to_dict(machine)
+        assert "power_cap" not in doc
+        assert machine_from_dict(doc).power_cap is None
+
+
+class TestPeaksForm:
+    def test_peaks_document(self):
+        machine = machine_from_dict(
+            {
+                "name": "custom",
+                "gflops": 100.0,
+                "gbytes_per_s": 50.0,
+                "eps_flop": 1e-10,
+                "eps_mem": 5e-10,
+            }
+        )
+        assert machine.peak_gflops == pytest.approx(100.0)
+        assert machine.pi0 == 0.0
+
+    def test_mixed_forms_rejected(self):
+        with pytest.raises(ParameterError, match="exactly one"):
+            machine_from_dict(
+                {
+                    "name": "x", "gflops": 100.0, "gbytes_per_s": 50.0,
+                    "tau_flop": 1e-12, "tau_mem": 1e-12,
+                    "eps_flop": 1e-10, "eps_mem": 5e-10,
+                }
+            )
+
+    def test_neither_form_rejected(self):
+        with pytest.raises(ParameterError, match="exactly one"):
+            machine_from_dict(
+                {"name": "x", "eps_flop": 1e-10, "eps_mem": 5e-10}
+            )
+
+
+class TestValidation:
+    def test_unknown_key_rejected(self):
+        """A typo must fail loudly, never silently default."""
+        with pytest.raises(ParameterError, match="eps_flops"):
+            machine_from_dict(
+                {
+                    "name": "x", "tau_flop": 1e-12, "tau_mem": 1e-12,
+                    "eps_flops": 1e-10, "eps_mem": 5e-10,
+                }
+            )
+
+    def test_missing_required_rejected(self):
+        with pytest.raises(ParameterError, match="eps_mem"):
+            machine_from_dict({"name": "x", "tau_flop": 1e-12,
+                               "tau_mem": 1e-12, "eps_flop": 1e-10})
+
+    def test_bad_json_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        with pytest.raises(ParameterError, match="not valid JSON"):
+            load_machine(path)
+
+    def test_non_object_rejected(self):
+        with pytest.raises(ParameterError):
+            machine_from_dict([1, 2, 3])  # type: ignore[arg-type]
+
+
+class TestCliIntegration:
+    def test_describe_machine_file(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path = save_machine(gtx580_double(), tmp_path / "mine.json")
+        code = main(["describe", str(path)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "GTX 580" in out and "B_tau" in out
+
+    def test_curves_machine_file(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path = save_machine(gtx580_double(), tmp_path / "mine.json")
+        code = main(["curves", str(path), "--kind", "roofline"])
+        assert code == 0

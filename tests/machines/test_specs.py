@@ -1,0 +1,71 @@
+"""HardwareSpec and the Table III data."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ParameterError
+from repro.machines.specs import GTX580_SPEC, I7_950_SPEC, PLATFORM_TABLE, HardwareSpec
+
+
+class TestTableThree:
+    def test_cpu_row(self):
+        assert I7_950_SPEC.peak_sp_gflops == 106.56
+        assert I7_950_SPEC.peak_dp_gflops == 53.28
+        assert I7_950_SPEC.bandwidth_gbytes == 25.6
+        assert I7_950_SPEC.tdp_watts == 130.0
+
+    def test_gpu_row(self):
+        assert GTX580_SPEC.peak_sp_gflops == 1581.06
+        assert GTX580_SPEC.peak_dp_gflops == 197.63
+        assert GTX580_SPEC.bandwidth_gbytes == 192.4
+        assert GTX580_SPEC.tdp_watts == 244.0
+
+    def test_platform_table_order(self):
+        assert PLATFORM_TABLE == (I7_950_SPEC, GTX580_SPEC)
+
+    def test_gpu_dp_is_one_eighth_sp(self):
+        """Consumer Fermi caps double precision at 1/8 of single."""
+        assert GTX580_SPEC.peak_dp_gflops == pytest.approx(
+            GTX580_SPEC.peak_sp_gflops / 8.0, rel=1e-4
+        )
+
+    def test_cpu_dp_is_half_sp(self):
+        assert I7_950_SPEC.peak_dp_gflops == pytest.approx(
+            I7_950_SPEC.peak_sp_gflops / 2.0
+        )
+
+
+class TestDerived:
+    def test_tau_flop_per_precision(self):
+        assert GTX580_SPEC.tau_flop(double_precision=True) == pytest.approx(
+            1.0 / 197.63e9
+        )
+        assert GTX580_SPEC.tau_flop(double_precision=False) == pytest.approx(
+            1.0 / 1581.06e9
+        )
+
+    def test_tau_mem(self):
+        assert I7_950_SPEC.tau_mem == pytest.approx(1.0 / 25.6e9)
+
+    def test_balance_points(self):
+        assert GTX580_SPEC.b_tau(double_precision=True) == pytest.approx(1.03, abs=0.01)
+        assert GTX580_SPEC.b_tau(double_precision=False) == pytest.approx(8.22, abs=0.01)
+        assert I7_950_SPEC.b_tau(double_precision=True) == pytest.approx(2.08, abs=0.01)
+        assert I7_950_SPEC.b_tau(double_precision=False) == pytest.approx(4.16, abs=0.01)
+
+    def test_table_row_format(self):
+        row = GTX580_SPEC.table_row()
+        assert "GTX 580" in row and "1581.06" in row
+
+
+class TestValidation:
+    def test_rejects_dp_above_sp(self):
+        with pytest.raises(ParameterError):
+            HardwareSpec("GPU", "x", peak_sp_gflops=10, peak_dp_gflops=20,
+                         bandwidth_gbytes=1, tdp_watts=100)
+
+    def test_rejects_nonpositive_bandwidth(self):
+        with pytest.raises(ParameterError):
+            HardwareSpec("GPU", "x", peak_sp_gflops=10, peak_dp_gflops=5,
+                         bandwidth_gbytes=0, tdp_watts=100)

@@ -1,0 +1,88 @@
+"""Auto-tuner: greedy vs exhaustive on the simulated tuning landscape."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import AutotuneError
+from repro.microbench.autotune import AutoTuner
+from repro.simulator.device import SimulatedDevice, gtx580_truth, i7_950_truth
+from repro.simulator.kernel import KernelSpec, LaunchConfig, Precision
+
+
+@pytest.fixture
+def gpu() -> SimulatedDevice:
+    return SimulatedDevice(gtx580_truth())
+
+
+@pytest.fixture
+def compute_kernel() -> KernelSpec:
+    return KernelSpec.from_intensity(64.0, work=1e9, precision=Precision.SINGLE)
+
+
+class TestExhaustive:
+    def test_finds_global_optimum(self, gpu, compute_kernel):
+        result = AutoTuner(gpu).exhaustive(compute_kernel)
+        optimal = gpu.truth.tuning.optimal_launch
+        assert gpu.truth.tuning.efficiency(result.launch) == pytest.approx(
+            gpu.truth.tuning.efficiency(optimal)
+        )
+        assert result.evaluations == 6 * 6 * 6 * 6
+
+    def test_custom_lattice(self, gpu, compute_kernel):
+        result = AutoTuner(gpu).exhaustive(
+            compute_kernel, threads=(64, 128), blocks=(64,),
+            requests=(8,), unroll=(8,),
+        )
+        assert result.evaluations == 2
+        assert result.launch.threads_per_block in (64, 128)
+
+
+class TestGreedy:
+    def test_matches_exhaustive_objective(self, gpu, compute_kernel):
+        tuner = AutoTuner(gpu)
+        greedy = tuner.greedy(compute_kernel)
+        exhaustive = tuner.exhaustive(compute_kernel)
+        assert greedy.objective == pytest.approx(exhaustive.objective, rel=1e-6)
+
+    def test_converges_quickly(self, gpu, compute_kernel):
+        result = AutoTuner(gpu).greedy(compute_kernel)
+        assert result.evaluations < 200
+        assert result.strategy == "greedy"
+
+    def test_from_bad_start(self, gpu, compute_kernel):
+        bad = LaunchConfig(threads_per_block=1, blocks=1,
+                           requests_per_thread=1, unroll=1)
+        result = AutoTuner(gpu).greedy(compute_kernel, start=bad)
+        assert gpu.truth.tuning.efficiency(result.launch) > 0.9
+
+    def test_cpu_landscape(self, compute_kernel):
+        """The CPU truth has a different optimum (8 threads, not 256)."""
+        cpu = SimulatedDevice(i7_950_truth())
+        result = AutoTuner(cpu).greedy(compute_kernel)
+        assert result.launch.threads_per_block == cpu.truth.tuning.best_threads
+
+    def test_step_budget_exhaustion(self, gpu, compute_kernel):
+        with pytest.raises(AutotuneError, match="converge"):
+            AutoTuner(gpu).greedy(compute_kernel, max_steps=0)
+
+
+class TestObjectives:
+    def test_energy_objective(self, gpu, compute_kernel):
+        result = AutoTuner(gpu, objective="energy").greedy(compute_kernel)
+        assert result.objective > 0
+
+    def test_time_and_energy_agree_on_closed_gap_machine(self, gpu, compute_kernel):
+        """With the 2013 balance structure, tuning for time and tuning for
+        energy find the same launch — the model's race-to-halt corollary."""
+        time_result = AutoTuner(gpu, objective="time").greedy(compute_kernel)
+        energy_result = AutoTuner(gpu, objective="energy").greedy(compute_kernel)
+        assert time_result.launch == energy_result.launch
+
+    def test_unknown_objective(self, gpu):
+        with pytest.raises(AutotuneError):
+            AutoTuner(gpu, objective="carbon")
+
+    def test_unknown_strategy(self, gpu, compute_kernel):
+        with pytest.raises(AutotuneError):
+            AutoTuner(gpu).tune(compute_kernel, strategy="annealing")

@@ -1,0 +1,153 @@
+"""Microbenchmark generators: bookkeeping verified against executed math."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import SimulationError
+from repro.microbench.generator import (
+    cpu_polynomial_kernel,
+    fma_load_mix_for_intensity,
+    fma_load_mix_reference,
+    gpu_fma_load_kernel,
+    polynomial_degree_for_intensity,
+    polynomial_reference,
+    size_work_for_duration,
+)
+from repro.simulator.device import gtx580_truth, i7_950_truth
+from repro.simulator.kernel import Precision
+
+
+class TestGpuKernel:
+    def test_bookkeeping(self):
+        kernel = gpu_fma_load_kernel(8, 1000, precision=Precision.SINGLE)
+        assert kernel.work == 2 * 8 * 1000
+        assert kernel.traffic == 4 * 1000
+        assert kernel.intensity == 4.0
+
+    def test_multi_load_groups(self):
+        kernel = gpu_fma_load_kernel(
+            1, 1000, loads_per_group=2, precision=Precision.SINGLE
+        )
+        assert kernel.intensity == pytest.approx(0.25)
+
+    def test_double_precision_words(self):
+        kernel = gpu_fma_load_kernel(4, 100, precision=Precision.DOUBLE)
+        assert kernel.traffic == 800
+
+    def test_rejects_zero_fmas(self):
+        with pytest.raises(SimulationError):
+            gpu_fma_load_kernel(0, 100)
+
+
+class TestMixForIntensity:
+    @given(intensity=st.floats(0.05, 128.0))
+    def test_realised_intensity_close(self, intensity):
+        for precision in (Precision.SINGLE, Precision.DOUBLE):
+            fmas, loads = fma_load_mix_for_intensity(intensity, precision=precision)
+            realised = 2.0 * fmas / (loads * precision.word_bytes)
+            # Integral op mixes guarantee no worse than a factor-of-two miss.
+            assert 0.5 <= realised / intensity <= 2.0
+
+    def test_exact_at_powers_of_two(self):
+        fmas, loads = fma_load_mix_for_intensity(4.0, precision=Precision.SINGLE)
+        assert (fmas, loads) == (8, 1)
+        fmas, loads = fma_load_mix_for_intensity(0.25, precision=Precision.SINGLE)
+        assert (fmas, loads) == (1, 2)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(SimulationError):
+            fma_load_mix_for_intensity(0.0, precision=Precision.SINGLE)
+
+
+class TestCpuKernel:
+    def test_bookkeeping(self):
+        kernel = cpu_polynomial_kernel(10, 1000, precision=Precision.DOUBLE)
+        assert kernel.work == 2 * 10 * 1000
+        assert kernel.traffic == 2 * 1000 * 8
+        assert kernel.intensity == pytest.approx(10.0 / 8.0)
+
+    def test_degree_for_intensity(self):
+        degree = polynomial_degree_for_intensity(2.0, precision=Precision.DOUBLE)
+        kernel = cpu_polynomial_kernel(degree, 100, precision=Precision.DOUBLE)
+        assert kernel.intensity >= 2.0
+        assert kernel.intensity < 4.0
+
+    def test_rejects_zero_degree(self):
+        with pytest.raises(SimulationError):
+            cpu_polynomial_kernel(0, 100)
+
+
+class TestReferences:
+    """The §IV-B analogue of 'verified by comparing computed results'."""
+
+    def test_polynomial_matches_numpy_polyval(self):
+        coeffs = np.array([2.0, -1.0, 0.5, 3.0])
+        x = np.linspace(-2.0, 2.0, 101)
+        values, _ = polynomial_reference(coeffs, x)
+        assert np.allclose(values, np.polyval(coeffs, x))
+
+    def test_polynomial_flop_count_matches_kernel(self):
+        degree, n = 7, 500
+        coeffs = np.ones(degree + 1)
+        x = np.linspace(0.0, 1.0, n)
+        _, flops = polynomial_reference(coeffs, x)
+        kernel = cpu_polynomial_kernel(degree, n)
+        assert flops == kernel.work
+
+    def test_polynomial_rejects_degree_zero(self):
+        with pytest.raises(SimulationError):
+            polynomial_reference(np.array([1.0]), np.zeros(4))
+
+    def test_fma_mix_flop_count_matches_kernel(self):
+        k, n = 6, 300
+        data = np.linspace(1.0, 2.0, n)
+        _, flops = fma_load_mix_reference(data, k)
+        kernel = gpu_fma_load_kernel(k, n)
+        assert flops == kernel.work
+
+    def test_fma_mix_numerics(self):
+        """k applications of x -> a x + b, checked against direct formula."""
+        data = np.array([1.0, 2.0])
+        a, b = 1.5, 0.5
+        values, _ = fma_load_mix_reference(data, 3, a=a, b=b)
+        expected = data.copy()
+        for _ in range(3):
+            expected = expected * a + b
+        assert np.allclose(values, expected)
+
+    def test_fma_mix_rejects_zero_k(self):
+        with pytest.raises(SimulationError):
+            fma_load_mix_reference(np.zeros(4), 0)
+
+
+class TestSizing:
+    @settings(max_examples=40)
+    @given(intensity=st.floats(0.1, 64.0), target=st.floats(0.01, 0.5))
+    def test_sized_kernel_hits_target_duration(self, intensity, target):
+        """Executing the sized kernel lands within the non-ideality factors
+        of the requested duration."""
+        from repro.simulator.device import SimulatedDevice
+        from repro.simulator.kernel import KernelSpec
+
+        truth = gtx580_truth()
+        work = size_work_for_duration(
+            truth, intensity, precision=Precision.SINGLE, target_seconds=target
+        )
+        device = SimulatedDevice(truth)
+        kernel = KernelSpec.from_intensity(
+            intensity, work=work, precision=Precision.SINGLE,
+            launch=truth.tuning.optimal_launch,
+        )
+        result = device.execute(kernel)
+        # Achieved fractions and throttling stretch time by a bounded factor.
+        assert target * 0.8 <= result.time <= target * 3.0
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(SimulationError):
+            size_work_for_duration(
+                i7_950_truth(), 0.0, precision=Precision.DOUBLE
+            )

@@ -1,0 +1,103 @@
+"""Intensity sweeps: the Fig. 4/Table IV data-collection protocol."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import NOISELESS
+from repro.core.fitting import fit_energy_coefficients
+from repro.exceptions import MeasurementError
+from repro.microbench.sweep import IntensitySweep
+from repro.simulator.device import gtx580_truth, i7_950_truth
+from repro.simulator.kernel import LaunchConfig, Precision
+
+
+@pytest.fixture(scope="module")
+def gpu_single_sweep():
+    sweep = IntensitySweep(gtx580_truth(), precision=Precision.SINGLE)
+    return sweep.run([0.25, 1.0, 4.0, 16.0, 64.0])
+
+
+@pytest.fixture(scope="module")
+def cpu_double_sweep():
+    sweep = IntensitySweep(i7_950_truth(), precision=Precision.DOUBLE)
+    return sweep.run([0.25, 1.0, 4.0, 16.0])
+
+
+class TestAchievedPerformance:
+    def test_gpu_hits_paper_peaks(self, gpu_single_sweep):
+        """§IV-B: 1398 GFLOP/s and 168 GB/s in single precision."""
+        assert gpu_single_sweep.max_gflops == pytest.approx(1398.0, rel=0.01)
+        assert gpu_single_sweep.max_bandwidth_gbytes == pytest.approx(168.0, rel=0.01)
+
+    def test_cpu_hits_paper_peaks(self, cpu_double_sweep):
+        """§IV-B: 49.7 GFLOP/s and 18.9 GB/s in double precision."""
+        assert cpu_double_sweep.max_gflops == pytest.approx(49.7, rel=0.01)
+        assert cpu_double_sweep.max_bandwidth_gbytes == pytest.approx(18.9, rel=0.01)
+
+    def test_points_sorted_by_intensity(self, gpu_single_sweep):
+        intensities = gpu_single_sweep.intensities()
+        assert intensities == sorted(intensities)
+
+    def test_tuning_metadata(self, gpu_single_sweep):
+        assert gpu_single_sweep.tuning.strategy == "greedy"
+        assert gpu_single_sweep.tuning.evaluations > 0
+
+
+class TestEnergySamples:
+    def test_samples_carry_precision_flag(self, gpu_single_sweep, cpu_double_sweep):
+        assert all(not s.double_precision for s in gpu_single_sweep.energy_samples())
+        assert all(s.double_precision for s in cpu_double_sweep.energy_samples())
+
+    def test_fit_recovers_truth_per_device(self):
+        """Single+double sweeps on one device recover its Table IV row."""
+        truth = gtx580_truth()
+        samples = []
+        for precision in (Precision.SINGLE, Precision.DOUBLE):
+            sweep = IntensitySweep(truth, precision=precision, noise=NOISELESS)
+            samples.extend(sweep.run([0.5, 1.0, 2.0, 4.0, 8.0]).energy_samples())
+        fit = fit_energy_coefficients(samples)
+        assert fit.eps_single == pytest.approx(truth.eps_single, rel=0.01)
+        assert fit.eps_double == pytest.approx(truth.eps_double, rel=0.01)
+        assert fit.eps_mem == pytest.approx(truth.eps_mem, rel=0.01)
+        assert fit.pi0 == pytest.approx(truth.pi0, rel=0.01)
+
+
+class TestSweepControl:
+    def test_fixed_launch_skips_tuning(self):
+        sweep = IntensitySweep(gtx580_truth(), precision=Precision.SINGLE)
+        fixed = LaunchConfig(threads_per_block=32, blocks=8,
+                             requests_per_thread=1, unroll=1)
+        result = sweep.run([1.0, 4.0], launch=fixed)
+        assert result.tuning.strategy == "fixed"
+        assert all(p.measurement.kernel.launch == fixed for p in result.points)
+
+    def test_untuned_sweep_is_slower(self):
+        sweep = IntensitySweep(gtx580_truth(), precision=Precision.SINGLE)
+        bad = LaunchConfig(threads_per_block=32, blocks=8,
+                           requests_per_thread=1, unroll=1)
+        tuned = sweep.run([16.0])
+        untuned = sweep.run([16.0], launch=bad)
+        assert untuned.max_gflops < tuned.max_gflops
+
+    def test_rejects_empty_intensities(self):
+        sweep = IntensitySweep(gtx580_truth(), precision=Precision.SINGLE)
+        with pytest.raises(MeasurementError):
+            sweep.run([])
+
+    def test_rejects_nonpositive_intensity(self):
+        sweep = IntensitySweep(gtx580_truth(), precision=Precision.SINGLE)
+        with pytest.raises(MeasurementError):
+            sweep.run([1.0, -2.0])
+
+    def test_kernel_family_matches_device(self):
+        gpu = IntensitySweep(gtx580_truth(), precision=Precision.SINGLE)
+        cpu = IntensitySweep(i7_950_truth(), precision=Precision.DOUBLE)
+        assert "fma-load" in gpu.build_kernel(4.0).name
+        assert "poly" in cpu.build_kernel(4.0).name
+
+    def test_build_kernel_tracks_requested_intensity(self):
+        sweep = IntensitySweep(gtx580_truth(), precision=Precision.SINGLE)
+        for target in (0.25, 1.0, 8.0, 64.0):
+            kernel = sweep.build_kernel(target)
+            assert kernel.intensity == pytest.approx(target, rel=0.5)

@@ -1,0 +1,71 @@
+"""ADC model: quantisation, noise, clipping."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import NOISELESS, NoiseProfile
+from repro.exceptions import MeasurementError
+from repro.powermon.adc import ADCModel
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(0)
+
+
+class TestQuantisation:
+    def test_noiseless_readings_within_half_lsb(self, rng):
+        adc = ADCModel(noise=NOISELESS)
+        true = np.linspace(0.1, 12.0, 100)
+        read = adc.read_voltage(true, rng)
+        assert np.max(np.abs(read - true)) <= adc.voltage_lsb / 2 + 1e-12
+
+    def test_lsb_scales_with_bits(self):
+        fine = ADCModel(noise=NoiseProfile(adc_bits=16))
+        coarse = ADCModel(noise=NoiseProfile(adc_bits=8))
+        assert fine.voltage_lsb == pytest.approx(coarse.voltage_lsb / 256)
+
+    def test_clipping_at_full_scale(self, rng):
+        adc = ADCModel(full_scale_voltage=16.0, noise=NOISELESS)
+        read = adc.read_voltage(np.array([20.0]), rng)
+        assert read[0] == 16.0
+
+    def test_no_negative_readings(self, rng):
+        adc = ADCModel(noise=NoiseProfile(current_sigma=0.5))
+        read = adc.read_current(np.full(1000, 0.01), rng)
+        assert np.all(read >= 0.0)
+
+
+class TestNoise:
+    def test_noise_spread_matches_sigma(self, rng):
+        adc = ADCModel(noise=NoiseProfile(voltage_sigma=0.01, adc_bits=24))
+        true = np.full(20_000, 10.0)
+        read = adc.read_voltage(true, rng)
+        assert np.std(read / true - 1.0) == pytest.approx(0.01, rel=0.05)
+
+    def test_gain_error_is_systematic(self, rng):
+        adc = ADCModel(
+            noise=NoiseProfile(voltage_sigma=0.0, current_sigma=0.0,
+                               adc_bits=24, gain_error=0.02)
+        )
+        read = adc.read_voltage(np.full(10, 10.0), rng)
+        assert np.all(np.abs(read - 10.2) < adc.voltage_lsb)
+
+    def test_rejects_negative_true_values(self, rng):
+        adc = ADCModel()
+        with pytest.raises(MeasurementError):
+            adc.read_voltage(np.array([-1.0]), rng)
+
+
+class TestWorstCase:
+    def test_worst_case_power_error(self):
+        adc = ADCModel(noise=NOISELESS)
+        bound = adc.worst_case_power_error(12.0, 10.0)
+        dv, di = adc.voltage_lsb / 2, adc.current_lsb / 2
+        assert bound == pytest.approx(12.0 * di + 10.0 * dv + dv * di)
+
+    def test_rejects_nonpositive_full_scale(self):
+        with pytest.raises(MeasurementError):
+            ADCModel(full_scale_voltage=0.0)

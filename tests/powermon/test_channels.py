@@ -1,0 +1,115 @@
+"""Rails, channels, and power-conservation properties."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as npst
+
+from repro.exceptions import MeasurementError
+from repro.powermon.channels import Channel, RailSet, atx_cpu_rails, gpu_rails
+
+
+class TestChannel:
+    def test_rejects_zero_voltage(self):
+        with pytest.raises(MeasurementError):
+            Channel("x", 0.0, share=0.5)
+
+    def test_rejects_share_out_of_range(self):
+        with pytest.raises(MeasurementError):
+            Channel("x", 12.0, share=1.5)
+
+    def test_rejects_nonpositive_cap(self):
+        with pytest.raises(MeasurementError):
+            Channel("x", 12.0, share=0.5, max_watts=0.0)
+
+
+class TestRailSet:
+    def test_rejects_empty(self):
+        with pytest.raises(MeasurementError):
+            RailSet("empty", channels=())
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(MeasurementError):
+            RailSet(
+                "dup",
+                channels=(Channel("a", 12.0, 0.5), Channel("a", 5.0, 0.5)),
+            )
+
+    @settings(max_examples=80)
+    @given(
+        power=npst.arrays(
+            np.float64, st.integers(1, 50), elements=st.floats(0.0, 1000.0)
+        )
+    )
+    def test_split_conserves_power_cpu(self, power):
+        rails = atx_cpu_rails()
+        split = rails.split_power(power)
+        assert np.allclose(sum(split), power)
+
+    @settings(max_examples=80)
+    @given(
+        power=npst.arrays(
+            np.float64, st.integers(1, 50), elements=st.floats(0.0, 1000.0)
+        )
+    )
+    def test_split_conserves_power_gpu(self, power):
+        rails = gpu_rails()
+        split = rails.split_power(power)
+        assert np.allclose(sum(split), power)
+
+    @settings(max_examples=80)
+    @given(
+        power=npst.arrays(
+            np.float64, st.integers(1, 20), elements=st.floats(0.0, 1000.0)
+        )
+    )
+    def test_capacity_limits_respected(self, power):
+        rails = gpu_rails()
+        split = rails.split_power(power)
+        for p, channel in zip(split, rails.channels):
+            if channel.max_watts is not None:
+                assert np.all(p <= channel.max_watts + 1e-9)
+
+    def test_rejects_negative_power(self):
+        with pytest.raises(MeasurementError):
+            atx_cpu_rails().split_power(np.array([-1.0]))
+
+    def test_true_currents(self):
+        rails = atx_cpu_rails()
+        currents = rails.true_currents(np.array([120.0]))
+        power = sum(
+            c[0] * ch.nominal_voltage for c, ch in zip(currents, rails.channels)
+        )
+        assert power == pytest.approx(120.0)
+
+    def test_len(self):
+        assert len(atx_cpu_rails()) == 4
+        assert len(gpu_rails()) == 4
+
+
+class TestRailLayouts:
+    def test_cpu_rails_match_paper_description(self):
+        """20-pin 3.3/5/12 V plus the 4-pin 12 V connector (§IV-A)."""
+        names = [c.name for c in atx_cpu_rails().channels]
+        assert any("3.3V" in n for n in names)
+        assert any("5V" in n for n in names)
+        assert any("4-pin" in n for n in names)
+
+    def test_gpu_rails_match_paper_description(self):
+        """8-pin, 6-pin, and the two interposer slot feeds."""
+        names = [c.name for c in gpu_rails().channels]
+        assert any("8-pin" in n for n in names)
+        assert any("6-pin" in n for n in names)
+        assert sum("slot" in n for n in names) == 2
+
+    def test_residual_rail_absorbs_overflow(self):
+        """At high power the capacity-limited rails saturate and the final
+        rail carries the rest."""
+        rails = gpu_rails()
+        split = rails.split_power(np.array([400.0]))
+        assert split[0][0] == pytest.approx(8.0)  # 0.02*400 = 8 < 9.9 cap
+        assert split[1][0] == pytest.approx(66.0)  # hits the 66 W slot cap
+        assert sum(s[0] for s in split) == pytest.approx(400.0)

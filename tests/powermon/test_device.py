@@ -1,0 +1,139 @@
+"""PowerMon 2: rate limits, acquisition, and energy computation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import NOISELESS
+from repro.exceptions import SamplingError
+from repro.powermon.adc import ADCModel
+from repro.powermon.channels import gpu_rails
+from repro.powermon.device import PowerMon2, SampleSet
+from repro.simulator.trace import PowerTrace
+
+
+@pytest.fixture
+def trace() -> PowerTrace:
+    return PowerTrace(
+        idle_power=40.0, active_power=250.0, active_duration=5.0,
+        ramp=1e-3, lead=0.0,
+    )
+
+
+@pytest.fixture
+def quiet_monitor() -> PowerMon2:
+    return PowerMon2(ADCModel(noise=NOISELESS))
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(1)
+
+
+class TestRateLimits:
+    """The real device's limits (§IV-A): 8 channels, 1024 Hz/ch, 3072 Hz."""
+
+    def test_channel_count_limit(self, quiet_monitor):
+        with pytest.raises(SamplingError, match="channels"):
+            quiet_monitor.validate_rates(9, 100.0)
+
+    def test_per_channel_rate_limit(self, quiet_monitor):
+        with pytest.raises(SamplingError, match="per-channel"):
+            quiet_monitor.validate_rates(1, 2048.0)
+
+    def test_aggregate_rate_limit(self, quiet_monitor):
+        """4 channels x 1024 Hz = 4096 > 3072 aggregate."""
+        with pytest.raises(SamplingError, match="aggregate"):
+            quiet_monitor.validate_rates(4, 1024.0)
+
+    def test_paper_protocol_is_legal(self, quiet_monitor):
+        """128 Hz on 4 channels (the paper's setup) is fine."""
+        quiet_monitor.validate_rates(4, 128.0)
+
+    def test_max_legal_configuration(self, quiet_monitor):
+        quiet_monitor.validate_rates(3, 1024.0)  # 3072 aggregate exactly
+
+    def test_rejects_nonpositive_rate(self, quiet_monitor):
+        with pytest.raises(SamplingError):
+            quiet_monitor.validate_rates(1, 0.0)
+
+
+class TestAcquisition:
+    def test_sample_count(self, quiet_monitor, trace, rng):
+        samples = quiet_monitor.acquire(
+            trace, gpu_rails(), sample_hz=128.0, rng=rng
+        )
+        expected = int(np.floor(trace.duration * 128.0))
+        assert samples.n_samples == expected
+        assert samples.n_channels == 4
+
+    def test_window_selection(self, quiet_monitor, trace, rng):
+        samples = quiet_monitor.acquire(
+            trace, gpu_rails(), sample_hz=128.0, rng=rng,
+            start=trace.t_plateau_start, duration=trace.active_duration,
+        )
+        # Every sample sits on the plateau: instantaneous power is active.
+        power = samples.instantaneous_power()
+        assert np.allclose(power, 250.0, rtol=1e-3)
+
+    def test_too_short_window(self, quiet_monitor, trace, rng):
+        with pytest.raises(SamplingError, match="no samples"):
+            quiet_monitor.acquire(
+                trace, gpu_rails(), sample_hz=128.0, rng=rng, duration=1e-4
+            )
+
+    def test_negative_window(self, quiet_monitor, trace, rng):
+        with pytest.raises(SamplingError):
+            quiet_monitor.acquire(
+                trace, gpu_rails(), sample_hz=128.0, rng=rng,
+                start=trace.duration + 1.0,
+            )
+
+
+class TestSampleSet:
+    def test_energy_matches_trace(self, quiet_monitor, trace, rng):
+        """Noiselessly sampling the plateau recovers active energy."""
+        samples = quiet_monitor.acquire(
+            trace, gpu_rails(), sample_hz=512.0, rng=rng,
+            start=trace.t_plateau_start, duration=trace.active_duration,
+        )
+        assert samples.total_energy() == pytest.approx(
+            trace.active_energy(), rel=1e-3
+        )
+
+    def test_channel_power_lookup(self, quiet_monitor, trace, rng):
+        samples = quiet_monitor.acquire(
+            trace, gpu_rails(), sample_hz=128.0, rng=rng
+        )
+        total = sum(
+            samples.channel_power(name) for name in samples.channel_names
+        )
+        assert np.allclose(total, samples.instantaneous_power())
+
+    def test_channel_power_unknown_name(self, quiet_monitor, trace, rng):
+        samples = quiet_monitor.acquire(trace, gpu_rails(), sample_hz=128.0, rng=rng)
+        with pytest.raises(SamplingError, match="no channel"):
+            samples.channel_power("nonexistent")
+
+    def test_span(self, quiet_monitor, trace, rng):
+        samples = quiet_monitor.acquire(trace, gpu_rails(), sample_hz=128.0, rng=rng)
+        assert samples.span() == pytest.approx(samples.n_samples / 128.0)
+
+    def test_shape_validation(self):
+        with pytest.raises(SamplingError):
+            SampleSet(
+                timestamps=np.zeros(3),
+                voltages=np.zeros((2, 3)),
+                currents=np.zeros((2, 4)),
+                channel_names=("a", "b"),
+                sample_hz=128.0,
+            )
+        with pytest.raises(SamplingError):
+            SampleSet(
+                timestamps=np.zeros(3),
+                voltages=np.zeros((2, 3)),
+                currents=np.zeros((2, 3)),
+                channel_names=("a",),
+                sample_hz=128.0,
+            )

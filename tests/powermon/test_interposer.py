@@ -1,0 +1,60 @@
+"""PCIe interposer: slot-power visibility analysis."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import MeasurementError
+from repro.powermon.channels import atx_cpu_rails, gpu_rails
+from repro.powermon.interposer import PCIeInterposer
+
+
+@pytest.fixture
+def interposer() -> PCIeInterposer:
+    return PCIeInterposer(rails=gpu_rails())
+
+
+class TestSlotPower:
+    def test_slot_power_is_sum_of_slot_rails(self, interposer):
+        power = np.array([200.0])
+        split = interposer.rails.split_power(power)
+        expected = sum(
+            p[0]
+            for p, c in zip(split, interposer.rails.channels)
+            if "slot" in c.name
+        )
+        assert interposer.slot_power(power)[0] == pytest.approx(expected)
+
+    def test_slot_power_saturates(self, interposer):
+        """At high draw the slot contribution caps near the PCIe budget."""
+        low = interposer.slot_power(np.array([100.0]))[0]
+        high = interposer.slot_power(np.array([400.0]))[0]
+        assert high <= 9.9 + 66.0 + 1e-9
+        assert high > low
+
+    def test_slot_within_spec_always(self, interposer):
+        power = np.linspace(0.0, 500.0, 100)
+        assert interposer.slot_within_spec(power)
+
+
+class TestUndercount:
+    def test_undercount_fraction_positive(self, interposer):
+        """Without the interposer a real fraction of GPU energy is missed —
+        the §IV-A motivation for building it."""
+        power = np.full(100, 250.0)
+        fraction = interposer.undercount_fraction(power)
+        assert 0.05 < fraction < 0.5
+
+    def test_zero_power_zero_undercount(self, interposer):
+        assert interposer.undercount_fraction(np.zeros(5)) == 0.0
+
+    def test_empty_rejected(self, interposer):
+        with pytest.raises(MeasurementError):
+            interposer.undercount_fraction(np.array([]))
+
+
+class TestValidation:
+    def test_requires_slot_channels(self):
+        with pytest.raises(MeasurementError, match="slot"):
+            PCIeInterposer(rails=atx_cpu_rails())

@@ -1,0 +1,117 @@
+"""MeasurementSession: the full §IV-A protocol end to end."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import NOISELESS, MeasurementProtocol, NoiseProfile
+from repro.exceptions import MeasurementError, SamplingError
+from repro.powermon.channels import gpu_rails
+from repro.powermon.session import MeasurementSession
+from repro.simulator.device import SimulatedDevice, gtx580_truth
+from repro.simulator.kernel import KernelSpec, Precision
+
+
+@pytest.fixture
+def device() -> SimulatedDevice:
+    return SimulatedDevice(gtx580_truth())
+
+
+def sized_kernel(device: SimulatedDevice, intensity: float = 4.0) -> KernelSpec:
+    """~50 ms per repetition on the GTX 580: plenty of samples."""
+    return KernelSpec.from_intensity(
+        intensity,
+        work=5e10,
+        precision=Precision.SINGLE,
+        launch=device.truth.tuning.optimal_launch,
+    )
+
+
+class TestMeasurement:
+    def test_noiseless_measurement_recovers_truth(self, device):
+        session = MeasurementSession(device, gpu_rails(), noise=NOISELESS)
+        kernel = sized_kernel(device)
+        m = session.measure(kernel)
+        assert m.time == pytest.approx(m.truth.time, rel=1e-6)
+        assert m.energy == pytest.approx(m.truth.energy, rel=1e-3)
+        assert m.average_power == pytest.approx(m.truth.average_power, rel=1e-3)
+
+    def test_noisy_measurement_close_to_truth(self, device):
+        session = MeasurementSession(device, gpu_rails())
+        m = session.measure(sized_kernel(device))
+        assert m.energy == pytest.approx(m.truth.energy, rel=0.05)
+
+    def test_derived_metrics(self, device):
+        session = MeasurementSession(device, gpu_rails(), noise=NOISELESS)
+        m = session.measure(sized_kernel(device))
+        assert m.achieved_gflops == pytest.approx(
+            m.kernel.work / m.time / 1e9
+        )
+        assert m.gflops_per_joule == pytest.approx(m.kernel.work / m.energy / 1e9)
+
+    def test_to_energy_sample(self, device):
+        session = MeasurementSession(device, gpu_rails(), noise=NOISELESS)
+        m = session.measure(sized_kernel(device))
+        sample = m.to_energy_sample()
+        assert sample.work == m.kernel.work
+        assert sample.energy == m.energy
+        assert not sample.double_precision
+
+    def test_too_small_kernel_rejected(self, device):
+        """A kernel too quick for the sampler raises, as on real hardware."""
+        session = MeasurementSession(device, gpu_rails())
+        tiny = KernelSpec.from_intensity(4.0, work=1e6, precision=Precision.SINGLE)
+        with pytest.raises(MeasurementError, match="too sparse"):
+            session.measure(tiny)
+
+    def test_measure_many(self, device):
+        session = MeasurementSession(device, gpu_rails(), noise=NOISELESS)
+        kernels = [sized_kernel(device, i) for i in (1.0, 4.0)]
+        results = session.measure_many(kernels)
+        assert len(results) == 2
+        assert results[0].kernel.intensity < results[1].kernel.intensity
+
+    def test_measure_many_cache_traffic_mismatch(self, device):
+        session = MeasurementSession(device, gpu_rails())
+        with pytest.raises(MeasurementError):
+            session.measure_many([sized_kernel(device)], cache_traffic=[1.0, 2.0])
+
+
+class TestProtocolInteraction:
+    def test_protocol_rate_validated_at_construction(self, device):
+        hot = MeasurementProtocol(sample_hz=1024.0)  # 4 ch x 1024 = 4096 Hz
+        with pytest.raises(SamplingError):
+            MeasurementSession(device, gpu_rails(), protocol=hot)
+
+    def test_repetitions_divide_out(self, device):
+        few = MeasurementSession(
+            device, gpu_rails(),
+            protocol=MeasurementProtocol(repetitions=10), noise=NOISELESS,
+        )
+        many = MeasurementSession(
+            device, gpu_rails(),
+            protocol=MeasurementProtocol(repetitions=100), noise=NOISELESS,
+        )
+        kernel = sized_kernel(device)
+        assert few.measure(kernel).energy == pytest.approx(
+            many.measure(kernel).energy, rel=1e-3
+        )
+
+    def test_deterministic_given_seed(self, device):
+        a = MeasurementSession(device, gpu_rails(), seed=42).measure(
+            sized_kernel(device)
+        )
+        b = MeasurementSession(device, gpu_rails(), seed=42).measure(
+            sized_kernel(device)
+        )
+        assert a.energy == b.energy
+        assert a.time == b.time
+
+    def test_different_seeds_differ(self, device):
+        a = MeasurementSession(device, gpu_rails(), seed=1).measure(
+            sized_kernel(device)
+        )
+        b = MeasurementSession(device, gpu_rails(), seed=2).measure(
+            sized_kernel(device)
+        )
+        assert a.energy != b.energy

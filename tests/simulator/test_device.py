@@ -1,0 +1,170 @@
+"""SimulatedDevice: execution timing, energy truth, and throttling."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.exceptions import SimulationError
+from repro.simulator.device import DeviceTruth, SimulatedDevice, gtx580_truth, i7_950_truth
+from repro.simulator.kernel import KernelSpec, Precision
+from repro.simulator.nonideal import NonIdealities
+
+
+@pytest.fixture
+def gpu() -> SimulatedDevice:
+    return SimulatedDevice(gtx580_truth())
+
+
+@pytest.fixture
+def cpu() -> SimulatedDevice:
+    return SimulatedDevice(i7_950_truth())
+
+
+def tuned_kernel(device: SimulatedDevice, intensity: float, precision=Precision.SINGLE):
+    return KernelSpec.from_intensity(
+        intensity, work=1e10, precision=precision,
+        launch=device.truth.tuning.optimal_launch,
+    )
+
+
+class TestTiming:
+    def test_compute_bound_time(self, gpu):
+        kernel = tuned_kernel(gpu, 1000.0, Precision.DOUBLE)
+        result = gpu.execute(kernel)
+        frac = gpu.truth.nonideal_double.flop_fraction
+        expected = 1e10 / (197.63e9 * frac)
+        assert result.time == pytest.approx(expected, rel=1e-6)
+
+    def test_memory_bound_time(self, gpu):
+        kernel = tuned_kernel(gpu, 0.01, Precision.SINGLE)
+        result = gpu.execute(kernel)
+        frac = gpu.truth.nonideal_single.bandwidth_fraction
+        expected = kernel.traffic / (192.4e9 * frac)
+        assert result.time == pytest.approx(expected, rel=1e-6)
+
+    def test_bad_launch_is_slower(self, gpu):
+        from repro.simulator.kernel import LaunchConfig
+
+        good = tuned_kernel(gpu, 100.0)
+        bad = good.with_launch(LaunchConfig(threads_per_block=1, blocks=1,
+                                            requests_per_thread=1, unroll=1))
+        assert gpu.execute(bad).time > gpu.execute(good).time
+
+    def test_efficiency_override(self, gpu):
+        kernel = tuned_kernel(gpu, 100.0)
+        half = gpu.execute(kernel, efficiency=0.5)
+        full = gpu.execute(kernel, efficiency=1.0)
+        assert half.time == pytest.approx(2 * full.time, rel=0.05)
+
+    def test_efficiency_override_validated(self, gpu):
+        with pytest.raises(SimulationError):
+            gpu.execute(tuned_kernel(gpu, 1.0), efficiency=1.5)
+
+
+class TestEnergyTruth:
+    def test_component_bookkeeping(self, cpu):
+        kernel = tuned_kernel(cpu, 2.0, Precision.DOUBLE)
+        result = cpu.execute(kernel)
+        truth = cpu.truth
+        assert result.energy_flops == pytest.approx(kernel.work * truth.eps_double)
+        assert result.energy_mem == pytest.approx(kernel.traffic * truth.eps_mem)
+        assert result.energy_constant == pytest.approx(truth.pi0 * result.time)
+        assert result.energy == pytest.approx(
+            result.energy_flops + result.energy_mem + result.energy_constant
+        )
+
+    def test_cache_traffic_energy(self, gpu):
+        kernel = tuned_kernel(gpu, 100.0)
+        plain = gpu.execute(kernel)
+        cached = gpu.execute(kernel, cache_traffic=1e9)
+        assert cached.energy_cache == pytest.approx(1e9 * gpu.truth.eps_cache)
+        assert cached.energy > plain.energy
+
+    def test_cache_traffic_validated(self, gpu):
+        with pytest.raises(SimulationError):
+            gpu.execute(tuned_kernel(gpu, 1.0), cache_traffic=-1.0)
+
+    def test_precision_changes_flop_energy(self, gpu):
+        single = gpu.execute(tuned_kernel(gpu, 1000.0, Precision.SINGLE))
+        double = gpu.execute(tuned_kernel(gpu, 1000.0, Precision.DOUBLE))
+        ratio = double.energy_flops / single.energy_flops
+        assert ratio == pytest.approx(212.0 / 99.7, rel=1e-6)
+
+    def test_derived_metrics(self, gpu):
+        result = gpu.execute(tuned_kernel(gpu, 8.0))
+        assert result.average_power == pytest.approx(result.energy / result.time)
+        assert result.achieved_gflops == pytest.approx(
+            result.kernel.work / result.time / 1e9
+        )
+        assert result.flops_per_joule == pytest.approx(
+            result.kernel.work / result.energy
+        )
+
+
+class TestThrottling:
+    def test_gpu_single_throttles_near_balance(self, gpu):
+        result = gpu.execute(tuned_kernel(gpu, 8.0, Precision.SINGLE))
+        assert result.throttled
+        assert result.average_power == pytest.approx(gpu.truth.power_cap, rel=1e-6)
+
+    def test_gpu_single_free_at_low_intensity(self, gpu):
+        result = gpu.execute(tuned_kernel(gpu, 0.25, Precision.SINGLE))
+        assert not result.throttled
+        assert result.throttle_factor == 1.0
+
+    def test_cpu_never_throttles(self, cpu):
+        for intensity in (0.25, 2.0, cpu.truth.spec.b_tau(double_precision=True), 64.0):
+            kernel = KernelSpec.from_intensity(
+                intensity, work=1e9, precision=Precision.DOUBLE,
+                launch=cpu.truth.tuning.optimal_launch,
+            )
+            assert not cpu.execute(kernel).throttled
+
+    def test_throttling_preserves_dynamic_energy(self, gpu):
+        """The cap slows the kernel but the dynamic joules are unchanged."""
+        kernel = tuned_kernel(gpu, 8.0, Precision.SINGLE)
+        result = gpu.execute(kernel)
+        uncapped_truth = dataclasses.replace(gtx580_truth(), power_cap=None)
+        free = SimulatedDevice(uncapped_truth).execute(kernel)
+        assert result.energy_flops + result.energy_mem == pytest.approx(
+            free.energy_flops + free.energy_mem
+        )
+        assert result.energy_constant > free.energy_constant
+
+
+class TestTraceGeneration:
+    def test_trace_levels(self, gpu):
+        result = gpu.execute(tuned_kernel(gpu, 4.0))
+        trace = gpu.trace(result, repetitions=10)
+        assert trace.idle_power == gpu.truth.idle_power
+        assert trace.active_power == pytest.approx(result.average_power)
+        assert trace.active_duration == pytest.approx(10 * result.time)
+
+    def test_trace_rejects_zero_reps(self, gpu):
+        result = gpu.execute(tuned_kernel(gpu, 4.0))
+        with pytest.raises(SimulationError):
+            gpu.trace(result, repetitions=0)
+
+
+class TestCatalogTruths:
+    def test_gpu_truth_paper_constants(self):
+        truth = gtx580_truth()
+        assert truth.eps_single == pytest.approx(99.7e-12)
+        assert truth.eps_double == pytest.approx(212e-12)
+        assert truth.eps_mem == pytest.approx(513e-12)
+        assert truth.pi0 == 122.0
+        assert truth.idle_power == pytest.approx(39.6)
+
+    def test_truth_validation(self):
+        base = gtx580_truth()
+        with pytest.raises(SimulationError):
+            dataclasses.replace(base, pi0=-1.0)
+        with pytest.raises(SimulationError):
+            dataclasses.replace(base, power_cap=50.0)
+
+    def test_peak_helpers(self):
+        truth = gtx580_truth()
+        assert truth.peak_flops(Precision.SINGLE) == pytest.approx(1581.06e9)
+        assert truth.peak_bandwidth == pytest.approx(192.4e9)

@@ -1,0 +1,96 @@
+"""KernelSpec, LaunchConfig, Precision."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.algorithm import AlgorithmProfile
+from repro.exceptions import SimulationError
+from repro.simulator.kernel import KernelSpec, LaunchConfig, Precision
+
+
+class TestPrecision:
+    def test_word_bytes(self):
+        assert Precision.SINGLE.word_bytes == 4
+        assert Precision.DOUBLE.word_bytes == 8
+
+    def test_regression_flag(self):
+        assert Precision.SINGLE.regression_flag == 0.0
+        assert Precision.DOUBLE.regression_flag == 1.0
+
+
+class TestLaunchConfig:
+    def test_defaults_valid(self):
+        launch = LaunchConfig()
+        assert launch.threads_per_block == 256
+
+    def test_rejects_zero_threads(self):
+        with pytest.raises(SimulationError):
+            LaunchConfig(threads_per_block=0)
+
+    def test_rejects_excess_threads(self):
+        with pytest.raises(SimulationError):
+            LaunchConfig(threads_per_block=2048)
+
+    def test_rejects_non_int(self):
+        with pytest.raises(SimulationError):
+            LaunchConfig(unroll=2.5)  # type: ignore[arg-type]
+
+    def test_neighbors_double_and_halve(self):
+        launch = LaunchConfig(
+            threads_per_block=256, blocks=64, requests_per_thread=4, unroll=8
+        )
+        neighbors = launch.neighbors()
+        assert LaunchConfig(512, 64, 4, 8) in neighbors
+        assert LaunchConfig(128, 64, 4, 8) in neighbors
+        assert LaunchConfig(256, 128, 4, 8) in neighbors
+        assert LaunchConfig(256, 64, 2, 8) in neighbors
+        assert len(neighbors) == 8
+
+    def test_neighbors_respect_limits(self):
+        launch = LaunchConfig(threads_per_block=1024, blocks=1,
+                              requests_per_thread=1, unroll=1)
+        for n in launch.neighbors():
+            assert 1 <= n.threads_per_block <= 1024
+            assert n.blocks >= 1
+
+
+class TestKernelSpec:
+    def test_intensity(self):
+        kernel = KernelSpec("k", work=800.0, traffic=200.0)
+        assert kernel.intensity == 4.0
+
+    def test_traffic_free_kernel(self):
+        kernel = KernelSpec("k", work=100.0, traffic=0.0)
+        assert kernel.intensity == math.inf
+
+    def test_rejects_zero_work(self):
+        with pytest.raises(SimulationError):
+            KernelSpec("k", work=0.0, traffic=10.0)
+
+    def test_rejects_negative_traffic(self):
+        with pytest.raises(SimulationError):
+            KernelSpec("k", work=1.0, traffic=-1.0)
+
+    def test_profile_bridge(self):
+        kernel = KernelSpec("k", work=100.0, traffic=50.0)
+        profile = kernel.profile
+        assert isinstance(profile, AlgorithmProfile)
+        assert profile.work == 100.0 and profile.traffic == 50.0
+
+    def test_from_intensity(self):
+        kernel = KernelSpec.from_intensity(4.0, work=1000.0)
+        assert kernel.intensity == pytest.approx(4.0)
+        assert kernel.precision is Precision.SINGLE
+
+    def test_from_intensity_rejects_nonpositive(self):
+        with pytest.raises(SimulationError):
+            KernelSpec.from_intensity(-1.0)
+
+    def test_with_launch(self):
+        kernel = KernelSpec("k", work=1.0, traffic=1.0)
+        new_launch = LaunchConfig(threads_per_block=64)
+        assert kernel.with_launch(new_launch).launch == new_launch
+        assert kernel.launch != new_launch  # original untouched

@@ -1,0 +1,98 @@
+"""Achieved fractions and the tuning-efficiency landscape."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.exceptions import SimulationError
+from repro.simulator.kernel import LaunchConfig
+from repro.simulator.nonideal import NonIdealities, TuningModel
+
+
+launch_strategy = st.builds(
+    LaunchConfig,
+    threads_per_block=st.sampled_from([1, 32, 64, 128, 256, 512, 1024]),
+    blocks=st.integers(1, 4096),
+    requests_per_thread=st.integers(1, 64),
+    unroll=st.integers(1, 64),
+)
+
+
+class TestNonIdealities:
+    def test_defaults_are_ideal(self):
+        frac = NonIdealities()
+        assert frac.flop_fraction == 1.0 and frac.bandwidth_fraction == 1.0
+
+    def test_rejects_zero(self):
+        with pytest.raises(SimulationError):
+            NonIdealities(flop_fraction=0.0)
+
+    def test_rejects_above_one(self):
+        with pytest.raises(SimulationError):
+            NonIdealities(bandwidth_fraction=1.1)
+
+
+class TestTuningModel:
+    def test_optimal_launch_has_unit_efficiency(self):
+        model = TuningModel()
+        assert model.efficiency(model.optimal_launch) == pytest.approx(1.0)
+
+    @given(launch=launch_strategy)
+    def test_efficiency_bounded(self, launch):
+        model = TuningModel()
+        eff = model.efficiency(launch)
+        assert 0.0 < eff <= 1.0
+
+    def test_occupancy_peaks_at_best_threads(self):
+        model = TuningModel(best_threads=256)
+        assert model.occupancy(256) == 1.0
+        assert model.occupancy(32) < 1.0
+        assert model.occupancy(1024) < 1.0
+
+    def test_occupancy_symmetric_in_log(self):
+        model = TuningModel(best_threads=256)
+        assert model.occupancy(128) == pytest.approx(model.occupancy(512))
+
+    def test_grid_saturates(self):
+        model = TuningModel(min_blocks=64)
+        assert model.grid_utilization(32) == 0.5
+        assert model.grid_utilization(64) == 1.0
+        assert model.grid_utilization(1024) == 1.0
+
+    def test_mlp_penalises_oversubscription(self):
+        model = TuningModel(best_requests=8)
+        assert model.mlp(8) == 1.0
+        assert model.mlp(4) == 0.5
+        assert model.mlp(16) == pytest.approx(0.95)
+        assert model.mlp(32) == pytest.approx(0.90)
+
+    def test_ilp_saturates(self):
+        model = TuningModel(best_unroll=8)
+        assert model.ilp(8) == 1.0
+        assert model.ilp(16) == 1.0
+        assert model.ilp(2) == 0.25
+
+    def test_floor_prevents_zero(self):
+        model = TuningModel(floor=0.05)
+        worst = LaunchConfig(threads_per_block=1, blocks=1,
+                             requests_per_thread=1, unroll=1)
+        assert model.efficiency(worst) > 0.0
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(SimulationError):
+            TuningModel(best_threads=0)
+        with pytest.raises(SimulationError):
+            TuningModel(occupancy_width=0.0)
+        with pytest.raises(SimulationError):
+            TuningModel(floor=1.5)
+
+    def test_unimodality_along_threads(self):
+        """Efficiency along the threads axis rises then falls — the
+        property greedy tuning relies on."""
+        model = TuningModel(best_threads=256)
+        values = [model.occupancy(2**k) for k in range(0, 11)]
+        peak = values.index(max(values))
+        assert all(values[i] <= values[i + 1] + 1e-12 for i in range(peak))
+        assert all(values[i] >= values[i + 1] - 1e-12 for i in range(peak, len(values) - 1))

@@ -1,0 +1,107 @@
+"""PowerTrace: piecewise shape and exact integrability."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import SimulationError
+from repro.simulator.trace import PowerTrace
+
+
+def trace(**overrides) -> PowerTrace:
+    defaults = dict(
+        idle_power=40.0, active_power=250.0, active_duration=2.0,
+        ramp=0.01, lead=0.1,
+    )
+    defaults.update(overrides)
+    return PowerTrace(**defaults)
+
+
+class TestShape:
+    def test_idle_before_and_after(self):
+        t = trace()
+        assert t.power_at(0.0) == 40.0
+        assert t.power_at(t.duration - 1e-6) == 40.0
+
+    def test_plateau_level(self):
+        t = trace()
+        mid = (t.t_plateau_start + t.t_plateau_end) / 2
+        assert t.power_at(mid) == 250.0
+
+    def test_ramp_midpoint(self):
+        t = trace()
+        halfway = t.t_rise_start + t.ramp / 2
+        assert t.power_at(halfway) == pytest.approx((40.0 + 250.0) / 2)
+
+    def test_fall_is_symmetric(self):
+        t = trace()
+        up = t.power_at(t.t_rise_start + 0.25 * t.ramp)
+        down = t.power_at(t.t_plateau_end + 0.75 * t.ramp)
+        assert up == pytest.approx(down)
+
+    def test_vectorised_evaluation(self):
+        t = trace()
+        times = np.linspace(0, t.duration, 1000)
+        powers = t.power_at(times)
+        assert powers.shape == times.shape
+        assert powers.min() >= 40.0 - 1e-9
+        assert powers.max() <= 250.0 + 1e-9
+
+    def test_zero_ramp(self):
+        t = trace(ramp=0.0)
+        assert t.power_at(t.t_plateau_start) == 250.0
+        assert t.power_at(t.t_plateau_start - 1e-9) == 40.0
+
+    def test_segment_boundaries(self):
+        t = trace()
+        assert t.t_rise_start == pytest.approx(0.1)
+        assert t.t_plateau_start == pytest.approx(0.11)
+        assert t.t_plateau_end == pytest.approx(2.11)
+        assert t.duration == pytest.approx(2.22)
+
+
+class TestEnergy:
+    @settings(max_examples=60)
+    @given(
+        idle=st.floats(0.0, 100.0),
+        active=st.floats(0.0, 500.0),
+        duration=st.floats(0.01, 100.0),
+        ramp=st.floats(0.0, 0.5),
+        lead=st.floats(0.0, 1.0),
+    )
+    def test_true_energy_matches_numeric_integral(
+        self, idle, active, duration, ramp, lead
+    ):
+        t = PowerTrace(
+            idle_power=idle, active_power=active, active_duration=duration,
+            ramp=ramp, lead=lead,
+        )
+        times = np.linspace(0.0, t.duration, 200_001)
+        numeric = float(np.trapezoid(t.power_at(times), times))
+        # abs term covers the half-sample edge effect at segment boundaries
+        # of the Riemann sum when the closed-form energy is ~0.
+        step = t.duration / 200_000
+        assert t.true_energy() == pytest.approx(
+            numeric, rel=1e-3, abs=3.0 * (idle + active) * step + 1e-12
+        )
+
+    def test_active_energy(self):
+        t = trace()
+        assert t.active_energy() == pytest.approx(250.0 * 2.0)
+
+
+class TestValidation:
+    def test_rejects_negative_power(self):
+        with pytest.raises(SimulationError):
+            trace(idle_power=-1.0)
+
+    def test_rejects_zero_duration(self):
+        with pytest.raises(SimulationError):
+            trace(active_duration=0.0)
+
+    def test_rejects_negative_ramp(self):
+        with pytest.raises(SimulationError):
+            trace(ramp=-0.1)

@@ -1,0 +1,166 @@
+"""Cache simulator: LRU mechanics and FMM traffic-model validation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cachesim import CacheHierarchy, CacheLevel, simulate_ulist_traffic
+from repro.exceptions import SimulationError
+from repro.fmm.points import uniform_cloud
+from repro.fmm.tree import Octree
+from repro.fmm.ulist import build_ulist
+from repro.fmm.variants import MemoryPath, Variant, reference_variant
+
+
+class TestCacheLevel:
+    def test_cold_miss_then_hit(self):
+        cache = CacheLevel("L1", size_bytes=1024, ways=2, line_bytes=64)
+        assert not cache.access(5)
+        assert cache.access(5)
+        assert cache.accesses == 2 and cache.hits == 1
+
+    def test_lru_eviction_order(self):
+        # 1 set, 2 ways: the least recently used line goes first.
+        cache = CacheLevel("L1", size_bytes=128, ways=2, line_bytes=64)
+        cache.access(0)
+        cache.access(1)
+        cache.access(0)  # 0 is now MRU
+        cache.access(2)  # evicts 1
+        assert cache.access(0)      # still resident
+        assert not cache.access(1)  # was evicted
+
+    def test_set_mapping_isolates_conflicts(self):
+        # 2 sets: even and odd lines never conflict.
+        cache = CacheLevel("L1", size_bytes=256, ways=2, line_bytes=64)
+        for line in (0, 2, 4, 6):  # all map to set 0; capacity 2
+            cache.access(line)
+        assert not cache.access(0)  # evicted by 4, 6
+        assert cache.access(1) is False and cache.access(1)  # odd set untouched
+
+    def test_geometry_validation(self):
+        with pytest.raises(SimulationError):
+            CacheLevel("bad", size_bytes=1000, ways=3, line_bytes=64)
+        with pytest.raises(SimulationError):
+            CacheLevel("bad", size_bytes=0, ways=1, line_bytes=64)
+
+    def test_reset(self):
+        cache = CacheLevel("L1", size_bytes=1024, ways=2, line_bytes=64)
+        cache.access(1)
+        cache.reset()
+        assert cache.accesses == 0
+        assert not cache.access(1)  # cold again
+
+
+class TestHierarchy:
+    def test_l2_sees_only_l1_misses(self):
+        h = CacheHierarchy.gtx580_like()
+        h.access_line(1)
+        h.access_line(1)
+        h.access_line(1)
+        assert h.l1.accesses == 3
+        assert h.l2.accesses == 1  # only the cold miss
+        assert h.dram_lines == 1
+
+    def test_l1_evictee_hits_l2(self):
+        h = CacheHierarchy(
+            CacheLevel("L1", size_bytes=128, ways=1, line_bytes=128),
+            CacheLevel("L2", size_bytes=1024, ways=8, line_bytes=128),
+        )
+        h.access_line(0)
+        h.access_line(1)  # evicts 0 from the 1-line L1
+        h.access_line(0)  # L1 miss, L2 hit
+        assert h.dram_lines == 2
+        assert h.l2.hits == 1
+
+    def test_access_bytes_spans_lines(self):
+        h = CacheHierarchy.gtx580_like()
+        h.access_bytes(120, 16)  # crosses the 128 B boundary
+        assert h.l1.accesses == 2
+
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            CacheHierarchy(
+                CacheLevel("L1", size_bytes=1024, ways=2, line_bytes=64),
+                CacheLevel("L2", size_bytes=1024, ways=2, line_bytes=128),
+            )
+        with pytest.raises(SimulationError):
+            CacheHierarchy(
+                CacheLevel("L1", size_bytes=2048, ways=2, line_bytes=64),
+                CacheLevel("L2", size_bytes=1024, ways=2, line_bytes=64),
+            )
+        h = CacheHierarchy.gtx580_like()
+        with pytest.raises(SimulationError):
+            h.access_bytes(0, 0)
+
+
+@pytest.fixture(scope="module")
+def geometry():
+    positions, densities = uniform_cloud(1500, seed=7)
+    tree = Octree.build(positions, densities, leaf_capacity=48)
+    return tree, build_ulist(tree)
+
+
+class TestFmmTraceValidation:
+    """The analytic counter model's shape assumptions, checked against a
+    mechanism.  Absolute constants are calibrated for paper-scale
+    problems; the *shapes* must already hold at miniature scale."""
+
+    @pytest.fixture(scope="class")
+    def reference_trace(self, geometry):
+        tree, ulist = geometry
+        return simulate_ulist_traffic(tree, ulist, reference_variant())
+
+    def test_pairs_match_counter_model(self, reference_trace):
+        assert reference_trace.pairs == reference_trace.modelled.pairs
+
+    def test_l1_traffic_scales_with_pairs(self, reference_trace):
+        """A few bytes per interaction through L1, same order as modelled."""
+        measured = reference_trace.measured_l1_bytes_per_pair
+        modelled = reference_trace.modelled_l1_bytes_per_pair
+        assert 2.0 < measured < 20.0
+        assert 0.5 < measured / modelled < 2.0
+
+    def test_refill_ratio_in_modelled_range(self, reference_trace):
+        """The L2/L1 byte ratio lands inside the model's clamp range."""
+        assert 0.15 <= reference_trace.measured_refill_ratio <= 0.9
+
+    def test_dram_at_least_compulsory(self, geometry, reference_trace):
+        tree, _ = geometry
+        compulsory = tree.n_points * 16  # every record read at least once
+        assert reference_trace.measured.dram_bytes >= compulsory * 0.9
+
+    def test_dram_far_below_cache_traffic(self, reference_trace):
+        """Reuse works: DRAM bytes are a small fraction of L1 bytes."""
+        assert reference_trace.measured.dram_bytes < (
+            reference_trace.measured.l1_bytes / 10
+        )
+
+    def test_refetch_falls_with_block_size(self):
+        """The counter model's _dram_refetch_factor claims bigger target
+        blocks re-fetch less.  Validated under capacity pressure (caches
+        scaled to the miniature problem, standard simulation practice)."""
+        positions, densities = uniform_cloud(4000, seed=7)
+        tree = Octree.build(positions, densities, leaf_capacity=128)
+        ulist = build_ulist(tree)
+
+        def scaled_hierarchy():
+            return CacheHierarchy(
+                CacheLevel("L1", size_bytes=2 * 1024, ways=4, line_bytes=128),
+                CacheLevel("L2", size_bytes=32 * 1024, ways=16, line_bytes=128),
+            )
+
+        dram = {}
+        for tpb in (32, 128):
+            variant = Variant(f"v{tpb}", MemoryPath.L1L2, tpb, 32, 1, 1)
+            result = simulate_ulist_traffic(
+                tree, ulist, variant, hierarchy=scaled_hierarchy()
+            )
+            dram[tpb] = result.measured.dram_bytes
+        assert dram[128] < dram[32]
+
+    def test_shared_path_rejected(self, geometry):
+        tree, ulist = geometry
+        with pytest.raises(SimulationError):
+            simulate_ulist_traffic(
+                tree, ulist, Variant("s", MemoryPath.SHARED, 128, 32, 1, 1)
+            )

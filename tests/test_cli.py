@@ -1,0 +1,143 @@
+"""CLI subcommands via main()."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def run_cli(capsys, *argv: str) -> tuple[int, str, str]:
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out, captured.err
+
+
+class TestMachines:
+    def test_lists_catalog(self, capsys):
+        code, out, _ = run_cli(capsys, "machines")
+        assert code == 0
+        assert "GTX 580" in out and "i7-950" in out and "Keckler" in out
+
+
+class TestDescribe:
+    def test_describe_known(self, capsys):
+        code, out, _ = run_cli(capsys, "describe", "gtx580-double")
+        assert code == 0
+        assert "B_tau" in out and "race-to-halt" in out
+
+    def test_describe_unknown_fails_cleanly(self, capsys):
+        code, _, err = run_cli(capsys, "describe", "nonexistent")
+        assert code == 1
+        assert "error:" in err
+
+
+class TestCurves:
+    def test_all_curves(self, capsys):
+        code, out, _ = run_cli(capsys, "curves", "keckler-fermi")
+        assert code == 0
+        assert "Roofline" in out and "Arch line" in out and "powerline" in out
+
+    def test_single_kind(self, capsys):
+        code, out, _ = run_cli(capsys, "curves", "gtx580-double", "--kind", "archline")
+        assert code == 0
+        assert "Arch line" in out and "Roofline" not in out
+
+    def test_csv_export(self, capsys, tmp_path):
+        target = tmp_path / "curves.csv"
+        code, out, _ = run_cli(
+            capsys, "curves", "gtx580-double", "--csv", str(target)
+        )
+        assert code == 0
+        assert target.exists()
+        assert target.read_text().startswith("series,intensity,value")
+
+    def test_svg_export(self, capsys, tmp_path):
+        import xml.etree.ElementTree as ET
+
+        target = tmp_path / "chart.svg"
+        code, _, _ = run_cli(
+            capsys, "curves", "keckler-fermi", "--svg", str(target)
+        )
+        assert code == 0
+        ET.parse(target)
+
+
+class TestExperiments:
+    def test_list(self, capsys):
+        code, out, _ = run_cli(capsys, "experiment", "list")
+        assert code == 0
+        for eid in ("table2", "fig2", "greenup"):
+            assert eid in out
+
+    def test_run_analytic(self, capsys):
+        code, out, _ = run_cli(capsys, "experiment", "run", "table2")
+        assert code == 0
+        assert "Table II" in out
+
+    def test_run_unknown(self, capsys):
+        code, _, err = run_cli(capsys, "experiment", "run", "fig99")
+        assert code == 1
+        assert "unknown experiment" in err
+
+    def test_run_with_output_archive(self, capsys, tmp_path):
+        import json
+
+        out_dir = tmp_path / "results"
+        code, out, _ = run_cli(
+            capsys, "experiment", "run", "table2", "--output", str(out_dir)
+        )
+        assert code == 0
+        assert (out_dir / "table2.txt").exists()
+        payload = json.loads((out_dir / "table2.json").read_text())
+        assert payload["values"]["b_eps"] == pytest.approx(14.4, abs=0.01)
+        assert "archived" in out
+
+
+class TestFit:
+    def test_fit_from_csv(self, capsys, tmp_path):
+        # Build a tiny synthetic dataset satisfying eq. (9) exactly.
+        rows = ["work,traffic,time,energy,double"]
+        eps_s, eps_mem, pi0, delta = 1e-10, 5e-10, 50.0, 1e-10
+        for double in (0, 1):
+            for intensity in (0.5, 1.0, 2.0, 4.0, 8.0):
+                work = 1e10
+                traffic = work / intensity
+                time = max(work / 1e12, traffic / 2e11)
+                energy = work * (eps_s + delta * double) + traffic * eps_mem + pi0 * time
+                rows.append(f"{work},{traffic},{time},{energy},{double}")
+        path = tmp_path / "samples.csv"
+        path.write_text("\n".join(rows))
+
+        code, out, _ = run_cli(capsys, "fit", str(path))
+        assert code == 0
+        assert "eps_mem" in out and "R^2" in out
+
+    def test_fit_missing_columns(self, capsys, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("a,b\n1,2\n")
+        code, _, err = run_cli(capsys, "fit", str(path))
+        assert code == 1
+        assert "columns" in err
+
+
+class TestTradeoff:
+    def test_frontier_table(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "tradeoff", "gtx580-double", "--intensity", "0.5",
+            "--m", "2", "4",
+        )
+        assert code == 0
+        assert "f* eq.(10)" in out
+        assert out.count("\n") >= 3
+
+
+class TestParser:
+    def test_parser_builds(self):
+        parser = build_parser()
+        args = parser.parse_args(["machines"])
+        assert args.command == "machines"
+
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])

@@ -1,0 +1,220 @@
+"""Cluster extension: distributed workloads and strong-scaling energy."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import (
+    ClusterModel,
+    DistributedWorkload,
+    allreduce_workload,
+    stencil_halo_workload,
+    summa_matmul_workload,
+)
+from repro.exceptions import ParameterError, ProfileError
+from repro.machines.catalog import i7_950_double
+
+
+@pytest.fixture
+def node():
+    return i7_950_double()
+
+
+@pytest.fixture
+def cluster(node) -> ClusterModel:
+    # A ~QDR-InfiniBand-class interconnect: 4 GB/s per node, 1 nJ/B.
+    return ClusterModel(node, net_bandwidth=4e9, eps_net=1e-9)
+
+
+@pytest.fixture
+def gated_cluster() -> ClusterModel:
+    """Nodes without constant power: the Demmel setting."""
+    return ClusterModel(
+        i7_950_double().with_constant_power(0.0),
+        net_bandwidth=4e9,
+        eps_net=1e-9,
+    )
+
+
+class TestWorkloads:
+    def test_single_node_needs_no_network(self):
+        for workload in (
+            summa_matmul_workload(1024),
+            stencil_halo_workload(128),
+            allreduce_workload(1_000_000),
+        ):
+            assert workload.net_traffic(1) == 0.0
+
+    def test_node_profile_splits_evenly(self):
+        workload = summa_matmul_workload(512)
+        share = workload.node_profile(4)
+        assert share.work == pytest.approx(workload.work / 4)
+        assert share.traffic == pytest.approx(workload.local_traffic / 4)
+
+    def test_summa_network_grows_as_sqrt_p(self):
+        workload = summa_matmul_workload(1024)
+        assert workload.net_traffic(16) / workload.net_traffic(4) == pytest.approx(
+            2.0
+        )
+
+    def test_stencil_network_grows_as_cbrt_p(self):
+        workload = stencil_halo_workload(256)
+        assert workload.net_traffic(64) / workload.net_traffic(8) == pytest.approx(
+            2.0
+        )
+
+    def test_allreduce_network_grows_linearly(self):
+        workload = allreduce_workload(1_000_000)
+        assert workload.net_traffic(9) / workload.net_traffic(3) == pytest.approx(
+            4.0
+        )
+
+    def test_validation(self):
+        with pytest.raises(ProfileError):
+            DistributedWorkload("bad", work=0.0, local_traffic=1.0,
+                                net_traffic=lambda p: 0.0)
+        with pytest.raises(ProfileError):
+            DistributedWorkload("bad", work=1.0, local_traffic=1.0,
+                                net_traffic=lambda p: 5.0)  # net at p=1
+        workload = summa_matmul_workload(64)
+        with pytest.raises(ProfileError):
+            workload.node_profile(0)
+
+
+class TestTimeModel:
+    def test_single_node_matches_core_model(self, cluster, node):
+        from repro.core.time_model import TimeModel
+
+        workload = summa_matmul_workload(1024)
+        expected = TimeModel(node).time(workload.node_profile(1))
+        assert cluster.time(workload, 1) == pytest.approx(expected)
+
+    def test_perfect_speedup_while_communication_hidden(self, cluster):
+        workload = summa_matmul_workload(4096)
+        assert cluster.speedup(workload, 4) == pytest.approx(4.0, rel=1e-6)
+
+    def test_speedup_never_exceeds_p(self, cluster):
+        workload = summa_matmul_workload(1024)
+        for p in (2, 4, 16, 64, 256):
+            assert cluster.speedup(workload, p) <= p * (1 + 1e-9)
+
+    def test_network_eventually_dominates(self, cluster):
+        """At extreme p, time is pinned by per-node network volume."""
+        workload = summa_matmul_workload(512)
+        p = 1 << 14
+        expected = workload.net_bytes_per_node(p) / cluster.net_bandwidth
+        assert cluster.time(workload, p) == pytest.approx(expected)
+
+    def test_p_validated(self, cluster):
+        with pytest.raises(ParameterError):
+            cluster.time(summa_matmul_workload(64), 0)
+
+
+class TestEnergyScaling:
+    def test_constant_energy_invariant_under_perfect_scaling(self, cluster):
+        """The key identity: while T(p) = T(1)/p, the p·pi0·T(p) term is
+        p-invariant — scaling out is free in constant energy."""
+        workload = summa_matmul_workload(4096)
+        e1 = cluster.evaluate(workload, 1)
+        e4 = cluster.evaluate(workload, 4)
+        assert e4.energy_constant == pytest.approx(e1.energy_constant, rel=1e-6)
+
+    def test_energy_flat_region_exists(self, gated_cluster):
+        """Demmel et al.: within the flat range, more nodes cost ~no
+        extra energy while cutting time by p."""
+        workload = summa_matmul_workload(8192)
+        ratio = gated_cluster.energy_ratio(workload, 16)
+        assert ratio < 1.05
+        assert gated_cluster.speedup(workload, 16) == pytest.approx(16.0, rel=1e-6)
+
+    def test_energy_eventually_grows(self, gated_cluster):
+        workload = summa_matmul_workload(1024)
+        assert gated_cluster.energy_ratio(workload, 1 << 12) > 1.5
+
+    def test_energy_monotone_in_p(self, cluster):
+        workload = summa_matmul_workload(2048)
+        energies = [cluster.evaluate(workload, p).energy for p in (1, 2, 4, 8, 16, 64, 256)]
+        assert all(a <= b * (1 + 1e-9) for a, b in zip(energies, energies[1:]))
+
+    def test_allreduce_flat_range_smaller_than_summa(self, gated_cluster):
+        """Linear network growth kills the flat range much sooner than
+        sqrt growth — the workload-dependence of the Demmel result."""
+        summa_limit = gated_cluster.energy_flat_limit(summa_matmul_workload(4096))
+        allreduce_limit = gated_cluster.energy_flat_limit(
+            allreduce_workload(50_000_000)
+        )
+        assert allreduce_limit < summa_limit
+
+    def test_energy_flat_limit_is_tight(self, gated_cluster):
+        workload = summa_matmul_workload(2048)
+        limit = gated_cluster.energy_flat_limit(workload, tolerance=0.10)
+        budget = 1.10 * gated_cluster.evaluate(workload, 1).energy
+        assert gated_cluster.evaluate(workload, limit).energy <= budget
+        if limit < gated_cluster.max_nodes:
+            assert gated_cluster.evaluate(workload, limit + 1).energy > budget
+
+    def test_describe_scaling(self, cluster):
+        text = cluster.describe_scaling(
+            summa_matmul_workload(1024), [1, 4, 16, 64]
+        )
+        assert "speedup" in text and "E(p)/E(1)" in text
+        assert text.count("\n") == 5
+
+
+class TestProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        n=st.integers(256, 4096),
+        p=st.sampled_from([1, 2, 4, 8, 16, 64, 256]),
+        pi0_scale=st.floats(0.0, 2.0),
+    )
+    def test_speedup_bounded_and_energy_grows(self, n, p, pi0_scale):
+        node = i7_950_double()
+        node = node.with_constant_power(node.pi0 * pi0_scale)
+        cluster = ClusterModel(node, net_bandwidth=4e9, eps_net=1e-9)
+        workload = summa_matmul_workload(n)
+        assert cluster.speedup(workload, p) <= p * (1 + 1e-9)
+        assert cluster.energy_ratio(workload, p) >= 1.0 - 1e-9
+
+    @settings(max_examples=30, deadline=None)
+    @given(n=st.integers(512, 4096), p=st.sampled_from([2, 4, 16, 64]))
+    def test_network_energy_accounted_exactly(self, n, p):
+        cluster = ClusterModel(
+            i7_950_double(), net_bandwidth=4e9, eps_net=1e-9
+        )
+        workload = summa_matmul_workload(n)
+        point = cluster.evaluate(workload, p)
+        assert point.energy_net == pytest.approx(
+            workload.net_traffic(p) * 1e-9
+        )
+
+    @settings(max_examples=30, deadline=None)
+    @given(p=st.sampled_from([2, 4, 8, 32, 128]))
+    def test_free_network_restores_flat_scaling(self, p):
+        """With eps_net = 0 and pi0 = 0, strong scaling is energy-flat at
+        every p — the model's cleanest invariant."""
+        cluster = ClusterModel(
+            i7_950_double().with_constant_power(0.0),
+            net_bandwidth=4e9,
+            eps_net=0.0,
+        )
+        workload = summa_matmul_workload(2048)
+        assert cluster.energy_ratio(workload, p) == pytest.approx(1.0)
+
+
+class TestValidation:
+    def test_model_validation(self, node):
+        with pytest.raises(ParameterError):
+            ClusterModel(node, net_bandwidth=0.0, eps_net=1e-9)
+        with pytest.raises(ParameterError):
+            ClusterModel(node, net_bandwidth=1e9, eps_net=-1.0)
+        with pytest.raises(ParameterError):
+            ClusterModel(node, net_bandwidth=1e9, eps_net=1e-9, max_nodes=0)
+
+    def test_empty_scaling_list(self, cluster):
+        with pytest.raises(ParameterError):
+            cluster.strong_scaling(summa_matmul_workload(64), [])

@@ -1,0 +1,77 @@
+"""Iso-energy-efficiency curves."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import ClusterModel, summa_matmul_workload
+from repro.cluster.iso import IsoEfficiencyAnalyzer
+from repro.exceptions import ParameterError
+from repro.machines.catalog import i7_950_double
+
+
+@pytest.fixture
+def analyzer() -> IsoEfficiencyAnalyzer:
+    cluster = ClusterModel(i7_950_double(), net_bandwidth=4e9, eps_net=1e-9)
+    return IsoEfficiencyAnalyzer(cluster, summa_matmul_workload)
+
+
+class TestEfficiency:
+    def test_bounded_by_one(self, analyzer):
+        for n, p in ((512, 1), (2048, 4), (4096, 64)):
+            assert 0.0 < analyzer.efficiency(n, p) < 1.0
+
+    def test_grows_with_problem_size(self, analyzer):
+        """Bigger problems amortise communication and idle burn."""
+        assert analyzer.efficiency(4096, 16) > analyzer.efficiency(512, 16)
+
+    def test_decays_with_node_count_at_fixed_n(self, analyzer):
+        """The iso-efficiency premise: fixed n, more nodes, lower
+        efficiency (network volume grows as sqrt(p))."""
+        assert analyzer.efficiency(1024, 256) < analyzer.efficiency(1024, 1)
+
+    def test_single_node_matches_arch_line(self, analyzer):
+        """At p=1 the cluster efficiency IS the node's arch-line value at
+        the workload's own intensity."""
+        from repro.core.energy_model import EnergyModel
+
+        workload = summa_matmul_workload(2048)
+        node_eff = EnergyModel(analyzer.cluster.node).normalized_efficiency(
+            workload.node_profile(1).intensity
+        )
+        assert analyzer.efficiency(2048, 1) == pytest.approx(node_eff, rel=1e-9)
+
+
+class TestIsoSize:
+    def test_curve_grows_with_p(self, analyzer):
+        """Holding efficiency requires growing the problem with the
+        machine — the iso-efficiency law."""
+        points = analyzer.curve([1, 16, 256], target=0.2)
+        sizes = [point.n for point in points if point is not None]
+        assert len(sizes) == 3
+        assert sizes[0] < sizes[1] < sizes[2]
+
+    def test_iso_size_is_minimal(self, analyzer):
+        point = analyzer.iso_size(16, target=0.2)
+        assert point is not None
+        assert point.efficiency >= 0.2
+        assert analyzer.efficiency(point.n - 1, 16) < 0.2
+
+    def test_target_beyond_ceiling_returns_none(self, analyzer):
+        """A target the n ceiling cannot reach reports None, not a lie."""
+        assert analyzer.iso_size(4, target=0.999, n_hi=4096) is None
+
+    def test_target_validated(self, analyzer):
+        with pytest.raises(ParameterError):
+            analyzer.iso_size(4, target=1.5)
+        with pytest.raises(ParameterError):
+            analyzer.iso_size(4, target=0.2, n_lo=100, n_hi=50)
+
+    def test_describe(self, analyzer):
+        text = analyzer.describe([1, 16], target=0.2)
+        assert "iso-energy-efficiency" in text
+        assert text.count("\n") >= 3
+
+    def test_empty_counts_rejected(self, analyzer):
+        with pytest.raises(ParameterError):
+            analyzer.curve([], target=0.2)

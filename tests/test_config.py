@@ -1,0 +1,79 @@
+"""Configuration objects and exception hierarchy."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import (
+    DEFAULT_PROTOCOL,
+    NOISELESS,
+    PAPER_REPETITIONS,
+    PAPER_SAMPLE_HZ,
+    MeasurementProtocol,
+    NoiseProfile,
+)
+from repro.exceptions import (
+    AutotuneError,
+    ExperimentError,
+    FittingError,
+    MeasurementError,
+    ParameterError,
+    ProfileError,
+    ReproError,
+    SamplingError,
+    SimulationError,
+    TreeError,
+)
+
+
+class TestProtocol:
+    def test_paper_defaults(self):
+        """§IV-A: 100 executions, samples every 7.8125 ms (128 Hz)."""
+        assert PAPER_SAMPLE_HZ == 128.0
+        assert PAPER_REPETITIONS == 100
+        assert DEFAULT_PROTOCOL.sample_period == pytest.approx(0.0078125)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MeasurementProtocol(sample_hz=0.0)
+        with pytest.raises(ValueError):
+            MeasurementProtocol(repetitions=0)
+        with pytest.raises(ValueError):
+            MeasurementProtocol(warmup=-1)
+
+
+class TestNoiseProfile:
+    def test_noiseless_constant(self):
+        assert NOISELESS.voltage_sigma == 0.0
+        assert NOISELESS.current_sigma == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            NoiseProfile(voltage_sigma=-0.1)
+        with pytest.raises(ValueError):
+            NoiseProfile(adc_bits=2)
+        with pytest.raises(ValueError):
+            NoiseProfile(gain_error=0.5)
+
+
+class TestExceptionHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            ParameterError, ProfileError, FittingError, MeasurementError,
+            SamplingError, SimulationError, AutotuneError, ExperimentError,
+            TreeError,
+        ],
+    )
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, ReproError)
+
+    def test_value_error_compatibility(self):
+        """Parameter/profile errors double as ValueError so generic
+        callers can catch them idiomatically."""
+        assert issubclass(ParameterError, ValueError)
+        assert issubclass(ProfileError, ValueError)
+        assert issubclass(TreeError, ValueError)
+
+    def test_sampling_is_measurement_error(self):
+        assert issubclass(SamplingError, MeasurementError)

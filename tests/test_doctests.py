@@ -1,0 +1,17 @@
+"""Docstring examples must execute — docs that drift fail the build."""
+
+from __future__ import annotations
+
+import doctest
+
+import pytest
+
+import repro
+import repro.units
+
+
+@pytest.mark.parametrize("module", [repro, repro.units], ids=lambda m: m.__name__)
+def test_doctests(module):
+    results = doctest.testmod(module, verbose=False)
+    assert results.failed == 0, f"{results.failed} doctest failures in {module.__name__}"
+    assert results.attempted > 0, f"{module.__name__} lost its doctests"

@@ -1,0 +1,146 @@
+"""Heterogeneous two-device partitioning."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.algorithm import AlgorithmProfile
+from repro.core.energy_model import EnergyModel
+from repro.core.time_model import TimeModel
+from repro.exceptions import ParameterError
+from repro.machines.catalog import gtx580_single, i7_950_single
+from repro.scheduler import Device, HeterogeneousScheduler, IdlePolicy
+
+
+@pytest.fixture
+def gpu_device() -> Device:
+    return Device("gpu", gtx580_single().with_power_cap(None))
+
+
+@pytest.fixture
+def cpu_device() -> Device:
+    return Device("cpu", i7_950_single())
+
+
+@pytest.fixture
+def scheduler(gpu_device, cpu_device) -> HeterogeneousScheduler:
+    return HeterogeneousScheduler(gpu_device, cpu_device)
+
+
+@pytest.fixture
+def workload() -> AlgorithmProfile:
+    return AlgorithmProfile.from_intensity(2.0, work=1e12, name="divisible")
+
+
+class TestEvaluate:
+    def test_endpoints_match_single_device(self, scheduler, workload, gpu_device, cpu_device):
+        all_gpu = scheduler.evaluate(workload, 1.0)
+        assert all_gpu.time == pytest.approx(
+            TimeModel(gpu_device.machine).time(workload)
+        )
+        assert all_gpu.energy == pytest.approx(
+            EnergyModel(gpu_device.machine).energy(workload)
+        )
+        all_cpu = scheduler.evaluate(workload, 0.0)
+        assert all_cpu.time == pytest.approx(
+            TimeModel(cpu_device.machine).time(workload)
+        )
+
+    def test_alpha_validated(self, scheduler, workload):
+        with pytest.raises(ParameterError):
+            scheduler.evaluate(workload, 1.5)
+
+    @settings(max_examples=40)
+    @given(alpha=st.floats(0.0, 1.0))
+    def test_makespan_is_max_of_shares(self, alpha):
+        scheduler = HeterogeneousScheduler(
+            Device("gpu", gtx580_single().with_power_cap(None)),
+            Device("cpu", i7_950_single()),
+        )
+        workload = AlgorithmProfile.from_intensity(2.0, work=1e12)
+        plan = scheduler.evaluate(workload, alpha)
+        assert plan.time == pytest.approx(max(plan.time_a, plan.time_b))
+
+    def test_idle_policy_costs_more(self, gpu_device, cpu_device, workload):
+        halt = HeterogeneousScheduler(
+            gpu_device, cpu_device, idle_policy=IdlePolicy.HALT
+        ).evaluate(workload, 0.5)
+        idle = HeterogeneousScheduler(
+            gpu_device, cpu_device, idle_policy=IdlePolicy.IDLE
+        ).evaluate(workload, 0.5)
+        assert idle.energy > halt.energy
+        assert idle.time == halt.time
+
+
+class TestTimeOptimal:
+    def test_balances_finish_times(self, scheduler, workload):
+        plan = scheduler.time_optimal_split(workload)
+        assert plan.time_a == pytest.approx(plan.time_b, rel=1e-9)
+        assert plan.imbalance == pytest.approx(0.0, abs=1e-9)
+
+    def test_beats_either_device_alone(self, scheduler, workload):
+        best = scheduler.time_optimal_split(workload)
+        assert best.time < scheduler.evaluate(workload, 0.0).time
+        assert best.time < scheduler.evaluate(workload, 1.0).time
+
+    def test_faster_device_gets_more(self, scheduler, workload):
+        plan = scheduler.time_optimal_split(workload)
+        assert plan.alpha > 0.5  # the GPU is the faster device here
+
+    @settings(max_examples=30)
+    @given(intensity=st.floats(0.05, 64.0))
+    def test_optimal_over_grid(self, intensity):
+        scheduler = HeterogeneousScheduler(
+            Device("gpu", gtx580_single().with_power_cap(None)),
+            Device("cpu", i7_950_single()),
+        )
+        workload = AlgorithmProfile.from_intensity(intensity, work=1e12)
+        best = scheduler.time_optimal_split(workload)
+        for alpha in (0.0, 0.25, 0.5, 0.75, 1.0):
+            assert best.time <= scheduler.evaluate(workload, alpha).time * (1 + 1e-9)
+
+
+class TestEnergyOptimal:
+    def test_never_worse_than_grid(self, scheduler, workload):
+        best = scheduler.energy_optimal_split(workload)
+        for alpha in (0.0, 0.1, 0.3, 0.5, 0.7, 0.9, 1.0):
+            assert best.energy <= scheduler.evaluate(workload, alpha).energy * (
+                1 + 1e-9
+            )
+
+    def test_objectives_disagree(self, scheduler, workload):
+        """At this intensity the GPU is both faster and greener, but the
+        time optimum still offloads a slice to the CPU; the energy
+        optimum does not."""
+        fastest = scheduler.time_optimal_split(workload)
+        greenest = scheduler.energy_optimal_split(workload)
+        assert greenest.alpha == pytest.approx(1.0)
+        assert fastest.alpha < 1.0
+        assert greenest.energy < fastest.energy
+        assert fastest.time < greenest.time
+
+    def test_grid_validated(self, scheduler, workload):
+        with pytest.raises(ParameterError):
+            scheduler.energy_optimal_split(workload, grid=2)
+
+
+class TestParetoFrontier:
+    def test_frontier_is_nondominated(self, scheduler, workload):
+        frontier = scheduler.pareto_frontier(workload)
+        assert len(frontier) >= 2
+        for earlier, later in zip(frontier, frontier[1:]):
+            assert later.time > earlier.time
+            assert later.energy < earlier.energy
+
+    def test_frontier_ends_near_optima(self, scheduler, workload):
+        frontier = scheduler.pareto_frontier(workload, grid=201)
+        fastest = scheduler.time_optimal_split(workload)
+        greenest = scheduler.energy_optimal_split(workload)
+        assert frontier[0].time == pytest.approx(fastest.time, rel=0.01)
+        assert frontier[-1].energy == pytest.approx(greenest.energy, rel=0.01)
+
+    def test_summary_renders(self, scheduler, workload):
+        text = scheduler.summary(workload)
+        assert "time-optimal" in text and "energy-optimal" in text

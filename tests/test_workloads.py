@@ -1,0 +1,137 @@
+"""Phase-structured applications."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.algorithm import AlgorithmProfile
+from repro.core.energy_model import EnergyModel
+from repro.core.time_model import TimeModel
+from repro.exceptions import ProfileError
+from repro.workloads import (
+    Application,
+    Phase,
+    cg_solver,
+    fft_poisson_solver,
+    fmm_pipeline,
+    jacobi_heat_solver,
+)
+
+
+@pytest.fixture
+def two_phase() -> Application:
+    return Application(
+        name="toy",
+        phases=(
+            Phase("low", AlgorithmProfile.from_intensity(0.1, work=1e9)),
+            Phase("high", AlgorithmProfile.from_intensity(50.0, work=1e9), repeats=3),
+        ),
+    )
+
+
+class TestPhaseAlgebra:
+    def test_repeats_scale_profile(self):
+        phase = Phase("p", AlgorithmProfile(work=10.0, traffic=5.0), repeats=4)
+        assert phase.total_profile.work == 40.0
+        assert phase.total_profile.traffic == 20.0
+
+    def test_repeats_validated(self):
+        with pytest.raises(ProfileError):
+            Phase("p", AlgorithmProfile(work=1.0, traffic=1.0), repeats=0)
+
+    def test_application_needs_phases(self):
+        with pytest.raises(ProfileError):
+            Application(name="empty", phases=())
+
+    def test_duplicate_phase_names_rejected(self):
+        phase = Phase("p", AlgorithmProfile(work=1.0, traffic=1.0))
+        with pytest.raises(ProfileError):
+            Application(name="dup", phases=(phase, phase))
+
+    def test_totals_are_sums(self, two_phase, gpu_double):
+        time_model = TimeModel(gpu_double)
+        energy_model = EnergyModel(gpu_double)
+        expected_t = sum(
+            time_model.time(p.total_profile) for p in two_phase.phases
+        )
+        expected_e = sum(
+            energy_model.energy(p.total_profile) for p in two_phase.phases
+        )
+        assert two_phase.time(gpu_double) == pytest.approx(expected_t)
+        assert two_phase.energy(gpu_double) == pytest.approx(expected_e)
+
+    def test_total_profile_aggregates(self, two_phase):
+        total = two_phase.total_profile
+        assert total.work == pytest.approx(1e9 + 3e9)
+
+    def test_fractions_sum_to_one(self, two_phase, gpu_double):
+        report = two_phase.report(gpu_double)
+        assert sum(r.time_fraction for r in report) == pytest.approx(1.0)
+        assert sum(r.energy_fraction for r in report) == pytest.approx(1.0)
+
+    def test_bottlenecks(self, two_phase, gpu_double):
+        """The single memory-bound phase dominates time on a machine
+        whose flop throughput dwarfs its bandwidth."""
+        assert two_phase.time_bottleneck(gpu_double).name == "low"
+
+    def test_describe_renders_table(self, two_phase, gpu_double):
+        text = two_phase.describe(gpu_double)
+        assert "low" in text and "high" in text and "TOTAL" in text
+
+
+class TestLibraryApplications:
+    def test_cg_is_bandwidth_bound(self, cpu_double):
+        app = cg_solver(500_000, iterations=10)
+        for report in app.report(cpu_double):
+            assert report.intensity < cpu_double.b_tau
+
+    def test_cg_spmv_dominates(self, cpu_double):
+        app = cg_solver(500_000, iterations=10)
+        assert app.time_bottleneck(cpu_double).name == "spmv"
+        assert app.energy_bottleneck(cpu_double).name == "spmv"
+
+    def test_fmm_ulist_is_compute_bound(self, gpu_single):
+        app = fmm_pipeline(100_000)
+        ulist = next(r for r in app.report(gpu_single) if r.name == "u-list")
+        assert ulist.intensity > gpu_single.b_tau
+
+    def test_fmm_straddles_balance(self, gpu_single):
+        """The pipeline has phases on both sides of B_tau — the setting
+        where time and energy tuning can diverge."""
+        intensities = [r.intensity for r in fmm_pipeline(100_000).report(gpu_single)]
+        assert min(intensities) < gpu_single.b_tau < max(intensities)
+
+    def test_fft_poisson_symmetry(self, cpu_double):
+        app = fft_poisson_solver(1 << 18)
+        report = {r.name: r for r in app.report(cpu_double)}
+        assert report["forward-fft"].time == pytest.approx(
+            report["inverse-fft"].time
+        )
+
+    def test_jacobi_stencil_dominates(self, cpu_double):
+        app = jacobi_heat_solver(64, sweeps=100, check_every=10)
+        assert app.time_bottleneck(cpu_double).name == "stencil-sweeps"
+
+    def test_library_validation(self):
+        with pytest.raises(ProfileError):
+            cg_solver(1000, iterations=0)
+        with pytest.raises(ProfileError):
+            jacobi_heat_solver(32, check_every=0)
+        with pytest.raises(ProfileError):
+            fmm_pipeline(1000, multipole_terms=0)
+
+    @pytest.mark.parametrize(
+        "app_builder",
+        [
+            lambda: cg_solver(100_000, iterations=5),
+            lambda: fmm_pipeline(50_000),
+            lambda: fft_poisson_solver(1 << 16),
+            lambda: jacobi_heat_solver(48, sweeps=20),
+        ],
+        ids=["cg", "fmm", "fft-poisson", "jacobi"],
+    )
+    def test_all_apps_evaluate_everywhere(self, app_builder, catalog_machine):
+        app = app_builder()
+        assert app.time(catalog_machine) > 0
+        assert app.energy(catalog_machine) > 0
+        assert app.average_power(catalog_machine) > catalog_machine.pi0

@@ -1,0 +1,80 @@
+"""ASCII chart rendering."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.rooflines import roofline_vs_archline
+from repro.exceptions import ParameterError
+from repro.machines.catalog import keckler_fermi
+from repro.viz.ascii_chart import AsciiChart, render_chart
+from repro.viz.series import ScatterSeries
+
+
+@pytest.fixture
+def fermi_curves():
+    return roofline_vs_archline(keckler_fermi())
+
+
+class TestRendering:
+    def test_contains_curve_glyphs_and_legend(self, fermi_curves):
+        roof, arch = fermi_curves
+        out = render_chart([roof, arch], title="test-title")
+        assert "test-title" in out
+        assert "*" in out and "#" in out
+        assert roof.label in out and arch.label in out
+
+    def test_markers_drawn_as_vertical_lines(self, fermi_curves):
+        roof, _ = fermi_curves
+        out = render_chart([roof], markers={"B_tau": 3.576})
+        assert "|" in out
+        assert "B_tau = 3.58" in out
+
+    def test_scatter_points(self, fermi_curves):
+        roof, _ = fermi_curves
+        pts = ScatterSeries("dots", np.array([1.0, 8.0]), np.array([0.3, 1.0]))
+        out = render_chart([roof], [pts])
+        assert "o" in out
+        assert "dots" in out
+
+    def test_axis_labels_show_bounds(self, fermi_curves):
+        roof, _ = fermi_curves
+        out = render_chart([roof])
+        assert "0.5" in out and "512" in out
+
+    def test_dimensions(self, fermi_curves):
+        roof, _ = fermi_curves
+        chart = AsciiChart(width=40, height=10).add_curve(roof)
+        lines = chart.render().splitlines()
+        # height rows + axis + labels + legend
+        assert len(lines) >= 12
+        grid_rows = [l for l in lines if l.strip().endswith(tuple("*| "))]
+        assert all(len(l) <= 50 for l in grid_rows)
+
+    def test_roofline_shape_visible(self, fermi_curves):
+        """The top row should be flat (the roof); the left column low."""
+        roof, _ = fermi_curves
+        out = render_chart([roof], width=60, height=12)
+        rows = [l for l in out.splitlines() if "|" in l][:12]
+        top = rows[0]
+        assert top.count("*") > 10  # flat roof spans many columns
+
+
+class TestValidation:
+    def test_empty_chart_rejected(self):
+        with pytest.raises(ParameterError, match="nothing"):
+            AsciiChart().render()
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ParameterError):
+            AsciiChart(width=5, height=2)
+
+    def test_bad_marker_rejected(self):
+        with pytest.raises(ParameterError):
+            AsciiChart().add_marker("x", 0.0)
+
+    def test_chainable_builders(self, fermi_curves):
+        roof, arch = fermi_curves
+        chart = AsciiChart().add_curve(roof).add_curve(arch).add_marker("b", 3.6)
+        assert isinstance(chart.render(), str)

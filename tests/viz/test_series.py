@@ -1,0 +1,65 @@
+"""Scatter series and CSV export."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.rooflines import CurveSeries
+from repro.exceptions import ParameterError
+from repro.viz.series import ScatterSeries, series_to_csv, write_csv
+
+
+@pytest.fixture
+def curve() -> CurveSeries:
+    return CurveSeries("model", np.array([1.0, 2.0, 4.0]), np.array([0.5, 1.0, 1.0]))
+
+
+@pytest.fixture
+def scatter() -> ScatterSeries:
+    return ScatterSeries("measured", np.array([2.0, 1.0]), np.array([0.9, 0.4]))
+
+
+class TestScatterSeries:
+    def test_allows_unsorted(self, scatter):
+        assert scatter.intensities[0] == 2.0
+
+    def test_rejects_empty(self):
+        with pytest.raises(ParameterError):
+            ScatterSeries("x", np.array([]), np.array([]))
+
+    def test_rejects_nonpositive_intensity(self):
+        with pytest.raises(ParameterError):
+            ScatterSeries("x", np.array([0.0]), np.array([1.0]))
+
+    def test_rejects_mismatch(self):
+        with pytest.raises(ParameterError):
+            ScatterSeries("x", np.array([1.0, 2.0]), np.array([1.0]))
+
+    def test_as_rows_preserves_order(self, scatter):
+        assert scatter.as_rows() == [(2.0, 0.9), (1.0, 0.4)]
+
+
+class TestCSV:
+    def test_long_format(self, curve, scatter):
+        text = series_to_csv([curve, scatter])
+        lines = text.strip().splitlines()
+        assert lines[0] == "series,intensity,value"
+        assert len(lines) == 1 + 3 + 2
+        assert lines[1].startswith("model,")
+        assert lines[4].startswith("measured,")
+
+    def test_round_trip_values(self, curve):
+        text = series_to_csv([curve])
+        rows = [line.split(",") for line in text.strip().splitlines()[1:]]
+        assert [float(r[1]) for r in rows] == [1.0, 2.0, 4.0]
+        assert [float(r[2]) for r in rows] == [0.5, 1.0, 1.0]
+
+    def test_rejects_empty_list(self):
+        with pytest.raises(ParameterError):
+            series_to_csv([])
+
+    def test_write_csv(self, tmp_path, curve):
+        path = write_csv([curve], tmp_path / "out.csv")
+        assert path.exists()
+        assert path.read_text().startswith("series,intensity,value")

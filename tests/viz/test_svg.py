@@ -1,0 +1,83 @@
+"""SVG chart rendering: structure, determinism, validity."""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+
+import numpy as np
+import pytest
+
+from repro.core.rooflines import roofline_vs_archline, vertical_markers
+from repro.exceptions import ParameterError
+from repro.machines.catalog import keckler_fermi
+from repro.viz.series import ScatterSeries
+from repro.viz.svg import svg_chart, write_svg
+
+_SVG_NS = "{http://www.w3.org/2000/svg}"
+
+
+@pytest.fixture
+def fermi_chart_parts():
+    machine = keckler_fermi()
+    roof, arch = roofline_vs_archline(machine)
+    scatter = ScatterSeries(
+        "measured", np.array([1.0, 4.0, 16.0]), np.array([0.3, 0.9, 1.0])
+    )
+    return [roof, arch], [scatter], vertical_markers(machine)
+
+
+class TestStructure:
+    def test_valid_xml(self, fermi_chart_parts):
+        curves, scatters, markers = fermi_chart_parts
+        document = svg_chart(curves, scatters, markers, title="Fig 2a")
+        root = ET.fromstring(document)
+        assert root.tag == f"{_SVG_NS}svg"
+
+    def test_one_polyline_per_curve(self, fermi_chart_parts):
+        curves, scatters, markers = fermi_chart_parts
+        root = ET.fromstring(svg_chart(curves, scatters, markers))
+        polylines = root.findall(f"{_SVG_NS}polyline")
+        assert len(polylines) == len(curves)
+
+    def test_circles_for_scatter_plus_legend(self, fermi_chart_parts):
+        curves, scatters, markers = fermi_chart_parts
+        root = ET.fromstring(svg_chart(curves, scatters, markers))
+        circles = root.findall(f"{_SVG_NS}circle")
+        assert len(circles) == 3 + 1  # points + legend swatch
+
+    def test_marker_lines_dashed(self, fermi_chart_parts):
+        curves, scatters, markers = fermi_chart_parts
+        document = svg_chart(curves, scatters, markers)
+        assert document.count("stroke-dasharray") == len(markers)
+
+    def test_title_and_labels_escaped(self):
+        machine = keckler_fermi()
+        roof, _ = roofline_vs_archline(machine)
+        document = svg_chart([roof], title="a < b & c")
+        assert "a &lt; b &amp; c" in document
+        ET.fromstring(document)  # still valid XML
+
+    def test_deterministic(self, fermi_chart_parts):
+        curves, scatters, markers = fermi_chart_parts
+        assert svg_chart(curves, scatters, markers) == svg_chart(
+            curves, scatters, markers
+        )
+
+
+class TestValidation:
+    def test_empty_rejected(self):
+        with pytest.raises(ParameterError, match="nothing"):
+            svg_chart([])
+
+    def test_tiny_canvas_rejected(self, fermi_chart_parts):
+        curves, _, _ = fermi_chart_parts
+        with pytest.raises(ParameterError):
+            svg_chart(curves, width=100, height=50)
+
+
+class TestFileOutput:
+    def test_write_svg(self, tmp_path, fermi_chart_parts):
+        curves, scatters, markers = fermi_chart_parts
+        path = write_svg(tmp_path / "fig2a.svg", curves, scatters, markers)
+        assert path.exists()
+        ET.parse(path)  # parses as XML from disk
