@@ -101,12 +101,24 @@ def build_parser() -> argparse.ArgumentParser:
     exp_sub.add_parser(
         "summary", help="run everything; print the paper-vs-measured digest"
     )
-    p_run = exp_sub.add_parser("run", help="run one experiment")
-    p_run.add_argument("id", help="experiment id, e.g. fig4")
+    p_run = exp_sub.add_parser("run", help="run one or more experiments")
+    p_run.add_argument(
+        "id", nargs="+", help="experiment id(s), e.g. fig4 table4"
+    )
     p_run.add_argument(
         "--output", type=Path,
         help="directory to archive the report (<id>.txt) and headline "
              "values (<id>.json)",
+    )
+    p_run.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes: parallelises across experiments and, "
+             "inside sweep experiments, across device-precision panels",
+    )
+    p_run.add_argument(
+        "--cache-dir", type=Path, metavar="DIR",
+        help="content-addressed result cache; repeated runs with the "
+             "same machine params, sweep config, and seed replay from disk",
     )
 
     p_fit = sub.add_parser("fit", help="fit eq. (9) coefficients from a CSV")
@@ -222,28 +234,37 @@ def _cmd_experiment(args: argparse.Namespace) -> str:
         from repro.experiments.summary import build_summary
 
         return build_summary()
-    result = run_experiment(args.id)
-    if getattr(args, "output", None):
-        import json
+    from repro.experiments.runner import ExperimentRunner
 
-        args.output.mkdir(parents=True, exist_ok=True)
-        (args.output / f"{result.experiment_id}.txt").write_text(
-            result.text + "\n"
-        )
-        (args.output / f"{result.experiment_id}.json").write_text(
-            json.dumps(
-                {"title": result.title, "values": result.values},
-                indent=2,
-                sort_keys=True,
+    runner = ExperimentRunner(
+        jobs=getattr(args, "jobs", 1),
+        cache_dir=getattr(args, "cache_dir", None),
+    )
+    results = runner.run_many(args.id)
+    blocks = []
+    for result in results:
+        text = result.text
+        if getattr(args, "output", None):
+            import json
+
+            args.output.mkdir(parents=True, exist_ok=True)
+            (args.output / f"{result.experiment_id}.txt").write_text(
+                result.text + "\n"
             )
-            + "\n"
-        )
-        return (
-            result.text
-            + f"\n\nreport archived under {args.output}/"
-            f"{result.experiment_id}.{{txt,json}}"
-        )
-    return result.text
+            (args.output / f"{result.experiment_id}.json").write_text(
+                json.dumps(
+                    {"title": result.title, "values": result.values},
+                    indent=2,
+                    sort_keys=True,
+                )
+                + "\n"
+            )
+            text += (
+                f"\n\nreport archived under {args.output}/"
+                f"{result.experiment_id}.{{txt,json}}"
+            )
+        blocks.append(text)
+    return "\n\n".join(blocks)
 
 
 def _cmd_fit(path: Path) -> str:

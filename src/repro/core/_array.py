@@ -1,0 +1,34 @@
+"""Shared validation for the array-native (batch) model evaluation paths.
+
+Every ``*_batch`` method across :mod:`repro.core` accepts "anything
+array-like of positive intensities" and must fail with the same
+:class:`~repro.exceptions.ParameterError` the scalar API raises — one
+validation pass up front, then pure vectorised arithmetic with no
+per-element Python dispatch.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ParameterError
+
+__all__ = ["as_intensity_array"]
+
+
+def as_intensity_array(intensities) -> np.ndarray:
+    """Validate and convert intensities for batch evaluation.
+
+    Returns a float64 ndarray (any shape, including 0-d for scalars).
+    Raises :class:`ParameterError` if any element is non-positive or
+    non-finite — matching the scalar API's ``_check_intensity``.
+    """
+    arr = np.asarray(intensities, dtype=float)
+    if arr.size == 0:
+        raise ParameterError("need at least one intensity")
+    if not np.all(np.isfinite(arr)) or not np.all(arr > 0):
+        bad = arr[~(np.isfinite(arr) & (arr > 0))]
+        raise ParameterError(
+            f"intensities must be positive and finite, got {bad[:5].tolist()}"
+        )
+    return arr

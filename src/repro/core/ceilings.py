@@ -19,6 +19,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, replace
 
+import numpy as np
+
 from repro.core.energy_model import EnergyModel
 from repro.core.params import MachineModel
 from repro.core.time_model import TimeModel
@@ -129,6 +131,30 @@ class RooflineCeilings:
         """
         base = EnergyModel(self.machine).energy_per_flop(intensity)
         limited = EnergyModel(self.machine_under(ceiling)).energy_per_flop(intensity)
+        return limited / base - 1.0
+
+    # ------------------------------------------------------------------
+    # Array-native fast path
+    # ------------------------------------------------------------------
+
+    def attainable_fraction_batch(
+        self, intensities: np.ndarray, ceiling: Ceiling | None = None
+    ) -> np.ndarray:
+        """Vectorised attainable fraction of the peak roof under a ceiling."""
+        if ceiling is None:
+            return TimeModel(self.machine).normalized_performance_batch(intensities)
+        limited = self.machine_under(ceiling)
+        achieved = TimeModel(limited).attainable_gflops_batch(intensities)
+        return achieved / self.machine.peak_gflops
+
+    def energy_penalty_fraction_batch(
+        self, intensities: np.ndarray, ceiling: Ceiling
+    ) -> np.ndarray:
+        """Vectorised ``E_ceiling/E_peak − 1`` over an intensity array."""
+        base = EnergyModel(self.machine).energy_per_flop_batch(intensities)
+        limited = EnergyModel(self.machine_under(ceiling)).energy_per_flop_batch(
+            intensities
+        )
         return limited / base - 1.0
 
     # ------------------------------------------------------------------

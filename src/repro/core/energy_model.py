@@ -24,6 +24,9 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
+import numpy as np
+
+from repro.core._array import as_intensity_array
 from repro.core.algorithm import AlgorithmProfile
 from repro.core.params import MachineModel
 from repro.core.time_model import TimeBound, TimeModel
@@ -124,6 +127,34 @@ class EnergyModel:
         """``E / W`` at this intensity: ``ε̂_flop · (1 + B̂ε(I)/I)`` (J)."""
         self._check_intensity(intensity)
         return self.machine.eps_flop_hat * (1.0 + self.energy_penalty(intensity))
+
+    # ------------------------------------------------------------------
+    # Array-native fast path
+    # ------------------------------------------------------------------
+
+    def energy_penalty_batch(self, intensities: np.ndarray) -> np.ndarray:
+        """Vectorised ``B̂ε(I)/I`` over an intensity array."""
+        arr = as_intensity_array(intensities)
+        return self.machine.b_eps_hat_batch(arr) / arr
+
+    def normalized_efficiency_batch(self, intensities: np.ndarray) -> np.ndarray:
+        """Vectorised arch line ``1/(1 + B̂ε(I)/I)`` over an intensity array."""
+        return 1.0 / (1.0 + self.energy_penalty_batch(intensities))
+
+    def attainable_gflops_per_joule_batch(
+        self, intensities: np.ndarray
+    ) -> np.ndarray:
+        """Vectorised arch line in absolute units (GFLOP/J)."""
+        return (
+            self.normalized_efficiency_batch(intensities)
+            * self.machine.peak_gflops_per_joule
+        )
+
+    def energy_per_flop_batch(self, intensities: np.ndarray) -> np.ndarray:
+        """Vectorised ``E/W`` (joules per flop) over an intensity array."""
+        return self.machine.eps_flop_hat * (
+            1.0 + self.energy_penalty_batch(intensities)
+        )
 
     def classify(self, intensity: float) -> TimeBound:
         """Memory- vs compute-bound *in energy* at this intensity.

@@ -30,6 +30,8 @@ import math
 from dataclasses import dataclass, replace
 from typing import Iterable
 
+import numpy as np
+
 from repro.exceptions import ParameterError
 from repro.units import (
     GIGA,
@@ -37,7 +39,11 @@ from repro.units import (
     time_per_flop_from_gflops,
 )
 
-__all__ = ["MachineModel", "effective_energy_balance"]
+__all__ = [
+    "MachineModel",
+    "effective_energy_balance",
+    "effective_energy_balance_batch",
+]
 
 
 def effective_energy_balance(
@@ -60,6 +66,25 @@ def effective_energy_balance(
     if not 0.0 < eta_flop <= 1.0:
         raise ParameterError(f"eta_flop must be in (0, 1], got {eta_flop}")
     return eta_flop * b_eps + (1.0 - eta_flop) * max(0.0, b_tau - intensity)
+
+
+def effective_energy_balance_batch(
+    intensities: np.ndarray,
+    b_tau: float,
+    b_eps: float,
+    eta_flop: float,
+) -> np.ndarray:
+    """Vectorised eq. (6): ``B̂ε(I)`` for a whole intensity grid at once.
+
+    Element-wise identical to :func:`effective_energy_balance`; one
+    validation pass, no per-element Python dispatch.
+    """
+    from repro.core._array import as_intensity_array
+
+    arr = as_intensity_array(intensities)
+    if not 0.0 < eta_flop <= 1.0:
+        raise ParameterError(f"eta_flop must be in (0, 1], got {eta_flop}")
+    return eta_flop * b_eps + (1.0 - eta_flop) * np.maximum(0.0, b_tau - arr)
 
 
 @dataclass(frozen=True, slots=True)
@@ -273,6 +298,12 @@ class MachineModel:
         """Effective energy-balance ``B̂ε(I)`` of eq. (6)."""
         return effective_energy_balance(
             intensity, self.b_tau, self.b_eps, self.eta_flop
+        )
+
+    def b_eps_hat_batch(self, intensities: np.ndarray) -> np.ndarray:
+        """Vectorised ``B̂ε(I)`` over an intensity array (eq. 6)."""
+        return effective_energy_balance_batch(
+            intensities, self.b_tau, self.b_eps, self.eta_flop
         )
 
     @property

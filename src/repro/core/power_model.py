@@ -21,6 +21,9 @@ roofline has its corner — the §V-B observation reproduced by
 
 from __future__ import annotations
 
+import numpy as np
+
+from repro.core._array import as_intensity_array
 from repro.core.algorithm import AlgorithmProfile
 from repro.core.energy_model import EnergyModel
 from repro.core.params import MachineModel
@@ -69,6 +72,26 @@ class PowerModel:
         method uses so that the compute-bound limit is always 1.
         """
         return self.power(intensity) / (self.machine.pi_flop + self.machine.pi0)
+
+    # ------------------------------------------------------------------
+    # Array-native fast path
+    # ------------------------------------------------------------------
+
+    def power_batch(self, intensities: np.ndarray) -> np.ndarray:
+        """Vectorised powerline, eq. (7), in watts."""
+        arr = as_intensity_array(intensities)
+        m = self.machine
+        b_tau = m.b_tau
+        b_eps_hat = m.b_eps_hat_batch(arr)
+        return (m.pi_flop / m.eta_flop) * (
+            np.minimum(arr, b_tau) / b_tau + b_eps_hat / np.maximum(arr, b_tau)
+        )
+
+    def normalized_power_batch(self, intensities: np.ndarray) -> np.ndarray:
+        """Vectorised power relative to flop-plus-constant power."""
+        return self.power_batch(intensities) / (
+            self.machine.pi_flop + self.machine.pi0
+        )
 
     def power_ratio_check(self, profile: AlgorithmProfile) -> float:
         """``(E/T) / P(I)`` — identically 1; exposed for test validation.

@@ -28,6 +28,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
+from repro.core._array import as_intensity_array
 from repro.core.algorithm import AlgorithmProfile
 from repro.core.energy_model import EnergyModel
 from repro.core.params import MachineModel
@@ -144,6 +147,50 @@ class CappedModel:
     def normalized_efficiency(self, intensity: float) -> float:
         """Capped arch line (fraction of the *uncapped* flop-only peak)."""
         return self.machine.eps_flop_hat / self.energy_per_flop(intensity)
+
+    # ------------------------------------------------------------------
+    # Array-native fast path
+    # ------------------------------------------------------------------
+
+    def slowdown_batch(self, intensities: np.ndarray) -> np.ndarray:
+        """Vectorised time dilation ``T_capped / T_roofline`` (≥ 1)."""
+        arr = as_intensity_array(intensities)
+        budget = self._dynamic_power_budget()
+        if budget is None:
+            return np.ones_like(arr)
+        dynamic_demand = self.power_model.power_batch(arr) - self.machine.pi0
+        return np.maximum(1.0, dynamic_demand / budget)
+
+    def normalized_performance_batch(self, intensities: np.ndarray) -> np.ndarray:
+        """Vectorised capped roofline (fraction of peak)."""
+        return self.time_model.normalized_performance_batch(
+            intensities
+        ) / self.slowdown_batch(intensities)
+
+    def attainable_gflops_batch(self, intensities: np.ndarray) -> np.ndarray:
+        """Vectorised capped roofline in absolute GFLOP/s."""
+        return (
+            self.normalized_performance_batch(intensities)
+            * self.machine.peak_gflops
+        )
+
+    def power_batch(self, intensities: np.ndarray) -> np.ndarray:
+        """Vectorised capped powerline ``min(P_uncapped, P_cap)`` (W)."""
+        uncapped = self.power_model.power_batch(intensities)
+        cap = self.machine.power_cap
+        return uncapped if cap is None else np.minimum(uncapped, cap)
+
+    def energy_per_flop_batch(self, intensities: np.ndarray) -> np.ndarray:
+        """Vectorised capped ``E/W`` (joules per flop)."""
+        arr = as_intensity_array(intensities)
+        m = self.machine
+        dynamic = m.eps_flop + m.eps_mem / arr
+        dilated = self.time_model.time_per_flop_batch(arr) * self.slowdown_batch(arr)
+        return dynamic + m.pi0 * dilated
+
+    def normalized_efficiency_batch(self, intensities: np.ndarray) -> np.ndarray:
+        """Vectorised capped arch line (fraction of the uncapped peak)."""
+        return self.machine.eps_flop_hat / self.energy_per_flop_batch(intensities)
 
     # ------------------------------------------------------------------
     # Cap structure analysis

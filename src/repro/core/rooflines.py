@@ -10,7 +10,7 @@ can all consume without re-deriving model math.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Sequence
+from typing import Sequence
 
 import numpy as np
 
@@ -103,10 +103,6 @@ def _grid(
     return np.asarray(log2_grid(lo, hi, points_per_octave), dtype=float)
 
 
-def _sample(fn: Callable[[float], float], grid: np.ndarray) -> np.ndarray:
-    return np.asarray([fn(float(x)) for x in grid], dtype=float)
-
-
 def roofline_series(
     machine: MachineModel,
     *,
@@ -124,9 +120,9 @@ def roofline_series(
     grid = _grid(intensities, lo, hi, points_per_octave)
     model = TimeModel(machine)
     if normalized:
-        values = _sample(model.normalized_performance, grid)
+        values = model.normalized_performance_batch(grid)
         return CurveSeries("Roofline (fraction of peak GFLOP/s)", grid, values)
-    values = _sample(model.attainable_gflops, grid)
+    values = model.attainable_gflops_batch(grid)
     return CurveSeries("Roofline (GFLOP/s)", grid, values, units="GFLOP/s")
 
 
@@ -143,9 +139,9 @@ def archline_series(
     grid = _grid(intensities, lo, hi, points_per_octave)
     model = EnergyModel(machine)
     if normalized:
-        values = _sample(model.normalized_efficiency, grid)
+        values = model.normalized_efficiency_batch(grid)
         return CurveSeries("Arch line (fraction of peak GFLOP/J)", grid, values)
-    values = _sample(model.attainable_gflops_per_joule, grid)
+    values = model.attainable_gflops_per_joule_batch(grid)
     return CurveSeries("Arch line (GFLOP/J)", grid, values, units="GFLOP/J")
 
 
@@ -166,9 +162,9 @@ def powerline_series(
     grid = _grid(intensities, lo, hi, points_per_octave)
     model = PowerModel(machine)
     if normalized:
-        values = _sample(model.normalized_power, grid)
+        values = model.normalized_power_batch(grid)
         return CurveSeries("Powerline (relative to flop power)", grid, values)
-    values = _sample(model.power, grid)
+    values = model.power_batch(grid)
     return CurveSeries("Powerline (W)", grid, values, units="W")
 
 
@@ -183,7 +179,7 @@ def capped_powerline_series(
     """Powerline with the §V-B cap refinement applied (absolute watts)."""
     grid = _grid(intensities, lo, hi, points_per_octave)
     model = CappedModel(machine)
-    values = _sample(model.power, grid)
+    values = model.power_batch(grid)
     return CurveSeries("Capped powerline (W)", grid, values, units="W")
 
 

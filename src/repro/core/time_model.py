@@ -17,6 +17,9 @@ import enum
 import math
 from dataclasses import dataclass
 
+import numpy as np
+
+from repro.core._array import as_intensity_array
 from repro.core.algorithm import AlgorithmProfile
 from repro.core.params import MachineModel
 from repro.exceptions import ParameterError
@@ -139,6 +142,28 @@ class TimeModel:
     def time_per_flop(self, intensity: float) -> float:
         """``T / W`` at this intensity: ``τ_flop · max(1, Bτ/I)`` (s)."""
         return self.machine.tau_flop * self.communication_penalty(intensity)
+
+    # ------------------------------------------------------------------
+    # Array-native fast path
+    # ------------------------------------------------------------------
+
+    def communication_penalty_batch(self, intensities: np.ndarray) -> np.ndarray:
+        """Vectorised ``max(1, Bτ/I)`` over an intensity array."""
+        arr = as_intensity_array(intensities)
+        return np.maximum(1.0, self.machine.b_tau / arr)
+
+    def normalized_performance_batch(self, intensities: np.ndarray) -> np.ndarray:
+        """Vectorised roofline ``min(1, I/Bτ)`` over an intensity array."""
+        arr = as_intensity_array(intensities)
+        return np.minimum(1.0, arr / self.machine.b_tau)
+
+    def attainable_gflops_batch(self, intensities: np.ndarray) -> np.ndarray:
+        """Vectorised absolute roofline (GFLOP/s) over an intensity array."""
+        return self.normalized_performance_batch(intensities) * self.machine.peak_gflops
+
+    def time_per_flop_batch(self, intensities: np.ndarray) -> np.ndarray:
+        """Vectorised ``T/W`` (seconds per flop) over an intensity array."""
+        return self.machine.tau_flop * self.communication_penalty_batch(intensities)
 
     # ------------------------------------------------------------------
 

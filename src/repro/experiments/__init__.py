@@ -28,6 +28,7 @@ from repro.experiments.registry import (
     list_experiments,
     run_experiment,
 )
+from repro.experiments.runner import ExperimentRunner
 
 # Importing the modules registers their experiments.
 from repro.experiments import (  # noqa: F401  (registration side effects)
@@ -45,6 +46,7 @@ from repro.experiments import (  # noqa: F401  (registration side effects)
 
 __all__ = [
     "ExperimentResult",
+    "ExperimentRunner",
     "get_experiment",
     "list_experiments",
     "run_experiment",

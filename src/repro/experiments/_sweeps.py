@@ -5,11 +5,16 @@ Figures 4 and 5 and Table IV all consume the same four intensity sweeps
 memoises the results, keyed by the sweep configuration, so running
 several experiments in one session does not repeat the (deterministic)
 simulated measurement campaign.
+
+:func:`run_panels` additionally fans the panels out across worker
+processes (``jobs > 1``) and seeds the in-process memo with the results,
+so a parallel prewarm makes every subsequent :func:`run_panel` call a
+dictionary lookup.
 """
 
 from __future__ import annotations
 
-from functools import lru_cache
+from concurrent.futures import ProcessPoolExecutor
 
 import numpy as np
 
@@ -25,7 +30,14 @@ from repro.microbench.sweep import IntensitySweep, SweepResult
 from repro.simulator.device import DeviceTruth, gtx580_truth, i7_950_truth
 from repro.simulator.kernel import Precision
 
-__all__ = ["PANELS", "panel_machine", "panel_truth", "run_panel", "panel_intensities"]
+__all__ = [
+    "PANELS",
+    "panel_machine",
+    "panel_truth",
+    "run_panel",
+    "run_panels",
+    "panel_intensities",
+]
 
 #: The four device-precision panels of Figs. 4 and 5, in paper order.
 PANELS: tuple[tuple[str, str], ...] = (
@@ -34,6 +46,11 @@ PANELS: tuple[tuple[str, str], ...] = (
     ("gpu", "single"),
     ("cpu", "single"),
 )
+
+#: Per-process memo of completed panel sweeps.  An explicit dict (rather
+#: than ``lru_cache``) so :func:`run_panels` can seed it with results
+#: computed in worker processes.
+_PANEL_MEMO: dict[tuple[str, str, int, int], SweepResult] = {}
 
 
 def panel_truth(device: str) -> DeviceTruth:
@@ -59,7 +76,26 @@ def panel_intensities(precision: str, *, points_per_octave: int = 2) -> tuple[fl
     return tuple(float(2.0 ** x) for x in np.linspace(-2.0, hi, n))
 
 
-@lru_cache(maxsize=None)
+def _compute_panel(
+    device: str, precision: str, points_per_octave: int, seed: int
+) -> SweepResult:
+    truth = panel_truth(device)
+    sweep = IntensitySweep(
+        truth,
+        precision=Precision.DOUBLE if precision == "double" else Precision.SINGLE,
+        seed=seed,
+    )
+    return sweep.run(list(panel_intensities(precision, points_per_octave=points_per_octave)))
+
+
+def _panel_task(
+    args: tuple[str, str, int, int],
+) -> tuple[tuple[str, str, int, int], SweepResult]:
+    """Worker-process entry point: compute one panel, return it with its key."""
+    device, precision, points_per_octave, seed = args
+    return args, _compute_panel(device, precision, points_per_octave, seed)
+
+
 def run_panel(
     device: str,
     precision: str,
@@ -68,10 +104,38 @@ def run_panel(
     seed: int = DEFAULT_SEED,
 ) -> SweepResult:
     """Run (or fetch the memoised) sweep for one panel."""
-    truth = panel_truth(device)
-    sweep = IntensitySweep(
-        truth,
-        precision=Precision.DOUBLE if precision == "double" else Precision.SINGLE,
-        seed=seed,
-    )
-    return sweep.run(list(panel_intensities(precision, points_per_octave=points_per_octave)))
+    key = (device, precision, points_per_octave, seed)
+    if key not in _PANEL_MEMO:
+        _PANEL_MEMO[key] = _compute_panel(device, precision, points_per_octave, seed)
+    return _PANEL_MEMO[key]
+
+
+def run_panels(
+    panels: tuple[tuple[str, str], ...] = PANELS,
+    *,
+    points_per_octave: int = 2,
+    seed: int = DEFAULT_SEED,
+    jobs: int = 1,
+) -> dict[tuple[str, str], SweepResult]:
+    """Run several panels, optionally across worker processes.
+
+    With ``jobs > 1`` the not-yet-memoised panels run concurrently in a
+    :class:`~concurrent.futures.ProcessPoolExecutor`; every result seeds
+    the in-process memo, so later :func:`run_panel` calls are free.
+    """
+    keys = {
+        (device, precision): (device, precision, points_per_octave, seed)
+        for device, precision in panels
+    }
+    missing = [k for k in keys.values() if k not in _PANEL_MEMO]
+    if missing and jobs > 1:
+        workers = min(jobs, len(missing))
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            for key, result in pool.map(_panel_task, missing):
+                _PANEL_MEMO[key] = result
+    return {
+        panel: run_panel(
+            panel[0], panel[1], points_per_octave=points_per_octave, seed=seed
+        )
+        for panel in keys
+    }

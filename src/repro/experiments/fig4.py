@@ -24,7 +24,7 @@ from repro.core.energy_model import EnergyModel
 from repro.core.rooflines import archline_series, roofline_series
 from repro.core.time_model import TimeModel
 from repro.experiments.registry import ExperimentResult, experiment
-from repro.experiments._sweeps import PANELS, panel_machine, run_panel
+from repro.experiments._sweeps import PANELS, panel_machine, run_panel, run_panels
 from repro.microbench.sweep import SweepResult
 from repro.viz.ascii_chart import render_chart
 from repro.viz.series import ScatterSeries
@@ -34,15 +34,13 @@ __all__ = ["run"]
 
 def _panel_report(device: str, precision: str, sweep: SweepResult) -> tuple[str, dict[str, float]]:
     machine = panel_machine(device, precision)
-    intensities = np.array(sweep.intensities())
+    intensities = sweep.intensities_array()
     lo, hi = float(intensities.min()) / 1.2, float(intensities.max()) * 1.2
 
     measured_time = ScatterSeries(
         label="measured (GFLOP/s / peak)",
         intensities=intensities,
-        values=np.array(
-            [p.measurement.achieved_gflops / machine.peak_gflops for p in sweep.points]
-        ),
+        values=sweep.achieved_gflops_array() / machine.peak_gflops,
     )
     roof = roofline_series(machine, lo=lo, hi=hi, normalized=True)
     time_chart = render_chart(
@@ -56,12 +54,7 @@ def _panel_report(device: str, precision: str, sweep: SweepResult) -> tuple[str,
     measured_energy = ScatterSeries(
         label="measured (GFLOP/J / peak)",
         intensities=intensities,
-        values=np.array(
-            [
-                p.measurement.gflops_per_joule / machine.peak_gflops_per_joule
-                for p in sweep.points
-            ]
-        ),
+        values=sweep.gflops_per_joule_array() / machine.peak_gflops_per_joule,
     )
     arch = archline_series(machine, lo=lo, hi=hi, normalized=True)
     energy_chart = render_chart(
@@ -93,24 +86,13 @@ def _panel_report(device: str, precision: str, sweep: SweepResult) -> tuple[str,
         power_cap=None,
     )
     energy_model = EnergyModel(effective)
-    model_gfj = np.array(
-        [
-            energy_model.attainable_gflops_per_joule(i)
-            for i in intensities
-        ]
-    )
-    measured_gfj = np.array(
-        [p.measurement.gflops_per_joule for p in sweep.points]
-    )
+    model_gfj = energy_model.attainable_gflops_per_joule_batch(intensities)
+    measured_gfj = sweep.gflops_per_joule_array()
     energy_dev = float(np.max(np.abs(measured_gfj / model_gfj - 1.0)))
 
     time_model = TimeModel(effective)
-    roof_gflops = np.array(
-        [time_model.attainable_gflops(i) for i in intensities]
-    )
-    measured_gflops = np.array(
-        [p.measurement.achieved_gflops for p in sweep.points]
-    )
+    roof_gflops = time_model.attainable_gflops_batch(intensities)
+    measured_gflops = sweep.achieved_gflops_array()
     time_sag = float(np.max(1.0 - measured_gflops / roof_gflops))
 
     key = f"{device}_{precision}"
@@ -138,8 +120,12 @@ def _panel_report(device: str, precision: str, sweep: SweepResult) -> tuple[str,
 
 
 @experiment("fig4", "Fig. 4 — measured time and energy vs the model")
-def run(*, points_per_octave: int = 2) -> ExperimentResult:
-    """Regenerate all four panels of Fig. 4 (both precisions)."""
+def run(*, points_per_octave: int = 2, jobs: int = 1) -> ExperimentResult:
+    """Regenerate all four panels of Fig. 4 (both precisions).
+
+    ``jobs > 1`` runs the four panel sweeps across worker processes.
+    """
+    run_panels(PANELS, points_per_octave=points_per_octave, jobs=jobs)
     sections: list[str] = []
     values: dict[str, float] = {}
     for device, precision in PANELS:

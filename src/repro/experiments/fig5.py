@@ -16,7 +16,7 @@ from repro.core.power_model import PowerModel
 from repro.core.powercap import CappedModel
 from repro.core.rooflines import capped_powerline_series, powerline_series
 from repro.experiments.registry import ExperimentResult, experiment
-from repro.experiments._sweeps import PANELS, panel_machine, run_panel
+from repro.experiments._sweeps import PANELS, panel_machine, run_panel, run_panels
 from repro.viz.ascii_chart import render_chart
 from repro.viz.series import ScatterSeries
 
@@ -24,21 +24,25 @@ __all__ = ["run"]
 
 
 @experiment("fig5", "Fig. 5 — measured power vs the powerline model")
-def run(*, points_per_octave: int = 2) -> ExperimentResult:
-    """Regenerate all four power panels plus the cap analysis."""
+def run(*, points_per_octave: int = 2, jobs: int = 1) -> ExperimentResult:
+    """Regenerate all four power panels plus the cap analysis.
+
+    ``jobs > 1`` runs the four panel sweeps across worker processes.
+    """
+    run_panels(PANELS, points_per_octave=points_per_octave, jobs=jobs)
     sections: list[str] = []
     values: dict[str, float] = {}
     for device, precision in PANELS:
         sweep = run_panel(device, precision, points_per_octave=points_per_octave)
         machine = panel_machine(device, precision)
         pm = PowerModel(machine)
-        intensities = np.array(sweep.intensities())
+        intensities = sweep.intensities_array()
         lo, hi = float(intensities.min()) / 1.2, float(intensities.max()) * 1.2
 
         measured = ScatterSeries(
             label="measured power (W)",
             intensities=intensities,
-            values=np.array([p.measurement.average_power for p in sweep.points]),
+            values=sweep.average_power_array(),
         )
         model = powerline_series(machine, lo=lo, hi=hi, normalized=False)
         series = [model]

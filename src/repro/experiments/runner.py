@@ -1,0 +1,233 @@
+"""Parallel, cached execution of registry experiments.
+
+The reproduction's experiments are deterministic functions of (a) the
+machine catalog's cost coefficients, (b) the sweep configuration passed
+as keyword arguments, and (c) the global measurement seed.  That makes
+their results *content-addressable*: hash those inputs and any previous
+run with the same hash can be replayed from disk instead of recomputed.
+
+:class:`ExperimentRunner` adds two production conveniences on top of the
+registry:
+
+* **Parallelism** — ``jobs > 1`` fans independent experiments out across
+  a :class:`~concurrent.futures.ProcessPoolExecutor`, and passes the job
+  count down to experiments whose signature accepts ``jobs`` (the
+  sweep-based ones parallelise their four device-precision panels).
+* **On-disk result cache** — ``cache_dir`` stores each
+  :class:`~repro.experiments.registry.ExperimentResult` as JSON under
+  its content hash; cache hits skip the measurement campaign entirely.
+
+The CLI exposes both via ``experiment run ID... --jobs N --cache-dir D``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import inspect
+import json
+import os
+import tempfile
+from concurrent.futures import ProcessPoolExecutor
+from pathlib import Path
+from typing import Any, Iterable, Sequence
+
+from repro import __version__
+from repro.config import DEFAULT_SEED
+from repro.exceptions import ExperimentError
+from repro.experiments.registry import (
+    ExperimentResult,
+    get_experiment,
+    run_experiment,
+)
+
+__all__ = ["ExperimentRunner", "cache_key"]
+
+
+def _machine_fingerprint() -> dict[str, dict[str, Any]]:
+    """Raw cost coefficients of every catalog machine, by key."""
+    from repro.machines.catalog import get_machine, list_machines
+
+    fingerprint: dict[str, dict[str, Any]] = {}
+    for key, _title in list_machines():
+        m = get_machine(key)
+        fingerprint[key] = {
+            "tau_flop": m.tau_flop,
+            "tau_mem": m.tau_mem,
+            "eps_flop": m.eps_flop,
+            "eps_mem": m.eps_mem,
+            "pi0": m.pi0,
+            "power_cap": m.power_cap,
+        }
+    return fingerprint
+
+
+def cache_key(experiment_id: str, kwargs: dict[str, Any] | None = None) -> str:
+    """Content hash of one experiment invocation.
+
+    Keyed by experiment id, its keyword arguments (the sweep
+    configuration), the machine catalog's cost coefficients, the global
+    measurement seed, and the package version — everything a result is a
+    deterministic function of.  ``jobs`` is excluded: parallelism changes
+    wall time, never values.
+    """
+    relevant = {k: v for k, v in (kwargs or {}).items() if k != "jobs"}
+    payload = {
+        "experiment": experiment_id,
+        "kwargs": relevant,
+        "machines": _machine_fingerprint(),
+        "seed": DEFAULT_SEED,
+        "version": __version__,
+    }
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"), default=repr)
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def _run_task(item: tuple[str, dict[str, Any]]) -> ExperimentResult:
+    """Worker-process entry point: run one experiment from its spec."""
+    experiment_id, kwargs = item
+    return run_experiment(experiment_id, **kwargs)
+
+
+def _accepts_jobs(experiment_id: str) -> bool:
+    params = inspect.signature(get_experiment(experiment_id)).parameters
+    return "jobs" in params
+
+
+class ExperimentRunner:
+    """Execute registry experiments with optional parallelism and caching.
+
+    Parameters
+    ----------
+    jobs:
+        Worker-process budget.  ``1`` (default) runs everything in this
+        process; higher values parallelise across experiments in
+        :meth:`run_many` and across sweep panels inside a single
+        ``jobs``-aware experiment in :meth:`run`.
+    cache_dir:
+        Directory for the content-addressed result cache; created on
+        first use.  ``None`` disables caching.
+    """
+
+    def __init__(self, *, jobs: int = 1, cache_dir: str | Path | None = None):
+        if jobs < 1:
+            raise ExperimentError(f"jobs must be >= 1, got {jobs}")
+        self.jobs = jobs
+        self.cache_dir = Path(cache_dir) if cache_dir is not None else None
+        if (
+            self.cache_dir is not None
+            and self.cache_dir.exists()
+            and not self.cache_dir.is_dir()
+        ):
+            raise ExperimentError(
+                f"cache dir {self.cache_dir} exists and is not a directory"
+            )
+
+    # ------------------------------------------------------------------
+    # Cache plumbing
+    # ------------------------------------------------------------------
+
+    def _cache_path(self, key: str) -> Path | None:
+        if self.cache_dir is None:
+            return None
+        return self.cache_dir / f"{key}.json"
+
+    def cache_lookup(self, experiment_id: str, kwargs: dict[str, Any]) -> ExperimentResult | None:
+        """Return the cached result for an invocation, if present."""
+        path = self._cache_path(cache_key(experiment_id, kwargs))
+        if path is None or not path.is_file():
+            return None
+        try:
+            payload = json.loads(path.read_text())
+            return ExperimentResult(
+                experiment_id=payload["experiment_id"],
+                title=payload["title"],
+                text=payload["text"],
+                values={k: float(v) for k, v in payload["values"].items()},
+            )
+        except (KeyError, ValueError, json.JSONDecodeError):
+            # A corrupt entry is a cache miss, not an error.
+            return None
+
+    def cache_store(self, result: ExperimentResult, kwargs: dict[str, Any]) -> None:
+        """Persist a result under its content hash (atomic write)."""
+        path = self._cache_path(cache_key(result.experiment_id, kwargs))
+        if path is None:
+            return
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "experiment_id": result.experiment_id,
+            "title": result.title,
+            "text": result.text,
+            "values": result.values,
+        }
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump(payload, handle, sort_keys=True)
+            os.replace(tmp, path)
+        except BaseException:
+            if os.path.exists(tmp):
+                os.unlink(tmp)
+            raise
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+
+    def run(self, experiment_id: str, **kwargs: Any) -> ExperimentResult:
+        """Run one experiment, consulting the cache first.
+
+        When the experiment's signature accepts ``jobs``, the runner's
+        budget is forwarded so its internal sweeps parallelise.
+        """
+        cached = self.cache_lookup(experiment_id, kwargs)
+        if cached is not None:
+            return cached
+        call_kwargs = dict(kwargs)
+        if self.jobs > 1 and _accepts_jobs(experiment_id):
+            call_kwargs.setdefault("jobs", self.jobs)
+        result = run_experiment(experiment_id, **call_kwargs)
+        self.cache_store(result, kwargs)
+        return result
+
+    def run_many(
+        self,
+        experiment_ids: Sequence[str] | Iterable[str],
+        **kwargs: Any,
+    ) -> list[ExperimentResult]:
+        """Run several experiments, in registry-id input order.
+
+        Cache hits resolve immediately; misses execute across the worker
+        pool when ``jobs > 1``, each worker re-validating its experiment
+        id before anything is spawned.
+        """
+        ids = list(experiment_ids)
+        for experiment_id in ids:
+            get_experiment(experiment_id)  # fail fast on unknown ids
+
+        results: dict[int, ExperimentResult] = {}
+        misses: list[tuple[int, str]] = []
+        for index, experiment_id in enumerate(ids):
+            cached = self.cache_lookup(experiment_id, kwargs)
+            if cached is not None:
+                results[index] = cached
+            else:
+                misses.append((index, experiment_id))
+
+        if len(misses) == 1:
+            # A single miss gains nothing from a one-worker pool; run it
+            # inline so a jobs-aware experiment can parallelise its panels.
+            index, experiment_id = misses[0]
+            results[index] = self.run(experiment_id, **kwargs)
+        elif misses and self.jobs > 1:
+            specs = [(experiment_id, kwargs) for _, experiment_id in misses]
+            workers = min(self.jobs, len(misses))
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                for (index, _), result in zip(misses, pool.map(_run_task, specs)):
+                    results[index] = result
+                    self.cache_store(result, kwargs)
+        else:
+            for index, experiment_id in misses:
+                results[index] = self.run(experiment_id, **kwargs)
+
+        return [results[i] for i in range(len(ids))]

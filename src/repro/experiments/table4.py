@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from repro.core.fitting import FittedCoefficients, fit_energy_coefficients
 from repro.experiments.registry import ExperimentResult, experiment
-from repro.experiments._sweeps import panel_truth, run_panel
+from repro.experiments._sweeps import PANELS, panel_truth, run_panel, run_panels
 
 __all__ = ["run"]
 
@@ -30,8 +30,12 @@ def _fit_device(device: str, points_per_octave: int) -> FittedCoefficients:
 
 
 @experiment("table4", "Table IV — fitted energy coefficients")
-def run(*, points_per_octave: int = 2) -> ExperimentResult:
-    """Fit both devices and report fitted-vs-truth in Table IV layout."""
+def run(*, points_per_octave: int = 2, jobs: int = 1) -> ExperimentResult:
+    """Fit both devices and report fitted-vs-truth in Table IV layout.
+
+    ``jobs > 1`` runs the four panel sweeps across worker processes.
+    """
+    run_panels(PANELS, points_per_octave=points_per_octave, jobs=jobs)
     lines = [
         "Table IV — fitted energy coefficients (vs hidden simulator truth)",
         "",

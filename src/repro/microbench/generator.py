@@ -35,6 +35,7 @@ __all__ = [
     "polynomial_reference",
     "fma_load_mix_reference",
     "size_work_for_duration",
+    "size_work_for_duration_batch",
 ]
 
 
@@ -187,4 +188,21 @@ def size_work_for_duration(
     tau_flop = truth.spec.tau_flop(double_precision=precision is Precision.DOUBLE)
     tau_mem = truth.spec.tau_mem
     per_flop = max(tau_flop, tau_mem / intensity)
+    return target_seconds / per_flop
+
+
+def size_work_for_duration_batch(
+    truth: DeviceTruth,
+    intensities: np.ndarray,
+    *,
+    precision: Precision,
+    target_seconds: float = 0.05,
+) -> np.ndarray:
+    """Vectorised :func:`size_work_for_duration` for a whole sweep grid."""
+    arr = np.asarray(intensities, dtype=float)
+    if arr.size == 0 or np.any(arr <= 0) or target_seconds <= 0:
+        raise SimulationError("intensities and target_seconds must be positive")
+    tau_flop = truth.spec.tau_flop(double_precision=precision is Precision.DOUBLE)
+    tau_mem = truth.spec.tau_mem
+    per_flop = np.maximum(tau_flop, tau_mem / arr)
     return target_seconds / per_flop

@@ -13,6 +13,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.config import DEFAULT_SEED, MeasurementProtocol, NoiseProfile
 from repro.core.fitting import EnergySample
 from repro.exceptions import MeasurementError
@@ -23,6 +25,7 @@ from repro.microbench.generator import (
     gpu_fma_load_kernel,
     polynomial_degree_for_intensity,
     size_work_for_duration,
+    size_work_for_duration_batch,
 )
 from repro.powermon.channels import RailSet, atx_cpu_rails, gpu_rails
 from repro.powermon.session import Measurement, MeasurementSession
@@ -67,20 +70,75 @@ class SweepResult:
         """Actual kernel intensities in sweep order."""
         return [p.intensity for p in self.points]
 
+    # ------------------------------------------------------------------
+    # Array-native accessors (one gather, no per-point Python arithmetic)
+    # ------------------------------------------------------------------
+
+    def intensities_array(self) -> np.ndarray:
+        """Actual kernel intensities as a float array, sweep order."""
+        return np.fromiter(
+            (p.intensity for p in self.points), dtype=float, count=len(self.points)
+        )
+
+    def _gather(self, *attrs: str) -> tuple[np.ndarray, ...]:
+        """Column-gather measurement scalars into parallel arrays."""
+        n = len(self.points)
+        return tuple(
+            np.fromiter(
+                (getattr(p.measurement, a) for p in self.points), dtype=float, count=n
+            )
+            for a in attrs
+        )
+
+    def achieved_gflops_array(self) -> np.ndarray:
+        """Measured arithmetic throughput per point (GFLOP/s)."""
+        (time,) = self._gather("time")
+        work = np.fromiter(
+            (p.measurement.kernel.work for p in self.points),
+            dtype=float,
+            count=len(self.points),
+        )
+        return work / time / 1e9
+
+    def achieved_bandwidth_array(self) -> np.ndarray:
+        """Measured DRAM bandwidth per point (GB/s)."""
+        (time,) = self._gather("time")
+        traffic = np.fromiter(
+            (p.measurement.kernel.traffic for p in self.points),
+            dtype=float,
+            count=len(self.points),
+        )
+        return traffic / time / 1e9
+
+    def gflops_per_joule_array(self) -> np.ndarray:
+        """Measured energy efficiency per point (GFLOP/J)."""
+        (energy,) = self._gather("energy")
+        work = np.fromiter(
+            (p.measurement.kernel.work for p in self.points),
+            dtype=float,
+            count=len(self.points),
+        )
+        return work / energy / 1e9
+
+    def average_power_array(self) -> np.ndarray:
+        """Measured average power per point (W)."""
+        (power,) = self._gather("average_power")
+        return power
+
     @property
     def max_gflops(self) -> float:
         """Best achieved arithmetic throughput across the sweep (GFLOP/s)."""
-        return max(p.measurement.achieved_gflops for p in self.points)
+        return float(self.achieved_gflops_array().max())
 
     @property
     def max_bandwidth_gbytes(self) -> float:
         """Best achieved DRAM bandwidth across the sweep (GB/s)."""
-        return max(p.measurement.achieved_bandwidth_gbytes for p in self.points)
+        return float(self.achieved_bandwidth_array().max())
 
     @property
     def max_gflops_per_joule(self) -> float:
         """Best achieved energy efficiency across the sweep (GFLOP/J)."""
-        return max(p.measurement.gflops_per_joule for p in self.points)
+        return float(self.gflops_per_joule_array().max())
 
 
 class IntensitySweep:
@@ -142,6 +200,53 @@ class IntensitySweep:
             degree, n_elements, precision=self.precision, launch=launch
         )
 
+    def build_kernels(
+        self,
+        intensities: list[float] | np.ndarray,
+        launch: LaunchConfig | None = None,
+    ) -> list[KernelSpec]:
+        """Build the whole sweep's kernels with one vectorised sizing pass.
+
+        The work sizing (the numeric part of kernel construction) runs
+        through :func:`size_work_for_duration_batch` for the full grid at
+        once; only the integral mix selection stays per-kernel.
+        """
+        grid = np.asarray(intensities, dtype=float)
+        works = size_work_for_duration_batch(
+            self.truth,
+            grid,
+            precision=self.precision,
+            target_seconds=self.target_seconds,
+        )
+        kernels: list[KernelSpec] = []
+        if self.truth.spec.device == "GPU":
+            for intensity, work in zip(grid, works):
+                k, loads = fma_load_mix_for_intensity(
+                    float(intensity), precision=self.precision
+                )
+                n_groups = max(1, round(float(work) / (2.0 * k)))
+                kernels.append(
+                    gpu_fma_load_kernel(
+                        k,
+                        n_groups,
+                        loads_per_group=loads,
+                        precision=self.precision,
+                        launch=launch,
+                    )
+                )
+            return kernels
+        for intensity, work in zip(grid, works):
+            degree = polynomial_degree_for_intensity(
+                float(intensity), precision=self.precision
+            )
+            n_elements = max(1, round(float(work) / (2.0 * degree)))
+            kernels.append(
+                cpu_polynomial_kernel(
+                    degree, n_elements, precision=self.precision, launch=launch
+                )
+            )
+        return kernels
+
     def tune(self, *, strategy: str = "greedy") -> TuneResult:
         """Tune the launch on a strongly compute-bound kernel instance.
 
@@ -179,13 +284,15 @@ class IntensitySweep:
             tuning = TuneResult(
                 launch=launch, objective=float("nan"), evaluations=0, strategy="fixed"
             )
-        points = []
-        for intensity in sorted(intensities):
-            kernel = self.build_kernel(intensity, launch=launch)
-            measurement = self.session.measure(kernel)
-            points.append(
-                SweepPoint(requested_intensity=intensity, measurement=measurement)
+        ordered = sorted(intensities)
+        kernels = self.build_kernels(ordered, launch=launch)
+        points = [
+            SweepPoint(
+                requested_intensity=intensity,
+                measurement=self.session.measure(kernel),
             )
+            for intensity, kernel in zip(ordered, kernels)
+        ]
         return SweepResult(
             device_name=self.truth.name,
             precision=self.precision,

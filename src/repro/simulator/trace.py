@@ -88,18 +88,26 @@ class PowerTrace:
         p = np.full_like(t, self.idle_power)
         delta = self.active_power - self.idle_power
         if self.ramp > 0:
+            # Divide only where a ramp is actually in progress: np.where
+            # evaluates both branches, so an unguarded division computes
+            # (t - t0) / ramp far outside the ramp window too, overflowing
+            # for tiny ramps against distant sample times.
             rising = (t >= self.t_rise_start) & (t < self.t_plateau_start)
-            p = np.where(
-                rising,
-                self.idle_power + delta * (t - self.t_rise_start) / self.ramp,
-                p,
+            frac = np.divide(
+                t - self.t_rise_start,
+                self.ramp,
+                out=np.zeros_like(t),
+                where=rising,
             )
+            p = np.where(rising, self.idle_power + delta * frac, p)
             falling = (t >= self.t_plateau_end) & (t < self.t_fall_end)
-            p = np.where(
-                falling,
-                self.active_power - delta * (t - self.t_plateau_end) / self.ramp,
-                p,
+            frac = np.divide(
+                t - self.t_plateau_end,
+                self.ramp,
+                out=np.zeros_like(t),
+                where=falling,
             )
+            p = np.where(falling, self.active_power - delta * frac, p)
         plateau = (t >= self.t_plateau_start) & (t < self.t_plateau_end)
         p = np.where(plateau, self.active_power, p)
         return p

@@ -1,0 +1,155 @@
+"""Property-based invariants of the energy roofline model.
+
+Four structural facts the paper's equations guarantee for *every*
+physical machine, checked here over hypothesis-random parameter space:
+
+* the energy arch line (eqs. (4)–(6)) is continuous at the time
+  balance point ``I = Bτ``;
+* energy per flop is non-increasing in intensity (more reuse never
+  costs more energy per operation);
+* the powerline (eq. (7)) peaks at ``I = Bτ`` and never exceeds the
+  eq. (8) bound ``π_flop (1 + Bε/Bτ) + π0``;
+* the eq. (10) greenup threshold agrees with a direct energy
+  comparison for ``π0 = 0`` machines, where the closed form is exact.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core.energy_model import EnergyModel
+from repro.core.params import MachineModel
+from repro.core.power_model import PowerModel
+from repro.core.tradeoff import TradeoffAnalyzer, greenup_threshold_work
+from tests.conftest import intensity_strategy, machine_strategy, profile_strategy
+
+
+class TestArchContinuity:
+    """B̂ε(I) has a kink at I = Bτ but the arch line itself is continuous."""
+
+    @settings(max_examples=100)
+    @given(machine=machine_strategy())
+    def test_continuous_at_balance_point(self, machine: MachineModel):
+        model = EnergyModel(machine)
+        b_tau = machine.b_tau
+        below = model.attainable_gflops_per_joule(b_tau * (1.0 - 1e-9))
+        at = model.attainable_gflops_per_joule(b_tau)
+        above = model.attainable_gflops_per_joule(b_tau * (1.0 + 1e-9))
+        np.testing.assert_allclose(below, at, rtol=1e-6)
+        np.testing.assert_allclose(above, at, rtol=1e-6)
+
+    @settings(max_examples=100)
+    @given(machine=machine_strategy())
+    def test_b_eps_hat_collapses_to_eta_b_eps_above_balance(
+        self, machine: MachineModel
+    ):
+        # Above Bτ there is no exposed memory time: B̂ε(I) = η·Bε exactly.
+        for factor in (1.0, 2.0, 100.0):
+            assert machine.b_eps_hat(machine.b_tau * factor) == (
+                machine.eta_flop * machine.b_eps
+            )
+
+
+class TestEnergyMonotonicity:
+    """Eq. (4): E/W = ε̂_flop (1 + B̂ε(I)/I) never increases with I."""
+
+    @settings(max_examples=100)
+    @given(machine=machine_strategy())
+    def test_energy_per_flop_non_increasing(self, machine: MachineModel):
+        grid = np.geomspace(1e-4, 1e4, 201)
+        energy = EnergyModel(machine).energy_per_flop_batch(grid)
+        assert np.all(np.diff(energy) <= energy[:-1] * 1e-12)
+
+    @settings(max_examples=100)
+    @given(machine=machine_strategy())
+    def test_efficiency_bounded_by_peak(self, machine: MachineModel):
+        grid = np.geomspace(1e-4, 1e4, 201)
+        efficiency = EnergyModel(machine).normalized_efficiency_batch(grid)
+        assert np.all(efficiency > 0.0)
+        assert np.all(efficiency <= 1.0 + 1e-12)
+
+
+class TestPowerlinePeak:
+    """Eq. (7) peaks at the balance point and obeys the eq. (8) bound."""
+
+    @settings(max_examples=100)
+    @given(machine=machine_strategy(), intensity=intensity_strategy())
+    def test_balance_point_dominates(self, machine: MachineModel, intensity: float):
+        model = PowerModel(machine)
+        assert model.power(intensity) <= model.max_power * (1.0 + 1e-12)
+
+    @settings(max_examples=100)
+    @given(machine=machine_strategy())
+    def test_eq8_bound(self, machine: MachineModel):
+        model = PowerModel(machine)
+        bound = machine.pi_flop * (1.0 + machine.b_eps / machine.b_tau) + machine.pi0
+        # The bound is attained exactly at I = Bτ ...
+        np.testing.assert_allclose(model.power(machine.b_tau), bound, rtol=1e-12)
+        # ... and never exceeded anywhere else.
+        grid = np.geomspace(1e-4, 1e4, 201)
+        assert np.all(model.power_batch(grid) <= bound * (1.0 + 1e-12))
+
+    @settings(max_examples=100)
+    @given(machine=machine_strategy())
+    def test_limits_far_from_balance(self, machine: MachineModel):
+        model = PowerModel(machine)
+        # Compute-bound tail → π_flop + π0; memory-bound tail stays above it
+        # only through the Bε̂/I term, which vanishes as I grows.
+        far = machine.b_tau * 1e12
+        np.testing.assert_allclose(
+            model.power(far), machine.pi_flop + machine.pi0, rtol=1e-6
+        )
+
+
+class TestGreenupThreshold:
+    """Eq. (10) vs the exact model for π0 = 0, where it must agree."""
+
+    @settings(max_examples=150)
+    @given(
+        machine=machine_strategy(allow_pi0=False),
+        baseline=profile_strategy(),
+        m=st.floats(1.0 + 1e-6, 100.0),
+        offset=st.floats(0.005, 0.5),
+    )
+    def test_threshold_separates_greenup_from_loss(
+        self, machine: MachineModel, baseline, m: float, offset: float
+    ):
+        analyzer = TradeoffAnalyzer(machine, baseline)
+        threshold = greenup_threshold_work(
+            m=m, b_eps=machine.b_eps, intensity=baseline.intensity
+        )
+        assume(threshold > 1.0 + 1e-9)  # m ≈ 1 leaves no headroom
+        inside = 1.0 + (threshold - 1.0) * (1.0 - offset)
+        outside = threshold * (1.0 + offset)
+        assert analyzer.evaluate(inside, m).greenup > 1.0
+        assert analyzer.evaluate(outside, m).greenup < 1.0
+
+    @settings(max_examples=100)
+    @given(
+        machine=machine_strategy(allow_pi0=False),
+        baseline=profile_strategy(),
+        m=st.floats(1.0 + 1e-6, 100.0),
+    )
+    def test_exact_threshold_matches_closed_form_without_pi0(
+        self, machine: MachineModel, baseline, m: float
+    ):
+        analyzer = TradeoffAnalyzer(machine, baseline)
+        closed = analyzer.greenup_threshold(m)
+        exact = analyzer.exact_greenup_threshold(m)
+        np.testing.assert_allclose(exact, closed, rtol=1e-6)
+
+    @settings(max_examples=100)
+    @given(
+        machine=machine_strategy(allow_pi0=False),
+        baseline=profile_strategy(),
+        m=st.floats(1.0, 100.0),
+    )
+    def test_greenup_at_threshold_is_breakeven(
+        self, machine: MachineModel, baseline, m: float
+    ):
+        analyzer = TradeoffAnalyzer(machine, baseline)
+        threshold = analyzer.greenup_threshold(m)
+        point = analyzer.evaluate(threshold, m)
+        np.testing.assert_allclose(point.greenup, 1.0, rtol=1e-9)

@@ -1,0 +1,54 @@
+"""Golden regression fixtures: frozen experiment outputs under tests/data/.
+
+Each fixture is the ``values`` dict of one registry experiment, captured
+from a known-good run.  Any drift in the model equations, the machine
+catalog, or the simulated measurement pipeline shows up here as a value
+change — the point is to catch *unintentional* drift, so if a change is
+deliberate, regenerate the fixture and say so in the commit.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.registry import run_experiment
+
+DATA_DIR = Path(__file__).resolve().parent.parent / "data"
+
+GOLDEN_FILES = {
+    "table2": "golden_table2.json",
+    "table3": "golden_table3.json",
+    "table4": "golden_table4.json",
+}
+
+
+def load_golden(filename: str) -> dict:
+    return json.loads((DATA_DIR / filename).read_text())
+
+
+class TestGoldenTables:
+    @pytest.mark.parametrize("experiment_id", sorted(GOLDEN_FILES))
+    def test_values_match_fixture(self, experiment_id: str):
+        golden = load_golden(GOLDEN_FILES[experiment_id])
+        result = run_experiment(experiment_id)
+        assert result.experiment_id == golden["experiment_id"]
+        assert set(result.values) == set(golden["values"])
+        for key, expected in golden["values"].items():
+            assert result.values[key] == pytest.approx(expected, rel=1e-9), key
+
+
+class TestGoldenFig4Sweep:
+    def test_coarse_sweep_matches_fixture(self):
+        golden = load_golden("golden_fig4_coarse.json")
+        result = run_experiment("fig4", **golden["kwargs"])
+        assert set(result.values) == set(golden["values"])
+        for key, expected in golden["values"].items():
+            assert result.values[key] == pytest.approx(expected, rel=1e-9), key
+
+    def test_fixture_covers_all_four_panels(self):
+        golden = load_golden("golden_fig4_coarse.json")
+        for panel in ("gpu_double", "gpu_single", "cpu_double", "cpu_single"):
+            assert any(k.startswith(panel) for k in golden["values"])

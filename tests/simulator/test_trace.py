@@ -93,6 +93,38 @@ class TestEnergy:
         assert t.active_energy() == pytest.approx(250.0 * 2.0)
 
 
+class TestNumericalGuards:
+    """Regression: the ramp divisions must only run inside the ramp window.
+
+    ``np.where`` evaluates both branches, so an unguarded
+    ``(t - t0) / ramp`` overflowed for denormal-small ramps against
+    sample times far outside the window (RuntimeWarning at high sample
+    counts in the energy-integral tests).
+    """
+
+    def test_power_at_is_warning_clean_under_errstate_raise(self):
+        t = trace(ramp=5e-324, active_duration=100.0)  # smallest positive double
+        times = np.linspace(0.0, t.duration, 10_001)
+        with np.errstate(all="raise"):
+            powers = t.power_at(times)
+        assert powers.min() >= 40.0 - 1e-9
+        assert powers.max() <= 250.0 + 1e-9
+
+    def test_full_trace_evaluation_raises_no_fp_errors(self):
+        t = trace()
+        times = np.linspace(0.0, t.duration, 200_001)
+        with np.errstate(all="raise"):
+            numeric = float(np.trapezoid(t.power_at(times), times))
+        assert numeric == pytest.approx(t.true_energy(), rel=1e-3)
+
+    def test_scalar_and_array_agree_on_ramps(self):
+        t = trace()
+        times = np.linspace(0.0, t.duration, 513)
+        batch = t.power_at(times)
+        scalars = np.array([float(t.power_at(x)) for x in times])
+        np.testing.assert_allclose(batch, scalars, rtol=0.0, atol=0.0)
+
+
 class TestValidation:
     def test_rejects_negative_power(self):
         with pytest.raises(SimulationError):

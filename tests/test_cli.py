@@ -93,6 +93,47 @@ class TestExperiments:
         assert payload["values"]["b_eps"] == pytest.approx(14.4, abs=0.01)
         assert "archived" in out
 
+    def test_run_multiple_ids_in_order(self, capsys):
+        code, out, _ = run_cli(capsys, "experiment", "run", "table2", "table3")
+        assert code == 0
+        assert "Table II" in out and "Table III" in out
+        assert out.index("Table II") < out.index("Table III")
+
+    def test_run_with_jobs(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "experiment", "run", "table2", "table3", "--jobs", "2"
+        )
+        assert code == 0
+        assert "Table II" in out and "Table III" in out
+
+    def test_run_with_cache_dir(self, capsys, tmp_path):
+        import json
+
+        cache = tmp_path / "cache"
+        code, _, _ = run_cli(
+            capsys, "experiment", "run", "table2", "--cache-dir", str(cache)
+        )
+        assert code == 0
+        entries = list(cache.glob("*.json"))
+        assert len(entries) == 1
+        # Second run replays from the cache: poison the entry and observe
+        # the sentinel surfacing in the report.
+        payload = json.loads(entries[0].read_text())
+        payload["text"] = "CACHE-REPLAY-OK"
+        entries[0].write_text(json.dumps(payload))
+        code, out, _ = run_cli(
+            capsys, "experiment", "run", "table2", "--cache-dir", str(cache)
+        )
+        assert code == 0
+        assert "CACHE-REPLAY-OK" in out
+
+    def test_run_rejects_bad_jobs(self, capsys):
+        code, _, err = run_cli(
+            capsys, "experiment", "run", "table2", "--jobs", "0"
+        )
+        assert code == 1
+        assert "error:" in err
+
 
 class TestFit:
     def test_fit_from_csv(self, capsys, tmp_path):
