@@ -10,18 +10,30 @@ with interaction pairs — can be validated against a mechanism instead
 of asserted.
 
 * :mod:`repro.cachesim.cache` — set-associative LRU levels and a
-  two-level hierarchy with per-level byte counters;
+  two-level hierarchy with per-level byte counters, each with a scalar
+  per-access path and a batched whole-stream path;
+* :mod:`repro.cachesim.batchlru` — the exact array-LRU engine behind
+  the batched path (stack distances via an OR-sparse-table);
 * :mod:`repro.cachesim.fmmtrace` — the reference U-list variant's
-  address stream and its simulation harness.
+  address stream (compiled or replayed) and its simulation harness.
 """
 
+from repro.cachesim.batchlru import batch_lru
 from repro.cachesim.cache import CacheHierarchy, CacheLevel, HierarchyCounters
-from repro.cachesim.fmmtrace import TraceResult, simulate_ulist_traffic
+from repro.cachesim.fmmtrace import (
+    CompiledTrace,
+    TraceResult,
+    compile_ulist_trace,
+    simulate_ulist_traffic,
+)
 
 __all__ = [
     "CacheLevel",
     "CacheHierarchy",
     "HierarchyCounters",
+    "CompiledTrace",
+    "batch_lru",
+    "compile_ulist_trace",
     "simulate_ulist_traffic",
     "TraceResult",
 ]

@@ -6,12 +6,22 @@ chains levels (inclusive, read-only modelling — adequate for the FMM
 source stream, which is read-dominated).  Counters report, per level,
 how many accesses and bytes it served, plus the bytes that fell through
 to memory — the quantities the analytic traffic model estimates.
+
+Each level offers two equivalent access paths: the scalar
+:meth:`CacheLevel.access` (one Python call per touch — the oracle the
+property tests trust) and the batched :meth:`CacheLevel.access_lines` /
+:meth:`CacheHierarchy.simulate` (whole address streams at once through
+:mod:`repro.cachesim.batchlru`).  Both update the same counters and the
+same per-set LRU state, bit-identically, and may be interleaved freely.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
+from repro.cachesim.batchlru import batch_lru
 from repro.exceptions import SimulationError
 
 __all__ = ["CacheLevel", "HierarchyCounters", "CacheHierarchy"]
@@ -59,6 +69,30 @@ class CacheLevel:
             stack.pop(0)  # evict LRU
         stack.append(line_addr)
         return False
+
+    def access_lines(self, line_addrs: np.ndarray) -> np.ndarray:
+        """Touch a whole line-address stream at once; hit flag per access.
+
+        Bit-identical to calling :meth:`access` in a loop — counters and
+        the per-set LRU stacks end up in exactly the same state — but
+        runs as a handful of array operations.  Pre-existing contents
+        are honoured by replaying each set's current stack as a warm-up
+        prefix (exact: at most ``ways`` distinct lines per set replay
+        into an empty cache without evicting).
+        """
+        addrs = np.ascontiguousarray(line_addrs)
+        if addrs.ndim != 1:
+            raise SimulationError("line address stream must be one-dimensional")
+        if addrs.size == 0:
+            return np.zeros(0, dtype=bool)
+        resident = [line for stack in self._sets for line in stack]
+        prefix = np.array(resident, dtype=np.int64) if resident else None
+        hits, stacks = batch_lru(addrs, self.n_sets, self.ways, prefix=prefix)
+        self.accesses += addrs.size
+        self.hits += int(np.count_nonzero(hits))
+        for set_index, stack in stacks.items():
+            self._sets[set_index] = stack
+        return hits
 
     def reset(self) -> None:
         """Clear contents and counters."""
@@ -110,6 +144,25 @@ class CacheHierarchy:
         if not self.l1.access(line_addr):
             if not self.l2.access(line_addr):
                 self.dram_lines += 1
+
+    def simulate(self, line_addrs: np.ndarray) -> HierarchyCounters:
+        """Run a whole line-address stream through the hierarchy at once.
+
+        Equivalent — counter for counter, stack for stack — to calling
+        :meth:`access_line` per address: every access touches L1, the
+        L1 misses flow to L2 *in their original order* (L2's decisions
+        are independent of when L1 hits interleave), and L2 misses fill
+        from memory.  Continues from the current cache state; callers
+        wanting a cold simulation should :meth:`reset` first.
+        """
+        addrs = np.ascontiguousarray(line_addrs)
+        if addrs.ndim != 1:
+            raise SimulationError("line address stream must be one-dimensional")
+        l1_hits = self.l1.access_lines(addrs)
+        misses = addrs[~l1_hits]
+        l2_hits = self.l2.access_lines(misses)
+        self.dram_lines += int(misses.size - np.count_nonzero(l2_hits))
+        return self.counters()
 
     def access_bytes(self, addr: int, size: int) -> None:
         """A sized read: touches every line the range spans."""

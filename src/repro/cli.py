@@ -120,6 +120,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="content-addressed result cache; repeated runs with the "
              "same machine params, sweep config, and seed replay from disk",
     )
+    p_run.add_argument(
+        "--max-variants", type=int, default=None, metavar="K",
+        help="for variant-sweep experiments (fmm): trim the variant "
+             "space to K for quick smoke runs; ignored by experiments "
+             "that do not take it",
+    )
 
     p_fit = sub.add_parser("fit", help="fit eq. (9) coefficients from a CSV")
     p_fit.add_argument("csv", type=Path)
@@ -240,7 +246,10 @@ def _cmd_experiment(args: argparse.Namespace) -> str:
         jobs=getattr(args, "jobs", 1),
         cache_dir=getattr(args, "cache_dir", None),
     )
-    results = runner.run_many(args.id)
+    run_kwargs = {}
+    if getattr(args, "max_variants", None) is not None:
+        run_kwargs["max_variants"] = args.max_variants
+    results = runner.run_many(args.id, **run_kwargs)
     blocks = []
     for result in results:
         text = result.text

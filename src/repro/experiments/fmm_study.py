@@ -27,8 +27,14 @@ def run(
     leaf_capacity: int = 64,
     seed: int = 3,
     max_variants: int | None = None,
+    jobs: int = 1,
 ) -> ExperimentResult:
-    """Run the study; ``max_variants`` trims the space for quick checks."""
+    """Run the study; ``max_variants`` trims the space for quick checks.
+
+    ``jobs > 1`` fans the variant measurements across worker processes
+    (results are identical for any job count — measurements are seeded
+    per variant).
+    """
     positions, densities = uniform_cloud(n_points, seed=seed)
     tree = Octree.build(positions, densities, leaf_capacity=leaf_capacity)
     tree.validate()
@@ -44,7 +50,7 @@ def run(
         variants = trimmed
 
     study = FmmEnergyStudy(tree, ulist)
-    result = study.run(variants)
+    result = study.run(variants, jobs=jobs)
 
     mean_ulist = sum(len(u) for u in ulist) / len(ulist)
     text = "\n".join(

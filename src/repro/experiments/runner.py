@@ -93,6 +93,25 @@ def _accepts_jobs(experiment_id: str) -> bool:
     return "jobs" in params
 
 
+def _supported_kwargs(
+    experiment_id: str, kwargs: dict[str, Any]
+) -> dict[str, Any]:
+    """Restrict kwargs to the parameters an experiment's signature accepts.
+
+    Lets callers broadcast options to a batch of experiments (e.g. the
+    CLI's ``--max-variants``) without every experiment having to declare
+    them: an option is forwarded only where the signature names it.
+    Filtering happens *before* cache keying, so an inapplicable option
+    never fragments an experiment's cache entries.
+    """
+    params = inspect.signature(get_experiment(experiment_id)).parameters
+    if any(
+        p.kind is inspect.Parameter.VAR_KEYWORD for p in params.values()
+    ):
+        return dict(kwargs)
+    return {k: v for k, v in kwargs.items() if k in params}
+
+
 class ExperimentRunner:
     """Execute registry experiments with optional parallelism and caching.
 
@@ -178,8 +197,11 @@ class ExperimentRunner:
         """Run one experiment, consulting the cache first.
 
         When the experiment's signature accepts ``jobs``, the runner's
-        budget is forwarded so its internal sweeps parallelise.
+        budget is forwarded so its internal sweeps parallelise.  Keyword
+        arguments the experiment does not declare are dropped (see
+        :func:`_supported_kwargs`).
         """
+        kwargs = _supported_kwargs(experiment_id, kwargs)
         cached = self.cache_lookup(experiment_id, kwargs)
         if cached is not None:
             return cached
@@ -206,28 +228,34 @@ class ExperimentRunner:
             get_experiment(experiment_id)  # fail fast on unknown ids
 
         results: dict[int, ExperimentResult] = {}
-        misses: list[tuple[int, str]] = []
+        misses: list[tuple[int, str, dict[str, Any]]] = []
         for index, experiment_id in enumerate(ids):
-            cached = self.cache_lookup(experiment_id, kwargs)
+            supported = _supported_kwargs(experiment_id, kwargs)
+            cached = self.cache_lookup(experiment_id, supported)
             if cached is not None:
                 results[index] = cached
             else:
-                misses.append((index, experiment_id))
+                misses.append((index, experiment_id, supported))
 
         if len(misses) == 1:
             # A single miss gains nothing from a one-worker pool; run it
             # inline so a jobs-aware experiment can parallelise its panels.
-            index, experiment_id = misses[0]
-            results[index] = self.run(experiment_id, **kwargs)
+            index, experiment_id, supported = misses[0]
+            results[index] = self.run(experiment_id, **supported)
         elif misses and self.jobs > 1:
-            specs = [(experiment_id, kwargs) for _, experiment_id in misses]
+            specs = [
+                (experiment_id, supported)
+                for _, experiment_id, supported in misses
+            ]
             workers = min(self.jobs, len(misses))
             with ProcessPoolExecutor(max_workers=workers) as pool:
-                for (index, _), result in zip(misses, pool.map(_run_task, specs)):
+                for (index, _, supported), result in zip(
+                    misses, pool.map(_run_task, specs)
+                ):
                     results[index] = result
-                    self.cache_store(result, kwargs)
+                    self.cache_store(result, supported)
         else:
-            for index, experiment_id in misses:
-                results[index] = self.run(experiment_id, **kwargs)
+            for index, experiment_id, supported in misses:
+                results[index] = self.run(experiment_id, **supported)
 
         return [results[i] for i in range(len(ids))]

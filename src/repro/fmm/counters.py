@@ -72,16 +72,30 @@ class TrafficCounters:
 
 
 def count_pairs(tree: Octree, ulist: list[list[int]]) -> int:
-    """Exact number of point pairs the U-list phase evaluates."""
+    """Exact number of point pairs the U-list phase evaluates.
+
+    All-integer and batched: one flat gather over the concatenated
+    U-lists, segment-summed per leaf — identical (exact arithmetic) to
+    the per-leaf loop it replaces.
+    """
     if len(ulist) != tree.n_leaves:
         raise ProfileError(
             f"ulist has {len(ulist)} entries for {tree.n_leaves} leaves"
         )
-    sizes = tree.leaf_sizes()
-    total = 0
-    for leaf_index, neighbors in enumerate(ulist):
-        total += int(sizes[leaf_index]) * int(np.sum(sizes[list(neighbors)]))
-    return total
+    sizes = np.asarray(tree.leaf_sizes(), dtype=np.int64)
+    counts = np.fromiter((len(u) for u in ulist), dtype=np.int64, count=len(ulist))
+    total_neighbors = int(counts.sum())
+    if total_neighbors == 0:
+        return 0
+    flat = np.fromiter(
+        (j for neighbors in ulist for j in neighbors),
+        dtype=np.int64,
+        count=total_neighbors,
+    )
+    cumulative = np.append(0, np.cumsum(sizes[flat]))
+    offsets = np.append(0, np.cumsum(counts))
+    sweep = cumulative[offsets[1:]] - cumulative[offsets[:-1]]
+    return int(np.dot(sizes, sweep))
 
 
 def l2_refill_ratio(variant: Variant) -> float:
@@ -118,10 +132,20 @@ def _dram_refetch_factor(variant: Variant) -> float:
 
 
 def count_traffic(
-    tree: Octree, ulist: list[list[int]], variant: Variant
+    tree: Octree,
+    ulist: list[list[int]],
+    variant: Variant,
+    *,
+    pairs: int | None = None,
 ) -> TrafficCounters:
-    """Full counters for a variant on a tree (see module docstring)."""
-    pairs = count_pairs(tree, ulist)
+    """Full counters for a variant on a tree (see module docstring).
+
+    ``pairs`` is geometry-only (identical for every variant); callers
+    sweeping many variants over one tree can pass the
+    :func:`count_pairs` result once instead of recounting per variant.
+    """
+    if pairs is None:
+        pairs = count_pairs(tree, ulist)
     n = tree.n_points
     work = float(FLOPS_PER_PAIR * pairs)
 

@@ -23,6 +23,8 @@ kernels, and why :meth:`FmmEnergyStudy.run` reports those separately.
 
 from __future__ import annotations
 
+import zlib
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from math import ceil
 
@@ -33,7 +35,7 @@ from repro.config import DEFAULT_SEED, MeasurementProtocol, NoiseProfile
 from repro.core.fitting import fit_cache_energy
 from repro.core.params import MachineModel
 from repro.exceptions import MeasurementError
-from repro.fmm.counters import TrafficCounters, count_traffic
+from repro.fmm.counters import TrafficCounters, count_pairs, count_traffic
 from repro.fmm.tree import Octree
 from repro.fmm.variants import Variant, reference_variant
 from repro.machines.catalog import gtx580_single
@@ -43,6 +45,13 @@ from repro.simulator.device import DeviceTruth, SimulatedDevice, gtx580_truth
 from repro.simulator.kernel import KernelSpec, Precision
 
 __all__ = ["VariantObservation", "StudyResult", "FmmEnergyStudy"]
+
+
+def _measure_chunk(
+    study: "FmmEnergyStudy", chunk: "list[Variant]"
+) -> "list[VariantObservation]":
+    """Worker-process entry point: measure one contiguous variant chunk."""
+    return [study.measure_variant(variant) for variant in chunk]
 
 #: Hidden-truth energy ratios relative to the device's blended
 #: ``eps_cache`` price.  An L1 byte is cheaper (small, close SRAM), an L2
@@ -149,11 +158,34 @@ class FmmEnergyStudy:
         self.truth = truth or gtx580_truth()
         self.machine = machine or gtx580_single()
         self.device = SimulatedDevice(self.truth)
+        self._protocol = protocol
+        self._noise = noise
+        self._seed = seed
         self.session = MeasurementSession(
             self.device, gpu_rails(), protocol=protocol, noise=noise, seed=seed
         )
+        # Pair count is a property of the geometry, not the variant —
+        # compute it once and share it across all 390 measurements.
+        self._pairs = count_pairs(tree, ulist)
 
     # ------------------------------------------------------------------
+
+    def _variant_session(self, vid: str) -> MeasurementSession:
+        """A fresh measurement session seeded deterministically per variant.
+
+        Deriving the RNG stream from ``(seed, vid)`` rather than sharing
+        one session across the sweep makes every variant's measurement
+        independent of evaluation *order* — which is what lets
+        :meth:`run` split the variant list across worker processes and
+        still produce bit-identical results for any ``jobs`` count.
+        """
+        return MeasurementSession(
+            self.device,
+            gpu_rails(),
+            protocol=self._protocol,
+            noise=self._noise,
+            seed=[self._seed % (1 << 32), zlib.crc32(vid.encode("utf-8"))],
+        )
 
     def _equivalent_cache_bytes(self, counters: TrafficCounters) -> float:
         """All on-chip traffic expressed in ``eps_cache``-cost bytes.
@@ -171,13 +203,21 @@ class FmmEnergyStudy:
         )
 
     def measure_variant(self, variant: Variant) -> VariantObservation:
-        """Measure one variant and compute its naive eq. (2) estimate."""
-        counters = count_traffic(self.tree, self.ulist, variant)
+        """Measure one variant and compute its naive eq. (2) estimate.
+
+        Uses a per-variant RNG stream (see :meth:`_variant_session`), so
+        the result depends only on the variant and the study seed — not
+        on which variants were measured before it.
+        """
+        counters = count_traffic(
+            self.tree, self.ulist, variant, pairs=self._pairs
+        )
         efficiency = variant.efficiency()
+        session = self._variant_session(variant.vid)
 
         # Size the run for the sampler: repeat the phase enough times that
         # one measured repetition spans >= 1/ sample-rate comfortably.
-        protocol = self.session.protocol
+        protocol = session.protocol
         flop_rate, _ = self.device.effective_rates(
             KernelSpec(
                 name=variant.vid,
@@ -197,7 +237,7 @@ class FmmEnergyStudy:
             traffic=counters.q_dram * iterations,
             precision=Precision.SINGLE,
         )
-        measurement = self.session.measure(
+        measurement = session.measure(
             kernel,
             cache_traffic=self._equivalent_cache_bytes(counters) * iterations,
             efficiency=efficiency,
@@ -230,11 +270,44 @@ class FmmEnergyStudy:
             [reference.counters.q_cache_visible],
         )
 
-    def run(self, variants: list[Variant]) -> StudyResult:
-        """Execute the full study over a variant list."""
+    def _measure_all(
+        self, variants: list[Variant], jobs: int
+    ) -> list[VariantObservation]:
+        """Measure every variant, fanning across ``jobs`` processes.
+
+        Variants are split into one contiguous chunk per worker; each
+        worker receives a pickled copy of the study and measures its
+        chunk with :meth:`measure_variant`.  Because sessions are seeded
+        per variant, the observation list is identical — bit for bit —
+        to the sequential path, in the original variant order.
+        """
+        workers = min(jobs, len(variants))
+        if workers <= 1:
+            return [self.measure_variant(v) for v in variants]
+        bounds = np.linspace(0, len(variants), workers + 1).astype(int)
+        chunks = [
+            variants[lo:hi]
+            for lo, hi in zip(bounds[:-1], bounds[1:])
+            if hi > lo
+        ]
+        observations: list[VariantObservation] = []
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            for part in pool.map(_measure_chunk, [self] * len(chunks), chunks):
+                observations.extend(part)
+        return observations
+
+    def run(self, variants: list[Variant], *, jobs: int = 1) -> StudyResult:
+        """Execute the full study over a variant list.
+
+        ``jobs > 1`` measures the variants across that many worker
+        processes; results are identical to ``jobs=1`` for any job count
+        (measurements are seeded per variant, not per session).
+        """
         if not variants:
             raise MeasurementError("need at least one variant")
-        observations = [self.measure_variant(v) for v in variants]
+        if jobs < 1:
+            raise MeasurementError(f"jobs must be >= 1, got {jobs}")
+        observations = self._measure_all(variants, jobs)
 
         reference = next(
             (o for o in observations if o.variant == reference_variant()),

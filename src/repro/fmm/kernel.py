@@ -61,22 +61,38 @@ def interact(
     targets: np.ndarray,
     sources: np.ndarray,
     densities: np.ndarray,
+    *,
+    target_tile: int = 512,
 ) -> np.ndarray:
     """Vectorised Algorithm 1: pairwise rsqrt accumulation.
 
-    Broadcasting forms the full ``(m, k)`` distance matrix — appropriate
-    for leaf-sized tiles (``q`` up to a few thousand), which is exactly
-    the granularity the U-list phase works at.
+    Broadcasting forms an ``(m, k)`` distance matrix one target tile at
+    a time (``target_tile`` rows, default 512), so peak memory is
+    ``O(target_tile · k)`` instead of ``O(m · k)`` — large target sets
+    no longer materialise a full pairwise matrix.  Each target row's
+    arithmetic is unchanged by the tiling (rows are independent), so
+    results are bitwise identical for every tile size.
     """
     t = np.asarray(targets, dtype=float)
     s = np.asarray(sources, dtype=float)
     d = np.asarray(densities, dtype=float)
     _validate(t, s, d)
-    delta = t[:, None, :] - s[None, :, :]
-    r = np.einsum("ijk,ijk->ij", delta, delta)
-    with np.errstate(divide="ignore"):
-        w = np.where(r > 0.0, 1.0 / np.sqrt(r), 0.0)
-    return w @ d
+    if target_tile < 1:
+        raise ProfileError(f"target_tile must be >= 1, got {target_tile}")
+    m = t.shape[0]
+    phi = np.empty(m)
+    for start in range(0, m, target_tile):
+        block = t[start : start + target_tile]
+        delta = block[:, None, :] - s[None, :, :]
+        r = np.einsum("ijk,ijk->ij", delta, delta)
+        with np.errstate(divide="ignore"):
+            w = np.where(r > 0.0, 1.0 / np.sqrt(r), 0.0)
+        # einsum (not ``w @ d``): its per-row accumulation order is
+        # fixed by the source axis alone, while BLAS gemv reorders with
+        # the row count — which would break tile-size invariance in the
+        # last bit.
+        phi[start : start + target_tile] = np.einsum("ij,j->i", w, d)
+    return phi
 
 
 def _validate(t: np.ndarray, s: np.ndarray, d: np.ndarray) -> None:

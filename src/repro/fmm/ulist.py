@@ -65,6 +65,8 @@ def build_ulist(tree: Octree) -> list[list[int]]:
     leaves = tree.leaves
     if not leaves:
         raise TreeError("tree has no leaves")
+    centers = np.array([leaf.center for leaf in leaves], dtype=np.float64)
+    halves = np.array([leaf.half_width for leaf in leaves], dtype=np.float64)
     finest = min(leaf.half_width for leaf in leaves)
     cell = 2.0 * finest  # bin edge = finest box edge
     bins: dict[tuple[int, int, int], list[int]] = defaultdict(list)
@@ -91,15 +93,14 @@ def build_ulist(tree: Octree) -> list[list[int]]:
             for iy in range(lo[1] - 1, hi[1] + 2):
                 for iz in range(lo[2] - 1, hi[2] + 2):
                     candidates.update(bins.get((ix, iy, iz), ()))
-        adjacent = [
-            other
-            for other in sorted(candidates)
-            if boxes_adjacent(
-                leaf.center,
-                leaf.half_width,
-                leaves[other].center,
-                leaves[other].half_width,
-            )
-        ]
-        ulist.append(adjacent)
+        # One vectorized box-overlap reduction over all candidates —
+        # identical arithmetic to `boxes_adjacent` per pair (same
+        # operand order: (h_a + h_b) + slack, |c_a - c_b|).
+        cand = np.fromiter(candidates, dtype=np.int64, count=len(candidates))
+        cand.sort()
+        limits = (leaf.half_width + halves[cand]) + _SLACK
+        touching = np.all(
+            np.abs(centers[cand] - leaf.center) <= limits[:, None], axis=1
+        )
+        ulist.append([int(i) for i in cand[touching]])
     return ulist

@@ -19,6 +19,7 @@ sample set for power-trace analyses (Fig. 5).
 
 from __future__ import annotations
 
+from collections.abc import Sequence
 from dataclasses import dataclass
 
 import numpy as np
@@ -92,7 +93,7 @@ class MeasurementSession:
         *,
         protocol: MeasurementProtocol | None = None,
         noise: NoiseProfile | None = None,
-        seed: int = DEFAULT_SEED,
+        seed: int | Sequence[int] = DEFAULT_SEED,
     ):
         self.device = device
         self.rails = rails

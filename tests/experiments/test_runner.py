@@ -103,6 +103,33 @@ class TestRunMany:
         assert len(list(tmp_path.glob("*.json"))) == 2
 
 
+class TestKwargFiltering:
+    """Broadcast kwargs reach only the experiments whose signature names
+    them, and never fragment a cache entry."""
+
+    def test_unsupported_kwarg_is_dropped(self):
+        # table2 takes no max_variants; the call must not TypeError.
+        result = ExperimentRunner().run("table2", max_variants=5)
+        assert result.experiment_id == "table2"
+
+    def test_dropped_kwarg_shares_the_cache_entry(self, tmp_path):
+        runner = ExperimentRunner(cache_dir=tmp_path)
+        runner.run("table2")
+        runner.run("table2", max_variants=5)
+        assert len(list(tmp_path.glob("*.json"))) == 1
+
+    def test_run_many_broadcasts_selectively(self, tmp_path):
+        runner = ExperimentRunner(cache_dir=tmp_path)
+        results = runner.run_many(["table2", "table3"], max_variants=4)
+        assert [r.experiment_id for r in results] == ["table2", "table3"]
+
+    def test_supported_kwarg_still_partitions(self, tmp_path):
+        runner = ExperimentRunner(cache_dir=tmp_path)
+        runner.run("fig4", points_per_octave=1)
+        runner.run("fig4", points_per_octave=2)
+        assert len(list(tmp_path.glob("*.json"))) == 2
+
+
 class TestValidation:
     def test_rejects_nonpositive_jobs(self):
         with pytest.raises(ExperimentError):

@@ -106,6 +106,43 @@ class TestStudyRun:
             study.run([Variant("s", MemoryPath.SHARED, 128, 32, 1, 1)])
 
 
+class TestParallelStudy:
+    """jobs > 1 must be a pure wall-time optimisation: identical results."""
+
+    @pytest.fixture(scope="class")
+    def variants(self):
+        subset = [v for v in generate_variants()[:12]]
+        if reference_variant() not in subset:
+            subset.append(reference_variant())
+        return subset
+
+    def test_jobs_bit_identical(self, study, variants):
+        serial = study.run(variants)
+        parallel = study.run(variants, jobs=3)
+        assert parallel.eps_cache_fit == serial.eps_cache_fit
+        for a, b in zip(serial.observations, parallel.observations):
+            assert a.variant == b.variant
+            assert a.time == b.time
+            assert a.measured_energy == b.measured_energy
+            assert a.naive_estimate == b.naive_estimate
+            assert a.corrected_estimate == b.corrected_estimate
+
+    def test_measurements_order_independent(self, study, variants):
+        """Per-variant seeding: each observation depends only on its
+        variant, not on what was measured before it."""
+        forward = study.run(variants)
+        backward = study.run(list(reversed(variants)))
+        by_vid = {o.variant.vid: o for o in backward.observations}
+        for obs in forward.observations:
+            other = by_vid[obs.variant.vid]
+            assert obs.measured_energy == other.measured_energy
+            assert obs.time == other.time
+
+    def test_rejects_nonpositive_jobs(self, study):
+        with pytest.raises(MeasurementError):
+            study.run([reference_variant()], jobs=0)
+
+
 @pytest.mark.slow
 class TestFullPaperNumbers:
     def test_full_390_study_matches_paper(self):

@@ -39,6 +39,38 @@ class TestInteract:
         combined = interact(t, s, d1 + d2)
         assert np.allclose(combined, interact(t, s, d1) + interact(t, s, d2))
 
+
+class TestTargetTiling:
+    """Tiling bounds peak memory; it must never change a single bit."""
+
+    @pytest.mark.parametrize("m", [1, 511, 512, 513, 1300])
+    def test_bitwise_invariant_across_tile_sizes(self, m):
+        t, s = coords(m, 3), coords(97, 4)
+        d = np.linspace(0.5, 2.0, 97)
+        untiled = interact(t, s, d, target_tile=10**9)
+        for tile in (1, 64, 512, 513):
+            assert np.array_equal(interact(t, s, d, target_tile=tile), untiled)
+
+    def test_self_interaction_skip_survives_tiling(self):
+        t = coords(700, 5)
+        whole = interact(t, t, np.ones(700), target_tile=10**9)
+        tiled = interact(t, t, np.ones(700), target_tile=128)
+        assert np.array_equal(tiled, whole)
+        assert np.all(np.isfinite(tiled))
+
+    def test_matches_reference_oracle(self):
+        t, s = coords(40, 6), coords(25, 7)
+        d = np.linspace(1.0, 3.0, 25)
+        assert np.allclose(
+            interact(t, s, d, target_tile=16),
+            interact_reference(t, s, d),
+            rtol=1e-12,
+        )
+
+    def test_rejects_nonpositive_tile(self):
+        with pytest.raises(ProfileError):
+            interact(coords(3), coords(3), np.ones(3), target_tile=0)
+
     def test_self_interaction_skipped(self):
         """A point colocated with a source contributes nothing (r = 0)."""
         pts = coords(4, 3)

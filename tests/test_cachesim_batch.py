@@ -1,0 +1,244 @@
+"""Batch cache engine vs the scalar oracle: property-based equivalence.
+
+The batched paths (:func:`repro.cachesim.batch_lru`,
+:meth:`CacheLevel.access_lines`, :meth:`CacheHierarchy.simulate`, the
+compiled FMM trace) promise *bit-identical* counters and cache state to
+the scalar per-access loops.  These tests hold them to it under
+hypothesis-generated geometries and address streams, including the
+awkward corners: negative addresses, warm starts, interleaved scalar and
+batch calls, set footprints past 64 distinct lines (the multi-lane
+bitmask path), and non-power-of-two line sizes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cachesim import (
+    CacheHierarchy,
+    CacheLevel,
+    compile_ulist_trace,
+    simulate_ulist_traffic,
+)
+from repro.exceptions import SimulationError
+from repro.fmm.points import uniform_cloud
+from repro.fmm.tree import Octree
+from repro.fmm.ulist import build_ulist
+from repro.fmm.variants import MemoryPath, Variant, reference_variant
+
+_LINE = 64
+
+
+def _level(n_sets: int, ways: int) -> CacheLevel:
+    return CacheLevel(
+        "T", size_bytes=n_sets * ways * _LINE, ways=ways, line_bytes=_LINE
+    )
+
+
+def _assert_same_state(a: CacheLevel, b: CacheLevel) -> None:
+    assert a.accesses == b.accesses
+    assert a.hits == b.hits
+    assert a._sets == b._sets  # per-set LRU stacks, order included
+
+
+geometry_st = st.tuples(st.sampled_from([1, 2, 3, 4, 8]), st.integers(1, 5))
+stream_st = st.lists(st.integers(-40, 120), max_size=200)
+
+
+class TestAccessLinesProperty:
+    @settings(max_examples=120, deadline=None)
+    @given(geometry=geometry_st, stream=stream_st)
+    def test_matches_scalar_loop(self, geometry, stream):
+        """Same hit flags, counters, and final LRU stacks as `access`."""
+        n_sets, ways = geometry
+        scalar, batch = _level(n_sets, ways), _level(n_sets, ways)
+        scalar_hits = [scalar.access(x) for x in stream]
+        batch_hits = batch.access_lines(np.asarray(stream, dtype=np.int64))
+        assert list(batch_hits) == scalar_hits
+        _assert_same_state(scalar, batch)
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        geometry=geometry_st,
+        stream=stream_st,
+        cut_a=st.integers(0, 200),
+        cut_b=st.integers(0, 200),
+    )
+    def test_interleaves_with_scalar_calls(self, geometry, stream, cut_a, cut_b):
+        """scalar | batch | scalar on one level == all-scalar: the batch
+        path honours warm state and leaves exact state behind."""
+        n_sets, ways = geometry
+        lo, hi = sorted((min(cut_a, len(stream)), min(cut_b, len(stream))))
+        scalar, mixed = _level(n_sets, ways), _level(n_sets, ways)
+        expected = [scalar.access(x) for x in stream]
+
+        got = [mixed.access(x) for x in stream[:lo]]
+        got += list(mixed.access_lines(np.asarray(stream[lo:hi], dtype=np.int64)))
+        got += [mixed.access(x) for x in stream[hi:]]
+        assert got == expected
+        _assert_same_state(scalar, mixed)
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        geometry=geometry_st,
+        stream=st.lists(st.integers(0, 60), max_size=150),
+        dtype=st.sampled_from([np.int32, np.uint16, np.int64]),
+    )
+    def test_input_dtype_irrelevant(self, geometry, stream, dtype):
+        n_sets, ways = geometry
+        scalar, batch = _level(n_sets, ways), _level(n_sets, ways)
+        expected = [scalar.access(x) for x in stream]
+        got = batch.access_lines(np.asarray(stream, dtype=dtype))
+        assert list(got) == expected
+        _assert_same_state(scalar, batch)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        ways=st.integers(1, 3),
+        stream=st.lists(st.integers(0, 300), min_size=80, max_size=400),
+    )
+    def test_footprint_past_64_lines(self, ways, stream):
+        """A single set touching > 64 distinct lines exercises the
+        multi-lane (multi-uint64) distinct-count path."""
+        scalar, batch = _level(1, ways), _level(1, ways)
+        expected = [scalar.access(x) for x in stream]
+        assert list(batch.access_lines(np.asarray(stream))) == expected
+        _assert_same_state(scalar, batch)
+
+    def test_empty_stream_is_a_no_op(self):
+        level = _level(2, 2)
+        level.access(7)
+        hits = level.access_lines(np.zeros(0, dtype=np.int64))
+        assert hits.size == 0
+        assert level.accesses == 1
+
+    def test_rejects_multidimensional_stream(self):
+        with pytest.raises(SimulationError):
+            _level(2, 2).access_lines(np.zeros((3, 3), dtype=np.int64))
+
+
+class TestHierarchySimulateProperty:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        l1_geometry=st.tuples(st.sampled_from([1, 2, 4]), st.integers(1, 3)),
+        l2_ways=st.integers(2, 8),
+        stream=stream_st,
+    )
+    def test_matches_access_line_loop(self, l1_geometry, l2_ways, stream):
+        l1_sets, l1_ways = l1_geometry
+
+        def build() -> CacheHierarchy:
+            # L2 strictly larger than L1 by construction (more sets*ways).
+            return CacheHierarchy(
+                _level(l1_sets, l1_ways), _level(8 * l1_sets, l2_ways)
+            )
+
+        scalar, batch = build(), build()
+        for x in stream:
+            scalar.access_line(x)
+        batch.simulate(np.asarray(stream, dtype=np.int64))
+        assert batch.counters() == scalar.counters()
+        assert batch.dram_lines == scalar.dram_lines
+        _assert_same_state(scalar.l1, batch.l1)
+        _assert_same_state(scalar.l2, batch.l2)
+
+
+@pytest.fixture(scope="module")
+def geometry():
+    positions, densities = uniform_cloud(1500, seed=7)
+    tree = Octree.build(positions, densities, leaf_capacity=48)
+    return tree, build_ulist(tree)
+
+
+class TestTraceEngineEquivalence:
+    """The compiled batch engine against the scalar replay, end to end."""
+
+    @pytest.mark.parametrize("tpb", [32, 128])
+    def test_counters_identical(self, geometry, tpb):
+        tree, ulist = geometry
+        variant = Variant(f"v{tpb}", MemoryPath.L1L2, tpb, 32, 1, 1)
+        batch = simulate_ulist_traffic(tree, ulist, variant, engine="batch")
+        scalar = simulate_ulist_traffic(tree, ulist, variant, engine="scalar")
+        assert batch.measured == scalar.measured
+        assert batch.pairs == scalar.pairs
+
+    def test_non_power_of_two_line_size(self, geometry):
+        """line=24 B makes 16 B records straddle lines — the sized-read
+        expansion path — and still matches the scalar oracle."""
+        tree, ulist = geometry
+
+        def hierarchy() -> CacheHierarchy:
+            return CacheHierarchy(
+                CacheLevel("L1", size_bytes=4 * 2 * 24, ways=2, line_bytes=24),
+                CacheLevel("L2", size_bytes=64 * 4 * 24, ways=4, line_bytes=24),
+            )
+
+        variant = reference_variant()
+        batch = simulate_ulist_traffic(
+            tree, ulist, variant, hierarchy=hierarchy(), engine="batch"
+        )
+        scalar = simulate_ulist_traffic(
+            tree, ulist, variant, hierarchy=hierarchy(), engine="scalar"
+        )
+        assert batch.measured == scalar.measured
+
+    def test_unknown_engine_rejected(self, geometry):
+        tree, ulist = geometry
+        with pytest.raises(SimulationError, match="engine"):
+            simulate_ulist_traffic(
+                tree, ulist, reference_variant(), engine="quantum"
+            )
+
+    def test_non_l1l2_variant_rejected(self, geometry):
+        tree, ulist = geometry
+        with pytest.raises(SimulationError):
+            compile_ulist_trace(
+                tree, ulist, Variant("s", MemoryPath.SHARED, 128, 32, 1, 1)
+            )
+
+
+class TestTraceCompiler:
+    def test_memoised_per_block_size(self, geometry):
+        """Variants sharing targets_per_block share one compiled trace."""
+        tree, ulist = geometry
+        a = compile_ulist_trace(
+            tree, ulist, Variant("a", MemoryPath.L1L2, 128, 32, 1, 1)
+        )
+        b = compile_ulist_trace(
+            tree, ulist, Variant("b", MemoryPath.L1L2, 128, 16, 4, 2)
+        )
+        c = compile_ulist_trace(
+            tree, ulist, Variant("c", MemoryPath.L1L2, 64, 32, 1, 1)
+        )
+        assert a is b  # same tpb and line size -> same object
+        assert c is not a
+
+    def test_memoised_trace_is_read_only(self, geometry):
+        tree, ulist = geometry
+        trace = compile_ulist_trace(tree, ulist, reference_variant())
+        with pytest.raises(ValueError):
+            trace.line_addrs[0] = 0
+
+    def test_fresh_ulist_object_recompiles_identically(self, geometry):
+        tree, ulist = geometry
+        first = compile_ulist_trace(tree, ulist, reference_variant())
+        rebuilt = build_ulist(tree)  # equal content, different identity
+        second = compile_ulist_trace(tree, rebuilt, reference_variant())
+        assert second is not first
+        assert np.array_equal(second.line_addrs, first.line_addrs)
+        assert second.pairs == first.pairs
+
+    def test_pairs_match_counter_model(self, geometry):
+        from repro.fmm.counters import count_pairs
+
+        tree, ulist = geometry
+        trace = compile_ulist_trace(tree, ulist, reference_variant())
+        assert trace.pairs == count_pairs(tree, ulist)
+
+    def test_mismatched_ulist_rejected(self, geometry):
+        tree, _ = geometry
+        with pytest.raises(SimulationError):
+            compile_ulist_trace(tree, [[0]], reference_variant())

@@ -134,6 +134,23 @@ class TestExperiments:
         assert code == 1
         assert "error:" in err
 
+    def test_run_fmm_with_max_variants(self, capsys):
+        """The CI smoke invocation: a trimmed fmm study end to end."""
+        code, out, _ = run_cli(
+            capsys, "experiment", "run", "fmm", "--max-variants", "8",
+            "--jobs", "2",
+        )
+        assert code == 0
+        assert "FMM U-list energy study: 9 variants" in out  # 8 + reference
+        assert "pJ/B" in out
+
+    def test_max_variants_ignored_by_other_experiments(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "experiment", "run", "table2", "--max-variants", "4"
+        )
+        assert code == 0
+        assert "Table II" in out
+
 
 class TestFit:
     def test_fit_from_csv(self, capsys, tmp_path):
