@@ -1,0 +1,139 @@
+#!/usr/bin/env python
+"""Serving-stack smoke test: a server, two transports, ~100 requests.
+
+This script is the CI gate for the model-serving subsystem
+(:mod:`repro.service`).  It starts a real TCP server, drives a mixed
+workload against two catalog machines through both the in-process and
+the multiplexing TCP client, and asserts the properties the subsystem
+exists to provide:
+
+* every request succeeds (and scalar answers are **bit-identical** to
+  direct model calls — serving never changes a value);
+* concurrent scalar requests actually micro-batch (fewer engine calls
+  than requests);
+* the response cache participates (hit ratio > 0 on repeated bodies);
+* shutdown drains cleanly.
+
+Run:  python examples/service_smoke.py
+"""
+
+from __future__ import annotations
+
+import asyncio
+import math
+
+from repro.core.energy_model import EnergyModel
+from repro.core.powercap import CappedModel
+from repro.machines.catalog import get_machine
+from repro.service import AsyncServiceClient, InProcessClient, ModelServer, ServerConfig
+
+MACHINES = ("gtx580-double", "i7-950-double")
+GRID = [2.0 ** (0.25 * k - 3.0) for k in range(32)]  # 1/8 .. ~32 flop/B
+
+
+async def drive(server: ModelServer) -> None:
+    host, port = await server.start()
+    print(f"server up on {host}:{port}")
+
+    # --- scalar evals over TCP: concurrent, micro-batched, bit-exact ---
+    async with await AsyncServiceClient.connect(host, port) as tcp:
+        values = await asyncio.gather(*(
+            tcp.eval(machine, "energy_per_flop", model="energy", intensity=x)
+            for machine in MACHINES for x in GRID
+        ))
+        n_scalar = len(MACHINES) * len(GRID)
+        reference = [
+            EnergyModel(get_machine(machine)).energy_per_flop(x)
+            for machine in MACHINES for x in GRID
+        ]
+        assert values == reference, "served values drifted from the models"
+        print(f"{n_scalar} scalar evals over TCP: bit-identical to EnergyModel")
+
+        calls = server.engine.batch_calls
+        bound = len(MACHINES) * math.ceil(
+            len(GRID) / server.config.max_batch
+        )
+        assert calls <= bound, f"{calls} engine calls > bound {bound}"
+        print(f"micro-batching: {n_scalar} requests -> {calls} engine calls")
+
+        # --- structured ops + repeated bodies to exercise the cache ---
+        for machine in MACHINES:
+            balance = await tcp.balance(machine)
+            again = await tcp.balance(machine)  # same body: cache hit
+            assert balance == again
+            curve = await tcp.curve(machine, "roofline", lo=0.5, hi=64.0)
+            assert len(curve["values"]) == len(curve["intensities"])
+            described = await tcp.describe(machine)
+            assert described["b_eps"] > 0
+        greenup = await tcp.greenup(MACHINES[0], intensity=0.5, m=4.0)
+        assert greenup["threshold_closed"] > 1.0
+        for m in (2.0, 4.0, 8.0):
+            tradeoff = await tcp.tradeoff(
+                MACHINES[1], intensity=0.5, f=1.2, m=m
+            )
+            assert tradeoff["greenup"] > 0
+        catalog = await tcp.machines()
+        assert {entry["key"] for entry in catalog} >= set(MACHINES)
+
+        # A second pass over the same scalar bodies: pure cache traffic.
+        repeat = await asyncio.gather(*(
+            tcp.eval(machine, "energy_per_flop", model="energy", intensity=x)
+            for machine in MACHINES for x in GRID[:12]
+        ))
+        assert repeat == [
+            reference[i * len(GRID) + j]
+            for i in range(len(MACHINES)) for j in range(12)
+        ]
+        print("repeat pass served from the response cache")
+
+    # --- the in-process transport shares the same pipeline ---
+    local = InProcessClient(server)
+    capped = await local.eval(
+        MACHINES[0], "energy_per_flop", model="capped", intensity=2.0
+    )
+    direct = CappedModel(get_machine(MACHINES[0])).energy_per_flop(2.0)
+    assert capped == direct
+    grid_values = await local.eval(
+        MACHINES[1], "energy_per_flop", model="energy", intensities=GRID[:8]
+    )
+    assert grid_values == reference[len(GRID):len(GRID) + 8]
+    print("in-process client: capped + grid evals bit-identical")
+
+    # --- the numbers the operator would look at ---
+    stats = await local.stats()
+    requests_total = stats["counters"]["requests_total"]
+    hit_ratio = stats["cache"]["hit_ratio"]
+    errors = stats["counters"].get("errors_total", 0)
+    batch_hist = stats["histograms"]["batch_size"]
+    print(
+        f"served {requests_total} requests, {errors} errors, "
+        f"cache hit ratio {hit_ratio:.1%}"
+    )
+    print(
+        f"batch sizes: mean {batch_hist['mean']:.1f}, "
+        f"max {batch_hist['max']:.0f}, distribution {batch_hist['values']}"
+    )
+    print(
+        f"latency: p50 {stats['histograms']['request_latency_ms']['p50']:.3f} ms, "
+        f"p99 {stats['histograms']['request_latency_ms']['p99']:.3f} ms"
+    )
+    assert requests_total >= 100, "smoke must drive a real workload"
+    assert errors == 0, "every request must succeed"
+    assert hit_ratio > 0, "repeated bodies must hit the response cache"
+
+
+def main() -> None:
+    async def scenario() -> None:
+        server = ModelServer(ServerConfig(port=0, max_batch=16))
+        try:
+            await drive(server)
+        finally:
+            await server.stop()
+        assert server.batcher.pending_requests == 0
+        print("drained cleanly; smoke test passed")
+
+    asyncio.run(scenario())
+
+
+if __name__ == "__main__":
+    main()

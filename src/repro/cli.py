@@ -26,6 +26,14 @@ Subcommands
 ``app NAME MACHINE``
     Per-phase cost table for a library application (cg, fmm,
     fft-poisson, jacobi).
+``serve``
+    Long-lived async model server (NDJSON over TCP) with
+    micro-batching, response caching, and built-in metrics
+    (see :mod:`repro.service` and ``docs/SERVICE.md``).
+``bench-serve``
+    Closed-loop load generator against an in-process server; reports
+    throughput, latency percentiles, batch-size histogram, and the
+    batched-vs-unbatched speedup with ``--compare``.
 """
 
 from __future__ import annotations
@@ -46,24 +54,18 @@ from repro.core.rooflines import (
 from repro.core.tradeoff import TradeoffAnalyzer
 from repro.core.algorithm import AlgorithmProfile
 from repro.exceptions import ReproError
-from repro.machines.catalog import list_machines
-from repro.machines.catalog import get_machine as _catalog_get
-from repro.machines.io import load_machine
+from repro.machines.catalog import list_machines, resolve_machine
 
 
 def get_machine(key_or_path: str):
     """Resolve a machine argument: catalog key, or path to a JSON file.
 
-    A value ending in ``.json`` (or pointing at an existing file) loads
-    via :func:`repro.machines.io.load_machine`; anything else is a
-    catalog key.
+    Thin alias for :func:`repro.machines.catalog.resolve_machine`, the
+    lookup path shared with the serving layer; every failure raises
+    :class:`~repro.exceptions.ReproError` and exits with a one-line
+    diagnostic rather than a traceback.
     """
-    from pathlib import Path as _Path
-
-    candidate = _Path(key_or_path)
-    if key_or_path.endswith(".json") or candidate.is_file():
-        return load_machine(candidate)
-    return _catalog_get(key_or_path)
+    return resolve_machine(key_or_path)
 from repro.viz.ascii_chart import render_chart
 from repro.viz.series import write_csv
 
@@ -177,6 +179,75 @@ def build_parser() -> argparse.ArgumentParser:
     p_app.add_argument("machine")
     p_app.add_argument("--size", type=int, default=None,
                        help="problem size (app-specific default)")
+
+    p_serve = sub.add_parser(
+        "serve", help="run the async model-serving daemon (NDJSON over TCP)"
+    )
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument(
+        "--port", type=int, default=8733,
+        help="TCP port (0 lets the OS pick; default 8733)",
+    )
+    p_serve.add_argument(
+        "--max-batch", type=int, default=64, metavar="N",
+        help="micro-batch size cap; 1 disables coalescing",
+    )
+    p_serve.add_argument(
+        "--flush-window-ms", type=float, default=1.0, metavar="MS",
+        help="max time a non-full batch waits for company",
+    )
+    p_serve.add_argument(
+        "--cache-size", type=int, default=2048, metavar="N",
+        help="response-cache entries; 0 disables caching",
+    )
+    p_serve.add_argument(
+        "--cache-ttl", type=float, default=300.0, metavar="S",
+        help="response-cache staleness bound in seconds",
+    )
+    p_serve.add_argument(
+        "--queue-limit", type=int, default=1024, metavar="N",
+        help="admission limit; beyond it requests get 'overloaded' replies",
+    )
+    p_serve.add_argument(
+        "--default-timeout-ms", type=float, default=None, metavar="MS",
+        help="default per-request deadline (requests may override)",
+    )
+    p_serve.add_argument(
+        "--access-log", action="store_true",
+        help="emit one JSON access record per request on stderr",
+    )
+
+    p_bench = sub.add_parser(
+        "bench-serve",
+        help="closed-loop load generator against an in-process server",
+    )
+    p_bench.add_argument("--requests", type=int, default=4000, metavar="N")
+    p_bench.add_argument("--concurrency", type=int, default=128, metavar="N")
+    p_bench.add_argument("--max-batch", type=int, default=64, metavar="N")
+    p_bench.add_argument(
+        "--flush-window-ms", type=float, default=2.0, metavar="MS"
+    )
+    p_bench.add_argument(
+        "--cache-size", type=int, default=0, metavar="N",
+        help="response-cache entries (default 0: isolate batching)",
+    )
+    p_bench.add_argument(
+        "--machines", nargs="+", default=["gtx580-double", "i7-950-double"],
+        help="catalog machines to spread requests across",
+    )
+    p_bench.add_argument(
+        "--model", default="capped",
+        choices=("time", "energy", "power", "capped"),
+    )
+    p_bench.add_argument("--metric", default="energy_per_flop")
+    p_bench.add_argument(
+        "--repeat-intensities", action="store_true",
+        help="draw intensities from a small pool so the cache participates",
+    )
+    p_bench.add_argument(
+        "--compare", action="store_true",
+        help="also run with batching disabled and report the speedup",
+    )
     return parser
 
 
@@ -410,6 +481,102 @@ def _cmd_app(args: argparse.Namespace) -> str:
     return "\n".join(lines)
 
 
+def _cmd_serve(args: argparse.Namespace) -> str:
+    import asyncio
+    import json as _json
+
+    from repro.service import ModelServer, ServerConfig
+
+    def _log(record: dict) -> None:
+        print(_json.dumps(record, sort_keys=True), file=sys.stderr)
+
+    config = ServerConfig(
+        host=args.host,
+        port=args.port,
+        max_batch=args.max_batch,
+        flush_window=args.flush_window_ms / 1000.0,
+        cache_size=args.cache_size,
+        cache_ttl=args.cache_ttl if args.cache_ttl > 0 else None,
+        queue_limit=args.queue_limit,
+        default_timeout=(
+            args.default_timeout_ms / 1000.0
+            if args.default_timeout_ms
+            else None
+        ),
+        access_log=_log if args.access_log else None,
+    )
+
+    async def _serve() -> str:
+        import signal
+
+        server = ModelServer(config)
+        host, port = await server.start()
+        print(
+            f"serving energy-roofline models on {host}:{port} "
+            f"(max_batch={config.max_batch}, "
+            f"flush_window={config.flush_window * 1000:g} ms, "
+            f"cache={config.cache_size} entries); ctrl-c to drain and stop",
+            file=sys.stderr,
+            flush=True,
+        )
+        stop_requested = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(sig, stop_requested.set)
+            except (NotImplementedError, RuntimeError):  # pragma: no cover
+                pass  # non-unix event loops
+        serve_task = asyncio.ensure_future(server.serve_forever())
+        try:
+            await stop_requested.wait()
+        finally:
+            serve_task.cancel()
+            await asyncio.gather(serve_task, return_exceptions=True)
+            await server.stop()
+        stats = server.stats()
+        return (
+            f"served {stats['counters'].get('requests_total', 0)} requests "
+            f"({stats['counters'].get('errors_total', 0)} errors, "
+            f"cache hit ratio {stats['cache']['hit_ratio']:.1%}); "
+            "drained cleanly"
+        )
+
+    try:
+        return asyncio.run(_serve())
+    except KeyboardInterrupt:  # pragma: no cover - signal-handler fallback
+        return "interrupted; server stopped"
+
+
+def _cmd_bench_serve(args: argparse.Namespace) -> str:
+    from repro.service import bench_serving
+
+    kwargs = dict(
+        requests=args.requests,
+        concurrency=args.concurrency,
+        flush_window=args.flush_window_ms / 1000.0,
+        cache_size=args.cache_size,
+        machines=args.machines,
+        model=args.model,
+        metric=args.metric,
+        unique_intensities=not args.repeat_intensities,
+    )
+    report = bench_serving(max_batch=args.max_batch, **kwargs)
+    blocks = [
+        f"closed-loop serving benchmark ({args.model}/{args.metric}, "
+        f"machines: {', '.join(args.machines)})",
+        report.describe(),
+    ]
+    if args.compare and args.max_batch > 1:
+        baseline = bench_serving(max_batch=1, **kwargs)
+        blocks.append("batching disabled (max_batch=1):")
+        blocks.append(baseline.describe())
+        blocks.append(
+            f"micro-batching speedup: "
+            f"{report.throughput / baseline.throughput:.1f}x"
+        )
+    return "\n\n".join(blocks)
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = build_parser()
@@ -435,9 +602,18 @@ def main(argv: list[str] | None = None) -> int:
             output = _cmd_scaling(args)
         elif args.command == "app":
             output = _cmd_app(args)
+        elif args.command == "serve":
+            output = _cmd_serve(args)
+        elif args.command == "bench-serve":
+            output = _cmd_bench_serve(args)
         else:  # pragma: no cover - argparse enforces choices
             parser.error(f"unknown command {args.command}")
     except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except OSError as exc:
+        # Missing input files, unreadable paths, ports already in use:
+        # environmental failures deserve one line, not a traceback.
         print(f"error: {exc}", file=sys.stderr)
         return 1
     try:

@@ -174,6 +174,12 @@ class CappedModel:
             * self.machine.peak_gflops
         )
 
+    def time_per_flop_batch(self, intensities: np.ndarray) -> np.ndarray:
+        """Vectorised throttled ``T/W`` (seconds per flop)."""
+        return self.time_model.time_per_flop_batch(
+            intensities
+        ) * self.slowdown_batch(intensities)
+
     def power_batch(self, intensities: np.ndarray) -> np.ndarray:
         """Vectorised capped powerline ``min(P_uncapped, P_cap)`` (W)."""
         uncapped = self.power_model.power_batch(intensities)

@@ -56,3 +56,17 @@ class ExperimentError(ReproError, RuntimeError):
 
 class TreeError(ReproError, ValueError):
     """FMM spatial-tree construction received invalid geometry."""
+
+
+class ServiceError(ReproError, RuntimeError):
+    """A model-serving request failed (see :mod:`repro.service`).
+
+    Carries the wire-protocol error ``code`` (e.g. ``"bad_request"``,
+    ``"overloaded"``, ``"deadline_exceeded"``) so programmatic clients
+    can branch on the failure class without parsing the message.
+    """
+
+    def __init__(self, code: str, message: str):
+        super().__init__(message)
+        self.code = code
+        self.message = message

@@ -22,7 +22,6 @@ The CLI exposes both via ``experiment run ID... --jobs N --cache-dir D``.
 
 from __future__ import annotations
 
-import hashlib
 import inspect
 import json
 import os
@@ -32,6 +31,7 @@ from pathlib import Path
 from typing import Any, Iterable, Sequence
 
 from repro import __version__
+from repro._canon import content_hash
 from repro.config import DEFAULT_SEED
 from repro.exceptions import ExperimentError
 from repro.experiments.registry import (
@@ -78,8 +78,7 @@ def cache_key(experiment_id: str, kwargs: dict[str, Any] | None = None) -> str:
         "seed": DEFAULT_SEED,
         "version": __version__,
     }
-    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"), default=repr)
-    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+    return content_hash(payload)
 
 
 def _run_task(item: tuple[str, dict[str, Any]]) -> ExperimentResult:

@@ -31,6 +31,7 @@ __all__ = [
     "MACHINES",
     "get_machine",
     "list_machines",
+    "resolve_machine",
 ]
 
 # Table IV fitted energy coefficients (ground truth for our simulator).
@@ -159,3 +160,35 @@ def get_machine(key: str) -> MachineModel:
 def list_machines() -> list[tuple[str, str]]:
     """(key, description) pairs for every catalog machine."""
     return [(key, MACHINES[key].description) for key in sorted(MACHINES)]
+
+
+def resolve_machine(key_or_path: str) -> MachineModel:
+    """Resolve a machine reference: catalog key, or path to a JSON file.
+
+    This is the single lookup path shared by the CLI and the serving
+    layer.  A value ending in ``.json`` (or naming an existing file)
+    loads via :func:`repro.machines.io.load_machine`; anything else is a
+    catalog key.  Every failure mode — unknown key, missing file,
+    malformed JSON, invalid parameters — raises
+    :class:`~repro.exceptions.ParameterError` so callers can turn it
+    into one clean diagnostic instead of a traceback.
+    """
+    from pathlib import Path
+
+    candidate = Path(key_or_path)
+    if key_or_path.endswith(".json") or candidate.is_file():
+        from json import JSONDecodeError
+
+        from repro.machines.io import load_machine
+
+        try:
+            return load_machine(candidate)
+        except OSError as exc:
+            raise ParameterError(
+                f"cannot read machine file {key_or_path!r}: {exc}"
+            ) from exc
+        except JSONDecodeError as exc:
+            raise ParameterError(
+                f"machine file {key_or_path!r} is not valid JSON: {exc}"
+            ) from exc
+    return get_machine(key_or_path)

@@ -1,0 +1,76 @@
+"""Async model-serving subsystem: the always-on face of the models.
+
+Everywhere else in this repository the analytic models (eqs. 3–8, the
+balance analysis of §II-D, the eq. 10 greenup thresholds) run as
+one-shot batch computations.  This package runs them as a *service*: a
+long-lived asyncio server speaking newline-delimited JSON, shaped like
+an inference-serving stack —
+
+    request → admission control → response cache → micro-batcher
+            → vectorised engine → metrics / access log
+
+Layers (one module each):
+
+:mod:`~repro.service.protocol`
+    Wire format, error codes, canonical cache keys.
+:mod:`~repro.service.engine`
+    Request ops mapped onto the core models' scalar/batch methods.
+:mod:`~repro.service.batcher`
+    Micro-batching of concurrent scalar requests into ``*_batch`` calls.
+:mod:`~repro.service.cache`
+    TTL+LRU response cache.
+:mod:`~repro.service.metrics`
+    Counters / gauges / histograms behind the ``stats`` request.
+:mod:`~repro.service.server`
+    The asyncio server: TCP + in-process, deadlines, graceful drain.
+:mod:`~repro.service.client`
+    Async (multiplexed), sync, and in-process clients.
+:mod:`~repro.service.loadgen`
+    Closed-loop load generator (the ``bench-serve`` CLI verb).
+
+Quickstart::
+
+    server = ModelServer(ServerConfig(port=0))
+    host, port = await server.start()
+    client = await AsyncServiceClient.connect(host, port)
+    value = await client.eval(
+        "gtx580-double", "energy_per_flop", model="energy", intensity=2.0
+    )
+    await client.close()
+    await server.stop()
+
+See ``docs/SERVICE.md`` for the protocol and capacity-tuning notes.
+"""
+
+from repro.service.batcher import MicroBatcher
+from repro.service.cache import TTLCache
+from repro.service.client import (
+    AsyncServiceClient,
+    InProcessClient,
+    ServiceClient,
+)
+from repro.service.engine import EVAL_METRICS, CURVE_KINDS, EvalEngine, MODELS
+from repro.service.loadgen import LoadReport, bench_serving, run_closed_loop
+from repro.service.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.service.server import ModelServer, ServerConfig
+
+__all__ = [
+    "AsyncServiceClient",
+    "Counter",
+    "CURVE_KINDS",
+    "EVAL_METRICS",
+    "EvalEngine",
+    "Gauge",
+    "Histogram",
+    "InProcessClient",
+    "LoadReport",
+    "MetricsRegistry",
+    "MicroBatcher",
+    "MODELS",
+    "ModelServer",
+    "ServerConfig",
+    "ServiceClient",
+    "TTLCache",
+    "bench_serving",
+    "run_closed_loop",
+]

@@ -1,0 +1,166 @@
+"""Micro-batching: coalesce concurrent scalar requests into array calls.
+
+The serving analogue of dynamic batching in an inference stack: scalar
+``eval`` requests that target the same (machine, model, metric) are
+queued for up to ``flush_window`` seconds or ``max_batch`` entries —
+whichever comes first — then evaluated in **one** vectorised
+``*_batch`` numpy call, with results scattered back to the per-request
+futures.  Under concurrency this converts N engine invocations into
+⌈N / max_batch⌉ without changing a single result bit: the batch methods
+perform the same IEEE operations in the same order as their scalar
+twins.
+
+Flush discipline:
+
+* the *first* request for a key arms a flush timer (``call_later``; a
+  zero window degenerates to ``call_soon``, which still coalesces every
+  submission made in the same event-loop iteration);
+* the request that *fills* the batch cancels the timer and flushes
+  inline — a full batch never waits;
+* ``max_batch=1`` therefore means "batching disabled": every submission
+  flushes itself immediately, through the identical pipeline, which is
+  what the ``bench-serve`` comparison measures.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.service.engine import EvalEngine
+    from repro.service.metrics import MetricsRegistry
+
+__all__ = ["MicroBatcher"]
+
+BatchKey = tuple[str, str, str]  # (machine, model, metric)
+
+
+class _Pending:
+    """Accumulating batch for one (machine, model, metric) key."""
+
+    __slots__ = ("intensities", "futures", "timer")
+
+    def __init__(self) -> None:
+        self.intensities: list[float] = []
+        self.futures: list[asyncio.Future] = []
+        self.timer: asyncio.Handle | None = None
+
+
+class MicroBatcher:
+    """Coalesce scalar evaluations into vectorised engine calls.
+
+    Parameters
+    ----------
+    engine:
+        The :class:`~repro.service.engine.EvalEngine` executing flushes.
+    max_batch:
+        Flush as soon as a batch reaches this many requests (≥ 1).
+        ``1`` disables coalescing while keeping the pipeline identical.
+    flush_window:
+        Seconds a non-full batch may wait for company.  The latency
+        floor a lone request pays for batching; ``0`` coalesces only
+        within one event-loop iteration.
+    metrics:
+        Optional registry; records the batch-size distribution under
+        ``batch_size`` and flush count under ``engine_flushes``.
+    """
+
+    def __init__(
+        self,
+        engine: "EvalEngine",
+        *,
+        max_batch: int = 64,
+        flush_window: float = 0.001,
+        metrics: "MetricsRegistry | None" = None,
+    ):
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+        if flush_window < 0:
+            raise ValueError(f"flush_window must be >= 0, got {flush_window}")
+        self.engine = engine
+        self.max_batch = max_batch
+        self.flush_window = flush_window
+        self._pending: dict[BatchKey, _Pending] = {}
+        self._batch_hist = (
+            metrics.histogram("batch_size", track_values=True)
+            if metrics is not None
+            else None
+        )
+        self._flush_counter = (
+            metrics.counter("engine_flushes") if metrics is not None else None
+        )
+
+    # ------------------------------------------------------------------
+
+    @property
+    def pending_requests(self) -> int:
+        """Requests currently queued and not yet flushed."""
+        return sum(len(p.futures) for p in self._pending.values())
+
+    def submit(
+        self, machine: str, model: str, metric: str, intensity: float
+    ) -> asyncio.Future:
+        """Enqueue one scalar evaluation; resolves to a ``float``.
+
+        The returned future completes when its batch flushes.  If the
+        engine rejects the batch (unknown machine/metric, out-of-domain
+        intensity), every member future receives the exception.
+        """
+        loop = asyncio.get_running_loop()
+        future = loop.create_future()
+        key = (machine, model, metric)
+        pending = self._pending.get(key)
+        if pending is None:
+            pending = self._pending[key] = _Pending()
+            if self.max_batch > 1:
+                if self.flush_window > 0:
+                    pending.timer = loop.call_later(
+                        self.flush_window, self.flush, key
+                    )
+                else:
+                    pending.timer = loop.call_soon(self.flush, key)
+        pending.intensities.append(intensity)
+        pending.futures.append(future)
+        if len(pending.futures) >= self.max_batch:
+            self.flush(key)
+        return future
+
+    def flush(self, key: BatchKey) -> None:
+        """Evaluate and scatter one pending batch (idempotent per key)."""
+        pending = self._pending.pop(key, None)
+        if pending is None:
+            return
+        if pending.timer is not None:
+            pending.timer.cancel()
+        if self._flush_counter is not None:
+            self._flush_counter.inc()
+        if self._batch_hist is not None:
+            self._batch_hist.observe(len(pending.futures))
+        try:
+            values = self.engine.eval_batch(
+                key[0], key[1], key[2],
+                np.asarray(pending.intensities, dtype=float),
+            )
+        except Exception as exc:  # scatter the failure to live waiters
+            for future in pending.futures:
+                if not future.done():
+                    future.set_exception(exc)
+            return
+        results = values.tolist()
+        for future, value in zip(pending.futures, results):
+            # A waiter may have been cancelled by its deadline while the
+            # batch was queued; its slot is simply dropped.
+            if not future.done():
+                future.set_result(value)
+
+    async def drain(self) -> None:
+        """Flush everything still queued (graceful-shutdown path)."""
+        while self._pending:
+            for key in list(self._pending):
+                self.flush(key)
+            # Timers were cancelled by flush; yield once so any waiters
+            # scheduled in this iteration observe their results.
+            await asyncio.sleep(0)

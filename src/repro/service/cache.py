@@ -1,0 +1,119 @@
+"""TTL + LRU response cache for the serving subsystem.
+
+The analytic models are pure functions of (machine, request body), so a
+response computed once is valid until the inputs change.  Machines
+resolved from the static catalog never change within a process; machines
+loaded from JSON files can be edited on disk, which is why entries also
+carry a TTL — staleness is bounded by ``ttl`` seconds even for
+file-backed machines.
+
+Keys are content hashes of the *canonicalised* request body (see
+:mod:`repro._canon`, shared with the experiment runner's on-disk cache),
+so two clients phrasing the same question with different key order hit
+the same entry.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import OrderedDict
+from typing import Any, Callable
+
+__all__ = ["TTLCache"]
+
+
+class TTLCache:
+    """Bounded LRU mapping with per-entry expiry.
+
+    Parameters
+    ----------
+    maxsize:
+        Entry budget; the least-recently-used entry is evicted when a
+        put would exceed it.  ``0`` disables the cache entirely (every
+        ``get`` misses, ``put`` is a no-op).
+    ttl:
+        Seconds an entry stays valid.  ``None`` means entries never
+        expire (pure LRU).
+    clock:
+        Injectable monotonic time source, for deterministic expiry
+        tests.
+    """
+
+    def __init__(
+        self,
+        maxsize: int = 2048,
+        ttl: float | None = 300.0,
+        *,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if maxsize < 0:
+            raise ValueError(f"maxsize must be >= 0, got {maxsize}")
+        if ttl is not None and ttl <= 0:
+            raise ValueError(f"ttl must be positive or None, got {ttl}")
+        self.maxsize = maxsize
+        self.ttl = ttl
+        self._clock = clock
+        self._entries: OrderedDict[str, tuple[float, Any]] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.expirations = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def enabled(self) -> bool:
+        return self.maxsize > 0
+
+    @property
+    def hit_ratio(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def get(self, key: str) -> Any | None:
+        """The cached value, or ``None`` on miss/expiry.
+
+        A hit refreshes the entry's LRU position (but not its expiry:
+        TTL bounds *staleness*, so a popular entry still refreshes from
+        the engine once per TTL window).
+        """
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        expires, value = entry
+        if self.ttl is not None and self._clock() >= expires:
+            del self._entries[key]
+            self.expirations += 1
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return value
+
+    def put(self, key: str, value: Any) -> None:
+        """Insert/refresh an entry, evicting LRU entries past ``maxsize``."""
+        if not self.enabled:
+            return
+        expires = (
+            self._clock() + self.ttl if self.ttl is not None else float("inf")
+        )
+        self._entries[key] = (expires, value)
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.maxsize:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+
+    def stats(self) -> dict[str, Any]:
+        """JSON-ready counters for the ``stats`` request."""
+        return {
+            "size": len(self._entries),
+            "maxsize": self.maxsize,
+            "ttl": self.ttl,
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_ratio": self.hit_ratio,
+            "evictions": self.evictions,
+            "expirations": self.expirations,
+        }

@@ -1,0 +1,314 @@
+"""Clients for the model server: async TCP, sync TCP, and in-process.
+
+Three transports, one surface:
+
+* :class:`AsyncServiceClient` — asyncio TCP client that multiplexes any
+  number of concurrent requests over a single connection by request id.
+  Concurrency on the client side is what lets the server's micro-batcher
+  do its job, so this is the client the load generator uses.
+* :class:`ServiceClient` — blocking TCP client (plain sockets, no
+  asyncio) for scripts and REPL use; one request at a time.
+* :class:`InProcessClient` — calls a :class:`~repro.service.server.
+  ModelServer` directly with no serialisation, for embedding the
+  service in another asyncio application (and for tests/benchmarks
+  that want the pipeline without the socket).
+
+All of them raise :class:`~repro.exceptions.ServiceError` (carrying the
+wire error code) for error replies, and return the ``result`` dict of
+success replies.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import socket
+from typing import Any
+
+from repro.exceptions import ServiceError
+from repro.service.protocol import INTERNAL, decode, encode, unwrap
+
+__all__ = ["AsyncServiceClient", "ServiceClient", "InProcessClient"]
+
+
+class _RequestAPI:
+    """Shared convenience verbs; transports implement :meth:`call`."""
+
+    async def call(self, request: dict[str, Any]) -> dict[str, Any]:
+        raise NotImplementedError
+
+    async def eval(
+        self,
+        machine: str,
+        metric: str,
+        *,
+        model: str = "time",
+        intensity: float | None = None,
+        intensities: list[float] | None = None,
+        timeout_ms: float | None = None,
+    ) -> float | list[float]:
+        """Point (``intensity``) or grid (``intensities``) evaluation."""
+        request: dict[str, Any] = {
+            "op": "eval",
+            "machine": machine,
+            "model": model,
+            "metric": metric,
+        }
+        if (intensity is None) == (intensities is None):
+            raise ValueError(
+                "provide exactly one of intensity / intensities"
+            )
+        if intensity is not None:
+            request["intensity"] = intensity
+        else:
+            request["intensities"] = list(intensities)  # type: ignore[arg-type]
+        if timeout_ms is not None:
+            request["timeout_ms"] = timeout_ms
+        result = await self.call(request)
+        return result["value"] if intensity is not None else result["values"]
+
+    async def curve(
+        self, machine: str, kind: str, **params: Any
+    ) -> dict[str, Any]:
+        return await self.call(
+            {"op": "curve", "machine": machine, "kind": kind, **params}
+        )
+
+    async def balance(self, machine: str) -> dict[str, Any]:
+        return await self.call({"op": "balance", "machine": machine})
+
+    async def tradeoff(
+        self, machine: str, *, intensity: float, f: float, m: float
+    ) -> dict[str, Any]:
+        return await self.call(
+            {
+                "op": "tradeoff",
+                "machine": machine,
+                "intensity": intensity,
+                "f": f,
+                "m": m,
+            }
+        )
+
+    async def greenup(
+        self, machine: str, *, intensity: float, m: float
+    ) -> dict[str, Any]:
+        return await self.call(
+            {"op": "greenup", "machine": machine, "intensity": intensity, "m": m}
+        )
+
+    async def describe(self, machine: str) -> dict[str, Any]:
+        return await self.call({"op": "describe", "machine": machine})
+
+    async def machines(self) -> list[dict[str, str]]:
+        return (await self.call({"op": "machines"}))["machines"]
+
+    async def stats(self) -> dict[str, Any]:
+        return await self.call({"op": "stats"})
+
+    async def ping(self) -> bool:
+        return bool((await self.call({"op": "ping"})).get("pong"))
+
+
+class InProcessClient(_RequestAPI):
+    """Direct pipeline access to a co-resident :class:`ModelServer`.
+
+    No serialisation happens on this path, so result dicts may be
+    shared with the server's response cache — treat them as immutable
+    (copy before mutating).
+    """
+
+    def __init__(self, server: Any):
+        self._server = server
+
+    async def call(self, request: dict[str, Any]) -> dict[str, Any]:
+        return unwrap(await self._server.handle_request(request))
+
+
+class AsyncServiceClient(_RequestAPI):
+    """Multiplexing asyncio TCP client.
+
+    Use :meth:`connect` to construct::
+
+        client = await AsyncServiceClient.connect(host, port)
+        values = await asyncio.gather(
+            *(client.eval("gtx580-double", "power", model="power",
+                          intensity=x) for x in grid)
+        )
+        await client.close()
+
+    Every in-flight request carries a unique ``id``; a background reader
+    task routes each response line to its waiter, so requests issued
+    concurrently genuinely overlap on the server (and micro-batch).
+    """
+
+    def __init__(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ):
+        self._reader = reader
+        self._writer = writer
+        self._pending: dict[int, asyncio.Future] = {}
+        self._next_id = 0
+        self._closed = False
+        self._reader_task = asyncio.ensure_future(self._read_loop())
+
+    @classmethod
+    async def connect(
+        cls, host: str, port: int, *, limit: int = 2**20
+    ) -> "AsyncServiceClient":
+        reader, writer = await asyncio.open_connection(host, port, limit=limit)
+        return cls(reader, writer)
+
+    async def _read_loop(self) -> None:
+        try:
+            while True:
+                line = await self._reader.readline()
+                if not line:
+                    break
+                response = decode(line)
+                future = self._pending.pop(response.get("id"), None)
+                if future is not None and not future.done():
+                    future.set_result(response)
+        except (ConnectionError, asyncio.CancelledError, ServiceError):
+            pass
+        finally:
+            self._fail_pending("connection closed")
+
+    def _fail_pending(self, reason: str) -> None:
+        for future in self._pending.values():
+            if not future.done():
+                future.set_exception(ServiceError(INTERNAL, reason))
+        self._pending.clear()
+
+    async def call(self, request: dict[str, Any]) -> dict[str, Any]:
+        if self._closed:
+            raise ServiceError(INTERNAL, "client is closed")
+        request_id = self._next_id
+        self._next_id += 1
+        request = {**request, "id": request_id}
+        future = asyncio.get_running_loop().create_future()
+        self._pending[request_id] = future
+        self._writer.write(encode(request))
+        await self._writer.drain()
+        return unwrap(await future)
+
+    async def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        self._reader_task.cancel()
+        try:
+            await self._reader_task
+        except (asyncio.CancelledError, Exception):
+            pass
+        self._writer.close()
+        try:
+            await self._writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+
+    async def __aenter__(self) -> "AsyncServiceClient":
+        return self
+
+    async def __aexit__(self, *exc_info: Any) -> None:
+        await self.close()
+
+
+class ServiceClient:
+    """Blocking TCP client: one request at a time over one socket.
+
+    Mirrors the async surface with synchronous methods.  Not
+    thread-safe — use one instance per thread, or the async client.
+    """
+
+    def __init__(
+        self, host: str, port: int, *, timeout: float | None = 30.0
+    ):
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._file = self._sock.makefile("rwb")
+
+    def call(self, request: dict[str, Any]) -> dict[str, Any]:
+        self._file.write(encode(request))
+        self._file.flush()
+        line = self._file.readline()
+        if not line:
+            raise ServiceError(INTERNAL, "connection closed by server")
+        return unwrap(decode(line))
+
+    def eval(
+        self,
+        machine: str,
+        metric: str,
+        *,
+        model: str = "time",
+        intensity: float | None = None,
+        intensities: list[float] | None = None,
+        timeout_ms: float | None = None,
+    ) -> float | list[float]:
+        request: dict[str, Any] = {
+            "op": "eval",
+            "machine": machine,
+            "model": model,
+            "metric": metric,
+        }
+        if (intensity is None) == (intensities is None):
+            raise ValueError("provide exactly one of intensity / intensities")
+        if intensity is not None:
+            request["intensity"] = intensity
+        else:
+            request["intensities"] = list(intensities)  # type: ignore[arg-type]
+        if timeout_ms is not None:
+            request["timeout_ms"] = timeout_ms
+        result = self.call(request)
+        return result["value"] if intensity is not None else result["values"]
+
+    def curve(self, machine: str, kind: str, **params: Any) -> dict[str, Any]:
+        return self.call(
+            {"op": "curve", "machine": machine, "kind": kind, **params}
+        )
+
+    def balance(self, machine: str) -> dict[str, Any]:
+        return self.call({"op": "balance", "machine": machine})
+
+    def tradeoff(
+        self, machine: str, *, intensity: float, f: float, m: float
+    ) -> dict[str, Any]:
+        return self.call(
+            {
+                "op": "tradeoff",
+                "machine": machine,
+                "intensity": intensity,
+                "f": f,
+                "m": m,
+            }
+        )
+
+    def greenup(
+        self, machine: str, *, intensity: float, m: float
+    ) -> dict[str, Any]:
+        return self.call(
+            {"op": "greenup", "machine": machine, "intensity": intensity, "m": m}
+        )
+
+    def describe(self, machine: str) -> dict[str, Any]:
+        return self.call({"op": "describe", "machine": machine})
+
+    def machines(self) -> list[dict[str, str]]:
+        return self.call({"op": "machines"})["machines"]
+
+    def stats(self) -> dict[str, Any]:
+        return self.call({"op": "stats"})
+
+    def ping(self) -> bool:
+        return bool(self.call({"op": "ping"}).get("pong"))
+
+    def close(self) -> None:
+        try:
+            self._file.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()

@@ -1,0 +1,333 @@
+"""Evaluation engine: protocol operations mapped onto the analytic core.
+
+The engine is the stateless-math tier of the serving stack (batcher →
+**engine** → cache → metrics).  It resolves machine references once,
+memoises model instances, and exposes exactly two evaluation shapes:
+
+* :meth:`EvalEngine.eval_batch` — one vectorised ``*_batch`` call over
+  an intensity array.  This is the only compute path; the micro-batcher
+  coalesces concurrent scalar requests into it, and grid requests reach
+  it directly.  Scalar/batch bit-identity is guaranteed by the core
+  layer (same IEEE operations in the same order — locked down by
+  ``tests/core/test_batch_equivalence.py`` and re-checked bitwise by the
+  service round-trip tests).
+* Structured one-shot analyses — curve sampling, balance reports,
+  tradeoff/greenup queries, catalog lookups — returned as JSON-ready
+  dicts.
+
+Model/metric names accepted by the ``eval`` operation:
+
+==========  =====================================================
+ model       metrics
+==========  =====================================================
+ time        communication_penalty, normalized_performance,
+             attainable_gflops, time_per_flop
+ energy      energy_penalty, normalized_efficiency,
+             attainable_gflops_per_joule, energy_per_flop
+ power       power, normalized_power
+ capped      slowdown, normalized_performance, attainable_gflops,
+             time_per_flop, power, energy_per_flop,
+             normalized_efficiency
+==========  =====================================================
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Sequence
+
+import numpy as np
+
+from repro.core.algorithm import AlgorithmProfile
+from repro.core.balance import analyze
+from repro.core.energy_model import EnergyModel
+from repro.core.params import MachineModel
+from repro.core.power_model import PowerModel
+from repro.core.powercap import CappedModel
+from repro.core.rooflines import (
+    archline_series,
+    capped_powerline_series,
+    powerline_series,
+    roofline_series,
+)
+from repro.core.time_model import TimeModel
+from repro.core.tradeoff import TradeoffAnalyzer, greenup_work_ceiling
+from repro.exceptions import ParameterError, ServiceError
+from repro.machines.catalog import list_machines, resolve_machine
+from repro.service.protocol import BAD_REQUEST, UNKNOWN_MACHINE
+
+__all__ = ["EvalEngine", "MODELS", "EVAL_METRICS", "CURVE_KINDS"]
+
+#: Model families addressable by the ``eval`` operation.
+MODELS: dict[str, type] = {
+    "time": TimeModel,
+    "energy": EnergyModel,
+    "power": PowerModel,
+    "capped": CappedModel,
+}
+
+#: Scalar metric names per model; each has a ``<metric>_batch`` twin.
+EVAL_METRICS: dict[str, tuple[str, ...]] = {
+    "time": (
+        "communication_penalty",
+        "normalized_performance",
+        "attainable_gflops",
+        "time_per_flop",
+    ),
+    "energy": (
+        "energy_penalty",
+        "normalized_efficiency",
+        "attainable_gflops_per_joule",
+        "energy_per_flop",
+    ),
+    "power": ("power", "normalized_power"),
+    "capped": (
+        "slowdown",
+        "normalized_performance",
+        "attainable_gflops",
+        "time_per_flop",
+        "power",
+        "energy_per_flop",
+        "normalized_efficiency",
+    ),
+}
+
+#: Curve kinds addressable by the ``curve`` operation.
+CURVE_KINDS: dict[str, Callable] = {
+    "roofline": roofline_series,
+    "archline": archline_series,
+    "powerline": powerline_series,
+    "capped-powerline": capped_powerline_series,
+}
+
+#: Reference work (flops) for profile-based tradeoff/greenup queries;
+#: speedup/greenup are ratios, so the scale cancels (matches the CLI).
+_REFERENCE_WORK = 1e12
+
+
+class EvalEngine:
+    """Resolve machines, memoise models, evaluate requests.
+
+    Parameters
+    ----------
+    resolver:
+        Machine resolution function (catalog key or JSON path →
+        :class:`MachineModel`); injectable for tests.
+    """
+
+    def __init__(
+        self,
+        resolver: Callable[[str], MachineModel] = resolve_machine,
+    ):
+        self._resolver = resolver
+        self._machines: dict[str, MachineModel] = {}
+        self._models: dict[tuple[str, str], Any] = {}
+        self._batch_fns: dict[tuple[str, str, str], Callable] = {}
+        #: Number of vectorised evaluation calls issued — the batching
+        #: tests assert N concurrent scalars cost ≤ ceil(N/max_batch).
+        self.batch_calls = 0
+
+    # ------------------------------------------------------------------
+    # Resolution / memoisation
+    # ------------------------------------------------------------------
+
+    def machine(self, key: str) -> MachineModel:
+        """Resolve and memoise a machine reference."""
+        if not isinstance(key, str) or not key:
+            raise ServiceError(
+                BAD_REQUEST, f"machine must be a non-empty string, got {key!r}"
+            )
+        cached = self._machines.get(key)
+        if cached is not None:
+            return cached
+        try:
+            machine = self._resolver(key)
+        except ParameterError as exc:
+            raise ServiceError(UNKNOWN_MACHINE, str(exc)) from exc
+        self._machines[key] = machine
+        return machine
+
+    def model(self, machine_key: str, model_name: str) -> Any:
+        """Memoised model instance for a (machine, family) pair."""
+        token = (machine_key, model_name)
+        cached = self._models.get(token)
+        if cached is not None:
+            return cached
+        factory = MODELS.get(model_name)
+        if factory is None:
+            raise ServiceError(
+                BAD_REQUEST,
+                f"unknown model {model_name!r}; "
+                f"available: {', '.join(sorted(MODELS))}",
+            )
+        instance = factory(self.machine(machine_key))
+        self._models[token] = instance
+        return instance
+
+    def _batch_fn(
+        self, machine_key: str, model_name: str, metric: str
+    ) -> Callable[[np.ndarray], np.ndarray]:
+        token = (machine_key, model_name, metric)
+        fn = self._batch_fns.get(token)
+        if fn is not None:
+            return fn
+        model = self.model(machine_key, model_name)  # unknown model/machine
+        if metric not in EVAL_METRICS[model_name]:
+            raise ServiceError(
+                BAD_REQUEST,
+                f"unknown metric {metric!r} for model {model_name!r}; "
+                f"available: {', '.join(EVAL_METRICS[model_name])}",
+            )
+        fn = getattr(model, f"{metric}_batch")
+        self._batch_fns[token] = fn
+        return fn
+
+    # ------------------------------------------------------------------
+    # Evaluation
+    # ------------------------------------------------------------------
+
+    def eval_batch(
+        self,
+        machine_key: str,
+        model_name: str,
+        metric: str,
+        intensities: np.ndarray | Sequence[float],
+    ) -> np.ndarray:
+        """One vectorised model evaluation over an intensity array.
+
+        The single compute path of the server: micro-batches of scalar
+        requests and explicit grid requests both land here.
+        """
+        fn = self._batch_fn(machine_key, model_name, metric)
+        self.batch_calls += 1
+        return fn(np.asarray(intensities, dtype=float))
+
+    def eval_scalar(
+        self, machine_key: str, model_name: str, metric: str, intensity: float
+    ) -> float:
+        """Reference scalar evaluation (the non-batched model method).
+
+        Exists for equivalence testing and debugging; the serving loop
+        itself always evaluates through :meth:`eval_batch`.
+        """
+        if metric not in EVAL_METRICS.get(model_name, ()):
+            self._batch_fn(machine_key, model_name, metric)  # raise uniformly
+        model = self.model(machine_key, model_name)
+        return float(getattr(model, metric)(intensity))
+
+    # ------------------------------------------------------------------
+    # Structured analyses
+    # ------------------------------------------------------------------
+
+    def curve(
+        self,
+        machine_key: str,
+        kind: str,
+        *,
+        lo: float = 0.5,
+        hi: float = 512.0,
+        points_per_octave: int = 8,
+        normalized: bool = True,
+    ) -> dict[str, Any]:
+        """Sample one model curve on a log-2 intensity grid."""
+        sampler = CURVE_KINDS.get(kind)
+        if sampler is None:
+            raise ServiceError(
+                BAD_REQUEST,
+                f"unknown curve kind {kind!r}; "
+                f"available: {', '.join(sorted(CURVE_KINDS))}",
+            )
+        machine = self.machine(machine_key)
+        kwargs: dict[str, Any] = dict(
+            lo=float(lo), hi=float(hi), points_per_octave=int(points_per_octave)
+        )
+        if kind != "capped-powerline":
+            kwargs["normalized"] = bool(normalized)
+        series = sampler(machine, **kwargs)
+        return {
+            "label": series.label,
+            "units": series.units,
+            "intensities": series.intensities.tolist(),
+            "values": series.values.tolist(),
+        }
+
+    def balance(self, machine_key: str) -> dict[str, Any]:
+        """The §II-D balance/race-to-halt report as structured data."""
+        report = analyze(self.machine(machine_key))
+        return {
+            "machine": report.machine_name,
+            "b_tau": report.b_tau,
+            "b_eps": report.b_eps,
+            "b_eps_effective": report.b_eps_effective,
+            "raw_gap": report.raw_gap,
+            "effective_gap": report.effective_gap,
+            "race_to_halt_effective": report.race_to_halt_effective,
+            "energy_implies_time": report.energy_implies_time,
+            "gap_interval": (
+                list(report.gap_interval) if report.gap_interval else None
+            ),
+            "text": report.describe(),
+        }
+
+    def tradeoff(
+        self, machine_key: str, intensity: float, f: float, m: float
+    ) -> dict[str, Any]:
+        """Exact speedup/greenup of one ``(f·W, Q/m)`` transformation."""
+        machine = self.machine(machine_key)
+        baseline = AlgorithmProfile.from_intensity(
+            float(intensity), work=_REFERENCE_WORK
+        )
+        point = TradeoffAnalyzer(machine, baseline).evaluate(float(f), float(m))
+        return {
+            "f": point.f,
+            "m": point.m,
+            "speedup": point.speedup,
+            "greenup": point.greenup,
+            "outcome": str(point.outcome),
+        }
+
+    def greenup(
+        self, machine_key: str, intensity: float, m: float
+    ) -> dict[str, Any]:
+        """Eq. (10) greenup thresholds for a communication saving ``m``."""
+        machine = self.machine(machine_key)
+        baseline = AlgorithmProfile.from_intensity(
+            float(intensity), work=_REFERENCE_WORK
+        )
+        analyzer = TradeoffAnalyzer(machine, baseline)
+        return {
+            "intensity": float(intensity),
+            "m": float(m),
+            "threshold_closed": analyzer.greenup_threshold(float(m)),
+            "threshold_exact": analyzer.exact_greenup_threshold(float(m)),
+            "work_ceiling": greenup_work_ceiling(
+                b_eps=machine.b_eps, intensity=float(intensity)
+            ),
+        }
+
+    def describe(self, machine_key: str) -> dict[str, Any]:
+        """Raw and derived parameters of one machine."""
+        m = self.machine(machine_key)
+        return {
+            "name": m.name,
+            "tau_flop": m.tau_flop,
+            "tau_mem": m.tau_mem,
+            "eps_flop": m.eps_flop,
+            "eps_mem": m.eps_mem,
+            "pi0": m.pi0,
+            "power_cap": m.power_cap,
+            "b_tau": m.b_tau,
+            "b_eps": m.b_eps,
+            "b_eps_effective": m.effective_balance_crossing,
+            "peak_gflops": m.peak_gflops,
+            "peak_gflops_per_joule": m.peak_gflops_per_joule,
+            "text": m.describe(),
+        }
+
+    def machines(self) -> dict[str, Any]:
+        """The machine catalog as (key, description) records."""
+        return {
+            "machines": [
+                {"key": key, "description": description}
+                for key, description in list_machines()
+            ]
+        }

@@ -1,0 +1,199 @@
+"""Closed-loop load generation for the serving stack (``bench-serve``).
+
+A fixed fleet of concurrent workers each issues one scalar ``eval``
+request, waits for the reply, and immediately issues the next — the
+classic closed-loop model, whose offered load adapts to service capacity
+instead of overrunning it.  The generator reports throughput, latency
+percentiles, the server's batch-size distribution, and cache hit ratio:
+exactly the numbers needed to judge a batching/caching configuration.
+
+Intensity sequences are deterministic (seeded log-uniform grids).
+``unique_intensities=True`` makes every request distinct — a
+cache-busting workload that isolates the micro-batching win;
+``False`` draws from a small set so the response cache participates.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass
+from typing import Any, Sequence
+
+import numpy as np
+
+from repro.service.client import InProcessClient
+from repro.service.server import ModelServer, ServerConfig
+
+__all__ = ["LoadReport", "run_closed_loop", "bench_serving"]
+
+_DEFAULT_MACHINES = ("gtx580-double", "i7-950-double")
+
+
+@dataclass(frozen=True)
+class LoadReport:
+    """Outcome of one closed-loop run against a server."""
+
+    requests: int
+    errors: int
+    concurrency: int
+    duration: float
+    throughput: float
+    p50_ms: float
+    p99_ms: float
+    mean_batch: float
+    max_batch: int
+    engine_calls: int
+    cache_hit_ratio: float
+    batch_size_counts: dict[str, int]
+
+    def describe(self) -> str:
+        """Human-readable report block for the CLI."""
+        lines = [
+            f"requests    = {self.requests} "
+            f"({self.errors} errors, concurrency {self.concurrency})",
+            f"duration    = {self.duration:.3f} s",
+            f"throughput  = {self.throughput:,.0f} req/s",
+            f"latency     = p50 {self.p50_ms:.3f} ms, p99 {self.p99_ms:.3f} ms",
+            f"engine      = {self.engine_calls} vectorised calls "
+            f"(mean batch {self.mean_batch:.1f}, max {self.max_batch})",
+            f"cache       = {self.cache_hit_ratio:.1%} hit ratio",
+        ]
+        if self.batch_size_counts:
+            histogram = ", ".join(
+                f"{size}x{count}"
+                for size, count in sorted(
+                    self.batch_size_counts.items(), key=lambda kv: int(kv[0])
+                )
+            )
+            lines.append(f"batch sizes = {histogram}")
+        return "\n".join(lines)
+
+
+def intensity_sequence(
+    n: int, *, unique: bool = True, seed: int = 20130520
+) -> np.ndarray:
+    """Deterministic log-uniform intensities over [2^-3, 2^6] flop/B."""
+    rng = np.random.default_rng(seed)
+    if unique:
+        return 2.0 ** rng.uniform(-3.0, 6.0, n)
+    pool = 2.0 ** rng.uniform(-3.0, 6.0, 16)
+    return pool[rng.integers(0, pool.size, n)]
+
+
+async def run_closed_loop(
+    server: ModelServer,
+    *,
+    requests: int = 2000,
+    concurrency: int = 64,
+    machines: Sequence[str] = _DEFAULT_MACHINES,
+    model: str = "energy",
+    metric: str = "energy_per_flop",
+    unique_intensities: bool = True,
+    client: Any | None = None,
+) -> LoadReport:
+    """Drive ``requests`` scalar evaluations through ``server``.
+
+    The ``client`` defaults to an :class:`InProcessClient`; pass an
+    :class:`~repro.service.client.AsyncServiceClient` to include the
+    TCP+JSON wire in the measurement.
+    """
+    if requests < 1 or concurrency < 1:
+        raise ValueError("requests and concurrency must be >= 1")
+    client = client or InProcessClient(server)
+    grid = intensity_sequence(requests, unique=unique_intensities)
+    machine_cycle = list(machines)
+    for machine in machine_cycle:
+        server.engine.machine(machine)  # fail fast on config errors
+    n_machines = len(machine_cycle)
+    latencies = np.empty(requests, dtype=float)
+    errors = 0
+    next_index = 0
+    call = client.call
+
+    async def worker() -> None:
+        nonlocal next_index, errors
+        while True:
+            index = next_index
+            if index >= requests:
+                return
+            next_index = index + 1
+            request = {
+                "op": "eval",
+                "machine": machine_cycle[index % n_machines],
+                "model": model,
+                "metric": metric,
+                "intensity": float(grid[index]),
+            }
+            started = time.perf_counter()
+            try:
+                await call(request)
+            except Exception:  # noqa: BLE001 - tallied, not raised
+                errors += 1
+            latencies[index] = time.perf_counter() - started
+
+    started = time.perf_counter()
+    await asyncio.gather(*(worker() for _ in range(concurrency)))
+    duration = time.perf_counter() - started
+
+    stats = server.stats()
+    batch_hist = stats["histograms"].get("batch_size", {})
+    ordered = np.sort(latencies) * 1000.0
+    return LoadReport(
+        requests=requests,
+        errors=errors,
+        concurrency=concurrency,
+        duration=duration,
+        throughput=requests / duration,
+        p50_ms=float(ordered[int(0.50 * (requests - 1))]),
+        p99_ms=float(ordered[int(0.99 * (requests - 1))]),
+        mean_batch=float(batch_hist.get("mean", 0.0)),
+        max_batch=int(batch_hist.get("max", 0) or 0),
+        engine_calls=int(stats["engine_batch_calls"]),
+        cache_hit_ratio=float(stats["cache"]["hit_ratio"]),
+        batch_size_counts=dict(batch_hist.get("values", {})),
+    )
+
+
+def bench_serving(
+    *,
+    requests: int = 2000,
+    concurrency: int = 64,
+    max_batch: int = 64,
+    flush_window: float = 0.001,
+    cache_size: int = 0,
+    machines: Sequence[str] = _DEFAULT_MACHINES,
+    model: str = "energy",
+    metric: str = "energy_per_flop",
+    unique_intensities: bool = True,
+) -> LoadReport:
+    """One synchronous end-to-end serving benchmark run.
+
+    Builds a fresh in-process server with the given batching/caching
+    knobs, runs the closed loop, drains, and returns the report.  The
+    cache defaults to *off* so the measurement isolates batching.
+    """
+
+    async def _run() -> LoadReport:
+        server = ModelServer(
+            ServerConfig(
+                max_batch=max_batch,
+                flush_window=flush_window,
+                cache_size=cache_size,
+                queue_limit=max(1024, concurrency * 2),
+            )
+        )
+        try:
+            return await run_closed_loop(
+                server,
+                requests=requests,
+                concurrency=concurrency,
+                machines=machines,
+                model=model,
+                metric=metric,
+                unique_intensities=unique_intensities,
+            )
+        finally:
+            await server.stop()
+
+    return asyncio.run(_run())

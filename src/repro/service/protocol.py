@@ -1,0 +1,171 @@
+"""Wire protocol: newline-delimited JSON requests and responses.
+
+One request per line, one response per line, UTF-8 JSON objects.  A
+request names an operation plus its parameters::
+
+    {"id": 7, "op": "eval", "machine": "gtx580-double",
+     "model": "energy", "metric": "energy_per_flop", "intensity": 2.0}
+
+and gets back either a success envelope::
+
+    {"id": 7, "ok": true, "result": {"value": 3.21e-10}}
+
+or an error envelope with a machine-readable code::
+
+    {"id": 7, "ok": false,
+     "error": {"code": "unknown_machine", "message": "..."}}
+
+``id`` is opaque to the server and echoed verbatim — clients use it to
+multiplex concurrent requests over one connection.  ``timeout_ms`` is a
+per-request deadline; neither field participates in response caching.
+
+Error codes
+-----------
+``bad_request``
+    Malformed JSON, missing/invalid fields, out-of-domain parameters.
+``unknown_machine`` / ``unknown_op``
+    The named machine or operation does not exist.
+``overloaded``
+    Admission control rejected the request (queue full) — the 429 of
+    this protocol; retry with backoff.
+``deadline_exceeded``
+    The per-request deadline expired before a result was ready.
+``shutting_down``
+    The server is draining; open requests finish, new ones are refused.
+``internal``
+    Unexpected server-side failure.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro._canon import content_hash
+from repro.exceptions import ServiceError
+
+__all__ = [
+    "BAD_REQUEST",
+    "UNKNOWN_MACHINE",
+    "UNKNOWN_OP",
+    "OVERLOADED",
+    "DEADLINE_EXCEEDED",
+    "SHUTTING_DOWN",
+    "INTERNAL",
+    "CACHEABLE_OPS",
+    "MAX_LINE_BYTES",
+    "encode",
+    "decode",
+    "ok_response",
+    "error_response",
+    "unwrap",
+    "request_cache_key",
+]
+
+BAD_REQUEST = "bad_request"
+UNKNOWN_MACHINE = "unknown_machine"
+UNKNOWN_OP = "unknown_op"
+OVERLOADED = "overloaded"
+DEADLINE_EXCEEDED = "deadline_exceeded"
+SHUTTING_DOWN = "shutting_down"
+INTERNAL = "internal"
+
+#: Operations whose responses are pure functions of the request body.
+#: ``stats`` and ``ping`` are intentionally absent: both describe the
+#: server's mutable state, not the model.
+CACHEABLE_OPS = frozenset(
+    {"eval", "curve", "balance", "tradeoff", "greenup", "machines", "describe"}
+)
+
+#: Hard per-line bound — a single request never legitimately approaches
+#: this; anything larger is a protocol violation, not a big workload.
+MAX_LINE_BYTES = 1_048_576
+
+#: Envelope/bookkeeping fields excluded from the cache key.
+_NON_SEMANTIC_FIELDS = ("id", "timeout_ms")
+
+
+def encode(payload: dict[str, Any]) -> bytes:
+    """One protocol line: compact JSON plus the newline terminator."""
+    return json.dumps(payload, separators=(",", ":")).encode("utf-8") + b"\n"
+
+
+def decode(line: bytes | str) -> dict[str, Any]:
+    """Parse one protocol line into a request/response dict.
+
+    Raises :class:`ServiceError` (``bad_request``) for anything that is
+    not a single JSON object.
+    """
+    if isinstance(line, bytes) and len(line) > MAX_LINE_BYTES:
+        raise ServiceError(
+            BAD_REQUEST, f"line exceeds {MAX_LINE_BYTES} bytes"
+        )
+    try:
+        payload = json.loads(line)
+    except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+        raise ServiceError(BAD_REQUEST, f"invalid JSON: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise ServiceError(
+            BAD_REQUEST, f"expected a JSON object, got {type(payload).__name__}"
+        )
+    return payload
+
+
+def ok_response(
+    request_id: Any, result: dict[str, Any], *, cached: bool = False
+) -> dict[str, Any]:
+    """Success envelope; ``cached`` marks a response served from cache."""
+    response: dict[str, Any] = {"ok": True, "result": result}
+    if request_id is not None:
+        response["id"] = request_id
+    if cached:
+        response["cached"] = True
+    return response
+
+
+def error_response(
+    request_id: Any, code: str, message: str
+) -> dict[str, Any]:
+    """Error envelope with a machine-readable ``code``."""
+    response: dict[str, Any] = {
+        "ok": False,
+        "error": {"code": code, "message": message},
+    }
+    if request_id is not None:
+        response["id"] = request_id
+    return response
+
+
+def unwrap(response: dict[str, Any]) -> dict[str, Any]:
+    """Extract ``result`` from an envelope, raising on error replies."""
+    if not isinstance(response, dict):
+        raise ServiceError(INTERNAL, f"malformed response: {response!r}")
+    if response.get("ok"):
+        result = response.get("result")
+        if not isinstance(result, dict):
+            raise ServiceError(
+                INTERNAL, f"malformed success envelope: {response!r}"
+            )
+        return result
+    error = response.get("error") or {}
+    raise ServiceError(
+        error.get("code", INTERNAL), error.get("message", "unknown error")
+    )
+
+
+def request_cache_key(request: dict[str, Any]) -> str | None:
+    """Content hash of a request's semantic body, or ``None`` if the
+    operation is uncacheable.
+
+    Canonicalisation (sorted keys, fixed separators — see
+    :mod:`repro._canon`) means field order on the wire never splits
+    cache entries; the ``id`` and ``timeout_ms`` envelope fields are
+    dropped because they do not affect the result.
+    """
+    if request.get("op") not in CACHEABLE_OPS:
+        return None
+    if any(field in request for field in _NON_SEMANTIC_FIELDS):
+        request = {
+            k: v for k, v in request.items() if k not in _NON_SEMANTIC_FIELDS
+        }
+    return content_hash(request)

@@ -1,0 +1,470 @@
+"""The asyncio model server: batcher → engine → cache → metrics.
+
+:class:`ModelServer` is the long-lived serving loop for the paper's
+analytic models.  It accepts requests two ways — in-process (``await
+server.handle_request({...})``, used by :class:`~repro.service.client.
+InProcessClient` and the load generator) and over TCP as
+newline-delimited JSON (see :mod:`repro.service.protocol`) — and runs
+every request through the same pipeline:
+
+1. **Admission control** — a bounded in-flight budget
+   (``queue_limit``); beyond it requests are *refused* with an
+   ``overloaded`` reply instead of buffered without bound, so latency
+   stays bounded and clients get an explicit backpressure signal.
+2. **Response cache** — TTL+LRU keyed on the canonicalised request
+   body (:mod:`repro._canon`, shared with the experiment runner).
+3. **Micro-batching** — concurrent scalar ``eval`` requests coalesce
+   into single vectorised engine calls
+   (:class:`~repro.service.batcher.MicroBatcher`).
+4. **Deadlines** — a per-request ``timeout_ms`` (or the server default)
+   bounds the wait; expiry yields a ``deadline_exceeded`` reply.
+5. **Metrics + access log** — every request is counted, timed into
+   latency histograms, and optionally emitted as a structured access
+   record.
+
+Shutdown is a graceful drain: the listener closes, queued batches
+flush, in-flight requests finish, and only then does ``stop`` return.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.exceptions import ReproError, ServiceError
+from repro.service.batcher import MicroBatcher
+from repro.service.cache import TTLCache
+from repro.service.engine import EvalEngine
+from repro.service.metrics import MetricsRegistry
+from repro.service.protocol import (
+    BAD_REQUEST,
+    DEADLINE_EXCEEDED,
+    INTERNAL,
+    OVERLOADED,
+    SHUTTING_DOWN,
+    UNKNOWN_OP,
+    decode,
+    encode,
+    error_response,
+    ok_response,
+    request_cache_key,
+)
+
+__all__ = ["ServerConfig", "ModelServer"]
+
+
+@dataclass(frozen=True)
+class ServerConfig:
+    """Tuning knobs for one :class:`ModelServer` instance.
+
+    Attributes
+    ----------
+    host, port:
+        TCP bind address; port ``0`` lets the OS pick (the bound port is
+        available as ``server.address`` after ``start``).
+    max_batch:
+        Micro-batch size cap; ``1`` disables coalescing.
+    flush_window:
+        Seconds a non-full batch waits before flushing.
+    cache_size, cache_ttl:
+        Response-cache entry budget and staleness bound (seconds);
+        ``cache_size=0`` disables caching, ``cache_ttl=None`` never
+        expires.
+    queue_limit:
+        Maximum simultaneously admitted requests; excess get
+        ``overloaded`` replies.
+    default_timeout:
+        Default per-request deadline in seconds (``None`` = no
+        deadline); a request's ``timeout_ms`` field overrides it.
+    access_log:
+        Optional callable receiving one structured record (dict) per
+        completed request.
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 0
+    max_batch: int = 64
+    flush_window: float = 0.001
+    cache_size: int = 2048
+    cache_ttl: float | None = 300.0
+    queue_limit: int = 1024
+    default_timeout: float | None = None
+    access_log: Callable[[dict[str, Any]], None] | None = field(
+        default=None, compare=False
+    )
+
+
+class ModelServer:
+    """Serve the analytic models with micro-batching, caching, metrics."""
+
+    def __init__(
+        self,
+        config: ServerConfig | None = None,
+        *,
+        engine: EvalEngine | None = None,
+    ):
+        self.config = config or ServerConfig()
+        self.engine = engine or EvalEngine()
+        self.metrics = MetricsRegistry()
+        self.cache = TTLCache(self.config.cache_size, self.config.cache_ttl)
+        self.batcher = MicroBatcher(
+            self.engine,
+            max_batch=self.config.max_batch,
+            flush_window=self.config.flush_window,
+            metrics=self.metrics,
+        )
+        self._inflight = 0
+        self._draining = False
+        self._idle = asyncio.Event()
+        self._idle.set()
+        self._tcp_server: asyncio.AbstractServer | None = None
+        self._conn_tasks: set[asyncio.Task] = set()
+        # Hot-path instruments, resolved once.
+        self._requests_total = self.metrics.counter("requests_total")
+        self._errors_total = self.metrics.counter("errors_total")
+        self._overloaded_total = self.metrics.counter("overloaded_total")
+        self._deadline_total = self.metrics.counter("deadline_exceeded_total")
+        self._cache_hits = self.metrics.counter("cache_hits_total")
+        self._latency_ms = self.metrics.histogram("request_latency_ms")
+        self._queue_depth = self.metrics.gauge("queue_depth")
+
+    # ------------------------------------------------------------------
+    # Request pipeline (transport-independent)
+    # ------------------------------------------------------------------
+
+    async def handle_request(self, request: dict[str, Any]) -> dict[str, Any]:
+        """Run one request through the full pipeline; never raises."""
+        if not isinstance(request, dict):
+            return error_response(
+                None, BAD_REQUEST, "request must be a JSON object"
+            )
+        request_id = request.get("id")
+        op = request.get("op")
+        if not isinstance(op, str):
+            return error_response(
+                request_id, BAD_REQUEST, "request needs a string 'op' field"
+            )
+        # Control-plane operations bypass admission and caching: health
+        # checks and stats must work on a saturated or draining server.
+        if op == "ping":
+            return ok_response(request_id, {"pong": True})
+        if op == "stats":
+            return ok_response(request_id, self.stats())
+        if self._draining:
+            return error_response(
+                request_id, SHUTTING_DOWN, "server is draining"
+            )
+        if self._inflight >= self.config.queue_limit:
+            self._overloaded_total.inc()
+            return error_response(
+                request_id,
+                OVERLOADED,
+                f"admission queue full ({self.config.queue_limit} in flight); "
+                "retry with backoff",
+            )
+        self._inflight += 1
+        if self._inflight == 1:
+            self._idle.clear()
+        self._queue_depth.set(self._inflight)
+        started = time.perf_counter()
+        status = "ok"
+        cached = False
+        try:
+            cache_key = (
+                request_cache_key(request) if self.cache.enabled else None
+            )
+            if cache_key is not None:
+                hit = self.cache.get(cache_key)
+                if hit is not None:
+                    cached = True
+                    self._cache_hits.inc()
+                    return ok_response(request_id, hit, cached=True)
+            timeout = self._deadline(request)
+            if timeout is not None:
+                try:
+                    result = await asyncio.wait_for(
+                        self._dispatch(op, request), timeout
+                    )
+                except (asyncio.TimeoutError, TimeoutError):
+                    self._deadline_total.inc()
+                    status = DEADLINE_EXCEEDED
+                    return error_response(
+                        request_id,
+                        DEADLINE_EXCEEDED,
+                        f"deadline of {timeout * 1000:.6g} ms expired",
+                    )
+            else:
+                result = await self._dispatch(op, request)
+            if cache_key is not None:
+                self.cache.put(cache_key, result)
+            return ok_response(request_id, result)
+        except ServiceError as exc:
+            status = exc.code
+            self._errors_total.inc()
+            return error_response(request_id, exc.code, exc.message)
+        except ReproError as exc:
+            status = BAD_REQUEST
+            self._errors_total.inc()
+            return error_response(request_id, BAD_REQUEST, str(exc))
+        except Exception as exc:  # noqa: BLE001 - the serving boundary
+            status = INTERNAL
+            self._errors_total.inc()
+            return error_response(
+                request_id, INTERNAL, f"{type(exc).__name__}: {exc}"
+            )
+        finally:
+            elapsed_ms = (time.perf_counter() - started) * 1000.0
+            self._inflight -= 1
+            if self._inflight == 0:
+                self._idle.set()
+            self._queue_depth.set(self._inflight)
+            self._requests_total.inc()
+            self._latency_ms.observe(elapsed_ms)
+            log = self.config.access_log
+            if log is not None:
+                log(
+                    {
+                        "op": op,
+                        "machine": request.get("machine"),
+                        "status": status,
+                        "ms": round(elapsed_ms, 4),
+                        "cached": cached,
+                    }
+                )
+
+    def _deadline(self, request: dict[str, Any]) -> float | None:
+        timeout_ms = request.get("timeout_ms")
+        if timeout_ms is None:
+            return self.config.default_timeout
+        if not isinstance(timeout_ms, (int, float)) or timeout_ms <= 0:
+            raise ServiceError(
+                BAD_REQUEST, f"timeout_ms must be positive, got {timeout_ms!r}"
+            )
+        return float(timeout_ms) / 1000.0
+
+    async def _dispatch(self, op: str, request: dict[str, Any]) -> dict[str, Any]:
+        """Execute one admitted, uncached request."""
+        if op == "eval":
+            machine = _required(request, "machine", str)
+            model = request.get("model", "time")
+            metric = _required(request, "metric", str)
+            if "intensities" in request:
+                grid = request["intensities"]
+                if not isinstance(grid, (list, tuple)) or not grid:
+                    raise ServiceError(
+                        BAD_REQUEST, "intensities must be a non-empty array"
+                    )
+                values = self.engine.eval_batch(machine, model, metric, grid)
+                return {"values": values.tolist()}
+            intensity = _required(request, "intensity", (int, float))
+            value = await self.batcher.submit(
+                machine, model, metric, float(intensity)
+            )
+            return {"value": value}
+        if op == "curve":
+            return self.engine.curve(
+                _required(request, "machine", str),
+                _required(request, "kind", str),
+                lo=_optional(request, "lo", (int, float), 0.5),
+                hi=_optional(request, "hi", (int, float), 512.0),
+                points_per_octave=_optional(
+                    request, "points_per_octave", int, 8
+                ),
+                normalized=_optional(request, "normalized", bool, True),
+            )
+        if op == "balance":
+            return self.engine.balance(_required(request, "machine", str))
+        if op == "tradeoff":
+            return self.engine.tradeoff(
+                _required(request, "machine", str),
+                _required(request, "intensity", (int, float)),
+                _required(request, "f", (int, float)),
+                _required(request, "m", (int, float)),
+            )
+        if op == "greenup":
+            return self.engine.greenup(
+                _required(request, "machine", str),
+                _required(request, "intensity", (int, float)),
+                _required(request, "m", (int, float)),
+            )
+        if op == "describe":
+            return self.engine.describe(_required(request, "machine", str))
+        if op == "machines":
+            return self.engine.machines()
+        raise ServiceError(
+            UNKNOWN_OP,
+            f"unknown op {op!r}; available: balance, curve, describe, eval, "
+            "greenup, machines, ping, stats, tradeoff",
+        )
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def stats(self) -> dict[str, Any]:
+        """The ``stats`` payload: metrics, cache, batcher, queue state."""
+        snapshot = self.metrics.snapshot()
+        snapshot["cache"] = self.cache.stats()
+        snapshot["inflight"] = self._inflight
+        snapshot["pending_batched"] = self.batcher.pending_requests
+        snapshot["engine_batch_calls"] = self.engine.batch_calls
+        snapshot["draining"] = self._draining
+        snapshot["config"] = {
+            "max_batch": self.config.max_batch,
+            "flush_window": self.config.flush_window,
+            "cache_size": self.config.cache_size,
+            "cache_ttl": self.config.cache_ttl,
+            "queue_limit": self.config.queue_limit,
+        }
+        return snapshot
+
+    # ------------------------------------------------------------------
+    # TCP transport
+    # ------------------------------------------------------------------
+
+    @property
+    def address(self) -> tuple[str, int] | None:
+        """(host, port) the TCP listener is bound to, once started."""
+        if self._tcp_server is None or not self._tcp_server.sockets:
+            return None
+        host, port = self._tcp_server.sockets[0].getsockname()[:2]
+        return host, port
+
+    async def start(self) -> tuple[str, int]:
+        """Bind the TCP listener; returns the bound (host, port)."""
+        if self._tcp_server is not None:
+            raise ServiceError(INTERNAL, "server already started")
+        self._tcp_server = await asyncio.start_server(
+            self._on_connection, self.config.host, self.config.port
+        )
+        address = self.address
+        assert address is not None
+        return address
+
+    async def _on_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        """Read request lines, answering each from its own task so slow
+        requests never head-of-line-block fast ones on the connection."""
+        write_lock = asyncio.Lock()
+        request_tasks: set[asyncio.Task] = set()
+        self.metrics.counter("connections_total").inc()
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (ConnectionError, asyncio.LimitOverrunError):
+                    break
+                if not line:
+                    break
+                if line.strip() == b"":
+                    continue
+                task = asyncio.ensure_future(
+                    self._answer_line(line, writer, write_lock)
+                )
+                request_tasks.add(task)
+                self._conn_tasks.add(task)
+                task.add_done_callback(request_tasks.discard)
+                task.add_done_callback(self._conn_tasks.discard)
+        finally:
+            if request_tasks:
+                await asyncio.gather(*request_tasks, return_exceptions=True)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _answer_line(
+        self,
+        line: bytes,
+        writer: asyncio.StreamWriter,
+        write_lock: asyncio.Lock,
+    ) -> None:
+        try:
+            request = decode(line)
+        except ServiceError as exc:
+            response = error_response(None, exc.code, exc.message)
+        else:
+            response = await self.handle_request(request)
+        payload = encode(response)
+        async with write_lock:
+            try:
+                writer.write(payload)
+                await writer.drain()
+            except (ConnectionError, OSError):
+                pass  # peer went away; nothing to answer to
+
+    async def serve_forever(self) -> None:
+        """Block until cancelled (the ``serve`` CLI verb's main loop)."""
+        if self._tcp_server is None:
+            await self.start()
+        assert self._tcp_server is not None
+        await self._tcp_server.serve_forever()
+
+    # ------------------------------------------------------------------
+    # Graceful shutdown
+    # ------------------------------------------------------------------
+
+    async def stop(self, *, drain: bool = True, timeout: float = 10.0) -> None:
+        """Stop serving; with ``drain`` (default) finish open work first.
+
+        Order matters: refuse new work, flush queued batches so their
+        waiters complete, then wait (bounded by ``timeout``) for every
+        admitted request to finish before tearing the listener down.
+        """
+        self._draining = True
+        if self._tcp_server is not None:
+            self._tcp_server.close()
+        if drain:
+            await self.batcher.drain()
+            try:
+                await asyncio.wait_for(self._idle.wait(), timeout)
+            except (asyncio.TimeoutError, TimeoutError):
+                pass
+        for task in list(self._conn_tasks):
+            if not drain:
+                task.cancel()
+        if self._conn_tasks:
+            await asyncio.gather(*self._conn_tasks, return_exceptions=True)
+        if self._tcp_server is not None:
+            try:
+                await self._tcp_server.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+            self._tcp_server = None
+
+
+def _required(request: dict[str, Any], name: str, types: Any) -> Any:
+    try:
+        value = request[name]
+    except KeyError:
+        raise ServiceError(
+            BAD_REQUEST, f"missing required field {name!r}"
+        ) from None
+    if not isinstance(value, types) or isinstance(value, bool):
+        raise ServiceError(
+            BAD_REQUEST, f"field {name!r} has invalid value {value!r}"
+        )
+    return value
+
+
+def _optional(
+    request: dict[str, Any], name: str, types: Any, default: Any
+) -> Any:
+    value = request.get(name)
+    if value is None:
+        return default
+    if types is bool:
+        if not isinstance(value, bool):
+            raise ServiceError(
+                BAD_REQUEST, f"field {name!r} must be a boolean, got {value!r}"
+            )
+        return value
+    if not isinstance(value, types) or isinstance(value, bool):
+        raise ServiceError(
+            BAD_REQUEST, f"field {name!r} has invalid value {value!r}"
+        )
+    return value

@@ -1,0 +1,216 @@
+"""Micro-batching semantics: coalescing, flush discipline, scatter."""
+
+from __future__ import annotations
+
+import asyncio
+import math
+
+import pytest
+
+from repro.exceptions import ServiceError
+from repro.service.batcher import MicroBatcher
+from repro.service.engine import EvalEngine
+from repro.service.metrics import MetricsRegistry
+
+MACHINE = "gtx580-double"
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+def make(max_batch=8, flush_window=0.0, metrics=None):
+    engine = EvalEngine()
+    batcher = MicroBatcher(
+        engine, max_batch=max_batch, flush_window=flush_window, metrics=metrics
+    )
+    return engine, batcher
+
+
+class TestCoalescing:
+    def test_concurrent_submissions_share_one_engine_call(self):
+        async def scenario():
+            engine, batcher = make(max_batch=64)
+            futures = [
+                batcher.submit(MACHINE, "energy", "energy_per_flop", x)
+                for x in (0.5, 1.0, 2.0, 4.0)
+            ]
+            values = await asyncio.gather(*futures)
+            return engine, values
+
+        engine, values = run(scenario())
+        assert engine.batch_calls == 1
+        reference = [
+            engine.eval_scalar(MACHINE, "energy", "energy_per_flop", x)
+            for x in (0.5, 1.0, 2.0, 4.0)
+        ]
+        assert values == reference  # exact
+
+    def test_engine_calls_bounded_by_ceil(self):
+        n, max_batch = 37, 8
+
+        async def scenario():
+            engine, batcher = make(max_batch=max_batch)
+            futures = [
+                batcher.submit(MACHINE, "time", "time_per_flop", 0.5 + i)
+                for i in range(n)
+            ]
+            await asyncio.gather(*futures)
+            return engine
+
+        engine = run(scenario())
+        assert engine.batch_calls <= math.ceil(n / max_batch)
+
+    def test_full_batch_flushes_inline(self):
+        async def scenario():
+            engine, batcher = make(max_batch=2, flush_window=60.0)
+            first = batcher.submit(MACHINE, "time", "time_per_flop", 1.0)
+            second = batcher.submit(MACHINE, "time", "time_per_flop", 2.0)
+            # The fill flushed synchronously; nothing waits on the timer.
+            assert engine.batch_calls == 1
+            await asyncio.gather(first, second)
+
+        run(scenario())
+
+    def test_distinct_keys_never_share_a_batch(self):
+        async def scenario():
+            engine, batcher = make(max_batch=64)
+            futures = [
+                batcher.submit(MACHINE, "time", "time_per_flop", 1.0),
+                batcher.submit(MACHINE, "energy", "energy_per_flop", 1.0),
+                batcher.submit("i7-950-double", "time", "time_per_flop", 1.0),
+            ]
+            await asyncio.gather(*futures)
+            return engine
+
+        engine = run(scenario())
+        assert engine.batch_calls == 3
+
+    def test_max_batch_one_disables_coalescing(self):
+        async def scenario():
+            engine, batcher = make(max_batch=1)
+            futures = [
+                batcher.submit(MACHINE, "time", "time_per_flop", float(i + 1))
+                for i in range(5)
+            ]
+            await asyncio.gather(*futures)
+            return engine
+
+        engine = run(scenario())
+        assert engine.batch_calls == 5
+
+    def test_flush_window_timer_fires(self):
+        async def scenario():
+            engine, batcher = make(max_batch=64, flush_window=0.005)
+            future = batcher.submit(MACHINE, "time", "time_per_flop", 1.0)
+            assert batcher.pending_requests == 1
+            value = await future
+            assert batcher.pending_requests == 0
+            return engine, value
+
+        engine, value = run(scenario())
+        assert engine.batch_calls == 1
+        assert value == engine.eval_scalar(MACHINE, "time", "time_per_flop", 1.0)
+
+
+class TestScatter:
+    def test_results_scatter_in_submission_order(self):
+        grid = [8.0, 0.5, 2.0, 32.0, 1.0]
+
+        async def scenario():
+            engine, batcher = make(max_batch=len(grid))
+            futures = [
+                batcher.submit(MACHINE, "capped", "energy_per_flop", x)
+                for x in grid
+            ]
+            return engine, await asyncio.gather(*futures)
+
+        engine, values = run(scenario())
+        reference = [
+            engine.eval_scalar(MACHINE, "capped", "energy_per_flop", x)
+            for x in grid
+        ]
+        assert values == reference
+
+    def test_engine_failure_scatters_to_every_waiter(self):
+        async def scenario():
+            _, batcher = make(max_batch=64)
+            futures = [
+                batcher.submit("warp-drive", "time", "time_per_flop", x)
+                for x in (1.0, 2.0)
+            ]
+            results = await asyncio.gather(*futures, return_exceptions=True)
+            return results
+
+        results = run(scenario())
+        assert len(results) == 2
+        for exc in results:
+            assert isinstance(exc, ServiceError)
+            assert exc.code == "unknown_machine"
+
+    def test_cancelled_waiter_is_skipped(self):
+        async def scenario():
+            engine, batcher = make(max_batch=64, flush_window=60.0)
+            doomed = batcher.submit(MACHINE, "time", "time_per_flop", 1.0)
+            kept = batcher.submit(MACHINE, "time", "time_per_flop", 2.0)
+            doomed.cancel()
+            batcher.flush((MACHINE, "time", "time_per_flop"))
+            value = await kept
+            assert doomed.cancelled()
+            return engine, value
+
+        engine, value = run(scenario())
+        assert value == engine.eval_scalar(MACHINE, "time", "time_per_flop", 2.0)
+
+
+class TestDrain:
+    def test_drain_flushes_everything_pending(self):
+        async def scenario():
+            engine, batcher = make(max_batch=64, flush_window=60.0)
+            futures = [
+                batcher.submit(MACHINE, "time", "time_per_flop", float(i + 1))
+                for i in range(3)
+            ]
+            assert batcher.pending_requests == 3
+            await batcher.drain()
+            assert batcher.pending_requests == 0
+            return await asyncio.gather(*futures)
+
+        values = run(scenario())
+        assert len(values) == 3
+
+    def test_drain_on_idle_batcher_is_a_noop(self):
+        async def scenario():
+            _, batcher = make()
+            await batcher.drain()
+
+        run(scenario())
+
+
+class TestMetricsIntegration:
+    def test_batch_size_distribution_recorded(self):
+        metrics = MetricsRegistry()
+
+        async def scenario():
+            engine, batcher = make(max_batch=4, metrics=metrics)
+            futures = [
+                batcher.submit(MACHINE, "time", "time_per_flop", float(i + 1))
+                for i in range(6)
+            ]
+            await asyncio.gather(*futures)
+
+        run(scenario())
+        snapshot = metrics.snapshot()
+        hist = snapshot["histograms"]["batch_size"]
+        assert hist["count"] == 2  # one full batch of 4, one remainder of 2
+        assert hist["values"] == {"2": 1, "4": 1}
+        assert snapshot["counters"]["engine_flushes"] == 2
+
+
+class TestValidation:
+    def test_rejects_bad_parameters(self):
+        engine = EvalEngine()
+        with pytest.raises(ValueError):
+            MicroBatcher(engine, max_batch=0)
+        with pytest.raises(ValueError):
+            MicroBatcher(engine, flush_window=-1.0)

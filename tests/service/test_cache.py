@@ -1,0 +1,117 @@
+"""TTL+LRU response cache semantics, with an injected clock."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.service.cache import TTLCache
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+@pytest.fixture
+def clock():
+    return FakeClock()
+
+
+class TestBasics:
+    def test_miss_then_hit(self, clock):
+        cache = TTLCache(4, 10.0, clock=clock)
+        assert cache.get("k") is None
+        cache.put("k", {"v": 1})
+        assert cache.get("k") == {"v": 1}
+        assert cache.hits == 1 and cache.misses == 1
+        assert cache.hit_ratio == pytest.approx(0.5)
+
+    def test_len_and_stats(self, clock):
+        cache = TTLCache(4, 10.0, clock=clock)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert len(cache) == 2
+        stats = cache.stats()
+        assert stats["size"] == 2
+        assert stats["maxsize"] == 4
+        assert stats["ttl"] == 10.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TTLCache(-1)
+        with pytest.raises(ValueError):
+            TTLCache(4, 0.0)
+
+
+class TestTTL:
+    def test_entry_expires_after_ttl(self, clock):
+        cache = TTLCache(4, 10.0, clock=clock)
+        cache.put("k", 1)
+        clock.advance(9.999)
+        assert cache.get("k") == 1
+        clock.advance(0.001)
+        assert cache.get("k") is None
+        assert cache.expirations == 1
+
+    def test_hit_does_not_refresh_expiry(self, clock):
+        """TTL bounds staleness: popularity must not pin stale data."""
+        cache = TTLCache(4, 10.0, clock=clock)
+        cache.put("k", 1)
+        for _ in range(5):
+            clock.advance(1.9)
+            assert cache.get("k") == 1
+        clock.advance(1.0)  # 10.5s after the put
+        assert cache.get("k") is None
+
+    def test_put_refreshes_expiry(self, clock):
+        cache = TTLCache(4, 10.0, clock=clock)
+        cache.put("k", 1)
+        clock.advance(8.0)
+        cache.put("k", 2)
+        clock.advance(8.0)
+        assert cache.get("k") == 2
+
+    def test_none_ttl_never_expires(self, clock):
+        cache = TTLCache(4, None, clock=clock)
+        cache.put("k", 1)
+        clock.advance(1e9)
+        assert cache.get("k") == 1
+
+
+class TestLRU:
+    def test_eviction_order_is_least_recently_used(self, clock):
+        cache = TTLCache(2, None, clock=clock)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.get("a") == 1  # refreshes a's position
+        cache.put("c", 3)  # evicts b, not a
+        assert cache.get("b") is None
+        assert cache.get("a") == 1
+        assert cache.get("c") == 3
+        assert cache.evictions == 1
+
+    def test_eviction_respects_maxsize(self, clock):
+        cache = TTLCache(3, None, clock=clock)
+        for index in range(10):
+            cache.put(str(index), index)
+        assert len(cache) == 3
+        assert cache.evictions == 7
+
+
+class TestDisabled:
+    def test_maxsize_zero_disables_everything(self, clock):
+        cache = TTLCache(0, 10.0, clock=clock)
+        assert not cache.enabled
+        cache.put("k", 1)
+        assert cache.get("k") is None
+        assert len(cache) == 0
+
+    def test_enabled_property(self):
+        assert TTLCache(1).enabled
+        assert not TTLCache(0).enabled

@@ -1,0 +1,102 @@
+"""Canonicalisation shared by the runner cache and the service cache.
+
+The load-bearing property: dict key order NEVER changes the canonical
+form or the content hash, at any nesting depth.  Both persistent caches
+(the experiment runner's on-disk store and the server's response cache)
+key by these hashes, so a regression here silently splits or collides
+cache entries.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from hypothesis import given, strategies as st
+
+from repro._canon import canonical_json, content_hash
+
+
+def permuted(mapping: dict) -> list[dict]:
+    """Every insertion-order permutation of a small dict."""
+    return [
+        dict(items) for items in itertools.permutations(mapping.items())
+    ]
+
+
+NESTED = {
+    "op": "eval",
+    "machine": "gtx580-double",
+    "params": {"intensity": 2.0, "model": "energy", "flags": [1, 2, 3]},
+}
+
+
+class TestKeyOrderInvariance:
+    def test_flat_permutations_hash_equal(self):
+        payload = {"a": 1, "b": 2.5, "c": "x", "d": None}
+        hashes = {content_hash(p) for p in permuted(payload)}
+        assert len(hashes) == 1
+
+    def test_nested_permutations_hash_equal(self):
+        reference = content_hash(NESTED)
+        for outer in permuted(NESTED):
+            for inner in permuted(NESTED["params"]):
+                shuffled = {**outer, "params": inner}
+                assert content_hash(shuffled) == reference
+
+    @given(
+        st.dictionaries(
+            st.text(min_size=1, max_size=8),
+            st.one_of(
+                st.integers(),
+                st.floats(allow_nan=False),
+                st.text(max_size=8),
+                st.dictionaries(
+                    st.text(min_size=1, max_size=4),
+                    st.integers(),
+                    max_size=3,
+                ),
+            ),
+            min_size=2,
+            max_size=6,
+        )
+    )
+    def test_reversed_insertion_order_hashes_equal(self, payload):
+        reversed_payload = dict(reversed(list(payload.items())))
+        assert content_hash(reversed_payload) == content_hash(payload)
+
+    def test_distinct_payloads_hash_differently(self):
+        assert content_hash({"a": 1}) != content_hash({"a": 2})
+        assert content_hash({"a": 1}) != content_hash({"b": 1})
+
+
+class TestCanonicalJson:
+    def test_sorted_compact_form(self):
+        assert canonical_json({"b": 1, "a": [1, 2]}) == '{"a":[1,2],"b":1}'
+
+    def test_non_json_values_fall_back_to_repr(self):
+        blob = canonical_json({"path": complex(1, 2)})
+        assert "(1+2j)" in blob
+
+    def test_hash_is_hex_sha256(self):
+        digest = content_hash({"a": 1})
+        assert len(digest) == 64
+        assert int(digest, 16) >= 0
+
+
+class TestRunnerIntegration:
+    def test_runner_cache_key_is_order_invariant(self):
+        """The runner's on-disk cache keys go through the same canon."""
+        from repro.experiments.runner import cache_key
+
+        assert cache_key("table2", {"x": 1, "y": 2}) == cache_key(
+            "table2", {"y": 2, "x": 1}
+        )
+
+    def test_service_cache_key_shares_the_canon(self):
+        """Wire requests and runner specs use one canonicalisation."""
+        from repro.service.protocol import request_cache_key
+
+        a = {"op": "balance", "machine": "gtx580-double"}
+        b = {"machine": "gtx580-double", "op": "balance"}
+        assert request_cache_key(a) == request_cache_key(b)
+        assert request_cache_key(a) == content_hash(a)

@@ -1,0 +1,132 @@
+"""The evaluation engine: dispatch onto the core models, bit-exactly."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.balance import analyze
+from repro.core.rooflines import roofline_series
+from repro.exceptions import ServiceError
+from repro.machines.catalog import get_machine
+from repro.service.engine import CURVE_KINDS, EVAL_METRICS, MODELS, EvalEngine
+
+MACHINE = "gtx580-double"
+GRID = [0.25, 0.5, 1.0, 2.0, 4.0, 8.0, 16.0, 64.0]
+
+
+@pytest.fixture
+def engine():
+    return EvalEngine()
+
+
+class TestEvaluation:
+    @pytest.mark.parametrize(
+        "model_name,metric",
+        [(m, metric) for m, metrics in EVAL_METRICS.items() for metric in metrics],
+    )
+    def test_batch_matches_scalar_bitwise(self, engine, model_name, metric):
+        """Every served metric: one vectorised call == N scalar calls."""
+        batch = engine.eval_batch(MACHINE, model_name, metric, GRID)
+        scalars = [
+            engine.eval_scalar(MACHINE, model_name, metric, x) for x in GRID
+        ]
+        assert batch.tolist() == scalars  # exact, not approx
+
+    def test_scalar_matches_direct_model_call(self, engine):
+        model = MODELS["energy"](get_machine(MACHINE))
+        direct = model.energy_per_flop(2.0)
+        assert engine.eval_scalar(MACHINE, "energy", "energy_per_flop", 2.0) == direct
+
+    def test_batch_calls_counter(self, engine):
+        assert engine.batch_calls == 0
+        engine.eval_batch(MACHINE, "time", "time_per_flop", GRID)
+        engine.eval_batch(MACHINE, "time", "time_per_flop", GRID)
+        assert engine.batch_calls == 2
+
+    def test_machine_and_model_are_memoised(self, engine):
+        assert engine.machine(MACHINE) is engine.machine(MACHINE)
+        assert engine.model(MACHINE, "time") is engine.model(MACHINE, "time")
+
+
+class TestErrors:
+    def test_unknown_machine(self, engine):
+        with pytest.raises(ServiceError) as excinfo:
+            engine.eval_batch("warp-drive", "time", "time_per_flop", GRID)
+        assert excinfo.value.code == "unknown_machine"
+
+    def test_unknown_model(self, engine):
+        with pytest.raises(ServiceError) as excinfo:
+            engine.eval_batch(MACHINE, "quantum", "time_per_flop", GRID)
+        assert excinfo.value.code == "bad_request"
+        assert "quantum" in str(excinfo.value)
+
+    def test_unknown_metric(self, engine):
+        with pytest.raises(ServiceError) as excinfo:
+            engine.eval_batch(MACHINE, "time", "zorkmids", GRID)
+        assert excinfo.value.code == "bad_request"
+        assert "zorkmids" in str(excinfo.value)
+
+    def test_scalar_path_raises_same_errors(self, engine):
+        with pytest.raises(ServiceError):
+            engine.eval_scalar(MACHINE, "time", "zorkmids", 2.0)
+
+    def test_empty_machine_name(self, engine):
+        with pytest.raises(ServiceError) as excinfo:
+            engine.machine("")
+        assert excinfo.value.code == "bad_request"
+
+
+class TestAnalyses:
+    def test_curve_matches_series_function(self, engine):
+        payload = engine.curve(MACHINE, "roofline", lo=0.5, hi=32.0,
+                               points_per_octave=4, normalized=True)
+        series = roofline_series(get_machine(MACHINE), lo=0.5, hi=32.0,
+                                 points_per_octave=4, normalized=True)
+        assert payload["label"] == series.label
+        assert payload["intensities"] == series.intensities.tolist()
+        assert payload["values"] == series.values.tolist()
+
+    @pytest.mark.parametrize("kind", sorted(CURVE_KINDS))
+    def test_every_curve_kind_serves(self, engine, kind):
+        payload = engine.curve(MACHINE, kind)
+        assert len(payload["values"]) == len(payload["intensities"]) > 0
+        assert np.all(np.isfinite(payload["values"]))
+
+    def test_unknown_curve_kind(self, engine):
+        with pytest.raises(ServiceError) as excinfo:
+            engine.curve(MACHINE, "skyline")
+        assert excinfo.value.code == "bad_request"
+
+    def test_balance_matches_analyzer(self, engine):
+        payload = engine.balance(MACHINE)
+        report = analyze(get_machine(MACHINE))
+        assert payload["b_tau"] == report.b_tau
+        assert payload["b_eps"] == report.b_eps
+        assert payload["b_eps_effective"] == report.b_eps_effective
+        assert payload["race_to_halt_effective"] == report.race_to_halt_effective
+        assert "race-to-halt" in payload["text"]
+
+    def test_tradeoff_fields(self, engine):
+        payload = engine.tradeoff(MACHINE, intensity=0.5, f=1.2, m=4.0)
+        assert payload["f"] == 1.2 and payload["m"] == 4.0
+        assert payload["speedup"] > 0 and payload["greenup"] > 0
+        assert isinstance(payload["outcome"], str)
+
+    def test_greenup_fields(self, engine):
+        payload = engine.greenup(MACHINE, intensity=0.5, m=4.0)
+        assert payload["threshold_closed"] > 1.0
+        assert payload["threshold_exact"] > 1.0
+        assert payload["work_ceiling"] > 0
+
+    def test_describe_fields(self, engine):
+        payload = engine.describe(MACHINE)
+        machine = get_machine(MACHINE)
+        assert payload["name"] == machine.name
+        assert payload["b_tau"] == machine.b_tau
+        assert payload["b_eps"] == machine.b_eps
+        assert payload["peak_gflops"] == machine.peak_gflops
+
+    def test_machines_lists_catalog(self, engine):
+        keys = {entry["key"] for entry in engine.machines()["machines"]}
+        assert {"gtx580-double", "i7-950-double"} <= keys

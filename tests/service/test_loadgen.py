@@ -1,0 +1,75 @@
+"""The closed-loop load generator behind ``bench-serve``."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.service.loadgen import (
+    LoadReport,
+    bench_serving,
+    intensity_sequence,
+)
+
+
+class TestIntensitySequence:
+    def test_deterministic(self):
+        assert np.array_equal(intensity_sequence(64), intensity_sequence(64))
+
+    def test_unique_mode_has_no_repeats(self):
+        grid = intensity_sequence(256, unique=True)
+        assert np.unique(grid).size == 256
+
+    def test_pooled_mode_repeats(self):
+        grid = intensity_sequence(256, unique=False)
+        assert np.unique(grid).size <= 16
+
+    def test_range_is_the_paper_grid(self):
+        grid = intensity_sequence(512)
+        assert grid.min() >= 2.0**-3
+        assert grid.max() <= 2.0**6
+
+
+class TestBenchServing:
+    def test_small_batched_run(self):
+        report = bench_serving(
+            requests=96, concurrency=24, max_batch=8, flush_window=0.002
+        )
+        assert isinstance(report, LoadReport)
+        assert report.requests == 96
+        assert report.errors == 0
+        assert report.throughput > 0
+        assert report.p99_ms >= report.p50_ms >= 0
+        # Batching actually happened: far fewer engine calls than requests.
+        assert report.engine_calls < 96
+        assert report.mean_batch > 1.0
+        assert sum(
+            int(size) * count
+            for size, count in report.batch_size_counts.items()
+        ) == 96
+
+    def test_unbatched_run_calls_engine_per_request(self):
+        report = bench_serving(
+            requests=32, concurrency=8, max_batch=1, flush_window=0.0
+        )
+        assert report.errors == 0
+        assert report.engine_calls == 32
+
+    def test_cache_participates_when_enabled(self):
+        report = bench_serving(
+            requests=64, concurrency=8, max_batch=8, cache_size=256,
+            unique_intensities=False,
+        )
+        assert report.errors == 0
+        assert report.cache_hit_ratio > 0
+
+    def test_describe_is_readable(self):
+        report = bench_serving(requests=32, concurrency=8, max_batch=8)
+        text = report.describe()
+        assert "throughput" in text
+        assert "p99" in text
+        assert "batch sizes" in text
+
+    def test_rejects_degenerate_parameters(self):
+        with pytest.raises(ValueError):
+            bench_serving(requests=0)

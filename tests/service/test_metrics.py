@@ -1,0 +1,104 @@
+"""The embedded metrics registry behind the ``stats`` request."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.service.metrics import Counter, Gauge, Histogram, MetricsRegistry
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        counter = Counter()
+        assert counter.value == 0
+        counter.inc()
+        counter.inc(5)
+        assert counter.value == 6
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        gauge = Gauge()
+        gauge.set(7.0)
+        gauge.inc(2.0)
+        gauge.dec()
+        assert gauge.value == pytest.approx(8.0)
+
+
+class TestHistogram:
+    def test_exact_aggregates(self):
+        hist = Histogram()
+        for value in (1.0, 5.0, 3.0):
+            hist.observe(value)
+        assert hist.count == 3
+        assert hist.total == pytest.approx(9.0)
+        assert hist.min == 1.0
+        assert hist.max == 5.0
+        assert hist.mean == pytest.approx(3.0)
+
+    def test_percentiles_nearest_rank(self):
+        hist = Histogram()
+        for value in range(1, 101):
+            hist.observe(float(value))
+        assert hist.percentile(50) == 51.0
+        assert hist.percentile(99) == 100.0
+        assert hist.percentile(0) == 1.0
+
+    def test_empty_percentile_is_zero(self):
+        assert Histogram().percentile(50) == 0.0
+
+    def test_reservoir_is_bounded_but_count_exact(self):
+        hist = Histogram(sample_size=8)
+        for value in range(100):
+            hist.observe(float(value))
+        assert hist.count == 100
+        # The window holds only the most recent 8 observations.
+        assert hist.percentile(0) == 92.0
+
+    def test_track_values_tallies_integers(self):
+        hist = Histogram(track_values=True)
+        for size in (1, 4, 4, 8, 8, 8):
+            hist.observe(size)
+        snapshot = hist.snapshot()
+        assert snapshot["values"] == {"1": 1, "4": 2, "8": 3}
+
+    def test_snapshot_without_tracking_has_no_values(self):
+        hist = Histogram()
+        hist.observe(1.0)
+        snapshot = hist.snapshot()
+        assert "values" not in snapshot
+        assert set(snapshot) == {
+            "count", "mean", "min", "max", "p50", "p90", "p99",
+        }
+
+    def test_empty_snapshot_is_all_zero(self):
+        snapshot = Histogram().snapshot()
+        assert snapshot["count"] == 0
+        assert snapshot["min"] == 0.0
+        assert snapshot["max"] == 0.0
+        assert snapshot["p99"] == 0.0
+
+
+class TestRegistry:
+    def test_instruments_are_memoised_by_name(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a") is registry.counter("a")
+        assert registry.gauge("g") is registry.gauge("g")
+        assert registry.histogram("h") is registry.histogram("h")
+
+    def test_snapshot_shape(self):
+        registry = MetricsRegistry()
+        registry.counter("requests").inc(3)
+        registry.gauge("depth").set(2.0)
+        registry.histogram("latency").observe(1.5)
+        snapshot = registry.snapshot()
+        assert snapshot["counters"] == {"requests": 3}
+        assert snapshot["gauges"] == {"depth": 2.0}
+        assert snapshot["histograms"]["latency"]["count"] == 1
+
+    def test_snapshot_is_json_ready(self):
+        import json
+
+        registry = MetricsRegistry()
+        registry.histogram("batch", track_values=True).observe(4)
+        json.dumps(registry.snapshot())

@@ -1,0 +1,116 @@
+"""Wire protocol: framing, envelopes, error codes, cache keys."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.exceptions import ServiceError
+from repro.service.protocol import (
+    BAD_REQUEST,
+    CACHEABLE_OPS,
+    MAX_LINE_BYTES,
+    decode,
+    encode,
+    error_response,
+    ok_response,
+    request_cache_key,
+    unwrap,
+)
+
+
+class TestFraming:
+    def test_encode_is_one_compact_line(self):
+        line = encode({"op": "ping", "id": 3})
+        assert line.endswith(b"\n")
+        assert line.count(b"\n") == 1
+        assert b" " not in line
+
+    def test_round_trip(self):
+        request = {"op": "eval", "intensity": 2.0, "id": 9}
+        assert decode(encode(request)) == request
+
+    def test_decode_rejects_invalid_json(self):
+        with pytest.raises(ServiceError) as excinfo:
+            decode(b"{nope}\n")
+        assert excinfo.value.code == BAD_REQUEST
+
+    def test_decode_rejects_non_object(self):
+        with pytest.raises(ServiceError) as excinfo:
+            decode(b"[1,2,3]\n")
+        assert excinfo.value.code == BAD_REQUEST
+
+    def test_decode_rejects_oversized_line(self):
+        line = b'{"op":"' + b"x" * MAX_LINE_BYTES + b'"}\n'
+        with pytest.raises(ServiceError) as excinfo:
+            decode(line)
+        assert "exceeds" in excinfo.value.message
+
+
+class TestEnvelopes:
+    def test_ok_response_echoes_id(self):
+        response = ok_response(7, {"value": 1.0})
+        assert response == {"ok": True, "result": {"value": 1.0}, "id": 7}
+
+    def test_ok_response_marks_cache_hits(self):
+        assert ok_response(None, {}, cached=True)["cached"] is True
+        assert "cached" not in ok_response(None, {})
+
+    def test_error_response_carries_code(self):
+        response = error_response(2, "overloaded", "queue full")
+        assert response["ok"] is False
+        assert response["error"]["code"] == "overloaded"
+        assert response["id"] == 2
+
+    def test_unwrap_returns_result(self):
+        assert unwrap(ok_response(1, {"value": 3.0})) == {"value": 3.0}
+
+    def test_unwrap_raises_typed_error(self):
+        with pytest.raises(ServiceError) as excinfo:
+            unwrap(error_response(1, "unknown_machine", "no such machine"))
+        assert excinfo.value.code == "unknown_machine"
+        assert "no such machine" in str(excinfo.value)
+
+    def test_unwrap_rejects_malformed_envelopes(self):
+        with pytest.raises(ServiceError):
+            unwrap({"ok": True, "result": 42})
+        with pytest.raises(ServiceError):
+            unwrap("not a dict")
+
+
+class TestCacheKeys:
+    REQUEST = {
+        "op": "eval",
+        "machine": "gtx580-double",
+        "model": "energy",
+        "metric": "energy_per_flop",
+        "intensity": 2.0,
+    }
+
+    def test_field_order_does_not_split_entries(self):
+        shuffled = dict(reversed(list(self.REQUEST.items())))
+        assert request_cache_key(shuffled) == request_cache_key(self.REQUEST)
+
+    def test_id_and_timeout_are_non_semantic(self):
+        tagged = {**self.REQUEST, "id": 99, "timeout_ms": 50}
+        assert request_cache_key(tagged) == request_cache_key(self.REQUEST)
+
+    def test_semantic_fields_change_the_key(self):
+        other = {**self.REQUEST, "intensity": 4.0}
+        assert request_cache_key(other) != request_cache_key(self.REQUEST)
+
+    def test_stats_and_ping_are_uncacheable(self):
+        assert request_cache_key({"op": "stats"}) is None
+        assert request_cache_key({"op": "ping"}) is None
+        assert "stats" not in CACHEABLE_OPS
+        assert "ping" not in CACHEABLE_OPS
+
+    def test_every_model_op_is_cacheable(self):
+        for op in ("eval", "curve", "balance", "tradeoff", "greenup",
+                   "describe", "machines"):
+            assert request_cache_key({"op": op}) is not None
+
+    def test_key_is_json_safe(self):
+        key = request_cache_key(self.REQUEST)
+        json.dumps({"key": key})

@@ -31,6 +31,32 @@ class TestDescribe:
         assert code == 1
         assert "error:" in err
 
+    def test_describe_missing_json_path_fails_cleanly(self, capsys):
+        """A machine-file path that does not exist: one line, no traceback."""
+        code, _, err = run_cli(capsys, "describe", "no/such/machine.json")
+        assert code == 1
+        assert err.startswith("error:")
+        assert "Traceback" not in err
+
+    def test_describe_machine_json_file(self, capsys, tmp_path):
+        import json
+
+        from repro.machines.catalog import get_machine
+
+        machine = get_machine("gtx580-double")
+        path = tmp_path / "custom.json"
+        path.write_text(json.dumps({
+            "name": "Custom GTX",
+            "tau_flop": machine.tau_flop,
+            "tau_mem": machine.tau_mem,
+            "eps_flop": machine.eps_flop,
+            "eps_mem": machine.eps_mem,
+            "pi0": machine.pi0,
+        }))
+        code, out, _ = run_cli(capsys, "describe", str(path))
+        assert code == 0
+        assert "Custom GTX" in out
+
 
 class TestCurves:
     def test_all_curves(self, capsys):
@@ -188,6 +214,82 @@ class TestTradeoff:
         assert code == 0
         assert "f* eq.(10)" in out
         assert out.count("\n") >= 3
+
+
+class TestFitErrors:
+    def test_fit_missing_file_fails_cleanly(self, capsys):
+        """Environmental failures get one line on stderr, exit 1."""
+        code, _, err = run_cli(capsys, "fit", "no/such/samples.csv")
+        assert code == 1
+        assert err.startswith("error:")
+        assert "Traceback" not in err
+
+
+class TestBenchServe:
+    def test_small_run_reports_serving_numbers(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "bench-serve", "--requests", "64", "--concurrency", "16",
+            "--max-batch", "8",
+        )
+        assert code == 0
+        assert "throughput" in out
+        assert "p99" in out
+        assert "batch sizes" in out
+        assert "capped/energy_per_flop" in out
+
+    def test_compare_reports_speedup(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "bench-serve", "--requests", "64", "--concurrency", "16",
+            "--max-batch", "8", "--compare",
+        )
+        assert code == 0
+        assert "batching disabled (max_batch=1):" in out
+        assert "micro-batching speedup:" in out
+
+    def test_unknown_machine_fails_cleanly(self, capsys):
+        code, _, err = run_cli(
+            capsys, "bench-serve", "--requests", "8", "--concurrency", "2",
+            "--machines", "warp-drive",
+        )
+        assert code == 1
+        assert err.startswith("error:")
+
+    def test_cache_mode_with_repeats(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "bench-serve", "--requests", "64", "--concurrency", "8",
+            "--max-batch", "8", "--cache-size", "256", "--repeat-intensities",
+        )
+        assert code == 0
+        assert "cache" in out
+
+
+class TestServeParser:
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.port == 8733
+        assert args.max_batch == 64
+        assert args.flush_window_ms == 1.0
+        assert args.cache_size == 2048
+        assert args.queue_limit == 1024
+        assert args.access_log is False
+
+    def test_serve_overrides(self):
+        args = build_parser().parse_args([
+            "serve", "--port", "0", "--max-batch", "1",
+            "--flush-window-ms", "0.5", "--cache-size", "0",
+            "--default-timeout-ms", "250", "--access-log",
+        ])
+        assert args.port == 0
+        assert args.max_batch == 1
+        assert args.default_timeout_ms == 250.0
+        assert args.access_log is True
+
+    def test_bench_serve_defaults_isolate_batching(self):
+        args = build_parser().parse_args(["bench-serve"])
+        assert args.cache_size == 0
+        assert args.model == "capped"
+        assert args.metric == "energy_per_flop"
+        assert args.machines == ["gtx580-double", "i7-950-double"]
 
 
 class TestParser:
