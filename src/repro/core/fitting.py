@@ -26,6 +26,7 @@ import numpy as np
 from repro.analysis.regression import OLSResult, ols
 from repro.core.params import MachineModel
 from repro.exceptions import FittingError
+from repro.units import to_picojoules
 
 __all__ = [
     "EnergySample",
@@ -129,11 +130,13 @@ class FittedCoefficients:
     def table_row(self, platform: str) -> str:
         """One Table IV-style row in picojoule units."""
         eps_d = (
-            f"{self.eps_double * 1e12:7.1f}" if self.eps_double is not None else "   n/a"
+            f"{to_picojoules(self.eps_double):7.1f}"
+            if self.eps_double is not None
+            else "   n/a"
         )
         return (
-            f"{platform:<24}{self.eps_single * 1e12:7.1f} pJ/FLOP  "
-            f"{eps_d} pJ/FLOP  {self.eps_mem * 1e12:7.1f} pJ/B  "
+            f"{platform:<24}{to_picojoules(self.eps_single):7.1f} pJ/FLOP  "
+            f"{eps_d} pJ/FLOP  {to_picojoules(self.eps_mem):7.1f} pJ/B  "
             f"{self.pi0:7.1f} W"
         )
 

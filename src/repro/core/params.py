@@ -37,6 +37,7 @@ from repro.units import (
     GIGA,
     time_per_byte_from_gbytes,
     time_per_flop_from_gflops,
+    to_picojoules,
 )
 
 __all__ = [
@@ -181,6 +182,7 @@ class MachineModel:
         ``machine.with_constant_power(0.0)`` produces the paper's
         "const=0" hypothetical used in Figs. 4 and 5.
         """
+        # replint: ignore[RL005] -- exact pi0=0 sentinel for the paper's "const=0" hypothetical, not a computed value
         suffix = " (const=0)" if pi0 == 0.0 and self.pi0 != 0.0 else ""
         return replace(self, name=self.name + suffix, pi0=pi0)
 
@@ -334,8 +336,10 @@ class MachineModel:
             f"machine: {self.name}",
             f"  tau_flop  = {self.tau_flop:.4e} s/flop   (peak {self.peak_gflops:.2f} GFLOP/s)",
             f"  tau_mem   = {self.tau_mem:.4e} s/B      (peak {self.peak_gbytes:.2f} GB/s)",
-            f"  eps_flop  = {self.eps_flop:.4e} J/flop  ({self.eps_flop * 1e12:.1f} pJ)",
-            f"  eps_mem   = {self.eps_mem:.4e} J/B     ({self.eps_mem * 1e12:.1f} pJ)",
+            f"  eps_flop  = {self.eps_flop:.4e} J/flop  "
+            f"({to_picojoules(self.eps_flop):.1f} pJ)",
+            f"  eps_mem   = {self.eps_mem:.4e} J/B     "
+            f"({to_picojoules(self.eps_mem):.1f} pJ)",
             f"  pi0       = {self.pi0:.2f} W",
             f"  B_tau     = {self.b_tau:.3f} flop/B",
             f"  B_eps     = {self.b_eps:.3f} flop/B",

@@ -16,6 +16,7 @@ from repro.fmm.points import uniform_cloud
 from repro.fmm.tree import Octree
 from repro.fmm.ulist import build_ulist
 from repro.fmm.variants import generate_variants
+from repro.units import to_picojoules
 
 __all__ = ["run"]
 
@@ -72,7 +73,7 @@ def run(
             "n_variants": float(len(result.observations)),
             "n_l1l2_variants": float(len(result.l1l2_observations)),
             "naive_mean_signed_error": result.naive_summary.mean_signed,
-            "eps_cache_fit_pj": result.eps_cache_fit * 1e12,
+            "eps_cache_fit_pj": to_picojoules(result.eps_cache_fit),
             "corrected_median_error": result.corrected_summary.median_abs,
             "corrected_p90_error": result.corrected_summary.p90_abs,
         },

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from repro.experiments.registry import ExperimentResult, experiment
 from repro.machines.catalog import keckler_fermi
+from repro.units import to_picojoules, to_picoseconds
 
 __all__ = ["run"]
 
@@ -19,14 +20,14 @@ __all__ = ["run"]
 def run() -> ExperimentResult:
     """Derive every Table II row from the peak specifications."""
     m = keckler_fermi()
-    tau_flop_ps = m.tau_flop * 1e12
-    tau_mem_ps = m.tau_mem * 1e12
+    tau_flop_ps = to_picoseconds(m.tau_flop)
+    tau_mem_ps = to_picoseconds(m.tau_mem)
     rows = [
         ("tau_flop", f"(515 GFLOP/s)^-1 = {tau_flop_ps:.2f} ps per flop", "1.9 ps"),
         ("tau_mem", f"(144 GB/s)^-1 = {tau_mem_ps:.2f} ps per byte", "6.9 ps"),
         ("B_tau", f"{tau_mem_ps:.1f}/{tau_flop_ps:.1f} = {m.b_tau:.2f} flop/B", "3.6"),
-        ("eps_flop", f"{m.eps_flop * 1e12:.0f} pJ per flop", "25 pJ"),
-        ("eps_mem", f"{m.eps_mem * 1e12:.0f} pJ per byte", "360 pJ"),
+        ("eps_flop", f"{to_picojoules(m.eps_flop):.0f} pJ per flop", "25 pJ"),
+        ("eps_mem", f"{to_picojoules(m.eps_mem):.0f} pJ per byte", "360 pJ"),
         ("B_eps", f"360/25 = {m.b_eps:.2f} flop/B", "14.4"),
     ]
     width = max(len(r[1]) for r in rows)
@@ -43,7 +44,7 @@ def run() -> ExperimentResult:
             "tau_mem_ps": tau_mem_ps,
             "b_tau": m.b_tau,
             "b_eps": m.b_eps,
-            "eps_flop_pj": m.eps_flop * 1e12,
-            "eps_mem_pj": m.eps_mem * 1e12,
+            "eps_flop_pj": to_picojoules(m.eps_flop),
+            "eps_mem_pj": to_picojoules(m.eps_mem),
         },
     )

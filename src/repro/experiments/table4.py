@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from repro.core.fitting import FittedCoefficients, fit_energy_coefficients
 from repro.experiments.registry import ExperimentResult, experiment
+from repro.units import to_picojoules
 from repro.experiments._sweeps import PANELS, panel_truth, run_panel, run_panels
 
 __all__ = ["run"]
@@ -47,18 +48,18 @@ def run(*, points_per_octave: int = 2, jobs: int = 1) -> ExperimentResult:
         truth = panel_truth(device)
         assert fit.eps_double is not None  # mixed-precision fit
         lines.append(
-            f"{label:<26}{fit.eps_single * 1e12:>8.1f}pJ{fit.eps_double * 1e12:>8.1f}pJ"
-            f"{fit.eps_mem * 1e12:>8.1f}pJ{fit.pi0:>7.1f}W"
+            f"{label:<26}{to_picojoules(fit.eps_single):>8.1f}pJ{to_picojoules(fit.eps_double):>8.1f}pJ"
+            f"{to_picojoules(fit.eps_mem):>8.1f}pJ{fit.pi0:>7.1f}W"
             f"{fit.regression.r_squared:>12.6f}"
         )
         lines.append(
-            f"{'  (truth)':<26}{truth.eps_single * 1e12:>8.1f}pJ"
-            f"{truth.eps_double * 1e12:>8.1f}pJ{truth.eps_mem * 1e12:>8.1f}pJ"
+            f"{'  (truth)':<26}{to_picojoules(truth.eps_single):>8.1f}pJ"
+            f"{to_picojoules(truth.eps_double):>8.1f}pJ{to_picojoules(truth.eps_mem):>8.1f}pJ"
             f"{truth.pi0:>7.1f}W"
         )
-        values[f"{device}_eps_single_pj"] = fit.eps_single * 1e12
-        values[f"{device}_eps_double_pj"] = fit.eps_double * 1e12
-        values[f"{device}_eps_mem_pj"] = fit.eps_mem * 1e12
+        values[f"{device}_eps_single_pj"] = to_picojoules(fit.eps_single)
+        values[f"{device}_eps_double_pj"] = to_picojoules(fit.eps_double)
+        values[f"{device}_eps_mem_pj"] = to_picojoules(fit.eps_mem)
         values[f"{device}_pi0"] = fit.pi0
         values[f"{device}_r_squared"] = fit.regression.r_squared
         values[f"{device}_max_p_value"] = float(max(fit.regression.p_values))

@@ -36,6 +36,7 @@ from repro.core.fitting import fit_cache_energy
 from repro.core.params import MachineModel
 from repro.exceptions import MeasurementError
 from repro.fmm.counters import TrafficCounters, count_pairs, count_traffic
+from repro.units import to_picojoules
 from repro.fmm.tree import Octree
 from repro.fmm.variants import Variant, reference_variant
 from repro.machines.catalog import gtx580_single
@@ -119,7 +120,7 @@ class StudyResult:
                 f"FMM U-list energy study: {len(self.observations)} variants "
                 f"({len(self.l1l2_observations)} L1/L2-only)",
                 f"  naive eq.(2) estimates:   {self.naive_summary.describe()}",
-                f"  fitted cache energy:      {self.eps_cache_fit * 1e12:.1f} pJ/B "
+                f"  fitted cache energy:      {to_picojoules(self.eps_cache_fit):.1f} pJ/B "
                 "(paper: 187 pJ/B)",
                 f"  cache-corrected:          {self.corrected_summary.describe()}",
             ]

@@ -28,6 +28,11 @@ from repro.microbench.generator import (
     size_work_for_duration_batch,
 )
 from repro.powermon.channels import RailSet, atx_cpu_rails, gpu_rails
+from repro.units import (
+    GIGA,
+    bytes_per_second_to_gbytes,
+    flops_per_second_to_gflops,
+)
 from repro.powermon.session import Measurement, MeasurementSession
 from repro.simulator.device import DeviceTruth, SimulatedDevice
 from repro.simulator.kernel import KernelSpec, LaunchConfig, Precision
@@ -98,7 +103,7 @@ class SweepResult:
             dtype=float,
             count=len(self.points),
         )
-        return work / time / 1e9
+        return flops_per_second_to_gflops(work / time)
 
     def achieved_bandwidth_array(self) -> np.ndarray:
         """Measured DRAM bandwidth per point (GB/s)."""
@@ -108,7 +113,7 @@ class SweepResult:
             dtype=float,
             count=len(self.points),
         )
-        return traffic / time / 1e9
+        return bytes_per_second_to_gbytes(traffic / time)
 
     def gflops_per_joule_array(self) -> np.ndarray:
         """Measured energy efficiency per point (GFLOP/J)."""
@@ -118,7 +123,7 @@ class SweepResult:
             dtype=float,
             count=len(self.points),
         )
-        return work / energy / 1e9
+        return work / energy / GIGA
 
     def average_power_array(self) -> np.ndarray:
         """Measured average power per point (W)."""

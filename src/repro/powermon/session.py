@@ -32,6 +32,12 @@ from repro.powermon.channels import RailSet
 from repro.powermon.device import PowerMon2, SampleSet
 from repro.simulator.device import ExecutionResult, SimulatedDevice
 from repro.simulator.kernel import KernelSpec, Precision
+from repro.units import (
+    GIGA,
+    bytes_per_second_to_gbytes,
+    flops_per_second_to_gflops,
+    to_milliseconds,
+)
 
 __all__ = ["Measurement", "MeasurementSession"]
 
@@ -60,17 +66,17 @@ class Measurement:
     @property
     def achieved_gflops(self) -> float:
         """Measured arithmetic throughput (GFLOP/s)."""
-        return self.kernel.work / self.time / 1e9
+        return flops_per_second_to_gflops(self.kernel.work / self.time)
 
     @property
     def achieved_bandwidth_gbytes(self) -> float:
         """Measured DRAM bandwidth (GB/s)."""
-        return self.kernel.traffic / self.time / 1e9
+        return bytes_per_second_to_gbytes(self.kernel.traffic / self.time)
 
     @property
     def gflops_per_joule(self) -> float:
         """Measured energy efficiency (GFLOP/J)."""
-        return self.kernel.work / self.energy / 1e9
+        return self.kernel.work / self.energy / GIGA
 
     def to_energy_sample(self) -> EnergySample:
         """The eq. (9) regression row for this measurement."""
@@ -129,7 +135,7 @@ class MeasurementSession:
         samples_expected = trace.active_duration * protocol.sample_hz
         if samples_expected < protocol.repetitions:
             raise MeasurementError(
-                f"kernel {kernel.name!r} runs {truth.time * 1e3:.3g} ms/rep: "
+                f"kernel {kernel.name!r} runs {to_milliseconds(truth.time):.3g} ms/rep: "
                 f"{samples_expected:.1f} samples over {protocol.repetitions} reps "
                 f"at {protocol.sample_hz} Hz is too sparse; increase work"
             )

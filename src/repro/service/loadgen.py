@@ -24,6 +24,7 @@ import numpy as np
 
 from repro.service.client import InProcessClient
 from repro.service.server import ModelServer, ServerConfig
+from repro.units import to_milliseconds
 
 __all__ = ["LoadReport", "run_closed_loop", "bench_serving"]
 
@@ -138,7 +139,7 @@ async def run_closed_loop(
 
     stats = server.stats()
     batch_hist = stats["histograms"].get("batch_size", {})
-    ordered = np.sort(latencies) * 1000.0
+    ordered = to_milliseconds(np.sort(latencies))
     return LoadReport(
         requests=requests,
         errors=errors,

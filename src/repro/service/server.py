@@ -51,6 +51,7 @@ from repro.service.protocol import (
     ok_response,
     request_cache_key,
 )
+from repro.units import milliseconds, to_milliseconds
 
 __all__ = ["ServerConfig", "ModelServer"]
 
@@ -215,7 +216,7 @@ class ModelServer:
                 request_id, INTERNAL, f"{type(exc).__name__}: {exc}"
             )
         finally:
-            elapsed_ms = (time.perf_counter() - started) * 1000.0
+            elapsed_ms = to_milliseconds(time.perf_counter() - started)
             self._inflight -= 1
             if self._inflight == 0:
                 self._idle.set()
@@ -242,7 +243,7 @@ class ModelServer:
             raise ServiceError(
                 BAD_REQUEST, f"timeout_ms must be positive, got {timeout_ms!r}"
             )
-        return float(timeout_ms) / 1000.0
+        return milliseconds(float(timeout_ms))
 
     async def _dispatch(self, op: str, request: dict[str, Any]) -> dict[str, Any]:
         """Execute one admitted, uncached request."""

@@ -31,7 +31,11 @@ from repro.machines.specs import GTX580_SPEC, I7_950_SPEC, HardwareSpec
 from repro.simulator.kernel import KernelSpec, Precision
 from repro.simulator.nonideal import NonIdealities, TuningModel
 from repro.simulator.trace import PowerTrace
-from repro.units import picojoules
+from repro.units import (
+    bytes_per_second_to_gbytes,
+    flops_per_second_to_gflops,
+    picojoules,
+)
 
 __all__ = ["DeviceTruth", "ExecutionResult", "SimulatedDevice", "gtx580_truth", "i7_950_truth"]
 
@@ -127,12 +131,12 @@ class ExecutionResult:
     @property
     def achieved_gflops(self) -> float:
         """Achieved arithmetic rate (GFLOP/s)."""
-        return self.kernel.work / self.time / 1e9
+        return flops_per_second_to_gflops(self.kernel.work / self.time)
 
     @property
     def achieved_bandwidth_gbytes(self) -> float:
         """Achieved DRAM bandwidth (GB/s)."""
-        return self.kernel.traffic / self.time / 1e9
+        return bytes_per_second_to_gbytes(self.kernel.traffic / self.time)
 
     @property
     def flops_per_joule(self) -> float:

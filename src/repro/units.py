@@ -24,6 +24,7 @@ from typing import Final
 # SI prefixes
 # ---------------------------------------------------------------------------
 
+FEMTO: Final[float] = 1e-15
 PICO: Final[float] = 1e-12
 NANO: Final[float] = 1e-9
 MICRO: Final[float] = 1e-6
@@ -32,6 +33,7 @@ KILO: Final[float] = 1e3
 MEGA: Final[float] = 1e6
 GIGA: Final[float] = 1e9
 TERA: Final[float] = 1e12
+PETA: Final[float] = 1e15
 
 #: Bytes per word used when a profile is expressed in words (double precision).
 BYTES_PER_DOUBLE: Final[int] = 8
@@ -85,6 +87,21 @@ def picojoules(pj: float) -> float:
 def to_picojoules(joules: float) -> float:
     """Convert joules to picojoules."""
     return joules / PICO
+
+
+def to_picoseconds(seconds: float) -> float:
+    """Convert seconds to picoseconds (Table II's ``tau`` display unit)."""
+    return seconds / PICO
+
+
+def milliseconds(ms: float) -> float:
+    """Convert milliseconds to seconds (CLI/protocol boundary helper)."""
+    return ms * MILLI
+
+
+def to_milliseconds(seconds: float) -> float:
+    """Convert seconds to milliseconds (latency/phase display unit)."""
+    return seconds / MILLI
 
 
 def joules_per_flop_to_gflops_per_joule(epsilon: float) -> float:

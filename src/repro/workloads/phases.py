@@ -21,6 +21,7 @@ from repro.core.algorithm import AlgorithmProfile
 from repro.core.energy_model import EnergyModel
 from repro.core.params import MachineModel
 from repro.core.time_model import TimeModel
+from repro.units import to_milliseconds
 from repro.exceptions import ProfileError
 
 __all__ = ["Phase", "PhaseReport", "Application"]
@@ -154,13 +155,13 @@ class Application:
         ]
         for r in rows:
             lines.append(
-                f"{r.name[:21]:<22}{r.intensity:>9.3f}{r.time * 1e3:>10.2f}ms"
+                f"{r.name[:21]:<22}{r.intensity:>9.3f}{to_milliseconds(r.time):>10.2f}ms"
                 f"{r.time_fraction:>7.1%}{r.energy:>11.3f}J"
                 f"{r.energy_fraction:>7.1%}{r.power:>8.1f}W"
             )
         lines.append(
             f"{'TOTAL':<22}{self.total_profile.intensity:>9.3f}"
-            f"{self.time(machine) * 1e3:>10.2f}ms{'':>7}"
+            f"{to_milliseconds(self.time(machine)):>10.2f}ms{'':>7}"
             f"{self.energy(machine):>11.3f}J{'':>7}"
             f"{self.average_power(machine):>8.1f}W"
         )
