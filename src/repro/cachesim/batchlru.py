@@ -294,7 +294,7 @@ def batch_lru(
             # Bucket queries by table level so each level is one gather.
             level_order = np.argsort(levels.astype(np.uint8), kind="stable")
             level_sorted = levels[level_order]
-            bounds = np.searchsorted(level_sorted, np.arange(cap + 2))
+            bounds = np.searchsorted(level_sorted, np.arange(cap + 2, dtype=np.int64))
             deep = level_order[bounds[cap + 1] :]
             distinct = np.zeros(query.size, dtype=np.int32)
             rank_sorted = np.arange(n_lines, dtype=np.int64) - np.repeat(
@@ -348,7 +348,7 @@ def batch_lru(
                     span = np.int64(1) << cap
                     d_start = q_start[deep].astype(np.int64)
                     d_end = q_end[deep].astype(np.int64)
-                    live = np.arange(deep.size)
+                    live = np.arange(deep.size, dtype=np.int64)
                     cover = table[d_start]
                     nxt = d_start + span
                     while live.size:

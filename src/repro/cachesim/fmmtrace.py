@@ -223,7 +223,7 @@ def compile_ulist_trace(
     n_blocks = int(blocks_per_leaf.sum())
     if n_blocks == 0:
         return CompiledTrace(np.zeros(0, dtype=np.int64), 0)
-    block_leaf = np.repeat(np.arange(n_leaves), blocks_per_leaf)
+    block_leaf = np.repeat(np.arange(n_leaves, dtype=np.int64), blocks_per_leaf)
     block_index = _ragged_arange(blocks_per_leaf)
     block_start = block_index * tpb
     block_size = np.minimum(sizes[block_leaf] - block_start, tpb)

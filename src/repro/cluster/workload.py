@@ -63,6 +63,7 @@ class DistributedWorkload:
             raise ProfileError(f"work must be positive, got {self.work}")
         if self.local_traffic < 0:
             raise ProfileError("local_traffic must be non-negative")
+        # replint: ignore[RL005] -- structural contract: builders emit an exact 0.0 for p=1, nothing is computed
         if self.net_traffic(1) != 0.0:
             raise ProfileError("a single node must need no network traffic")
 

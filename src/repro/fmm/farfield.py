@@ -87,6 +87,7 @@ def evaluate_moments(targets: np.ndarray, moments: LeafMoments) -> np.ndarray:
         raise ProfileError(f"targets must be (m, 3), got {t.shape}")
     r = t - moments.center
     r2 = np.einsum("ij,ij->i", r, r)
+    # replint: ignore[RL005] -- bit-exact: r2 is 0.0 only at the expansion centre itself (IEEE-754 x-x==0)
     if np.any(r2 == 0.0):
         raise ProfileError("far-field expansion evaluated at its own centre")
     inv_r = 1.0 / np.sqrt(r2)

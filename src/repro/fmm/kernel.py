@@ -51,6 +51,7 @@ def interact_reference(
             dy = t[i, 1] - s[j, 1]
             dz = t[i, 2] - s[j, 2]
             r = dx * dx + dy * dy + dz * dz
+            # replint: ignore[RL005] -- bit-exact: r is 0.0 only for a point against itself (IEEE-754 x-x==0)
             if r == 0.0:
                 continue  # skip self-interaction
             phi[i] += d[j] / np.sqrt(r)
