@@ -13,7 +13,7 @@ import numpy as np
 
 from repro.exceptions import ParameterError
 
-__all__ = ["as_intensity_array"]
+__all__ = ["as_intensity_array", "isclose_to_scalar"]
 
 
 def as_intensity_array(intensities) -> np.ndarray:
@@ -32,3 +32,15 @@ def as_intensity_array(intensities) -> np.ndarray:
             f"intensities must be positive and finite, got {bad[:5].tolist()}"
         )
     return arr
+
+
+def isclose_to_scalar(arr: np.ndarray, ref: float, *, rel_tol: float) -> np.ndarray:
+    """Element-wise ``math.isclose(x, ref, rel_tol=...)`` with zero abs_tol.
+
+    ``np.isclose`` is *asymmetric* (``atol + rtol·|b|``) and carries a
+    non-zero default ``atol``, so it cannot stand in for ``math.isclose``
+    bit-for-bit.  The batch classify paths must agree with their scalar
+    oracles on every element, so this reproduces the symmetric test
+    ``|x − ref| ≤ rel_tol · max(|x|, |ref|)`` exactly.
+    """
+    return np.abs(arr - ref) <= rel_tol * np.maximum(np.abs(arr), abs(ref))

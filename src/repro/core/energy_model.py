@@ -26,7 +26,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.core._array import as_intensity_array
+from repro.core._array import as_intensity_array, isclose_to_scalar
 from repro.core.algorithm import AlgorithmProfile
 from repro.core.params import MachineModel
 from repro.core.time_model import TimeBound, TimeModel
@@ -169,6 +169,18 @@ class EnergyModel:
         if math.isclose(intensity, crossing, rel_tol=1e-9):
             return TimeBound.BALANCED
         return TimeBound.COMPUTE if intensity > crossing else TimeBound.MEMORY
+
+    def classify_batch(self, intensities: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`classify`: an object array of :class:`TimeBound`.
+
+        Element-wise identical to the scalar method, including the
+        ``math.isclose``-style symmetric test at the balance crossing.
+        """
+        arr = as_intensity_array(intensities)
+        crossing = self.machine.effective_balance_crossing
+        out = np.where(arr > crossing, TimeBound.COMPUTE, TimeBound.MEMORY)
+        out[isclose_to_scalar(arr, crossing, rel_tol=1e-9)] = TimeBound.BALANCED
+        return out
 
     # ------------------------------------------------------------------
     # Consistency check (used heavily by tests)

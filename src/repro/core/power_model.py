@@ -146,6 +146,18 @@ class PowerModel:
             return False
         return self.power(intensity) > cap
 
+    def exceeds_cap_batch(self, intensities: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`exceeds_cap`: a boolean array per intensity.
+
+        All-``False`` (after validation) when no cap is configured,
+        matching the scalar method's ``None``-cap behaviour.
+        """
+        arr = as_intensity_array(intensities)
+        cap = self.machine.power_cap
+        if cap is None:
+            return np.zeros(arr.shape, dtype=bool)
+        return self.power_batch(arr) > cap
+
     @staticmethod
     def _check_intensity(intensity: float) -> None:
         if not intensity > 0:

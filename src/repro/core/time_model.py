@@ -19,7 +19,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.core._array import as_intensity_array
+from repro.core._array import as_intensity_array, isclose_to_scalar
 from repro.core.algorithm import AlgorithmProfile
 from repro.core.params import MachineModel
 from repro.exceptions import ParameterError
@@ -164,6 +164,18 @@ class TimeModel:
     def time_per_flop_batch(self, intensities: np.ndarray) -> np.ndarray:
         """Vectorised ``T/W`` (seconds per flop) over an intensity array."""
         return self.machine.tau_flop * self.communication_penalty_batch(intensities)
+
+    def classify_batch(self, intensities: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`classify`: an object array of :class:`TimeBound`.
+
+        Element-wise identical to the scalar method, including the
+        ``math.isclose``-style symmetric balance test at ``I = Bτ``.
+        """
+        arr = as_intensity_array(intensities)
+        b_tau = self.machine.b_tau
+        out = np.where(arr > b_tau, TimeBound.COMPUTE, TimeBound.MEMORY)
+        out[isclose_to_scalar(arr, b_tau, rel_tol=1e-9)] = TimeBound.BALANCED
+        return out
 
     # ------------------------------------------------------------------
 

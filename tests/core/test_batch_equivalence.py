@@ -114,6 +114,58 @@ class TestPowerModelBatch:
         )
 
 
+class TestClassifyAndCapBatch:
+    """The enum/bool batch paths must agree with their scalars *exactly* —
+    including at and within 1 ulp of the balance points, where the
+    ``math.isclose`` tie-break decides the answer."""
+
+    @staticmethod
+    def edge_grid(center: float) -> np.ndarray:
+        span = np.array([1 - 5e-9, 1 - 5e-10, 1.0, 1 + 5e-10, 1 + 5e-9])
+        return np.concatenate(([1e-3, 1e4], center * span))
+
+    def test_time_classify(self, catalog_machine):
+        model = TimeModel(catalog_machine)
+        grid = np.concatenate(
+            (random_grid(), self.edge_grid(catalog_machine.b_tau))
+        )
+        batch = model.classify_batch(grid)
+        assert batch.dtype == object
+        assert list(batch) == [model.classify(float(x)) for x in grid]
+
+    def test_energy_classify(self, catalog_machine):
+        model = EnergyModel(catalog_machine)
+        crossing = catalog_machine.effective_balance_crossing
+        grid = np.concatenate((random_grid(seed=11), self.edge_grid(crossing)))
+        batch = model.classify_batch(grid)
+        assert list(batch) == [model.classify(float(x)) for x in grid]
+
+    def test_exceeds_cap_with_and_without_cap(self, gpu_single, fermi):
+        grid = random_grid(seed=17)
+        capped = PowerModel(gpu_single.with_power_cap(244.0))
+        batch = capped.exceeds_cap_batch(grid)
+        assert batch.dtype == bool
+        assert batch.any() and not batch.all()
+        assert list(batch) == [capped.exceeds_cap(float(x)) for x in grid]
+        uncapped = PowerModel(fermi)  # Table II machine has no cap
+        assert uncapped.machine.power_cap is None
+        assert not uncapped.exceeds_cap_batch(grid).any()
+
+    def test_classify_batch_rejects_bad_input(self, fermi):
+        with pytest.raises(ParameterError):
+            TimeModel(fermi).classify_batch(np.array([1.0, -2.0]))
+        with pytest.raises(ParameterError):
+            EnergyModel(fermi).classify_batch(np.array([], dtype=float))
+        with pytest.raises(ParameterError):
+            PowerModel(fermi).exceeds_cap_batch(np.array([0.0]))
+
+    def test_classify_batch_scalar_round_trip(self, fermi):
+        model = TimeModel(fermi)
+        assert model.classify_batch(np.asarray(fermi.b_tau)) == model.classify(
+            fermi.b_tau
+        )
+
+
 class TestCappedModelBatch:
     @pytest.fixture(params=[244.0, None])
     def capped(self, gpu_single, request) -> CappedModel:
