@@ -1,0 +1,57 @@
+"""``replint`` — the repo's own AST-based invariant checker.
+
+The energy-roofline model's correctness rests on invariants no type
+checker can see:
+
+* strict-SI internal units spanning ~15 orders of magnitude (pJ vs J,
+  GB/s vs B/s — the classic failure mode of analytic energy models);
+* bit-identical scalar/``*_batch`` API pairs across :mod:`repro.core`;
+* a reproducibility contract — seeded RNG streams, no wall-clock reads
+  in model paths — that one stray ``random()`` silently breaks;
+* asyncio discipline in :mod:`repro.service` (no blocking calls in
+  coroutines, no ``await`` under a synchronous lock).
+
+``replint`` checks these mechanically.  It is self-contained — driven
+by :mod:`ast` from the standard library, no third-party lint framework
+— and ships as the ``repro lint`` CLI verb.  Findings are suppressed
+inline with ``# replint: ignore[RL001] -- reason`` comments; a
+suppression without a reason is itself a finding (RL000).
+
+See ``docs/LINT.md`` for the rule catalogue and extension guide.
+"""
+
+from __future__ import annotations
+
+from repro.lint.engine import (
+    FileContext,
+    FileResult,
+    Finding,
+    LintReport,
+    Suppression,
+    analyze_source,
+    iter_python_files,
+    module_relpath,
+    parse_suppressions,
+    run_lint,
+)
+from repro.lint.registry import LintRule, all_rules, register, resolve_rules
+from repro.lint.report import render_json, render_text
+
+__all__ = [
+    "FileContext",
+    "FileResult",
+    "Finding",
+    "LintReport",
+    "LintRule",
+    "Suppression",
+    "all_rules",
+    "analyze_source",
+    "iter_python_files",
+    "module_relpath",
+    "parse_suppressions",
+    "register",
+    "render_json",
+    "render_text",
+    "resolve_rules",
+    "run_lint",
+]

@@ -1,0 +1,388 @@
+"""The replint engine: file discovery, suppressions, parallel analysis.
+
+The pipeline per file is parse → run each applicable rule over the AST
+→ partition findings into *active* and *suppressed* using
+``# replint: ignore[RLnnn] -- reason`` comments.  Across files the
+engine fans out over a process pool (``jobs``) and optionally memoises
+per-file results in a content-addressed cache directory, so a CI
+invocation on an unchanged tree is pure cache hits.
+
+Suppression syntax
+------------------
+``# replint: ignore[RL001] -- reason text`` silences RL001 findings on
+its own physical line; a *standalone* suppression (the comment is the
+whole line) also covers the following line, for statements too long to
+carry a trailing comment.  Several ids may be listed
+(``ignore[RL001,RL005]``).  The reason is mandatory: a suppression
+without ``-- reason`` is reported as RL000, so every deliberate
+exception in the tree documents itself.
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+import json
+import re
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import TYPE_CHECKING, Iterable, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - types only
+    from repro.lint.registry import LintRule
+
+__all__ = [
+    "FileContext",
+    "FileResult",
+    "Finding",
+    "LintReport",
+    "Suppression",
+    "analyze_source",
+    "iter_python_files",
+    "module_relpath",
+    "parse_suppressions",
+    "run_lint",
+]
+
+#: Bumped whenever rule semantics change, to invalidate result caches.
+LINT_VERSION = "1"
+
+#: Meta-rule id for suppression hygiene (missing reason, malformed
+#: comment).  RL000 findings are themselves unsuppressible.
+META_RULE = "RL000"
+
+_SUPPRESS = re.compile(
+    r"#\s*replint:\s*ignore\[(?P<rules>[A-Za-z0-9,\s]*)\]"
+    r"(?:\s*--\s*(?P<reason>.*\S))?"
+)
+_MALFORMED = re.compile(r"#\s*replint\b")
+
+
+@dataclass(frozen=True, slots=True)
+class Finding:
+    """One rule violation at a source location."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+
+@dataclass(frozen=True, slots=True)
+class Suppression:
+    """One parsed ``replint: ignore[...]`` suppression comment."""
+
+    line: int
+    rules: frozenset[str]
+    reason: str | None
+    standalone: bool
+
+    def covers(self, finding: Finding) -> bool:
+        if finding.rule == META_RULE:
+            return False
+        if finding.rule not in self.rules:
+            return False
+        if finding.line == self.line:
+            return True
+        return self.standalone and finding.line == self.line + 1
+
+
+@dataclass(slots=True)
+class FileContext:
+    """Everything a rule needs about one source file."""
+
+    relpath: str
+    source: str
+    lines: list[str]
+    tree: ast.Module
+
+
+@dataclass(slots=True)
+class FileResult:
+    """Per-file outcome: active findings plus documented exceptions."""
+
+    relpath: str
+    findings: list[Finding] = field(default_factory=list)
+    suppressed: list[tuple[Finding, str]] = field(default_factory=list)
+
+    def to_payload(self) -> dict:
+        return {
+            "relpath": self.relpath,
+            "findings": [asdict(f) for f in self.findings],
+            "suppressed": [
+                {"finding": asdict(f), "reason": reason}
+                for f, reason in self.suppressed
+            ],
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "FileResult":
+        return cls(
+            relpath=payload["relpath"],
+            findings=[Finding(**f) for f in payload["findings"]],
+            suppressed=[
+                (Finding(**item["finding"]), item["reason"])
+                for item in payload["suppressed"]
+            ],
+        )
+
+
+@dataclass(slots=True)
+class LintReport:
+    """Aggregated result of one lint run."""
+
+    findings: list[Finding]
+    suppressed: list[tuple[Finding, str]]
+    files_checked: int
+    rule_ids: list[str]
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings
+
+
+def parse_suppressions(source: str) -> tuple[list[Suppression], list[Finding]]:
+    """Extract suppression comments; malformed ones become RL000 findings.
+
+    Returns ``(suppressions, meta_findings)``.  ``meta_findings`` cover
+    a missing ``-- reason`` and comments that mention ``replint`` but do
+    not parse — both must be fixed, not ignored.
+    """
+    suppressions: list[Suppression] = []
+    meta: list[Finding] = []
+    for lineno, text in enumerate(source.splitlines(), start=1):
+        match = _SUPPRESS.search(text)
+        if match is None:
+            if _MALFORMED.search(text):
+                meta.append(
+                    Finding(
+                        rule=META_RULE,
+                        path="",
+                        line=lineno,
+                        col=text.index("#"),
+                        message=(
+                            "malformed replint comment; use "
+                            "'# replint: ignore[RLnnn] -- reason'"
+                        ),
+                    )
+                )
+            continue
+        rules = frozenset(
+            part.strip() for part in match.group("rules").split(",") if part.strip()
+        )
+        reason = match.group("reason")
+        standalone = text[: match.start()].strip() == ""
+        if not rules:
+            meta.append(
+                Finding(
+                    rule=META_RULE,
+                    path="",
+                    line=lineno,
+                    col=match.start(),
+                    message="suppression lists no rule ids",
+                )
+            )
+            continue
+        if not reason:
+            meta.append(
+                Finding(
+                    rule=META_RULE,
+                    path="",
+                    line=lineno,
+                    col=match.start(),
+                    message=(
+                        f"suppression of {', '.join(sorted(rules))} has no "
+                        "reason; append '-- why this exception is deliberate'"
+                    ),
+                )
+            )
+            continue
+        suppressions.append(
+            Suppression(
+                line=lineno, rules=rules, reason=reason, standalone=standalone
+            )
+        )
+    return suppressions, meta
+
+
+def module_relpath(path: Path) -> str:
+    """Path relative to the ``repro`` package root, for rule scoping.
+
+    ``.../src/repro/core/time_model.py`` → ``core/time_model.py``.
+    Files outside a ``repro`` directory fall back to their file name,
+    so fixtures and scratch files still lint (with whole-tree rules
+    only).
+    """
+    parts = path.resolve().parts
+    for index in range(len(parts) - 1, -1, -1):
+        if parts[index] == "repro":
+            rel = parts[index + 1 :]
+            if rel:
+                return "/".join(rel)
+    return path.name
+
+
+def analyze_source(
+    source: str,
+    relpath: str,
+    rules: Sequence["LintRule"] | None = None,
+) -> FileResult:
+    """Run the rule set over one in-memory source file.
+
+    This is the unit of work the per-file cache and the process pool
+    wrap — and the hook the fixture tests use directly.
+    """
+    if rules is None:
+        from repro.lint.registry import all_rules
+
+        rules = list(all_rules().values())
+    result = FileResult(relpath=relpath)
+    try:
+        tree = ast.parse(source)
+    except SyntaxError as exc:
+        result.findings.append(
+            Finding(
+                rule=META_RULE,
+                path=relpath,
+                line=exc.lineno or 1,
+                col=(exc.offset or 1) - 1,
+                message=f"file does not parse: {exc.msg}",
+            )
+        )
+        return result
+    ctx = FileContext(
+        relpath=relpath,
+        source=source,
+        lines=source.splitlines(),
+        tree=tree,
+    )
+    raw: list[Finding] = []
+    for rule in rules:
+        if not rule.applies(relpath):
+            continue
+        raw.extend(rule.check(ctx))
+    suppressions, meta = parse_suppressions(source)
+    for finding in meta:
+        result.findings.append(
+            Finding(
+                rule=finding.rule,
+                path=relpath,
+                line=finding.line,
+                col=finding.col,
+                message=finding.message,
+            )
+        )
+    for finding in raw:
+        covering = next(
+            (s for s in suppressions if s.covers(finding)), None
+        )
+        if covering is not None:
+            result.suppressed.append((finding, covering.reason or ""))
+        else:
+            result.findings.append(finding)
+    result.findings.sort(key=lambda f: (f.line, f.col, f.rule))
+    result.suppressed.sort(key=lambda item: (item[0].line, item[0].rule))
+    return result
+
+
+def iter_python_files(paths: Iterable[Path]) -> list[Path]:
+    """Expand files/directories to a sorted, deduplicated ``.py`` list."""
+    seen: set[Path] = set()
+    for path in paths:
+        path = Path(path)
+        if path.is_dir():
+            seen.update(p for p in path.rglob("*.py"))
+        elif path.suffix == ".py":
+            seen.add(path)
+        else:
+            raise FileNotFoundError(f"not a python file or directory: {path}")
+    return sorted(p.resolve() for p in seen)
+
+
+def _cache_key(source: str, rule_ids: Sequence[str]) -> str:
+    digest = hashlib.sha256()
+    digest.update(LINT_VERSION.encode())
+    digest.update(",".join(rule_ids).encode())
+    digest.update(b"\x00")
+    digest.update(source.encode("utf-8", errors="replace"))
+    return digest.hexdigest()
+
+
+def _analyze_path(
+    path_str: str, rule_ids: Sequence[str], cache_dir: str | None
+) -> dict:
+    """Process-pool worker: lint one file, via the cache when possible."""
+    path = Path(path_str)
+    source = path.read_text(encoding="utf-8")
+    cache_file = None
+    if cache_dir is not None:
+        key = _cache_key(source, rule_ids)
+        cache_file = Path(cache_dir) / f"{key}.json"
+        if cache_file.is_file():
+            try:
+                return json.loads(cache_file.read_text())
+            except (json.JSONDecodeError, KeyError, OSError):
+                pass  # stale or torn cache entry; re-analyze
+    from repro.lint.registry import all_rules
+
+    registry = all_rules()
+    rules = [registry[rid] for rid in rule_ids]
+    result = analyze_source(source, module_relpath(path), rules)
+    payload = result.to_payload()
+    if cache_file is not None:
+        cache_file.parent.mkdir(parents=True, exist_ok=True)
+        tmp = cache_file.with_suffix(".tmp")
+        tmp.write_text(json.dumps(payload, sort_keys=True))
+        tmp.replace(cache_file)
+    return payload
+
+
+def run_lint(
+    paths: Iterable[Path],
+    *,
+    rules: str | Iterable[str] | None = None,
+    jobs: int = 1,
+    cache_dir: Path | None = None,
+) -> LintReport:
+    """Lint every python file under ``paths`` with the selected rules."""
+    from repro.lint.registry import resolve_rules
+
+    selected = resolve_rules(rules)
+    rule_ids = list(selected)
+    files = iter_python_files(paths)
+    cache_str = str(cache_dir) if cache_dir is not None else None
+    payloads: list[dict]
+    if jobs > 1 and len(files) > 1:
+        from concurrent.futures import ProcessPoolExecutor
+
+        with ProcessPoolExecutor(max_workers=jobs) as pool:
+            payloads = list(
+                pool.map(
+                    _analyze_path,
+                    [str(p) for p in files],
+                    [rule_ids] * len(files),
+                    [cache_str] * len(files),
+                )
+            )
+    else:
+        payloads = [
+            _analyze_path(str(p), rule_ids, cache_str) for p in files
+        ]
+    findings: list[Finding] = []
+    suppressed: list[tuple[Finding, str]] = []
+    for payload in payloads:
+        result = FileResult.from_payload(payload)
+        findings.extend(result.findings)
+        suppressed.extend(result.suppressed)
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    suppressed.sort(key=lambda item: (item[0].path, item[0].line, item[0].rule))
+    return LintReport(
+        findings=findings,
+        suppressed=suppressed,
+        files_checked=len(files),
+        rule_ids=rule_ids,
+    )

@@ -1,0 +1,107 @@
+"""The checker registry: one :class:`LintRule` instance per rule id.
+
+Rules self-register via the :func:`register` decorator at import time;
+:func:`all_rules` imports :mod:`repro.lint.rules` (which pulls in every
+rule module) and returns the populated registry.  Keeping registration
+declarative means adding a rule is: write a module under
+``lint/rules/``, decorate the class, import it from
+``lint/rules/__init__.py`` — the engine, CLI, reporters, and the
+self-clean test pick it up automatically.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import TYPE_CHECKING, Iterable
+
+from repro.exceptions import ReproError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from repro.lint.engine import FileContext, Finding
+
+_RULE_ID = re.compile(r"^RL\d{3}$")
+
+_REGISTRY: dict[str, "LintRule"] = {}
+
+
+class LintRule:
+    """Base class for one rule family.
+
+    Subclasses set ``rule_id`` (``RLnnn``) and ``title``, optionally
+    narrow :meth:`applies` to a sub-tree of the package, and implement
+    :meth:`check` yielding :class:`~repro.lint.engine.Finding`s.
+    """
+
+    rule_id: str = ""
+    title: str = ""
+
+    def applies(self, relpath: str) -> bool:
+        """Whether this rule runs on the file at package-relative path."""
+        return True
+
+    def check(self, ctx: "FileContext") -> Iterable["Finding"]:
+        raise NotImplementedError
+
+    def finding(
+        self, ctx: "FileContext", line: int, col: int, message: str
+    ) -> "Finding":
+        """Construct a finding attributed to this rule."""
+        from repro.lint.engine import Finding
+
+        return Finding(
+            rule=self.rule_id,
+            path=ctx.relpath,
+            line=line,
+            col=col,
+            message=message,
+        )
+
+
+def register(cls: type[LintRule]) -> type[LintRule]:
+    """Class decorator: instantiate and add the rule to the registry."""
+    instance = cls()
+    if not _RULE_ID.match(instance.rule_id):
+        raise ValueError(
+            f"rule id must match RLnnn, got {instance.rule_id!r}"
+        )
+    if instance.rule_id in _REGISTRY:
+        raise ValueError(f"duplicate rule id {instance.rule_id}")
+    _REGISTRY[instance.rule_id] = instance
+    return cls
+
+
+def all_rules() -> dict[str, LintRule]:
+    """The full registry, keyed by rule id, in id order."""
+    import repro.lint.rules  # noqa: F401 - populates the registry
+
+    return dict(sorted(_REGISTRY.items()))
+
+
+def resolve_rules(spec: str | Iterable[str] | None) -> dict[str, LintRule]:
+    """Resolve a user rule selection to registry entries.
+
+    ``spec`` is a comma-separated string (``"RL001,RL005"``), an
+    iterable of ids, or ``None`` for every registered rule.  Unknown
+    ids raise :class:`UnknownRuleError` — the CLI maps that to a usage
+    error (exit code 2), not a lint failure.
+    """
+    rules = all_rules()
+    if spec is None:
+        return rules
+    if isinstance(spec, str):
+        wanted = [part.strip() for part in spec.split(",") if part.strip()]
+    else:
+        wanted = list(spec)
+    if not wanted:
+        raise UnknownRuleError("empty rule selection")
+    unknown = [rid for rid in wanted if rid not in rules]
+    if unknown:
+        raise UnknownRuleError(
+            f"unknown rule id(s) {', '.join(unknown)}; "
+            f"available: {', '.join(rules)}"
+        )
+    return {rid: rules[rid] for rid in sorted(set(wanted))}
+
+
+class UnknownRuleError(ReproError):
+    """A ``--rules`` selection named a rule that does not exist."""

@@ -1,0 +1,62 @@
+"""Render a :class:`~repro.lint.engine.LintReport` as text or JSON.
+
+The JSON schema is versioned and stable — the CI step and the CLI
+tests consume it::
+
+    {
+      "version": 1,
+      "files_checked": 104,
+      "rules": ["RL001", ...],
+      "findings": [{"rule", "path", "line", "col", "message"}, ...],
+      "suppressed": [{"rule", ..., "reason"}, ...],
+      "summary": {"findings": 0, "suppressed": 7, "clean": true}
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict
+
+from repro.lint.engine import LintReport
+
+__all__ = ["render_json", "render_text", "JSON_SCHEMA_VERSION"]
+
+JSON_SCHEMA_VERSION = 1
+
+
+def render_text(report: LintReport, *, verbose: bool = False) -> str:
+    """Human-oriented report: one line per finding plus a summary."""
+    lines = [finding.render() for finding in report.findings]
+    if verbose and report.suppressed:
+        lines.append("")
+        lines.append("documented exceptions:")
+        for finding, reason in report.suppressed:
+            lines.append(f"  {finding.render()}  [suppressed: {reason}]")
+    noun = "finding" if len(report.findings) == 1 else "findings"
+    lines.append(
+        f"replint: {len(report.findings)} {noun}, "
+        f"{len(report.suppressed)} suppressed, "
+        f"{report.files_checked} files checked "
+        f"({', '.join(report.rule_ids)})"
+    )
+    return "\n".join(lines)
+
+
+def render_json(report: LintReport) -> str:
+    """Machine-oriented report (see module docstring for the schema)."""
+    payload = {
+        "version": JSON_SCHEMA_VERSION,
+        "files_checked": report.files_checked,
+        "rules": report.rule_ids,
+        "findings": [asdict(f) for f in report.findings],
+        "suppressed": [
+            {**asdict(f), "reason": reason} for f, reason in report.suppressed
+        ],
+        "summary": {
+            "findings": len(report.findings),
+            "suppressed": len(report.suppressed),
+            "clean": report.clean,
+        },
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)

@@ -1,0 +1,14 @@
+"""Rule modules — importing this package populates the registry.
+
+One module per rule family; each module registers exactly one
+:class:`~repro.lint.registry.LintRule` subclass via ``@register``.
+"""
+
+from repro.lint.rules import (  # noqa: F401 - imported for registration
+    asyncsafety,
+    determinism,
+    dtypes,
+    floateq,
+    parity,
+    units,
+)

@@ -1,0 +1,199 @@
+"""RL004 — asyncio safety for the serving layer.
+
+The model server is a single event loop serving many connections; one
+blocking call in a coroutine stalls *every* in-flight request (the
+micro-batcher's flush timer, the drain path, all of it).  Three
+sub-checks, in increasing subtlety:
+
+* **blocking call in a coroutine** — ``time.sleep``, ``subprocess.*``,
+  synchronous socket constructors and friends may not be called inside
+  an ``async def`` (awaited or not: these APIs have no awaitable
+  form);
+* **await under a synchronous lock** — ``with some_lock: ... await
+  ...`` parks the coroutine while holding a thread lock; any other
+  task needing that lock then deadlocks the loop.  Locks crossed by an
+  ``await`` must be :class:`asyncio.Lock` used via ``async with``;
+* **inconsistent lock discipline** — within one class, if an attribute
+  is mutated under ``async with <lock>`` in one coroutine and bare in
+  another, the bare site defeats the lock.  (Mutations that *never*
+  take a lock are fine: between awaits, single-loop code is atomic —
+  that is the server's ``_inflight`` pattern.)
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.engine import FileContext, Finding
+from repro.lint.registry import LintRule, register
+from repro.lint.rules._common import (
+    dotted_name,
+    walk_without_nested_functions,
+)
+
+#: Calls with no awaitable form that block the event loop.
+BLOCKING_CALLS = frozenset(
+    {
+        "time.sleep",
+        "subprocess.run",
+        "subprocess.call",
+        "subprocess.check_call",
+        "subprocess.check_output",
+        "subprocess.Popen",
+        "os.system",
+        "os.popen",
+        "os.waitpid",
+        "socket.create_connection",
+        "socket.getaddrinfo",
+        "urllib.request.urlopen",
+        "requests.get",
+        "requests.post",
+        "requests.put",
+        "requests.delete",
+        "requests.request",
+        "input",
+    }
+)
+
+
+def _lockish(expr: ast.expr) -> bool:
+    """Heuristic: does this context-manager expression name a lock?"""
+    chain = dotted_name(expr)
+    if chain is None:
+        if isinstance(expr, ast.Call):
+            return _lockish(expr.func)
+        return False
+    return "lock" in chain.lower()
+
+
+def _self_attr_target(node: ast.expr) -> str | None:
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return node.attr
+    return None
+
+
+@register
+class AsyncSafetyRule(LintRule):
+    rule_id = "RL004"
+    title = "no blocking calls or sync-lock awaits in coroutines"
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.AsyncFunctionDef):
+                yield from self._check_coroutine(ctx, node)
+            elif isinstance(node, ast.ClassDef):
+                yield from self._check_lock_discipline(ctx, node)
+
+    # ------------------------------------------------------------------
+    # Sub-checks (a) and (b): per-coroutine
+    # ------------------------------------------------------------------
+
+    def _check_coroutine(
+        self, ctx: FileContext, func: ast.AsyncFunctionDef
+    ) -> Iterator[Finding]:
+        for node in walk_without_nested_functions(func):
+            if isinstance(node, ast.Call):
+                chain = dotted_name(node.func)
+                if chain is not None and chain in BLOCKING_CALLS:
+                    yield self.finding(
+                        ctx,
+                        node.lineno,
+                        node.col_offset,
+                        f"blocking call '{chain}' inside coroutine "
+                        f"'{func.name}' stalls the event loop; use the "
+                        "asyncio equivalent or run_in_executor",
+                    )
+            if isinstance(node, ast.With):
+                held = [
+                    item.context_expr
+                    for item in node.items
+                    if _lockish(item.context_expr)
+                ]
+                if not held:
+                    continue
+                awaits = [
+                    inner
+                    for stmt in node.body
+                    for inner in ast.walk(stmt)
+                    if isinstance(inner, ast.Await)
+                ]
+                if awaits:
+                    name = dotted_name(held[0]) or "lock"
+                    yield self.finding(
+                        ctx,
+                        awaits[0].lineno,
+                        awaits[0].col_offset,
+                        f"'await' while holding synchronous lock '{name}' "
+                        f"in coroutine '{func.name}' can deadlock the "
+                        "loop; use asyncio.Lock with 'async with'",
+                    )
+
+    # ------------------------------------------------------------------
+    # Sub-check (c): per-class lock discipline
+    # ------------------------------------------------------------------
+
+    def _check_lock_discipline(
+        self, ctx: FileContext, cls: ast.ClassDef
+    ) -> Iterator[Finding]:
+        locked: dict[str, str] = {}  # attr -> lock chain it was seen under
+        bare: dict[str, list[ast.AST]] = {}
+        for method in cls.body:
+            if not isinstance(method, ast.AsyncFunctionDef):
+                continue
+            for attr, site, lock in self._attr_mutations(method):
+                if lock is not None:
+                    locked.setdefault(attr, lock)
+                else:
+                    bare.setdefault(attr, []).append(site)
+        for attr, lock in sorted(locked.items()):
+            for site in bare.get(attr, []):
+                yield self.finding(
+                    ctx,
+                    site.lineno,
+                    site.col_offset,
+                    f"'self.{attr}' is mutated under 'async with {lock}' "
+                    f"elsewhere in class {cls.name} but bare here; hold "
+                    "the same lock (or drop it everywhere and rely on "
+                    "single-loop atomicity)",
+                )
+
+    def _attr_mutations(
+        self, method: ast.AsyncFunctionDef
+    ) -> Iterator[tuple[str, ast.AST, str | None]]:
+        """Yield ``(attr, site, lock_chain|None)`` for self-attr writes."""
+
+        def visit(
+            node: ast.AST, lock: str | None
+        ) -> Iterator[tuple[str, ast.AST, str | None]]:
+            if isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            ):
+                return
+            if isinstance(node, ast.AsyncWith):
+                inner = lock
+                for item in node.items:
+                    if _lockish(item.context_expr):
+                        inner = dotted_name(item.context_expr) or "lock"
+                for child in node.body:
+                    yield from visit(child, inner)
+                return
+            if isinstance(node, (ast.Assign, ast.AugAssign)):
+                targets = (
+                    node.targets
+                    if isinstance(node, ast.Assign)
+                    else [node.target]
+                )
+                for target in targets:
+                    attr = _self_attr_target(target)
+                    if attr is not None:
+                        yield attr, node, lock
+            for child in ast.iter_child_nodes(node):
+                yield from visit(child, lock)
+
+        for stmt in method.body:
+            yield from visit(stmt, None)

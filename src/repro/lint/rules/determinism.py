@@ -1,0 +1,137 @@
+"""RL003 — determinism in model paths.
+
+The reproducibility contract (PR 1–2) makes experiment results pure
+functions of ``(machine params, sweep config, seed)``: the runner's
+content-addressed cache and the order/jobs-invariant noise seeding both
+assume it.  One wall-clock read or unseeded RNG draw in a model path
+breaks the contract *silently* — results still look plausible, they
+just stop replaying.  So inside ``core/``, ``cachesim/``,
+``experiments/``, and ``fmm/``:
+
+* the stdlib :mod:`random` module is banned outright (its global
+  Mersenne state is process-wide and unseedable per-call-site);
+* legacy ``np.random.*`` draws (``rand``, ``seed``, the module-level
+  singletons) are banned — ``np.random.default_rng(seed)`` and the
+  :class:`~numpy.random.Generator` API are the sanctioned path;
+* wall-clock reads (``time.time``, ``perf_counter``, ``datetime.now``
+  …) are banned — timestamps belong to the reporting layer.
+
+``service/`` is deliberately out of scope: latency metrics *should*
+read the clock.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.engine import FileContext, Finding
+from repro.lint.registry import LintRule, register
+from repro.lint.rules._common import dotted_name
+
+#: Package sub-trees holding deterministic model paths.
+MODEL_PATHS = ("core/", "cachesim/", "experiments/", "fmm/")
+
+#: ``np.random`` attributes that keep determinism (seeded generator API).
+NP_RANDOM_ALLOWED = frozenset(
+    {
+        "Generator",
+        "BitGenerator",
+        "SeedSequence",
+        "PCG64",
+        "PCG64DXSM",
+        "Philox",
+        "default_rng",
+    }
+)
+
+#: Dotted wall-clock reads, matched on the full chain or its tail (so
+#: ``datetime.datetime.now`` and ``datetime.now`` both hit).
+CLOCK_CALLS = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.monotonic",
+        "time.monotonic_ns",
+        "time.perf_counter",
+        "time.perf_counter_ns",
+        "time.process_time",
+        "datetime.now",
+        "datetime.utcnow",
+        "datetime.today",
+        "date.today",
+    }
+)
+
+
+def _clock_match(chain: str) -> str | None:
+    if chain in CLOCK_CALLS:
+        return chain
+    tail = ".".join(chain.split(".")[-2:])
+    if tail in CLOCK_CALLS:
+        return tail
+    return None
+
+
+@register
+class DeterminismRule(LintRule):
+    rule_id = "RL003"
+    title = "no unseeded RNG or wall-clock reads in model paths"
+
+    def applies(self, relpath: str) -> bool:
+        return relpath.startswith(MODEL_PATHS)
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        numpy_aliases = {"numpy"}
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "numpy":
+                        numpy_aliases.add(alias.asname or "numpy")
+                    if alias.name == "random":
+                        yield self.finding(
+                            ctx,
+                            node.lineno,
+                            node.col_offset,
+                            "stdlib 'random' uses process-global state; "
+                            "use np.random.default_rng(seed)",
+                        )
+            elif isinstance(node, ast.ImportFrom):
+                if node.module == "random":
+                    yield self.finding(
+                        ctx,
+                        node.lineno,
+                        node.col_offset,
+                        "stdlib 'random' uses process-global state; "
+                        "use np.random.default_rng(seed)",
+                    )
+        for node in ast.walk(ctx.tree):
+            chain = None
+            if isinstance(node, ast.Attribute):
+                chain = dotted_name(node)
+            if chain is None:
+                continue
+            parts = chain.split(".")
+            if (
+                len(parts) >= 3
+                and parts[0] in ("np", *numpy_aliases)
+                and parts[1] == "random"
+                and parts[2] not in NP_RANDOM_ALLOWED
+            ):
+                yield self.finding(
+                    ctx,
+                    node.lineno,
+                    node.col_offset,
+                    f"legacy '{chain}' draws from numpy's global RNG; "
+                    "use np.random.default_rng(seed)",
+                )
+            clock = _clock_match(chain)
+            if clock is not None:
+                yield self.finding(
+                    ctx,
+                    node.lineno,
+                    node.col_offset,
+                    f"wall-clock read '{clock}' in a model path breaks "
+                    "replay of cached results; timestamps belong in the "
+                    "reporting layer",
+                )

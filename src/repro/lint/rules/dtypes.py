@@ -1,0 +1,78 @@
+"""RL006 — numpy dtype discipline in the cache-trace engine.
+
+The batched LRU simulator and the FMM trace compiler exchange *line
+arrays* — int64 address streams — across module boundaries
+(:func:`repro.cachesim.fmmtrace.compile_ulist_trace` feeds
+:mod:`repro.cachesim.batchlru`, which must stay bit-identical to the
+scalar oracle in :mod:`repro.cachesim.cache`).  An array constructed
+without an explicit dtype silently becomes platform-dependent
+(``np.arange(n)`` is int32 on Windows) and breaks both the
+bit-identical contract and the memoised sort plans keyed on dtype.
+
+Rule: inside ``cachesim/``, every numpy array constructor
+(``empty``/``zeros``/``ones``/``full``/``arange``/``asarray``/
+``array``/``fromiter``/``frombuffer``) must pass an explicit
+``dtype=`` keyword.  Derived arrays (``.astype``, slicing, ufuncs)
+inherit a known dtype and are not constructors.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.engine import FileContext, Finding
+from repro.lint.registry import LintRule, register
+from repro.lint.rules._common import dotted_name
+
+CONSTRUCTORS = frozenset(
+    {
+        "empty",
+        "zeros",
+        "ones",
+        "full",
+        "arange",
+        "asarray",
+        "array",
+        "fromiter",
+        "frombuffer",
+    }
+)
+
+
+@register
+class DtypeDisciplineRule(LintRule):
+    rule_id = "RL006"
+    title = "explicit dtype= on array constructors in cachesim/"
+
+    def applies(self, relpath: str) -> bool:
+        return relpath.startswith("cachesim/")
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            chain = dotted_name(node.func)
+            if chain is None:
+                continue
+            parts = chain.split(".")
+            if len(parts) != 2 or parts[0] not in ("np", "numpy"):
+                continue
+            if parts[1] not in CONSTRUCTORS:
+                continue
+            has_dtype = any(kw.arg == "dtype" for kw in node.keywords)
+            # np.full(shape, fill, dtype) / np.arange(n, dtype) also
+            # accept dtype positionally; count trailing positionals
+            # conservatively only for fromiter (its second positional
+            # IS the dtype).
+            if parts[1] == "fromiter" and len(node.args) >= 2:
+                has_dtype = True
+            if not has_dtype:
+                yield self.finding(
+                    ctx,
+                    node.lineno,
+                    node.col_offset,
+                    f"'{chain}' without explicit dtype= in the line-array "
+                    "engine; integer address streams must be constructed "
+                    "as np.int64 (platform default dtypes differ)",
+                )

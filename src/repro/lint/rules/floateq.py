@@ -1,0 +1,61 @@
+"""RL005 — float equality.
+
+``==``/``!=`` against a float literal is almost always a latent bug in
+numeric model code: eq. (5) is *algebraically* identical to eq. (4),
+but only ``math.isclose`` survives the rounding between the two
+evaluation orders.  The model's own equivalence tests compare with
+``isclose``/``np.isclose`` everywhere; production code must too.
+
+Deliberate bit-exact comparisons do exist — an FMM kernel's exact-zero
+self-interaction guard (``r == 0.0`` is true only for a point against
+itself, by IEEE-754 construction) — and those sites carry a
+``# replint: ignore[RL005] -- reason`` documenting the bit-exactness
+argument.
+
+Heuristic scope: only comparisons with a float *literal* operand are
+flagged.  Typed-expression analysis is beyond an AST pass; the literal
+case is both the common one and the unambiguous one.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.engine import FileContext, Finding
+from repro.lint.registry import LintRule, register
+
+
+def _float_literal(node: ast.expr) -> bool:
+    if isinstance(node, ast.Constant):
+        return isinstance(node.value, float)
+    if isinstance(node, ast.UnaryOp) and isinstance(
+        node.op, (ast.USub, ast.UAdd)
+    ):
+        return _float_literal(node.operand)
+    return False
+
+
+@register
+class FloatEqualityRule(LintRule):
+    rule_id = "RL005"
+    title = "no ==/!= against float literals"
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            operands = [node.left, *node.comparators]
+            for op, left, right in zip(node.ops, operands, operands[1:]):
+                if not isinstance(op, (ast.Eq, ast.NotEq)):
+                    continue
+                if _float_literal(left) or _float_literal(right):
+                    symbol = "==" if isinstance(op, ast.Eq) else "!="
+                    yield self.finding(
+                        ctx,
+                        node.lineno,
+                        node.col_offset,
+                        f"float '{symbol}' comparison; use math.isclose/"
+                        "np.isclose, or suppress with the bit-exactness "
+                        "argument if the comparison is deliberate",
+                    )

@@ -1,0 +1,154 @@
+"""RL002 — scalar/``*_batch`` API parity in :mod:`repro.core`.
+
+PR 1 grew the core model a vectorised fast path: every hot scalar
+evaluator ``foo(intensity)`` has a ``foo_batch(intensities)`` sibling
+that must stay bit-identical and signature-compatible (the experiment
+sweeps and the serving batcher dispatch between the two by name).  The
+invariants, per module and per class namespace:
+
+* a public ``foo_batch`` must have a scalar ``foo`` in the same
+  namespace — a batch orphan is an API that cannot be cross-checked
+  against its scalar oracle;
+* paired signatures must agree: same parameter count, order, names,
+  where the batch spelling of a scalar parameter may be its plural
+  (``intensity`` → ``intensities``);
+* in a namespace that already has batch pairs, a public scalar whose
+  only required non-``self`` parameter is ``intensity`` must itself
+  have a ``_batch`` sibling — the gap the serving layer would hit
+  first.  Formatting methods (annotated ``-> str``) are exempt: a
+  human-readable description has no vectorised form.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.engine import FileContext, Finding
+from repro.lint.registry import LintRule, register
+
+__all__ = ["pluralize"]
+
+
+def pluralize(name: str) -> str:
+    """The batch spelling of a scalar parameter (``intensity`` →
+    ``intensities``, ``value`` → ``values``)."""
+    if name.endswith("y") and not name.endswith(("ay", "ey", "oy", "uy")):
+        return name[:-1] + "ies"
+    if name.endswith("s"):
+        return name + "es"
+    return name + "s"
+
+
+def _arg_names(func: ast.FunctionDef) -> list[str]:
+    args = func.args
+    names = [a.arg for a in args.posonlyargs + args.args]
+    if args.vararg:
+        names.append("*" + args.vararg.arg)
+    names.extend(a.arg for a in args.kwonlyargs)
+    return names
+
+
+def _params_match(scalar: list[str], batch: list[str]) -> bool:
+    if len(scalar) != len(batch):
+        return False
+    return all(
+        s == b or pluralize(s) == b for s, b in zip(scalar, batch)
+    )
+
+
+def _required_args(func: ast.FunctionDef) -> list[str]:
+    """Positional parameter names with no default, minus ``self``."""
+    args = func.args
+    positional = args.posonlyargs + args.args
+    required = positional[: len(positional) - len(args.defaults)]
+    return [a.arg for a in required if a.arg != "self"]
+
+
+def _returns_str(func: ast.FunctionDef) -> bool:
+    returns = func.returns
+    return isinstance(returns, ast.Name) and returns.id == "str"
+
+
+def _is_property(func: ast.FunctionDef) -> bool:
+    for deco in func.decorator_list:
+        name = deco.id if isinstance(deco, ast.Name) else getattr(deco, "attr", "")
+        if name in ("property", "cached_property", "staticmethod", "classmethod"):
+            return True
+    return False
+
+
+@register
+class BatchParityRule(LintRule):
+    rule_id = "RL002"
+    title = "scalar/*_batch signature parity in core/"
+
+    def applies(self, relpath: str) -> bool:
+        return relpath.startswith("core/")
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        yield from self._check_namespace(ctx, ctx.tree.body, "module")
+        for node in ctx.tree.body:
+            if isinstance(node, ast.ClassDef):
+                yield from self._check_namespace(
+                    ctx, node.body, f"class {node.name}"
+                )
+
+    def _check_namespace(
+        self, ctx: FileContext, body: list[ast.stmt], where: str
+    ) -> Iterator[Finding]:
+        funcs: dict[str, ast.FunctionDef] = {
+            node.name: node
+            for node in body
+            if isinstance(node, ast.FunctionDef)
+        }
+        batch_names = [
+            n for n in funcs if n.endswith("_batch") and not n.startswith("_")
+        ]
+        for name in batch_names:
+            base = name[: -len("_batch")]
+            func = funcs[name]
+            if base not in funcs:
+                yield self.finding(
+                    ctx,
+                    func.lineno,
+                    func.col_offset,
+                    f"'{name}' in {where} has no scalar sibling '{base}'; "
+                    "batch APIs must be cross-checkable against a scalar "
+                    "oracle",
+                )
+                continue
+            scalar_args = _arg_names(funcs[base])
+            batch_args = _arg_names(func)
+            if not _params_match(scalar_args, batch_args):
+                yield self.finding(
+                    ctx,
+                    func.lineno,
+                    func.col_offset,
+                    f"'{name}' parameters {batch_args} do not mirror "
+                    f"'{base}' parameters {scalar_args} (same order; "
+                    "plural spelling allowed for array parameters)",
+                )
+        if not batch_names:
+            return
+        paired = {n[: -len("_batch")] for n in batch_names}
+        for name, func in funcs.items():
+            if (
+                name.startswith("_")
+                or name.endswith("_batch")
+                or name in paired
+                or _is_property(func)
+                or _returns_str(func)
+            ):
+                continue
+            required = _required_args(func)
+            if required == ["intensity"]:
+                yield self.finding(
+                    ctx,
+                    func.lineno,
+                    func.col_offset,
+                    f"'{name}' in {where} takes an intensity but has no "
+                    f"'{name}_batch' counterpart; add the vectorised "
+                    "sibling (the sweeps and the serving batcher rely on "
+                    "name-based dispatch)",
+                )

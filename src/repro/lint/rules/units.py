@@ -1,0 +1,161 @@
+"""RL001 — unit-literal discipline.
+
+The model works in strict SI base units internally (seconds, joules,
+flops, bytes) and converts at API boundaries; :mod:`repro.units` owns
+the conversion constants.  A raw ``* 1e-12`` or ``/ 1e9`` scattered in
+model code is exactly how pJ-vs-J and GB/s-vs-B/s mixups are born (the
+paper's Table II quantities span picojoules to teraflops), so:
+
+* a float literal that is a power of ten with ``|exponent| >= 3`` may
+  not appear as a direct operand of ``*`` or ``/`` outside
+  ``units.py`` — use the named constant (``units.GIGA``) or a
+  conversion helper (``units.to_picojoules``);
+* a function whose name advertises a prefixed unit (``gflops``,
+  ``_pj``, ``_ms`` …) must do its boundary conversion through
+  :mod:`repro.units` — if it contains power-of-ten literals (of any
+  numeric type, in any position) and never references a units name, it
+  is converting by hand.
+
+Tolerances and epsilons (``x + 1e-9``, ``rel_tol=1e-12``) are not
+conversions: they appear under ``+``/``-``, comparisons, or keyword
+defaults, and are deliberately not flagged.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator
+
+from repro.lint.engine import FileContext, Finding
+from repro.lint.registry import LintRule, register
+from repro.lint.rules._common import dotted_name, iter_function_defs
+
+#: SI-prefix magnitudes the rule recognises, with the constant to use.
+SI_CONSTANTS: dict[float, str] = {
+    1e-15: "FEMTO",
+    1e-12: "PICO",
+    1e-9: "NANO",
+    1e-6: "MICRO",
+    1e-3: "MILLI",
+    1e3: "KILO",
+    1e6: "MEGA",
+    1e9: "GIGA",
+    1e12: "TERA",
+    1e15: "PETA",
+}
+
+#: Name fragments (``_``-separated) that advertise a prefixed unit.
+UNIT_TOKENS = frozenset(
+    {"pj", "nj", "uj", "mj", "ps", "ns", "us", "ms", "gflops", "gbytes", "gbs"}
+)
+
+#: Names exported by :mod:`repro.units`; referencing any of them counts
+#: as converting through the units module.
+_UNITS_NAMES = frozenset(
+    {
+        "FEMTO",
+        "PICO",
+        "NANO",
+        "MICRO",
+        "MILLI",
+        "KILO",
+        "MEGA",
+        "GIGA",
+        "TERA",
+        "PETA",
+        "BYTES_PER_DOUBLE",
+        "BYTES_PER_SINGLE",
+        "gflops_to_flops_per_second",
+        "flops_per_second_to_gflops",
+        "gbytes_to_bytes_per_second",
+        "bytes_per_second_to_gbytes",
+        "time_per_flop_from_gflops",
+        "time_per_byte_from_gbytes",
+        "picojoules",
+        "to_picojoules",
+        "to_picoseconds",
+        "milliseconds",
+        "to_milliseconds",
+        "joules_per_flop_to_gflops_per_joule",
+        "format_si",
+    }
+)
+
+
+def _is_si_literal(node: ast.expr) -> float | None:
+    if (
+        isinstance(node, ast.Constant)
+        and isinstance(node.value, float)
+        and node.value in SI_CONSTANTS
+    ):
+        return node.value
+    return None
+
+
+def _power_of_ten(value: object) -> bool:
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        return False
+    return float(value) in SI_CONSTANTS
+
+
+def _references_units(nodes: Iterable[ast.AST]) -> bool:
+    for node in nodes:
+        if isinstance(node, ast.Attribute) and node.attr in _UNITS_NAMES:
+            chain = dotted_name(node)
+            if chain is not None and "units" in chain.split(".")[:-1]:
+                return True
+        if isinstance(node, ast.Name) and node.id in _UNITS_NAMES:
+            return True
+    return False
+
+
+@register
+class UnitLiteralRule(LintRule):
+    rule_id = "RL001"
+    title = "SI-prefix conversions must go through repro.units"
+
+    def applies(self, relpath: str) -> bool:
+        return relpath != "units.py"
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.BinOp):
+                continue
+            if not isinstance(node.op, (ast.Mult, ast.Div)):
+                continue
+            for side in (node.left, node.right):
+                value = _is_si_literal(side)
+                if value is None:
+                    continue
+                op = "*" if isinstance(node.op, ast.Mult) else "/"
+                yield self.finding(
+                    ctx,
+                    side.lineno,
+                    side.col_offset,
+                    f"raw SI-prefix literal {value:g} used with '{op}'; "
+                    f"use repro.units.{SI_CONSTANTS[value]} or a units "
+                    "conversion helper",
+                )
+        yield from self._check_boundary_functions(ctx)
+
+    def _check_boundary_functions(self, ctx: FileContext) -> Iterator[Finding]:
+        for func in iter_function_defs(ctx.tree):
+            tokens = set(func.name.lower().split("_"))
+            advertised = sorted(tokens & UNIT_TOKENS)
+            if not advertised:
+                continue
+            body_nodes = list(ast.walk(func))
+            has_literal = any(
+                isinstance(node, ast.Constant) and _power_of_ten(node.value)
+                for node in body_nodes
+            )
+            if has_literal and not _references_units(body_nodes):
+                yield self.finding(
+                    ctx,
+                    func.lineno,
+                    func.col_offset,
+                    f"function '{func.name}' advertises unit(s) "
+                    f"{', '.join(advertised)} but converts with raw "
+                    "power-of-ten literals; route the boundary conversion "
+                    "through repro.units",
+                )
