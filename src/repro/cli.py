@@ -34,6 +34,10 @@ Subcommands
     Closed-loop load generator against an in-process server; reports
     throughput, latency percentiles, batch-size histogram, and the
     batched-vs-unbatched speedup with ``--compare``.
+``lint``
+    Run replint, the repo's own AST-based static analysis, over the
+    package source (or explicit paths).  Exit code 0 means clean, 1
+    means findings, 2 means a usage error (see ``docs/LINT.md``).
 """
 
 from __future__ import annotations
@@ -55,6 +59,7 @@ from repro.core.tradeoff import TradeoffAnalyzer
 from repro.core.algorithm import AlgorithmProfile
 from repro.exceptions import ReproError
 from repro.machines.catalog import list_machines, resolve_machine
+from repro import units
 
 
 def get_machine(key_or_path: str):
@@ -247,6 +252,38 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench.add_argument(
         "--compare", action="store_true",
         help="also run with batching disabled and report the speedup",
+    )
+
+    p_lint = sub.add_parser(
+        "lint", help="run replint, the repo's AST-based static analysis"
+    )
+    p_lint.add_argument(
+        "paths", nargs="*", type=Path,
+        help="files or directories to lint (default: the repro package)",
+    )
+    p_lint.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="report format (default: text)",
+    )
+    p_lint.add_argument(
+        "--rules", metavar="IDS",
+        help="comma-separated rule ids, e.g. RL001,RL005 (default: all)",
+    )
+    p_lint.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="process-pool width for per-file analysis (default: 1)",
+    )
+    p_lint.add_argument(
+        "--cache-dir", type=Path, metavar="DIR",
+        help="content-addressed per-file result cache",
+    )
+    p_lint.add_argument(
+        "--verbose", action="store_true",
+        help="also list suppressed findings with their reasons",
+    )
+    p_lint.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule catalogue and exit",
     )
     return parser
 
@@ -442,8 +479,8 @@ def _cmd_scaling(args: argparse.Namespace) -> str:
     workload = builders[args.workload](args.size)
     cluster = ClusterModel(
         get_machine(args.machine),
-        net_bandwidth=args.net_gbytes * 1e9,
-        eps_net=args.eps_net * 1e-12,
+        net_bandwidth=units.gbytes_to_bytes_per_second(args.net_gbytes),
+        eps_net=units.picojoules(args.eps_net),
     )
     lines = [cluster.describe_scaling(workload, args.nodes)]
     limit = cluster.energy_flat_limit(workload)
@@ -494,12 +531,12 @@ def _cmd_serve(args: argparse.Namespace) -> str:
         host=args.host,
         port=args.port,
         max_batch=args.max_batch,
-        flush_window=args.flush_window_ms / 1000.0,
+        flush_window=units.milliseconds(args.flush_window_ms),
         cache_size=args.cache_size,
         cache_ttl=args.cache_ttl if args.cache_ttl > 0 else None,
         queue_limit=args.queue_limit,
         default_timeout=(
-            args.default_timeout_ms / 1000.0
+            units.milliseconds(args.default_timeout_ms)
             if args.default_timeout_ms
             else None
         ),
@@ -553,7 +590,7 @@ def _cmd_bench_serve(args: argparse.Namespace) -> str:
     kwargs = dict(
         requests=args.requests,
         concurrency=args.concurrency,
-        flush_window=args.flush_window_ms / 1000.0,
+        flush_window=units.milliseconds(args.flush_window_ms),
         cache_size=args.cache_size,
         machines=args.machines,
         model=args.model,
@@ -577,10 +614,53 @@ def _cmd_bench_serve(args: argparse.Namespace) -> str:
     return "\n\n".join(blocks)
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    """Run replint; returns 0 clean, 1 findings, 2 usage error.
+
+    Unlike the other subcommands this returns the exit code directly —
+    lint distinguishes "violations found" (1) from "you asked for a rule
+    that does not exist" (2), a contract the CI step and the pre-commit
+    wrapper both rely on.
+    """
+    from repro.lint import render_json, render_text, run_lint
+    from repro.lint.registry import UnknownRuleError, all_rules
+
+    if args.list_rules:
+        rules = all_rules()
+        width = max(len(rid) for rid in rules)
+        for rid, rule in rules.items():
+            print(f"{rid:<{width}}  {rule.title}")
+        return 0
+    if args.jobs < 1:
+        print(f"error: --jobs must be >= 1, got {args.jobs}", file=sys.stderr)
+        return 2
+    paths = args.paths or [Path(__file__).resolve().parent]
+    try:
+        report = run_lint(
+            paths,
+            rules=args.rules,
+            jobs=args.jobs,
+            cache_dir=args.cache_dir,
+        )
+    except UnknownRuleError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.format == "json":
+        print(render_json(report))
+    else:
+        print(render_text(report, verbose=args.verbose))
+    return 0 if report.clean else 1
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
+    if args.command == "lint":
+        return _cmd_lint(args)
     try:
         if args.command == "machines":
             output = _cmd_machines()

@@ -1,0 +1,149 @@
+"""The ``lint`` CLI verb: exit codes, JSON schema, filters, suppressions."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.lint.report import JSON_SCHEMA_VERSION
+
+
+@pytest.fixture
+def clean_file(tmp_path):
+    path = tmp_path / "clean.py"
+    path.write_text("def add(a, b):\n    return a + b\n")
+    return path
+
+
+@pytest.fixture
+def dirty_file(tmp_path):
+    path = tmp_path / "dirty.py"
+    path.write_text("flag = x == 0.5\n")
+    return path
+
+
+class TestExitCodes:
+    def test_clean_tree_exits_zero(self, clean_file, capsys):
+        assert main(["lint", str(clean_file)]) == 0
+        assert "0 findings" in capsys.readouterr().out
+
+    def test_findings_exit_one(self, dirty_file, capsys):
+        assert main(["lint", str(dirty_file)]) == 1
+        out = capsys.readouterr().out
+        assert "RL005" in out
+        assert "dirty.py:1:" in out
+
+    def test_unknown_rule_exits_two(self, clean_file, capsys):
+        assert main(["lint", "--rules", "RL999", str(clean_file)]) == 2
+        assert "RL999" in capsys.readouterr().err
+
+    def test_missing_path_exits_two(self, tmp_path, capsys):
+        assert main(["lint", str(tmp_path / "nope.txt")]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_bad_jobs_exits_two(self, clean_file, capsys):
+        assert main(["lint", "--jobs", "0", str(clean_file)]) == 2
+        assert "--jobs" in capsys.readouterr().err
+
+    def test_usage_error_exits_two(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["lint", "--format", "yaml"])
+        assert exc.value.code == 2
+
+
+class TestJsonReport:
+    def test_schema_keys_and_version(self, dirty_file, capsys):
+        assert main(["lint", "--format", "json", str(dirty_file)]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["version"] == JSON_SCHEMA_VERSION
+        assert set(payload) == {
+            "version",
+            "files_checked",
+            "rules",
+            "findings",
+            "suppressed",
+            "summary",
+        }
+        (finding,) = payload["findings"]
+        assert set(finding) == {"rule", "path", "line", "col", "message"}
+        assert finding["rule"] == "RL005"
+        assert payload["summary"] == {
+            "findings": 1,
+            "suppressed": 0,
+            "clean": False,
+        }
+
+    def test_clean_json_summary(self, clean_file, capsys):
+        assert main(["lint", "--format", "json", str(clean_file)]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["summary"]["clean"] is True
+        assert payload["findings"] == []
+
+
+class TestRuleFilter:
+    def test_filter_suppresses_other_families(self, dirty_file, capsys):
+        # The only violation is RL005; selecting RL001 must come back clean.
+        assert main(["lint", "--rules", "RL001", str(dirty_file)]) == 0
+        capsys.readouterr()
+        exit_code = main(
+            ["lint", "--rules", "RL005", "--format", "json", str(dirty_file)]
+        )
+        assert exit_code == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["rules"] == ["RL005"]
+
+    def test_list_rules(self, capsys):
+        assert main(["lint", "--list-rules"]) == 0
+        out = capsys.readouterr().out.strip().splitlines()
+        assert len(out) == 6
+        assert out[0].startswith("RL001")
+
+
+class TestSuppressionRoundTrip:
+    def test_adding_a_reasoned_suppression_cleans_the_run(
+        self, tmp_path, capsys
+    ):
+        path = tmp_path / "guard.py"
+        path.write_text("flag = x == 0.5\n")
+        assert main(["lint", str(path)]) == 1
+        path.write_text(
+            "flag = x == 0.5  # replint: ignore[RL005] -- exact sentinel\n"
+        )
+        assert main(["lint", str(path)]) == 0
+        assert main(["lint", "--verbose", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "exact sentinel" in out
+
+    def test_suppression_without_reason_stays_dirty(self, tmp_path, capsys):
+        path = tmp_path / "guard.py"
+        path.write_text("flag = x == 0.5  # replint: ignore[RL005]\n")
+        assert main(["lint", str(path)]) == 1
+        assert "RL000" in capsys.readouterr().out
+
+
+class TestJobsAndCache:
+    def test_parallel_run_matches_serial(self, tmp_path, capsys):
+        for name, body in [
+            ("a.py", "flag = x == 0.5\n"),
+            ("b.py", "y = x * 1e9\n"),
+            ("c.py", "z = 1\n"),
+        ]:
+            (tmp_path / name).write_text(body)
+        assert main(["lint", str(tmp_path)]) == 1
+        serial = capsys.readouterr().out
+        assert main(["lint", "--jobs", "2", str(tmp_path)]) == 1
+        parallel = capsys.readouterr().out
+        assert parallel == serial
+
+    def test_cache_dir_populated_and_reused(self, tmp_path, capsys):
+        target = tmp_path / "pkg"
+        target.mkdir()
+        (target / "a.py").write_text("flag = x == 0.5\n")
+        cache = tmp_path / "cache"
+        assert main(["lint", "--cache-dir", str(cache), str(target)]) == 1
+        first = capsys.readouterr().out
+        assert list(cache.glob("*.json"))
+        assert main(["lint", "--cache-dir", str(cache), str(target)]) == 1
+        assert capsys.readouterr().out == first

@@ -1,0 +1,308 @@
+"""Engine behaviour: suppressions, discovery, caching, parallelism."""
+
+from __future__ import annotations
+
+import json
+import textwrap
+
+import pytest
+
+from repro.lint import (
+    analyze_source,
+    iter_python_files,
+    module_relpath,
+    parse_suppressions,
+    run_lint,
+)
+from repro.lint.engine import _cache_key
+from repro.lint.registry import UnknownRuleError, all_rules, resolve_rules
+
+# ---------------------------------------------------------------------------
+# Suppression parsing
+# ---------------------------------------------------------------------------
+
+
+class TestSuppressionParsing:
+    def test_trailing_comment_parses(self):
+        sups, meta = parse_suppressions(
+            "x = 1.0  # replint: ignore[RL005] -- deliberate sentinel\n"
+        )
+        assert meta == []
+        (sup,) = sups
+        assert sup.line == 1
+        assert sup.rules == frozenset({"RL005"})
+        assert sup.reason == "deliberate sentinel"
+        assert not sup.standalone
+
+    def test_standalone_comment_detected(self):
+        sups, _ = parse_suppressions("# replint: ignore[RL001] -- boundary\n")
+        assert sups[0].standalone
+
+    def test_multiple_rule_ids(self):
+        sups, _ = parse_suppressions(
+            "y  # replint: ignore[RL001, RL005] -- both deliberate\n"
+        )
+        assert sups[0].rules == frozenset({"RL001", "RL005"})
+
+    def test_missing_reason_is_meta_finding(self):
+        sups, meta = parse_suppressions("x  # replint: ignore[RL005]\n")
+        assert sups == []
+        assert [f.rule for f in meta] == ["RL000"]
+        assert "reason" in meta[0].message
+
+    def test_empty_rule_list_is_meta_finding(self):
+        sups, meta = parse_suppressions("x  # replint: ignore[] -- why\n")
+        assert sups == []
+        assert [f.rule for f in meta] == ["RL000"]
+
+    def test_malformed_comment_is_meta_finding(self):
+        _, meta = parse_suppressions("x  # replint please look away\n")
+        assert [f.rule for f in meta] == ["RL000"]
+        assert "malformed" in meta[0].message
+
+
+class TestSuppressionCoverage:
+    def test_trailing_suppression_covers_own_line(self):
+        result = analyze_source(
+            "flag = x == 0.5  # replint: ignore[RL005] -- exact sentinel\n",
+            "core/x.py",
+        )
+        assert result.findings == []
+        assert [f.rule for f, _ in result.suppressed] == ["RL005"]
+
+    def test_standalone_suppression_covers_next_line(self):
+        source = (
+            "# replint: ignore[RL005] -- exact sentinel\n"
+            "flag = x == 0.5\n"
+        )
+        result = analyze_source(source, "core/x.py")
+        assert result.findings == []
+        assert len(result.suppressed) == 1
+
+    def test_standalone_suppression_does_not_reach_two_lines_down(self):
+        source = (
+            "# replint: ignore[RL005] -- exact sentinel\n"
+            "y = 1\n"
+            "flag = x == 0.5\n"
+        )
+        result = analyze_source(source, "core/x.py")
+        assert [f.rule for f in result.findings] == ["RL005"]
+
+    def test_wrong_rule_id_does_not_cover(self):
+        result = analyze_source(
+            "flag = x == 0.5  # replint: ignore[RL001] -- wrong family\n",
+            "core/x.py",
+        )
+        assert [f.rule for f in result.findings] == ["RL005"]
+
+    def test_meta_rule_cannot_be_suppressed(self):
+        source = (
+            "# replint: ignore[RL000] -- trying to hide the meta rule\n"
+            "x = 1  # replint: ignore[RL005]\n"
+        )
+        result = analyze_source(source, "core/x.py")
+        assert [f.rule for f in result.findings] == ["RL000"]
+
+
+# ---------------------------------------------------------------------------
+# Registry
+# ---------------------------------------------------------------------------
+
+
+class TestRegistry:
+    def test_six_rule_families_registered(self):
+        rules = all_rules()
+        assert list(rules) == [
+            "RL001",
+            "RL002",
+            "RL003",
+            "RL004",
+            "RL005",
+            "RL006",
+        ]
+        for rule in rules.values():
+            assert rule.title
+
+    def test_resolve_comma_string(self):
+        assert list(resolve_rules("RL005,RL001")) == ["RL001", "RL005"]
+
+    def test_resolve_none_is_everything(self):
+        assert list(resolve_rules(None)) == list(all_rules())
+
+    def test_unknown_rule_raises(self):
+        with pytest.raises(UnknownRuleError, match="RL999"):
+            resolve_rules("RL999")
+
+    def test_empty_selection_raises(self):
+        with pytest.raises(UnknownRuleError):
+            resolve_rules(" , ")
+
+
+# ---------------------------------------------------------------------------
+# File discovery and path mapping
+# ---------------------------------------------------------------------------
+
+
+class TestDiscovery:
+    def test_module_relpath_inside_repro(self, tmp_path):
+        path = tmp_path / "repro" / "core" / "time_model.py"
+        path.parent.mkdir(parents=True)
+        path.touch()
+        assert module_relpath(path) == "core/time_model.py"
+
+    def test_module_relpath_outside_repro_falls_back_to_name(self, tmp_path):
+        path = tmp_path / "scratch.py"
+        path.touch()
+        assert module_relpath(path) == "scratch.py"
+
+    def test_iter_python_files_expands_and_sorts(self, tmp_path):
+        (tmp_path / "b.py").touch()
+        (tmp_path / "a.py").touch()
+        (tmp_path / "sub").mkdir()
+        (tmp_path / "sub" / "c.py").touch()
+        (tmp_path / "notes.txt").touch()
+        files = iter_python_files([tmp_path, tmp_path / "a.py"])
+        assert [f.name for f in files] == ["a.py", "b.py", "c.py"]
+
+    def test_iter_python_files_rejects_non_python(self, tmp_path):
+        target = tmp_path / "notes.txt"
+        target.touch()
+        with pytest.raises(FileNotFoundError):
+            iter_python_files([target])
+
+    def test_syntax_error_becomes_meta_finding(self):
+        result = analyze_source("def f(:\n", "core/x.py")
+        assert [f.rule for f in result.findings] == ["RL000"]
+        assert "does not parse" in result.findings[0].message
+
+
+# ---------------------------------------------------------------------------
+# run_lint: aggregation, cache, parallelism
+# ---------------------------------------------------------------------------
+
+
+def _write_tree(tmp_path):
+    """A tiny repro-shaped tree with one violation per scoped rule."""
+    root = tmp_path / "repro"
+    (root / "core").mkdir(parents=True)
+    (root / "cachesim").mkdir()
+    (root / "core" / "a.py").write_text("flag = x == 0.5\n")
+    (root / "core" / "b.py").write_text("y = x * 1e9\n")
+    (root / "cachesim" / "c.py").write_text(
+        "import numpy as np\nlines = np.arange(4)\n"
+    )
+    return root
+
+
+class TestRunLint:
+    def test_findings_sorted_and_counted(self, tmp_path):
+        root = _write_tree(tmp_path)
+        report = run_lint([root])
+        assert report.files_checked == 3
+        assert not report.clean
+        keys = [(f.path, f.line, f.col, f.rule) for f in report.findings]
+        assert keys == sorted(keys)
+        assert {f.rule for f in report.findings} == {"RL005", "RL001", "RL006"}
+
+    def test_rule_filter_restricts_findings(self, tmp_path):
+        root = _write_tree(tmp_path)
+        report = run_lint([root], rules="RL006")
+        assert report.rule_ids == ["RL006"]
+        assert [f.rule for f in report.findings] == ["RL006"]
+
+    def test_parallel_jobs_equal_serial(self, tmp_path):
+        root = _write_tree(tmp_path)
+        serial = run_lint([root], jobs=1)
+        parallel = run_lint([root], jobs=2)
+        assert parallel.findings == serial.findings
+        assert parallel.suppressed == serial.suppressed
+        assert parallel.files_checked == serial.files_checked
+
+    def test_cache_round_trip(self, tmp_path):
+        root = _write_tree(tmp_path)
+        cache = tmp_path / "cache"
+        first = run_lint([root], cache_dir=cache)
+        assert list(cache.glob("*.json")), "cache entries written"
+        second = run_lint([root], cache_dir=cache)
+        assert second.findings == first.findings
+        assert second.suppressed == first.suppressed
+
+    def test_cache_entries_are_actually_read(self, tmp_path):
+        source = "x = 1\n"
+        target = tmp_path / "repro" / "core"
+        target.mkdir(parents=True)
+        (target / "a.py").write_text(source)
+        cache = tmp_path / "cache"
+        cache.mkdir()
+        planted = {
+            "relpath": "core/a.py",
+            "findings": [
+                {
+                    "rule": "RL005",
+                    "path": "core/a.py",
+                    "line": 1,
+                    "col": 0,
+                    "message": "planted by the cache test",
+                }
+            ],
+            "suppressed": [],
+        }
+        key = _cache_key(source, list(all_rules()))
+        (cache / f"{key}.json").write_text(json.dumps(planted))
+        report = run_lint([target], cache_dir=cache)
+        assert [f.message for f in report.findings] == [
+            "planted by the cache test"
+        ]
+
+    def test_torn_cache_entry_is_reanalyzed(self, tmp_path):
+        root = _write_tree(tmp_path)
+        cache = tmp_path / "cache"
+        run_lint([root], cache_dir=cache)
+        for entry in cache.glob("*.json"):
+            entry.write_text("{ torn json")
+        report = run_lint([root], cache_dir=cache)
+        assert not report.clean  # same findings recomputed, not crashed
+
+    def test_cache_key_tracks_source_and_rules(self):
+        base = _cache_key("x = 1\n", ["RL001"])
+        assert _cache_key("x = 2\n", ["RL001"]) != base
+        assert _cache_key("x = 1\n", ["RL002"]) != base
+
+    def test_unknown_rule_propagates(self, tmp_path):
+        root = _write_tree(tmp_path)
+        with pytest.raises(UnknownRuleError):
+            run_lint([root], rules="RL404")
+
+
+# ---------------------------------------------------------------------------
+# Multi-rule interaction on one file
+# ---------------------------------------------------------------------------
+
+
+def test_one_file_many_families():
+    source = textwrap.dedent(
+        """
+        import numpy as np
+        import time
+
+        def achieved_gflops(work, elapsed):
+            return work / elapsed / 1e9
+
+        class Sim:
+            def power(self, intensity):
+                return intensity
+
+            def power_batch(self, intensities):
+                return intensities
+
+            def classify(self, intensity):
+                return intensity
+
+        stamp = time.perf_counter()
+        noise = np.random.rand(3)
+        flag = noise[0] == 0.5
+        """
+    )
+    result = analyze_source(source, "core/mixed.py")
+    families = {f.rule for f in result.findings}
+    assert {"RL001", "RL002", "RL003", "RL005"} <= families

@@ -1,0 +1,441 @@
+"""Per-rule fixtures: every family has firing and passing snippets.
+
+The regression fixtures reproduce *real* violations that existed in the
+tree before the lint PR's sweep (raw ``/ 1e9`` unit conversions, the
+``classify`` scalar without a batch sibling, the kernel's bare
+``r == 0.0`` guard) so the rules provably catch what they were built
+to catch.
+"""
+
+from __future__ import annotations
+
+from tests.lint.util import check, rule_ids
+
+# ---------------------------------------------------------------------------
+# RL001 — unit-literal discipline
+# ---------------------------------------------------------------------------
+
+
+class TestUnitLiterals:
+    def test_fires_on_float_power_of_ten_multiply(self):
+        result = check("y = x * 1e9\n", "core/x.py", "RL001")
+        assert rule_ids(result) == ["RL001"]
+        assert "GIGA" in result.findings[0].message
+
+    def test_fires_on_spelled_out_literal_divide(self):
+        result = check("y = x / 1000.0\n", "core/x.py", "RL001")
+        assert rule_ids(result) == ["RL001"]
+        assert "KILO" in result.findings[0].message
+
+    def test_regression_pre_fix_device_gflops(self):
+        # The exact shape fixed in simulator/device.py: a GFLOP/s
+        # boundary conversion done with a raw literal.
+        source = """
+        class Device:
+            @property
+            def achieved_gflops(self):
+                return self.work / self.elapsed / 1e9
+        """
+        result = check(source, "simulator/device.py", "RL001")
+        assert "RL001" in rule_ids(result)
+
+    def test_fires_on_unit_named_function_with_int_literal(self):
+        source = """
+        def achieved_gflops(work, time):
+            scale = 1000000000
+            return work / time / scale
+        """
+        result = check(source, "core/x.py", "RL001")
+        assert rule_ids(result) == ["RL001"]
+        assert "gflops" in result.findings[0].message
+
+    def test_passes_when_conversion_routed_through_units(self):
+        source = """
+        from repro.units import flops_per_second_to_gflops
+
+        def achieved_gflops(work, time):
+            return flops_per_second_to_gflops(work / time)
+        """
+        assert check(source, "core/x.py", "RL001").findings == []
+
+    def test_passes_on_tolerances_and_epsilons(self):
+        source = """
+        import math
+
+        def near(a, b, slack=1e-12):
+            return math.isclose(a, b + 1e-9, rel_tol=slack)
+        """
+        assert check(source, "core/x.py", "RL001").findings == []
+
+    def test_passes_on_integer_literal_arithmetic(self):
+        assert check("y = x * 1000\n", "core/x.py", "RL001").findings == []
+
+    def test_does_not_apply_inside_units_module(self):
+        assert check("GIGA = 1.0 * 1e9\n", "units.py", "RL001").findings == []
+
+
+# ---------------------------------------------------------------------------
+# RL002 — scalar/batch parity
+# ---------------------------------------------------------------------------
+
+
+class TestBatchParity:
+    def test_fires_on_batch_orphan(self):
+        source = """
+        class Model:
+            def power_batch(self, intensities):
+                return intensities
+        """
+        result = check(source, "core/x.py", "RL002")
+        assert rule_ids(result) == ["RL002"]
+        assert "no scalar sibling" in result.findings[0].message
+
+    def test_fires_on_parameter_mismatch(self):
+        source = """
+        class Model:
+            def power(self, intensity):
+                return intensity
+
+            def power_batch(self, xs):
+                return xs
+        """
+        result = check(source, "core/x.py", "RL002")
+        assert rule_ids(result) == ["RL002"]
+        assert "mirror" in result.findings[0].message
+
+    def test_regression_pre_fix_classify_gap(self):
+        # TimeModel before this PR: batch pairs exist, but classify
+        # (required args == [intensity]) had no classify_batch.
+        source = """
+        class TimeModel:
+            def communication_penalty(self, intensity):
+                return intensity
+
+            def communication_penalty_batch(self, intensities):
+                return intensities
+
+            def classify(self, intensity):
+                return intensity
+        """
+        result = check(source, "core/time_model.py", "RL002")
+        assert rule_ids(result) == ["RL002"]
+        assert "classify_batch" in result.findings[0].message
+
+    def test_passes_once_batch_sibling_exists(self):
+        source = """
+        class TimeModel:
+            def communication_penalty(self, intensity):
+                return intensity
+
+            def communication_penalty_batch(self, intensities):
+                return intensities
+
+            def classify(self, intensity):
+                return intensity
+
+            def classify_batch(self, intensities):
+                return intensities
+        """
+        assert check(source, "core/time_model.py", "RL002").findings == []
+
+    def test_plural_parameter_spelling_is_accepted(self):
+        source = """
+        class Model:
+            def power(self, intensity):
+                return intensity
+
+            def power_batch(self, intensities):
+                return intensities
+        """
+        assert check(source, "core/x.py", "RL002").findings == []
+
+    def test_formatters_and_properties_are_exempt(self):
+        source = """
+        class Model:
+            def power(self, intensity):
+                return intensity
+
+            def power_batch(self, intensities):
+                return intensities
+
+            def describe(self, intensity) -> str:
+                return str(intensity)
+
+            @property
+            def peak(self):
+                return 1
+        """
+        assert check(source, "core/x.py", "RL002").findings == []
+
+    def test_does_not_apply_outside_core(self):
+        source = """
+        class Model:
+            def power_batch(self, intensities):
+                return intensities
+        """
+        assert check(source, "service/x.py", "RL002").findings == []
+
+
+# ---------------------------------------------------------------------------
+# RL003 — determinism in model paths
+# ---------------------------------------------------------------------------
+
+
+class TestDeterminism:
+    def test_fires_on_stdlib_random_import(self):
+        result = check("import random\n", "core/x.py", "RL003")
+        assert rule_ids(result) == ["RL003"]
+
+    def test_fires_on_from_random_import(self):
+        result = check("from random import shuffle\n", "experiments/x.py", "RL003")
+        assert rule_ids(result) == ["RL003"]
+
+    def test_fires_on_legacy_np_random(self):
+        source = """
+        import numpy as np
+        x = np.random.rand(3)
+        """
+        result = check(source, "cachesim/x.py", "RL003")
+        assert rule_ids(result) == ["RL003"]
+        assert "default_rng" in result.findings[0].message
+
+    def test_fires_on_wall_clock_read(self):
+        source = """
+        import time
+        stamp = time.perf_counter()
+        """
+        result = check(source, "fmm/x.py", "RL003")
+        assert rule_ids(result) == ["RL003"]
+        assert "wall-clock" in result.findings[0].message
+
+    def test_fires_on_datetime_now_tail_match(self):
+        source = """
+        import datetime
+        stamp = datetime.datetime.now()
+        """
+        result = check(source, "core/x.py", "RL003")
+        assert rule_ids(result) == ["RL003"]
+
+    def test_passes_on_seeded_generator_api(self):
+        source = """
+        import numpy as np
+        rng = np.random.default_rng(42)
+        x = rng.normal(size=3)
+        """
+        assert check(source, "core/x.py", "RL003").findings == []
+
+    def test_clock_reads_allowed_in_service_layer(self):
+        source = """
+        import time
+        stamp = time.perf_counter()
+        """
+        assert check(source, "service/x.py", "RL003").findings == []
+
+
+# ---------------------------------------------------------------------------
+# RL004 — asyncio safety
+# ---------------------------------------------------------------------------
+
+
+class TestAsyncSafety:
+    def test_fires_on_blocking_call_in_coroutine(self):
+        source = """
+        import time
+
+        async def handler():
+            time.sleep(0.1)
+        """
+        result = check(source, "service/x.py", "RL004")
+        assert rule_ids(result) == ["RL004"]
+        assert "time.sleep" in result.findings[0].message
+
+    def test_fires_on_await_under_sync_lock(self):
+        source = """
+        class Server:
+            async def flush(self):
+                with self._lock:
+                    await self._drain()
+        """
+        result = check(source, "service/x.py", "RL004")
+        assert rule_ids(result) == ["RL004"]
+        assert "async with" in result.findings[0].message
+
+    def test_fires_on_inconsistent_lock_discipline(self):
+        source = """
+        class Server:
+            async def locked_write(self):
+                async with self._state_lock:
+                    self._count = 1
+
+            async def bare_write(self):
+                self._count = 2
+        """
+        result = check(source, "service/x.py", "RL004")
+        assert rule_ids(result) == ["RL004"]
+        assert "_count" in result.findings[0].message
+
+    def test_never_locked_attr_is_single_loop_atomic(self):
+        # The server's _inflight pattern: mutated between awaits in
+        # several coroutines, never under a lock — fine on one loop.
+        source = """
+        class Server:
+            async def enter(self):
+                self._inflight += 1
+
+            async def leave(self):
+                self._inflight -= 1
+        """
+        assert check(source, "service/x.py", "RL004").findings == []
+
+    def test_passes_on_async_lock_used_consistently(self):
+        source = """
+        class Server:
+            async def a(self):
+                async with self._state_lock:
+                    self._count = 1
+
+            async def b(self):
+                async with self._state_lock:
+                    self._count = 2
+        """
+        assert check(source, "service/x.py", "RL004").findings == []
+
+    def test_blocking_call_fine_in_sync_function(self):
+        source = """
+        import time
+
+        def warmup():
+            time.sleep(0.1)
+        """
+        assert check(source, "service/x.py", "RL004").findings == []
+
+    def test_nested_def_inside_coroutine_not_blamed(self):
+        source = """
+        import time
+
+        async def handler(loop):
+            def blocking():
+                time.sleep(0.1)
+            await loop.run_in_executor(None, blocking)
+        """
+        assert check(source, "service/x.py", "RL004").findings == []
+
+
+# ---------------------------------------------------------------------------
+# RL005 — float equality
+# ---------------------------------------------------------------------------
+
+
+class TestFloatEquality:
+    def test_fires_on_float_literal_equality(self):
+        result = check("flag = x == 0.5\n", "core/x.py", "RL005")
+        assert rule_ids(result) == ["RL005"]
+
+    def test_fires_on_negated_literal_inequality(self):
+        result = check("flag = x != -1.0\n", "core/x.py", "RL005")
+        assert rule_ids(result) == ["RL005"]
+
+    def test_regression_pre_fix_kernel_zero_guard(self):
+        # fmm/kernel.py before the sweep: a bare r == 0.0 self-pair
+        # guard with no documented bit-exactness argument.
+        source = """
+        def interact_reference(pairs):
+            phi = 0.0
+            for r, d in pairs:
+                if r == 0.0:
+                    continue
+                phi += d / r
+            return phi
+        """
+        result = check(source, "fmm/kernel.py", "RL005")
+        assert rule_ids(result) == ["RL005"]
+
+    def test_suppression_with_reason_documents_the_exception(self):
+        source = """
+        def interact_reference(pairs):
+            phi = 0.0
+            for r, d in pairs:
+                # replint: ignore[RL005] -- bit-exact: r is 0.0 only for a self-pair
+                if r == 0.0:
+                    continue
+                phi += d / r
+            return phi
+        """
+        result = check(source, "fmm/kernel.py", "RL005")
+        assert result.findings == []
+        assert len(result.suppressed) == 1
+        finding, reason = result.suppressed[0]
+        assert finding.rule == "RL005"
+        assert "bit-exact" in reason
+
+    def test_passes_on_integer_equality(self):
+        assert check("flag = x == 1\n", "core/x.py", "RL005").findings == []
+
+    def test_passes_on_isclose(self):
+        source = """
+        import math
+        flag = math.isclose(x, 0.5, rel_tol=1e-9)
+        """
+        assert check(source, "core/x.py", "RL005").findings == []
+
+    def test_chained_comparison_only_flags_eq_links(self):
+        result = check("flag = 0.0 < x == y\n", "core/x.py", "RL005")
+        assert result.findings == []
+
+
+# ---------------------------------------------------------------------------
+# RL006 — dtype discipline in cachesim/
+# ---------------------------------------------------------------------------
+
+
+class TestDtypeDiscipline:
+    def test_fires_on_bare_arange(self):
+        source = """
+        import numpy as np
+        lines = np.arange(n)
+        """
+        result = check(source, "cachesim/x.py", "RL006")
+        assert rule_ids(result) == ["RL006"]
+        assert "dtype" in result.findings[0].message
+
+    def test_regression_pre_fix_batchlru_stack(self):
+        # cachesim/batchlru.py before the sweep built its recency stack
+        # with a default-dtype arange (int32 on Windows).
+        source = """
+        import numpy as np
+
+        def build_stack(cap):
+            return np.arange(cap + 2)
+        """
+        result = check(source, "cachesim/batchlru.py", "RL006")
+        assert rule_ids(result) == ["RL006"]
+
+    def test_passes_with_explicit_dtype(self):
+        source = """
+        import numpy as np
+        lines = np.arange(n, dtype=np.int64)
+        grid = np.zeros((4, 4), dtype=float)
+        """
+        assert check(source, "cachesim/x.py", "RL006").findings == []
+
+    def test_fromiter_positional_dtype_counts(self):
+        source = """
+        import numpy as np
+        lines = np.fromiter(gen, np.int64)
+        """
+        assert check(source, "cachesim/x.py", "RL006").findings == []
+
+    def test_derived_arrays_are_not_constructors(self):
+        source = """
+        import numpy as np
+        out = lines.astype(np.int64)
+        total = np.cumsum(lines)
+        """
+        assert check(source, "cachesim/x.py", "RL006").findings == []
+
+    def test_does_not_apply_outside_cachesim(self):
+        source = """
+        import numpy as np
+        xs = np.arange(10)
+        """
+        assert check(source, "core/x.py", "RL006").findings == []

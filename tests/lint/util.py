@@ -1,0 +1,20 @@
+"""Helpers shared by the replint test modules."""
+
+from __future__ import annotations
+
+import textwrap
+
+from repro.lint import analyze_source
+from repro.lint.engine import FileResult
+from repro.lint.registry import resolve_rules
+
+
+def check(source: str, relpath: str, rules: str | None = None) -> FileResult:
+    """Lint a dedented source snippet as if it lived at ``relpath``."""
+    selected = list(resolve_rules(rules).values())
+    return analyze_source(textwrap.dedent(source), relpath, selected)
+
+
+def rule_ids(result: FileResult) -> list[str]:
+    """The active finding rule ids, in report order."""
+    return [finding.rule for finding in result.findings]
