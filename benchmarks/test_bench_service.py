@@ -1,19 +1,31 @@
-"""Serving benchmark: micro-batched throughput vs batch-size-1 serving.
+"""Serving benchmarks: micro-batching and the worker-pool tier.
 
-The acceptance bar for the serving subsystem: on a scalar-evaluation
-workload (the capped model's ``energy_per_flop`` — the heaviest analytic
-path the protocol serves), the micro-batched configuration must sustain
-at least 5× the throughput of the same server with batching disabled
-(``max_batch=1``), everything else equal.  The response cache is off in
-both runs so the measurement isolates batching.
+Two acceptance bars for the serving subsystem:
 
-Correctness is not at stake here — bit-identity of batched serving is
-locked down in ``tests/service/test_server.py``; this module times the
-win and reports the latency percentiles and batch-size histogram an
-operator would tune against.
+* on a scalar-evaluation workload (the capped model's
+  ``energy_per_flop`` — the heaviest analytic path the protocol
+  serves), the micro-batched configuration must sustain at least 5×
+  the throughput of the same server with batching disabled
+  (``max_batch=1``), everything else equal;
+* on the CPU-bound ``heavy`` workload (dense curves, large grids),
+  four worker processes must sustain at least 2× the throughput of
+  in-loop execution (``workers=0``) — this one needs ≥ 4 usable
+  cores and skips itself elsewhere, exactly like a GPU test without
+  a GPU.
+
+The response cache is off in every run so each measurement isolates
+the execution path under test.  Correctness is not at stake here —
+bit-identity of batched serving is locked down in
+``tests/service/test_server.py``, and of worker-pool serving in
+``tests/service/test_workers.py``; this module times the wins and
+reports the latency percentiles an operator would tune against.
 """
 
 from __future__ import annotations
+
+import os
+
+import pytest
 
 from repro.service.loadgen import LoadReport, bench_serving
 
@@ -21,6 +33,16 @@ MIN_SPEEDUP = 5.0
 REQUESTS = 4000
 MODEL, METRIC = "capped", "energy_per_flop"
 MACHINES = ("gtx580-double", "i7-950-double")
+
+MIN_WORKER_SPEEDUP = 2.0
+WORKER_REQUESTS = 1600
+#: Four catalog machines whose crc32 routing keys land on four
+#: distinct shards at ``workers=4`` — full pool utilisation.
+WORKER_MACHINES = (
+    "gtx580-double", "gtx580-single", "i7-950-double", "i7-950-single"
+)
+
+USABLE_CORES = len(os.sched_getaffinity(0))
 
 
 def _best_of(runs: list[LoadReport]) -> LoadReport:
@@ -91,3 +113,69 @@ def test_micro_batched_serving_is_5x_faster(benchmark):
     )
     print(f"micro-batching speedup: {speedup:.1f}x")
     assert speedup >= MIN_SPEEDUP
+
+
+def _run_workers(workers: int, repeats: int = 3) -> LoadReport:
+    return _best_of([
+        bench_serving(
+            requests=WORKER_REQUESTS,
+            concurrency=64,
+            max_batch=64,
+            flush_window=0.002,
+            cache_size=0,
+            machines=WORKER_MACHINES,
+            model=MODEL,
+            metric=METRIC,
+            workload="heavy",
+            workers=workers,
+        )
+        for _ in range(repeats)
+    ])
+
+
+@pytest.mark.skipif(
+    USABLE_CORES < 4,
+    reason=f"worker-pool speedup needs >= 4 usable cores, "
+    f"have {USABLE_CORES}",
+)
+def test_worker_pool_is_2x_faster_on_heavy_workload(benchmark):
+    pooled = _run_workers(workers=4)
+    inloop = _run_workers(workers=0)
+    benchmark.pedantic(
+        lambda: bench_serving(
+            requests=WORKER_REQUESTS, concurrency=64, max_batch=64,
+            flush_window=0.002, machines=WORKER_MACHINES, model=MODEL,
+            metric=METRIC, workload="heavy", workers=4,
+        ),
+        rounds=1, iterations=1, warmup_rounds=0,
+    )
+
+    assert pooled.errors == 0 and inloop.errors == 0
+    assert pooled.requests == inloop.requests == WORKER_REQUESTS
+    assert pooled.workers == 4 and inloop.workers == 0
+
+    speedup = pooled.throughput / inloop.throughput
+    benchmark.extra_info.update(
+        {
+            "workload": "heavy",
+            "requests": WORKER_REQUESTS,
+            "pooled_rps": round(pooled.throughput),
+            "inloop_rps": round(inloop.throughput),
+            "pooled_p50_ms": round(pooled.p50_ms, 3),
+            "pooled_p99_ms": round(pooled.p99_ms, 3),
+            "inloop_p50_ms": round(inloop.p50_ms, 3),
+            "inloop_p99_ms": round(inloop.p99_ms, 3),
+            "usable_cores": USABLE_CORES,
+            "speedup": round(speedup, 1),
+        }
+    )
+    print(
+        f"\nworkers=4 : {pooled.throughput:,.0f} req/s "
+        f"(p50 {pooled.p50_ms:.3f} ms, p99 {pooled.p99_ms:.3f} ms)"
+    )
+    print(
+        f"workers=0 : {inloop.throughput:,.0f} req/s "
+        f"(p50 {inloop.p50_ms:.3f} ms, p99 {inloop.p99_ms:.3f} ms)"
+    )
+    print(f"worker-pool speedup: {speedup:.1f}x ({USABLE_CORES} cores)")
+    assert speedup >= MIN_WORKER_SPEEDUP

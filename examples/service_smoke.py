@@ -14,11 +14,17 @@ exists to provide:
 * the response cache participates (hit ratio > 0 on repeated bodies);
 * shutdown drains cleanly.
 
-Run:  python examples/service_smoke.py
+With ``--workers N`` the same workload and the same assertions run
+against the sharded worker-pool execution tier — every value above,
+including the micro-batching bound and the cache behavior, must be
+indistinguishable from the in-loop path.
+
+Run:  python examples/service_smoke.py [--workers N]
 """
 
 from __future__ import annotations
 
+import argparse
 import asyncio
 import math
 
@@ -123,13 +129,35 @@ async def drive(server: ModelServer) -> None:
 
 
 def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--workers", type=int, default=0, metavar="N",
+        help="worker processes for model evaluation; 0 runs in-loop",
+    )
+    args = parser.parse_args()
+
     async def scenario() -> None:
-        server = ModelServer(ServerConfig(port=0, max_batch=16))
+        server = ModelServer(
+            ServerConfig(port=0, max_batch=16, workers=args.workers)
+        )
+        workers = (
+            [shard.process for shard in server.pool._shards]
+            if server.pool is not None
+            else []
+        )
+        if workers:
+            await server.pool.ready()
+            print(f"worker pool up: {len(workers)} shard processes")
         try:
             await drive(server)
         finally:
             await server.stop()
         assert server.batcher.pending_requests == 0
+        for process in workers:
+            assert not process.is_alive(), "worker left running after stop"
+            assert process.exitcode == 0, "worker did not exit cleanly"
+        if workers:
+            print(f"{len(workers)} workers joined cleanly")
         print("drained cleanly; smoke test passed")
 
     asyncio.run(scenario())

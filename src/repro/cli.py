@@ -28,12 +28,15 @@ Subcommands
     fft-poisson, jacobi).
 ``serve``
     Long-lived async model server (NDJSON over TCP) with
-    micro-batching, response caching, and built-in metrics
+    micro-batching, response caching, built-in metrics, and an
+    optional sharded worker-process pool (``--workers N``)
     (see :mod:`repro.service` and ``docs/SERVICE.md``).
 ``bench-serve``
-    Closed-loop load generator against an in-process server; reports
-    throughput, latency percentiles, batch-size histogram, and the
-    batched-vs-unbatched speedup with ``--compare``.
+    Load generator against an in-process server — closed loop by
+    default, open loop (Poisson arrivals) with ``--open-loop RPS``;
+    reports throughput, latency percentiles, batch-size histogram,
+    and with ``--compare`` the speedup over the baseline (in-loop
+    execution when ``--workers > 0``, unbatched otherwise).
 ``lint``
     Run replint, the repo's own AST-based static analysis, over the
     package source (or explicit paths).  Exit code 0 means clean, 1
@@ -221,6 +224,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--access-log", action="store_true",
         help="emit one JSON access record per request on stderr",
     )
+    p_serve.add_argument(
+        "--workers", type=int, default=0, metavar="N",
+        help="worker processes for model evaluation; 0 runs in-loop",
+    )
+    p_serve.add_argument(
+        "--shard-by", choices=("machine", "model"), default="machine",
+        help="worker routing key: per machine or per (machine, model)",
+    )
 
     p_bench = sub.add_parser(
         "bench-serve",
@@ -251,7 +262,27 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_bench.add_argument(
         "--compare", action="store_true",
-        help="also run with batching disabled and report the speedup",
+        help="also run the baseline and report the speedup: in-loop "
+        "execution when --workers > 0, unbatched otherwise",
+    )
+    p_bench.add_argument(
+        "--workers", type=int, default=0, metavar="N",
+        help="worker processes for model evaluation; 0 runs in-loop",
+    )
+    p_bench.add_argument(
+        "--shard-by", choices=("machine", "model"), default="machine",
+        help="worker routing key: per machine or per (machine, model)",
+    )
+    p_bench.add_argument(
+        "--workload", choices=("scalar", "mixed", "heavy"), default="scalar",
+        help="request mix: scalar evals only; a mix of evals, grids, "
+        "curves, and analyses; or the same mix with compute-dominated "
+        "curve/grid sizes",
+    )
+    p_bench.add_argument(
+        "--open-loop", type=float, default=None, metavar="RPS",
+        help="open-loop (Poisson arrival) mode at RPS requests/s; "
+        "latency is measured from intended arrival time",
     )
 
     p_lint = sub.add_parser(
@@ -541,6 +572,8 @@ def _cmd_serve(args: argparse.Namespace) -> str:
             else None
         ),
         access_log=_log if args.access_log else None,
+        workers=args.workers,
+        shard_by=args.shard_by,
     )
 
     async def _serve() -> str:
@@ -552,7 +585,8 @@ def _cmd_serve(args: argparse.Namespace) -> str:
             f"serving energy-roofline models on {host}:{port} "
             f"(max_batch={config.max_batch}, "
             f"flush_window={config.flush_window * 1000:g} ms, "
-            f"cache={config.cache_size} entries); ctrl-c to drain and stop",
+            f"cache={config.cache_size} entries, "
+            f"workers={config.workers}); ctrl-c to drain and stop",
             file=sys.stderr,
             flush=True,
         )
@@ -596,15 +630,29 @@ def _cmd_bench_serve(args: argparse.Namespace) -> str:
         model=args.model,
         metric=args.metric,
         unique_intensities=not args.repeat_intensities,
+        workload=args.workload,
+        shard_by=args.shard_by,
+        open_loop_rate=args.open_loop,
     )
-    report = bench_serving(max_batch=args.max_batch, **kwargs)
+    report = bench_serving(
+        max_batch=args.max_batch, workers=args.workers, **kwargs
+    )
+    mode = "open-loop" if args.open_loop is not None else "closed-loop"
     blocks = [
-        f"closed-loop serving benchmark ({args.model}/{args.metric}, "
-        f"machines: {', '.join(args.machines)})",
+        f"{mode} serving benchmark ({args.model}/{args.metric}, "
+        f"workload: {args.workload}, machines: {', '.join(args.machines)})",
         report.describe(),
     ]
-    if args.compare and args.max_batch > 1:
-        baseline = bench_serving(max_batch=1, **kwargs)
+    if args.compare and args.workers > 0:
+        baseline = bench_serving(max_batch=args.max_batch, workers=0, **kwargs)
+        blocks.append("worker pool disabled (in-loop execution):")
+        blocks.append(baseline.describe())
+        blocks.append(
+            f"worker-pool speedup ({args.workers} workers): "
+            f"{report.throughput / baseline.throughput:.1f}x"
+        )
+    elif args.compare and args.max_batch > 1:
+        baseline = bench_serving(max_batch=1, workers=args.workers, **kwargs)
         blocks.append("batching disabled (max_batch=1):")
         blocks.append(baseline.describe())
         blocks.append(

@@ -21,6 +21,8 @@ Layers (one module each):
     TTL+LRU response cache.
 :mod:`~repro.service.metrics`
     Counters / gauges / histograms behind the ``stats`` request.
+:mod:`~repro.service.workers`
+    Sharded worker-pool execution tier (``workers=N`` servers).
 :mod:`~repro.service.server`
     The asyncio server: TCP + in-process, deadlines, graceful drain.
 :mod:`~repro.service.client`
@@ -50,9 +52,15 @@ from repro.service.client import (
     ServiceClient,
 )
 from repro.service.engine import EVAL_METRICS, CURVE_KINDS, EvalEngine, MODELS
-from repro.service.loadgen import LoadReport, bench_serving, run_closed_loop
+from repro.service.loadgen import (
+    LoadReport,
+    bench_serving,
+    run_closed_loop,
+    run_open_loop,
+)
 from repro.service.metrics import Counter, Gauge, Histogram, MetricsRegistry
 from repro.service.server import ModelServer, ServerConfig
+from repro.service.workers import WorkerPool
 
 __all__ = [
     "AsyncServiceClient",
@@ -71,6 +79,8 @@ __all__ = [
     "ServerConfig",
     "ServiceClient",
     "TTLCache",
+    "WorkerPool",
     "bench_serving",
     "run_closed_loop",
+    "run_open_loop",
 ]

@@ -25,13 +25,18 @@ Flush discipline:
 from __future__ import annotations
 
 import asyncio
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Awaitable, Callable
 
 import numpy as np
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.service.engine import EvalEngine
     from repro.service.metrics import MetricsRegistry
+
+#: Async batch executor: (machine, model, metric, intensities) → values.
+BatchExecutor = Callable[
+    [str, str, str, np.ndarray], "Awaitable[np.ndarray]"
+]
 
 __all__ = ["MicroBatcher"]
 
@@ -66,6 +71,14 @@ class MicroBatcher:
     metrics:
         Optional registry; records the batch-size distribution under
         ``batch_size`` and flush count under ``engine_flushes``.
+    execute:
+        Optional *async* batch executor.  When set, a flush awaits
+        ``execute(machine, model, metric, intensities)`` from its own
+        task instead of calling the engine inline — this is how the
+        sharded worker pool takes batch evaluation off the event loop.
+        ``None`` (the default) keeps the original in-loop path, used by
+        ``workers=0`` servers and asserted byte-identical by the shard
+        equivalence tests.
     """
 
     def __init__(
@@ -75,6 +88,7 @@ class MicroBatcher:
         max_batch: int = 64,
         flush_window: float = 0.001,
         metrics: "MetricsRegistry | None" = None,
+        execute: BatchExecutor | None = None,
     ):
         if max_batch < 1:
             raise ValueError(f"max_batch must be >= 1, got {max_batch}")
@@ -83,7 +97,9 @@ class MicroBatcher:
         self.engine = engine
         self.max_batch = max_batch
         self.flush_window = flush_window
+        self._execute = execute
         self._pending: dict[BatchKey, _Pending] = {}
+        self._flush_tasks: set[asyncio.Task] = set()
         self._batch_hist = (
             metrics.histogram("batch_size", track_values=True)
             if metrics is not None
@@ -129,7 +145,12 @@ class MicroBatcher:
         return future
 
     def flush(self, key: BatchKey) -> None:
-        """Evaluate and scatter one pending batch (idempotent per key)."""
+        """Evaluate and scatter one pending batch (idempotent per key).
+
+        With an async ``execute`` the evaluation runs in its own task
+        (tracked for :meth:`drain`); the batch is popped from
+        ``_pending`` either way, so a key can never flush twice.
+        """
         pending = self._pending.pop(key, None)
         if pending is None:
             return
@@ -139,28 +160,62 @@ class MicroBatcher:
             self._flush_counter.inc()
         if self._batch_hist is not None:
             self._batch_hist.observe(len(pending.futures))
+        intensities = np.asarray(pending.intensities, dtype=float)
+        if self._execute is not None:
+            task = asyncio.ensure_future(
+                self._flush_remote(key, pending, intensities)
+            )
+            self._flush_tasks.add(task)
+            task.add_done_callback(self._flush_tasks.discard)
+            return
         try:
             values = self.engine.eval_batch(
-                key[0], key[1], key[2],
-                np.asarray(pending.intensities, dtype=float),
+                key[0], key[1], key[2], intensities
             )
         except Exception as exc:  # scatter the failure to live waiters
-            for future in pending.futures:
-                if not future.done():
-                    future.set_exception(exc)
+            self._scatter_exception(pending, exc)
             return
-        results = values.tolist()
-        for future, value in zip(pending.futures, results):
+        self._scatter(pending, values)
+
+    async def _flush_remote(
+        self, key: BatchKey, pending: _Pending, intensities: np.ndarray
+    ) -> None:
+        """Await the executor (worker-pool submit) and scatter."""
+        try:
+            values = await self._execute(key[0], key[1], key[2], intensities)
+        except Exception as exc:  # noqa: BLE001 - scattered, not raised
+            self._scatter_exception(pending, exc)
+            return
+        self._scatter(pending, np.asarray(values))
+
+    @staticmethod
+    def _scatter(pending: _Pending, values: np.ndarray) -> None:
+        for future, value in zip(pending.futures, values.tolist()):
             # A waiter may have been cancelled by its deadline while the
             # batch was queued; its slot is simply dropped.
             if not future.done():
                 future.set_result(value)
 
+    @staticmethod
+    def _scatter_exception(pending: _Pending, exc: Exception) -> None:
+        for future in pending.futures:
+            if not future.done():
+                future.set_exception(exc)
+
     async def drain(self) -> None:
-        """Flush everything still queued (graceful-shutdown path)."""
-        while self._pending:
+        """Flush everything still queued (graceful-shutdown path).
+
+        Waits for remote flush tasks too, so a draining server knows
+        every waiter has its result (or error) before the worker pool
+        shuts down.
+        """
+        while self._pending or self._flush_tasks:
             for key in list(self._pending):
                 self.flush(key)
+            if self._flush_tasks:
+                await asyncio.gather(
+                    *list(self._flush_tasks), return_exceptions=True
+                )
             # Timers were cancelled by flush; yield once so any waiters
             # scheduled in this iteration observe their results.
             await asyncio.sleep(0)

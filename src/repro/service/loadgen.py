@@ -1,16 +1,31 @@
-"""Closed-loop load generation for the serving stack (``bench-serve``).
+"""Load generation for the serving stack (``bench-serve``).
 
-A fixed fleet of concurrent workers each issues one scalar ``eval``
-request, waits for the reply, and immediately issues the next — the
-classic closed-loop model, whose offered load adapts to service capacity
-instead of overrunning it.  The generator reports throughput, latency
-percentiles, the server's batch-size distribution, and cache hit ratio:
-exactly the numbers needed to judge a batching/caching configuration.
+Two arrival disciplines, one report shape:
 
-Intensity sequences are deterministic (seeded log-uniform grids).
-``unique_intensities=True`` makes every request distinct — a
-cache-busting workload that isolates the micro-batching win;
-``False`` draws from a small set so the response cache participates.
+* **Closed loop** (:func:`run_closed_loop`) — a fixed fleet of
+  concurrent workers each issues one request, waits for the reply, and
+  immediately issues the next.  Offered load adapts to service
+  capacity, which is ideal for measuring *throughput ceilings* — but it
+  hides queueing delay: a slow reply delays the *next* request instead
+  of piling up behind it (the classic coordinated-omission blind spot).
+* **Open loop** (:func:`run_open_loop`) — requests arrive on a seeded
+  Poisson process at a fixed offered rate, *regardless* of how the
+  server is doing, and every latency is measured from the request's
+  **intended arrival time**.  Queueing delay therefore lands in the
+  percentiles, which is what makes the worker-pool latency win (and
+  the in-loop path's stalls) visible at all.
+
+Request streams are deterministic (seeded log-uniform grids; arrival
+times from one seeded exponential draw), so two runs with the same
+parameters offer byte-identical workloads.  Two workload mixes:
+
+* ``"scalar"`` — pure scalar ``eval`` requests: the micro-batching
+  showcase.
+* ``"mixed"`` — scalar evals, fat grid evals, high-resolution curves,
+  and balance/tradeoff/greenup/describe analyses interleaved on a
+  fixed 8-request cycle: a CPU-bound mix where per-request compute
+  dwarfs dispatch overhead, which is the workload the sharded worker
+  tier exists for.
 """
 
 from __future__ import annotations
@@ -26,14 +41,38 @@ from repro.service.client import InProcessClient
 from repro.service.server import ModelServer, ServerConfig
 from repro.units import to_milliseconds
 
-__all__ = ["LoadReport", "run_closed_loop", "bench_serving"]
+__all__ = [
+    "LoadReport",
+    "build_requests",
+    "run_closed_loop",
+    "run_open_loop",
+    "bench_serving",
+]
 
 _DEFAULT_MACHINES = ("gtx580-double", "i7-950-double")
+
+#: Seed of the default request stream (the paper's publication date).
+_DEFAULT_SEED = 20130520
+
+#: Curve kinds cycled through by the mixed workload.
+_MIXED_CURVE_KINDS = ("roofline", "archline", "powerline", "capped-powerline")
+
+#: Points per octave for mixed-workload curves — 10 octaves at 200/oct
+#: is a ~2000-point series per request: real numpy work, small reply.
+_MIXED_CURVE_PPO = 200
+
+#: Grid size for mixed-workload vector evals.
+_MIXED_GRID_POINTS = 1024
+
+#: Heavy-workload sizes: ~20k-point curves (several ms of numpy per
+#: request, replies past the shared-memory threshold) and an 8k grid.
+_HEAVY_CURVE_PPO = 2000
+_HEAVY_GRID_POINTS = 8192
 
 
 @dataclass(frozen=True)
 class LoadReport:
-    """Outcome of one closed-loop run against a server."""
+    """Outcome of one load-generation run against a server."""
 
     requests: int
     errors: int
@@ -47,6 +86,10 @@ class LoadReport:
     engine_calls: int
     cache_hit_ratio: float
     batch_size_counts: dict[str, int]
+    mode: str = "closed"
+    workload: str = "scalar"
+    offered_rps: float = 0.0
+    workers: int = 0
 
     def describe(self) -> str:
         """Human-readable report block for the CLI."""
@@ -60,6 +103,15 @@ class LoadReport:
             f"(mean batch {self.mean_batch:.1f}, max {self.max_batch})",
             f"cache       = {self.cache_hit_ratio:.1%} hit ratio",
         ]
+        if self.mode == "open":
+            lines.insert(
+                1,
+                f"arrivals    = open loop (Poisson), offered "
+                f"{self.offered_rps:,.0f} req/s; latency measured from "
+                "intended arrival",
+            )
+        if self.workers:
+            lines.append(f"workers     = {self.workers} shard processes")
         if self.batch_size_counts:
             histogram = ", ".join(
                 f"{size}x{count}"
@@ -72,7 +124,7 @@ class LoadReport:
 
 
 def intensity_sequence(
-    n: int, *, unique: bool = True, seed: int = 20130520
+    n: int, *, unique: bool = True, seed: int = _DEFAULT_SEED
 ) -> np.ndarray:
     """Deterministic log-uniform intensities over [2^-3, 2^6] flop/B."""
     rng = np.random.default_rng(seed)
@@ -82,61 +134,130 @@ def intensity_sequence(
     return pool[rng.integers(0, pool.size, n)]
 
 
-async def run_closed_loop(
-    server: ModelServer,
+def build_requests(
+    n: int,
     *,
-    requests: int = 2000,
-    concurrency: int = 64,
     machines: Sequence[str] = _DEFAULT_MACHINES,
     model: str = "energy",
     metric: str = "energy_per_flop",
     unique_intensities: bool = True,
-    client: Any | None = None,
-) -> LoadReport:
-    """Drive ``requests`` scalar evaluations through ``server``.
+    workload: str = "scalar",
+    seed: int = _DEFAULT_SEED,
+) -> list[dict[str, Any]]:
+    """The deterministic request stream both loops drive.
 
-    The ``client`` defaults to an :class:`InProcessClient`; pass an
-    :class:`~repro.service.client.AsyncServiceClient` to include the
-    TCP+JSON wire in the measurement.
+    ``workload="scalar"`` yields pure scalar ``eval`` bodies (request
+    *i* targets machine ``i % len(machines)``, intensity from the
+    seeded grid — unchanged from the original closed-loop generator).
+    ``workload="mixed"`` interleaves, on a fixed 8-request cycle:
+    four scalar evals, one :data:`_MIXED_GRID_POINTS`-point grid eval,
+    two :data:`_MIXED_CURVE_PPO`-per-octave curves, and one rotating
+    structured analysis (balance / tradeoff / greenup / describe).
+    ``workload="heavy"`` is the same cycle with 10x denser curves and
+    an 8x larger grid — per-request model compute dominates dispatch
+    and IPC cost, which is the regime the worker-pool benchmark gate
+    needs (and its curve replies are large enough to travel via shared
+    memory, exercising that path too).
     """
-    if requests < 1 or concurrency < 1:
-        raise ValueError("requests and concurrency must be >= 1")
-    client = client or InProcessClient(server)
-    grid = intensity_sequence(requests, unique=unique_intensities)
+    if workload not in ("scalar", "mixed", "heavy"):
+        raise ValueError(
+            f"workload must be 'scalar', 'mixed', or 'heavy', "
+            f"got {workload!r}"
+        )
+    curve_ppo = _HEAVY_CURVE_PPO if workload == "heavy" else _MIXED_CURVE_PPO
+    grid_points = (
+        _HEAVY_GRID_POINTS if workload == "heavy" else _MIXED_GRID_POINTS
+    )
+    grid = intensity_sequence(n, unique=unique_intensities, seed=seed)
     machine_cycle = list(machines)
-    for machine in machine_cycle:
-        server.engine.machine(machine)  # fail fast on config errors
     n_machines = len(machine_cycle)
-    latencies = np.empty(requests, dtype=float)
-    errors = 0
-    next_index = 0
-    call = client.call
+    base_grid = intensity_sequence(
+        grid_points - 1, unique=True, seed=seed + 1
+    ).tolist()
+    requests: list[dict[str, Any]] = []
+    for i in range(n):
+        if workload == "scalar":
+            machine = machine_cycle[i % n_machines]
+        else:
+            # Rotate the machine assignment one step per 8-slot cycle;
+            # without the offset, slot and machine index stay phase-
+            # locked whenever len(machines) divides 8 and the expensive
+            # slots (curves) pin themselves to the same machines —
+            # i.e. the same worker shards — forever.
+            machine = machine_cycle[(i + i // 8) % n_machines]
+        x = float(grid[i])
+        slot = 0 if workload == "scalar" else i % 8
+        if workload == "scalar" or slot < 4:
+            requests.append(
+                {
+                    "op": "eval",
+                    "machine": machine,
+                    "model": model,
+                    "metric": metric,
+                    "intensity": x,
+                }
+            )
+        elif slot == 4:
+            # Grid eval: the shared base grid prefixed with this
+            # request's own intensity, so every body is distinct.
+            requests.append(
+                {
+                    "op": "eval",
+                    "machine": machine,
+                    "model": model,
+                    "metric": metric,
+                    "intensities": [x] + base_grid,
+                }
+            )
+        elif slot in (5, 6):
+            requests.append(
+                {
+                    "op": "curve",
+                    "machine": machine,
+                    "kind": _MIXED_CURVE_KINDS[(i // 8 + slot) % 4],
+                    "points_per_octave": curve_ppo,
+                }
+            )
+        else:
+            analysis = (i // 8) % 4
+            if analysis == 0:
+                requests.append({"op": "balance", "machine": machine})
+            elif analysis == 1:
+                requests.append(
+                    {
+                        "op": "tradeoff",
+                        "machine": machine,
+                        "intensity": x,
+                        "f": 1.0 + (i % 5) * 0.1,
+                        "m": 1.0 + (i % 7) * 0.5,
+                    }
+                )
+            elif analysis == 2:
+                requests.append(
+                    {
+                        "op": "greenup",
+                        "machine": machine,
+                        "intensity": x,
+                        "m": 2.0 + (i % 4),
+                    }
+                )
+            else:
+                requests.append({"op": "describe", "machine": machine})
+    return requests
 
-    async def worker() -> None:
-        nonlocal next_index, errors
-        while True:
-            index = next_index
-            if index >= requests:
-                return
-            next_index = index + 1
-            request = {
-                "op": "eval",
-                "machine": machine_cycle[index % n_machines],
-                "model": model,
-                "metric": metric,
-                "intensity": float(grid[index]),
-            }
-            started = time.perf_counter()
-            try:
-                await call(request)
-            except Exception:  # noqa: BLE001 - tallied, not raised
-                errors += 1
-            latencies[index] = time.perf_counter() - started
 
-    started = time.perf_counter()
-    await asyncio.gather(*(worker() for _ in range(concurrency)))
-    duration = time.perf_counter() - started
-
+def _finish_report(
+    server: ModelServer,
+    latencies: np.ndarray,
+    *,
+    errors: int,
+    concurrency: int,
+    duration: float,
+    mode: str,
+    workload: str,
+    offered_rps: float,
+) -> LoadReport:
+    requests = latencies.size
     stats = server.stats()
     batch_hist = stats["histograms"].get("batch_size", {})
     ordered = to_milliseconds(np.sort(latencies))
@@ -153,6 +274,157 @@ async def run_closed_loop(
         engine_calls=int(stats["engine_batch_calls"]),
         cache_hit_ratio=float(stats["cache"]["hit_ratio"]),
         batch_size_counts=dict(batch_hist.get("values", {})),
+        mode=mode,
+        workload=workload,
+        offered_rps=offered_rps,
+        workers=int(stats["config"].get("workers", 0)),
+    )
+
+
+async def run_closed_loop(
+    server: ModelServer,
+    *,
+    requests: int = 2000,
+    concurrency: int = 64,
+    machines: Sequence[str] = _DEFAULT_MACHINES,
+    model: str = "energy",
+    metric: str = "energy_per_flop",
+    unique_intensities: bool = True,
+    workload: str = "scalar",
+    client: Any | None = None,
+) -> LoadReport:
+    """Drive ``requests`` evaluations through ``server``, closed-loop.
+
+    The ``client`` defaults to an :class:`InProcessClient`; pass an
+    :class:`~repro.service.client.AsyncServiceClient` to include the
+    TCP+JSON wire in the measurement.
+    """
+    if requests < 1 or concurrency < 1:
+        raise ValueError("requests and concurrency must be >= 1")
+    client = client or InProcessClient(server)
+    bodies = build_requests(
+        requests,
+        machines=machines,
+        model=model,
+        metric=metric,
+        unique_intensities=unique_intensities,
+        workload=workload,
+    )
+    for machine in machines:
+        server.engine.machine(machine)  # fail fast on config errors
+    if server.pool is not None:
+        # Measure steady state, not the ~1 s/worker cold boot.
+        await server.pool.ready()
+    latencies = np.empty(requests, dtype=float)
+    errors = 0
+    next_index = 0
+    call = client.call
+
+    async def worker() -> None:
+        nonlocal next_index, errors
+        while True:
+            index = next_index
+            if index >= requests:
+                return
+            next_index = index + 1
+            started = time.perf_counter()
+            try:
+                await call(bodies[index])
+            except Exception:  # noqa: BLE001 - tallied, not raised
+                errors += 1
+            latencies[index] = time.perf_counter() - started
+
+    started = time.perf_counter()
+    await asyncio.gather(*(worker() for _ in range(concurrency)))
+    duration = time.perf_counter() - started
+    return _finish_report(
+        server,
+        latencies,
+        errors=errors,
+        concurrency=concurrency,
+        duration=duration,
+        mode="closed",
+        workload=workload,
+        offered_rps=0.0,
+    )
+
+
+async def run_open_loop(
+    server: ModelServer,
+    *,
+    rate: float,
+    requests: int = 2000,
+    machines: Sequence[str] = _DEFAULT_MACHINES,
+    model: str = "energy",
+    metric: str = "energy_per_flop",
+    unique_intensities: bool = True,
+    workload: str = "scalar",
+    seed: int = _DEFAULT_SEED,
+    client: Any | None = None,
+) -> LoadReport:
+    """Drive ``requests`` evaluations at a fixed Poisson arrival rate.
+
+    Inter-arrival gaps are one seeded exponential draw
+    (``np.random.default_rng(seed)`` — the RL003 discipline), so the
+    same parameters offer the identical arrival schedule every run.
+    Each request fires at its scheduled instant whether or not earlier
+    replies have come back, and its latency is measured from the
+    **intended** arrival time — dispatch lateness and queueing delay
+    count, which closed-loop generators structurally cannot see
+    (coordinated omission).
+    """
+    if requests < 1:
+        raise ValueError("requests must be >= 1")
+    if not rate > 0:
+        raise ValueError(f"rate must be positive, got {rate!r}")
+    client = client or InProcessClient(server)
+    bodies = build_requests(
+        requests,
+        machines=machines,
+        model=model,
+        metric=metric,
+        unique_intensities=unique_intensities,
+        workload=workload,
+        seed=seed,
+    )
+    for machine in machines:
+        server.engine.machine(machine)  # fail fast on config errors
+    if server.pool is not None:
+        # Measure steady state, not the ~1 s/worker cold boot.
+        await server.pool.ready()
+    rng = np.random.default_rng(seed)
+    arrivals = np.cumsum(rng.exponential(1.0 / rate, requests))
+    latencies = np.empty(requests, dtype=float)
+    errors = 0
+    call = client.call
+
+    async def issue(index: int, target: float) -> None:
+        nonlocal errors
+        try:
+            await call(bodies[index])
+        except Exception:  # noqa: BLE001 - tallied, not raised
+            errors += 1
+        latencies[index] = time.perf_counter() - target
+
+    base = time.perf_counter()
+    tasks = []
+    for index in range(requests):
+        target = base + arrivals[index]
+        delay = target - time.perf_counter()
+        if delay > 0:
+            await asyncio.sleep(delay)
+        tasks.append(asyncio.ensure_future(issue(index, target)))
+    await asyncio.gather(*tasks)
+    duration = time.perf_counter() - base
+    return _finish_report(
+        server,
+        latencies,
+        errors=errors,
+        concurrency=0,
+        duration=duration,
+        mode="open",
+        workload=workload,
+        offered_rps=requests / float(arrivals[-1]),
     )
 
 
@@ -167,12 +439,18 @@ def bench_serving(
     model: str = "energy",
     metric: str = "energy_per_flop",
     unique_intensities: bool = True,
+    workload: str = "scalar",
+    workers: int = 0,
+    shard_by: str = "machine",
+    open_loop_rate: float | None = None,
 ) -> LoadReport:
     """One synchronous end-to-end serving benchmark run.
 
-    Builds a fresh in-process server with the given batching/caching
-    knobs, runs the closed loop, drains, and returns the report.  The
-    cache defaults to *off* so the measurement isolates batching.
+    Builds a fresh in-process server with the given batching / caching
+    / worker-tier knobs, runs the load (closed loop by default; open
+    loop at ``open_loop_rate`` requests/s when given), drains, and
+    returns the report.  The cache defaults to *off* so the
+    measurement isolates the execution path under test.
     """
 
     async def _run() -> LoadReport:
@@ -182,9 +460,22 @@ def bench_serving(
                 flush_window=flush_window,
                 cache_size=cache_size,
                 queue_limit=max(1024, concurrency * 2),
+                workers=workers,
+                shard_by=shard_by,
             )
         )
         try:
+            if open_loop_rate is not None:
+                return await run_open_loop(
+                    server,
+                    rate=open_loop_rate,
+                    requests=requests,
+                    machines=machines,
+                    model=model,
+                    metric=metric,
+                    unique_intensities=unique_intensities,
+                    workload=workload,
+                )
             return await run_closed_loop(
                 server,
                 requests=requests,
@@ -193,6 +484,7 @@ def bench_serving(
                 model=model,
                 metric=metric,
                 unique_intensities=unique_intensities,
+                workload=workload,
             )
         finally:
             await server.stop()

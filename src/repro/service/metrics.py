@@ -15,7 +15,7 @@ from __future__ import annotations
 
 from collections import Counter as _TallyCounter
 from collections import deque
-from typing import Any
+from typing import Any, Sequence
 
 __all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
 
@@ -62,7 +62,15 @@ class Histogram:
     small discrete distributions like micro-batch sizes.
     """
 
-    __slots__ = ("count", "total", "min", "max", "_sample", "_values")
+    __slots__ = (
+        "count",
+        "total",
+        "min",
+        "max",
+        "_sample",
+        "_values",
+        "_ordered",
+    )
 
     def __init__(self, sample_size: int = 4096, *, track_values: bool = False):
         self.count = 0
@@ -73,6 +81,11 @@ class Histogram:
         self._values: _TallyCounter[int] | None = (
             _TallyCounter() if track_values else None
         )
+        #: Sorted view of ``_sample``, invalidated by ``observe`` and
+        #: rebuilt at most once per snapshot — a ``stats`` request asks
+        #: for p50/p90/p99 together, and re-sorting the 4096-entry
+        #: window per quantile tripled the sort cost on the hot path.
+        self._ordered: list[float] | None = None
 
     def observe(self, value: float) -> None:
         self.count += 1
@@ -82,6 +95,7 @@ class Histogram:
         if value > self.max:
             self.max = value
         self._sample.append(value)
+        self._ordered = None
         if self._values is not None and len(self._values) < 1024:
             self._values[int(value)] += 1
 
@@ -89,31 +103,34 @@ class Histogram:
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
+    def _sorted_window(self) -> list[float]:
+        """The sample window, sorted once and cached until dirtied."""
+        if self._ordered is None:
+            self._ordered = sorted(self._sample)
+        return self._ordered
+
+    def percentiles(self, qs: Sequence[float]) -> list[float]:
+        """Nearest-rank percentiles over the window, from **one** sort."""
+        ordered = self._sorted_window()
+        n = len(ordered)
+        if not n:
+            return [0.0] * len(qs)
+        return [ordered[max(0, min(n - 1, int(q / 100.0 * n)))] for q in qs]
+
     def percentile(self, q: float) -> float:
         """Nearest-rank percentile (``q`` in [0, 100]) over the window."""
-        if not self._sample:
-            return 0.0
-        ordered = sorted(self._sample)
-        rank = min(len(ordered) - 1, int(q / 100.0 * len(ordered)))
-        return ordered[max(rank, 0)]
+        return self.percentiles((q,))[0]
 
     def snapshot(self) -> dict[str, Any]:
-        ordered = sorted(self._sample)
-        n = len(ordered)
-
-        def pct(q: float) -> float:
-            if not n:
-                return 0.0
-            return ordered[max(0, min(n - 1, int(q / 100.0 * n)))]
-
+        p50, p90, p99 = self.percentiles((50.0, 90.0, 99.0))
         out: dict[str, Any] = {
             "count": self.count,
             "mean": self.mean,
             "min": self.min if self.count else 0.0,
             "max": self.max if self.count else 0.0,
-            "p50": pct(50.0),
-            "p90": pct(90.0),
-            "p99": pct(99.0),
+            "p50": p50,
+            "p90": p90,
+            "p99": p99,
         }
         if self._values is not None:
             out["values"] = {

@@ -32,6 +32,10 @@ Error codes
     The per-request deadline expired before a result was ready.
 ``shutting_down``
     The server is draining; open requests finish, new ones are refused.
+``worker_crashed``
+    A worker process died mid-job and has been respawned; the error
+    object carries ``"retriable": true`` — the job may or may not have
+    executed, so the client decides whether to resubmit.
 ``internal``
     Unexpected server-side failure.
 """
@@ -51,6 +55,7 @@ __all__ = [
     "OVERLOADED",
     "DEADLINE_EXCEEDED",
     "SHUTTING_DOWN",
+    "WORKER_CRASHED",
     "INTERNAL",
     "CACHEABLE_OPS",
     "MAX_LINE_BYTES",
@@ -68,6 +73,7 @@ UNKNOWN_OP = "unknown_op"
 OVERLOADED = "overloaded"
 DEADLINE_EXCEEDED = "deadline_exceeded"
 SHUTTING_DOWN = "shutting_down"
+WORKER_CRASHED = "worker_crashed"
 INTERNAL = "internal"
 
 #: Operations whose responses are pure functions of the request body.
@@ -124,13 +130,18 @@ def ok_response(
 
 
 def error_response(
-    request_id: Any, code: str, message: str
+    request_id: Any, code: str, message: str, *, retriable: bool = False
 ) -> dict[str, Any]:
-    """Error envelope with a machine-readable ``code``."""
-    response: dict[str, Any] = {
-        "ok": False,
-        "error": {"code": code, "message": message},
-    }
+    """Error envelope with a machine-readable ``code``.
+
+    ``retriable=True`` adds ``"retriable": true`` to the error object —
+    the marker worker-crash replies carry so clients can distinguish
+    "resubmit as-is" from "fix the request".
+    """
+    error: dict[str, Any] = {"code": code, "message": message}
+    if retriable:
+        error["retriable"] = True
+    response: dict[str, Any] = {"ok": False, "error": error}
     if request_id is not None:
         response["id"] = request_id
     return response

@@ -22,8 +22,16 @@ every request through the same pipeline:
    latency histograms, and optionally emitted as a structured access
    record.
 
+With ``workers=N`` (N >= 1) the evaluation work itself — coalesced
+batches, grid evals, curve/balance/tradeoff/greenup/describe — runs on
+a sharded :class:`~repro.service.workers.WorkerPool` of N persistent
+engine processes instead of the event loop, routed by a stable hash of
+the machine (and optionally model) so per-shard engine memos stay hot;
+``workers=0`` preserves the in-loop path exactly.
+
 Shutdown is a graceful drain: the listener closes, queued batches
-flush, in-flight requests finish, and only then does ``stop`` return.
+flush, in-flight requests (including worker jobs) finish, workers are
+joined, and only then does ``stop`` return.
 """
 
 from __future__ import annotations
@@ -51,6 +59,7 @@ from repro.service.protocol import (
     ok_response,
     request_cache_key,
 )
+from repro.service.workers import DEFAULT_SHM_THRESHOLD, WorkerPool
 from repro.units import milliseconds, to_milliseconds
 
 __all__ = ["ServerConfig", "ModelServer"]
@@ -82,6 +91,21 @@ class ServerConfig:
     access_log:
         Optional callable receiving one structured record (dict) per
         completed request.
+    workers:
+        Worker processes for model evaluation.  ``0`` (default) keeps
+        every evaluation on the event loop — byte-for-byte today's
+        behaviour; ``N >= 1`` spawns a sharded
+        :class:`~repro.service.workers.WorkerPool` and routes batches,
+        grids, and structured analyses through it.
+    shard_by:
+        Worker routing-key granularity, ``"machine"`` or ``"model"``
+        (see :func:`~repro.service.workers.route_key`).
+    worker_queue_limit:
+        Per-shard bound on concurrently submitted worker jobs; excess
+        get ``overloaded`` replies.
+    shm_threshold:
+        Job/reply body size (bytes) above which worker IPC uses shared
+        memory instead of the pipe.
     """
 
     host: str = "127.0.0.1"
@@ -95,6 +119,10 @@ class ServerConfig:
     access_log: Callable[[dict[str, Any]], None] | None = field(
         default=None, compare=False
     )
+    workers: int = 0
+    shard_by: str = "machine"
+    worker_queue_limit: int = 256
+    shm_threshold: int = DEFAULT_SHM_THRESHOLD
 
 
 class ModelServer:
@@ -110,11 +138,23 @@ class ModelServer:
         self.engine = engine or EvalEngine()
         self.metrics = MetricsRegistry()
         self.cache = TTLCache(self.config.cache_size, self.config.cache_ttl)
+        self.pool: WorkerPool | None = (
+            WorkerPool(
+                self.config.workers,
+                shard_by=self.config.shard_by,
+                queue_limit=self.config.worker_queue_limit,
+                shm_threshold=self.config.shm_threshold,
+                metrics=self.metrics,
+            )
+            if self.config.workers > 0
+            else None
+        )
         self.batcher = MicroBatcher(
             self.engine,
             max_batch=self.config.max_batch,
             flush_window=self.config.flush_window,
             metrics=self.metrics,
+            execute=self._pool_eval_batch if self.pool is not None else None,
         )
         self._inflight = 0
         self._draining = False
@@ -204,7 +244,12 @@ class ModelServer:
         except ServiceError as exc:
             status = exc.code
             self._errors_total.inc()
-            return error_response(request_id, exc.code, exc.message)
+            return error_response(
+                request_id,
+                exc.code,
+                exc.message,
+                retriable=bool(getattr(exc, "retriable", False)),
+            )
         except ReproError as exc:
             status = BAD_REQUEST
             self._errors_total.inc()
@@ -246,7 +291,14 @@ class ModelServer:
         return milliseconds(float(timeout_ms))
 
     async def _dispatch(self, op: str, request: dict[str, Any]) -> dict[str, Any]:
-        """Execute one admitted, uncached request."""
+        """Execute one admitted, uncached request.
+
+        Argument validation always runs here on the loop (it is cheap
+        and produces identical errors either way); the model evaluation
+        itself runs in-loop with ``workers=0`` or on the worker pool
+        otherwise.  Both paths execute the same engine code, so
+        responses are byte-identical across worker counts.
+        """
         if op == "eval":
             machine = _required(request, "machine", str)
             model = request.get("model", "time")
@@ -257,7 +309,17 @@ class ModelServer:
                     raise ServiceError(
                         BAD_REQUEST, "intensities must be a non-empty array"
                     )
-                values = self.engine.eval_batch(machine, model, metric, grid)
+                if self.pool is not None:
+                    self.engine.batch_calls += 1
+                    values = await self.pool.submit(
+                        "eval_batch",
+                        (machine, model, metric, list(map(float, grid))),
+                        self.pool.key_for(machine, model),
+                    )
+                else:
+                    values = self.engine.eval_batch(
+                        machine, model, metric, grid
+                    )
                 return {"values": values.tolist()}
             intensity = _required(request, "intensity", (int, float))
             value = await self.batcher.submit(
@@ -265,9 +327,11 @@ class ModelServer:
             )
             return {"value": value}
         if op == "curve":
-            return self.engine.curve(
-                _required(request, "machine", str),
-                _required(request, "kind", str),
+            machine = _required(request, "machine", str)
+            return await self._analysis(
+                "curve",
+                machine,
+                kind=_required(request, "kind", str),
                 lo=_optional(request, "lo", (int, float), 0.5),
                 hi=_optional(request, "hi", (int, float), 512.0),
                 points_per_octave=_optional(
@@ -276,28 +340,65 @@ class ModelServer:
                 normalized=_optional(request, "normalized", bool, True),
             )
         if op == "balance":
-            return self.engine.balance(_required(request, "machine", str))
+            machine = _required(request, "machine", str)
+            return await self._analysis("balance", machine)
         if op == "tradeoff":
-            return self.engine.tradeoff(
-                _required(request, "machine", str),
-                _required(request, "intensity", (int, float)),
-                _required(request, "f", (int, float)),
-                _required(request, "m", (int, float)),
+            machine = _required(request, "machine", str)
+            return await self._analysis(
+                "tradeoff",
+                machine,
+                intensity=_required(request, "intensity", (int, float)),
+                f=_required(request, "f", (int, float)),
+                m=_required(request, "m", (int, float)),
             )
         if op == "greenup":
-            return self.engine.greenup(
-                _required(request, "machine", str),
-                _required(request, "intensity", (int, float)),
-                _required(request, "m", (int, float)),
+            machine = _required(request, "machine", str)
+            return await self._analysis(
+                "greenup",
+                machine,
+                intensity=_required(request, "intensity", (int, float)),
+                m=_required(request, "m", (int, float)),
             )
         if op == "describe":
-            return self.engine.describe(_required(request, "machine", str))
+            machine = _required(request, "machine", str)
+            return await self._analysis("describe", machine)
         if op == "machines":
             return self.engine.machines()
         raise ServiceError(
             UNKNOWN_OP,
             f"unknown op {op!r}; available: balance, curve, describe, eval, "
             "greenup, machines, ping, stats, tradeoff",
+        )
+
+    #: Analysis ops routed through :meth:`_analysis`; each maps to the
+    #: engine method of the same name (machine key passed positionally).
+    _ANALYSIS_OPS = frozenset(
+        {"curve", "balance", "tradeoff", "greenup", "describe"}
+    )
+
+    async def _analysis(
+        self, op: str, machine: str, **kwargs: Any
+    ) -> dict[str, Any]:
+        """One structured analysis, in-loop or on the machine's shard."""
+        assert op in self._ANALYSIS_OPS
+        if self.pool is not None:
+            return await self.pool.submit(
+                "op",
+                (op, {"machine_key": machine, **kwargs}),
+                self.pool.key_for(machine),
+            )
+        return getattr(self.engine, op)(machine, **kwargs)
+
+    async def _pool_eval_batch(
+        self, machine: str, model: str, metric: str, intensities: Any
+    ) -> Any:
+        """Micro-batcher executor: one coalesced batch on the pool."""
+        assert self.pool is not None
+        self.engine.batch_calls += 1
+        return await self.pool.submit(
+            "eval_batch",
+            (machine, model, metric, intensities),
+            self.pool.key_for(machine, model),
         )
 
     # ------------------------------------------------------------------
@@ -318,7 +419,11 @@ class ModelServer:
             "cache_size": self.config.cache_size,
             "cache_ttl": self.config.cache_ttl,
             "queue_limit": self.config.queue_limit,
+            "workers": self.config.workers,
+            "shard_by": self.config.shard_by,
         }
+        if self.pool is not None:
+            snapshot["workers"] = self.pool.stats()
         return snapshot
 
     # ------------------------------------------------------------------
@@ -414,7 +519,9 @@ class ModelServer:
 
         Order matters: refuse new work, flush queued batches so their
         waiters complete, then wait (bounded by ``timeout``) for every
-        admitted request to finish before tearing the listener down.
+        admitted request to finish — including jobs in flight on the
+        worker pool — and only then shut the workers down and tear the
+        listener down.
         """
         self._draining = True
         if self._tcp_server is not None:
@@ -430,6 +537,8 @@ class ModelServer:
                 task.cancel()
         if self._conn_tasks:
             await asyncio.gather(*self._conn_tasks, return_exceptions=True)
+        if self.pool is not None:
+            await self.pool.close(force=not drain, timeout=timeout)
         if self._tcp_server is not None:
             try:
                 await self._tcp_server.wait_closed()

@@ -1,0 +1,577 @@
+"""Sharded worker-pool execution tier: model evaluation off the loop.
+
+The asyncio server (:mod:`repro.service.server`) is a single event
+loop; with ``workers=0`` every coalesced ``*_batch`` numpy call and
+every curve/greenup analysis runs *on that loop*, so one fat batch
+stalls accept/read/write for every connection.  This module hosts N
+persistent worker **processes** — spawned once, each holding a warm
+:class:`~repro.service.engine.EvalEngine` — and routes each job to a
+shard chosen by a stable hash of its routing key, so per-shard engine
+memos (resolved machines, model instances, bound batch methods) stay
+hot and results are bit-identical and order-invariant regardless of
+worker count: every worker runs the exact same IEEE operations the
+in-loop engine would.
+
+Topology and job protocol
+-------------------------
+One shard = one duplex :func:`multiprocessing.Pipe` + one worker
+process + one single-thread executor on the parent side.  *All* pipe
+I/O and process lifecycle for a shard happens on its executor thread,
+which serialises access without any locks; the asyncio side only ever
+awaits ``loop.run_in_executor`` futures, so the event loop never
+blocks on IPC.
+
+On the wire (the pipe), a job is ``(seq, kind, body)`` and a reply is
+``(seq, "ok", body, compute_seconds)`` or ``(seq, "err", code,
+message)``.  Bodies in both directions are pickled; a body larger than
+``shm_threshold`` bytes travels through a
+:class:`multiprocessing.shared_memory.SharedMemory` segment instead of
+the pipe, which avoids the pipe's chunked copy for big grid inputs and
+curve/grid results (the receiver unlinks the segment after reading).
+
+Failure and shutdown semantics
+------------------------------
+* **Bounded queues** — each shard admits at most ``queue_limit``
+  concurrent jobs; excess submissions fail fast with ``overloaded``,
+  feeding the server's existing admission-control story.
+* **Crash detection** — a broken pipe or EOF mid-roundtrip means the
+  worker died (OOM-killed, segfault, ``kill -9``).  The shard thread
+  respawns a fresh worker immediately and the failed job gets a
+  ``worker_crashed`` error marked ``retriable: true`` — the job may
+  have executed, so the *client* decides whether to retry.
+* **Graceful drain** — :meth:`WorkerPool.close` queues a shutdown
+  sentinel behind each shard's in-flight jobs, then joins the process;
+  with ``force=True`` it terminates instead.  Either way every worker
+  is joined — no zombies.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import pickle
+import time
+import zlib
+from concurrent.futures import ThreadPoolExecutor
+from multiprocessing import get_context
+from multiprocessing import resource_tracker, shared_memory
+from typing import TYPE_CHECKING, Any
+
+from repro.exceptions import ServiceError
+from repro.service.protocol import (
+    BAD_REQUEST,
+    INTERNAL,
+    OVERLOADED,
+    WORKER_CRASHED,
+)
+from repro.units import to_milliseconds
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.service.metrics import MetricsRegistry
+
+__all__ = ["WorkerPool", "SHARD_BY_CHOICES", "route_key"]
+
+#: Routing-key granularities accepted by ``shard_by``.
+SHARD_BY_CHOICES = ("machine", "model")
+
+#: Worker-side operations reachable through an ``("op", ...)`` job —
+#: exactly the engine's structured analyses.  ``eval_batch`` has its
+#: own job kind; anything else is a protocol violation.
+_ENGINE_OPS = frozenset({"curve", "balance", "tradeoff", "greenup", "describe"})
+
+#: Ops whose results carry bulk numeric series.  The worker runs the
+#: array-returning engine variant (first element) and the parent calls
+#: ``.tolist()`` on the named fields — pickling an ndarray is a buffer
+#: copy, ~10x cheaper than pickling the same values as a float list,
+#: and ``.tolist()`` yields the identical floats either side of the
+#: process boundary, so responses stay byte-identical.
+_ARRAY_RESULT_FIELDS: dict[str, tuple[str, tuple[str, ...]]] = {
+    "curve": ("curve_arrays", ("intensities", "values")),
+}
+
+#: Default size (bytes) above which reply bodies travel via shared
+#: memory instead of the pipe.
+DEFAULT_SHM_THRESHOLD = 1 << 18
+
+
+def route_key(shard_by: str, machine: str, model: str | None = None) -> str:
+    """The stable routing key for one job.
+
+    ``shard_by="machine"`` keys on the machine alone, so *all* models
+    of one machine share a shard (smallest number of warm machine
+    resolutions).  ``shard_by="model"`` keys on ``(machine, model)``,
+    spreading one hot machine's model families across shards.  Jobs
+    with no model component (curve, balance, …) always key on the
+    machine so they land where that machine is already resolved.
+    """
+    if shard_by == "model" and model is not None:
+        return f"{machine}\x1f{model}"
+    return machine
+
+
+def _stable_shard(key: str, n: int) -> int:
+    """crc32-based shard index: stable across processes and runs.
+
+    Python's builtin ``hash`` is salted per process (PYTHONHASHSEED),
+    which would make routing — and therefore which engine memos warm
+    up — differ between identical runs; crc32 is deterministic.
+    """
+    return zlib.crc32(key.encode("utf-8")) % n
+
+
+# ----------------------------------------------------------------------
+# Reply marshalling (worker side packs, parent side unpacks)
+# ----------------------------------------------------------------------
+
+
+def _pack_body(obj: Any, shm_threshold: int) -> tuple:
+    """Pickle ``obj``; ship big payloads through shared memory.
+
+    Ownership of a shared segment transfers to the *receiver*, which
+    unlinks it after reading — so the sender unregisters the segment
+    from its own resource tracker (otherwise the tracker of a
+    long-lived sender warns about every already-unlinked name at
+    process exit; Python < 3.13 has no public ``track=False``).
+    """
+    data = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+    if len(data) <= shm_threshold:
+        return ("raw", data)
+    segment = shared_memory.SharedMemory(create=True, size=len(data))
+    try:
+        segment.buf[: len(data)] = data
+        try:
+            resource_tracker.unregister(segment._name, "shared_memory")
+        except (AttributeError, NotImplementedError):  # pragma: no cover
+            pass  # platforms without a posix resource tracker
+        return ("shm", segment.name, len(data))
+    finally:
+        segment.close()
+
+
+def _unpack_body(body: tuple) -> Any:
+    tag = body[0]
+    if tag == "raw":
+        return pickle.loads(body[1])
+    if tag == "shm":
+        _, name, size = body
+        segment = shared_memory.SharedMemory(name=name)
+        try:
+            return pickle.loads(bytes(segment.buf[:size]))
+        finally:
+            segment.close()
+            segment.unlink()
+    raise ServiceError(INTERNAL, f"malformed worker reply body: {body!r}")
+
+
+# ----------------------------------------------------------------------
+# Worker process
+# ----------------------------------------------------------------------
+
+
+def _worker_main(conn: Any, shm_threshold: int) -> None:
+    """Entry point of one worker process: a warm engine behind a pipe.
+
+    Runs until the pipe closes or a ``None`` shutdown sentinel arrives.
+    Every exception is mapped to an error reply — the worker never dies
+    of a bad request, only of external signals.
+    """
+    from repro.exceptions import ReproError
+    from repro.service.engine import EvalEngine
+
+    engine = EvalEngine()
+    while True:
+        try:
+            job = conn.recv()
+        except (EOFError, OSError):
+            break
+        if job is None:
+            break
+        seq, kind, body = job
+        started = time.perf_counter()
+        try:
+            payload = _unpack_body(body)
+        except Exception as exc:  # noqa: BLE001 - the process boundary
+            conn.send((seq, "err", INTERNAL, f"bad job payload: {exc}"))
+            continue
+        try:
+            if kind == "eval_batch":
+                machine, model, metric, intensities = payload
+                result: Any = engine.eval_batch(
+                    machine, model, metric, intensities
+                )
+            elif kind == "ping":
+                result = None
+            elif kind == "op":
+                op, kwargs = payload
+                if op not in _ENGINE_OPS:
+                    raise ServiceError(
+                        INTERNAL, f"op {op!r} is not worker-executable"
+                    )
+                # Ops with a bulk-series result ship it as ndarrays
+                # (cheap buffer pickle); the parent restores the lists.
+                method = _ARRAY_RESULT_FIELDS.get(op, (op, ()))[0]
+                result = getattr(engine, method)(**kwargs)
+            else:
+                raise ServiceError(INTERNAL, f"unknown job kind {kind!r}")
+        except ServiceError as exc:
+            reply = (seq, "err", exc.code, exc.message)
+        except ReproError as exc:
+            reply = (seq, "err", BAD_REQUEST, str(exc))
+        except Exception as exc:  # noqa: BLE001 - the process boundary
+            reply = (seq, "err", INTERNAL, f"{type(exc).__name__}: {exc}")
+        else:
+            compute = time.perf_counter() - started
+            reply = (seq, "ok", _pack_body(result, shm_threshold), compute)
+        try:
+            conn.send(reply)
+        except (BrokenPipeError, OSError):
+            break
+    conn.close()
+
+
+# ----------------------------------------------------------------------
+# Parent side
+# ----------------------------------------------------------------------
+
+
+class _Shard:
+    """One worker process plus its parent-side serialisation thread."""
+
+    __slots__ = (
+        "index",
+        "process",
+        "conn",
+        "executor",
+        "inflight",
+        "jobs_total",
+        "crashes",
+        "busy_seconds",
+        "next_seq",
+    )
+
+    def __init__(self, index: int):
+        self.index = index
+        self.process: Any = None
+        self.conn: Any = None
+        self.executor = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix=f"repro-shard-{index}"
+        )
+        self.inflight = 0
+        self.jobs_total = 0
+        self.crashes = 0
+        self.busy_seconds = 0.0
+        self.next_seq = 0
+
+
+class WorkerCrashError(ServiceError):
+    """A worker died mid-job; it has been respawned.
+
+    The job may or may not have executed before the crash, so the
+    reply is marked ``retriable: true`` and the *client* decides.
+    """
+
+    retriable = True
+
+    def __init__(self, shard: int, message: str):
+        super().__init__(
+            WORKER_CRASHED,
+            f"worker shard {shard} crashed mid-job ({message}); "
+            "a fresh worker has been spawned — safe to retry",
+        )
+
+
+class WorkerPool:
+    """N persistent engine processes behind stable-hash shard routing.
+
+    Parameters
+    ----------
+    workers:
+        Number of worker processes (>= 1; the server uses ``0`` to mean
+        "no pool at all" and never constructs one).
+    shard_by:
+        Routing-key granularity — see :func:`route_key`.
+    queue_limit:
+        Per-shard bound on concurrently admitted jobs; excess
+        submissions raise ``overloaded`` immediately.
+    shm_threshold:
+        Reply-body size (bytes) above which results travel through
+        shared memory instead of the pipe.
+    metrics:
+        Optional registry; the pool records per-shard queue depth
+        gauges, job/crash counters, and job/IPC-overhead timers.
+    """
+
+    def __init__(
+        self,
+        workers: int,
+        *,
+        shard_by: str = "machine",
+        queue_limit: int = 256,
+        shm_threshold: int = DEFAULT_SHM_THRESHOLD,
+        metrics: "MetricsRegistry | None" = None,
+    ):
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        if shard_by not in SHARD_BY_CHOICES:
+            raise ValueError(
+                f"shard_by must be one of {SHARD_BY_CHOICES}, got {shard_by!r}"
+            )
+        if queue_limit < 1:
+            raise ValueError(f"queue_limit must be >= 1, got {queue_limit}")
+        self.workers = workers
+        self.shard_by = shard_by
+        self.queue_limit = queue_limit
+        self.shm_threshold = shm_threshold
+        self._ctx = get_context("spawn")
+        self._closing = False
+        self._started = time.perf_counter()
+        self._shards = [_Shard(i) for i in range(workers)]
+        for shard in self._shards:
+            self._spawn(shard)
+        self._jobs_total = (
+            metrics.counter("worker_jobs_total") if metrics else None
+        )
+        self._crashes_total = (
+            metrics.counter("worker_crashes_total") if metrics else None
+        )
+        self._rejected_total = (
+            metrics.counter("worker_rejected_total") if metrics else None
+        )
+        self._job_ms = (
+            metrics.histogram("worker_job_ms") if metrics else None
+        )
+        self._ipc_ms = (
+            metrics.histogram("worker_ipc_overhead_ms") if metrics else None
+        )
+        self._depth_gauges = (
+            [metrics.gauge(f"worker_queue_depth_{i}") for i in range(workers)]
+            if metrics
+            else None
+        )
+
+    # ------------------------------------------------------------------
+    # Process lifecycle (always on the shard's executor thread, except
+    # the initial spawn from __init__ before any jobs exist)
+    # ------------------------------------------------------------------
+
+    def _spawn(self, shard: _Shard) -> None:
+        parent_conn, child_conn = self._ctx.Pipe(duplex=True)
+        process = self._ctx.Process(
+            target=_worker_main,
+            args=(child_conn, self.shm_threshold),
+            name=f"repro-worker-{shard.index}",
+            daemon=True,
+        )
+        process.start()
+        child_conn.close()  # the worker holds its own copy
+        shard.process = process
+        shard.conn = parent_conn
+
+    def _respawn(self, shard: _Shard) -> None:
+        try:
+            shard.conn.close()
+        except OSError:  # pragma: no cover - already broken
+            pass
+        if shard.process is not None:
+            shard.process.join(timeout=1.0)
+            if shard.process.is_alive():  # pragma: no cover - stuck worker
+                shard.process.kill()
+                shard.process.join(timeout=1.0)
+        shard.crashes += 1
+        self._spawn(shard)
+
+    # ------------------------------------------------------------------
+    # Submission
+    # ------------------------------------------------------------------
+
+    def shard_of(self, key: str) -> int:
+        """Shard index a routing key maps to (stable across runs)."""
+        return _stable_shard(key, self.workers)
+
+    def key_for(self, machine: str, model: str | None = None) -> str:
+        """Routing key under this pool's ``shard_by`` policy."""
+        return route_key(self.shard_by, machine, model)
+
+    @property
+    def inflight(self) -> int:
+        """Jobs admitted and not yet replied to, across all shards."""
+        return sum(shard.inflight for shard in self._shards)
+
+    async def ready(self) -> None:
+        """Block until every shard answers a ping.
+
+        Worker boot (interpreter start + numpy import + engine build)
+        takes on the order of a second; callers that measure steady
+        state — the load generator, benchmarks — await this first so
+        cold-start is not billed to the first requests.
+        """
+        loop = asyncio.get_running_loop()
+        await asyncio.gather(
+            *(
+                loop.run_in_executor(
+                    shard.executor, self._roundtrip, shard, "ping", None
+                )
+                for shard in self._shards
+            )
+        )
+
+    async def submit(self, kind: str, payload: Any, key: str) -> Any:
+        """Run one job on the shard ``key`` routes to; returns its result.
+
+        Raises :class:`~repro.exceptions.ServiceError` with the worker's
+        error code on evaluation failure, ``overloaded`` when the
+        shard's queue is full, and ``worker_crashed`` (retriable) when
+        the worker dies mid-job.
+        """
+        if self._closing:
+            raise ServiceError(INTERNAL, "worker pool is closed")
+        shard = self._shards[_stable_shard(key, self.workers)]
+        if shard.inflight >= self.queue_limit:
+            if self._rejected_total is not None:
+                self._rejected_total.inc()
+            raise ServiceError(
+                OVERLOADED,
+                f"worker shard {shard.index} queue full "
+                f"({self.queue_limit} jobs in flight); retry with backoff",
+            )
+        loop = asyncio.get_running_loop()
+        shard.inflight += 1
+        if self._depth_gauges is not None:
+            self._depth_gauges[shard.index].set(shard.inflight)
+        submitted = time.perf_counter()
+        try:
+            result, compute = await loop.run_in_executor(
+                shard.executor, self._roundtrip, shard, kind, payload
+            )
+        except WorkerCrashError:
+            # Counted here, on the loop, so the metrics registry is
+            # only ever touched from the event-loop thread.
+            if self._crashes_total is not None:
+                self._crashes_total.inc()
+            raise
+        finally:
+            shard.inflight -= 1
+            if self._depth_gauges is not None:
+                self._depth_gauges[shard.index].set(shard.inflight)
+        elapsed = time.perf_counter() - submitted
+        shard.jobs_total += 1
+        shard.busy_seconds += compute
+        if self._jobs_total is not None:
+            self._jobs_total.inc()
+        if self._job_ms is not None:
+            self._job_ms.observe(to_milliseconds(elapsed))
+        if self._ipc_ms is not None:
+            # Queue wait + pickling + pipe/shm transfer: everything the
+            # job cost beyond the worker's own compute time.
+            self._ipc_ms.observe(to_milliseconds(max(0.0, elapsed - compute)))
+        if kind == "op":
+            fields = _ARRAY_RESULT_FIELDS.get(payload[0], (None, ()))[1]
+            for field in fields:
+                result[field] = result[field].tolist()
+        return result
+
+    def _roundtrip(
+        self, shard: _Shard, kind: str, payload: Any
+    ) -> tuple[Any, float]:
+        """Blocking send/recv on the shard thread; respawns on crash."""
+        seq = shard.next_seq
+        shard.next_seq += 1
+        try:
+            shard.conn.send(
+                (seq, kind, _pack_body(payload, self.shm_threshold))
+            )
+            reply = shard.conn.recv()
+        except (EOFError, BrokenPipeError, ConnectionResetError, OSError) as exc:
+            if self._closing:
+                raise ServiceError(
+                    INTERNAL, "worker pool closed mid-job"
+                ) from exc
+            self._respawn(shard)
+            raise WorkerCrashError(
+                shard.index, type(exc).__name__
+            ) from exc
+        if reply[0] != seq:  # pragma: no cover - protocol corruption
+            self._respawn(shard)
+            raise WorkerCrashError(shard.index, "out-of-sequence reply")
+        if reply[1] == "err":
+            raise ServiceError(reply[2], reply[3])
+        return _unpack_body(reply[2]), reply[3]
+
+    # ------------------------------------------------------------------
+    # Shutdown
+    # ------------------------------------------------------------------
+
+    async def close(self, *, force: bool = False, timeout: float = 10.0) -> None:
+        """Stop every worker and join it — no zombies either way.
+
+        Graceful (default): a shutdown sentinel is queued *behind* each
+        shard's in-flight jobs, so outstanding work completes and its
+        replies flush before the worker exits.  ``force=True``
+        terminates the processes instead (jobs in flight are lost; their
+        waiters see crash errors marked non-retriable by ``_closing``).
+        """
+        if self._closing:
+            return
+        self._closing = True
+        if force:
+            for shard in self._shards:
+                if shard.process is not None and shard.process.is_alive():
+                    shard.process.terminate()
+        loop = asyncio.get_running_loop()
+        await asyncio.gather(
+            *(
+                loop.run_in_executor(
+                    shard.executor, self._shutdown_shard, shard, timeout
+                )
+                for shard in self._shards
+            )
+        )
+        for shard in self._shards:
+            shard.executor.shutdown(wait=False)
+
+    def _shutdown_shard(self, shard: _Shard, timeout: float) -> None:
+        """Runs on the shard thread, queued behind any in-flight job."""
+        try:
+            shard.conn.send(None)
+        except (BrokenPipeError, OSError):
+            pass  # already dead or terminated
+        shard.process.join(timeout=timeout)
+        if shard.process.is_alive():  # pragma: no cover - stuck worker
+            shard.process.kill()
+            shard.process.join(timeout=timeout)
+        try:
+            shard.conn.close()
+        except OSError:  # pragma: no cover - already closed
+            pass
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def stats(self) -> dict[str, Any]:
+        """JSON-ready pool state for the ``stats`` operation."""
+        uptime = time.perf_counter() - self._started
+        shards = []
+        for shard in self._shards:
+            alive = shard.process is not None and shard.process.is_alive()
+            shards.append(
+                {
+                    "shard": shard.index,
+                    "pid": shard.process.pid if shard.process else None,
+                    "alive": alive,
+                    "inflight": shard.inflight,
+                    "jobs": shard.jobs_total,
+                    "crashes": shard.crashes,
+                    "busy_seconds": round(shard.busy_seconds, 6),
+                    "utilization": (
+                        shard.busy_seconds / uptime if uptime > 0 else 0.0
+                    ),
+                }
+            )
+        return {
+            "workers": self.workers,
+            "shard_by": self.shard_by,
+            "queue_limit": self.queue_limit,
+            "shm_threshold": self.shm_threshold,
+            "uptime_seconds": round(uptime, 6),
+            "shards": shards,
+        }

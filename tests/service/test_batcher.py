@@ -214,3 +214,79 @@ class TestValidation:
             MicroBatcher(engine, max_batch=0)
         with pytest.raises(ValueError):
             MicroBatcher(engine, flush_window=-1.0)
+
+
+class TestAsyncExecutor:
+    """The worker-pool hook: an awaitable ``execute`` replaces the
+    inline engine call, and ``drain`` waits on its in-flight tasks."""
+
+    def test_execute_receives_coalesced_batch(self):
+        seen = []
+
+        async def scenario():
+            engine = EvalEngine()
+
+            async def execute(machine, model, metric, intensities):
+                seen.append((machine, model, metric, list(intensities)))
+                await asyncio.sleep(0)
+                return engine.eval_batch(machine, model, metric, intensities)
+
+            batcher = MicroBatcher(engine, max_batch=8, flush_window=0.0,
+                                   execute=execute)
+            values = await asyncio.gather(*(
+                batcher.submit(MACHINE, "energy", "energy_per_flop", x)
+                for x in (0.5, 1.0, 2.0)
+            ))
+            return engine, values
+
+        engine, values = run(scenario())
+        assert len(seen) == 1  # one coalesced call, not three
+        assert seen[0][:3] == (MACHINE, "energy", "energy_per_flop")
+        reference = [
+            engine.eval_scalar(MACHINE, "energy", "energy_per_flop", x)
+            for x in (0.5, 1.0, 2.0)
+        ]
+        assert values == reference  # exact
+
+    def test_execute_failure_scatters_to_all_waiters(self):
+        async def scenario():
+            async def execute(machine, model, metric, intensities):
+                raise ServiceError("worker_crashed", "boom")
+
+            batcher = MicroBatcher(EvalEngine(), max_batch=8,
+                                   flush_window=0.0, execute=execute)
+            results = await asyncio.gather(
+                batcher.submit(MACHINE, "energy", "energy_per_flop", 1.0),
+                batcher.submit(MACHINE, "energy", "energy_per_flop", 2.0),
+                return_exceptions=True,
+            )
+            return results
+
+        results = run(scenario())
+        assert len(results) == 2
+        for exc in results:
+            assert isinstance(exc, ServiceError)
+            assert exc.code == "worker_crashed"
+
+    def test_drain_waits_for_inflight_execute(self):
+        async def scenario():
+            release = asyncio.Event()
+            engine = EvalEngine()
+
+            async def execute(machine, model, metric, intensities):
+                await release.wait()
+                return engine.eval_batch(machine, model, metric, intensities)
+
+            batcher = MicroBatcher(engine, max_batch=8, flush_window=60.0,
+                                   execute=execute)
+            future = batcher.submit(MACHINE, "energy", "energy_per_flop", 1.0)
+            asyncio.get_running_loop().call_later(0.01, release.set)
+            await batcher.drain()
+            assert future.done()  # drain returned only after the reply
+            return await future
+
+        value = run(scenario())
+        engine = EvalEngine()
+        assert value == engine.eval_scalar(
+            MACHINE, "energy", "energy_per_flop", 1.0
+        )

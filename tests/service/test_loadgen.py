@@ -73,3 +73,132 @@ class TestBenchServing:
     def test_rejects_degenerate_parameters(self):
         with pytest.raises(ValueError):
             bench_serving(requests=0)
+
+
+class TestBuildRequests:
+    def test_scalar_stream_matches_original_generator(self):
+        from repro.service.loadgen import build_requests, intensity_sequence
+
+        machines = ["gtx580-double", "i7-950-double"]
+        reqs = build_requests(16, machines=machines, model="energy",
+                              metric="energy_per_flop",
+                              unique_intensities=True, workload="scalar")
+        grid = intensity_sequence(16, unique=True)
+        assert all(r["op"] == "eval" for r in reqs)
+        assert [r["machine"] for r in reqs[:4]] == [
+            machines[0], machines[1], machines[0], machines[1]
+        ]
+        assert [r["intensity"] for r in reqs] == [float(x) for x in grid]
+
+    def test_streams_are_deterministic(self):
+        from repro.service.loadgen import build_requests
+
+        for workload in ("scalar", "mixed", "heavy"):
+            a = build_requests(64, machines=["gtx580-double"], model="capped",
+                               metric="energy_per_flop",
+                               unique_intensities=True, workload=workload)
+            b = build_requests(64, machines=["gtx580-double"], model="capped",
+                               metric="energy_per_flop",
+                               unique_intensities=True, workload=workload)
+            assert a == b
+
+    def test_mixed_cycle_composition(self):
+        from repro.service.loadgen import build_requests
+
+        reqs = build_requests(64, machines=["gtx580-double"], model="capped",
+                              metric="energy_per_flop",
+                              unique_intensities=True, workload="mixed")
+        ops = [r["op"] for r in reqs]
+        # Fixed 8-slot cycle: 4 scalars, 1 grid, 2 curves, 1 analysis.
+        assert ops.count("curve") == 16
+        assert sum(1 for r in reqs
+                   if r["op"] == "eval" and "intensities" in r) == 8
+        analyses = [op for op in ops
+                    if op in ("balance", "tradeoff", "greenup", "describe")]
+        assert len(analyses) == 8
+        assert set(analyses) == {"balance", "tradeoff", "greenup", "describe"}
+
+    def test_heavy_is_denser_than_mixed(self):
+        from repro.service.loadgen import build_requests
+
+        def curve_ppo(workload):
+            reqs = build_requests(8, machines=["gtx580-double"],
+                                  model="capped", metric="energy_per_flop",
+                                  unique_intensities=True, workload=workload)
+            return next(r["points_per_octave"] for r in reqs
+                        if r["op"] == "curve")
+
+        assert curve_ppo("heavy") > curve_ppo("mixed")
+
+    def test_rejects_unknown_workload(self):
+        from repro.service.loadgen import build_requests
+
+        with pytest.raises(ValueError):
+            build_requests(8, machines=["gtx580-double"], model="energy",
+                           metric="energy_per_flop", unique_intensities=True,
+                           workload="nope")
+
+
+class TestOpenLoop:
+    def test_open_loop_report(self):
+        report = bench_serving(
+            requests=64, concurrency=8, max_batch=8, flush_window=0.001,
+            open_loop_rate=2000.0,
+        )
+        assert report.mode == "open"
+        assert report.errors == 0
+        assert report.requests == 64
+        assert report.offered_rps > 0
+        assert report.p99_ms >= report.p50_ms
+        text = report.describe()
+        assert "open loop" in text
+        assert "offered" in text
+
+    def test_latency_includes_dispatch_lateness(self):
+        """Coordinated-omission guard: a server stall is billed to the
+        requests that *should* have been issued during it."""
+        import asyncio
+
+        from repro.service.loadgen import run_open_loop
+        from repro.service.server import ModelServer, ServerConfig
+
+        class StallingClient:
+            """One connection: requests serialize, the first one stalls."""
+
+            def __init__(self, server):
+                self._server = server
+                self._lock = asyncio.Lock()
+                self.calls = 0
+
+            async def call(self, body):
+                async with self._lock:
+                    self.calls += 1
+                    if self.calls == 1:
+                        await asyncio.sleep(0.25)  # quarter-second stall
+                    return await self._server.handle_request(dict(body))
+
+        async def scenario():
+            server = ModelServer(ServerConfig(cache_size=0))
+            try:
+                return await run_open_loop(
+                    server, rate=1000.0, requests=50,
+                    machines=["gtx580-double"], model="energy",
+                    metric="energy_per_flop", unique_intensities=True,
+                    workload="scalar", client=StallingClient(server),
+                )
+            finally:
+                await server.stop()
+
+        report = asyncio.run(scenario())
+        # All 50 arrivals land inside the stall window (~50 ms of
+        # schedule vs a 250 ms stall) and queue behind it; measuring
+        # from *intended* arrival bills the stall to each of them.  A
+        # closed loop would have stopped issuing and reported one slow
+        # request instead.
+        assert report.p50_ms > 100.0
+
+    def test_rejects_bad_rate(self):
+        with pytest.raises(ValueError):
+            bench_serving(requests=8, open_loop_rate=0.0)
+        with pytest.raises(ValueError):
+            bench_serving(requests=8, open_loop_rate=-5.0)

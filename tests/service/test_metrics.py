@@ -102,3 +102,34 @@ class TestRegistry:
         registry = MetricsRegistry()
         registry.histogram("batch", track_values=True).observe(4)
         json.dumps(registry.snapshot())
+
+
+class TestPercentilesBatch:
+    """The single-sort percentile path behind every stats snapshot."""
+
+    def test_batch_matches_scalar_percentiles(self):
+        h = Histogram()
+        for v in (5.0, 1.0, 4.0, 2.0, 3.0):
+            h.observe(v)
+        qs = (0.0, 25.0, 50.0, 90.0, 99.0, 100.0)
+        assert h.percentiles(qs) == [h.percentile(q) for q in qs]
+
+    def test_empty_batch_is_all_zero(self):
+        assert Histogram().percentiles((50.0, 90.0, 99.0)) == [0.0, 0.0, 0.0]
+
+    def test_cache_invalidated_by_observe(self):
+        h = Histogram()
+        h.observe(1.0)
+        assert h.percentile(99.0) == 1.0  # builds the sorted cache
+        h.observe(100.0)
+        assert h.percentile(99.0) == 100.0  # cache was dirtied
+
+    def test_snapshot_percentiles_consistent(self):
+        h = Histogram()
+        for v in range(200):
+            h.observe(float(v))
+        snap = h.snapshot()
+        assert snap["p50"] == h.percentile(50.0)
+        assert snap["p90"] == h.percentile(90.0)
+        assert snap["p99"] == h.percentile(99.0)
+        assert snap["p50"] <= snap["p90"] <= snap["p99"]

@@ -1,0 +1,388 @@
+"""The sharded worker-pool execution tier.
+
+The load-bearing assertions:
+
+* routing is a pure function of ``(shard_by, machine, model)`` — stable
+  across processes and runs, so per-shard caches stay hot;
+* identical request streams through ``workers=0``, ``1``, and ``4``
+  servers produce **byte-identical** response payloads (the pool is an
+  execution placement choice, never a semantic one);
+* a killed worker surfaces as a ``worker_crashed`` error marked
+  ``retriable`` and the shard respawns — the next job succeeds;
+* graceful drain completes in-flight worker jobs and joins every
+  worker process (no zombies), including under SIGTERM;
+* the per-shard queue bound refuses excess jobs with ``overloaded``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import signal
+
+import pytest
+
+from repro._canon import canonical_json
+from repro.exceptions import ServiceError
+from repro.service.engine import EvalEngine
+from repro.service.loadgen import build_requests
+from repro.service.server import ModelServer, ServerConfig
+from repro.service.workers import (
+    WorkerCrashError,
+    WorkerPool,
+    _stable_shard,
+    route_key,
+)
+
+MACHINES = ("gtx580-double", "i7-950-double")
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+def make_server(**overrides) -> ModelServer:
+    config = {"cache_size": 0, "flush_window": 0.0}
+    config.update(overrides)
+    return ModelServer(ServerConfig(**config))
+
+
+class TestRouting:
+    def test_route_key_machine_ignores_model(self):
+        assert route_key("machine", "m1", "energy") == "m1"
+        assert route_key("machine", "m1", None) == "m1"
+
+    def test_route_key_model_combines_both(self):
+        key = route_key("model", "m1", "energy")
+        assert key != "m1"
+        assert route_key("model", "m1", "time") != key
+        # No model component (curve, balance, …) falls back to machine.
+        assert route_key("model", "m1", None) == "m1"
+
+    def test_stable_shard_is_deterministic_and_in_range(self):
+        for n in (1, 2, 4, 7):
+            for key in ("gtx580-double", "i7-950-double", "a\x1fb"):
+                shard = _stable_shard(key, n)
+                assert shard == _stable_shard(key, n)
+                assert 0 <= shard < n
+
+    def test_known_assignments_do_not_drift(self):
+        # Pinned values: a routing change silently invalidates every
+        # shard's warm cache on upgrade, so make it loud instead.
+        assert _stable_shard("gtx580-double", 4) == 2
+        assert _stable_shard("i7-950-double", 4) == 1
+
+    def test_rejects_bad_config(self):
+        with pytest.raises(ValueError):
+            WorkerPool(0)
+        with pytest.raises(ValueError):
+            WorkerPool(1, shard_by="nope")
+
+
+class TestWorkerPool:
+    """Direct pool-level behavior (one spawned pool per test)."""
+
+    def test_jobs_match_in_process_engine(self):
+        engine = EvalEngine()
+        grid = [0.25, 1.0, 3.0, 17.0]
+
+        async def scenario():
+            pool = WorkerPool(2)
+            try:
+                await pool.ready()
+                batch = await pool.submit(
+                    "eval_batch",
+                    ("gtx580-double", "energy", "energy_per_flop", grid),
+                    pool.key_for("gtx580-double", "energy"),
+                )
+                curve = await pool.submit(
+                    "op",
+                    ("curve", {"machine_key": "i7-950-double",
+                               "kind": "roofline", "lo": 0.5, "hi": 512.0,
+                               "points_per_octave": 16, "normalized": True}),
+                    pool.key_for("i7-950-double"),
+                )
+                balance = await pool.submit(
+                    "op",
+                    ("balance", {"machine_key": "gtx580-double"}),
+                    pool.key_for("gtx580-double"),
+                )
+                stats = pool.stats()
+            finally:
+                await pool.close()
+            return batch, curve, balance, stats
+
+        batch, curve, balance, stats = run(scenario())
+        expected = engine.eval_batch(
+            "gtx580-double", "energy", "energy_per_flop", grid
+        )
+        assert batch.tolist() == expected.tolist()  # bit-identical
+        assert curve == engine.curve(
+            "i7-950-double", "roofline", points_per_octave=16
+        )
+        assert isinstance(curve["values"], list)
+        assert balance == engine.balance("gtx580-double")
+        assert stats["workers"] == 2
+        assert sum(s["jobs"] for s in stats["shards"]) == 3
+        assert all(s["crashes"] == 0 for s in stats["shards"])
+
+    def test_shm_path_is_value_transparent(self):
+        """Bodies above the shm threshold round-trip unchanged."""
+        engine = EvalEngine()
+        grid = [0.5 + 0.001 * i for i in range(10_000)]
+
+        async def scenario():
+            # Threshold so low every body travels via shared memory.
+            pool = WorkerPool(1, shm_threshold=64)
+            try:
+                await pool.ready()
+                return await pool.submit(
+                    "eval_batch",
+                    ("gtx580-double", "energy", "energy_per_flop", grid),
+                    "k",
+                )
+            finally:
+                await pool.close()
+
+        values = run(scenario())
+        expected = engine.eval_batch(
+            "gtx580-double", "energy", "energy_per_flop", grid
+        )
+        assert values.tolist() == expected.tolist()
+
+    def test_worker_error_codes_cross_the_boundary(self):
+        async def scenario():
+            pool = WorkerPool(1)
+            try:
+                await pool.ready()
+                with pytest.raises(ServiceError) as excinfo:
+                    await pool.submit(
+                        "eval_batch",
+                        ("no-such-machine", "energy", "energy_per_flop",
+                         [1.0]),
+                        "k",
+                    )
+                bad_machine = excinfo.value
+                with pytest.raises(ServiceError) as excinfo:
+                    await pool.submit("op", ("machines", {}), "k")
+                bad_op = excinfo.value
+            finally:
+                await pool.close()
+            return bad_machine, bad_op
+
+        bad_machine, bad_op = run(scenario())
+        assert bad_machine.code == "unknown_machine"
+        assert not getattr(bad_machine, "retriable", False)
+        assert bad_op.code == "internal"
+
+    def test_crash_respawns_and_marks_retriable(self):
+        async def scenario():
+            pool = WorkerPool(1)
+            try:
+                await pool.ready()
+                victim = pool.stats()["shards"][0]["pid"]
+                os.kill(victim, signal.SIGKILL)
+                with pytest.raises(WorkerCrashError) as excinfo:
+                    await pool.submit(
+                        "op", ("balance", {"machine_key": MACHINES[0]}), "k"
+                    )
+                crash = excinfo.value
+                # The shard respawned: same API call now succeeds.
+                after = await pool.submit(
+                    "op", ("balance", {"machine_key": MACHINES[0]}), "k"
+                )
+                stats = pool.stats()
+            finally:
+                await pool.close()
+            return victim, crash, after, stats
+
+        victim, crash, after, stats = run(scenario())
+        assert crash.code == "worker_crashed"
+        assert crash.retriable is True
+        assert after == EvalEngine().balance(MACHINES[0])
+        assert stats["shards"][0]["crashes"] == 1
+        assert stats["shards"][0]["pid"] != victim
+        assert stats["shards"][0]["alive"]
+
+    def test_queue_limit_refuses_with_overloaded(self):
+        async def scenario():
+            pool = WorkerPool(1, queue_limit=1)
+            try:
+                await pool.ready()
+                job = ("op", ("balance", {"machine_key": MACHINES[0]}), "k")
+                results = await asyncio.gather(
+                    pool.submit(*job), pool.submit(*job), pool.submit(*job),
+                    return_exceptions=True,
+                )
+            finally:
+                await pool.close()
+            return results
+
+        results = run(scenario())
+        rejected = [
+            r for r in results
+            if isinstance(r, ServiceError) and r.code == "overloaded"
+        ]
+        accepted = [r for r in results if isinstance(r, dict)]
+        assert len(rejected) == 2
+        assert len(accepted) == 1
+
+    def test_close_joins_every_worker(self):
+        async def scenario():
+            pool = WorkerPool(2)
+            await pool.ready()
+            procs = [shard.process for shard in pool._shards]
+            await pool.close()
+            return procs
+
+        procs = run(scenario())
+        for proc in procs:
+            assert not proc.is_alive()
+            assert proc.exitcode == 0
+
+
+class TestServerEquivalence:
+    """Satellite: worker count is invisible in the response bytes."""
+
+    # Mixed workload (scalar + grid evals, all four curve kinds, every
+    # analysis op) plus malformed requests — errors must match too.
+    STREAM = build_requests(
+        48,
+        machines=list(MACHINES),
+        model="capped",
+        metric="energy_per_flop",
+        unique_intensities=True,
+        workload="mixed",
+    ) + [
+        {"op": "eval", "machine": "no-such-machine", "model": "energy",
+         "metric": "energy_per_flop", "intensity": 1.0},
+        {"op": "curve", "machine": MACHINES[0], "kind": "nope"},
+        {"op": "machines"},
+        {"op": "nonsense"},
+    ]
+
+    @staticmethod
+    async def _drive(workers: int) -> bytes:
+        server = make_server(workers=workers, flush_window=0.001)
+        try:
+            sequential = [
+                await server.handle_request(dict(body))
+                for body in TestServerEquivalence.STREAM
+            ]
+            concurrent = await asyncio.gather(*(
+                server.handle_request(dict(body))
+                for body in TestServerEquivalence.STREAM
+            ))
+        finally:
+            await server.stop()
+        return canonical_json([sequential, concurrent])
+
+    def test_workers_0_1_4_byte_identical(self):
+        async def scenario():
+            return [await self._drive(n) for n in (0, 1, 4)]
+
+        payloads = run(scenario())
+        assert payloads[0] == payloads[1] == payloads[2]
+
+    def test_model_sharding_byte_identical_too(self):
+        async def scenario():
+            baseline = await self._drive(0)
+            server = make_server(workers=3, shard_by="model",
+                                 flush_window=0.001)
+            try:
+                sequential = [
+                    await server.handle_request(dict(body))
+                    for body in self.STREAM
+                ]
+                concurrent = await asyncio.gather(*(
+                    server.handle_request(dict(body))
+                    for body in self.STREAM
+                ))
+            finally:
+                await server.stop()
+            return baseline, canonical_json([sequential, concurrent])
+
+        baseline, sharded = run(scenario())
+        assert baseline == sharded
+
+
+class TestServerWorkerFailures:
+    def test_crash_reply_envelope_is_retriable(self):
+        async def scenario():
+            server = make_server(workers=1)
+            try:
+                await server.pool.ready()
+                os.kill(server.pool.stats()["shards"][0]["pid"],
+                        signal.SIGKILL)
+                failed = await server.handle_request(
+                    {"op": "balance", "machine": MACHINES[0]}
+                )
+                recovered = await server.handle_request(
+                    {"op": "balance", "machine": MACHINES[0]}
+                )
+            finally:
+                await server.stop()
+            return failed, recovered
+
+        failed, recovered = run(scenario())
+        assert failed["ok"] is False
+        assert failed["error"]["code"] == "worker_crashed"
+        assert failed["error"]["retriable"] is True
+        assert recovered["ok"] is True
+
+    def test_worker_stats_surface_in_server_stats(self):
+        async def scenario():
+            server = make_server(workers=2)
+            try:
+                await server.pool.ready()
+                await server.handle_request(
+                    {"op": "balance", "machine": MACHINES[0]}
+                )
+                stats = server.stats()
+            finally:
+                await server.stop()
+            return stats
+
+        stats = run(scenario())
+        assert stats["config"]["workers"] == 2
+        assert stats["workers"]["workers"] == 2
+        assert len(stats["workers"]["shards"]) == 2
+        assert stats["counters"]["worker_jobs_total"] >= 1
+        assert "worker_job_ms" in stats["histograms"]
+        assert "worker_ipc_overhead_ms" in stats["histograms"]
+
+
+class TestGracefulDrain:
+    """Satellite: SIGTERM with a worker job in flight loses nothing."""
+
+    def test_sigterm_completes_inflight_curve(self):
+        async def scenario():
+            server = make_server(workers=1)
+            await server.pool.ready()
+            procs = [shard.process for shard in server.pool._shards]
+
+            loop = asyncio.get_running_loop()
+            terminated = asyncio.Event()
+            loop.add_signal_handler(signal.SIGTERM, terminated.set)
+            try:
+                # A 10k-point curve (1000/octave over 10 octaves), in
+                # flight on the worker when SIGTERM lands.
+                request = asyncio.ensure_future(server.handle_request({
+                    "op": "curve", "machine": MACHINES[0],
+                    "kind": "roofline", "points_per_octave": 1000,
+                }))
+                await asyncio.sleep(0)  # let the job reach the pool
+                os.kill(os.getpid(), signal.SIGTERM)
+                await terminated.wait()
+                await server.stop()  # drains, then joins the workers
+                response = await request
+            finally:
+                loop.remove_signal_handler(signal.SIGTERM)
+            return response, procs
+
+        response, procs = run(scenario())
+        assert response["ok"] is True
+        assert len(response["result"]["values"]) == 10_001
+        for proc in procs:
+            assert not proc.is_alive()  # joined, not zombied
+            assert proc.exitcode == 0   # exited via sentinel, not kill
