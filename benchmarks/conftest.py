@@ -12,6 +12,21 @@ from __future__ import annotations
 
 import pytest
 
+from repro.perfreg.methodology import GATE_METHODOLOGY, Methodology
+
+
+@pytest.fixture
+def methodology() -> Methodology:
+    """The one warmup/repeat policy every speedup gate measures with.
+
+    This is the same :class:`~repro.perfreg.methodology.Methodology`
+    the perfreg checks consume — the pytest gates and the trajectory
+    harness share their measurement discipline by construction, so the
+    two paths cannot drift apart on rep counts (the pre-perfreg state:
+    ``repeats=3`` in one file, ``ROUNDS = 5`` in another).
+    """
+    return GATE_METHODOLOGY
+
 
 @pytest.fixture
 def run_once(benchmark):

@@ -3,86 +3,42 @@
 The acceptance bar for the batch layer: on a 10k-point intensity grid,
 evaluating the time/energy/power models through the ``*_batch`` methods
 must be at least 5× faster than the equivalent Python loop over the
-scalar API.  Equivalence to 1e-12 is locked down separately in
-``tests/core/test_batch_equivalence.py``; this module times the win.
+scalar API.  The timing loop itself lives in
+:func:`repro.perfreg.checks.measure_batch_sweep` — the same function
+the ``batch.sweep`` perfreg check records trajectories with — so this
+gate and the regression harness cannot disagree on methodology.
+Equivalence to 1e-12 is asserted inside the measurement (a
+:class:`~repro.perfreg.check.SanityError` voids the run) and locked
+down separately in ``tests/core/test_batch_equivalence.py``.
 """
 
 from __future__ import annotations
 
-import time
+from repro.perfreg.checks import MIN_BATCH_SPEEDUP, measure_batch_sweep
 
-import numpy as np
-
-from repro.core.energy_model import EnergyModel
-from repro.core.power_model import PowerModel
-from repro.core.time_model import TimeModel
-from repro.machines.catalog import get_machine
-
-GRID = 10.0 ** np.random.default_rng(20130520).uniform(-3.0, 3.0, 10_000)
-MIN_SPEEDUP = 5.0
+GRID_POINTS = 10_000
 
 
-def _best_of(func, repeats: int = 3) -> float:
-    """Fastest wall time over a few repeats (min damps scheduler noise)."""
-    best = float("inf")
-    for _ in range(repeats):
-        start = time.perf_counter()
-        func()
-        best = min(best, time.perf_counter() - start)
-    return best
-
-
-def _scalar_sweep(machine) -> np.ndarray:
-    t = TimeModel(machine)
-    e = EnergyModel(machine)
-    p = PowerModel(machine)
-    return np.array(
-        [
-            [
-                t.attainable_gflops(float(x)),
-                e.attainable_gflops_per_joule(float(x)),
-                p.power(float(x)),
-            ]
-            for x in GRID
-        ]
+def test_batch_sweep_is_5x_faster_than_scalar_loop(benchmark, methodology):
+    values = measure_batch_sweep(
+        points=GRID_POINTS,
+        repeats=methodology.reps,
+        warmup=methodology.warmup,
     )
-
-
-def _batch_sweep(machine) -> np.ndarray:
-    t = TimeModel(machine)
-    e = EnergyModel(machine)
-    p = PowerModel(machine)
-    return np.column_stack(
-        [
-            t.attainable_gflops_batch(GRID),
-            e.attainable_gflops_per_joule_batch(GRID),
-            p.power_batch(GRID),
-        ]
-    )
-
-
-def test_batch_sweep_is_5x_faster_than_scalar_loop(benchmark):
-    machine = get_machine("gtx580-double")
-    # Warm both paths so import/JIT-style one-time costs stay out of the timing.
-    scalar_values = _scalar_sweep(machine)
-    batch_values = _batch_sweep(machine)
-    np.testing.assert_allclose(batch_values, scalar_values, rtol=1e-12, atol=0.0)
-
-    scalar_time = _best_of(lambda: _scalar_sweep(machine))
-    batch_time = _best_of(lambda: _batch_sweep(machine))
     benchmark.pedantic(
-        lambda: _batch_sweep(machine), rounds=3, iterations=1, warmup_rounds=0
+        lambda: measure_batch_sweep(points=GRID_POINTS, repeats=1, warmup=0),
+        rounds=1, iterations=1, warmup_rounds=0,
     )
 
-    speedup = scalar_time / batch_time
+    speedup = values["speedup"]
     benchmark.extra_info.update(
         {
-            "grid_points": len(GRID),
-            "scalar_seconds": round(scalar_time, 6),
-            "batch_seconds": round(batch_time, 6),
+            "grid_points": GRID_POINTS,
+            "scalar_ms": round(values["scalar_ms"], 3),
+            "batch_ms": round(values["batch_ms"], 3),
             "speedup": round(speedup, 1),
         }
     )
-    print(f"\n10k-point sweep: scalar {scalar_time * 1e3:.1f} ms, "
-          f"batch {batch_time * 1e3:.3f} ms -> {speedup:.0f}x")
-    assert speedup >= MIN_SPEEDUP
+    print(f"\n10k-point sweep: scalar {values['scalar_ms']:.1f} ms, "
+          f"batch {values['batch_ms']:.3f} ms -> {speedup:.0f}x")
+    assert speedup >= MIN_BATCH_SPEEDUP

@@ -4,78 +4,50 @@ The acceptance bar for the §V-C trace engine: on the fmm experiment's
 default geometry (n = 4000 points, leaf capacity 64, seed 3),
 ``simulate_ulist_traffic`` with the default batch engine must be at
 least 10× faster than the scalar per-access replay of the same stream.
-Counter-for-counter equivalence is locked down by the property tests in
-``tests/test_cachesim_batch.py``; this module times the win.
 
-Rounds are *interleaved* (batch, scalar, batch, scalar, …) and the best
-round of each engine is compared: the two paths then see the same
-machine mood, which keeps the ratio stable even when absolute times
-wobble under CPU throttling.
+The timing loop lives in
+:func:`repro.perfreg.checks.measure_cachesim_trace` — shared with the
+``cachesim.fmm_batch_lru`` perfreg check — which interleaves rounds
+(batch, scalar, batch, scalar, …) and compares best rounds so both
+paths see the same machine mood, and asserts counter-for-counter
+equivalence on this exact geometry before timing anything.
+Equivalence across random geometries is property-tested in
+``tests/test_cachesim_batch.py``; this module gates the win.
 """
 
 from __future__ import annotations
 
-import time
+from repro.perfreg.checks import (
+    MIN_CACHESIM_SPEEDUP,
+    measure_cachesim_trace,
+)
 
-from repro.cachesim import simulate_ulist_traffic
-from repro.fmm.points import uniform_cloud
-from repro.fmm.tree import Octree
-from repro.fmm.ulist import build_ulist
-from repro.fmm.variants import reference_variant
-
-MIN_SPEEDUP = 10.0
-ROUNDS = 5
+N_POINTS = 4000
 
 
-def _build_geometry():
-    positions, densities = uniform_cloud(4000, seed=3)
-    tree = Octree.build(positions, densities, leaf_capacity=64)
-    return tree, build_ulist(tree)
+def test_batch_engine_is_10x_faster_than_scalar_replay(benchmark, methodology):
+    values = measure_cachesim_trace(
+        n_points=N_POINTS,
+        repeats=methodology.reps,
+        warmup=methodology.warmup,
+    )
+    benchmark.pedantic(
+        lambda: measure_cachesim_trace(n_points=N_POINTS, repeats=1, warmup=0),
+        rounds=1, iterations=1, warmup_rounds=0,
+    )
 
-
-def _timed(func) -> float:
-    start = time.perf_counter()
-    func()
-    return time.perf_counter() - start
-
-
-def test_batch_engine_is_10x_faster_than_scalar_replay(benchmark):
-    tree, ulist = _build_geometry()
-    variant = reference_variant()
-
-    def run_batch():
-        return simulate_ulist_traffic(tree, ulist, variant, engine="batch")
-
-    def run_scalar():
-        return simulate_ulist_traffic(tree, ulist, variant, engine="scalar")
-
-    # Warm both paths (first batch round also compiles and memoises the
-    # trace) and pin down equivalence on this exact geometry.
-    batch_result = run_batch()
-    scalar_result = run_scalar()
-    assert batch_result.measured == scalar_result.measured
-    assert batch_result.pairs == scalar_result.pairs
-
-    batch_best = float("inf")
-    scalar_best = float("inf")
-    for _ in range(ROUNDS):
-        batch_best = min(batch_best, _timed(run_batch))
-        scalar_best = min(scalar_best, _timed(run_scalar))
-
-    benchmark.pedantic(run_batch, rounds=3, iterations=1, warmup_rounds=0)
-
-    speedup = scalar_best / batch_best
+    speedup = values["speedup"]
     benchmark.extra_info.update(
         {
-            "n_accesses": batch_result.measured.accesses,
-            "batch_ms": round(batch_best * 1e3, 3),
-            "scalar_ms": round(scalar_best * 1e3, 3),
+            "n_accesses": int(values["accesses"]),
+            "batch_ms": round(values["batch_ms"], 3),
+            "scalar_ms": round(values["scalar_ms"], 3),
             "speedup": round(speedup, 2),
-            "min_speedup": MIN_SPEEDUP,
+            "min_speedup": MIN_CACHESIM_SPEEDUP,
         }
     )
-    assert speedup >= MIN_SPEEDUP, (
+    assert speedup >= MIN_CACHESIM_SPEEDUP, (
         f"batch engine only {speedup:.1f}x faster than the scalar replay "
-        f"({batch_best * 1e3:.2f} ms vs {scalar_best * 1e3:.2f} ms); "
-        f"need >= {MIN_SPEEDUP:.0f}x"
+        f"({values['batch_ms']:.2f} ms vs {values['scalar_ms']:.2f} ms); "
+        f"need >= {MIN_CACHESIM_SPEEDUP:.0f}x"
     )

@@ -13,82 +13,54 @@ Two acceptance bars for the serving subsystem:
   cores and skips itself elsewhere, exactly like a GPU test without
   a GPU.
 
-The response cache is off in every run so each measurement isolates
-the execution path under test.  Correctness is not at stake here —
-bit-identity of batched serving is locked down in
-``tests/service/test_server.py``, and of worker-pool serving in
-``tests/service/test_workers.py``; this module times the wins and
-reports the latency percentiles an operator would tune against.
+Both comparisons run through
+:func:`repro.perfreg.checks.measure_micro_batching` and
+:func:`repro.perfreg.checks.measure_worker_pool` — the same
+measurement functions the ``service.micro_batching`` and
+``service.worker_pool`` perfreg checks record trajectories with —
+so a number that gates CI and a number in ``BENCH_service.json``
+were produced the same way.  Sanity (zero errors, batching genuinely
+on/off, worker topology) is asserted inside the measurement; the
+response cache is off in every run so each measurement isolates the
+execution path under test.  Bit-identity is locked down in
+``tests/service/test_server.py`` and ``tests/service/test_workers.py``;
+this module times the wins.
 """
 
 from __future__ import annotations
 
-import os
-
 import pytest
 
-from repro.service.loadgen import LoadReport, bench_serving
-
-MIN_SPEEDUP = 5.0
-REQUESTS = 4000
-MODEL, METRIC = "capped", "energy_per_flop"
-MACHINES = ("gtx580-double", "i7-950-double")
-
-MIN_WORKER_SPEEDUP = 2.0
-WORKER_REQUESTS = 1600
-#: Four catalog machines whose crc32 routing keys land on four
-#: distinct shards at ``workers=4`` — full pool utilisation.
-WORKER_MACHINES = (
-    "gtx580-double", "gtx580-single", "i7-950-double", "i7-950-single"
+from repro.perfreg.checks import (
+    MIN_MICROBATCH_SPEEDUP,
+    MIN_WORKER_SPEEDUP,
+    measure_micro_batching,
+    measure_serving,
+    measure_worker_pool,
+    usable_cores,
 )
 
-USABLE_CORES = len(os.sched_getaffinity(0))
+REQUESTS = 4000
+WORKER_REQUESTS = 1600
+
+USABLE_CORES = usable_cores()
 
 
-def _best_of(runs: list[LoadReport]) -> LoadReport:
-    """The highest-throughput run (min-noise analogue of best-of wall time)."""
-    return max(runs, key=lambda report: report.throughput)
-
-
-def _run(max_batch: int, concurrency: int, repeats: int = 3) -> LoadReport:
-    return _best_of([
-        bench_serving(
-            requests=REQUESTS,
-            concurrency=concurrency,
-            max_batch=max_batch,
-            flush_window=0.002,
-            cache_size=0,
-            machines=MACHINES,
-            model=MODEL,
-            metric=METRIC,
-        )
-        for _ in range(repeats)
-    ])
-
-
-def test_micro_batched_serving_is_5x_faster(benchmark):
-    # Batches only fill when concurrency >= max_batch * n_machines, so
-    # the batched run offers 128-way concurrency over two machines.
-    batched = _run(max_batch=64, concurrency=128)
-    unbatched = _run(max_batch=1, concurrency=64)
+def test_micro_batched_serving_is_5x_faster(benchmark, methodology):
+    values = measure_micro_batching(
+        requests=REQUESTS, repeats=methodology.reps
+    )
+    batched, unbatched = values["batched"], values["unbatched"]
     benchmark.pedantic(
-        lambda: bench_serving(
-            requests=REQUESTS, concurrency=128, max_batch=64,
-            flush_window=0.002, machines=MACHINES, model=MODEL, metric=METRIC,
+        lambda: measure_serving(
+            requests=REQUESTS, concurrency=128, max_batch=64
         ),
         rounds=1, iterations=1, warmup_rounds=0,
     )
 
-    assert batched.errors == 0 and unbatched.errors == 0
-    assert batched.requests == unbatched.requests == REQUESTS
-    # Batching genuinely happened in one run and not the other.
-    assert batched.mean_batch > 8.0
-    assert unbatched.engine_calls == REQUESTS
-
-    speedup = batched.throughput / unbatched.throughput
+    speedup = values["speedup"]
     benchmark.extra_info.update(
         {
-            "workload": f"{MODEL}/{METRIC}",
             "requests": REQUESTS,
             "batched_rps": round(batched.throughput),
             "unbatched_rps": round(unbatched.throughput),
@@ -112,25 +84,7 @@ def test_micro_batched_serving_is_5x_faster(benchmark):
         f"(p50 {unbatched.p50_ms:.3f} ms, p99 {unbatched.p99_ms:.3f} ms)"
     )
     print(f"micro-batching speedup: {speedup:.1f}x")
-    assert speedup >= MIN_SPEEDUP
-
-
-def _run_workers(workers: int, repeats: int = 3) -> LoadReport:
-    return _best_of([
-        bench_serving(
-            requests=WORKER_REQUESTS,
-            concurrency=64,
-            max_batch=64,
-            flush_window=0.002,
-            cache_size=0,
-            machines=WORKER_MACHINES,
-            model=MODEL,
-            metric=METRIC,
-            workload="heavy",
-            workers=workers,
-        )
-        for _ in range(repeats)
-    ])
+    assert speedup >= MIN_MICROBATCH_SPEEDUP
 
 
 @pytest.mark.skipif(
@@ -138,23 +92,19 @@ def _run_workers(workers: int, repeats: int = 3) -> LoadReport:
     reason=f"worker-pool speedup needs >= 4 usable cores, "
     f"have {USABLE_CORES}",
 )
-def test_worker_pool_is_2x_faster_on_heavy_workload(benchmark):
-    pooled = _run_workers(workers=4)
-    inloop = _run_workers(workers=0)
+def test_worker_pool_is_2x_faster_on_heavy_workload(benchmark, methodology):
+    values = measure_worker_pool(
+        requests=WORKER_REQUESTS, repeats=methodology.reps
+    )
+    pooled, inloop = values["pooled"], values["inloop"]
     benchmark.pedantic(
-        lambda: bench_serving(
-            requests=WORKER_REQUESTS, concurrency=64, max_batch=64,
-            flush_window=0.002, machines=WORKER_MACHINES, model=MODEL,
-            metric=METRIC, workload="heavy", workers=4,
+        lambda: measure_serving(
+            requests=WORKER_REQUESTS, workers=4, workload="heavy"
         ),
         rounds=1, iterations=1, warmup_rounds=0,
     )
 
-    assert pooled.errors == 0 and inloop.errors == 0
-    assert pooled.requests == inloop.requests == WORKER_REQUESTS
-    assert pooled.workers == 4 and inloop.workers == 0
-
-    speedup = pooled.throughput / inloop.throughput
+    speedup = values["speedup"]
     benchmark.extra_info.update(
         {
             "workload": "heavy",

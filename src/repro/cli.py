@@ -41,6 +41,13 @@ Subcommands
     Run replint, the repo's own AST-based static analysis, over the
     package source (or explicit paths).  Exit code 0 means clean, 1
     means findings, 2 means a usage error (see ``docs/LINT.md``).
+``perfreg``
+    Continuous performance-regression harness: run registered checks
+    and append graded ``BENCH_<area>.json`` trajectory records
+    (``run``), inspect recorded history (``report``), or show the
+    rolling baselines (``baseline``).  ``run`` exits 0/1/2 for
+    pass/warn/fail against the rolling baseline
+    (see :mod:`repro.perfreg` and ``docs/PERFREG.md``).
 """
 
 from __future__ import annotations
@@ -316,6 +323,74 @@ def build_parser() -> argparse.ArgumentParser:
         "--list-rules", action="store_true",
         help="print the rule catalogue and exit",
     )
+
+    p_perfreg = sub.add_parser(
+        "perfreg", help="continuous performance-regression harness"
+    )
+    perfreg_sub = p_perfreg.add_subparsers(dest="perfreg_command", required=True)
+
+    def _perfreg_common(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--checks", action="append", default=None, metavar="GLOB",
+            help="check name or instance-id glob, repeatable "
+                 "(default: every registered check)",
+        )
+        p.add_argument(
+            "--root", type=Path, default=Path("."), metavar="DIR",
+            help="directory holding the BENCH_*.json trajectories "
+                 "(default: current directory)",
+        )
+        p.add_argument(
+            "--json", action="store_true", help="machine-readable output"
+        )
+        p.add_argument(
+            "--window", type=int, default=None, metavar="K",
+            help="rolling-baseline window: median of the last K green "
+                 "runs (default: 5)",
+        )
+
+    p_pr_run = perfreg_sub.add_parser(
+        "run", help="run checks, grade vs baseline, append trajectories"
+    )
+    _perfreg_common(p_pr_run)
+    p_pr_run.add_argument(
+        "--reps", type=int, default=None, metavar="N",
+        help="measured repetitions per check (default: 5)",
+    )
+    p_pr_run.add_argument(
+        "--warmup", type=int, default=None, metavar="N",
+        help="untimed warmup repetitions per check (default: 1)",
+    )
+    p_pr_run.add_argument(
+        "--warn-pct", type=float, default=None, metavar="P",
+        help="warn when a metric regresses more than P%% (default: 10)",
+    )
+    p_pr_run.add_argument(
+        "--fail-pct", type=float, default=None, metavar="P",
+        help="fail when a metric regresses more than P%% (default: 25)",
+    )
+    p_pr_run.add_argument(
+        "--waivers", type=Path, default=None, metavar="FILE",
+        help="waiver file (default: <root>/.perfreg-waivers)",
+    )
+    p_pr_run.add_argument(
+        "--dry-run", action="store_true",
+        help="measure and grade but append nothing to the trajectories",
+    )
+
+    p_pr_report = perfreg_sub.add_parser(
+        "report", help="show recorded trajectory history"
+    )
+    _perfreg_common(p_pr_report)
+    p_pr_report.add_argument(
+        "--last", type=int, default=10, metavar="N",
+        help="records shown per trajectory (default: 10)",
+    )
+
+    p_pr_base = perfreg_sub.add_parser(
+        "baseline", help="show current rolling baselines"
+    )
+    _perfreg_common(p_pr_base)
     return parser
 
 
@@ -703,12 +778,96 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     return 0 if report.clean else 1
 
 
+def _cmd_perfreg(args: argparse.Namespace) -> int:
+    """Run the perf-regression harness; returns the verdict exit code.
+
+    Like ``lint``, this returns its exit code directly: ``run`` maps
+    the worst verdict to 0 (pass) / 1 (warn) / 2 (fail), the contract
+    the CI job keys on; usage errors (unknown check pattern, bad
+    waiver line) also exit 2 with a one-line diagnostic.
+    """
+    from repro.perfreg import Tolerance, run_checks
+    from repro.perfreg.baseline import DEFAULT_TOLERANCE, DEFAULT_WINDOW
+    from repro.perfreg.harness import baseline_table
+    from repro.perfreg.registry import UnknownCheckError, expand_checks
+    from repro.perfreg.report import (
+        render_baselines,
+        render_result_json,
+        render_result_text,
+        render_trajectories_json,
+        render_trajectories_text,
+    )
+    from repro.perfreg.trajectory import bench_path, load_trajectory
+    from repro.perfreg.waivers import WaiverError
+
+    window = args.window if args.window is not None else DEFAULT_WINDOW
+    if window < 1:
+        print(f"error: --window must be >= 1, got {window}", file=sys.stderr)
+        return 2
+    try:
+        if args.perfreg_command == "run":
+            warn_ratio = (
+                units.percent(args.warn_pct)
+                if args.warn_pct is not None
+                else DEFAULT_TOLERANCE.warn_ratio
+            )
+            fail_ratio = (
+                units.percent(args.fail_pct)
+                if args.fail_pct is not None
+                else DEFAULT_TOLERANCE.fail_ratio
+            )
+            result = run_checks(
+                args.checks,
+                root=args.root,
+                reps=args.reps,
+                warmup=args.warmup,
+                tolerance=Tolerance(
+                    warn_ratio=warn_ratio, fail_ratio=fail_ratio
+                ),
+                window=window,
+                waivers_path=args.waivers,
+                dry_run=args.dry_run,
+            )
+            print(
+                render_result_json(result)
+                if args.json
+                else render_result_text(result)
+            )
+            return result.exit_code
+        if args.perfreg_command == "report":
+            areas = sorted(
+                {inst.area for inst in expand_checks(args.checks)}
+            )
+            trajectories = [
+                load_trajectory(bench_path(args.root, area))
+                for area in areas
+            ]
+            trajectories = [t for t in trajectories if t.records or t.skipped]
+            render = (
+                render_trajectories_json
+                if args.json
+                else render_trajectories_text
+            )
+            print(render(trajectories, last=args.last))
+            return 0
+        baselines = baseline_table(
+            args.checks, root=args.root, window=window
+        )
+        print(render_baselines(baselines, as_json=args.json))
+        return 0
+    except (UnknownCheckError, WaiverError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
     if args.command == "lint":
         return _cmd_lint(args)
+    if args.command == "perfreg":
+        return _cmd_perfreg(args)
     try:
         if args.command == "machines":
             output = _cmd_machines()

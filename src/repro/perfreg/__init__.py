@@ -1,0 +1,101 @@
+"""Continuous performance-regression harness (``repro perfreg``).
+
+The repo's benchmark gates (``benchmarks/test_bench_*.py``) answer one
+binary question per run — "is the fast path still >= Kx?" — and then
+throw the numbers away.  This package keeps them: every registered
+check runs its workload N repetitions (after warmup), records the
+median and IQR of each declared metric together with an environment
+fingerprint, appends the record to a rolling ``BENCH_<area>.json``
+trajectory at the repo root, and grades the fresh numbers against a
+rolling baseline (median of the last K green runs) with a tolerance
+band.  The verdict maps to an exit code the CI job can act on:
+
+===========  ==========  =============================================
+verdict      exit code   meaning
+===========  ==========  =============================================
+``pass``     0           within the warn tolerance of the baseline
+``warn``     1           regressed past warn but not past fail
+``fail``     2           regressed past the fail tolerance
+===========  ==========  =============================================
+
+Layout:
+
+* :mod:`repro.perfreg.check` — the declarative check model
+  (parameters, setup/run/teardown lifecycle, sanity assertions, named
+  metrics with a direction).
+* :mod:`repro.perfreg.registry` — check registration and glob-based
+  parameter expansion.
+* :mod:`repro.perfreg.methodology` — the one set of warmup/repeat
+  constants shared with the pytest benchmark gates.
+* :mod:`repro.perfreg.trajectory` — the append-only ``BENCH_*.json``
+  store (atomic temp-file + rename, lock-guarded, corruption-tolerant).
+* :mod:`repro.perfreg.baseline` — rolling-median baseline policy and
+  verdict mapping.
+* :mod:`repro.perfreg.waivers` — reasoned waivers for known
+  regressions (the replint ``ignore -- reason`` discipline).
+* :mod:`repro.perfreg.checks` — the built-in service / cachesim /
+  core-batch checks and the measurement functions the benchmark gates
+  wrap.
+* :mod:`repro.perfreg.harness` — the run/report/baseline entry points
+  behind the CLI verb.
+
+See ``docs/PERFREG.md`` for the check-author guide.
+"""
+
+from __future__ import annotations
+
+from repro.perfreg.baseline import (
+    Baseline,
+    Tolerance,
+    Verdict,
+    exit_code,
+    rolling_baseline,
+    verdict_for,
+)
+from repro.perfreg.check import (
+    CheckContext,
+    Metric,
+    PerfCheck,
+    SanityError,
+)
+from repro.perfreg.harness import HarnessResult, run_checks
+from repro.perfreg.methodology import DEFAULT_METHODOLOGY, Methodology
+from repro.perfreg.record import MetricStats, RunRecord, SCHEMA_VERSION
+from repro.perfreg.registry import all_checks, expand_checks, register
+from repro.perfreg.trajectory import (
+    Trajectory,
+    append_record,
+    bench_path,
+    load_records,
+)
+from repro.perfreg.waivers import Waiver, load_waivers, parse_waiver_line
+
+__all__ = [
+    "Baseline",
+    "CheckContext",
+    "DEFAULT_METHODOLOGY",
+    "HarnessResult",
+    "Methodology",
+    "Metric",
+    "MetricStats",
+    "PerfCheck",
+    "RunRecord",
+    "SCHEMA_VERSION",
+    "SanityError",
+    "Tolerance",
+    "Trajectory",
+    "Verdict",
+    "Waiver",
+    "all_checks",
+    "append_record",
+    "bench_path",
+    "exit_code",
+    "expand_checks",
+    "load_records",
+    "load_waivers",
+    "parse_waiver_line",
+    "register",
+    "rolling_baseline",
+    "run_checks",
+    "verdict_for",
+]

@@ -1,0 +1,214 @@
+"""Rolling-baseline policy and verdict mapping.
+
+The baseline for a (check instance, metric) is the **median of that
+metric's medians over the last K green runs** in the trajectory (green
+= overall verdict ``pass``).  Median-of-medians is deliberately dull:
+one lucky or throttled run cannot drag the reference, and a slow
+regression that sneaks in under the warn band still has to fight K/2
+healthy runs before it owns the baseline.
+
+Grading is direction-aware and relative.  With baseline ``b`` and
+fresh value ``v``, the *regression ratio* is::
+
+    higher_is_better:  r = (b - v) / b     (throughput fell)
+    lower_is_better:   r = (v - b) / b     (latency rose)
+
+and the tolerance band maps ``r`` to a verdict::
+
+    r <= warn_ratio                  -> pass
+    warn_ratio < r <= fail_ratio     -> warn
+    r >  fail_ratio                  -> fail
+
+Improvements (negative ``r``) always pass — this harness gates
+regressions, it does not punish getting faster.  A first run with no
+green history **bootstraps**: verdict ``pass`` with a recorded reason,
+and the run seeds the baseline for its successors.
+
+Exit codes: ``pass`` -> 0, ``warn`` -> 1, ``fail`` -> 2 (the CLI/CI
+contract, mirroring replint's 0/1/2 discipline).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from statistics import median
+from typing import Mapping, Sequence
+
+from repro.perfreg.check import HIGHER_IS_BETTER, LOWER_IS_BETTER
+from repro.perfreg.env import same_environment
+from repro.perfreg.record import RunRecord
+
+__all__ = [
+    "Baseline",
+    "DEFAULT_TOLERANCE",
+    "DEFAULT_WINDOW",
+    "Tolerance",
+    "Verdict",
+    "exit_code",
+    "regression_ratio",
+    "rolling_baseline",
+    "verdict_for",
+    "worst",
+]
+
+#: K: how many green runs the rolling median looks back over.
+DEFAULT_WINDOW = 5
+
+_VERDICT_ORDER = {"pass": 0, "warn": 1, "fail": 2}
+
+
+@dataclass(frozen=True)
+class Tolerance:
+    """The band around the baseline: how much regression is how bad."""
+
+    warn_ratio: float = 0.10
+    fail_ratio: float = 0.25
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.warn_ratio <= self.fail_ratio:
+            raise ValueError(
+                f"need 0 <= warn_ratio <= fail_ratio, got "
+                f"warn={self.warn_ratio!r} fail={self.fail_ratio!r}"
+            )
+
+
+DEFAULT_TOLERANCE = Tolerance()
+
+
+@dataclass(frozen=True)
+class Baseline:
+    """The reference value one metric is graded against."""
+
+    instance: str
+    metric: str
+    value: float
+    direction: str
+    #: Run ids of the green records the rolling median covers.
+    run_ids: tuple[int, ...]
+
+    @property
+    def window(self) -> int:
+        return len(self.run_ids)
+
+
+@dataclass(frozen=True)
+class Verdict:
+    """One graded metric: the ratio, the band it landed in, and why."""
+
+    instance: str
+    metric: str
+    verdict: str
+    ratio: float
+    value: float
+    baseline: float | None
+    reason: str = ""
+
+
+def exit_code(verdict: str) -> int:
+    """``pass``/``warn``/``fail`` -> 0/1/2."""
+    return _VERDICT_ORDER[verdict]
+
+
+def worst(verdicts: Sequence[str]) -> str:
+    """The most severe of several verdicts (``pass`` if none)."""
+    if not verdicts:
+        return "pass"
+    return max(verdicts, key=lambda v: _VERDICT_ORDER[v])
+
+
+def regression_ratio(
+    value: float, baseline: float, direction: str
+) -> float:
+    """Signed relative regression; positive means *worse*."""
+    if baseline == 0 or not math.isfinite(baseline):
+        return 0.0
+    if direction == HIGHER_IS_BETTER:
+        return (baseline - value) / abs(baseline)
+    if direction == LOWER_IS_BETTER:
+        return (value - baseline) / abs(baseline)
+    raise ValueError(f"unknown direction {direction!r}")
+
+
+def rolling_baseline(
+    records: Sequence[RunRecord],
+    instance: str,
+    metric: str,
+    *,
+    window: int = DEFAULT_WINDOW,
+    env: Mapping[str, object] | None = None,
+) -> Baseline | None:
+    """Median of the metric over the last ``window`` green runs.
+
+    ``env`` (the fresh run's fingerprint) filters history down to
+    comparable environments — a baseline earned on a 16-core runner
+    must not grade a 2-core laptop.  Returns ``None`` when no green,
+    comparable history exists (the bootstrap case).
+    """
+    if window < 1:
+        raise ValueError(f"window must be >= 1, got {window}")
+    green = [
+        record
+        for record in records
+        if record.instance == instance
+        and record.verdict == "pass"
+        and metric in record.metrics
+        and (env is None or same_environment(record.env, env))
+    ]
+    if not green:
+        return None
+    tail = green[-window:]
+    sample = tail[0].metrics[metric]
+    return Baseline(
+        instance=instance,
+        metric=metric,
+        value=median(r.metrics[metric].median for r in tail),
+        direction=sample.direction,
+        run_ids=tuple(r.run_id for r in tail),
+    )
+
+
+def verdict_for(
+    value: float,
+    baseline: Baseline | None,
+    *,
+    instance: str,
+    metric: str,
+    direction: str,
+    tolerance: Tolerance = DEFAULT_TOLERANCE,
+) -> Verdict:
+    """Grade one fresh metric value against its rolling baseline."""
+    if baseline is None:
+        return Verdict(
+            instance=instance,
+            metric=metric,
+            verdict="pass",
+            ratio=0.0,
+            value=value,
+            baseline=None,
+            reason="bootstrap: no green history, this run seeds the baseline",
+        )
+    ratio = regression_ratio(value, baseline.value, direction)
+    if ratio <= tolerance.warn_ratio:
+        label, reason = "pass", ""
+    elif ratio <= tolerance.fail_ratio:
+        label = "warn"
+        reason = (
+            f"regressed {ratio:.1%} vs rolling baseline {baseline.value:g} "
+            f"(warn band {tolerance.warn_ratio:.0%}..{tolerance.fail_ratio:.0%})"
+        )
+    else:
+        label = "fail"
+        reason = (
+            f"regressed {ratio:.1%} vs rolling baseline {baseline.value:g} "
+            f"(fail threshold {tolerance.fail_ratio:.0%})"
+        )
+    return Verdict(
+        instance=instance,
+        metric=metric,
+        verdict=label,
+        ratio=ratio,
+        value=value,
+        baseline=baseline.value,
+        reason=reason,
+    )

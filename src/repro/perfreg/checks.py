@@ -1,0 +1,479 @@
+"""Built-in checks and the measurement functions the gates share.
+
+Every timing loop in this module exists exactly once.  The perfreg
+checks call the ``measure_*`` functions with ``repeats=1`` (the
+harness supplies repetition: N measured reps after warmup, medians to
+the trajectory); the pytest gates in ``benchmarks/`` call the same
+functions with ``repeats=methodology.reps`` (best-of, for a stable
+speedup ratio) and assert the ``MIN_*`` floors.  One methodology, one
+sanity layer, two consumers — the two paths cannot disagree on *how*
+a number was produced.
+
+Sanity assertions live *inside* the measurement functions and raise
+:class:`~repro.perfreg.check.SanityError`: a perf number from a wrong
+answer must be void in both the trajectory and the gate.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, Mapping
+
+import numpy as np
+
+from repro import units
+from repro.perfreg.check import (
+    CheckContext,
+    LOWER_IS_BETTER,
+    Metric,
+    PerfCheck,
+    SanityError,
+)
+from repro.perfreg.registry import register
+
+__all__ = [
+    "MIN_BATCH_SPEEDUP",
+    "MIN_CACHESIM_SPEEDUP",
+    "MIN_MICROBATCH_SPEEDUP",
+    "MIN_WORKER_SPEEDUP",
+    "measure_batch_sweep",
+    "measure_cachesim_trace",
+    "measure_micro_batching",
+    "measure_serving",
+    "measure_worker_pool",
+    "usable_cores",
+]
+
+# ---------------------------------------------------------------------------
+# Acceptance floors (the gates' single source of truth)
+# ---------------------------------------------------------------------------
+
+#: ``*_batch`` sweep vs scalar python loop on a 10k grid.
+MIN_BATCH_SPEEDUP = 5.0
+#: Batched cache-trace engine vs scalar per-access replay.
+MIN_CACHESIM_SPEEDUP = 10.0
+#: Micro-batched serving vs ``max_batch=1``.
+MIN_MICROBATCH_SPEEDUP = 5.0
+#: Four worker processes vs in-loop execution on the heavy workload.
+MIN_WORKER_SPEEDUP = 2.0
+
+#: Seed of the shared intensity grid (the paper's publication date).
+_GRID_SEED = 20130520
+
+#: The scalar/batch comparison machine (the paper's flagship GPU).
+_SWEEP_MACHINE = "gtx580-double"
+
+
+def usable_cores() -> int:
+    """Cores this process may actually run on (affinity-aware)."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-linux
+        return os.cpu_count() or 1
+
+
+# ---------------------------------------------------------------------------
+# Core-batch sweep (shared with benchmarks/test_bench_batch.py)
+# ---------------------------------------------------------------------------
+
+
+def _sweep_grid(points: int) -> np.ndarray:
+    rng = np.random.default_rng(_GRID_SEED)
+    return 10.0 ** rng.uniform(-3.0, 3.0, points)
+
+
+def measure_batch_sweep(
+    *, points: int = 10_000, repeats: int = 1, warmup: int = 1
+) -> dict[str, float]:
+    """Time the vectorised model sweep against the scalar python loop.
+
+    Returns ``scalar_ms`` / ``batch_ms`` (best-of over ``repeats``,
+    rounds interleaved) and their ``speedup``.  Sanity: the two paths
+    agree to 1e-12 before anything is timed.
+    """
+    from repro.core.energy_model import EnergyModel
+    from repro.core.power_model import PowerModel
+    from repro.core.time_model import TimeModel
+    from repro.machines.catalog import get_machine
+    from repro.perfreg.methodology import Methodology
+
+    machine = get_machine(_SWEEP_MACHINE)
+    grid = _sweep_grid(points)
+    t = TimeModel(machine)
+    e = EnergyModel(machine)
+    p = PowerModel(machine)
+
+    def scalar_sweep() -> np.ndarray:
+        return np.array(
+            [
+                [
+                    t.attainable_gflops(float(x)),
+                    e.attainable_gflops_per_joule(float(x)),
+                    p.power(float(x)),
+                ]
+                for x in grid
+            ]
+        )
+
+    def batch_sweep() -> np.ndarray:
+        return np.column_stack(
+            [
+                t.attainable_gflops_batch(grid),
+                e.attainable_gflops_per_joule_batch(grid),
+                p.power_batch(grid),
+            ]
+        )
+
+    scalar_values = scalar_sweep()
+    batch_values = batch_sweep()
+    if not np.allclose(batch_values, scalar_values, rtol=1e-12, atol=0.0):
+        raise SanityError(
+            "batch sweep diverged from the scalar loop; timing aborted"
+        )
+    method = Methodology(warmup=warmup, reps=repeats)
+    batch_s, scalar_s = method.best_pair(batch_sweep, scalar_sweep)
+    return {
+        "scalar_ms": units.to_milliseconds(scalar_s),
+        "batch_ms": units.to_milliseconds(batch_s),
+        "speedup": scalar_s / batch_s,
+        "grid_points": float(points),
+    }
+
+
+# ---------------------------------------------------------------------------
+# Cachesim FMM trace (shared with benchmarks/test_bench_cachesim.py)
+# ---------------------------------------------------------------------------
+
+
+def measure_cachesim_trace(
+    *,
+    n_points: int = 4000,
+    leaf_capacity: int = 64,
+    seed: int = 3,
+    repeats: int = 1,
+    warmup: int = 1,
+) -> dict[str, float]:
+    """Time the batched trace engine against the scalar replay.
+
+    The fmm experiment's default geometry; counter-for-counter
+    equivalence is asserted on this exact geometry before timing.
+    """
+    from repro.cachesim import simulate_ulist_traffic
+    from repro.fmm.points import uniform_cloud
+    from repro.fmm.tree import Octree
+    from repro.fmm.ulist import build_ulist
+    from repro.fmm.variants import reference_variant
+    from repro.perfreg.methodology import Methodology
+
+    positions, densities = uniform_cloud(n_points, seed=seed)
+    tree = Octree.build(positions, densities, leaf_capacity=leaf_capacity)
+    ulist = build_ulist(tree)
+    variant = reference_variant()
+
+    def run_batch():
+        return simulate_ulist_traffic(tree, ulist, variant, engine="batch")
+
+    def run_scalar():
+        return simulate_ulist_traffic(tree, ulist, variant, engine="scalar")
+
+    # First batch round also compiles and memoises the trace; do the
+    # equivalence pin before any timing so the memo is warm for both.
+    batch_result = run_batch()
+    scalar_result = run_scalar()
+    if batch_result.measured != scalar_result.measured:
+        raise SanityError(
+            "batch trace engine counters diverged from the scalar replay"
+        )
+    if batch_result.pairs != scalar_result.pairs:
+        raise SanityError(
+            "batch trace engine pairs diverged from the scalar replay"
+        )
+    method = Methodology(warmup=warmup, reps=repeats)
+    batch_s, scalar_s = method.best_pair(run_batch, run_scalar)
+    return {
+        "batch_ms": units.to_milliseconds(batch_s),
+        "scalar_ms": units.to_milliseconds(scalar_s),
+        "speedup": scalar_s / batch_s,
+        "accesses": float(batch_result.measured.accesses),
+    }
+
+
+# ---------------------------------------------------------------------------
+# Serving (shared with benchmarks/test_bench_service.py)
+# ---------------------------------------------------------------------------
+
+#: The serving comparison workload (heaviest analytic scalar path).
+_SERVE_MODEL, _SERVE_METRIC = "capped", "energy_per_flop"
+_SERVE_MACHINES = ("gtx580-double", "i7-950-double")
+#: Four catalog machines whose crc32 routing keys land on four
+#: distinct shards at ``workers=4`` — full pool utilisation.
+_POOL_MACHINES = (
+    "gtx580-double", "gtx580-single", "i7-950-double", "i7-950-single"
+)
+
+
+def _best_report(reports):
+    """Highest-throughput run (min-noise analogue of best-of wall time)."""
+    return max(reports, key=lambda report: report.throughput)
+
+
+def measure_serving(
+    *,
+    requests: int,
+    concurrency: int = 64,
+    max_batch: int = 64,
+    workers: int = 0,
+    workload: str = "scalar",
+    machines=(),
+    open_loop_rate: float | None = None,
+    repeats: int = 1,
+):
+    """One serving configuration, best-of ``repeats`` full runs.
+
+    Returns the winning :class:`~repro.service.loadgen.LoadReport`.
+    Sanity: zero transport errors and every request served, on every
+    run — not just the winner.
+    """
+    from repro.service.loadgen import bench_serving
+
+    machines = tuple(machines) or (
+        _POOL_MACHINES if workers else _SERVE_MACHINES
+    )
+    reports = []
+    for _ in range(max(1, repeats)):
+        report = bench_serving(
+            requests=requests,
+            concurrency=concurrency,
+            max_batch=max_batch,
+            flush_window=units.milliseconds(2.0),
+            cache_size=0,
+            machines=machines,
+            model=_SERVE_MODEL,
+            metric=_SERVE_METRIC,
+            workload=workload,
+            workers=workers,
+            open_loop_rate=open_loop_rate,
+        )
+        if report.errors:
+            raise SanityError(
+                f"serving run reported {report.errors} errors "
+                f"(workers={workers}, workload={workload})"
+            )
+        if report.requests != requests:
+            raise SanityError(
+                f"served {report.requests} of {requests} requests"
+            )
+        reports.append(report)
+    return _best_report(reports)
+
+
+def measure_micro_batching(
+    *, requests: int = 4000, repeats: int = 1
+) -> dict[str, Any]:
+    """Micro-batched vs unbatched serving on the scalar workload.
+
+    Batches only fill when concurrency >= max_batch * n_machines, so
+    the batched run offers 128-way concurrency over two machines.
+    Sanity: batching genuinely happened in one run and not the other.
+    """
+    batched = measure_serving(
+        requests=requests, concurrency=128, max_batch=64, repeats=repeats
+    )
+    unbatched = measure_serving(
+        requests=requests, concurrency=64, max_batch=1, repeats=repeats
+    )
+    if batched.mean_batch <= 8.0:
+        raise SanityError(
+            f"batched run coalesced only {batched.mean_batch:.1f} "
+            "requests/batch; the comparison is void"
+        )
+    if unbatched.engine_calls != requests:
+        raise SanityError(
+            "unbatched run did not make one engine call per request"
+        )
+    return {
+        "batched": batched,
+        "unbatched": unbatched,
+        "speedup": batched.throughput / unbatched.throughput,
+    }
+
+
+def measure_worker_pool(
+    *, requests: int = 1600, repeats: int = 1
+) -> dict[str, Any]:
+    """Four worker processes vs in-loop execution, heavy workload."""
+    pooled = measure_serving(
+        requests=requests, workers=4, workload="heavy", repeats=repeats
+    )
+    inloop = measure_serving(
+        requests=requests, workers=0, workload="heavy",
+        machines=_POOL_MACHINES, repeats=repeats,
+    )
+    if pooled.workers != 4 or inloop.workers != 0:
+        raise SanityError("worker topology did not match the request")
+    return {
+        "pooled": pooled,
+        "inloop": inloop,
+        "speedup": pooled.throughput / inloop.throughput,
+    }
+
+
+# ---------------------------------------------------------------------------
+# The registered checks
+# ---------------------------------------------------------------------------
+
+_MS_METRICS = (
+    Metric("p50_ms", "ms", LOWER_IS_BETTER),
+    Metric("p99_ms", "ms", LOWER_IS_BETTER),
+)
+
+
+@register
+class BatchSweepCheck(PerfCheck):
+    """Vectorised model sweep vs the scalar loop (PR 1's 5x win)."""
+
+    name = "batch.sweep"
+    area = "batch"
+    params = {"points": (10_000,)}
+    metrics = (
+        Metric("speedup", "x"),
+        Metric("batch_ms", "ms", LOWER_IS_BETTER),
+        Metric("scalar_ms", "ms", LOWER_IS_BETTER),
+    )
+
+    def run(self, ctx: CheckContext) -> Mapping[str, float]:
+        values = measure_batch_sweep(
+            points=ctx.params["points"], repeats=1, warmup=0
+        )
+        values.pop("grid_points")
+        return values
+
+
+@register
+class CachesimTraceCheck(PerfCheck):
+    """Batched FMM cache-trace engine vs scalar replay (PR 2's 10x win)."""
+
+    name = "cachesim.fmm_batch_lru"
+    area = "cachesim"
+    params = {"n_points": (4000,)}
+    metrics = (
+        Metric("speedup", "x"),
+        Metric("batch_ms", "ms", LOWER_IS_BETTER),
+        Metric("scalar_ms", "ms", LOWER_IS_BETTER),
+    )
+
+    def setup(self, ctx: CheckContext) -> None:
+        # The geometry survives across reps via the memoised trace
+        # cache inside cachesim; nothing to stash explicitly.
+        pass
+
+    def run(self, ctx: CheckContext) -> Mapping[str, float]:
+        values = measure_cachesim_trace(
+            n_points=ctx.params["n_points"], repeats=1, warmup=0
+        )
+        values.pop("accesses")
+        return values
+
+
+class _ServingCheck(PerfCheck):
+    """Shared scaffolding for the serving-path checks."""
+
+    area = "service"
+    #: Request-stream length for trajectory runs (smaller than the
+    #: gates' streams: a trajectory point repeats N times per run).
+    requests = 800
+
+    def _report_values(self, report) -> dict[str, float]:
+        return {
+            "throughput_rps": report.throughput,
+            "p50_ms": report.p50_ms,
+            "p99_ms": report.p99_ms,
+        }
+
+
+@register
+class ClosedLoopCheck(_ServingCheck):
+    """Closed-loop serving throughput/latency at workers 0 and 4."""
+
+    name = "service.closed_loop"
+    params = {"workers": (0, 4)}
+    metrics = (Metric("throughput_rps", "req/s"),) + _MS_METRICS
+
+    def run(self, ctx: CheckContext) -> Mapping[str, float]:
+        workers = ctx.params["workers"]
+        report = measure_serving(
+            requests=self.requests,
+            workers=workers,
+            workload="mixed" if workers else "scalar",
+        )
+        return self._report_values(report)
+
+
+@register
+class OpenLoopCheck(_ServingCheck):
+    """Open-loop (Poisson) latency under a fixed offered rate."""
+
+    name = "service.open_loop"
+    params = {"workers": (0, 4)}
+    requests = 400
+    #: Offered rate kept well under capacity: open-loop percentiles
+    #: measure queueing discipline, not saturation collapse.
+    rate = 400.0
+    metrics = (Metric("throughput_rps", "req/s"),) + _MS_METRICS
+
+    def run(self, ctx: CheckContext) -> Mapping[str, float]:
+        report = measure_serving(
+            requests=self.requests,
+            workers=ctx.params["workers"],
+            workload="mixed",
+            open_loop_rate=self.rate,
+        )
+        return self._report_values(report)
+
+
+@register
+class MicroBatchingCheck(_ServingCheck):
+    """The 5x micro-batching win as a tracked trajectory."""
+
+    name = "service.micro_batching"
+    requests = 1500
+    metrics = (
+        Metric("speedup", "x"),
+        Metric("batched_rps", "req/s"),
+        Metric("unbatched_rps", "req/s"),
+    )
+
+    def run(self, ctx: CheckContext) -> Mapping[str, float]:
+        values = measure_micro_batching(requests=self.requests)
+        return {
+            "speedup": values["speedup"],
+            "batched_rps": values["batched"].throughput,
+            "unbatched_rps": values["unbatched"].throughput,
+        }
+
+
+@register
+class WorkerPoolCheck(_ServingCheck):
+    """The 2x worker-pool win as a tracked trajectory."""
+
+    name = "service.worker_pool"
+    requests = 800
+    metrics = (
+        Metric("speedup", "x"),
+        Metric("pooled_rps", "req/s"),
+        Metric("inloop_rps", "req/s"),
+    )
+
+    def skip_reason(self, params: Mapping[str, Any]) -> str | None:
+        cores = usable_cores()
+        if cores < 4:
+            return f"worker-pool speedup needs >= 4 usable cores, have {cores}"
+        return None
+
+    def run(self, ctx: CheckContext) -> Mapping[str, float]:
+        values = measure_worker_pool(requests=self.requests)
+        return {
+            "speedup": values["speedup"],
+            "pooled_rps": values["pooled"].throughput,
+            "inloop_rps": values["inloop"].throughput,
+        }

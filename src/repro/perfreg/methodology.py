@@ -1,0 +1,110 @@
+"""The one set of measurement-methodology constants.
+
+Before this module existed, every ``benchmarks/test_bench_*.py`` file
+carried its own ad-hoc warmup/repeat constants (``repeats=3`` here,
+``ROUNDS = 5`` there), and nothing forced the pytest gates and any
+other timing path to agree.  Now both the perfreg checks and the
+benchmark gates (via the ``methodology`` fixture in
+``benchmarks/conftest.py``) consume this single definition, so the two
+paths cannot drift apart on *how* a number was measured.
+
+``best_of`` deliberately takes the **minimum** wall time over repeats:
+for a deterministic CPU-bound workload the minimum is the least-noise
+estimator (everything above it is scheduler/throttling interference).
+Medians across reps are what the *trajectory* records — the min is for
+intra-rep speedup ratios, where both sides of the ratio should see the
+machine at its best.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, replace
+from typing import Callable, TypeVar
+
+__all__ = [
+    "DEFAULT_METHODOLOGY",
+    "GATE_METHODOLOGY",
+    "Methodology",
+]
+
+T = TypeVar("T")
+
+
+@dataclass(frozen=True)
+class Methodology:
+    """How a perf number gets measured: warmup + repetition policy."""
+
+    #: Untimed repetitions before measurement (JIT-style one-time costs,
+    #: trace compilation, pool cold boot stay out of the numbers).
+    warmup: int = 1
+    #: Timed repetitions; the trajectory records median + IQR across
+    #: them, ratio-style gates take the best.
+    reps: int = 5
+
+    def __post_init__(self) -> None:
+        if self.warmup < 0:
+            raise ValueError(f"warmup must be >= 0, got {self.warmup}")
+        if self.reps < 1:
+            raise ValueError(f"reps must be >= 1, got {self.reps}")
+
+    def with_reps(self, reps: int | None) -> "Methodology":
+        """This methodology with ``reps`` overridden (``None`` keeps it)."""
+        return self if reps is None else replace(self, reps=reps)
+
+    def best_of(
+        self,
+        func: Callable[[], object],
+        *,
+        clock: Callable[[], float] = time.perf_counter,
+    ) -> float:
+        """Fastest wall time of ``func`` over ``reps`` timed calls.
+
+        Warmup calls run first, untimed.  The min damps scheduler
+        noise — see the module docstring for why min, not mean.
+        """
+        for _ in range(self.warmup):
+            func()
+        best = float("inf")
+        for _ in range(self.reps):
+            started = clock()
+            func()
+            best = min(best, clock() - started)
+        return best
+
+    def best_pair(
+        self,
+        first: Callable[[], object],
+        second: Callable[[], object],
+        *,
+        clock: Callable[[], float] = time.perf_counter,
+    ) -> tuple[float, float]:
+        """Best wall time of two competing paths, rounds *interleaved*.
+
+        (first, second, first, second, …) so both paths see the same
+        machine mood — the ratio stays stable even when absolute times
+        wobble under CPU throttling.  This is the discipline the
+        cachesim gate pioneered, promoted to the shared methodology.
+        """
+        for _ in range(self.warmup):
+            first()
+            second()
+        best_first = float("inf")
+        best_second = float("inf")
+        for _ in range(self.reps):
+            started = clock()
+            first()
+            best_first = min(best_first, clock() - started)
+            started = clock()
+            second()
+            best_second = min(best_second, clock() - started)
+        return best_first, best_second
+
+
+#: What ``repro perfreg run`` uses unless ``--reps/--warmup`` override.
+DEFAULT_METHODOLOGY = Methodology(warmup=1, reps=5)
+
+#: What the pytest benchmark gates use: fewer reps (each gate repeats
+#: a heavyweight end-to-end workload; 3 best-of rounds match the
+#: pre-perfreg constants the gates were tuned with).
+GATE_METHODOLOGY = Methodology(warmup=1, reps=3)

@@ -1,0 +1,174 @@
+"""The trajectory record schema and its JSON round-trip.
+
+One :class:`RunRecord` is one (check instance, run) data point: the
+median and IQR of every metric across the measured repetitions, the
+methodology that produced them, the environment fingerprint, and the
+verdict the run was graded with.  Records serialise to a single JSON
+object per line of ``BENCH_<area>.json`` (JSON Lines — the only layout
+where "append" is a real operation and a torn final write cannot
+corrupt history).
+
+``SCHEMA_VERSION`` is embedded in every record; ``from_json`` rejects
+records from the future rather than misreading them, and tolerates
+(ignores) unknown extra keys from the past.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import asdict, dataclass, field
+from typing import Any, Mapping
+
+from repro.exceptions import ReproError
+
+__all__ = [
+    "MetricStats",
+    "RecordError",
+    "RunRecord",
+    "SCHEMA_VERSION",
+    "metric_stats",
+]
+
+SCHEMA_VERSION = 1
+
+
+class RecordError(ReproError):
+    """A trajectory line does not decode to a schema-valid record."""
+
+
+@dataclass(frozen=True)
+class MetricStats:
+    """Median + spread of one metric across a run's repetitions."""
+
+    median: float
+    iqr: float
+    unit: str
+    direction: str
+
+    def __post_init__(self) -> None:
+        for label, value in (("median", self.median), ("iqr", self.iqr)):
+            if not math.isfinite(value):
+                raise RecordError(f"metric {label} must be finite, got {value}")
+        if self.iqr < 0:
+            raise RecordError(f"iqr must be >= 0, got {self.iqr}")
+
+
+def metric_stats(
+    values: list[float], *, unit: str, direction: str
+) -> MetricStats:
+    """Median + interquartile range of per-rep values (sorted copy).
+
+    Quartiles use the linear-interpolation convention (numpy's default
+    ``quantile`` method) but are computed in pure python: the record
+    layer must not care how large the rep count is, and 3-5 reps is
+    the norm.
+    """
+    if not values:
+        raise RecordError("metric_stats needs at least one value")
+    ordered = sorted(float(v) for v in values)
+
+    def quantile(q: float) -> float:
+        pos = q * (len(ordered) - 1)
+        lo = int(math.floor(pos))
+        hi = int(math.ceil(pos))
+        frac = pos - lo
+        return ordered[lo] * (1.0 - frac) + ordered[hi] * frac
+
+    return MetricStats(
+        median=quantile(0.5),
+        iqr=quantile(0.75) - quantile(0.25),
+        unit=unit,
+        direction=direction,
+    )
+
+
+@dataclass(frozen=True)
+class RunRecord:
+    """One trajectory data point: a graded, fingerprinted measurement."""
+
+    run_id: int
+    check: str
+    instance: str
+    area: str
+    params: dict[str, Any]
+    metrics: dict[str, MetricStats]
+    reps: int
+    warmup: int
+    env: dict[str, Any]
+    timestamp: str
+    verdict: str = "pass"
+    #: Per-metric verdicts plus optional reasons (bootstrap, waiver).
+    details: dict[str, Any] = field(default_factory=dict)
+    schema: int = SCHEMA_VERSION
+
+    def __post_init__(self) -> None:
+        if self.run_id < 0:
+            raise RecordError(f"run_id must be >= 0, got {self.run_id}")
+        if self.verdict not in ("pass", "warn", "fail"):
+            raise RecordError(f"unknown verdict {self.verdict!r}")
+        if not self.metrics:
+            raise RecordError(f"record {self.instance!r} has no metrics")
+
+    def to_json(self) -> str:
+        """One compact JSON line (no embedded newlines, sorted keys)."""
+        payload = asdict(self)
+        return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+    @classmethod
+    def from_json(cls, line: str) -> "RunRecord":
+        """Decode one trajectory line; raise :class:`RecordError` if torn."""
+        try:
+            payload = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise RecordError(f"undecodable trajectory line: {exc}") from exc
+        if not isinstance(payload, dict):
+            raise RecordError(
+                f"trajectory line is {type(payload).__name__}, not an object"
+            )
+        schema = payload.get("schema")
+        if not isinstance(schema, int) or schema < 1:
+            raise RecordError(f"bad schema marker {schema!r}")
+        if schema > SCHEMA_VERSION:
+            raise RecordError(
+                f"record schema {schema} is newer than this reader "
+                f"({SCHEMA_VERSION}); refusing to guess"
+            )
+        try:
+            metrics = {
+                name: MetricStats(**stats)
+                for name, stats in payload["metrics"].items()
+            }
+            return cls(
+                run_id=payload["run_id"],
+                check=payload["check"],
+                instance=payload["instance"],
+                area=payload["area"],
+                params=dict(payload["params"]),
+                metrics=metrics,
+                reps=payload["reps"],
+                warmup=payload["warmup"],
+                env=dict(payload["env"]),
+                timestamp=payload["timestamp"],
+                verdict=payload.get("verdict", "pass"),
+                details=dict(payload.get("details", {})),
+                schema=schema,
+            )
+        except (KeyError, TypeError, AttributeError) as exc:
+            raise RecordError(f"malformed trajectory record: {exc}") from exc
+
+    def metric_median(self, name: str) -> float:
+        return self.metrics[name].median
+
+    def summary(self) -> str:
+        """One human line: instance, headline metrics, verdict."""
+        parts = ", ".join(
+            f"{name}={stats.median:g}{' ' + stats.unit if stats.unit else ''}"
+            for name, stats in sorted(self.metrics.items())
+        )
+        return f"run {self.run_id} {self.instance}: {parts} [{self.verdict}]"
+
+
+def validate_record_payload(payload: Mapping[str, Any]) -> RunRecord:
+    """Dict -> record via the JSON path (the schema test entry point)."""
+    return RunRecord.from_json(json.dumps(payload))

@@ -1,0 +1,120 @@
+"""Rendering for ``perfreg run`` / ``report`` / ``baseline`` output."""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict
+from pathlib import Path
+from typing import Sequence
+
+from repro.perfreg.baseline import Baseline
+from repro.perfreg.harness import HarnessResult
+from repro.perfreg.trajectory import Trajectory
+
+__all__ = [
+    "render_baselines",
+    "render_result_json",
+    "render_result_text",
+    "render_trajectories_json",
+    "render_trajectories_text",
+]
+
+
+def render_result_text(result: HarnessResult) -> str:
+    """Human-readable run report: one line per instance, then a tally."""
+    lines = [outcome.summary() for outcome in result.outcomes]
+    graded = [o for o in result.outcomes if o.status == "graded"]
+    skipped = sum(o.status == "skipped" for o in result.outcomes)
+    voided = sum(o.status == "sanity_failed" for o in result.outcomes)
+    tally = (
+        f"{len(graded)} graded"
+        f" ({sum(o.verdict == 'pass' for o in graded)} pass, "
+        f"{sum(o.verdict == 'warn' for o in graded)} warn, "
+        f"{sum(o.verdict == 'fail' for o in graded)} fail)"
+    )
+    if skipped:
+        tally += f", {skipped} skipped"
+    if voided:
+        tally += f", {voided} sanity-failed"
+    lines.append(f"perfreg: {tally} -> {result.verdict} "
+                 f"(exit {result.exit_code})")
+    return "\n".join(lines)
+
+
+def render_result_json(result: HarnessResult) -> str:
+    """Machine-readable run report (schema mirrors the record layer)."""
+    payload = {
+        "verdict": result.verdict,
+        "exit_code": result.exit_code,
+        "env": result.env,
+        "outcomes": [
+            {
+                "instance": o.instance_id,
+                "area": o.area,
+                "status": o.status,
+                "verdict": o.verdict,
+                "reason": o.reason,
+                "record": (
+                    json.loads(o.record.to_json()) if o.record else None
+                ),
+            }
+            for o in result.outcomes
+        ],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def render_trajectories_text(
+    trajectories: Sequence[Trajectory], *, last: int = 10
+) -> str:
+    """Per-file history: the most recent ``last`` records, one line each."""
+    blocks: list[str] = []
+    for trajectory in trajectories:
+        lines = [f"{Path(trajectory.path).name}: "
+                 f"{len(trajectory.records)} records"]
+        for lineno, reason in trajectory.skipped:
+            lines.append(f"  ! line {lineno} skipped: {reason}")
+        for record in trajectory.records[-last:]:
+            lines.append("  " + record.summary())
+        blocks.append("\n".join(lines))
+    return "\n\n".join(blocks) if blocks else "no trajectories recorded yet"
+
+
+def render_trajectories_json(
+    trajectories: Sequence[Trajectory], *, last: int = 10
+) -> str:
+    payload = [
+        {
+            "path": str(t.path),
+            "records": [
+                json.loads(r.to_json()) for r in t.records[-last:]
+            ],
+            "skipped_lines": [
+                {"line": lineno, "reason": reason}
+                for lineno, reason in t.skipped
+            ],
+            "total_records": len(t.records),
+        }
+        for t in trajectories
+    ]
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def render_baselines(
+    baselines: Sequence[Baseline], *, as_json: bool = False
+) -> str:
+    """Current rolling baselines, one line (or object) per metric."""
+    if as_json:
+        return json.dumps(
+            [asdict(b) for b in baselines], indent=2, sort_keys=True
+        )
+    if not baselines:
+        return "no baselines yet (no green history on file)"
+    width = max(len(b.instance) for b in baselines)
+    lines = [
+        f"{b.instance:<{width}}  {b.metric:<16} {b.value:>12g}  "
+        f"({b.direction}, median of {b.window} green run(s): "
+        f"ids {', '.join(str(i) for i in b.run_ids)})"
+        for b in baselines
+    ]
+    return "\n".join(lines)

@@ -1,0 +1,230 @@
+"""The append-only ``BENCH_<area>.json`` trajectory store.
+
+Layout: JSON Lines — one :class:`~repro.perfreg.record.RunRecord`
+object per line, oldest first.  Three invariants, all property-tested
+in ``tests/perfreg/test_trajectory.py``:
+
+* **Atomic append.**  A writer never mutates the live file in place:
+  it reads the current history, writes history + new records to a
+  temp file in the same directory, then ``os.replace``\\ s it over the
+  target.  A reader (or a crash) can therefore never observe a
+  half-written *history* — at worst the final line of a pre-perfreg
+  writer is torn, which the loader tolerates.
+* **Serialised writers.**  The read-modify-replace cycle runs under an
+  ``O_CREAT | O_EXCL`` lock file (with stale-lock expiry), so two
+  concurrent appenders cannot lose each other's records.
+* **Monotone run ids.**  ``next_run_id`` is 1 + the max id on file;
+  ids never repeat and never decrease down the file.
+
+Corruption policy: a truncated or undecodable **last** line (torn
+write, disk-full) is skipped with a note and history before it
+survives.  Undecodable lines *before* the last are reported the same
+way — data loss is logged, never silently absorbed into a verdict.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.exceptions import ReproError
+from repro.perfreg.record import RecordError, RunRecord
+
+__all__ = [
+    "Trajectory",
+    "TrajectoryLockError",
+    "append_record",
+    "append_records",
+    "bench_path",
+    "load_records",
+    "load_trajectory",
+    "next_run_id",
+]
+
+#: Seconds after which a writer lock is presumed orphaned (a crashed
+#: writer) and broken.  Appends are milliseconds of work; a minute is
+#: conservative by three orders of magnitude.
+_LOCK_STALE_S = 60.0
+
+#: Seconds a writer waits for the lock before giving up.
+_LOCK_TIMEOUT_S = 30.0
+
+
+class TrajectoryLockError(ReproError):
+    """Could not acquire the trajectory writer lock in time."""
+
+
+def bench_path(root: str | os.PathLike[str], area: str) -> Path:
+    """``<root>/BENCH_<area>.json`` — the per-area trajectory file."""
+    if not area or any(ch in area for ch in "/\\. "):
+        raise ValueError(f"bad trajectory area {area!r}")
+    return Path(root) / f"BENCH_{area}.json"
+
+
+@dataclass(frozen=True)
+class Trajectory:
+    """Decoded history of one ``BENCH_*.json`` file."""
+
+    path: Path
+    records: tuple[RunRecord, ...]
+    #: (line number, reason) for lines that failed to decode.
+    skipped: tuple[tuple[int, str], ...] = field(default_factory=tuple)
+
+    def last_green(
+        self, instance: str, *, limit: int
+    ) -> tuple[RunRecord, ...]:
+        """Up to ``limit`` most recent ``pass`` records for an instance."""
+        green = [
+            record
+            for record in self.records
+            if record.instance == instance and record.verdict == "pass"
+        ]
+        return tuple(green[-limit:])
+
+    def instances(self) -> tuple[str, ...]:
+        seen: dict[str, None] = {}
+        for record in self.records:
+            seen.setdefault(record.instance, None)
+        return tuple(seen)
+
+
+def load_trajectory(path: str | os.PathLike[str]) -> Trajectory:
+    """Decode a trajectory file, tolerating a torn/corrupt tail.
+
+    Missing file -> empty trajectory (the first-run bootstrap path).
+    """
+    target = Path(path)
+    if not target.exists():
+        return Trajectory(path=target, records=())
+    records: list[RunRecord] = []
+    skipped: list[tuple[int, str]] = []
+    with target.open("r", encoding="utf-8") as handle:
+        for lineno, line in enumerate(handle, start=1):
+            stripped = line.strip()
+            if not stripped:
+                continue
+            try:
+                records.append(RunRecord.from_json(stripped))
+            except RecordError as exc:
+                skipped.append((lineno, str(exc)))
+    return Trajectory(
+        path=target, records=tuple(records), skipped=tuple(skipped)
+    )
+
+
+def load_records(path: str | os.PathLike[str]) -> tuple[RunRecord, ...]:
+    """Just the decodable records of a trajectory file."""
+    return load_trajectory(path).records
+
+
+def next_run_id(records: Iterable[RunRecord]) -> int:
+    """1 + the largest run id on file (1 for an empty/missing file)."""
+    largest = 0
+    for record in records:
+        largest = max(largest, record.run_id)
+    return largest + 1
+
+
+def _acquire_lock(lock_path: Path, *, timeout: float) -> None:
+    deadline = time.monotonic() + timeout
+    while True:
+        try:
+            fd = os.open(lock_path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        except FileExistsError:
+            try:
+                age = time.time() - lock_path.stat().st_mtime
+            except FileNotFoundError:
+                continue  # holder just released; retry immediately
+            if age > _LOCK_STALE_S:
+                # Orphaned lock (crashed writer): break it and retry.
+                try:
+                    lock_path.unlink()
+                except FileNotFoundError:
+                    pass
+                continue
+            if time.monotonic() >= deadline:
+                raise TrajectoryLockError(
+                    f"timed out after {timeout:g}s waiting for "
+                    f"{lock_path} (held {age:.1f}s)"
+                )
+            time.sleep(0.01)
+        else:
+            os.write(fd, str(os.getpid()).encode("ascii"))
+            os.close(fd)
+            return
+
+
+def _release_lock(lock_path: Path) -> None:
+    try:
+        lock_path.unlink()
+    except FileNotFoundError:  # pragma: no cover - stale-broken by a peer
+        pass
+
+
+def append_records(
+    path: str | os.PathLike[str],
+    records: Sequence[RunRecord],
+    *,
+    timeout: float = _LOCK_TIMEOUT_S,
+) -> tuple[RunRecord, ...]:
+    """Atomically append ``records`` to a trajectory file.
+
+    Each record's ``run_id`` is rewritten to the next id on file at
+    append time (ids are an on-file property, not a caller promise —
+    that is what keeps them monotone under concurrent writers).
+    Returns the records as written.  The whole read-modify-replace
+    cycle holds the writer lock; the replace itself is ``os.replace``
+    on a temp file created in the target's directory, so readers see
+    either the old file or the new one, never a mixture.
+    """
+    if not records:
+        return ()
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    lock_path = target.with_name(target.name + ".lock")
+    _acquire_lock(lock_path, timeout=timeout)
+    try:
+        existing = load_trajectory(target)
+        run_id = next_run_id(existing.records)
+        written: list[RunRecord] = []
+        for offset, record in enumerate(records):
+            written.append(
+                RunRecord(
+                    run_id=run_id + offset,
+                    check=record.check,
+                    instance=record.instance,
+                    area=record.area,
+                    params=record.params,
+                    metrics=record.metrics,
+                    reps=record.reps,
+                    warmup=record.warmup,
+                    env=record.env,
+                    timestamp=record.timestamp,
+                    verdict=record.verdict,
+                    details=record.details,
+                    schema=record.schema,
+                )
+            )
+        tmp_path = target.with_name(
+            f".{target.name}.{os.getpid()}.{time.monotonic_ns()}.tmp"
+        )
+        lines = [record.to_json() for record in existing.records]
+        lines.extend(record.to_json() for record in written)
+        tmp_path.write_text("".join(line + "\n" for line in lines), "utf-8")
+        os.replace(tmp_path, target)
+        return tuple(written)
+    finally:
+        _release_lock(lock_path)
+
+
+def append_record(
+    path: str | os.PathLike[str],
+    record: RunRecord,
+    *,
+    timeout: float = _LOCK_TIMEOUT_S,
+) -> RunRecord:
+    """Append one record (see :func:`append_records`)."""
+    return append_records(path, [record], timeout=timeout)[0]

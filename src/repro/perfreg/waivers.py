@@ -1,0 +1,116 @@
+"""Reasoned waivers for known regressions.
+
+Sometimes a regression is real, understood, and accepted for now (a
+dependency upgrade, a correctness fix that costs throughput).  The
+harness must not teach people to delete checks or inflate tolerances;
+instead a waiver downgrades a specific ``fail`` to ``warn`` — visibly,
+with a mandatory reason, exactly like replint's
+``# replint: ignore[RLnnn] -- reason`` discipline.
+
+Waiver file (default ``.perfreg-waivers`` at the trajectory root), one
+waiver per line::
+
+    <instance-glob> <metric-glob> -- <reason>
+
+    # comments and blank lines are skipped
+    service.closed_loop[workers=4] throughput_rps -- runner downgraded to 2 cores, tracked in ROADMAP item 1
+    cachesim.* * -- numpy 2.x upgrade costs ~15%, accepted 2026-08-08
+
+A waiver without a reason is a hard error — an unexplained waiver is
+just a deleted check with extra steps.  Waivers never touch ``warn``
+or ``pass`` verdicts and never hide the regression: the waived verdict
+keeps the measured ratio and gains the waiver's reason.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fnmatch import fnmatchcase
+from pathlib import Path
+from typing import Sequence
+
+from repro.exceptions import ReproError
+
+__all__ = [
+    "Waiver",
+    "WaiverError",
+    "find_waiver",
+    "load_waivers",
+    "parse_waiver_line",
+]
+
+#: Default waiver file name, resolved against the trajectory root.
+WAIVER_FILENAME = ".perfreg-waivers"
+
+
+class WaiverError(ReproError):
+    """A waiver line is malformed (usually: missing ``-- reason``)."""
+
+
+@dataclass(frozen=True)
+class Waiver:
+    """One ``fail -> warn`` downgrade rule with its justification."""
+
+    instance_pattern: str
+    metric_pattern: str
+    reason: str
+
+    def matches(self, instance: str, metric: str) -> bool:
+        return fnmatchcase(instance, self.instance_pattern) and fnmatchcase(
+            metric, self.metric_pattern
+        )
+
+
+def parse_waiver_line(line: str, *, lineno: int = 0) -> Waiver | None:
+    """One line -> a waiver, ``None`` for blanks/comments.
+
+    Grammar: ``<instance-glob> <metric-glob> -- <reason>``; the reason
+    is mandatory and must be non-empty after stripping.
+    """
+    stripped = line.strip()
+    if not stripped or stripped.startswith("#"):
+        return None
+    where = f"waiver line {lineno}" if lineno else "waiver line"
+    head, sep, reason = stripped.partition("--")
+    if not sep:
+        raise WaiverError(
+            f"{where}: missing ' -- reason' (an unexplained waiver is a "
+            f"deleted check with extra steps): {stripped!r}"
+        )
+    reason = reason.strip()
+    if not reason:
+        raise WaiverError(f"{where}: empty reason after '--': {stripped!r}")
+    fields = head.split()
+    if len(fields) != 2:
+        raise WaiverError(
+            f"{where}: expected '<instance-glob> <metric-glob> -- reason', "
+            f"got {stripped!r}"
+        )
+    return Waiver(
+        instance_pattern=fields[0], metric_pattern=fields[1], reason=reason
+    )
+
+
+def load_waivers(path: str | Path) -> tuple[Waiver, ...]:
+    """Parse a waiver file; a missing file is an empty waiver set."""
+    target = Path(path)
+    if not target.exists():
+        return ()
+    waivers: list[Waiver] = []
+    for lineno, line in enumerate(
+        target.read_text("utf-8").splitlines(), start=1
+    ):
+        waiver = parse_waiver_line(line, lineno=lineno)
+        if waiver is not None:
+            waivers.append(waiver)
+    return tuple(waivers)
+
+
+def find_waiver(
+    waivers: Sequence[Waiver], instance: str, metric: str
+) -> Waiver | None:
+    """First waiver covering (instance, metric), or ``None``."""
+    for waiver in waivers:
+        if waiver.matches(instance, metric):
+            return waiver
+    return None

@@ -43,6 +43,7 @@ from repro.units import to_milliseconds
 
 __all__ = [
     "LoadReport",
+    "arrival_schedule",
     "build_requests",
     "run_closed_loop",
     "run_open_loop",
@@ -90,6 +91,11 @@ class LoadReport:
     workload: str = "scalar"
     offered_rps: float = 0.0
     workers: int = 0
+    #: Per-request latencies in issue order, milliseconds.  Percentiles
+    #: compress the story; the raw series is what lets a caller see
+    #: queueing *build* (open-loop backlog grows latency monotonically
+    #: along the stream — tested in tests/service/test_loadgen_edge.py).
+    latencies_ms: tuple[float, ...] = ()
 
     def describe(self) -> str:
         """Human-readable report block for the CLI."""
@@ -246,6 +252,27 @@ def build_requests(
     return requests
 
 
+def arrival_schedule(
+    rate: float, requests: int, *, seed: int = _DEFAULT_SEED
+) -> np.ndarray:
+    """Cumulative Poisson arrival instants (seconds from run start).
+
+    One seeded exponential draw (``np.random.default_rng`` — the RL003
+    discipline), so the same ``(rate, requests, seed)`` triple yields a
+    bit-identical schedule in every process on every platform; the
+    cross-process determinism is pinned in
+    ``tests/service/test_loadgen_edge.py``.  This is the schedule
+    :func:`run_open_loop` fires — exposed so tests and capacity
+    planning can inspect the offered load without running a server.
+    """
+    if requests < 0:
+        raise ValueError(f"requests must be >= 0, got {requests}")
+    if not rate > 0:
+        raise ValueError(f"rate must be positive, got {rate!r}")
+    rng = np.random.default_rng(seed)
+    return np.cumsum(rng.exponential(1.0 / rate, requests))
+
+
 def _finish_report(
     server: ModelServer,
     latencies: np.ndarray,
@@ -266,9 +293,9 @@ def _finish_report(
         errors=errors,
         concurrency=concurrency,
         duration=duration,
-        throughput=requests / duration,
-        p50_ms=float(ordered[int(0.50 * (requests - 1))]),
-        p99_ms=float(ordered[int(0.99 * (requests - 1))]),
+        throughput=requests / duration if duration > 0 else 0.0,
+        p50_ms=float(ordered[int(0.50 * (requests - 1))]) if requests else 0.0,
+        p99_ms=float(ordered[int(0.99 * (requests - 1))]) if requests else 0.0,
         mean_batch=float(batch_hist.get("mean", 0.0)),
         max_batch=int(batch_hist.get("max", 0) or 0),
         engine_calls=int(stats["engine_batch_calls"]),
@@ -278,6 +305,7 @@ def _finish_report(
         workload=workload,
         offered_rps=offered_rps,
         workers=int(stats["config"].get("workers", 0)),
+        latencies_ms=tuple(to_milliseconds(latencies).tolist()),
     )
 
 
@@ -299,8 +327,8 @@ async def run_closed_loop(
     :class:`~repro.service.client.AsyncServiceClient` to include the
     TCP+JSON wire in the measurement.
     """
-    if requests < 1 or concurrency < 1:
-        raise ValueError("requests and concurrency must be >= 1")
+    if requests < 0 or concurrency < 1:
+        raise ValueError("requests must be >= 0 and concurrency >= 1")
     client = client or InProcessClient(server)
     bodies = build_requests(
         requests,
@@ -373,10 +401,6 @@ async def run_open_loop(
     count, which closed-loop generators structurally cannot see
     (coordinated omission).
     """
-    if requests < 1:
-        raise ValueError("requests must be >= 1")
-    if not rate > 0:
-        raise ValueError(f"rate must be positive, got {rate!r}")
     client = client or InProcessClient(server)
     bodies = build_requests(
         requests,
@@ -392,8 +416,7 @@ async def run_open_loop(
     if server.pool is not None:
         # Measure steady state, not the ~1 s/worker cold boot.
         await server.pool.ready()
-    rng = np.random.default_rng(seed)
-    arrivals = np.cumsum(rng.exponential(1.0 / rate, requests))
+    arrivals = arrival_schedule(rate, requests, seed=seed)
     latencies = np.empty(requests, dtype=float)
     errors = 0
     call = client.call
@@ -424,7 +447,9 @@ async def run_open_loop(
         duration=duration,
         mode="open",
         workload=workload,
-        offered_rps=requests / float(arrivals[-1]),
+        offered_rps=(
+            requests / float(arrivals[-1]) if requests else 0.0
+        ),
     )
 
 

@@ -104,6 +104,20 @@ def to_milliseconds(seconds: float) -> float:
     return seconds / MILLI
 
 
+#: Divisor between a percentage and its dimensionless ratio.
+PERCENT: Final[float] = 100.0
+
+
+def percent(pct: float) -> float:
+    """Convert a percentage to a dimensionless ratio (CLI boundary helper)."""
+    return pct / PERCENT
+
+
+def to_percent(ratio: float) -> float:
+    """Convert a dimensionless ratio to a percentage (display unit)."""
+    return ratio * PERCENT
+
+
 def joules_per_flop_to_gflops_per_joule(epsilon: float) -> float:
     """Energy per flop (J) -> energy efficiency (GFLOP/J).
 

@@ -1,0 +1,88 @@
+"""Shared fixtures for the perfreg harness's own test suite.
+
+Everything here exercises the harness through its two injection
+points — ``registry=`` (synthetic checks instead of the real
+benchmark suite) and ``clock=`` (fabricated time) — so these tests
+are fast and deterministic regardless of machine mood.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+import pytest
+
+from repro.perfreg import Metric, PerfCheck, RunRecord
+from repro.perfreg.check import LOWER_IS_BETTER
+from repro.perfreg.record import MetricStats
+
+
+class FakeClock:
+    """A clock that advances by ``step`` seconds per reading.
+
+    ``CheckContext.elapsed`` reads the clock twice, so a timed section
+    measured on this clock always takes exactly ``step`` seconds —
+    doubling ``step`` *is* a 2x slowdown.
+    """
+
+    def __init__(self, step: float = 1.0) -> None:
+        self.t = 0.0
+        self.step = step
+
+    def __call__(self) -> float:
+        self.t += self.step
+        return self.t
+
+
+class TimedCheck(PerfCheck):
+    """Times a no-op on the context clock (lower is better)."""
+
+    name = "synthetic.sleepy"
+    area = "synthetic"
+    metrics = (Metric("elapsed_s", "s", LOWER_IS_BETTER),)
+
+    def run(self, ctx) -> Mapping[str, float]:
+        dt, _ = ctx.elapsed(lambda: None)
+        return {"elapsed_s": dt}
+
+
+@pytest.fixture
+def fake_clock() -> FakeClock:
+    return FakeClock()
+
+
+@pytest.fixture
+def timed_registry() -> dict[str, type]:
+    return {TimedCheck.name: TimedCheck}
+
+
+def make_record(
+    *,
+    run_id: int = 1,
+    instance: str = "synthetic.sleepy",
+    metric: str = "elapsed_s",
+    value: float = 1.0,
+    iqr: float = 0.0,
+    direction: str = LOWER_IS_BETTER,
+    verdict: str = "pass",
+    env: dict[str, Any] | None = None,
+    area: str = "synthetic",
+) -> RunRecord:
+    """One minimal, schema-valid trajectory record."""
+    return RunRecord(
+        run_id=run_id,
+        check=instance.partition("[")[0],
+        instance=instance,
+        area=area,
+        params={},
+        metrics={
+            metric: MetricStats(
+                median=value, iqr=iqr, unit="s", direction=direction
+            )
+        },
+        reps=3,
+        warmup=1,
+        env=env if env is not None else {},
+        timestamp="2026-08-08T00:00:00+00:00",
+        verdict=verdict,
+    )

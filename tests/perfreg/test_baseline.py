@@ -1,0 +1,185 @@
+"""Rolling-baseline math, tolerance bands, and verdict mapping."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.perfreg import (
+    Tolerance,
+    exit_code,
+    rolling_baseline,
+    verdict_for,
+)
+from repro.perfreg.baseline import regression_ratio, worst
+from repro.perfreg.check import HIGHER_IS_BETTER, LOWER_IS_BETTER
+
+from tests.perfreg.conftest import make_record
+
+
+def _history(values, *, verdicts=None, start_id=1):
+    verdicts = verdicts or ["pass"] * len(values)
+    return [
+        make_record(run_id=start_id + i, value=v, verdict=verdict)
+        for i, (v, verdict) in enumerate(zip(values, verdicts))
+    ]
+
+
+class TestRollingBaseline:
+    def test_median_of_green_medians(self):
+        records = _history([1.0, 3.0, 2.0])
+        base = rolling_baseline(records, "synthetic.sleepy", "elapsed_s")
+        assert base is not None
+        assert base.value == 2.0
+        assert base.run_ids == (1, 2, 3)
+
+    def test_only_green_runs_count(self):
+        records = _history(
+            [1.0, 100.0, 1.2], verdicts=["pass", "fail", "pass"]
+        )
+        base = rolling_baseline(records, "synthetic.sleepy", "elapsed_s")
+        assert base.value == pytest.approx(1.1)
+        assert base.run_ids == (1, 3)
+
+    def test_window_keeps_only_the_last_k(self):
+        records = _history([10.0, 10.0, 1.0, 1.0, 1.0])
+        base = rolling_baseline(
+            records, "synthetic.sleepy", "elapsed_s", window=3
+        )
+        assert base.value == 1.0
+        assert base.run_ids == (3, 4, 5)
+        assert base.window == 3
+
+    def test_no_history_bootstraps_to_none(self):
+        assert (
+            rolling_baseline([], "synthetic.sleepy", "elapsed_s") is None
+        )
+
+    def test_other_instances_and_metrics_are_invisible(self):
+        records = _history([1.0]) + [
+            make_record(run_id=2, instance="synthetic.other", value=50.0),
+            make_record(run_id=3, metric="other_metric", value=50.0),
+        ]
+        base = rolling_baseline(records, "synthetic.sleepy", "elapsed_s")
+        assert base.value == 1.0
+
+    def test_env_filter_drops_incomparable_history(self):
+        big = {"cpu_count": 16, "usable_cores": 16, "python": "3.12.1",
+               "implementation": "cpython", "platform": "linux"}
+        small = dict(big, cpu_count=2, usable_cores=2)
+        records = [
+            make_record(run_id=1, value=1.0, env=big),
+            make_record(run_id=2, value=9.0, env=small),
+        ]
+        base = rolling_baseline(
+            records, "synthetic.sleepy", "elapsed_s", env=small
+        )
+        assert base.value == 9.0
+        assert base.run_ids == (2,)
+
+    def test_env_none_grades_against_everything(self):
+        records = [
+            make_record(run_id=1, value=1.0, env={"cpu_count": 16}),
+            make_record(run_id=2, value=3.0, env={"cpu_count": 2}),
+        ]
+        base = rolling_baseline(records, "synthetic.sleepy", "elapsed_s")
+        assert base.run_ids == (1, 2)
+
+    def test_window_must_be_positive(self):
+        with pytest.raises(ValueError, match="window"):
+            rolling_baseline([], "x", "y", window=0)
+
+
+class TestRegressionRatio:
+    def test_lower_is_better_rise_is_positive(self):
+        assert regression_ratio(2.0, 1.0, LOWER_IS_BETTER) == 1.0
+        assert regression_ratio(0.5, 1.0, LOWER_IS_BETTER) == -0.5
+
+    def test_higher_is_better_drop_is_positive(self):
+        assert regression_ratio(50.0, 100.0, HIGHER_IS_BETTER) == 0.5
+        assert regression_ratio(150.0, 100.0, HIGHER_IS_BETTER) == -0.5
+
+    def test_zero_baseline_grades_neutral(self):
+        assert regression_ratio(5.0, 0.0, LOWER_IS_BETTER) == 0.0
+
+    def test_unknown_direction_rejected(self):
+        with pytest.raises(ValueError):
+            regression_ratio(1.0, 1.0, "sideways")
+
+
+class TestVerdictBands:
+    def _grade(self, value, baseline_value=1.0):
+        records = _history([baseline_value])
+        base = rolling_baseline(records, "synthetic.sleepy", "elapsed_s")
+        return verdict_for(
+            value,
+            base,
+            instance="synthetic.sleepy",
+            metric="elapsed_s",
+            direction=LOWER_IS_BETTER,
+            tolerance=Tolerance(warn_ratio=0.10, fail_ratio=0.25),
+        )
+
+    def test_inside_warn_band_passes(self):
+        assert self._grade(1.05).verdict == "pass"
+        assert self._grade(1.09375).verdict == "pass"
+
+    def test_between_warn_and_fail_warns(self):
+        verdict = self._grade(1.20)
+        assert verdict.verdict == "warn"
+        assert "warn band" in verdict.reason
+        # The fail edge itself still warns (<=, not <); 0.25 is exactly
+        # representable so this really is the edge.
+        assert self._grade(1.25).verdict == "warn"
+
+    def test_beyond_fail_threshold_fails(self):
+        verdict = self._grade(2.0)
+        assert verdict.verdict == "fail"
+        assert verdict.ratio == pytest.approx(1.0)
+        assert "fail threshold" in verdict.reason
+
+    def test_improvement_always_passes(self):
+        assert self._grade(0.1).verdict == "pass"
+
+    def test_bootstrap_passes_with_reason(self):
+        verdict = verdict_for(
+            5.0,
+            None,
+            instance="synthetic.sleepy",
+            metric="elapsed_s",
+            direction=LOWER_IS_BETTER,
+        )
+        assert verdict.verdict == "pass"
+        assert verdict.baseline is None
+        assert "bootstrap" in verdict.reason
+
+
+class TestExitCodes:
+    def test_contract(self):
+        assert exit_code("pass") == 0
+        assert exit_code("warn") == 1
+        assert exit_code("fail") == 2
+
+    def test_unknown_verdict_is_a_hard_error(self):
+        with pytest.raises(KeyError):
+            exit_code("maybe")
+
+    def test_worst_takes_the_most_severe(self):
+        assert worst([]) == "pass"
+        assert worst(["pass", "pass"]) == "pass"
+        assert worst(["pass", "warn"]) == "warn"
+        assert worst(["warn", "fail", "pass"]) == "fail"
+
+
+class TestTolerance:
+    def test_defaults_are_the_documented_band(self):
+        tolerance = Tolerance()
+        assert tolerance.warn_ratio == pytest.approx(0.10)
+        assert tolerance.fail_ratio == pytest.approx(0.25)
+
+    def test_rejects_inverted_band(self):
+        with pytest.raises(ValueError):
+            Tolerance(warn_ratio=0.5, fail_ratio=0.25)
+
+    def test_rejects_negative_band(self):
+        with pytest.raises(ValueError):
+            Tolerance(warn_ratio=-0.1, fail_ratio=0.25)

@@ -1,0 +1,190 @@
+"""``repro perfreg`` end-to-end through ``main()``.
+
+The ISSUE's acceptance criterion, demonstrated rather than hand-run:
+``repro perfreg run`` against a fresh root produces
+``BENCH_batch.json``, ``BENCH_cachesim.json`` and
+``BENCH_service.json`` with schema-valid records.  One real check per
+area keeps this under a few seconds; the verdict machinery itself is
+exercised exhaustively on fake clocks in ``test_harness.py``.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.perfreg import SCHEMA_VERSION, load_records
+from repro.perfreg.trajectory import load_trajectory
+
+#: One cheap check per trajectory area.
+AREA_CHECKS = (
+    "batch.sweep",
+    "cachesim.fmm_batch_lru",
+    "service.closed_loop[workers=0]",
+)
+
+
+def _run_cli(capsys, *argv: str) -> tuple[int, str, str]:
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out, captured.err
+
+
+def _perfreg_run(capsys, root, *extra: str) -> tuple[int, str, str]:
+    argv = ["perfreg", "run", "--root", str(root), "--reps", "1",
+            "--warmup", "0"]
+    for pattern in AREA_CHECKS:
+        argv += ["--checks", pattern]
+    return _run_cli(capsys, *argv, *extra)
+
+
+@pytest.fixture(scope="class")
+def seeded_root(tmp_path_factory):
+    """One real ``perfreg run`` over all three areas, shared per class."""
+    root = tmp_path_factory.mktemp("perfreg-root")
+    argv = ["perfreg", "run", "--root", str(root), "--reps", "1",
+            "--warmup", "0"]
+    for pattern in AREA_CHECKS:
+        argv += ["--checks", pattern]
+    code = main(argv)
+    assert code == 0
+    return root
+
+
+class TestRunProducesTrajectories(object):
+    def test_all_three_bench_files_exist(self, seeded_root):
+        names = sorted(p.name for p in seeded_root.iterdir())
+        assert names == [
+            "BENCH_batch.json",
+            "BENCH_cachesim.json",
+            "BENCH_service.json",
+        ]
+
+    def test_records_are_schema_valid(self, seeded_root):
+        for name in ("batch", "cachesim", "service"):
+            trajectory = load_trajectory(
+                seeded_root / f"BENCH_{name}.json"
+            )
+            assert trajectory.skipped == ()
+            (record,) = trajectory.records
+            assert record.schema == SCHEMA_VERSION
+            assert record.run_id == 1
+            assert record.area == name
+            assert record.verdict == "pass"  # bootstrap run
+            assert record.metrics  # every declared metric, finite stats
+            assert record.env["git_sha"]
+            assert record.reps == 1 and record.warmup == 0
+
+    def test_batch_record_carries_the_speedup_metric(self, seeded_root):
+        (record,) = load_records(seeded_root / "BENCH_batch.json")
+        assert record.instance == "batch.sweep[points=10000]"
+        assert record.metrics["speedup"].direction == "higher_is_better"
+        assert record.metrics["speedup"].median > 1.0
+
+    def test_second_run_grades_against_the_first(
+        self, seeded_root, capsys
+    ):
+        # Single-rep timings are noisy, so the band here is effectively
+        # unbounded: this test is about "grading against run 1 happened
+        # and was recorded", not about machine mood (the band logic is
+        # pinned down on fake clocks in test_harness.py).
+        code, out, _ = _perfreg_run(
+            capsys, seeded_root, "--warn-pct", "1e6", "--fail-pct", "1e7"
+        )
+        assert code == 0
+        assert "PASS" in out
+        records = load_records(seeded_root / "BENCH_batch.json")
+        assert [r.run_id for r in records] == [1, 2]
+        assert "vs" in records[-1].details["speedup"]["reason"] or (
+            records[-1].details["speedup"]["baseline"] is not None
+        )
+
+
+class TestReportAndBaseline:
+    def test_report_lists_recorded_runs(self, seeded_root, capsys):
+        code, out, _ = _run_cli(
+            capsys, "perfreg", "report", "--root", str(seeded_root)
+        )
+        assert code == 0
+        assert "batch.sweep[points=10000]" in out
+        assert "cachesim.fmm_batch_lru" in out
+
+    def test_report_json_is_machine_readable(self, seeded_root, capsys):
+        code, out, _ = _run_cli(
+            capsys, "perfreg", "report", "--root", str(seeded_root),
+            "--json",
+        )
+        assert code == 0
+        payload = json.loads(out)
+        assert payload  # at least one trajectory with records
+
+    def test_baseline_table_after_green_history(self, seeded_root, capsys):
+        code, out, _ = _run_cli(
+            capsys, "perfreg", "baseline", "--root", str(seeded_root),
+            "--checks", "batch.sweep",
+        )
+        assert code == 0
+        assert "batch.sweep[points=10000]" in out
+
+    def test_baseline_json(self, seeded_root, capsys):
+        code, out, _ = _run_cli(
+            capsys, "perfreg", "baseline", "--root", str(seeded_root),
+            "--checks", "batch.sweep", "--json",
+        )
+        assert code == 0
+        rows = json.loads(out)
+        assert any(row["metric"] == "speedup" for row in rows)
+
+
+class TestUsageErrors:
+    def test_unknown_check_pattern_exits_2(self, tmp_path, capsys):
+        code, _, err = _run_cli(
+            capsys, "perfreg", "run", "--root", str(tmp_path),
+            "--checks", "no.such.check", "--reps", "1",
+        )
+        assert code == 2
+        assert "error:" in err
+        assert "no.such.check" in err
+        assert list(tmp_path.iterdir()) == []  # nothing written
+
+    def test_bad_window_exits_2(self, tmp_path, capsys):
+        code, _, err = _run_cli(
+            capsys, "perfreg", "run", "--root", str(tmp_path),
+            "--window", "0",
+        )
+        assert code == 2
+        assert "--window" in err
+
+    def test_inverted_tolerance_exits_2(self, tmp_path, capsys):
+        code, _, err = _run_cli(
+            capsys, "perfreg", "run", "--root", str(tmp_path),
+            "--checks", "batch.sweep", "--reps", "1",
+            "--warn-pct", "50", "--fail-pct", "10",
+        )
+        assert code == 2
+        assert "warn_ratio" in err
+
+    def test_malformed_waiver_file_exits_2(self, tmp_path, capsys):
+        waivers = tmp_path / "waivers"
+        waivers.write_text("batch.sweep speedup\n")  # no '-- reason'
+        code, _, err = _run_cli(
+            capsys, "perfreg", "run", "--root", str(tmp_path),
+            "--checks", "batch.sweep", "--reps", "1",
+            "--waivers", str(waivers),
+        )
+        assert code == 2
+        assert "reason" in err
+
+
+class TestDryRun:
+    def test_dry_run_writes_no_trajectory(self, tmp_path, capsys):
+        code, out, _ = _run_cli(
+            capsys, "perfreg", "run", "--root", str(tmp_path),
+            "--checks", "batch.sweep", "--reps", "1", "--warmup", "0",
+            "--dry-run",
+        )
+        assert code == 0
+        assert "batch.sweep" in out
+        assert list(tmp_path.iterdir()) == []

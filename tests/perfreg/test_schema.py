@@ -1,0 +1,144 @@
+"""Record schema: JSON round-trip, versioning, and rep statistics."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.perfreg import RunRecord, SCHEMA_VERSION
+from repro.perfreg.check import LOWER_IS_BETTER
+from repro.perfreg.record import (
+    MetricStats,
+    RecordError,
+    metric_stats,
+    validate_record_payload,
+)
+
+from tests.perfreg.conftest import make_record
+
+
+class TestRoundTrip:
+    def test_to_json_from_json_is_identity(self):
+        record = make_record(run_id=7, value=1.25, iqr=0.5)
+        assert RunRecord.from_json(record.to_json()) == record
+
+    def test_line_is_single_compact_and_sorted(self):
+        line = make_record().to_json()
+        assert "\n" not in line
+        payload = json.loads(line)
+        assert list(payload) == sorted(payload)
+        assert payload["schema"] == SCHEMA_VERSION
+
+    def test_validate_record_payload_round_trips_a_dict(self):
+        payload = json.loads(make_record(run_id=3).to_json())
+        assert validate_record_payload(payload).run_id == 3
+
+    def test_unknown_extra_keys_are_tolerated(self):
+        payload = json.loads(make_record().to_json())
+        payload["future_note"] = "ignored"
+        record = validate_record_payload(payload)
+        assert record.instance == "synthetic.sleepy"
+
+    def test_missing_optional_fields_default(self):
+        payload = json.loads(make_record().to_json())
+        del payload["verdict"], payload["details"]
+        record = validate_record_payload(payload)
+        assert record.verdict == "pass"
+        assert record.details == {}
+
+
+class TestRejection:
+    def test_undecodable_line(self):
+        with pytest.raises(RecordError, match="undecodable"):
+            RunRecord.from_json('{"run_id": 1, "chec')
+
+    def test_non_object_line(self):
+        with pytest.raises(RecordError, match="not an object"):
+            RunRecord.from_json("[1, 2, 3]")
+
+    def test_schema_from_the_future(self):
+        payload = json.loads(make_record().to_json())
+        payload["schema"] = SCHEMA_VERSION + 1
+        with pytest.raises(RecordError, match="newer"):
+            validate_record_payload(payload)
+
+    def test_bad_schema_marker(self):
+        payload = json.loads(make_record().to_json())
+        payload["schema"] = "one"
+        with pytest.raises(RecordError, match="schema marker"):
+            validate_record_payload(payload)
+
+    def test_missing_required_key(self):
+        payload = json.loads(make_record().to_json())
+        del payload["metrics"]
+        with pytest.raises(RecordError, match="malformed"):
+            validate_record_payload(payload)
+
+    def test_negative_run_id(self):
+        with pytest.raises(RecordError, match="run_id"):
+            make_record(run_id=-1)
+
+    def test_unknown_verdict(self):
+        with pytest.raises(RecordError, match="verdict"):
+            make_record(verdict="shrug")
+
+    def test_record_needs_at_least_one_metric(self):
+        base = make_record()
+        with pytest.raises(RecordError, match="no metrics"):
+            RunRecord(
+                run_id=base.run_id,
+                check=base.check,
+                instance=base.instance,
+                area=base.area,
+                params={},
+                metrics={},
+                reps=base.reps,
+                warmup=base.warmup,
+                env={},
+                timestamp=base.timestamp,
+            )
+
+
+class TestMetricStats:
+    def test_median_and_iqr_linear_interpolation(self):
+        stats = metric_stats(
+            [1.0, 2.0, 3.0, 4.0], unit="s", direction=LOWER_IS_BETTER
+        )
+        assert stats.median == pytest.approx(2.5)
+        assert stats.iqr == pytest.approx(1.5)
+
+    def test_single_value_has_zero_iqr(self):
+        stats = metric_stats([4.2], unit="x", direction=LOWER_IS_BETTER)
+        assert stats.median == 4.2
+        assert stats.iqr == 0.0
+
+    def test_order_does_not_matter(self):
+        forward = metric_stats(
+            [1.0, 5.0, 2.0], unit="s", direction=LOWER_IS_BETTER
+        )
+        reverse = metric_stats(
+            [5.0, 1.0, 2.0], unit="s", direction=LOWER_IS_BETTER
+        )
+        assert forward == reverse
+
+    def test_empty_values_rejected(self):
+        with pytest.raises(RecordError, match="at least one"):
+            metric_stats([], unit="s", direction=LOWER_IS_BETTER)
+
+    def test_non_finite_values_rejected(self):
+        with pytest.raises(RecordError, match="finite"):
+            metric_stats(
+                [1.0, float("nan")], unit="s", direction=LOWER_IS_BETTER
+            )
+        with pytest.raises(RecordError, match="finite"):
+            MetricStats(
+                median=float("inf"), iqr=0.0, unit="s",
+                direction=LOWER_IS_BETTER,
+            )
+
+    def test_negative_iqr_rejected(self):
+        with pytest.raises(RecordError, match="iqr"):
+            MetricStats(
+                median=1.0, iqr=-0.1, unit="s", direction=LOWER_IS_BETTER
+            )

@@ -1,0 +1,274 @@
+"""Property tests for the ``BENCH_*.json`` trajectory invariants.
+
+Four promises the store makes (module docstring of
+:mod:`repro.perfreg.trajectory`):
+
+* appends are atomic — readers see the old file or the new one, never
+  a mixture, and no temp/lock droppings survive a completed append;
+* run ids are assigned on file and stay monotone, whatever ids the
+  caller put on the records;
+* a truncated or corrupt line is skipped with a note, and the
+  decodable history around it survives — including through the next
+  append;
+* concurrent writers (separate processes) serialise: nobody's records
+  are lost and ids never collide.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.perfreg import load_records
+from repro.perfreg.record import RunRecord
+from repro.perfreg.trajectory import (
+    append_record,
+    append_records,
+    bench_path,
+    load_trajectory,
+    next_run_id,
+)
+
+from tests.perfreg.conftest import make_record
+
+
+def _values():
+    return st.floats(
+        min_value=-1e9, max_value=1e9,
+        allow_nan=False, allow_infinity=False,
+    )
+
+
+def _batches():
+    """Lists of append batches, each batch a list of metric values."""
+    return st.lists(
+        st.lists(_values(), min_size=1, max_size=4),
+        min_size=1, max_size=5,
+    )
+
+
+def _records(values, *, run_id=999):
+    # Deliberately wrong/colliding caller-side ids: the store must
+    # rewrite them on file.
+    return [make_record(run_id=run_id, value=v) for v in values]
+
+
+class TestAppendProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(batches=_batches())
+    def test_appends_preserve_history_and_assign_monotone_ids(
+        self, batches, tmp_path_factory
+    ):
+        path = tmp_path_factory.mktemp("traj") / "BENCH_synthetic.json"
+        expected = []
+        for batch in batches:
+            written = append_records(path, _records(batch))
+            expected.extend(written)
+            on_file = load_records(path)
+            assert list(on_file) == expected
+        ids = [r.run_id for r in load_records(path)]
+        assert ids == list(range(1, len(ids) + 1))
+
+    @settings(max_examples=25, deadline=None)
+    @given(batches=_batches())
+    def test_no_droppings_after_completed_appends(
+        self, batches, tmp_path_factory
+    ):
+        root = tmp_path_factory.mktemp("traj")
+        path = root / "BENCH_synthetic.json"
+        for batch in batches:
+            append_records(path, _records(batch))
+        assert sorted(p.name for p in root.iterdir()) == [
+            "BENCH_synthetic.json"
+        ]
+
+    @settings(max_examples=25, deadline=None)
+    @given(values=st.lists(_values(), min_size=1, max_size=6))
+    def test_round_trip_preserves_metric_values(
+        self, values, tmp_path_factory
+    ):
+        path = tmp_path_factory.mktemp("traj") / "BENCH_synthetic.json"
+        append_records(path, _records(values))
+        on_file = load_records(path)
+        assert [
+            r.metrics["elapsed_s"].median for r in on_file
+        ] == values
+
+    def test_empty_append_is_a_no_op(self, tmp_path):
+        path = bench_path(tmp_path, "synthetic")
+        assert append_records(path, []) == ()
+        assert not path.exists()
+
+    def test_append_record_returns_the_written_record(self, tmp_path):
+        path = bench_path(tmp_path, "synthetic")
+        written = append_record(path, make_record(run_id=77, value=2.0))
+        assert written.run_id == 1
+        append_record(path, make_record(run_id=0, value=3.0))
+        assert [r.run_id for r in load_records(path)] == [1, 2]
+
+    def test_next_run_id_tracks_the_max_on_file(self):
+        assert next_run_id([]) == 1
+        assert next_run_id([make_record(run_id=9)]) == 10
+
+
+class TestCorruptionTolerance:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        values=st.lists(_values(), min_size=1, max_size=4),
+        cut=st.integers(min_value=1, max_value=30),
+    )
+    def test_truncated_last_line_is_skipped_history_survives(
+        self, values, cut, tmp_path_factory
+    ):
+        path = tmp_path_factory.mktemp("traj") / "BENCH_synthetic.json"
+        append_records(path, _records(values))
+        whole = path.read_text("utf-8").splitlines()
+        torn = whole[-1][: max(1, len(whole[-1]) - cut)]
+        path.write_text("\n".join(whole[:-1] + [torn]) + "\n", "utf-8")
+
+        trajectory = load_trajectory(path)
+        survivors = len(values) - 1
+        assert len(trajectory.records) == survivors
+        if torn.strip():
+            try:  # a torn line that still parses is a smaller record,
+                RunRecord.from_json(torn)  # not corruption
+            except Exception:
+                assert len(trajectory.skipped) == 1
+                assert trajectory.skipped[0][0] == len(whole)
+
+    def test_corrupt_middle_line_is_reported_not_absorbed(self, tmp_path):
+        path = bench_path(tmp_path, "synthetic")
+        append_records(path, _records([1.0, 2.0, 3.0]))
+        lines = path.read_text("utf-8").splitlines()
+        lines[1] = '{"schema": 1, "run_id": '  # torn mid-file line
+        path.write_text("\n".join(lines) + "\n", "utf-8")
+
+        trajectory = load_trajectory(path)
+        assert [r.run_id for r in trajectory.records] == [1, 3]
+        ((lineno, reason),) = trajectory.skipped
+        assert lineno == 2
+        assert "undecodable" in reason
+
+    def test_append_after_corruption_keeps_decodable_history(
+        self, tmp_path
+    ):
+        path = bench_path(tmp_path, "synthetic")
+        append_records(path, _records([1.0, 2.0]))
+        with path.open("a", encoding="utf-8") as handle:
+            handle.write('{"half a rec')  # crash mid-append, no newline
+
+        append_records(path, _records([3.0]))
+        records = load_records(path)
+        assert [r.metrics["elapsed_s"].median for r in records] == [
+            1.0, 2.0, 3.0,
+        ]
+        assert [r.run_id for r in records] == [1, 2, 3]
+
+    def test_blank_lines_are_ignored(self, tmp_path):
+        path = bench_path(tmp_path, "synthetic")
+        append_records(path, _records([1.0]))
+        with path.open("a", encoding="utf-8") as handle:
+            handle.write("\n\n")
+        trajectory = load_trajectory(path)
+        assert len(trajectory.records) == 1
+        assert trajectory.skipped == ()
+
+    def test_missing_file_is_an_empty_trajectory(self, tmp_path):
+        trajectory = load_trajectory(bench_path(tmp_path, "synthetic"))
+        assert trajectory.records == ()
+        assert trajectory.skipped == ()
+
+
+def _worker_append(path_str: str, writer: int, count: int) -> None:
+    for i in range(count):
+        append_record(
+            path_str,
+            make_record(run_id=0, value=float(writer * 100 + i)),
+        )
+
+
+class TestConcurrentWriters:
+    WRITERS = 4
+    APPENDS = 6
+
+    def test_parallel_processes_lose_nothing_and_ids_never_collide(
+        self, tmp_path
+    ):
+        path = bench_path(tmp_path, "synthetic")
+        append_record(path, make_record(value=0.0))  # non-empty start
+        procs = [
+            multiprocessing.Process(
+                target=_worker_append, args=(str(path), w, self.APPENDS)
+            )
+            for w in range(self.WRITERS)
+        ]
+        for proc in procs:
+            proc.start()
+        for proc in procs:
+            proc.join(timeout=120)
+            assert proc.exitcode == 0
+
+        records = load_records(path)
+        total = 1 + self.WRITERS * self.APPENDS
+        assert len(records) == total
+        ids = [r.run_id for r in records]
+        assert ids == list(range(1, total + 1))
+        # Every writer's every record made it.
+        values = {r.metrics["elapsed_s"].median for r in records}
+        assert values == {0.0} | {
+            float(w * 100 + i)
+            for w in range(self.WRITERS)
+            for i in range(self.APPENDS)
+        }
+        # No lock or temp droppings once everyone is done.
+        assert [p.name for p in tmp_path.iterdir()] == [path.name]
+
+    def test_stale_lock_is_broken_not_fatal(self, tmp_path, monkeypatch):
+        import repro.perfreg.trajectory as trajectory_module
+
+        path = bench_path(tmp_path, "synthetic")
+        lock = path.with_name(path.name + ".lock")
+        lock.write_text("12345")
+        old = lock.stat()
+        os.utime(lock, (old.st_atime - 3600, old.st_mtime - 3600))
+
+        written = append_record(path, make_record(value=1.0))
+        assert written.run_id == 1
+        assert not lock.exists()
+
+    def test_fresh_lock_times_out_with_a_clear_error(self, tmp_path):
+        import pytest
+
+        from repro.perfreg.trajectory import TrajectoryLockError
+
+        path = bench_path(tmp_path, "synthetic")
+        lock = path.with_name(path.name + ".lock")
+        lock.write_text("12345")  # a live writer holds the lock
+
+        with pytest.raises(TrajectoryLockError, match="timed out"):
+            append_record(path, make_record(value=1.0), timeout=0.1)
+        lock.unlink()
+
+
+class TestFileNaming:
+    def test_bench_path_shape(self, tmp_path):
+        assert (
+            bench_path(tmp_path, "service").name == "BENCH_service.json"
+        )
+
+    def test_bench_path_rejects_traversal_and_spaces(self, tmp_path):
+        import pytest
+
+        for area in ("", "a/b", "a b", "a.b", "..\\x"):
+            with pytest.raises(ValueError):
+                bench_path(tmp_path, area)
+
+    def test_lines_are_independent_json_objects(self, tmp_path):
+        path = bench_path(tmp_path, "synthetic")
+        append_records(path, _records([1.0, 2.0]))
+        for line in path.read_text("utf-8").splitlines():
+            assert isinstance(json.loads(line), dict)

@@ -71,8 +71,12 @@ class TestBenchServing:
         assert "batch sizes" in text
 
     def test_rejects_degenerate_parameters(self):
+        # requests=0 is a valid (empty) run since the perfreg harness
+        # landed; negative counts and zero concurrency stay errors.
         with pytest.raises(ValueError):
-            bench_serving(requests=0)
+            bench_serving(requests=-1)
+        with pytest.raises(ValueError):
+            bench_serving(requests=8, concurrency=0)
 
 
 class TestBuildRequests:

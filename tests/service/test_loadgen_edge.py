@@ -1,0 +1,211 @@
+"""Open-loop load-generation edge cases PR 5 left uncovered.
+
+Three gaps, each a contract the perfreg service checks lean on:
+
+* **Backlog.**  An offered rate far beyond capacity must not wedge the
+  generator: every request still gets served, every latency is
+  measured from its *intended* arrival, and queueing delay therefore
+  grows along the stream (the signature closed-loop generators
+  structurally cannot show).
+* **Zero-request runs.**  ``requests=0`` is a valid empty measurement
+  (the harness's smoke path), not a crash: a well-formed report with
+  zeroed statistics comes back from both loops.
+* **Cross-process determinism.**  The Poisson arrival schedule is one
+  seeded ``np.random.default_rng`` draw; the same (rate, requests,
+  seed) triple must be bit-identical in a fresh interpreter, or two
+  perfreg runs would offer different workloads while claiming the
+  same parameters.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import hashlib
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.service.loadgen import (
+    arrival_schedule,
+    bench_serving,
+    run_closed_loop,
+    run_open_loop,
+)
+from repro.service.server import ModelServer, ServerConfig
+
+
+def _run(coro):
+    return asyncio.run(coro)
+
+
+def _server(**overrides) -> ModelServer:
+    config = ServerConfig(
+        max_batch=overrides.pop("max_batch", 16),
+        flush_window=overrides.pop("flush_window", 0.001),
+        cache_size=0,
+        queue_limit=overrides.pop("queue_limit", 4096),
+        **overrides,
+    )
+    return ModelServer(config)
+
+
+class TestBacklog:
+    """Offered rate far beyond capacity: the schedule back-logs."""
+
+    REQUESTS = 160
+    #: ~100k req/s offered against a mixed workload the server drains
+    #: at a few thousand req/s: every arrival lands effectively at
+    #: t=0, so the whole stream becomes queueing delay.
+    RATE = 1e5
+
+    def _report(self):
+        async def go():
+            server = _server()
+            try:
+                return await run_open_loop(
+                    server,
+                    rate=self.RATE,
+                    requests=self.REQUESTS,
+                    workload="mixed",
+                )
+            finally:
+                await server.stop()
+
+        return _run(go())
+
+    def test_every_request_served_despite_backlog(self):
+        report = self._report()
+        assert report.errors == 0
+        assert report.requests == self.REQUESTS
+        assert report.mode == "open"
+        # The offered rate really was far beyond what was achieved.
+        assert report.offered_rps > 10 * report.throughput
+
+    def test_intended_arrival_latency_grows_monotonically(self):
+        """Queueing delay accumulates along the stream.
+
+        With all arrivals at ~t=0 and service draining the backlog,
+        request i's latency-from-intended-arrival is roughly its drain
+        position; quarter-by-quarter means must grow along the stream
+        (per-request monotonicity would over-promise: micro-batches
+        complete together, and the batcher coalesces across the
+        stream).  The tail of the stream must also have waited for
+        most of the run — that is the coordinated-omission signal a
+        closed loop hides.
+        """
+        report = self._report()
+        latencies = np.asarray(report.latencies_ms)
+        assert latencies.size == self.REQUESTS
+        assert np.all(latencies >= 0.0)
+        quarters = np.array_split(latencies, 4)
+        means = [float(q.mean()) for q in quarters]
+        # Monotone within 5% jitter slack quarter-to-quarter, and the
+        # trend over the whole stream is unambiguous.
+        for earlier, later in zip(means, means[1:]):
+            assert later >= 0.95 * earlier
+        assert means[-1] > 1.2 * means[0]
+        duration_ms = report.duration * 1e3
+        assert report.p99_ms >= 0.4 * duration_ms
+
+    def test_percentiles_come_from_intended_arrival(self):
+        report = self._report()
+        # Under a total backlog even the *median* is accumulated
+        # waiting, not per-request work: a closed loop (which cannot
+        # see queueing) would report low single-digit milliseconds
+        # here, while intended-arrival latency spans the drain.
+        duration_ms = report.duration * 1e3
+        assert report.p50_ms >= 0.3 * duration_ms
+        assert report.p99_ms >= report.p50_ms
+        assert report.p99_ms >= np.quantile(
+            np.asarray(report.latencies_ms), 0.98
+        )
+
+
+class TestZeroRequests:
+    """``requests=0`` is a valid empty run, not a crash."""
+
+    def test_closed_loop_empty_run(self):
+        async def go():
+            server = _server()
+            try:
+                return await run_closed_loop(server, requests=0, concurrency=4)
+            finally:
+                await server.stop()
+
+        report = _run(go())
+        assert report.requests == 0
+        assert report.errors == 0
+        assert report.throughput == 0.0
+        assert report.p50_ms == 0.0 and report.p99_ms == 0.0
+        assert report.latencies_ms == ()
+
+    def test_open_loop_empty_run(self):
+        async def go():
+            server = _server()
+            try:
+                return await run_open_loop(server, rate=100.0, requests=0)
+            finally:
+                await server.stop()
+
+        report = _run(go())
+        assert report.requests == 0
+        assert report.errors == 0
+        assert report.offered_rps == 0.0
+        assert report.p50_ms == 0.0 and report.p99_ms == 0.0
+
+    def test_bench_serving_empty_run(self):
+        report = bench_serving(requests=0, concurrency=4)
+        assert report.requests == 0 and report.errors == 0
+
+    def test_negative_requests_still_rejected(self):
+        with pytest.raises(ValueError):
+            arrival_schedule(100.0, -1)
+        with pytest.raises(ValueError):
+            bench_serving(requests=-5)
+
+
+class TestArrivalDeterminism:
+    """The Poisson schedule is seeded, shared, and process-invariant."""
+
+    def test_schedule_is_deterministic_in_process(self):
+        a = arrival_schedule(250.0, 500, seed=7)
+        b = arrival_schedule(250.0, 500, seed=7)
+        np.testing.assert_array_equal(a, b)
+        assert arrival_schedule(250.0, 500, seed=8)[0] != a[0]
+
+    def test_schedule_is_monotone_and_rate_consistent(self):
+        schedule = arrival_schedule(1000.0, 2000, seed=3)
+        assert np.all(np.diff(schedule) >= 0.0)
+        # Mean inter-arrival gap ~ 1/rate (law of large numbers; 10%
+        # slack over 2000 draws is > 4 sigma).
+        assert schedule[-1] / 2000 == pytest.approx(1e-3, rel=0.1)
+
+    def test_schedule_is_identical_across_processes(self):
+        """A fresh interpreter derives the bit-identical schedule."""
+        schedule = arrival_schedule(400.0, 256, seed=11)
+        digest = hashlib.sha256(schedule.tobytes()).hexdigest()
+        src_dir = Path(__file__).resolve().parents[2] / "src"
+        env = dict(os.environ)
+        env["PYTHONPATH"] = f"{src_dir}{os.pathsep}" + env.get(
+            "PYTHONPATH", ""
+        )
+        out = subprocess.run(
+            [
+                sys.executable,
+                "-c",
+                "import hashlib\n"
+                "from repro.service.loadgen import arrival_schedule\n"
+                "s = arrival_schedule(400.0, 256, seed=11)\n"
+                "print(hashlib.sha256(s.tobytes()).hexdigest())\n",
+            ],
+            env=env,
+            capture_output=True,
+            text=True,
+            timeout=120,
+            check=True,
+        )
+        assert out.stdout.strip() == digest
