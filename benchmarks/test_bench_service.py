@@ -1,6 +1,7 @@
-"""Serving benchmarks: micro-batching and the worker-pool tier.
+"""Serving benchmarks: micro-batching, the worker-pool tier, and the
+zero-copy wire path.
 
-Two acceptance bars for the serving subsystem:
+Three acceptance bars for the serving subsystem:
 
 * on a scalar-evaluation workload (the capped model's
   ``energy_per_flop`` — the heaviest analytic path the protocol
@@ -11,13 +12,20 @@ Two acceptance bars for the serving subsystem:
   four worker processes must sustain at least 2× the throughput of
   in-loop execution (``workers=0``) — this one needs ≥ 4 usable
   cores and skips itself elsewhere, exactly like a GPU test without
-  a GPU.
+  a GPU;
+* on the mixed workload over a real loopback TCP socket with two
+  workers, the zero-copy hot path (binary framing + shared-memory
+  ring job transport + compiled curve-plan cache) must cut p99
+  latency at least 5× against the NDJSON + per-job-pickle + uncached
+  stack — ≥ 2 usable cores, skips itself elsewhere.
 
-Both comparisons run through
-:func:`repro.perfreg.checks.measure_micro_batching` and
-:func:`repro.perfreg.checks.measure_worker_pool` — the same
-measurement functions the ``service.micro_batching`` and
-``service.worker_pool`` perfreg checks record trajectories with —
+All comparisons run through
+:func:`repro.perfreg.checks.measure_micro_batching`,
+:func:`repro.perfreg.checks.measure_worker_pool`, and
+:func:`repro.perfreg.checks.measure_wire_path` — the same
+measurement functions the ``service.micro_batching``,
+``service.worker_pool``, and ``service.wire_framing`` perfreg checks
+record trajectories with —
 so a number that gates CI and a number in ``BENCH_service.json``
 were produced the same way.  Sanity (zero errors, batching genuinely
 on/off, worker topology) is asserted inside the measurement; the
@@ -33,15 +41,18 @@ import pytest
 
 from repro.perfreg.checks import (
     MIN_MICROBATCH_SPEEDUP,
+    MIN_WIRE_P99_SPEEDUP,
     MIN_WORKER_SPEEDUP,
     measure_micro_batching,
     measure_serving,
+    measure_wire_path,
     measure_worker_pool,
     usable_cores,
 )
 
 REQUESTS = 4000
 WORKER_REQUESTS = 1600
+WIRE_REQUESTS = 1200
 
 USABLE_CORES = usable_cores()
 
@@ -129,3 +140,53 @@ def test_worker_pool_is_2x_faster_on_heavy_workload(benchmark, methodology):
     )
     print(f"worker-pool speedup: {speedup:.1f}x ({USABLE_CORES} cores)")
     assert speedup >= MIN_WORKER_SPEEDUP
+
+
+@pytest.mark.skipif(
+    USABLE_CORES < 2,
+    reason=f"wire-path comparison runs two workers; needs >= 2 usable "
+    f"cores, have {USABLE_CORES}",
+)
+def test_binary_wire_hot_path_cuts_p99_5x(benchmark, methodology):
+    values = measure_wire_path(
+        requests=WIRE_REQUESTS, repeats=methodology.reps
+    )
+    fast, slow = values["binary"], values["ndjson"]
+    benchmark.pedantic(
+        lambda: measure_wire_path(requests=WIRE_REQUESTS),
+        rounds=1, iterations=1, warmup_rounds=0,
+    )
+
+    speedup = values["p99_speedup"]
+    benchmark.extra_info.update(
+        {
+            "workload": "mixed",
+            "requests": WIRE_REQUESTS,
+            "binary_p50_ms": round(fast.p50_ms, 3),
+            "binary_p99_ms": round(fast.p99_ms, 3),
+            "ndjson_p50_ms": round(slow.p50_ms, 3),
+            "ndjson_p99_ms": round(slow.p99_ms, 3),
+            "binary_rps": round(fast.throughput),
+            "ndjson_rps": round(slow.throughput),
+            "binary_bytes": fast.bytes_sent + fast.bytes_received,
+            "ndjson_bytes": slow.bytes_sent + slow.bytes_received,
+            "bytes_ratio": round(values["bytes_ratio"], 2),
+            "usable_cores": USABLE_CORES,
+            "p99_speedup": round(speedup, 1),
+        }
+    )
+    print(
+        f"\nbinary+ring+plan : {fast.throughput:,.0f} req/s "
+        f"(p50 {fast.p50_ms:.3f} ms, p99 {fast.p99_ms:.3f} ms, "
+        f"{fast.bytes_sent + fast.bytes_received:,} B on wire)"
+    )
+    print(
+        f"ndjson+pickle    : {slow.throughput:,.0f} req/s "
+        f"(p50 {slow.p50_ms:.3f} ms, p99 {slow.p99_ms:.3f} ms, "
+        f"{slow.bytes_sent + slow.bytes_received:,} B on wire)"
+    )
+    print(
+        f"zero-copy hot path: p99 {speedup:.1f}x lower, "
+        f"{values['bytes_ratio']:.1f}x fewer bytes"
+    )
+    assert speedup >= MIN_WIRE_P99_SPEEDUP

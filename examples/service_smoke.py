@@ -17,9 +17,11 @@ exists to provide:
 With ``--workers N`` the same workload and the same assertions run
 against the sharded worker-pool execution tier — every value above,
 including the micro-batching bound and the cache behavior, must be
-indistinguishable from the in-loop path.
+indistinguishable from the in-loop path.  With ``--wire binary`` the
+TCP client negotiates the binary framing and the same assertions run
+over it — bit-identity across framings is the wire-format contract.
 
-Run:  python examples/service_smoke.py [--workers N]
+Run:  python examples/service_smoke.py [--workers N] [--wire ndjson|binary]
 """
 
 from __future__ import annotations
@@ -37,12 +39,14 @@ MACHINES = ("gtx580-double", "i7-950-double")
 GRID = [2.0 ** (0.25 * k - 3.0) for k in range(32)]  # 1/8 .. ~32 flop/B
 
 
-async def drive(server: ModelServer) -> None:
+async def drive(server: ModelServer, wire: str) -> None:
     host, port = await server.start()
     print(f"server up on {host}:{port}")
 
     # --- scalar evals over TCP: concurrent, micro-batched, bit-exact ---
-    async with await AsyncServiceClient.connect(host, port) as tcp:
+    async with await AsyncServiceClient.connect(host, port, wire=wire) as tcp:
+        assert tcp.wire == wire, f"negotiated {tcp.wire!r}, wanted {wire!r}"
+        print(f"TCP client negotiated {tcp.wire} framing")
         values = await asyncio.gather(*(
             tcp.eval(machine, "energy_per_flop", model="energy", intensity=x)
             for machine in MACHINES for x in GRID
@@ -126,6 +130,10 @@ async def drive(server: ModelServer) -> None:
     assert requests_total >= 100, "smoke must drive a real workload"
     assert errors == 0, "every request must succeed"
     assert hit_ratio > 0, "repeated bodies must hit the response cache"
+    wire_counter = f"wire_{wire}_connections_total"
+    assert stats["counters"][wire_counter] >= 1, (
+        f"{wire_counter} must count the smoke's TCP connection"
+    )
 
 
 def main() -> None:
@@ -133,6 +141,10 @@ def main() -> None:
     parser.add_argument(
         "--workers", type=int, default=0, metavar="N",
         help="worker processes for model evaluation; 0 runs in-loop",
+    )
+    parser.add_argument(
+        "--wire", choices=("ndjson", "binary"), default="ndjson",
+        help="framing the TCP client negotiates (default: ndjson)",
     )
     args = parser.parse_args()
 
@@ -149,7 +161,7 @@ def main() -> None:
             await server.pool.ready()
             print(f"worker pool up: {len(workers)} shard processes")
         try:
-            await drive(server)
+            await drive(server, args.wire)
         finally:
             await server.stop()
         assert server.batcher.pending_requests == 0

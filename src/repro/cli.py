@@ -27,16 +27,21 @@ Subcommands
     Per-phase cost table for a library application (cg, fmm,
     fft-poisson, jacobi).
 ``serve``
-    Long-lived async model server (NDJSON over TCP) with
-    micro-batching, response caching, built-in metrics, and an
-    optional sharded worker-process pool (``--workers N``)
-    (see :mod:`repro.service` and ``docs/SERVICE.md``).
+    Long-lived async model server (NDJSON over TCP, with negotiated
+    binary framing — ``--wire``) with micro-batching, response
+    caching, built-in metrics, and an optional sharded worker-process
+    pool (``--workers N``, jobs over shared-memory rings by default —
+    ``--job-transport``) (see :mod:`repro.service` and
+    ``docs/SERVICE.md``).
 ``bench-serve``
     Load generator against an in-process server — closed loop by
     default, open loop (Poisson arrivals) with ``--open-loop RPS``;
-    reports throughput, latency percentiles, batch-size histogram,
-    and with ``--compare`` the speedup over the baseline (in-loop
-    execution when ``--workers > 0``, unbatched otherwise).
+    ``--wire ndjson|binary`` moves the run onto a real loopback
+    socket under that framing; reports throughput, latency
+    percentiles, batch-size histogram, bytes on the wire, and with
+    ``--compare`` the speedup over the baseline (NDJSON framing when
+    ``--wire binary``, in-loop execution when ``--workers > 0``,
+    unbatched otherwise).
 ``lint``
     Run replint, the repo's own AST-based static analysis, over the
     package source (or explicit paths).  Exit code 0 means clean, 1
@@ -239,6 +244,21 @@ def build_parser() -> argparse.ArgumentParser:
         "--shard-by", choices=("machine", "model"), default="machine",
         help="worker routing key: per machine or per (machine, model)",
     )
+    p_serve.add_argument(
+        "--wire", choices=("auto", "binary", "ndjson"), default="auto",
+        help="framing policy: auto/binary accept a client's binary "
+        "upgrade, ndjson refuses it (connections always start NDJSON)",
+    )
+    p_serve.add_argument(
+        "--job-transport", choices=("ring", "pickle"), default="ring",
+        help="worker job transport: preallocated shared-memory rings "
+        "or per-job pickle",
+    )
+    p_serve.add_argument(
+        "--plan-cache-size", type=int, default=None, metavar="N",
+        help="compiled curve-plan cache entries; 0 disables "
+        "(default: the server's built-in size)",
+    )
 
     p_bench = sub.add_parser(
         "bench-serve",
@@ -290,6 +310,22 @@ def build_parser() -> argparse.ArgumentParser:
         "--open-loop", type=float, default=None, metavar="RPS",
         help="open-loop (Poisson arrival) mode at RPS requests/s; "
         "latency is measured from intended arrival time",
+    )
+    p_bench.add_argument(
+        "--wire", choices=("inproc", "ndjson", "binary"), default="inproc",
+        help="transport under test: direct handler calls (inproc), or "
+        "real loopback TCP with NDJSON or binary framing; with "
+        "--compare, binary is A/B'd against NDJSON",
+    )
+    p_bench.add_argument(
+        "--job-transport", choices=("ring", "pickle"), default="ring",
+        help="worker job transport: preallocated shared-memory rings "
+        "or per-job pickle",
+    )
+    p_bench.add_argument(
+        "--plan-cache-size", type=int, default=None, metavar="N",
+        help="compiled curve-plan cache entries; 0 disables "
+        "(default: the server's built-in size)",
     )
 
     p_lint = sub.add_parser(
@@ -649,6 +685,13 @@ def _cmd_serve(args: argparse.Namespace) -> str:
         access_log=_log if args.access_log else None,
         workers=args.workers,
         shard_by=args.shard_by,
+        wire=args.wire,
+        job_transport=args.job_transport,
+        **(
+            {"plan_cache_size": args.plan_cache_size}
+            if args.plan_cache_size is not None
+            else {}
+        ),
     )
 
     async def _serve() -> str:
@@ -661,7 +704,8 @@ def _cmd_serve(args: argparse.Namespace) -> str:
             f"(max_batch={config.max_batch}, "
             f"flush_window={config.flush_window * 1000:g} ms, "
             f"cache={config.cache_size} entries, "
-            f"workers={config.workers}); ctrl-c to drain and stop",
+            f"workers={config.workers}, wire={config.wire}); "
+            "ctrl-c to drain and stop",
             file=sys.stderr,
             flush=True,
         )
@@ -708,6 +752,9 @@ def _cmd_bench_serve(args: argparse.Namespace) -> str:
         workload=args.workload,
         shard_by=args.shard_by,
         open_loop_rate=args.open_loop,
+        wire=args.wire,
+        job_transport=args.job_transport,
+        plan_cache_size=args.plan_cache_size,
     )
     report = bench_serving(
         max_batch=args.max_batch, workers=args.workers, **kwargs
@@ -718,7 +765,22 @@ def _cmd_bench_serve(args: argparse.Namespace) -> str:
         f"workload: {args.workload}, machines: {', '.join(args.machines)})",
         report.describe(),
     ]
-    if args.compare and args.workers > 0:
+    if args.compare and args.wire == "binary":
+        kwargs["wire"] = "ndjson"
+        baseline = bench_serving(
+            max_batch=args.max_batch, workers=args.workers, **kwargs
+        )
+        blocks.append("NDJSON framing (same server knobs):")
+        blocks.append(baseline.describe())
+        report_bytes = report.bytes_sent + report.bytes_received
+        baseline_bytes = baseline.bytes_sent + baseline.bytes_received
+        blocks.append(
+            f"binary framing: p99 {baseline.p99_ms / report.p99_ms:.1f}x "
+            f"lower, p50 {baseline.p50_ms / report.p50_ms:.1f}x lower, "
+            f"throughput {report.throughput / baseline.throughput:.1f}x, "
+            f"bytes on wire {baseline_bytes / report_bytes:.1f}x fewer"
+        )
+    elif args.compare and args.workers > 0:
         baseline = bench_serving(max_batch=args.max_batch, workers=0, **kwargs)
         blocks.append("worker pool disabled (in-loop execution):")
         blocks.append(baseline.describe())

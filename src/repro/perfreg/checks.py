@@ -35,11 +35,13 @@ __all__ = [
     "MIN_BATCH_SPEEDUP",
     "MIN_CACHESIM_SPEEDUP",
     "MIN_MICROBATCH_SPEEDUP",
+    "MIN_WIRE_P99_SPEEDUP",
     "MIN_WORKER_SPEEDUP",
     "measure_batch_sweep",
     "measure_cachesim_trace",
     "measure_micro_batching",
     "measure_serving",
+    "measure_wire_path",
     "measure_worker_pool",
     "usable_cores",
 ]
@@ -56,6 +58,10 @@ MIN_CACHESIM_SPEEDUP = 10.0
 MIN_MICROBATCH_SPEEDUP = 5.0
 #: Four worker processes vs in-loop execution on the heavy workload.
 MIN_WORKER_SPEEDUP = 2.0
+#: Zero-copy hot path (binary framing + shm rings + plan cache) vs the
+#: NDJSON + per-job-pickle + uncached stack, p99 over TCP, mixed
+#: workload, two workers.
+MIN_WIRE_P99_SPEEDUP = 5.0
 
 #: Seed of the shared intensity grid (the paper's publication date).
 _GRID_SEED = 20130520
@@ -226,13 +232,16 @@ def measure_serving(
     workload: str = "scalar",
     machines=(),
     open_loop_rate: float | None = None,
+    wire: str = "inproc",
+    job_transport: str | None = None,
+    plan_cache_size: int | None = None,
     repeats: int = 1,
 ):
     """One serving configuration, best-of ``repeats`` full runs.
 
     Returns the winning :class:`~repro.service.loadgen.LoadReport`.
-    Sanity: zero transport errors and every request served, on every
-    run — not just the winner.
+    Sanity: zero transport errors, every request served, and the wire
+    framing actually negotiated — on every run, not just the winner.
     """
     from repro.service.loadgen import bench_serving
 
@@ -253,6 +262,9 @@ def measure_serving(
             workload=workload,
             workers=workers,
             open_loop_rate=open_loop_rate,
+            wire=wire,
+            job_transport=job_transport,
+            plan_cache_size=plan_cache_size,
         )
         if report.errors:
             raise SanityError(
@@ -262,6 +274,10 @@ def measure_serving(
         if report.requests != requests:
             raise SanityError(
                 f"served {report.requests} of {requests} requests"
+            )
+        if report.wire != wire:
+            raise SanityError(
+                f"negotiated {report.wire!r} framing, requested {wire!r}"
             )
         reports.append(report)
     return _best_report(reports)
@@ -295,6 +311,48 @@ def measure_micro_batching(
         "batched": batched,
         "unbatched": unbatched,
         "speedup": batched.throughput / unbatched.throughput,
+    }
+
+
+def measure_wire_path(
+    *, requests: int = 1200, workers: int = 2, repeats: int = 1
+) -> dict[str, Any]:
+    """Zero-copy hot path vs the first-generation serving stack.
+
+    Both runs drive the identical mixed workload over a real loopback
+    TCP socket.  The hot path is binary framing, shared-memory ring
+    job transport, and the compiled curve-plan cache; the baseline is
+    NDJSON framing, per-job pickle transport, and no plan cache — the
+    stack as PR 5 left it.  The headline metric is the **p99 latency
+    ratio** (text encode/decode and per-job serialisation dominate the
+    tail, not the mean); bytes-on-wire ride along.
+    """
+    fast = measure_serving(
+        requests=requests,
+        workers=workers,
+        workload="mixed",
+        wire="binary",
+        repeats=repeats,
+    )
+    slow = measure_serving(
+        requests=requests,
+        workers=workers,
+        workload="mixed",
+        wire="ndjson",
+        job_transport="pickle",
+        plan_cache_size=0,
+        repeats=repeats,
+    )
+    if not (fast.bytes_sent and slow.bytes_sent):
+        raise SanityError("a TCP wire run recorded zero bytes on the wire")
+    fast_bytes = fast.bytes_sent + fast.bytes_received
+    slow_bytes = slow.bytes_sent + slow.bytes_received
+    return {
+        "binary": fast,
+        "ndjson": slow,
+        "p99_speedup": slow.p99_ms / fast.p99_ms,
+        "throughput_speedup": fast.throughput / slow.throughput,
+        "bytes_ratio": slow_bytes / fast_bytes,
     }
 
 
@@ -449,6 +507,38 @@ class MicroBatchingCheck(_ServingCheck):
             "speedup": values["speedup"],
             "batched_rps": values["batched"].throughput,
             "unbatched_rps": values["unbatched"].throughput,
+        }
+
+
+@register
+class WireFramingCheck(_ServingCheck):
+    """The 5x zero-copy hot-path win as a tracked trajectory."""
+
+    name = "service.wire_framing"
+    requests = 600
+    metrics = (
+        Metric("p99_speedup", "x"),
+        Metric("binary_p99_ms", "ms", LOWER_IS_BETTER),
+        Metric("ndjson_p99_ms", "ms", LOWER_IS_BETTER),
+        Metric("bytes_ratio", "x"),
+    )
+
+    def skip_reason(self, params: Mapping[str, Any]) -> str | None:
+        cores = usable_cores()
+        if cores < 2:
+            return (
+                f"wire-path comparison runs two workers; needs >= 2 "
+                f"usable cores, have {cores}"
+            )
+        return None
+
+    def run(self, ctx: CheckContext) -> Mapping[str, float]:
+        values = measure_wire_path(requests=self.requests)
+        return {
+            "p99_speedup": values["p99_speedup"],
+            "binary_p99_ms": values["binary"].p99_ms,
+            "ndjson_p99_ms": values["ndjson"].p99_ms,
+            "bytes_ratio": values["bytes_ratio"],
         }
 
 

@@ -16,6 +16,14 @@ Three transports, one surface:
 All of them raise :class:`~repro.exceptions.ServiceError` (carrying the
 wire error code) for error replies, and return the ``result`` dict of
 success replies.
+
+The TCP clients accept ``wire="binary"`` to request the struct-packed
+binary framing of :mod:`repro.service.wire` at connect time.  The
+negotiation is a plain NDJSON ``hello`` exchange, so a binary-capable
+client pointed at an NDJSON-only (or binary-refusing) server degrades
+transparently to NDJSON — same envelopes, same results, byte-identical
+canonical payloads.  ``client.wire`` reports what was negotiated, and
+``bytes_sent`` / ``bytes_received`` count the wire traffic either way.
 """
 
 from __future__ import annotations
@@ -25,9 +33,18 @@ import socket
 from typing import Any
 
 from repro.exceptions import ServiceError
+from repro.service import wire as wireformat
 from repro.service.protocol import INTERNAL, decode, encode, unwrap
+from repro.service.wire import WIRE_BINARY, WIRE_NDJSON
 
 __all__ = ["AsyncServiceClient", "ServiceClient", "InProcessClient"]
+
+
+def _check_wire(wire: str) -> None:
+    if wire not in (WIRE_NDJSON, WIRE_BINARY):
+        raise ValueError(
+            f"wire must be {WIRE_NDJSON!r} or {WIRE_BINARY!r}, got {wire!r}"
+        )
 
 
 class _RequestAPI:
@@ -142,36 +159,108 @@ class AsyncServiceClient(_RequestAPI):
     """
 
     def __init__(
-        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        *,
+        wire: str = WIRE_NDJSON,
     ):
+        _check_wire(wire)
         self._reader = reader
         self._writer = writer
+        self.wire = wire
+        self.bytes_sent = 0
+        self.bytes_received = 0
         self._pending: dict[int, asyncio.Future] = {}
-        self._next_id = 0
+        # id 0 is reserved for the hello exchange connect() may have
+        # performed before this instance existed.
+        self._next_id = 1
         self._closed = False
         self._reader_task = asyncio.ensure_future(self._read_loop())
 
     @classmethod
     async def connect(
-        cls, host: str, port: int, *, limit: int = 2**20
+        cls,
+        host: str,
+        port: int,
+        *,
+        limit: int = 2**20,
+        wire: str = WIRE_NDJSON,
     ) -> "AsyncServiceClient":
+        """Connect, negotiating binary framing when ``wire="binary"``.
+
+        The negotiation happens here, before the multiplexing read loop
+        starts: one NDJSON ``hello`` request, one NDJSON reply.  Any
+        reply other than a binary acceptance — an ``ndjson`` answer, an
+        ``unknown_op`` from a pre-binary server — leaves the connection
+        on NDJSON; check ``client.wire`` for the outcome.
+        """
+        _check_wire(wire)
         reader, writer = await asyncio.open_connection(host, port, limit=limit)
-        return cls(reader, writer)
+        negotiated = WIRE_NDJSON
+        hello_sent = hello_received = 0
+        if wire == WIRE_BINARY:
+            line = encode(wireformat.hello_request(0))
+            writer.write(line)
+            await writer.drain()
+            reply = await reader.readline()
+            if not reply:
+                writer.close()
+                raise ServiceError(
+                    INTERNAL, "connection closed during wire negotiation"
+                )
+            hello_sent, hello_received = len(line), len(reply)
+            negotiated = wireformat.negotiated_wire(decode(reply))
+        client = cls(reader, writer, wire=negotiated)
+        client.bytes_sent += hello_sent
+        client.bytes_received += hello_received
+        return client
 
     async def _read_loop(self) -> None:
         try:
-            while True:
-                line = await self._reader.readline()
-                if not line:
-                    break
-                response = decode(line)
-                future = self._pending.pop(response.get("id"), None)
-                if future is not None and not future.done():
-                    future.set_result(response)
-        except (ConnectionError, asyncio.CancelledError, ServiceError):
+            if self.wire == WIRE_BINARY:
+                await self._read_frames()
+            else:
+                await self._read_lines()
+        except (
+            ConnectionError,
+            asyncio.CancelledError,
+            asyncio.IncompleteReadError,
+            asyncio.TimeoutError,
+            ServiceError,
+        ):
             pass
         finally:
             self._fail_pending("connection closed")
+
+    async def _read_lines(self) -> None:
+        while True:
+            line = await self._reader.readline()
+            if not line:
+                break
+            self.bytes_received += len(line)
+            self._settle(decode(line))
+
+    async def _read_frames(self) -> None:
+        while True:
+            try:
+                header = await self._reader.readexactly(wireformat.HEADER_SIZE)
+            except asyncio.IncompleteReadError as exc:
+                if not exc.partial:
+                    break  # clean EOF between frames
+                raise
+            kind, nsections, body_len, _seq = wireformat.parse_header(header)
+            body = await asyncio.wait_for(
+                self._reader.readexactly(body_len),
+                timeout=wireformat.FRAME_BODY_TIMEOUT,
+            )
+            self.bytes_received += len(header) + len(body)
+            self._settle(wireformat.decode_body(kind, nsections, body))
+
+    def _settle(self, response: dict[str, Any]) -> None:
+        future = self._pending.pop(response.get("id"), None)
+        if future is not None and not future.done():
+            future.set_result(response)
 
     def _fail_pending(self, reason: str) -> None:
         for future in self._pending.values():
@@ -179,7 +268,8 @@ class AsyncServiceClient(_RequestAPI):
                 future.set_exception(ServiceError(INTERNAL, reason))
         self._pending.clear()
 
-    async def call(self, request: dict[str, Any]) -> dict[str, Any]:
+    async def request(self, request: dict[str, Any]) -> dict[str, Any]:
+        """Send one request; return the full response envelope."""
         if self._closed:
             raise ServiceError(INTERNAL, "client is closed")
         request_id = self._next_id
@@ -187,9 +277,19 @@ class AsyncServiceClient(_RequestAPI):
         request = {**request, "id": request_id}
         future = asyncio.get_running_loop().create_future()
         self._pending[request_id] = future
-        self._writer.write(encode(request))
+        if self.wire == WIRE_BINARY:
+            data = wireformat.encode_frame(
+                wireformat.KIND_REQUEST, request_id, request
+            )
+        else:
+            data = encode(request)
+        self.bytes_sent += len(data)
+        self._writer.write(data)
         await self._writer.drain()
-        return unwrap(await future)
+        return await future
+
+    async def call(self, request: dict[str, Any]) -> dict[str, Any]:
+        return unwrap(await self.request(request))
 
     async def close(self) -> None:
         if self._closed:
@@ -218,21 +318,74 @@ class ServiceClient:
 
     Mirrors the async surface with synchronous methods.  Not
     thread-safe — use one instance per thread, or the async client.
+    Pass ``wire="binary"`` to negotiate binary framing; the client
+    falls back to NDJSON against servers that refuse or predate it
+    (``client.wire`` reports the outcome).
     """
 
     def __init__(
-        self, host: str, port: int, *, timeout: float | None = 30.0
+        self,
+        host: str,
+        port: int,
+        *,
+        timeout: float | None = 30.0,
+        wire: str = WIRE_NDJSON,
     ):
+        _check_wire(wire)
         self._sock = socket.create_connection((host, port), timeout=timeout)
         self._file = self._sock.makefile("rwb")
+        self.wire = WIRE_NDJSON
+        self.bytes_sent = 0
+        self.bytes_received = 0
+        self._next_id = 1  # id 0 is reserved for the hello exchange
+        if wire == WIRE_BINARY:
+            line = encode(wireformat.hello_request(0))
+            self._file.write(line)
+            self._file.flush()
+            reply = self._file.readline()
+            if not reply:
+                raise ServiceError(
+                    INTERNAL, "connection closed during wire negotiation"
+                )
+            self.bytes_sent += len(line)
+            self.bytes_received += len(reply)
+            self.wire = wireformat.negotiated_wire(decode(reply))
 
-    def call(self, request: dict[str, Any]) -> dict[str, Any]:
-        self._file.write(encode(request))
+    def _read_exactly(self, n: int) -> bytes:
+        data = self._file.read(n)
+        if data is None or len(data) != n:
+            raise ServiceError(INTERNAL, "connection closed by server")
+        return data
+
+    def request(self, request: dict[str, Any]) -> dict[str, Any]:
+        """Send one request; return the full response envelope."""
+        request_id = self._next_id
+        self._next_id += 1
+        request = {**request, "id": request_id}
+        if self.wire == WIRE_BINARY:
+            data = wireformat.encode_frame(
+                wireformat.KIND_REQUEST, request_id, request
+            )
+            self._file.write(data)
+            self._file.flush()
+            self.bytes_sent += len(data)
+            header = self._read_exactly(wireformat.HEADER_SIZE)
+            kind, nsections, body_len, _seq = wireformat.parse_header(header)
+            body = self._read_exactly(body_len)
+            self.bytes_received += len(header) + len(body)
+            return wireformat.decode_body(kind, nsections, body)
+        data = encode(request)
+        self._file.write(data)
         self._file.flush()
+        self.bytes_sent += len(data)
         line = self._file.readline()
         if not line:
             raise ServiceError(INTERNAL, "connection closed by server")
-        return unwrap(decode(line))
+        self.bytes_received += len(line)
+        return decode(line)
+
+    def call(self, request: dict[str, Any]) -> dict[str, Any]:
+        return unwrap(self.request(request))
 
     def eval(
         self,

@@ -15,6 +15,18 @@ memoises model instances, and exposes exactly two evaluation shapes:
   tradeoff/greenup queries, catalog lookups — returned as JSON-ready
   dicts.
 
+Curve sampling additionally runs through a **compiled plan cache**:
+curve results are pure functions of ``(machine, kind, grid-spec)``, and
+real request streams repeat a handful of grid specs endlessly, so the
+engine memoises the whole compiled plan — the log-2 intensity grid, the
+sampled series (read-only ndarrays), and their JSON-ready list forms —
+keyed on the canonicalised spec.  A plan-cache hit skips argument
+canonicalisation, grid construction, and model evaluation entirely;
+hit/miss counts surface in the server's ``stats`` payload.  Plan
+entries are shared between responses, so callers must treat curve
+results as immutable (the same contract the response cache already
+imposes).
+
 Model/metric names accepted by the ``eval`` operation:
 
 ==========  =====================================================
@@ -33,6 +45,7 @@ Model/metric names accepted by the ``eval`` operation:
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from typing import Any, Callable, Sequence
 
 import numpy as np
@@ -55,7 +68,13 @@ from repro.exceptions import ParameterError, ServiceError
 from repro.machines.catalog import list_machines, resolve_machine
 from repro.service.protocol import BAD_REQUEST, UNKNOWN_MACHINE
 
-__all__ = ["EvalEngine", "MODELS", "EVAL_METRICS", "CURVE_KINDS"]
+__all__ = [
+    "EvalEngine",
+    "MODELS",
+    "EVAL_METRICS",
+    "CURVE_KINDS",
+    "DEFAULT_PLAN_CACHE_SIZE",
+]
 
 #: Model families addressable by the ``eval`` operation.
 MODELS: dict[str, type] = {
@@ -103,6 +122,59 @@ CURVE_KINDS: dict[str, Callable] = {
 #: speedup/greenup are ratios, so the scale cancels (matches the CLI).
 _REFERENCE_WORK = 1e12
 
+#: Default plan-cache entry budget.  A plan is a few KB of arrays; real
+#: streams cycle through tens of distinct (machine, kind, grid) specs.
+DEFAULT_PLAN_CACHE_SIZE = 256
+
+
+class _CurvePlan:
+    """One compiled curve plan: sampled arrays plus lazy list forms.
+
+    ``arrays`` holds the read-only ndarray series (what the binary wire
+    and the worker tier ship); ``lists`` materialises the ``.tolist()``
+    forms once, on first NDJSON/in-process use, and reuses them —
+    ``tolist`` yields the identical floats every time, so the two forms
+    can never disagree.
+    """
+
+    __slots__ = ("label", "units", "intensities", "values", "_lists")
+
+    def __init__(
+        self,
+        label: str,
+        units: str,
+        intensities: np.ndarray,
+        values: np.ndarray,
+    ):
+        intensities.setflags(write=False)
+        values.setflags(write=False)
+        self.label = label
+        self.units = units
+        self.intensities = intensities
+        self.values = values
+        self._lists: tuple[list, list] | None = None
+
+    def result_arrays(self) -> dict[str, Any]:
+        """Fresh result dict with the shared read-only ndarray series."""
+        return {
+            "label": self.label,
+            "units": self.units,
+            "intensities": self.intensities,
+            "values": self.values,
+        }
+
+    def result_lists(self) -> dict[str, Any]:
+        """Fresh result dict with the shared (immutable-by-contract)
+        list series, materialised at most once per plan."""
+        if self._lists is None:
+            self._lists = (self.intensities.tolist(), self.values.tolist())
+        return {
+            "label": self.label,
+            "units": self.units,
+            "intensities": self._lists[0],
+            "values": self._lists[1],
+        }
+
 
 class EvalEngine:
     """Resolve machines, memoise models, evaluate requests.
@@ -112,16 +184,31 @@ class EvalEngine:
     resolver:
         Machine resolution function (catalog key or JSON path →
         :class:`MachineModel`); injectable for tests.
+    plan_cache_size:
+        Compiled curve-plan entries to keep (LRU); ``0`` disables the
+        plan cache — every curve request recompiles, which is the
+        pre-plan-cache execution path the wire benchmarks baseline
+        against.
     """
 
     def __init__(
         self,
         resolver: Callable[[str], MachineModel] = resolve_machine,
+        *,
+        plan_cache_size: int = DEFAULT_PLAN_CACHE_SIZE,
     ):
+        if plan_cache_size < 0:
+            raise ValueError(
+                f"plan_cache_size must be >= 0, got {plan_cache_size}"
+            )
         self._resolver = resolver
         self._machines: dict[str, MachineModel] = {}
         self._models: dict[tuple[str, str], Any] = {}
         self._batch_fns: dict[tuple[str, str, str], Callable] = {}
+        self.plan_cache_size = plan_cache_size
+        self._plans: "OrderedDict[tuple, _CurvePlan]" = OrderedDict()
+        self.plan_hits = 0
+        self.plan_misses = 0
         #: Number of vectorised evaluation calls issued — the batching
         #: tests assert N concurrent scalars cost ≤ ceil(N/max_batch).
         self.batch_calls = 0
@@ -229,17 +316,14 @@ class EvalEngine:
         normalized: bool = True,
     ) -> dict[str, Any]:
         """Sample one model curve on a log-2 intensity grid."""
-        result = self.curve_arrays(
+        return self.curve_plan(
             machine_key,
             kind,
             lo=lo,
             hi=hi,
             points_per_octave=points_per_octave,
             normalized=normalized,
-        )
-        result["intensities"] = result["intensities"].tolist()
-        result["values"] = result["values"].tolist()
-        return result
+        ).result_lists()
 
     def curve_arrays(
         self,
@@ -251,14 +335,66 @@ class EvalEngine:
         points_per_octave: int = 8,
         normalized: bool = True,
     ) -> dict[str, Any]:
-        """:meth:`curve` with ndarray-valued series fields.
+        """:meth:`curve` with (read-only) ndarray-valued series fields.
 
-        The worker tier ships curve results across the process boundary
-        in this form — pickling an ndarray is a buffer copy, an order
-        of magnitude cheaper than pickling the equivalent float list —
-        and the parent applies the same ``.tolist()`` that :meth:`curve`
-        would have, so the JSON the client sees is byte-identical.
+        The worker tier and the binary wire ship curve results across
+        process/socket boundaries in this form — moving an ndarray is a
+        buffer copy, an order of magnitude cheaper than the equivalent
+        float list — and the receiving side applies the same
+        ``.tolist()`` that :meth:`curve` would have, so the JSON the
+        client sees is byte-identical.
         """
+        return self.curve_plan(
+            machine_key,
+            kind,
+            lo=lo,
+            hi=hi,
+            points_per_octave=points_per_octave,
+            normalized=normalized,
+        ).result_arrays()
+
+    def curve_plan(
+        self,
+        machine_key: str,
+        kind: str,
+        *,
+        lo: float = 0.5,
+        hi: float = 512.0,
+        points_per_octave: int = 8,
+        normalized: bool = True,
+    ) -> _CurvePlan:
+        """The compiled (and cached) plan for one curve grid spec.
+
+        Keyed on the canonical ``(machine, kind, lo, hi,
+        points_per_octave, normalized)`` tuple; a hit returns the
+        already-sampled series without touching the samplers or numpy.
+        Correctness rests on curves being pure functions of the machine
+        and the spec, and on machine resolutions being memoised for the
+        engine's lifetime (both already true of this engine).
+        """
+        key = (
+            machine_key,
+            kind,
+            float(lo),
+            float(hi),
+            int(points_per_octave),
+            bool(normalized),
+        )
+        plan = self._plans.get(key)
+        if plan is not None:
+            self._plans.move_to_end(key)
+            self.plan_hits += 1
+            return plan
+        self.plan_misses += 1
+        plan = self._compile_curve(key)
+        if self.plan_cache_size > 0:
+            self._plans[key] = plan
+            while len(self._plans) > self.plan_cache_size:
+                self._plans.popitem(last=False)
+        return plan
+
+    def _compile_curve(self, key: tuple) -> _CurvePlan:
+        machine_key, kind, lo, hi, points_per_octave, normalized = key
         sampler = CURVE_KINDS.get(kind)
         if sampler is None:
             raise ServiceError(
@@ -268,16 +404,27 @@ class EvalEngine:
             )
         machine = self.machine(machine_key)
         kwargs: dict[str, Any] = dict(
-            lo=float(lo), hi=float(hi), points_per_octave=int(points_per_octave)
+            lo=lo, hi=hi, points_per_octave=points_per_octave
         )
         if kind != "capped-powerline":
-            kwargs["normalized"] = bool(normalized)
+            kwargs["normalized"] = normalized
         series = sampler(machine, **kwargs)
+        return _CurvePlan(
+            series.label,
+            series.units,
+            np.asarray(series.intensities, dtype=float),
+            np.asarray(series.values, dtype=float),
+        )
+
+    def plan_cache_stats(self) -> dict[str, Any]:
+        """JSON-ready plan-cache counters for the ``stats`` operation."""
+        total = self.plan_hits + self.plan_misses
         return {
-            "label": series.label,
-            "units": series.units,
-            "intensities": series.intensities,
-            "values": series.values,
+            "size": len(self._plans),
+            "capacity": self.plan_cache_size,
+            "hits": self.plan_hits,
+            "misses": self.plan_misses,
+            "hit_ratio": self.plan_hits / total if total else 0.0,
         }
 
     def balance(self, machine_key: str) -> dict[str, Any]:

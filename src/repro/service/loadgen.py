@@ -32,12 +32,12 @@ from __future__ import annotations
 
 import asyncio
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Any, Sequence
 
 import numpy as np
 
-from repro.service.client import InProcessClient
+from repro.service.client import AsyncServiceClient, InProcessClient
 from repro.service.server import ModelServer, ServerConfig
 from repro.units import to_milliseconds
 
@@ -91,6 +91,14 @@ class LoadReport:
     workload: str = "scalar"
     offered_rps: float = 0.0
     workers: int = 0
+    #: Transport the requests travelled over: ``"inproc"`` (direct
+    #: handler calls), or ``"ndjson"`` / ``"binary"`` for real TCP with
+    #: that wire framing.
+    wire: str = "inproc"
+    #: Bytes on the wire over the whole run (zero for ``"inproc"``) —
+    #: the framing A/B's second axis next to the latency distribution.
+    bytes_sent: int = 0
+    bytes_received: int = 0
     #: Per-request latencies in issue order, milliseconds.  Percentiles
     #: compress the story; the raw series is what lets a caller see
     #: queueing *build* (open-loop backlog grows latency monotonically
@@ -115,6 +123,16 @@ class LoadReport:
                 f"arrivals    = open loop (Poisson), offered "
                 f"{self.offered_rps:,.0f} req/s; latency measured from "
                 "intended arrival",
+            )
+        if self.wire != "inproc":
+            total = self.bytes_sent + self.bytes_received
+            per_request = total / self.requests if self.requests else 0.0
+            lines.insert(
+                1,
+                f"wire        = {self.wire} framing over TCP "
+                f"({self.bytes_sent:,} B sent, "
+                f"{self.bytes_received:,} B received, "
+                f"{per_request:,.0f} B/request)",
             )
         if self.workers:
             lines.append(f"workers     = {self.workers} shard processes")
@@ -468,6 +486,9 @@ def bench_serving(
     workers: int = 0,
     shard_by: str = "machine",
     open_loop_rate: float | None = None,
+    wire: str = "inproc",
+    job_transport: str | None = None,
+    plan_cache_size: int | None = None,
 ) -> LoadReport:
     """One synchronous end-to-end serving benchmark run.
 
@@ -476,9 +497,29 @@ def bench_serving(
     loop at ``open_loop_rate`` requests/s when given), drains, and
     returns the report.  The cache defaults to *off* so the
     measurement isolates the execution path under test.
+
+    ``wire`` selects the transport under test: ``"inproc"`` (default)
+    calls the handler directly; ``"ndjson"`` and ``"binary"`` serve a
+    real loopback TCP socket and drive it through one
+    :class:`~repro.service.client.AsyncServiceClient` negotiated to
+    that framing, so the report's latency distribution and
+    bytes-on-wire compare the framings end to end.  ``job_transport``
+    and ``plan_cache_size`` pass through to :class:`ServerConfig` when
+    given (``None`` keeps the server defaults) — the perfreg wire check
+    pins its baseline by forcing ``pickle`` transport and a disabled
+    plan cache.
     """
+    if wire not in ("inproc", "ndjson", "binary"):
+        raise ValueError(
+            f"wire must be 'inproc', 'ndjson', or 'binary', got {wire!r}"
+        )
 
     async def _run() -> LoadReport:
+        config_kwargs: dict[str, Any] = {}
+        if job_transport is not None:
+            config_kwargs["job_transport"] = job_transport
+        if plan_cache_size is not None:
+            config_kwargs["plan_cache_size"] = plan_cache_size
         server = ModelServer(
             ServerConfig(
                 max_batch=max_batch,
@@ -487,11 +528,26 @@ def bench_serving(
                 queue_limit=max(1024, concurrency * 2),
                 workers=workers,
                 shard_by=shard_by,
+                **config_kwargs,
             )
         )
+        client = None
+        tcp_server = None
         try:
+            if wire != "inproc":
+                tcp_server = await asyncio.start_server(
+                    server._on_connection, "127.0.0.1", 0
+                )
+                port = tcp_server.sockets[0].getsockname()[1]
+                client = await AsyncServiceClient.connect(
+                    "127.0.0.1", port, wire=wire
+                )
+                if client.wire != wire:  # pragma: no cover - local server
+                    raise RuntimeError(
+                        f"negotiated {client.wire!r} framing, wanted {wire!r}"
+                    )
             if open_loop_rate is not None:
-                return await run_open_loop(
+                report = await run_open_loop(
                     server,
                     rate=open_loop_rate,
                     requests=requests,
@@ -500,18 +556,34 @@ def bench_serving(
                     metric=metric,
                     unique_intensities=unique_intensities,
                     workload=workload,
+                    client=client,
                 )
-            return await run_closed_loop(
-                server,
-                requests=requests,
-                concurrency=concurrency,
-                machines=machines,
-                model=model,
-                metric=metric,
-                unique_intensities=unique_intensities,
-                workload=workload,
-            )
+            else:
+                report = await run_closed_loop(
+                    server,
+                    requests=requests,
+                    concurrency=concurrency,
+                    machines=machines,
+                    model=model,
+                    metric=metric,
+                    unique_intensities=unique_intensities,
+                    workload=workload,
+                    client=client,
+                )
+            if client is not None:
+                report = replace(
+                    report,
+                    wire=wire,
+                    bytes_sent=client.bytes_sent,
+                    bytes_received=client.bytes_received,
+                )
+            return report
         finally:
+            if client is not None:
+                await client.close()
+            if tcp_server is not None:
+                tcp_server.close()
+                await tcp_server.wait_closed()
             await server.stop()
 
     return asyncio.run(_run())

@@ -36,8 +36,23 @@ Error codes
     A worker process died mid-job and has been respawned; the error
     object carries ``"retriable": true`` — the job may or may not have
     executed, so the client decides whether to resubmit.
+``bad_frame``
+    A malformed binary frame arrived on a connection negotiated to the
+    binary wire format (see :mod:`repro.service.wire`).  The server
+    sends one structured error with this code and closes the
+    connection: a corrupt framed stream cannot be resynchronised.
 ``internal``
     Unexpected server-side failure.
+
+Wire negotiation
+----------------
+A connection speaks NDJSON until a ``hello`` request negotiates
+otherwise: ``{"op": "hello", "wire": ["binary"]}`` answered with
+``{"wire": "binary", "version": 1}`` switches both directions to the
+binary framing defined in :mod:`repro.service.wire`.  Servers without
+binary support answer ``unknown_op``; clients treat that (and any
+non-binary answer) as "stay on NDJSON".  ``hello`` only exists on TCP
+connections — the in-process pipeline has no framing to negotiate.
 """
 
 from __future__ import annotations
@@ -56,6 +71,7 @@ __all__ = [
     "DEADLINE_EXCEEDED",
     "SHUTTING_DOWN",
     "WORKER_CRASHED",
+    "BAD_FRAME",
     "INTERNAL",
     "CACHEABLE_OPS",
     "MAX_LINE_BYTES",
@@ -74,6 +90,7 @@ OVERLOADED = "overloaded"
 DEADLINE_EXCEEDED = "deadline_exceeded"
 SHUTTING_DOWN = "shutting_down"
 WORKER_CRASHED = "worker_crashed"
+BAD_FRAME = "bad_frame"
 INTERNAL = "internal"
 
 #: Operations whose responses are pure functions of the request body.

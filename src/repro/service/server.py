@@ -42,9 +42,10 @@ from dataclasses import dataclass, field
 from typing import Any, Callable
 
 from repro.exceptions import ReproError, ServiceError
+from repro.service import wire as wireformat
 from repro.service.batcher import MicroBatcher
 from repro.service.cache import TTLCache
-from repro.service.engine import EvalEngine
+from repro.service.engine import DEFAULT_PLAN_CACHE_SIZE, EvalEngine
 from repro.service.metrics import MetricsRegistry
 from repro.service.protocol import (
     BAD_REQUEST,
@@ -59,7 +60,12 @@ from repro.service.protocol import (
     ok_response,
     request_cache_key,
 )
-from repro.service.workers import DEFAULT_SHM_THRESHOLD, WorkerPool
+from repro.service.workers import (
+    DEFAULT_RING_SLOT_SIZE,
+    DEFAULT_RING_SLOTS,
+    DEFAULT_SHM_THRESHOLD,
+    WorkerPool,
+)
 from repro.units import milliseconds, to_milliseconds
 
 __all__ = ["ServerConfig", "ModelServer"]
@@ -106,6 +112,22 @@ class ServerConfig:
     shm_threshold:
         Job/reply body size (bytes) above which worker IPC uses shared
         memory instead of the pipe.
+    wire:
+        TCP framing policy.  ``"auto"`` and ``"binary"`` accept a
+        client's ``hello`` offer of the binary wire format
+        (:mod:`repro.service.wire`); ``"ndjson"`` refuses it, pinning
+        every connection to NDJSON.  Connections that never send a
+        ``hello`` speak NDJSON under any policy — the negotiation is
+        strictly opt-in per connection.
+    job_transport:
+        Worker job-body transport: ``"ring"`` (default) uses the
+        preallocated shared-memory ring arenas, ``"pickle"`` the
+        per-job pipe/shm path (the pre-ring baseline).
+    ring_slots, ring_slot_size:
+        Ring-arena geometry per shard and direction.
+    plan_cache_size:
+        Compiled curve-plan cache entries per engine (in-loop and per
+        worker); ``0`` disables plan caching.
     """
 
     host: str = "127.0.0.1"
@@ -123,6 +145,11 @@ class ServerConfig:
     shard_by: str = "machine"
     worker_queue_limit: int = 256
     shm_threshold: int = DEFAULT_SHM_THRESHOLD
+    wire: str = "auto"
+    job_transport: str = "ring"
+    ring_slots: int = DEFAULT_RING_SLOTS
+    ring_slot_size: int = DEFAULT_RING_SLOT_SIZE
+    plan_cache_size: int = DEFAULT_PLAN_CACHE_SIZE
 
 
 class ModelServer:
@@ -135,7 +162,14 @@ class ModelServer:
         engine: EvalEngine | None = None,
     ):
         self.config = config or ServerConfig()
-        self.engine = engine or EvalEngine()
+        if self.config.wire not in ("auto", "binary", "ndjson"):
+            raise ValueError(
+                f"wire must be 'auto', 'binary', or 'ndjson', "
+                f"got {self.config.wire!r}"
+            )
+        self.engine = engine or EvalEngine(
+            plan_cache_size=self.config.plan_cache_size
+        )
         self.metrics = MetricsRegistry()
         self.cache = TTLCache(self.config.cache_size, self.config.cache_ttl)
         self.pool: WorkerPool | None = (
@@ -144,6 +178,10 @@ class ModelServer:
                 shard_by=self.config.shard_by,
                 queue_limit=self.config.worker_queue_limit,
                 shm_threshold=self.config.shm_threshold,
+                job_transport=self.config.job_transport,
+                ring_slots=self.config.ring_slots,
+                ring_slot_size=self.config.ring_slot_size,
+                plan_cache_size=self.config.plan_cache_size,
                 metrics=self.metrics,
             )
             if self.config.workers > 0
@@ -170,13 +208,34 @@ class ModelServer:
         self._cache_hits = self.metrics.counter("cache_hits_total")
         self._latency_ms = self.metrics.histogram("request_latency_ms")
         self._queue_depth = self.metrics.gauge("queue_depth")
+        # Pre-created so both framing counters exist (at zero) in every
+        # stats payload, whichever framings connections actually used.
+        self._wire_binary_conns = self.metrics.counter(
+            "wire_binary_connections_total"
+        )
+        self._wire_ndjson_conns = self.metrics.counter(
+            "wire_ndjson_connections_total"
+        )
 
     # ------------------------------------------------------------------
     # Request pipeline (transport-independent)
     # ------------------------------------------------------------------
 
-    async def handle_request(self, request: dict[str, Any]) -> dict[str, Any]:
-        """Run one request through the full pipeline; never raises."""
+    async def handle_request(
+        self,
+        request: dict[str, Any],
+        *,
+        arrays: dict[str, Any] | None = None,
+    ) -> dict[str, Any]:
+        """Run one request through the full pipeline; never raises.
+
+        ``arrays`` is the zero-copy sink binary connections pass: bulk
+        float series of the result (curve/grid values) are deposited
+        into it as ndarrays and *omitted* from the returned envelope —
+        the binary framer ships them as raw sections and the client
+        splices the identical floats back in.  ``None`` (the NDJSON and
+        in-process paths) keeps every field in the envelope as lists.
+        """
         if not isinstance(request, dict):
             return error_response(
                 None, BAD_REQUEST, "request must be a JSON object"
@@ -226,7 +285,7 @@ class ModelServer:
             if timeout is not None:
                 try:
                     result = await asyncio.wait_for(
-                        self._dispatch(op, request), timeout
+                        self._dispatch(op, request, arrays), timeout
                     )
                 except (asyncio.TimeoutError, TimeoutError):
                     self._deadline_total.inc()
@@ -237,9 +296,21 @@ class ModelServer:
                         f"deadline of {timeout * 1000:.6g} ms expired",
                     )
             else:
-                result = await self._dispatch(op, request)
+                result = await self._dispatch(op, request, arrays)
             if cache_key is not None:
-                self.cache.put(cache_key, result)
+                if arrays:
+                    # Deposited series are cached in their list form, so
+                    # later hits serve NDJSON and binary alike (the
+                    # framer re-lifts lists into raw sections).
+                    self.cache.put(
+                        cache_key,
+                        {
+                            **result,
+                            **{k: v.tolist() for k, v in arrays.items()},
+                        },
+                    )
+                else:
+                    self.cache.put(cache_key, result)
             return ok_response(request_id, result)
         except ServiceError as exc:
             status = exc.code
@@ -290,14 +361,21 @@ class ModelServer:
             )
         return milliseconds(float(timeout_ms))
 
-    async def _dispatch(self, op: str, request: dict[str, Any]) -> dict[str, Any]:
+    async def _dispatch(
+        self,
+        op: str,
+        request: dict[str, Any],
+        arrays: dict[str, Any] | None = None,
+    ) -> dict[str, Any]:
         """Execute one admitted, uncached request.
 
         Argument validation always runs here on the loop (it is cheap
         and produces identical errors either way); the model evaluation
         itself runs in-loop with ``workers=0`` or on the worker pool
         otherwise.  Both paths execute the same engine code, so
-        responses are byte-identical across worker counts.
+        responses are byte-identical across worker counts.  With an
+        ``arrays`` sink, curve/grid series stay ndarrays end to end —
+        deposited instead of ``.tolist()``-ed into the result.
         """
         if op == "eval":
             machine = _required(request, "machine", str)
@@ -320,6 +398,9 @@ class ModelServer:
                     values = self.engine.eval_batch(
                         machine, model, metric, grid
                     )
+                if arrays is not None:
+                    arrays["values"] = values
+                    return {}
                 return {"values": values.tolist()}
             intensity = _required(request, "intensity", (int, float))
             value = await self.batcher.submit(
@@ -328,9 +409,7 @@ class ModelServer:
             return {"value": value}
         if op == "curve":
             machine = _required(request, "machine", str)
-            return await self._analysis(
-                "curve",
-                machine,
+            kwargs = dict(
                 kind=_required(request, "kind", str),
                 lo=_optional(request, "lo", (int, float), 0.5),
                 hi=_optional(request, "hi", (int, float), 512.0),
@@ -339,6 +418,22 @@ class ModelServer:
                 ),
                 normalized=_optional(request, "normalized", bool, True),
             )
+            if arrays is None:
+                return await self._analysis("curve", machine, **kwargs)
+            if self.pool is not None:
+                result = await self.pool.submit(
+                    "op",
+                    ("curve", {"machine_key": machine, **kwargs}),
+                    self.pool.key_for(machine),
+                    listify=False,
+                )
+                arrays["intensities"] = result.pop("intensities")
+                arrays["values"] = result.pop("values")
+                return result
+            plan = self.engine.curve_plan(machine, **kwargs)
+            arrays["intensities"] = plan.intensities
+            arrays["values"] = plan.values
+            return {"label": plan.label, "units": plan.units}
         if op == "balance":
             machine = _required(request, "machine", str)
             return await self._analysis("balance", machine)
@@ -409,6 +504,9 @@ class ModelServer:
         """The ``stats`` payload: metrics, cache, batcher, queue state."""
         snapshot = self.metrics.snapshot()
         snapshot["cache"] = self.cache.stats()
+        # In-loop engine counters; with workers each worker process has
+        # its own engine (and plan cache), not aggregated here.
+        snapshot["plan_cache"] = self.engine.plan_cache_stats()
         snapshot["inflight"] = self._inflight
         snapshot["pending_batched"] = self.batcher.pending_requests
         snapshot["engine_batch_calls"] = self.engine.batch_calls
@@ -421,6 +519,9 @@ class ModelServer:
             "queue_limit": self.config.queue_limit,
             "workers": self.config.workers,
             "shard_by": self.config.shard_by,
+            "wire": self.config.wire,
+            "job_transport": self.config.job_transport,
+            "plan_cache_size": self.config.plan_cache_size,
         }
         if self.pool is not None:
             snapshot["workers"] = self.pool.stats()
@@ -453,10 +554,17 @@ class ModelServer:
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
         """Read request lines, answering each from its own task so slow
-        requests never head-of-line-block fast ones on the connection."""
+        requests never head-of-line-block fast ones on the connection.
+
+        The *first* line may be a ``hello`` negotiating the binary
+        framing; on acceptance the connection hands over to
+        :meth:`_binary_loop` and never returns to NDJSON.
+        """
         write_lock = asyncio.Lock()
         request_tasks: set[asyncio.Task] = set()
         self.metrics.counter("connections_total").inc()
+        upgraded = False
+        first = True
         try:
             while True:
                 try:
@@ -467,6 +575,20 @@ class ModelServer:
                     break
                 if line.strip() == b"":
                     continue
+                if first:
+                    first = False
+                    hello = _sniff_hello(line)
+                    if hello is not None:
+                        upgraded = await self._negotiate(
+                            hello, writer, write_lock
+                        )
+                        if upgraded:
+                            self._wire_binary_conns.inc()
+                            await self._binary_loop(
+                                reader, writer, write_lock, request_tasks
+                            )
+                            break
+                        continue
                 task = asyncio.ensure_future(
                     self._answer_line(line, writer, write_lock)
                 )
@@ -475,11 +597,123 @@ class ModelServer:
                 task.add_done_callback(request_tasks.discard)
                 task.add_done_callback(self._conn_tasks.discard)
         finally:
+            if not upgraded:
+                self._wire_ndjson_conns.inc()
             if request_tasks:
                 await asyncio.gather(*request_tasks, return_exceptions=True)
             writer.close()
             try:
                 await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _negotiate(
+        self,
+        hello: dict[str, Any],
+        writer: asyncio.StreamWriter,
+        write_lock: asyncio.Lock,
+    ) -> bool:
+        """Answer one ``hello`` (in NDJSON); returns whether the
+        connection upgrades to binary framing."""
+        offered = hello.get("wire")
+        accept = (
+            self.config.wire in ("auto", "binary")
+            and isinstance(offered, list)
+            and wireformat.WIRE_BINARY in offered
+        )
+        if accept:
+            result = {
+                "wire": wireformat.WIRE_BINARY,
+                "version": wireformat.WIRE_VERSION,
+            }
+        else:
+            result = {"wire": wireformat.WIRE_NDJSON}
+        payload = encode(ok_response(hello.get("id"), result))
+        async with write_lock:
+            try:
+                writer.write(payload)
+                await writer.drain()
+            except (ConnectionError, OSError):
+                return False
+        return accept
+
+    async def _binary_loop(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        write_lock: asyncio.Lock,
+        request_tasks: set[asyncio.Task],
+    ) -> None:
+        """Frame-at-a-time read loop for an upgraded connection.
+
+        Any malformed or truncated frame gets one structured
+        ``bad_frame`` error and ends the loop — the caller closes the
+        connection, because a corrupt framed stream has no resync
+        point.  Clean EOF *between* frames is a normal hangup.
+        """
+        while True:
+            try:
+                header = await reader.readexactly(wireformat.HEADER_SIZE)
+            except asyncio.IncompleteReadError as exc:
+                if exc.partial:
+                    await self._frame_error(
+                        writer, write_lock, 0, "truncated frame header"
+                    )
+                return
+            except (ConnectionError, OSError):
+                return
+            seq = 0
+            try:
+                kind, nsections, body_len, seq = wireformat.parse_header(
+                    header
+                )
+                # asyncio.timeout (not wait_for): an already-buffered
+                # body completes without yielding to the loop, so a
+                # burst of frames reaches the micro-batcher as one
+                # wave instead of flushing partial batches between
+                # per-frame suspensions.  The deadline still fires on
+                # a peer that stalls mid-body.
+                async with asyncio.timeout(wireformat.FRAME_BODY_TIMEOUT):
+                    body = await reader.readexactly(body_len)
+                request = wireformat.decode_body(kind, nsections, body)
+            except ServiceError as exc:
+                await self._frame_error(writer, write_lock, seq, exc.message)
+                return
+            except (
+                asyncio.IncompleteReadError,
+                asyncio.TimeoutError,
+                TimeoutError,
+            ):
+                await self._frame_error(
+                    writer, write_lock, seq, "truncated frame body"
+                )
+                return
+            except (ConnectionError, OSError):
+                return
+            task = asyncio.ensure_future(
+                self._answer_frame(request, writer, write_lock)
+            )
+            request_tasks.add(task)
+            self._conn_tasks.add(task)
+            task.add_done_callback(request_tasks.discard)
+            task.add_done_callback(self._conn_tasks.discard)
+
+    async def _frame_error(
+        self,
+        writer: asyncio.StreamWriter,
+        write_lock: asyncio.Lock,
+        seq: int,
+        message: str,
+    ) -> None:
+        self._errors_total.inc()
+        envelope = error_response(None, wireformat.BAD_FRAME, message)
+        payload = wireformat.encode_frame(
+            wireformat.KIND_RESPONSE, seq, envelope
+        )
+        async with write_lock:
+            try:
+                writer.write(payload)
+                await writer.drain()
             except (ConnectionError, OSError):
                 pass
 
@@ -496,6 +730,42 @@ class ModelServer:
         else:
             response = await self.handle_request(request)
         payload = encode(response)
+        async with write_lock:
+            try:
+                writer.write(payload)
+                await writer.drain()
+            except (ConnectionError, OSError):
+                pass  # peer went away; nothing to answer to
+
+    async def _answer_frame(
+        self,
+        request: dict[str, Any],
+        writer: asyncio.StreamWriter,
+        write_lock: asyncio.Lock,
+    ) -> None:
+        arrays: dict[str, Any] = {}
+        response = await self.handle_request(request, arrays=arrays)
+        request_id = request.get("id")
+        seq = (
+            request_id
+            if isinstance(request_id, int)
+            and not isinstance(request_id, bool)
+            and 0 <= request_id < 2**64
+            else 0
+        )
+        try:
+            payload = wireformat.encode_frame(
+                wireformat.KIND_RESPONSE,
+                seq,
+                response,
+                arrays=arrays if response.get("ok") else None,
+            )
+        except ServiceError as exc:  # pragma: no cover - oversize result
+            payload = wireformat.encode_frame(
+                wireformat.KIND_RESPONSE,
+                seq,
+                error_response(request_id, exc.code, exc.message),
+            )
         async with write_lock:
             try:
                 writer.write(payload)
@@ -545,6 +815,24 @@ class ModelServer:
             except (ConnectionError, OSError):
                 pass
             self._tcp_server = None
+
+
+def _sniff_hello(line: bytes) -> dict[str, Any] | None:
+    """The decoded request if this first line is a ``hello``, else None.
+
+    The byte-level substring check keeps the common case (an ordinary
+    first request) to one cheap scan instead of a JSON parse; anything
+    undecodable is left for the normal per-line error path.
+    """
+    if b'"hello"' not in line:
+        return None
+    try:
+        request = decode(line)
+    except ServiceError:
+        return None
+    if request.get("op") != wireformat.HELLO_OP:
+        return None
+    return request
 
 
 def _required(request: dict[str, Any], name: str, types: Any) -> Any:

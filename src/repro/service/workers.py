@@ -23,11 +23,27 @@ blocks on IPC.
 
 On the wire (the pipe), a job is ``(seq, kind, body)`` and a reply is
 ``(seq, "ok", body, compute_seconds)`` or ``(seq, "err", code,
-message)``.  Bodies in both directions are pickled; a body larger than
-``shm_threshold`` bytes travels through a
-:class:`multiprocessing.shared_memory.SharedMemory` segment instead of
-the pipe, which avoids the pipe's chunked copy for big grid inputs and
-curve/grid results (the receiver unlinks the segment after reading).
+message)``.  Bodies in both directions are pickled bytes that travel
+one of three ways:
+
+* ``("ring", slot, length, stamp)`` — the default ``job_transport=
+  "ring"``: the bytes sit in a preallocated per-shard shared-memory
+  :class:`~repro.service.shmring.RingArena` (one per direction), and
+  only this addressing triple crosses the pipe.  One ``memcpy`` in,
+  one zero-copy ``pickle.loads`` out — no per-job segment churn, no
+  chunked pipe copy.  A stamp mismatch on read means lost protocol
+  state and is treated exactly like a worker crash.
+* ``("raw", data)`` — the bytes ride the pipe itself: payloads too big
+  for a ring slot (and everything under ``shm_threshold`` when
+  ``job_transport="pickle"``).
+* ``("shm", name, size)`` — a dedicated per-job shared-memory segment
+  for bodies above ``shm_threshold`` that the ring cannot hold.  The
+  receiver unlinks it after reading.  Segment names are deterministic
+  — ``rs-<pool-token>-<shard>-<seq><direction>`` — so when a worker
+  dies mid-job the respawn path can reclaim any segment the dead
+  incarnation left behind (previously these leaked until interpreter
+  exit).  Ring arenas are likewise parent-owned, epoch-named, and
+  unlinked+recreated on respawn, so crashes never leak shared memory.
 
 Failure and shutdown semantics
 ------------------------------
@@ -48,6 +64,8 @@ Failure and shutdown semantics
 from __future__ import annotations
 
 import asyncio
+import itertools
+import os
 import pickle
 import time
 import zlib
@@ -63,15 +81,36 @@ from repro.service.protocol import (
     OVERLOADED,
     WORKER_CRASHED,
 )
+from repro.service.shmring import RingArena, RingError
 from repro.units import to_milliseconds
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.service.metrics import MetricsRegistry
 
-__all__ = ["WorkerPool", "SHARD_BY_CHOICES", "route_key"]
+__all__ = [
+    "WorkerPool",
+    "SHARD_BY_CHOICES",
+    "JOB_TRANSPORT_CHOICES",
+    "route_key",
+]
 
 #: Routing-key granularities accepted by ``shard_by``.
 SHARD_BY_CHOICES = ("machine", "model")
+
+#: Job-body transports accepted by ``job_transport``.  ``"ring"`` is
+#: the amortised shared-memory path (with automatic fallback for
+#: oversized bodies); ``"pickle"`` is the PR-5 pipe/per-job-shm path,
+#: kept as the benchmark baseline and as an escape hatch.
+JOB_TRANSPORT_CHOICES = ("ring", "pickle")
+
+#: Default ring geometry: slots per direction and bytes per slot.  One
+#: slot comfortably holds a pickled 2000-point curve reply (~32 KiB)
+#: or a 1024-point grid job; bigger bodies fall back per job.
+DEFAULT_RING_SLOTS = 8
+DEFAULT_RING_SLOT_SIZE = 1 << 18
+
+#: Distinguishes spill/ring names of pools that share a parent pid.
+_POOL_COUNTER = itertools.count()
 
 #: Worker-side operations reachable through an ``("op", ...)`` job —
 #: exactly the engine's structured analyses.  ``eval_batch`` has its
@@ -123,19 +162,22 @@ def _stable_shard(key: str, n: int) -> int:
 # ----------------------------------------------------------------------
 
 
-def _pack_body(obj: Any, shm_threshold: int) -> tuple:
-    """Pickle ``obj``; ship big payloads through shared memory.
+def _pack_data(
+    data: bytes, shm_threshold: int, name: str | None = None
+) -> tuple:
+    """Ship pickled bytes: small on the pipe, big through shared memory.
 
     Ownership of a shared segment transfers to the *receiver*, which
     unlinks it after reading — so the sender unregisters the segment
     from its own resource tracker (otherwise the tracker of a
     long-lived sender warns about every already-unlinked name at
     process exit; Python < 3.13 has no public ``track=False``).
+    ``name`` makes the segment name deterministic so the pool can
+    reclaim it if the receiver dies before reading.
     """
-    data = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
     if len(data) <= shm_threshold:
         return ("raw", data)
-    segment = shared_memory.SharedMemory(create=True, size=len(data))
+    segment = shared_memory.SharedMemory(create=True, size=len(data), name=name)
     try:
         segment.buf[: len(data)] = data
         try:
@@ -147,7 +189,15 @@ def _pack_body(obj: Any, shm_threshold: int) -> tuple:
         segment.close()
 
 
-def _unpack_body(body: tuple) -> Any:
+def _pack_body(
+    obj: Any, shm_threshold: int, name: str | None = None
+) -> tuple:
+    """Pickle ``obj``, then ship it via :func:`_pack_data`."""
+    data = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+    return _pack_data(data, shm_threshold, name)
+
+
+def _unpack_body(body: tuple, ring: RingArena | None = None) -> Any:
     tag = body[0]
     if tag == "raw":
         return pickle.loads(body[1])
@@ -159,7 +209,29 @@ def _unpack_body(body: tuple) -> Any:
         finally:
             segment.close()
             segment.unlink()
+    if tag == "ring" and ring is not None:
+        _, slot, length, stamp = body
+        view = ring.read(slot, length, stamp)  # raises RingError on mismatch
+        try:
+            return pickle.loads(view)
+        finally:
+            view.release()
     raise ServiceError(INTERNAL, f"malformed worker reply body: {body!r}")
+
+
+def _reclaim_segment(name: str) -> bool:
+    """Unlink one possibly-orphaned shared-memory segment by name.
+
+    Returns whether a segment existed.  Used by the respawn path to
+    collect spill segments a dead worker never read (or never sent).
+    """
+    try:
+        segment = shared_memory.SharedMemory(name=name)
+    except FileNotFoundError:
+        return False
+    segment.close()
+    segment.unlink()
+    return True
 
 
 # ----------------------------------------------------------------------
@@ -167,17 +239,39 @@ def _unpack_body(body: tuple) -> Any:
 # ----------------------------------------------------------------------
 
 
-def _worker_main(conn: Any, shm_threshold: int) -> None:
+def _worker_main(
+    conn: Any,
+    shm_threshold: int,
+    spill_prefix: str | None = None,
+    ring_spec: tuple[str, str, int, int] | None = None,
+    plan_cache_size: int | None = None,
+) -> None:
     """Entry point of one worker process: a warm engine behind a pipe.
 
     Runs until the pipe closes or a ``None`` shutdown sentinel arrives.
     Every exception is mapped to an error reply — the worker never dies
-    of a bad request, only of external signals.
+    of a bad request, only of external signals (and of ring-validation
+    failure, which means protocol state is lost beyond repair: exiting
+    lets the parent's crash path respawn it with fresh arenas).
+
+    ``ring_spec`` is ``(job_arena, reply_arena, slots, slot_size)`` —
+    parent-created arenas this worker attaches to; ``spill_prefix``
+    names this worker's reply spill segments deterministically so the
+    parent can reclaim them after a crash.
     """
     from repro.exceptions import ReproError
     from repro.service.engine import EvalEngine
 
-    engine = EvalEngine()
+    engine = (
+        EvalEngine()
+        if plan_cache_size is None
+        else EvalEngine(plan_cache_size=plan_cache_size)
+    )
+    job_ring = reply_ring = None
+    if ring_spec is not None:
+        job_name, reply_name, slots, slot_size = ring_spec
+        job_ring = RingArena(job_name, slots, slot_size, create=False)
+        reply_ring = RingArena(reply_name, slots, slot_size, create=False)
     while True:
         try:
             job = conn.recv()
@@ -188,7 +282,9 @@ def _worker_main(conn: Any, shm_threshold: int) -> None:
         seq, kind, body = job
         started = time.perf_counter()
         try:
-            payload = _unpack_body(body)
+            payload = _unpack_body(body, job_ring)
+        except RingError:
+            break  # lost transport state; die so the parent respawns us
         except Exception as exc:  # noqa: BLE001 - the process boundary
             conn.send((seq, "err", INTERNAL, f"bad job payload: {exc}"))
             continue
@@ -220,11 +316,27 @@ def _worker_main(conn: Any, shm_threshold: int) -> None:
             reply = (seq, "err", INTERNAL, f"{type(exc).__name__}: {exc}")
         else:
             compute = time.perf_counter() - started
-            reply = (seq, "ok", _pack_body(result, shm_threshold), compute)
+            data = pickle.dumps(result, protocol=pickle.HIGHEST_PROTOCOL)
+            reply_body = None
+            if reply_ring is not None:
+                triple = reply_ring.write(data)
+                if triple is not None:
+                    reply_body = ("ring", *triple)
+            if reply_body is None:
+                reply_body = _pack_data(
+                    data,
+                    shm_threshold,
+                    f"{spill_prefix}{seq:x}r" if spill_prefix else None,
+                )
+            reply = (seq, "ok", reply_body, compute)
         try:
             conn.send(reply)
         except (BrokenPipeError, OSError):
             break
+    if job_ring is not None:
+        job_ring.close()
+    if reply_ring is not None:
+        reply_ring.close()
     conn.close()
 
 
@@ -246,6 +358,13 @@ class _Shard:
         "crashes",
         "busy_seconds",
         "next_seq",
+        "epoch",
+        "job_ring",
+        "reply_ring",
+        "ring_jobs",
+        "ring_fallbacks",
+        "ring_outstanding",
+        "ring_occupancy_hwm",
     )
 
     def __init__(self, index: int):
@@ -260,6 +379,16 @@ class _Shard:
         self.crashes = 0
         self.busy_seconds = 0.0
         self.next_seq = 0
+        # Ring-transport state: arenas are recreated each worker
+        # incarnation (epoch), so a dead worker's stale view can never
+        # alias a live arena.
+        self.epoch = 0
+        self.job_ring: RingArena | None = None
+        self.reply_ring: RingArena | None = None
+        self.ring_jobs = 0
+        self.ring_fallbacks = 0
+        self.ring_outstanding = 0
+        self.ring_occupancy_hwm = 0
 
 
 class WorkerCrashError(ServiceError):
@@ -295,9 +424,22 @@ class WorkerPool:
     shm_threshold:
         Reply-body size (bytes) above which results travel through
         shared memory instead of the pipe.
+    job_transport:
+        ``"ring"`` (default) sends job/reply bodies through per-shard
+        preallocated shared-memory ring arenas (oversized bodies fall
+        back per job); ``"pickle"`` keeps everything on the pipe /
+        per-job shm — the pre-ring baseline.
+    ring_slots, ring_slot_size:
+        Ring geometry per direction: slot count and bytes per slot
+        (including the slot header).
+    plan_cache_size:
+        Forwarded to each worker's :class:`EvalEngine`; ``None`` keeps
+        the engine default.
     metrics:
         Optional registry; the pool records per-shard queue depth
-        gauges, job/crash counters, and job/IPC-overhead timers.
+        gauges, job/crash counters, job/IPC-overhead timers, and (with
+        the ring transport) ring job/fallback counters plus the
+        slot-occupancy high-water mark.
     """
 
     def __init__(
@@ -307,6 +449,10 @@ class WorkerPool:
         shard_by: str = "machine",
         queue_limit: int = 256,
         shm_threshold: int = DEFAULT_SHM_THRESHOLD,
+        job_transport: str = "ring",
+        ring_slots: int = DEFAULT_RING_SLOTS,
+        ring_slot_size: int = DEFAULT_RING_SLOT_SIZE,
+        plan_cache_size: int | None = None,
         metrics: "MetricsRegistry | None" = None,
     ):
         if workers < 1:
@@ -317,10 +463,23 @@ class WorkerPool:
             )
         if queue_limit < 1:
             raise ValueError(f"queue_limit must be >= 1, got {queue_limit}")
+        if job_transport not in JOB_TRANSPORT_CHOICES:
+            raise ValueError(
+                f"job_transport must be one of {JOB_TRANSPORT_CHOICES}, "
+                f"got {job_transport!r}"
+            )
         self.workers = workers
         self.shard_by = shard_by
         self.queue_limit = queue_limit
         self.shm_threshold = shm_threshold
+        self.job_transport = job_transport
+        self.ring_slots = ring_slots
+        self.ring_slot_size = ring_slot_size
+        self.plan_cache_size = plan_cache_size
+        #: Unique token prefixing every shared-memory name this pool
+        #: creates (ring arenas and spill segments) — what the crash
+        #: path scans for and what the leak regression test asserts on.
+        self.shm_token = f"{os.getpid():x}-{next(_POOL_COUNTER):x}"
         self._ctx = get_context("spawn")
         self._closing = False
         self._started = time.perf_counter()
@@ -347,17 +506,51 @@ class WorkerPool:
             if metrics
             else None
         )
+        use_ring = metrics is not None and job_transport == "ring"
+        self._ring_jobs_total = (
+            metrics.counter("ring_jobs_total") if use_ring else None
+        )
+        self._ring_fallbacks_total = (
+            metrics.counter("ring_fallbacks_total") if use_ring else None
+        )
+        self._ring_hwm_gauge = (
+            metrics.gauge("ring_occupancy_hwm") if use_ring else None
+        )
 
     # ------------------------------------------------------------------
     # Process lifecycle (always on the shard's executor thread, except
     # the initial spawn from __init__ before any jobs exist)
     # ------------------------------------------------------------------
 
+    def _spill_prefix(self, shard: _Shard) -> str:
+        return f"rs-{self.shm_token}-{shard.index}-"
+
     def _spawn(self, shard: _Shard) -> None:
+        ring_spec = None
+        if self.job_transport == "ring":
+            base = f"rr-{self.shm_token}-{shard.index}-{shard.epoch:x}"
+            shard.job_ring = RingArena(
+                f"{base}j", self.ring_slots, self.ring_slot_size, create=True
+            )
+            shard.reply_ring = RingArena(
+                f"{base}r", self.ring_slots, self.ring_slot_size, create=True
+            )
+            ring_spec = (
+                f"{base}j",
+                f"{base}r",
+                self.ring_slots,
+                self.ring_slot_size,
+            )
         parent_conn, child_conn = self._ctx.Pipe(duplex=True)
         process = self._ctx.Process(
             target=_worker_main,
-            args=(child_conn, self.shm_threshold),
+            args=(
+                child_conn,
+                self.shm_threshold,
+                self._spill_prefix(shard),
+                ring_spec,
+                self.plan_cache_size,
+            ),
             name=f"repro-worker-{shard.index}",
             daemon=True,
         )
@@ -366,7 +559,15 @@ class WorkerPool:
         shard.process = process
         shard.conn = parent_conn
 
-    def _respawn(self, shard: _Shard) -> None:
+    def _drop_rings(self, shard: _Shard) -> None:
+        """Unmap and unlink a shard's arenas (parent owns their names)."""
+        for ring in (shard.job_ring, shard.reply_ring):
+            if ring is not None:
+                ring.close()
+                ring.unlink()
+        shard.job_ring = shard.reply_ring = None
+
+    def _respawn(self, shard: _Shard, failed_seq: int | None = None) -> None:
         try:
             shard.conn.close()
         except OSError:  # pragma: no cover - already broken
@@ -377,6 +578,17 @@ class WorkerPool:
                 shard.process.kill()
                 shard.process.join(timeout=1.0)
         shard.crashes += 1
+        # Reclaim what the dead incarnation left behind: its arenas
+        # (recreated under a fresh epoch below) and any spill segment
+        # of the in-flight job — the job body it never read, or the
+        # reply body it built but never handed over.
+        self._drop_rings(shard)
+        shard.ring_outstanding = 0
+        if failed_seq is not None:
+            prefix = self._spill_prefix(shard)
+            for suffix in ("j", "r"):
+                _reclaim_segment(f"{prefix}{failed_seq:x}{suffix}")
+        shard.epoch += 1
         self._spawn(shard)
 
     # ------------------------------------------------------------------
@@ -414,13 +626,20 @@ class WorkerPool:
             )
         )
 
-    async def submit(self, kind: str, payload: Any, key: str) -> Any:
+    async def submit(
+        self, kind: str, payload: Any, key: str, *, listify: bool = True
+    ) -> Any:
         """Run one job on the shard ``key`` routes to; returns its result.
 
         Raises :class:`~repro.exceptions.ServiceError` with the worker's
         error code on evaluation failure, ``overloaded`` when the
         shard's queue is full, and ``worker_crashed`` (retriable) when
         the worker dies mid-job.
+
+        ``listify=False`` leaves bulk-series result fields (see
+        ``_ARRAY_RESULT_FIELDS``) as ndarrays instead of ``.tolist()``
+        lists — the binary wire ships them raw, so converting would be
+        pure waste on that path.
         """
         if self._closing:
             raise ServiceError(INTERNAL, "worker pool is closed")
@@ -439,7 +658,7 @@ class WorkerPool:
             self._depth_gauges[shard.index].set(shard.inflight)
         submitted = time.perf_counter()
         try:
-            result, compute = await loop.run_in_executor(
+            result, compute, ringed = await loop.run_in_executor(
                 shard.executor, self._roundtrip, shard, kind, payload
             )
         except WorkerCrashError:
@@ -463,7 +682,15 @@ class WorkerPool:
             # Queue wait + pickling + pipe/shm transfer: everything the
             # job cost beyond the worker's own compute time.
             self._ipc_ms.observe(to_milliseconds(max(0.0, elapsed - compute)))
-        if kind == "op":
+        if self._ring_jobs_total is not None:
+            if ringed:
+                self._ring_jobs_total.inc()
+            else:
+                self._ring_fallbacks_total.inc()
+            self._ring_hwm_gauge.set(
+                max(s.ring_occupancy_hwm for s in self._shards)
+            )
+        if listify and kind == "op":
             fields = _ARRAY_RESULT_FIELDS.get(payload[0], (None, ()))[1]
             for field in fields:
                 result[field] = result[field].tolist()
@@ -471,30 +698,68 @@ class WorkerPool:
 
     def _roundtrip(
         self, shard: _Shard, kind: str, payload: Any
-    ) -> tuple[Any, float]:
-        """Blocking send/recv on the shard thread; respawns on crash."""
+    ) -> tuple[Any, float, bool]:
+        """Blocking send/recv on the shard thread; respawns on crash.
+
+        Returns ``(result, compute_seconds, ringed)`` where ``ringed``
+        says whether both body directions travelled through the ring
+        arenas (``False`` = at least one per-job fallback).
+        """
         seq = shard.next_seq
         shard.next_seq += 1
-        try:
-            shard.conn.send(
-                (seq, kind, _pack_body(payload, self.shm_threshold))
+        job_body = None
+        if shard.job_ring is not None:
+            data = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+            triple = shard.job_ring.write(data)
+            if triple is not None:
+                job_body = ("ring", *triple)
+                shard.ring_jobs += 1
+                shard.ring_outstanding += 1
+                shard.ring_occupancy_hwm = max(
+                    shard.ring_occupancy_hwm, shard.ring_outstanding
+                )
+            else:
+                shard.ring_fallbacks += 1
+                job_body = _pack_data(
+                    data,
+                    self.shm_threshold,
+                    f"{self._spill_prefix(shard)}{seq:x}j",
+                )
+        if job_body is None:
+            job_body = _pack_body(
+                payload,
+                self.shm_threshold,
+                f"{self._spill_prefix(shard)}{seq:x}j",
             )
+        ringed_job = job_body[0] == "ring"
+        try:
+            shard.conn.send((seq, kind, job_body))
             reply = shard.conn.recv()
         except (EOFError, BrokenPipeError, ConnectionResetError, OSError) as exc:
             if self._closing:
                 raise ServiceError(
                     INTERNAL, "worker pool closed mid-job"
                 ) from exc
-            self._respawn(shard)
+            self._respawn(shard, seq)
             raise WorkerCrashError(
                 shard.index, type(exc).__name__
             ) from exc
+        finally:
+            if ringed_job:
+                shard.ring_outstanding -= 1
         if reply[0] != seq:  # pragma: no cover - protocol corruption
-            self._respawn(shard)
+            self._respawn(shard, seq)
             raise WorkerCrashError(shard.index, "out-of-sequence reply")
         if reply[1] == "err":
             raise ServiceError(reply[2], reply[3])
-        return _unpack_body(reply[2]), reply[3]
+        try:
+            result = _unpack_body(reply[2], shard.reply_ring)
+        except RingError as exc:
+            self._respawn(shard, seq)
+            raise WorkerCrashError(
+                shard.index, f"reply ring validation failed: {exc}"
+            ) from exc
+        return result, reply[3], ringed_job and reply[2][0] == "ring"
 
     # ------------------------------------------------------------------
     # Shutdown
@@ -527,6 +792,7 @@ class WorkerPool:
         )
         for shard in self._shards:
             shard.executor.shutdown(wait=False)
+            self._drop_rings(shard)
 
     def _shutdown_shard(self, shard: _Shard, timeout: float) -> None:
         """Runs on the shard thread, queued behind any in-flight job."""
@@ -567,11 +833,23 @@ class WorkerPool:
                     ),
                 }
             )
-        return {
+        stats: dict[str, Any] = {
             "workers": self.workers,
             "shard_by": self.shard_by,
             "queue_limit": self.queue_limit,
             "shm_threshold": self.shm_threshold,
+            "job_transport": self.job_transport,
             "uptime_seconds": round(uptime, 6),
             "shards": shards,
         }
+        if self.job_transport == "ring":
+            stats["ring"] = {
+                "slots": self.ring_slots,
+                "slot_size": self.ring_slot_size,
+                "jobs": sum(s.ring_jobs for s in self._shards),
+                "fallbacks": sum(s.ring_fallbacks for s in self._shards),
+                "occupancy_hwm": max(
+                    s.ring_occupancy_hwm for s in self._shards
+                ),
+            }
+        return stats

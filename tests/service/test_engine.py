@@ -130,3 +130,100 @@ class TestAnalyses:
     def test_machines_lists_catalog(self, engine):
         keys = {entry["key"] for entry in engine.machines()["machines"]}
         assert {"gtx580-double", "i7-950-double"} <= keys
+
+
+class TestPlanCache:
+    """The compiled curve-plan cache: hit/miss accounting, keying, LRU."""
+
+    SPEC = dict(lo=0.5, hi=64.0, points_per_octave=12, normalized=True)
+
+    def test_repeat_spec_hits(self, engine):
+        first = engine.curve(MACHINE, "roofline", **self.SPEC)
+        second = engine.curve(MACHINE, "roofline", **self.SPEC)
+        assert first == second
+        stats = engine.plan_cache_stats()
+        assert stats["hits"] == 1 and stats["misses"] == 1
+        assert stats["size"] == 1
+        assert stats["hit_ratio"] == 0.5
+
+    def test_key_includes_full_grid_spec(self, engine):
+        """Every component of (machine, kind, lo, hi, ppo, normalized)
+        distinguishes plans — a near-miss must recompile."""
+        engine.curve(MACHINE, "roofline", **self.SPEC)
+        variants = [
+            ("i7-950-double", "roofline", self.SPEC),
+            (MACHINE, "powerline", self.SPEC),
+            (MACHINE, "roofline", {**self.SPEC, "lo": 0.25}),
+            (MACHINE, "roofline", {**self.SPEC, "hi": 128.0}),
+            (MACHINE, "roofline", {**self.SPEC, "points_per_octave": 13}),
+            (MACHINE, "roofline", {**self.SPEC, "normalized": False}),
+        ]
+        for machine, kind, spec in variants:
+            engine.curve(machine, kind, **spec)
+        stats = engine.plan_cache_stats()
+        assert stats["hits"] == 0
+        assert stats["misses"] == 1 + len(variants)
+
+    def test_equal_specs_of_different_numeric_type_share_a_plan(self, engine):
+        engine.curve(MACHINE, "roofline", lo=1, hi=64, points_per_octave=8)
+        engine.curve(
+            MACHINE, "roofline", lo=1.0, hi=64.0, points_per_octave=8
+        )
+        assert engine.plan_cache_stats()["hits"] == 1
+
+    def test_zero_capacity_disables_storage_not_answers(self):
+        engine = EvalEngine(plan_cache_size=0)
+        first = engine.curve(MACHINE, "roofline", **self.SPEC)
+        second = engine.curve(MACHINE, "roofline", **self.SPEC)
+        assert first == second == EvalEngine().curve(
+            MACHINE, "roofline", **self.SPEC
+        )
+        stats = engine.plan_cache_stats()
+        assert stats["capacity"] == 0
+        assert stats["size"] == 0
+        assert stats["hits"] == 0 and stats["misses"] == 2
+
+    def test_lru_eviction_bounds_size(self):
+        engine = EvalEngine(plan_cache_size=2)
+        specs = [(0.5, 8.0), (0.5, 16.0), (0.5, 32.0)]
+        for lo, hi in specs:
+            engine.curve(MACHINE, "roofline", lo=lo, hi=hi)
+        assert engine.plan_cache_stats()["size"] == 2
+        # Oldest spec was evicted: re-requesting it misses again...
+        engine.curve(MACHINE, "roofline", lo=0.5, hi=8.0)
+        assert engine.plan_cache_stats()["misses"] == 4
+        # ...while the most recent one still hits.
+        engine.curve(MACHINE, "roofline", lo=0.5, hi=32.0)
+        assert engine.plan_cache_stats()["hits"] == 1
+
+    def test_plan_arrays_are_read_only(self, engine):
+        payload = engine.curve_arrays(MACHINE, "roofline", **self.SPEC)
+        with pytest.raises(ValueError):
+            payload["values"][0] = 0.0
+        with pytest.raises(ValueError):
+            payload["intensities"][0] = 0.0
+
+    def test_curve_arrays_tolist_matches_curve(self, engine):
+        lists = engine.curve(MACHINE, "roofline", **self.SPEC)
+        arrays = engine.curve_arrays(MACHINE, "roofline", **self.SPEC)
+        assert arrays["intensities"].tolist() == lists["intensities"]
+        assert arrays["values"].tolist() == lists["values"]
+        assert arrays["label"] == lists["label"]
+        assert arrays["units"] == lists["units"]
+
+    def test_cached_plan_result_is_fresh_dict(self, engine):
+        """A hit returns a fresh top-level dict (added keys don't leak
+        into later responses); the series lists inside it are shared by
+        contract — materialised once per plan, never mutated by the
+        serving layers."""
+        first = engine.curve(MACHINE, "roofline", **self.SPEC)
+        first["extra"] = True
+        second = engine.curve(MACHINE, "roofline", **self.SPEC)
+        assert second is not first
+        assert "extra" not in second
+        assert second["values"] is first["values"]  # shared, by design
+
+    def test_unknown_kind_not_cached_as_miss_poison(self, engine):
+        with pytest.raises(ServiceError):
+            engine.curve(MACHINE, "no-such-kind", **self.SPEC)
+        assert engine.plan_cache_stats()["size"] == 0

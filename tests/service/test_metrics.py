@@ -4,7 +4,10 @@ from __future__ import annotations
 
 import pytest
 
+import asyncio
+
 from repro.service.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.service.server import ModelServer, ServerConfig
 
 
 class TestCounter:
@@ -133,3 +136,96 @@ class TestPercentilesBatch:
         assert snap["p90"] == h.percentile(90.0)
         assert snap["p99"] == h.percentile(99.0)
         assert snap["p50"] <= snap["p90"] <= snap["p99"]
+
+
+class TestServingMetricsSurface:
+    """The ``stats`` op surfaces the zero-copy hot path's instruments:
+    wire-framing counters, the plan-cache block, and (with workers)
+    the ring-transport block."""
+
+    @staticmethod
+    def _run(coro):
+        return asyncio.run(coro)
+
+    @staticmethod
+    def _server(**overrides) -> ModelServer:
+        config = {"cache_size": 0, "flush_window": 0.0}
+        config.update(overrides)
+        return ModelServer(ServerConfig(**config))
+
+    def test_fresh_server_exposes_wire_counters_at_zero(self):
+        async def scenario():
+            server = self._server()
+            await server.start()
+            try:
+                response = await server.handle_request(
+                    {"id": 1, "op": "stats"}
+                )
+            finally:
+                await server.stop()
+            return response["result"]
+
+        stats = self._run(scenario())
+        counters = stats["counters"]
+        assert counters["wire_binary_connections_total"] == 0
+        assert counters["wire_ndjson_connections_total"] == 0
+        config = stats["config"]
+        assert config["wire"] == "auto"
+        assert config["job_transport"] == "ring"
+
+    def test_plan_cache_block_tracks_in_loop_engine(self):
+        async def scenario():
+            server = self._server()
+            await server.start()
+            try:
+                curve = {
+                    "op": "curve",
+                    "machine": "i7-950-double",
+                    "kind": "roofline",
+                }
+                await server.handle_request({"id": 1, **curve})
+                await server.handle_request({"id": 2, **curve})
+                response = await server.handle_request(
+                    {"id": 3, "op": "stats"}
+                )
+            finally:
+                await server.stop()
+            return response["result"]["plan_cache"]
+
+        plan_cache = self._run(scenario())
+        assert plan_cache["misses"] == 1
+        assert plan_cache["hits"] == 1
+        assert plan_cache["size"] == 1
+        assert plan_cache["hit_ratio"] == 0.5
+        assert plan_cache["capacity"] > 0
+
+    def test_worker_stats_expose_ring_block(self):
+        async def scenario():
+            server = self._server(workers=1)
+            await server.start()
+            try:
+                await server.pool.ready()
+                await server.handle_request(
+                    {
+                        "id": 1,
+                        "op": "curve",
+                        "machine": "i7-950-double",
+                        "kind": "roofline",
+                    }
+                )
+                response = await server.handle_request(
+                    {"id": 2, "op": "stats"}
+                )
+            finally:
+                await server.stop()
+            return response["result"]
+
+        stats = self._run(scenario())
+        workers = stats["workers"]
+        assert workers["job_transport"] == "ring"
+        ring = workers["ring"]
+        assert set(ring) == {
+            "slots", "slot_size", "jobs", "fallbacks", "occupancy_hwm"
+        }
+        assert ring["jobs"] + ring["fallbacks"] >= 1
+        assert ring["occupancy_hwm"] >= 0

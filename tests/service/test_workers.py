@@ -386,3 +386,180 @@ class TestGracefulDrain:
         for proc in procs:
             assert not proc.is_alive()  # joined, not zombied
             assert proc.exitcode == 0   # exited via sentinel, not kill
+
+
+def _shm_entries(token: str) -> list[str]:
+    """Shared-memory segments belonging to one pool, by its token."""
+    try:
+        return sorted(
+            name for name in os.listdir("/dev/shm") if token in name
+        )
+    except FileNotFoundError:  # pragma: no cover - non-posix-shm host
+        pytest.skip("/dev/shm not available on this platform")
+
+
+class TestRingTransport:
+    """The shm ring-buffer job transport and its crash-safety story."""
+
+    CURVE_JOB = (
+        "op",
+        (
+            "curve",
+            {
+                "machine_key": MACHINES[0],
+                "kind": "roofline",
+                "points_per_octave": 400,
+            },
+        ),
+        "k",
+    )
+    BALANCE_JOB = ("op", ("balance", {"machine_key": MACHINES[0]}), "k")
+
+    def test_ring_carries_jobs_and_oversize_falls_back(self):
+        # A 2000-point grid pickles well past a 4 KiB slot, so that
+        # job must take the per-job fallback path; the balance job
+        # fits in a slot and rides the ring.
+        grid = [float(i) for i in range(1, 2001)]
+        big_job = (
+            "eval_batch",
+            (MACHINES[0], "energy", "energy_per_flop", grid),
+            "k",
+        )
+
+        async def scenario():
+            pool = WorkerPool(1, ring_slots=4, ring_slot_size=4096)
+            try:
+                await pool.ready()
+                small = await pool.submit(*self.BALANCE_JOB)
+                big = await pool.submit(*big_job)
+                stats = pool.stats()
+            finally:
+                await pool.close()
+            return small, big, stats
+
+        small, big, stats = run(scenario())
+        assert stats["job_transport"] == "ring"
+        ring = stats["ring"]
+        assert ring["slots"] == 4 and ring["slot_size"] == 4096
+        assert ring["jobs"] >= 1          # the balance job rode a slot
+        assert ring["fallbacks"] >= 1     # the big grid spilled
+        assert ring["occupancy_hwm"] >= 1
+        assert small == EvalEngine().balance(MACHINES[0])
+        assert len(big) == 2000
+
+    def test_ring_and_pickle_transports_agree(self):
+        """Transport is an optimisation, never semantic."""
+
+        async def run_jobs(transport):
+            pool = WorkerPool(
+                1, job_transport=transport, ring_slots=2, ring_slot_size=2048
+            )
+            try:
+                await pool.ready()
+                results = []
+                for job in (self.BALANCE_JOB, self.CURVE_JOB,
+                            self.BALANCE_JOB):
+                    results.append(canonical_json(await pool.submit(*job)))
+                return results
+            finally:
+                await pool.close()
+
+        async def scenario():
+            return (await run_jobs("ring"), await run_jobs("pickle"))
+
+        ringed, pickled = run(scenario())
+        assert ringed == pickled
+
+    def test_pickle_transport_reports_no_ring_stats(self):
+        async def scenario():
+            pool = WorkerPool(1, job_transport="pickle")
+            try:
+                await pool.ready()
+                await pool.submit(*self.BALANCE_JOB)
+                return pool.stats()
+            finally:
+                await pool.close()
+
+        stats = run(scenario())
+        assert stats["job_transport"] == "pickle"
+        assert "ring" not in stats
+
+    def test_rejects_unknown_transport(self):
+        with pytest.raises(ValueError):
+            WorkerPool(1, job_transport="carrier-pigeon")
+
+    def test_crash_mid_spill_leaves_no_shm_orphans(self):
+        """Regression: a worker killed with a spilled job in flight must
+        not leak its job/reply segments, and respawn must replace the
+        ring arenas rather than strand them."""
+
+        async def scenario():
+            # Tiny ring capacity + tiny spill threshold: every real job
+            # body takes the per-job spill path.
+            pool = WorkerPool(
+                1, shm_threshold=64, ring_slots=2, ring_slot_size=64
+            )
+            token = pool.shm_token
+            try:
+                await pool.ready()
+                arenas_before = _shm_entries(token)
+                victim = pool.stats()["shards"][0]["pid"]
+                os.kill(victim, signal.SIGKILL)
+                with pytest.raises(WorkerCrashError):
+                    await pool.submit(*self.CURVE_JOB)
+                spills_after_crash = [
+                    name for name in _shm_entries(token)
+                    if name.startswith("rs-")
+                ]
+                # The shard respawned and serves again.
+                after = await pool.submit(*self.BALANCE_JOB)
+                arenas_after = _shm_entries(token)
+            finally:
+                await pool.close()
+            leftovers = _shm_entries(token)
+            return (token, arenas_before, spills_after_crash, after,
+                    arenas_after, leftovers)
+
+        (token, arenas_before, spills_after_crash, after, arenas_after,
+         leftovers) = run(scenario())
+        # Two arenas (job + reply) exist while the pool runs...
+        assert len(arenas_before) == 2
+        # ...the crashed job's spill segments were reclaimed...
+        assert spills_after_crash == []
+        # ...the respawned shard got *fresh* arenas (epoch bumped)...
+        assert len(arenas_after) == 2
+        assert set(arenas_after) != set(arenas_before)
+        assert after == EvalEngine().balance(MACHINES[0])
+        # ...and close() leaves nothing of this pool behind.
+        assert leftovers == []
+
+    def test_close_unlinks_ring_arenas(self):
+        async def scenario():
+            pool = WorkerPool(2)
+            token = pool.shm_token
+            await pool.ready()
+            live = _shm_entries(token)
+            await pool.close()
+            return token, live
+
+        token, live = run(scenario())
+        assert len(live) == 4  # two shards x (job + reply) arenas
+        assert _shm_entries(token) == []
+
+    def test_plan_cache_size_reaches_workers(self):
+        """The knob travels to the worker engine: a disabled plan
+        cache still answers curves correctly."""
+
+        async def scenario():
+            pool = WorkerPool(1, plan_cache_size=0)
+            try:
+                await pool.ready()
+                first = await pool.submit(*self.CURVE_JOB)
+                second = await pool.submit(*self.CURVE_JOB)
+            finally:
+                await pool.close()
+            return first, second
+
+        first, second = run(scenario())
+        assert canonical_json(first) == canonical_json(second)
+        assert len(first["values"]) == 4001
