@@ -1,7 +1,7 @@
-"""Serving benchmarks: micro-batching, the worker-pool tier, and the
-zero-copy wire path.
+"""Serving benchmarks: micro-batching, the worker-pool tier, the
+zero-copy wire path, and the scale-out router's hop tax.
 
-Three acceptance bars for the serving subsystem:
+Four acceptance bars for the serving subsystem:
 
 * on a scalar-evaluation workload (the capped model's
   ``energy_per_flop`` — the heaviest analytic path the protocol
@@ -17,15 +17,22 @@ Three acceptance bars for the serving subsystem:
   workers, the zero-copy hot path (binary framing + shared-memory
   ring job transport + compiled curve-plan cache) must cut p99
   latency at least 5× against the NDJSON + per-job-pickle + uncached
-  stack — ≥ 2 usable cores, skips itself elsewhere.
+  stack — ≥ 2 usable cores, skips itself elsewhere;
+* the consistent-hash router (two backends, replication 2, binary
+  framing) must cost at most 5× the median latency of a direct single
+  server on the same wire and workload — the extra loopback hop and
+  envelope re-wrap are the whole tax.  The gate is on p50, not p99:
+  the client, router, and backends all share one host here, so the
+  routed tail measures scheduler contention, not the hop.
 
 All comparisons run through
 :func:`repro.perfreg.checks.measure_micro_batching`,
-:func:`repro.perfreg.checks.measure_worker_pool`, and
-:func:`repro.perfreg.checks.measure_wire_path` — the same
+:func:`repro.perfreg.checks.measure_worker_pool`,
+:func:`repro.perfreg.checks.measure_wire_path`, and
+:func:`repro.perfreg.checks.measure_router_path` — the same
 measurement functions the ``service.micro_batching``,
-``service.worker_pool``, and ``service.wire_framing`` perfreg checks
-record trajectories with —
+``service.worker_pool``, ``service.wire_framing``, and
+``service.router`` perfreg checks record trajectories with —
 so a number that gates CI and a number in ``BENCH_service.json``
 were produced the same way.  Sanity (zero errors, batching genuinely
 on/off, worker topology) is asserted inside the measurement; the
@@ -40,10 +47,12 @@ from __future__ import annotations
 import pytest
 
 from repro.perfreg.checks import (
+    MAX_ROUTER_P50_OVERHEAD,
     MIN_MICROBATCH_SPEEDUP,
     MIN_WIRE_P99_SPEEDUP,
     MIN_WORKER_SPEEDUP,
     measure_micro_batching,
+    measure_router_path,
     measure_serving,
     measure_wire_path,
     measure_worker_pool,
@@ -53,6 +62,7 @@ from repro.perfreg.checks import (
 REQUESTS = 4000
 WORKER_REQUESTS = 1600
 WIRE_REQUESTS = 1200
+ROUTER_REQUESTS = 600
 
 USABLE_CORES = usable_cores()
 
@@ -190,3 +200,46 @@ def test_binary_wire_hot_path_cuts_p99_5x(benchmark, methodology):
         f"{values['bytes_ratio']:.1f}x fewer bytes"
     )
     assert speedup >= MIN_WIRE_P99_SPEEDUP
+
+
+def test_router_hop_tax_is_bounded(benchmark, methodology):
+    values = measure_router_path(
+        requests=ROUTER_REQUESTS, repeats=methodology.reps
+    )
+    routed, direct = values["routed"], values["direct"]
+    benchmark.pedantic(
+        lambda: measure_router_path(requests=ROUTER_REQUESTS),
+        rounds=1, iterations=1, warmup_rounds=0,
+    )
+
+    overhead = values["p50_overhead"]
+    benchmark.extra_info.update(
+        {
+            "requests": ROUTER_REQUESTS,
+            "backends": routed.router_backends,
+            "replication": routed.replication,
+            "routed_rps": round(routed.throughput),
+            "direct_rps": round(direct.throughput),
+            "routed_p50_ms": round(routed.p50_ms, 3),
+            "routed_p99_ms": round(routed.p99_ms, 3),
+            "direct_p50_ms": round(direct.p50_ms, 3),
+            "direct_p99_ms": round(direct.p99_ms, 3),
+            "p50_overhead": round(overhead, 2),
+            "p99_overhead": round(values["p99_overhead"], 2),
+        }
+    )
+    print(
+        f"\nrouted : {routed.throughput:,.0f} req/s "
+        f"(p50 {routed.p50_ms:.3f} ms, p99 {routed.p99_ms:.3f} ms, "
+        f"{routed.router_backends} backends, "
+        f"replication {routed.replication})"
+    )
+    print(
+        f"direct : {direct.throughput:,.0f} req/s "
+        f"(p50 {direct.p50_ms:.3f} ms, p99 {direct.p99_ms:.3f} ms)"
+    )
+    print(
+        f"router hop tax: p50 {overhead:.2f}x "
+        f"(p99 {values['p99_overhead']:.2f}x, untracked)"
+    )
+    assert overhead <= MAX_ROUTER_P50_OVERHEAD

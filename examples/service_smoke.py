@@ -21,7 +21,14 @@ indistinguishable from the in-loop path.  With ``--wire binary`` the
 TCP client negotiates the binary framing and the same assertions run
 over it — bit-identity across framings is the wire-format contract.
 
-Run:  python examples/service_smoke.py [--workers N] [--wire ndjson|binary]
+With ``--router`` the smoke instead stands up two backend servers and
+the consistent-hash router in front of them, then drives one NDJSON
+and one binary client through the router *concurrently*: every value
+still bit-identical to direct model calls, each machine's requests
+pinned to one backend, zero errors, zero failovers, clean drain.
+
+Run:  python examples/service_smoke.py [--workers N]
+          [--wire ndjson|binary] [--router]
 """
 
 from __future__ import annotations
@@ -33,7 +40,14 @@ import math
 from repro.core.energy_model import EnergyModel
 from repro.core.powercap import CappedModel
 from repro.machines.catalog import get_machine
-from repro.service import AsyncServiceClient, InProcessClient, ModelServer, ServerConfig
+from repro.service import (
+    AsyncServiceClient,
+    InProcessClient,
+    ModelServer,
+    RouterConfig,
+    RouterServer,
+    ServerConfig,
+)
 
 MACHINES = ("gtx580-double", "i7-950-double")
 GRID = [2.0 ** (0.25 * k - 3.0) for k in range(32)]  # 1/8 .. ~32 flop/B
@@ -136,6 +150,86 @@ async def drive(server: ModelServer, wire: str) -> None:
     )
 
 
+async def drive_router() -> None:
+    """Two backends, the router in front, mixed-framing clients."""
+    backends, addresses = [], []
+    for _ in range(2):
+        backend = ModelServer(ServerConfig(port=0, max_batch=16))
+        host, port = await backend.start()
+        backends.append(backend)
+        addresses.append(f"{host}:{port}")
+    router = RouterServer(addresses, RouterConfig(replication=2))
+    rhost, rport = await router.start()
+    print(f"router up on {rhost}:{rport} over {', '.join(addresses)}")
+
+    reference = {
+        machine: [
+            EnergyModel(get_machine(machine)).energy_per_flop(x)
+            for x in GRID
+        ]
+        for machine in MACHINES
+    }
+
+    async def one_client(wire: str, machine: str) -> None:
+        async with await AsyncServiceClient.connect(
+            rhost, rport, wire=wire
+        ) as client:
+            assert client.wire == wire, (
+                f"negotiated {client.wire!r}, wanted {wire!r}"
+            )
+            values = await asyncio.gather(*(
+                client.eval(
+                    machine, "energy_per_flop", model="energy", intensity=x
+                )
+                for x in GRID
+            ))
+            assert values == reference[machine], (
+                f"routed values drifted from the models ({wire})"
+            )
+            balance = await client.balance(machine)
+            assert balance == await client.balance(machine)
+            curve = await client.curve(machine, "roofline", lo=0.5, hi=64.0)
+            assert len(curve["values"]) == len(curve["intensities"])
+
+    # One NDJSON and one binary client, concurrently, per machine —
+    # framing and topology must both be invisible in the values.
+    await asyncio.gather(*(
+        one_client(wire, machine)
+        for machine, wire in zip(MACHINES, ("ndjson", "binary"))
+    ))
+    await asyncio.gather(*(
+        one_client(wire, machine)
+        for machine, wire in zip(MACHINES, ("binary", "ndjson"))
+    ))
+    n_requests = 2 * len(MACHINES) * (len(GRID) + 3)
+    print(
+        f"{n_requests} requests through the router over mixed "
+        "ndjson/binary clients: bit-identical to EnergyModel"
+    )
+
+    stats = router.stats()
+    counters = stats["counters"]
+    assert counters["requests_total"] >= n_requests
+    assert counters.get("failovers_total", 0) == 0, (
+        "healthy ring must not fail over"
+    )
+    served = {
+        backend: info.get("requests_total", 0)
+        for backend, info in stats["backends"].items()
+    }
+    # Each machine routes to exactly one backend; with two machines on
+    # two backends both sides of the ring should have seen traffic
+    # (probe pings at minimum, real spread in practice).
+    assert all(count > 0 for count in served.values()), served
+    print(f"per-backend requests: {served}")
+
+    await router.stop()
+    for backend in backends:
+        await backend.stop()
+        assert backend.batcher.pending_requests == 0
+    print("router and backends drained cleanly; router smoke passed")
+
+
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -146,7 +240,15 @@ def main() -> None:
         "--wire", choices=("ndjson", "binary"), default="ndjson",
         help="framing the TCP client negotiates (default: ndjson)",
     )
+    parser.add_argument(
+        "--router", action="store_true",
+        help="smoke the scale-out router over two backends instead",
+    )
     args = parser.parse_args()
+
+    if args.router:
+        asyncio.run(drive_router())
+        return
 
     async def scenario() -> None:
         server = ModelServer(

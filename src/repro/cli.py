@@ -33,15 +33,24 @@ Subcommands
     pool (``--workers N``, jobs over shared-memory rings by default —
     ``--job-transport``) (see :mod:`repro.service` and
     ``docs/SERVICE.md``).
+``route``
+    Multi-node scale-out router: a consistent-hash ring (virtual
+    nodes, per-key replication — ``--replication``) over replicated
+    ``serve`` instances (``--backend HOST:PORT`` each), with health
+    probing, automatic failover of retriable failures, and
+    zero-downtime membership changes (see
+    :mod:`repro.service.router` and ``docs/SERVICE.md``).
 ``bench-serve``
     Load generator against an in-process server — closed loop by
     default, open loop (Poisson arrivals) with ``--open-loop RPS``;
     ``--wire ndjson|binary`` moves the run onto a real loopback
-    socket under that framing; reports throughput, latency
-    percentiles, batch-size histogram, bytes on the wire, and with
-    ``--compare`` the speedup over the baseline (NDJSON framing when
-    ``--wire binary``, in-loop execution when ``--workers > 0``,
-    unbatched otherwise).
+    socket under that framing; ``--router-backends N`` benches the
+    full router path, ``--target HOST:PORT`` drives an external
+    server or router; reports throughput, latency percentiles,
+    batch-size histogram, bytes on the wire, and with ``--compare``
+    the speedup over the baseline (NDJSON framing when ``--wire
+    binary``, in-loop execution when ``--workers > 0``, unbatched
+    otherwise).
 ``lint``
     Run replint, the repo's own AST-based static analysis, over the
     package source (or explicit paths).  Exit code 0 means clean, 1
@@ -260,6 +269,54 @@ def build_parser() -> argparse.ArgumentParser:
         "(default: the server's built-in size)",
     )
 
+    p_route = sub.add_parser(
+        "route",
+        help="run the scale-out router over replicated server instances",
+    )
+    p_route.add_argument(
+        "--backend", action="append", required=True, metavar="HOST:PORT",
+        dest="backends",
+        help="backend server address; repeat for each instance",
+    )
+    p_route.add_argument("--host", default="127.0.0.1")
+    p_route.add_argument(
+        "--port", type=int, default=8732,
+        help="client-facing TCP port (0 lets the OS pick; default 8732)",
+    )
+    p_route.add_argument(
+        "--replication", type=int, default=1, metavar="R",
+        help="distinct replicas per routing key (failover candidates)",
+    )
+    p_route.add_argument(
+        "--vnodes", type=int, default=128, metavar="N",
+        help="virtual ring points per backend",
+    )
+    p_route.add_argument(
+        "--shard-by", choices=("machine", "model"), default="machine",
+        help="routing key: per machine or per (machine, model)",
+    )
+    p_route.add_argument(
+        "--wire", choices=("auto", "binary", "ndjson"), default="auto",
+        help="client-side framing policy (same semantics as serve)",
+    )
+    p_route.add_argument(
+        "--backend-wire", choices=("binary", "ndjson"), default="binary",
+        help="framing offered to backends; binary degrades to NDJSON "
+        "against servers that refuse it",
+    )
+    p_route.add_argument(
+        "--attempts", type=int, default=3, metavar="N",
+        help="failover attempts per request (including the first)",
+    )
+    p_route.add_argument(
+        "--health-interval", type=float, default=1.0, metavar="S",
+        help="seconds between backend health probes",
+    )
+    p_route.add_argument(
+        "--down-after", type=int, default=3, metavar="M",
+        help="consecutive failures that mark a backend down",
+    )
+
     p_bench = sub.add_parser(
         "bench-serve",
         help="closed-loop load generator against an in-process server",
@@ -326,6 +383,20 @@ def build_parser() -> argparse.ArgumentParser:
         "--plan-cache-size", type=int, default=None, metavar="N",
         help="compiled curve-plan cache entries; 0 disables "
         "(default: the server's built-in size)",
+    )
+    p_bench.add_argument(
+        "--router-backends", type=int, default=0, metavar="N",
+        help="route through a consistent-hash router over N local "
+        "backend servers (requires --wire ndjson|binary)",
+    )
+    p_bench.add_argument(
+        "--replication", type=int, default=1, metavar="R",
+        help="per-key replication factor in --router-backends mode",
+    )
+    p_bench.add_argument(
+        "--target", default=None, metavar="HOST:PORT",
+        help="drive an already-running server or router instead of "
+        "spawning one in-process (requires --wire ndjson|binary)",
     )
 
     p_lint = sub.add_parser(
@@ -737,6 +808,72 @@ def _cmd_serve(args: argparse.Namespace) -> str:
         return "interrupted; server stopped"
 
 
+def _cmd_route(args: argparse.Namespace) -> str:
+    import asyncio
+
+    from repro.service import RouterConfig, RouterServer
+
+    config = RouterConfig(
+        host=args.host,
+        port=args.port,
+        wire=args.wire,
+        backend_wire=args.backend_wire,
+        replication=args.replication,
+        vnodes=args.vnodes,
+        shard_by=args.shard_by,
+        attempts=args.attempts,
+        health_interval=args.health_interval,
+        down_after=args.down_after,
+    )
+
+    async def _route() -> str:
+        import signal
+
+        router = RouterServer(args.backends, config)
+        host, port = await router.start()
+        print(
+            f"routing energy-roofline requests on {host}:{port} over "
+            f"{len(router.ring)} backends "
+            f"({', '.join(router.ring.backends)}; "
+            f"replication={config.replication}, vnodes={config.vnodes}, "
+            f"shard_by={config.shard_by}, wire={config.wire}); "
+            "ctrl-c to drain and stop",
+            file=sys.stderr,
+            flush=True,
+        )
+        stop_requested = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(sig, stop_requested.set)
+            except (NotImplementedError, RuntimeError):  # pragma: no cover
+                pass  # non-unix event loops
+        serve_task = asyncio.ensure_future(router.serve_forever())
+        try:
+            await stop_requested.wait()
+        finally:
+            serve_task.cancel()
+            await asyncio.gather(serve_task, return_exceptions=True)
+            await router.stop()
+        stats = router.stats()
+        counters = stats["counters"]
+        per_backend = ", ".join(
+            f"{name}: {info.get('requests_total', 0)}"
+            for name, info in sorted(stats["backends"].items())
+        )
+        return (
+            f"routed {counters.get('requests_total', 0)} requests "
+            f"({counters.get('retries_total', 0)} retries, "
+            f"{counters.get('failovers_total', 0)} failovers; "
+            f"{per_backend}); drained cleanly"
+        )
+
+    try:
+        return asyncio.run(_route())
+    except KeyboardInterrupt:  # pragma: no cover - signal-handler fallback
+        return "interrupted; router stopped"
+
+
 def _cmd_bench_serve(args: argparse.Namespace) -> str:
     from repro.service import bench_serving
 
@@ -755,6 +892,9 @@ def _cmd_bench_serve(args: argparse.Namespace) -> str:
         wire=args.wire,
         job_transport=args.job_transport,
         plan_cache_size=args.plan_cache_size,
+        router_backends=args.router_backends,
+        replication=args.replication,
+        target=args.target,
     )
     report = bench_serving(
         max_batch=args.max_batch, workers=args.workers, **kwargs
@@ -953,6 +1093,8 @@ def main(argv: list[str] | None = None) -> int:
             output = _cmd_app(args)
         elif args.command == "serve":
             output = _cmd_serve(args)
+        elif args.command == "route":
+            output = _cmd_route(args)
         elif args.command == "bench-serve":
             output = _cmd_bench_serve(args)
         else:  # pragma: no cover - argparse enforces choices

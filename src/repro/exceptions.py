@@ -63,10 +63,20 @@ class ServiceError(ReproError, RuntimeError):
 
     Carries the wire-protocol error ``code`` (e.g. ``"bad_request"``,
     ``"overloaded"``, ``"deadline_exceeded"``) so programmatic clients
-    can branch on the failure class without parsing the message.
+    can branch on the failure class without parsing the message, and
+    the envelope's ``retriable`` hint so retry layers (client helper,
+    scale-out router) can decide whether resending is safe.
     """
 
-    def __init__(self, code: str, message: str):
+    #: Default for errors that don't say; subclasses may override.
+    retriable: bool = False
+
+    def __init__(self, code: str, message: str, *, retriable: bool | None = None):
         super().__init__(message)
         self.code = code
         self.message = message
+        if retriable is not None:
+            # Only pin an instance attribute when stated explicitly, so
+            # subclasses that declare a class-level default (e.g. the
+            # worker-crash error, always retriable) keep it.
+            self.retriable = retriable

@@ -32,6 +32,7 @@ from repro.perfreg.check import (
 from repro.perfreg.registry import register
 
 __all__ = [
+    "MAX_ROUTER_P50_OVERHEAD",
     "MIN_BATCH_SPEEDUP",
     "MIN_CACHESIM_SPEEDUP",
     "MIN_MICROBATCH_SPEEDUP",
@@ -40,6 +41,7 @@ __all__ = [
     "measure_batch_sweep",
     "measure_cachesim_trace",
     "measure_micro_batching",
+    "measure_router_path",
     "measure_serving",
     "measure_wire_path",
     "measure_worker_pool",
@@ -62,6 +64,12 @@ MIN_WORKER_SPEEDUP = 2.0
 #: NDJSON + per-job-pickle + uncached stack, p99 over TCP, mixed
 #: workload, two workers.
 MIN_WIRE_P99_SPEEDUP = 5.0
+#: The scale-out router's hop tax: one extra loopback hop plus the
+#: re-wrap must cost at most this factor in *median* latency over a
+#: direct single server on the same wire and workload.  The median,
+#: not p99: in this single-process harness every tier shares one event
+#: loop, so the routed tail measures scheduler contention, not the hop.
+MAX_ROUTER_P50_OVERHEAD = 5.0
 
 #: Seed of the shared intensity grid (the paper's publication date).
 _GRID_SEED = 20130520
@@ -235,6 +243,8 @@ def measure_serving(
     wire: str = "inproc",
     job_transport: str | None = None,
     plan_cache_size: int | None = None,
+    router_backends: int = 0,
+    replication: int = 1,
     repeats: int = 1,
 ):
     """One serving configuration, best-of ``repeats`` full runs.
@@ -265,6 +275,8 @@ def measure_serving(
             wire=wire,
             job_transport=job_transport,
             plan_cache_size=plan_cache_size,
+            router_backends=router_backends,
+            replication=replication,
         )
         if report.errors:
             raise SanityError(
@@ -278,6 +290,11 @@ def measure_serving(
         if report.wire != wire:
             raise SanityError(
                 f"negotiated {report.wire!r} framing, requested {wire!r}"
+            )
+        if report.router_backends != router_backends:
+            raise SanityError(
+                f"ran {report.router_backends} router backends, "
+                f"requested {router_backends}"
             )
         reports.append(report)
     return _best_report(reports)
@@ -353,6 +370,49 @@ def measure_wire_path(
         "p99_speedup": slow.p99_ms / fast.p99_ms,
         "throughput_speedup": fast.throughput / slow.throughput,
         "bytes_ratio": slow_bytes / fast_bytes,
+    }
+
+
+def measure_router_path(
+    *,
+    requests: int = 600,
+    backends: int = 2,
+    replication: int = 2,
+    repeats: int = 1,
+) -> dict[str, Any]:
+    """Scale-out router over local backends vs one direct server.
+
+    Both runs drive the identical scalar workload over real loopback
+    TCP with binary framing.  The routed run inserts a
+    :class:`~repro.service.router.RouterServer` (consistent-hash ring
+    over ``backends`` local servers at the given replication factor)
+    between the client and the engines; the direct run talks to a
+    single server.  The headline metric is the **p50 overhead ratio**
+    (routed / direct — the cost of the extra hop and the re-wrap);
+    p99 and routed throughput ride along.  The median is the graded
+    number because all three tiers share one event loop here, so the
+    routed tail measures scheduler contention rather than the hop.
+    """
+    routed = measure_serving(
+        requests=requests,
+        wire="binary",
+        router_backends=backends,
+        replication=replication,
+        repeats=repeats,
+    )
+    direct = measure_serving(
+        requests=requests,
+        wire="binary",
+        repeats=repeats,
+    )
+    if not (routed.bytes_sent and direct.bytes_sent):
+        raise SanityError("a TCP wire run recorded zero bytes on the wire")
+    return {
+        "routed": routed,
+        "direct": direct,
+        "p50_overhead": routed.p50_ms / direct.p50_ms,
+        "p99_overhead": routed.p99_ms / direct.p99_ms,
+        "throughput_ratio": routed.throughput / direct.throughput,
     }
 
 
@@ -539,6 +599,32 @@ class WireFramingCheck(_ServingCheck):
             "binary_p99_ms": values["binary"].p99_ms,
             "ndjson_p99_ms": values["ndjson"].p99_ms,
             "bytes_ratio": values["bytes_ratio"],
+        }
+
+
+@register
+class RouterCheck(_ServingCheck):
+    """The scale-out router's hop tax as a tracked trajectory.
+
+    Grades only self-normalising ratios: routed and direct runs are
+    measured back to back in the same process, so routed/direct
+    cancels whatever speed the container happens to have that minute.
+    Absolute req/s and ms swing ±30% run to run here and would flake
+    any fixed regression band; the benchmark prints them instead.
+    """
+
+    name = "service.router"
+    requests = 600
+    metrics = (
+        Metric("p50_overhead", "x", LOWER_IS_BETTER),
+        Metric("throughput_ratio", "x"),
+    )
+
+    def run(self, ctx: CheckContext) -> Mapping[str, float]:
+        values = measure_router_path(requests=self.requests)
+        return {
+            "p50_overhead": values["p50_overhead"],
+            "throughput_ratio": values["throughput_ratio"],
         }
 
 

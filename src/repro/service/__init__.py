@@ -26,9 +26,15 @@ Layers (one module each):
 :mod:`~repro.service.server`
     The asyncio server: TCP + in-process, deadlines, graceful drain.
 :mod:`~repro.service.client`
-    Async (multiplexed), sync, and in-process clients.
+    Async (multiplexed), sync, and in-process clients, plus the
+    :class:`~repro.service.client.RetryPolicy` failover helper.
 :mod:`~repro.service.loadgen`
     Closed-loop load generator (the ``bench-serve`` CLI verb).
+:mod:`~repro.service.frontend`
+    The shared TCP wire surface (NDJSON + negotiated binary framing).
+:mod:`~repro.service.router`
+    Multi-node scale-out tier: consistent-hash router over replicated
+    server instances (the ``route`` CLI verb).
 
 Quickstart::
 
@@ -49,6 +55,7 @@ from repro.service.cache import TTLCache
 from repro.service.client import (
     AsyncServiceClient,
     InProcessClient,
+    RetryPolicy,
     ServiceClient,
 )
 from repro.service.engine import EVAL_METRICS, CURVE_KINDS, EvalEngine, MODELS
@@ -59,6 +66,13 @@ from repro.service.loadgen import (
     run_open_loop,
 )
 from repro.service.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.service.router import (
+    HashRing,
+    HealthMonitor,
+    RouterAdmin,
+    RouterConfig,
+    RouterServer,
+)
 from repro.service.server import ModelServer, ServerConfig
 from repro.service.workers import WorkerPool
 
@@ -69,6 +83,8 @@ __all__ = [
     "EVAL_METRICS",
     "EvalEngine",
     "Gauge",
+    "HashRing",
+    "HealthMonitor",
     "Histogram",
     "InProcessClient",
     "LoadReport",
@@ -76,6 +92,10 @@ __all__ = [
     "MicroBatcher",
     "MODELS",
     "ModelServer",
+    "RetryPolicy",
+    "RouterAdmin",
+    "RouterConfig",
+    "RouterServer",
     "ServerConfig",
     "ServiceClient",
     "TTLCache",

@@ -15,7 +15,12 @@ Three transports, one surface:
 
 All of them raise :class:`~repro.exceptions.ServiceError` (carrying the
 wire error code) for error replies, and return the ``result`` dict of
-success replies.
+success replies.  Pass a :class:`RetryPolicy` to any client to retry
+``"retriable": true`` error replies (worker crashes mid-request, a
+backend mid-restart behind the router) with capped, jittered,
+deterministic backoff instead of surfacing them raw; non-retriable
+errors always surface immediately.  The scale-out router reuses the
+same policy object for its replica failover.
 
 The TCP clients accept ``wire="binary"`` to request the struct-packed
 binary framing of :mod:`repro.service.wire` at connect time.  The
@@ -30,14 +35,102 @@ from __future__ import annotations
 
 import asyncio
 import socket
-from typing import Any
+import time
+from typing import Any, Awaitable, Callable
+
+import numpy as np
 
 from repro.exceptions import ServiceError
 from repro.service import wire as wireformat
 from repro.service.protocol import INTERNAL, decode, encode, unwrap
 from repro.service.wire import WIRE_BINARY, WIRE_NDJSON
 
-__all__ = ["AsyncServiceClient", "ServiceClient", "InProcessClient"]
+__all__ = [
+    "AsyncServiceClient",
+    "InProcessClient",
+    "RetryPolicy",
+    "ServiceClient",
+]
+
+
+class RetryPolicy:
+    """Capped jittered backoff for ``"retriable": true`` error replies.
+
+    One policy instance owns a seeded :func:`numpy.random.default_rng`,
+    so the jitter sequence — and therefore the exact retry timing — is
+    reproducible for a given seed and call order (no wall-clock or
+    stdlib ``random`` involvement).  The delay before retry *n* (1-based)
+    is ``min(base_delay * 2**(n-1), max_delay)`` scaled by a uniform
+    jitter in ``[0.5, 1.0)``; jitter matters, because lockstep retries
+    from many clients against one recovering backend are the failure
+    mode backoff exists to avoid.
+
+    ``attempts`` counts total tries including the first, so
+    ``attempts=1`` disables retrying while keeping the code path
+    uniform.  Only errors whose envelope carried ``"retriable": true``
+    (surfaced as ``ServiceError.retriable``) are retried; everything
+    else — bad requests, deadline overruns, transport failures —
+    propagates on the first occurrence.
+    """
+
+    def __init__(
+        self,
+        *,
+        attempts: int = 3,
+        base_delay: float = 0.02,
+        max_delay: float = 0.5,
+        seed: int = 0,
+    ):
+        if attempts < 1:
+            raise ValueError(f"attempts must be >= 1, got {attempts}")
+        if base_delay < 0.0 or max_delay < 0.0:
+            raise ValueError("delays must be non-negative")
+        self.attempts = attempts
+        self.base_delay = base_delay
+        self.max_delay = max_delay
+        self.seed = seed
+        self._rng = np.random.default_rng(seed)
+
+    def backoff(self, attempt: int) -> float:
+        """Seconds to wait before retry number ``attempt`` (1-based)."""
+        if attempt < 1:
+            raise ValueError(f"attempt must be >= 1, got {attempt}")
+        cap = min(self.base_delay * 2.0 ** (attempt - 1), self.max_delay)
+        return float(cap * (0.5 + 0.5 * self._rng.random()))
+
+    def should_retry(self, exc: BaseException, attempt: int) -> bool:
+        """Whether try number ``attempt`` (1-based) may be repeated."""
+        return (
+            attempt < self.attempts
+            and isinstance(exc, ServiceError)
+            and bool(getattr(exc, "retriable", False))
+        )
+
+    def run_sync(self, attempt_fn: Callable[[], Any]) -> Any:
+        """Call ``attempt_fn`` with retries; blocking sleeps between."""
+        attempt = 1
+        while True:
+            try:
+                return attempt_fn()
+            except ServiceError as exc:
+                if not self.should_retry(exc, attempt):
+                    raise
+            time.sleep(self.backoff(attempt))
+            attempt += 1
+
+    async def run_async(
+        self, attempt_fn: Callable[[], Awaitable[Any]]
+    ) -> Any:
+        """Await ``attempt_fn`` with retries; non-blocking sleeps."""
+        attempt = 1
+        while True:
+            try:
+                return await attempt_fn()
+            except ServiceError as exc:
+                if not self.should_retry(exc, attempt):
+                    raise
+            await asyncio.sleep(self.backoff(attempt))
+            attempt += 1
 
 
 def _check_wire(wire: str) -> None:
@@ -134,11 +227,17 @@ class InProcessClient(_RequestAPI):
     (copy before mutating).
     """
 
-    def __init__(self, server: Any):
+    def __init__(self, server: Any, *, retry: RetryPolicy | None = None):
         self._server = server
+        self._retry = retry
+
+    async def _call_once(self, request: dict[str, Any]) -> dict[str, Any]:
+        return unwrap(await self._server.handle_request(request))
 
     async def call(self, request: dict[str, Any]) -> dict[str, Any]:
-        return unwrap(await self._server.handle_request(request))
+        if self._retry is None:
+            return await self._call_once(request)
+        return await self._retry.run_async(lambda: self._call_once(request))
 
 
 class AsyncServiceClient(_RequestAPI):
@@ -164,10 +263,12 @@ class AsyncServiceClient(_RequestAPI):
         writer: asyncio.StreamWriter,
         *,
         wire: str = WIRE_NDJSON,
+        retry: RetryPolicy | None = None,
     ):
         _check_wire(wire)
         self._reader = reader
         self._writer = writer
+        self._retry = retry
         self.wire = wire
         self.bytes_sent = 0
         self.bytes_received = 0
@@ -186,6 +287,7 @@ class AsyncServiceClient(_RequestAPI):
         *,
         limit: int = 2**20,
         wire: str = WIRE_NDJSON,
+        retry: RetryPolicy | None = None,
     ) -> "AsyncServiceClient":
         """Connect, negotiating binary framing when ``wire="binary"``.
 
@@ -211,7 +313,7 @@ class AsyncServiceClient(_RequestAPI):
                 )
             hello_sent, hello_received = len(line), len(reply)
             negotiated = wireformat.negotiated_wire(decode(reply))
-        client = cls(reader, writer, wire=negotiated)
+        client = cls(reader, writer, wire=negotiated, retry=retry)
         client.bytes_sent += hello_sent
         client.bytes_received += hello_received
         return client
@@ -288,8 +390,13 @@ class AsyncServiceClient(_RequestAPI):
         await self._writer.drain()
         return await future
 
-    async def call(self, request: dict[str, Any]) -> dict[str, Any]:
+    async def _call_once(self, request: dict[str, Any]) -> dict[str, Any]:
         return unwrap(await self.request(request))
+
+    async def call(self, request: dict[str, Any]) -> dict[str, Any]:
+        if self._retry is None:
+            return await self._call_once(request)
+        return await self._retry.run_async(lambda: self._call_once(request))
 
     async def close(self) -> None:
         if self._closed:
@@ -330,8 +437,10 @@ class ServiceClient:
         *,
         timeout: float | None = 30.0,
         wire: str = WIRE_NDJSON,
+        retry: RetryPolicy | None = None,
     ):
         _check_wire(wire)
+        self._retry = retry
         self._sock = socket.create_connection((host, port), timeout=timeout)
         self._file = self._sock.makefile("rwb")
         self.wire = WIRE_NDJSON
@@ -384,8 +493,13 @@ class ServiceClient:
         self.bytes_received += len(line)
         return decode(line)
 
-    def call(self, request: dict[str, Any]) -> dict[str, Any]:
+    def _call_once(self, request: dict[str, Any]) -> dict[str, Any]:
         return unwrap(self.request(request))
+
+    def call(self, request: dict[str, Any]) -> dict[str, Any]:
+        if self._retry is None:
+            return self._call_once(request)
+        return self._retry.run_sync(lambda: self._call_once(request))
 
     def eval(
         self,

@@ -1,0 +1,383 @@
+"""Shared TCP front end: NDJSON lines plus negotiated binary framing.
+
+Two processes in this stack accept client connections on the serving
+protocol — the :class:`~repro.service.server.ModelServer` itself and
+the scale-out :class:`~repro.service.router.RouterServer` in front of
+replicated server instances.  Both must speak the *identical* wire
+surface: newline-delimited JSON by default, the struct-packed binary
+framing of :mod:`repro.service.wire` after a first-request ``hello``
+negotiation, per-request answer tasks so a slow request never
+head-of-line-blocks the connection, and one structured ``bad_frame``
+error before closing a corrupt framed stream.
+
+:class:`WireFrontend` is that surface, factored out once.  A subclass
+provides the request pipeline (:meth:`handle_request`) and the
+transport behaviour — negotiation policy, connection accounting,
+framing mechanics — comes from here, so the router cannot drift from
+the server it fronts.  The ``arrays`` zero-copy sink contract is
+preserved: binary connections pass a sink dict into
+:meth:`handle_request`; pipelines that have ndarray series in hand
+deposit them for raw float64 sections, pipelines that only have lists
+(the router forwarding a backend reply) simply leave the sink empty
+and :func:`~repro.service.wire.encode_frame` lifts eligible list
+fields instead — byte-identical canonical payloads either way.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any
+
+from repro.exceptions import ServiceError
+from repro.service import wire as wireformat
+from repro.service.metrics import MetricsRegistry
+from repro.service.protocol import (
+    INTERNAL,
+    decode,
+    encode,
+    error_response,
+    ok_response,
+)
+
+__all__ = ["WireFrontend", "sniff_hello"]
+
+
+class WireFrontend:
+    """TCP listener speaking NDJSON + negotiated binary framing.
+
+    Subclasses call :meth:`_init_frontend` during construction and
+    implement::
+
+        async def handle_request(self, request, *, arrays=None) -> dict
+
+    which must never raise — every failure becomes an error envelope.
+    """
+
+    def _init_frontend(
+        self,
+        *,
+        metrics: MetricsRegistry,
+        wire: str,
+        host: str,
+        port: int,
+    ) -> None:
+        if wire not in ("auto", "binary", "ndjson"):
+            raise ValueError(
+                f"wire must be 'auto', 'binary', or 'ndjson', got {wire!r}"
+            )
+        self.metrics = metrics
+        self._wire_policy = wire
+        self._bind_host = host
+        self._bind_port = port
+        self._tcp_server: asyncio.AbstractServer | None = None
+        self._conn_tasks: set[asyncio.Task] = set()
+        self._frontend_errors = metrics.counter("errors_total")
+        # Pre-created so both framing counters exist (at zero) in every
+        # stats payload, whichever framings connections actually used.
+        self._wire_binary_conns = metrics.counter(
+            "wire_binary_connections_total"
+        )
+        self._wire_ndjson_conns = metrics.counter(
+            "wire_ndjson_connections_total"
+        )
+
+    async def handle_request(
+        self,
+        request: dict[str, Any],
+        *,
+        arrays: dict[str, Any] | None = None,
+    ) -> dict[str, Any]:
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # Listener lifecycle
+    # ------------------------------------------------------------------
+
+    @property
+    def address(self) -> tuple[str, int] | None:
+        """(host, port) the TCP listener is bound to, once started."""
+        if self._tcp_server is None or not self._tcp_server.sockets:
+            return None
+        host, port = self._tcp_server.sockets[0].getsockname()[:2]
+        return host, port
+
+    async def start(self) -> tuple[str, int]:
+        """Bind the TCP listener; returns the bound (host, port)."""
+        if self._tcp_server is not None:
+            raise ServiceError(INTERNAL, "server already started")
+        self._tcp_server = await asyncio.start_server(
+            self._on_connection, self._bind_host, self._bind_port
+        )
+        address = self.address
+        assert address is not None
+        return address
+
+    async def serve_forever(self) -> None:
+        """Block until cancelled (the CLI daemon verbs' main loop)."""
+        if self._tcp_server is None:
+            await self.start()
+        assert self._tcp_server is not None
+        await self._tcp_server.serve_forever()
+
+    async def _close_listener(
+        self, *, cancel_connections: bool = False
+    ) -> None:
+        """Stop accepting, settle per-request tasks, release the port."""
+        if self._tcp_server is not None:
+            self._tcp_server.close()
+        if cancel_connections:
+            for task in list(self._conn_tasks):
+                task.cancel()
+        if self._conn_tasks:
+            await asyncio.gather(*self._conn_tasks, return_exceptions=True)
+        if self._tcp_server is not None:
+            try:
+                await self._tcp_server.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+            self._tcp_server = None
+
+    # ------------------------------------------------------------------
+    # Connection handling
+    # ------------------------------------------------------------------
+
+    async def _on_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        """Read request lines, answering each from its own task so slow
+        requests never head-of-line-block fast ones on the connection.
+
+        The *first* line may be a ``hello`` negotiating the binary
+        framing; on acceptance the connection hands over to
+        :meth:`_binary_loop` and never returns to NDJSON.
+        """
+        write_lock = asyncio.Lock()
+        request_tasks: set[asyncio.Task] = set()
+        self.metrics.counter("connections_total").inc()
+        upgraded = False
+        first = True
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (ConnectionError, asyncio.LimitOverrunError):
+                    break
+                if not line:
+                    break
+                if line.strip() == b"":
+                    continue
+                if first:
+                    first = False
+                    hello = sniff_hello(line)
+                    if hello is not None:
+                        upgraded = await self._negotiate(
+                            hello, writer, write_lock
+                        )
+                        if upgraded:
+                            self._wire_binary_conns.inc()
+                            await self._binary_loop(
+                                reader, writer, write_lock, request_tasks
+                            )
+                            break
+                        continue
+                task = asyncio.ensure_future(
+                    self._answer_line(line, writer, write_lock)
+                )
+                request_tasks.add(task)
+                self._conn_tasks.add(task)
+                task.add_done_callback(request_tasks.discard)
+                task.add_done_callback(self._conn_tasks.discard)
+        finally:
+            if not upgraded:
+                self._wire_ndjson_conns.inc()
+            if request_tasks:
+                await asyncio.gather(*request_tasks, return_exceptions=True)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _negotiate(
+        self,
+        hello: dict[str, Any],
+        writer: asyncio.StreamWriter,
+        write_lock: asyncio.Lock,
+    ) -> bool:
+        """Answer one ``hello`` (in NDJSON); returns whether the
+        connection upgrades to binary framing."""
+        offered = hello.get("wire")
+        accept = (
+            self._wire_policy in ("auto", "binary")
+            and isinstance(offered, list)
+            and wireformat.WIRE_BINARY in offered
+        )
+        if accept:
+            result = {
+                "wire": wireformat.WIRE_BINARY,
+                "version": wireformat.WIRE_VERSION,
+            }
+        else:
+            result = {"wire": wireformat.WIRE_NDJSON}
+        payload = encode(ok_response(hello.get("id"), result))
+        async with write_lock:
+            try:
+                writer.write(payload)
+                await writer.drain()
+            except (ConnectionError, OSError):
+                return False
+        return accept
+
+    async def _binary_loop(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        write_lock: asyncio.Lock,
+        request_tasks: set[asyncio.Task],
+    ) -> None:
+        """Frame-at-a-time read loop for an upgraded connection.
+
+        Any malformed or truncated frame gets one structured
+        ``bad_frame`` error and ends the loop — the caller closes the
+        connection, because a corrupt framed stream has no resync
+        point.  Clean EOF *between* frames is a normal hangup.
+        """
+        while True:
+            try:
+                header = await reader.readexactly(wireformat.HEADER_SIZE)
+            except asyncio.IncompleteReadError as exc:
+                if exc.partial:
+                    await self._frame_error(
+                        writer, write_lock, 0, "truncated frame header"
+                    )
+                return
+            except (ConnectionError, OSError):
+                return
+            seq = 0
+            try:
+                kind, nsections, body_len, seq = wireformat.parse_header(
+                    header
+                )
+                # asyncio.timeout (not wait_for): an already-buffered
+                # body completes without yielding to the loop, so a
+                # burst of frames reaches the micro-batcher as one
+                # wave instead of flushing partial batches between
+                # per-frame suspensions.  The deadline still fires on
+                # a peer that stalls mid-body.
+                async with asyncio.timeout(wireformat.FRAME_BODY_TIMEOUT):
+                    body = await reader.readexactly(body_len)
+                request = wireformat.decode_body(kind, nsections, body)
+            except ServiceError as exc:
+                await self._frame_error(writer, write_lock, seq, exc.message)
+                return
+            except (
+                asyncio.IncompleteReadError,
+                asyncio.TimeoutError,
+                TimeoutError,
+            ):
+                await self._frame_error(
+                    writer, write_lock, seq, "truncated frame body"
+                )
+                return
+            except (ConnectionError, OSError):
+                return
+            task = asyncio.ensure_future(
+                self._answer_frame(request, writer, write_lock)
+            )
+            request_tasks.add(task)
+            self._conn_tasks.add(task)
+            task.add_done_callback(request_tasks.discard)
+            task.add_done_callback(self._conn_tasks.discard)
+
+    async def _frame_error(
+        self,
+        writer: asyncio.StreamWriter,
+        write_lock: asyncio.Lock,
+        seq: int,
+        message: str,
+    ) -> None:
+        self._frontend_errors.inc()
+        envelope = error_response(None, wireformat.BAD_FRAME, message)
+        payload = wireformat.encode_frame(
+            wireformat.KIND_RESPONSE, seq, envelope
+        )
+        async with write_lock:
+            try:
+                writer.write(payload)
+                await writer.drain()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _answer_line(
+        self,
+        line: bytes,
+        writer: asyncio.StreamWriter,
+        write_lock: asyncio.Lock,
+    ) -> None:
+        try:
+            request = decode(line)
+        except ServiceError as exc:
+            response = error_response(None, exc.code, exc.message)
+        else:
+            response = await self.handle_request(request)
+        payload = encode(response)
+        async with write_lock:
+            try:
+                writer.write(payload)
+                await writer.drain()
+            except (ConnectionError, OSError):
+                pass  # peer went away; nothing to answer to
+
+    async def _answer_frame(
+        self,
+        request: dict[str, Any],
+        writer: asyncio.StreamWriter,
+        write_lock: asyncio.Lock,
+    ) -> None:
+        arrays: dict[str, Any] = {}
+        response = await self.handle_request(request, arrays=arrays)
+        request_id = request.get("id")
+        seq = (
+            request_id
+            if isinstance(request_id, int)
+            and not isinstance(request_id, bool)
+            and 0 <= request_id < 2**64
+            else 0
+        )
+        try:
+            payload = wireformat.encode_frame(
+                wireformat.KIND_RESPONSE,
+                seq,
+                response,
+                arrays=arrays if response.get("ok") else None,
+            )
+        except ServiceError as exc:  # pragma: no cover - oversize result
+            payload = wireformat.encode_frame(
+                wireformat.KIND_RESPONSE,
+                seq,
+                error_response(request_id, exc.code, exc.message),
+            )
+        async with write_lock:
+            try:
+                writer.write(payload)
+                await writer.drain()
+            except (ConnectionError, OSError):
+                pass  # peer went away; nothing to answer to
+
+
+def sniff_hello(line: bytes) -> dict[str, Any] | None:
+    """The decoded request if this first line is a ``hello``, else None.
+
+    The byte-level substring check keeps the common case (an ordinary
+    first request) to one cheap scan instead of a JSON parse; anything
+    undecodable is left for the normal per-line error path.
+    """
+    if b'"hello"' not in line:
+        return None
+    try:
+        request = decode(line)
+    except ServiceError:
+        return None
+    if request.get("op") != wireformat.HELLO_OP:
+        return None
+    return request

@@ -38,6 +38,7 @@ from typing import Any, Sequence
 import numpy as np
 
 from repro.service.client import AsyncServiceClient, InProcessClient
+from repro.service.router import RouterConfig, RouterServer
 from repro.service.server import ModelServer, ServerConfig
 from repro.units import to_milliseconds
 
@@ -104,6 +105,15 @@ class LoadReport:
     #: queueing *build* (open-loop backlog grows latency monotonically
     #: along the stream — tested in tests/service/test_loadgen_edge.py).
     latencies_ms: tuple[float, ...] = ()
+    #: Number of replicated backend servers behind the router when the
+    #: run drove the scale-out tier (zero = direct single-server run).
+    router_backends: int = 0
+    #: Per-key replication factor on the router's ring (zero = direct).
+    replication: int = 0
+    #: ``HOST:PORT`` of an external server/router the run targeted, if
+    #: any — engine/cache statistics are unavailable for a remote
+    #: process and read as zero.
+    target: str = ""
 
     def describe(self) -> str:
         """Human-readable report block for the CLI."""
@@ -134,6 +144,14 @@ class LoadReport:
                 f"{self.bytes_received:,} B received, "
                 f"{per_request:,.0f} B/request)",
             )
+        if self.router_backends:
+            lines.insert(
+                1,
+                f"router      = {self.router_backends} backends, "
+                f"replication {self.replication}",
+            )
+        if self.target:
+            lines.insert(1, f"target      = {self.target} (external)")
         if self.workers:
             lines.append(f"workers     = {self.workers} shard processes")
         if self.batch_size_counts:
@@ -291,8 +309,49 @@ def arrival_schedule(
     return np.cumsum(rng.exponential(1.0 / rate, requests))
 
 
+def _merge_server_stats(servers: Sequence[ModelServer]) -> dict[str, Any]:
+    """Pipeline statistics summed/merged across server instances.
+
+    One server reduces to its own stats; multiple (the replicated
+    backends behind a router) merge the additive counters, weight the
+    batch-size mean by per-server counts, and recompute the cache hit
+    ratio from summed hits/misses rather than averaging ratios.
+    """
+    engine_calls = 0
+    hits = 0
+    misses = 0
+    batch_count = 0
+    batch_sum = 0.0
+    batch_max = 0
+    batch_values: dict[str, int] = {}
+    workers = 0
+    for server in servers:
+        stats = server.stats()
+        engine_calls += int(stats["engine_batch_calls"])
+        cache = stats.get("cache", {})
+        hits += int(cache.get("hits", 0))
+        misses += int(cache.get("misses", 0))
+        hist = stats["histograms"].get("batch_size", {})
+        count = int(hist.get("count", 0))
+        batch_count += count
+        batch_sum += float(hist.get("mean", 0.0)) * count
+        batch_max = max(batch_max, int(hist.get("max", 0) or 0))
+        for size, tally in hist.get("values", {}).items():
+            batch_values[size] = batch_values.get(size, 0) + int(tally)
+        workers = max(workers, int(stats["config"].get("workers", 0)))
+    lookups = hits + misses
+    return {
+        "engine_calls": engine_calls,
+        "cache_hit_ratio": hits / lookups if lookups else 0.0,
+        "mean_batch": batch_sum / batch_count if batch_count else 0.0,
+        "max_batch": batch_max,
+        "batch_size_counts": batch_values,
+        "workers": workers,
+    }
+
+
 def _finish_report(
-    server: ModelServer,
+    server: ModelServer | None,
     latencies: np.ndarray,
     *,
     errors: int,
@@ -301,10 +360,13 @@ def _finish_report(
     mode: str,
     workload: str,
     offered_rps: float,
+    backends: Sequence[ModelServer] = (),
 ) -> LoadReport:
     requests = latencies.size
-    stats = server.stats()
-    batch_hist = stats["histograms"].get("batch_size", {})
+    sources = list(backends) if backends else (
+        [server] if server is not None else []
+    )
+    merged = _merge_server_stats(sources)
     ordered = to_milliseconds(np.sort(latencies))
     return LoadReport(
         requests=requests,
@@ -314,21 +376,37 @@ def _finish_report(
         throughput=requests / duration if duration > 0 else 0.0,
         p50_ms=float(ordered[int(0.50 * (requests - 1))]) if requests else 0.0,
         p99_ms=float(ordered[int(0.99 * (requests - 1))]) if requests else 0.0,
-        mean_batch=float(batch_hist.get("mean", 0.0)),
-        max_batch=int(batch_hist.get("max", 0) or 0),
-        engine_calls=int(stats["engine_batch_calls"]),
-        cache_hit_ratio=float(stats["cache"]["hit_ratio"]),
-        batch_size_counts=dict(batch_hist.get("values", {})),
+        mean_batch=merged["mean_batch"],
+        max_batch=merged["max_batch"],
+        engine_calls=merged["engine_calls"],
+        cache_hit_ratio=merged["cache_hit_ratio"],
+        batch_size_counts=merged["batch_size_counts"],
         mode=mode,
         workload=workload,
         offered_rps=offered_rps,
-        workers=int(stats["config"].get("workers", 0)),
+        workers=merged["workers"],
         latencies_ms=tuple(to_milliseconds(latencies).tolist()),
     )
 
 
+async def _warm_servers(
+    server: ModelServer | None,
+    backends: Sequence[ModelServer],
+    machines: Sequence[str],
+) -> None:
+    """Resolve machines and wait for worker pools on every local server
+    in the measurement, so cold boot isn't billed to the run.  External
+    targets (no local server objects) warm nothing."""
+    for instance in list(backends) or ([server] if server is not None else []):
+        for machine in machines:
+            instance.engine.machine(machine)  # fail fast on config errors
+        if instance.pool is not None:
+            # Measure steady state, not the ~1 s/worker cold boot.
+            await instance.pool.ready()
+
+
 async def run_closed_loop(
-    server: ModelServer,
+    server: ModelServer | None,
     *,
     requests: int = 2000,
     concurrency: int = 64,
@@ -338,16 +416,24 @@ async def run_closed_loop(
     unique_intensities: bool = True,
     workload: str = "scalar",
     client: Any | None = None,
+    backends: Sequence[ModelServer] = (),
 ) -> LoadReport:
     """Drive ``requests`` evaluations through ``server``, closed-loop.
 
     The ``client`` defaults to an :class:`InProcessClient`; pass an
     :class:`~repro.service.client.AsyncServiceClient` to include the
-    TCP+JSON wire in the measurement.
+    TCP+JSON wire in the measurement.  When the client fronts a router,
+    pass the backend :class:`ModelServer` instances via ``backends``
+    (and ``server=None``): pipeline statistics are then merged across
+    all of them.  ``server=None`` with no ``backends`` (an external
+    target) zeroes the pipeline statistics.
     """
     if requests < 0 or concurrency < 1:
         raise ValueError("requests must be >= 0 and concurrency >= 1")
-    client = client or InProcessClient(server)
+    if client is None:
+        if server is None:
+            raise ValueError("server=None requires an explicit client")
+        client = InProcessClient(server)
     bodies = build_requests(
         requests,
         machines=machines,
@@ -356,11 +442,7 @@ async def run_closed_loop(
         unique_intensities=unique_intensities,
         workload=workload,
     )
-    for machine in machines:
-        server.engine.machine(machine)  # fail fast on config errors
-    if server.pool is not None:
-        # Measure steady state, not the ~1 s/worker cold boot.
-        await server.pool.ready()
+    await _warm_servers(server, backends, machines)
     latencies = np.empty(requests, dtype=float)
     errors = 0
     next_index = 0
@@ -392,11 +474,12 @@ async def run_closed_loop(
         mode="closed",
         workload=workload,
         offered_rps=0.0,
+        backends=backends,
     )
 
 
 async def run_open_loop(
-    server: ModelServer,
+    server: ModelServer | None,
     *,
     rate: float,
     requests: int = 2000,
@@ -407,6 +490,7 @@ async def run_open_loop(
     workload: str = "scalar",
     seed: int = _DEFAULT_SEED,
     client: Any | None = None,
+    backends: Sequence[ModelServer] = (),
 ) -> LoadReport:
     """Drive ``requests`` evaluations at a fixed Poisson arrival rate.
 
@@ -419,7 +503,10 @@ async def run_open_loop(
     count, which closed-loop generators structurally cannot see
     (coordinated omission).
     """
-    client = client or InProcessClient(server)
+    if client is None:
+        if server is None:
+            raise ValueError("server=None requires an explicit client")
+        client = InProcessClient(server)
     bodies = build_requests(
         requests,
         machines=machines,
@@ -429,11 +516,7 @@ async def run_open_loop(
         workload=workload,
         seed=seed,
     )
-    for machine in machines:
-        server.engine.machine(machine)  # fail fast on config errors
-    if server.pool is not None:
-        # Measure steady state, not the ~1 s/worker cold boot.
-        await server.pool.ready()
+    await _warm_servers(server, backends, machines)
     arrivals = arrival_schedule(rate, requests, seed=seed)
     latencies = np.empty(requests, dtype=float)
     errors = 0
@@ -468,6 +551,7 @@ async def run_open_loop(
         offered_rps=(
             requests / float(arrivals[-1]) if requests else 0.0
         ),
+        backends=backends,
     )
 
 
@@ -489,6 +573,9 @@ def bench_serving(
     wire: str = "inproc",
     job_transport: str | None = None,
     plan_cache_size: int | None = None,
+    router_backends: int = 0,
+    replication: int = 1,
+    target: str | None = None,
 ) -> LoadReport:
     """One synchronous end-to-end serving benchmark run.
 
@@ -508,29 +595,139 @@ def bench_serving(
     given (``None`` keeps the server defaults) — the perfreg wire check
     pins its baseline by forcing ``pickle`` transport and a disabled
     plan cache.
+
+    ``router_backends=N`` (N ≥ 1) benchmarks the scale-out tier
+    instead of one server: N backend servers (each with the same
+    pipeline knobs) listen on loopback TCP, a
+    :class:`~repro.service.router.RouterServer` with the given
+    ``replication`` fronts them, and the client drives the *router* —
+    so the report's latency and bytes-on-wire include the extra hop,
+    while engine/cache statistics are merged across all backends.
+    Router runs require a TCP ``wire`` (``"ndjson"`` or ``"binary"``).
+
+    ``target="HOST:PORT"`` instead drives an already-running external
+    server or router: no local processes are built, and the pipeline
+    statistics (engine calls, batch sizes, cache ratio) read as zero
+    since they live in the remote process — latency, throughput, and
+    bytes-on-wire are still measured.
     """
     if wire not in ("inproc", "ndjson", "binary"):
         raise ValueError(
             f"wire must be 'inproc', 'ndjson', or 'binary', got {wire!r}"
         )
+    if router_backends < 0:
+        raise ValueError(
+            f"router_backends must be >= 0, got {router_backends}"
+        )
+    if (router_backends > 0 or target is not None) and wire == "inproc":
+        raise ValueError(
+            "router/target runs need a TCP wire ('ndjson' or 'binary')"
+        )
+    if router_backends > 0 and target is not None:
+        raise ValueError("router_backends and target are mutually exclusive")
 
-    async def _run() -> LoadReport:
+    async def _drive(
+        server: ModelServer | None,
+        client: Any | None,
+        backends: Sequence[ModelServer] = (),
+    ) -> LoadReport:
+        if open_loop_rate is not None:
+            return await run_open_loop(
+                server,
+                rate=open_loop_rate,
+                requests=requests,
+                machines=machines,
+                model=model,
+                metric=metric,
+                unique_intensities=unique_intensities,
+                workload=workload,
+                client=client,
+                backends=backends,
+            )
+        return await run_closed_loop(
+            server,
+            requests=requests,
+            concurrency=concurrency,
+            machines=machines,
+            model=model,
+            metric=metric,
+            unique_intensities=unique_intensities,
+            workload=workload,
+            client=client,
+            backends=backends,
+        )
+
+    def _server_config() -> ServerConfig:
         config_kwargs: dict[str, Any] = {}
         if job_transport is not None:
             config_kwargs["job_transport"] = job_transport
         if plan_cache_size is not None:
             config_kwargs["plan_cache_size"] = plan_cache_size
-        server = ModelServer(
-            ServerConfig(
-                max_batch=max_batch,
-                flush_window=flush_window,
-                cache_size=cache_size,
-                queue_limit=max(1024, concurrency * 2),
-                workers=workers,
-                shard_by=shard_by,
-                **config_kwargs,
-            )
+        return ServerConfig(
+            max_batch=max_batch,
+            flush_window=flush_window,
+            cache_size=cache_size,
+            queue_limit=max(1024, concurrency * 2),
+            workers=workers,
+            shard_by=shard_by,
+            **config_kwargs,
         )
+
+    def _wire_report(report: LoadReport, client: Any) -> LoadReport:
+        return replace(
+            report,
+            wire=wire,
+            bytes_sent=client.bytes_sent,
+            bytes_received=client.bytes_received,
+        )
+
+    async def _run_target() -> LoadReport:
+        host, _, port = str(target).rpartition(":")
+        client = await AsyncServiceClient.connect(host, int(port), wire=wire)
+        try:
+            report = await _drive(None, client)
+            return replace(
+                _wire_report(report, client), target=str(target)
+            )
+        finally:
+            await client.close()
+
+    async def _run_router() -> LoadReport:
+        backends: list[ModelServer] = []
+        router = None
+        client = None
+        try:
+            addresses = []
+            for _ in range(router_backends):
+                backend = ModelServer(_server_config())
+                backends.append(backend)
+                host, port = await backend.start()
+                addresses.append(f"{host}:{port}")
+            router = RouterServer(
+                addresses, RouterConfig(replication=replication)
+            )
+            host, port = await router.start()
+            client = await AsyncServiceClient.connect(host, port, wire=wire)
+            if client.wire != wire:  # pragma: no cover - local router
+                raise RuntimeError(
+                    f"negotiated {client.wire!r} framing, wanted {wire!r}"
+                )
+            report = await _drive(None, client, backends)
+            return replace(
+                _wire_report(report, client),
+                router_backends=router_backends,
+                replication=replication,
+            )
+        finally:
+            if client is not None:
+                await client.close()
+            if router is not None:
+                await router.stop()
+            for backend in backends:
+                await backend.stop()
+
+    async def _run_single() -> LoadReport:
+        server = ModelServer(_server_config())
         client = None
         tcp_server = None
         try:
@@ -546,37 +743,9 @@ def bench_serving(
                     raise RuntimeError(
                         f"negotiated {client.wire!r} framing, wanted {wire!r}"
                     )
-            if open_loop_rate is not None:
-                report = await run_open_loop(
-                    server,
-                    rate=open_loop_rate,
-                    requests=requests,
-                    machines=machines,
-                    model=model,
-                    metric=metric,
-                    unique_intensities=unique_intensities,
-                    workload=workload,
-                    client=client,
-                )
-            else:
-                report = await run_closed_loop(
-                    server,
-                    requests=requests,
-                    concurrency=concurrency,
-                    machines=machines,
-                    model=model,
-                    metric=metric,
-                    unique_intensities=unique_intensities,
-                    workload=workload,
-                    client=client,
-                )
+            report = await _drive(server, client)
             if client is not None:
-                report = replace(
-                    report,
-                    wire=wire,
-                    bytes_sent=client.bytes_sent,
-                    bytes_received=client.bytes_received,
-                )
+                report = _wire_report(report, client)
             return report
         finally:
             if client is not None:
@@ -586,4 +755,8 @@ def bench_serving(
                 await tcp_server.wait_closed()
             await server.stop()
 
-    return asyncio.run(_run())
+    if target is not None:
+        return asyncio.run(_run_target())
+    if router_backends > 0:
+        return asyncio.run(_run_router())
+    return asyncio.run(_run_single())

@@ -27,11 +27,13 @@ Error codes
     The named machine or operation does not exist.
 ``overloaded``
     Admission control rejected the request (queue full) — the 429 of
-    this protocol; retry with backoff.
+    this protocol; carries ``"retriable": true`` (nothing ran), so
+    retry with backoff.
 ``deadline_exceeded``
     The per-request deadline expired before a result was ready.
 ``shutting_down``
-    The server is draining; open requests finish, new ones are refused.
+    The server is draining; open requests finish, new ones are refused
+    with ``"retriable": true`` — another replica can take them.
 ``worker_crashed``
     A worker process died mid-job and has been respawned; the error
     object carries ``"retriable": true`` — the job may or may not have
@@ -73,6 +75,7 @@ __all__ = [
     "WORKER_CRASHED",
     "BAD_FRAME",
     "INTERNAL",
+    "BACKEND_UNAVAILABLE",
     "CACHEABLE_OPS",
     "MAX_LINE_BYTES",
     "encode",
@@ -92,6 +95,7 @@ SHUTTING_DOWN = "shutting_down"
 WORKER_CRASHED = "worker_crashed"
 BAD_FRAME = "bad_frame"
 INTERNAL = "internal"
+BACKEND_UNAVAILABLE = "backend_unavailable"
 
 #: Operations whose responses are pure functions of the request body.
 #: ``stats`` and ``ping`` are intentionally absent: both describe the
@@ -177,7 +181,9 @@ def unwrap(response: dict[str, Any]) -> dict[str, Any]:
         return result
     error = response.get("error") or {}
     raise ServiceError(
-        error.get("code", INTERNAL), error.get("message", "unknown error")
+        error.get("code", INTERNAL),
+        error.get("message", "unknown error"),
+        retriable=bool(error.get("retriable", False)),
     )
 
 

@@ -1,0 +1,168 @@
+"""Zero-downtime ring reconfiguration for the scale-out router.
+
+Membership changes must not produce wrong answers, torn requests, or a
+service pause for traffic that isn't moving.  The drain protocol here
+achieves that with one gate and one invariant:
+
+1. Build the candidate ring (``old ± backend``).  Consistent hashing
+   guarantees minimal movement: only keys whose replica set actually
+   differs between the two rings are affected (see
+   :meth:`~repro.service.router.ring.HashRing.moved_keys`, asserted by
+   the property tests).
+2. Install a :class:`ReconfigGate`.  From this moment, *new* requests
+   for moved keys park on the gate's event; requests for unmoved keys —
+   the overwhelming majority — flow untouched.
+3. Wait for in-flight requests on moved keys to settle (the router
+   tracks per-key in-flight counts), bounded by ``drain_timeout``.
+4. Swap the ring — a single attribute assignment on the event loop, so
+   no request ever observes a half-updated ring — then update health
+   tracking and backend handles, release the gate, and wake the parked
+   requests, which now route on the new ring.
+
+A removed backend's connection is closed only after the swap, when no
+in-flight request can still be bound for it (every key it served is by
+definition a moved key and was drained in step 3).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from typing import TYPE_CHECKING, Any
+
+from repro.service.router.ring import HashRing
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.service.router.router import RouterServer
+
+__all__ = ["ReconfigGate", "RouterAdmin"]
+
+
+class ReconfigGate:
+    """Parks requests for keys whose placement is changing."""
+
+    __slots__ = ("done", "new_ring", "old_ring")
+
+    def __init__(self, old_ring: HashRing, new_ring: HashRing):
+        self.old_ring = old_ring
+        self.new_ring = new_ring
+        self.done = asyncio.Event()
+
+    def moves(self, key: str) -> bool:
+        """Whether ``key``'s replica set differs between the rings."""
+        return self.old_ring.replicas(key) != self.new_ring.replicas(key)
+
+
+class RouterAdmin:
+    """Membership operations on a live :class:`RouterServer`.
+
+    One reconfiguration at a time; concurrent calls queue on a lock.
+    Each call returns a movement report::
+
+        {"backend": ..., "action": "add" | "remove",
+         "backends": [...],            # post-change membership
+         "drained_keys": N,            # moved in-flight keys waited on
+         "drain_seconds": ...}
+    """
+
+    def __init__(self, router: "RouterServer"):
+        self._router = router
+        self._lock = asyncio.Lock()
+        #: Active gate, or ``None``; the router's request path reads
+        #: this on every request.
+        self.gate: ReconfigGate | None = None
+
+    async def add_backend(
+        self, backend: str, *, drain_timeout: float = 30.0
+    ) -> dict[str, Any]:
+        """Add ``backend`` to the ring with a drain of moved keys."""
+        from repro.service.router.router import parse_backend
+
+        backend = parse_backend(backend)
+        async with self._lock:
+            router = self._router
+            new_ring = router.ring.with_backend(backend)
+            # The handle and health record exist before any request can
+            # route to the new backend, so the first routed request
+            # finds both in place.
+            router._handles[backend] = router._make_handle(backend)
+            router.health.add_backend(backend)
+            report = await self._swap(new_ring, drain_timeout)
+        report["backend"] = backend
+        report["action"] = "add"
+        return report
+
+    async def remove_backend(
+        self, backend: str, *, drain_timeout: float = 30.0
+    ) -> dict[str, Any]:
+        """Remove ``backend``, draining its keys before disconnecting."""
+        from repro.service.router.router import parse_backend
+
+        backend = parse_backend(backend)
+        async with self._lock:
+            router = self._router
+            if len(router.ring) == 1:
+                raise ValueError("cannot remove the last backend")
+            new_ring = router.ring.without_backend(backend)
+            report = await self._swap(new_ring, drain_timeout)
+            router.health.remove_backend(backend)
+            handle = router._handles.pop(backend, None)
+            if handle is not None:
+                await handle.close()
+        report["backend"] = backend
+        report["action"] = "remove"
+        return report
+
+    async def set_replication(
+        self, replication: int, *, drain_timeout: float = 30.0
+    ) -> dict[str, Any]:
+        """Change the per-key replication factor, draining moved keys."""
+        async with self._lock:
+            new_ring = self._router.ring.with_replication(replication)
+            report = await self._swap(new_ring, drain_timeout)
+        report["action"] = "set_replication"
+        report["replication"] = replication
+        return report
+
+    async def _swap(
+        self, new_ring: HashRing, drain_timeout: float
+    ) -> dict[str, Any]:
+        """Gate moved keys, drain their in-flight requests, swap rings."""
+        router = self._router
+        gate = ReconfigGate(router.ring, new_ring)
+        self.gate = gate
+        started = time.perf_counter()
+        drained = 0
+        try:
+            deadline = started + drain_timeout
+            while True:
+                moving = [
+                    key
+                    for key, count in router._inflight.items()
+                    if count > 0 and gate.moves(key)
+                ]
+                if not moving:
+                    break
+                drained = max(drained, len(moving))
+                remaining = deadline - time.perf_counter()
+                if remaining <= 0.0:
+                    # Bounded drain: proceed anyway.  The stragglers
+                    # finish against their old backend's still-open
+                    # connection (or fail over), so the swap stays safe
+                    # — just no longer perfectly quiescent.
+                    break
+                router._inflight_changed.clear()
+                try:
+                    async with asyncio.timeout(remaining):
+                        await router._inflight_changed.wait()
+                except (asyncio.TimeoutError, TimeoutError):
+                    break
+            router.ring = new_ring
+        finally:
+            self.gate = None
+            gate.done.set()
+        return {
+            "backends": list(new_ring.backends),
+            "drained_keys": drained,
+            "drain_seconds": time.perf_counter() - started,
+        }

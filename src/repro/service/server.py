@@ -42,10 +42,10 @@ from dataclasses import dataclass, field
 from typing import Any, Callable
 
 from repro.exceptions import ReproError, ServiceError
-from repro.service import wire as wireformat
 from repro.service.batcher import MicroBatcher
 from repro.service.cache import TTLCache
 from repro.service.engine import DEFAULT_PLAN_CACHE_SIZE, EvalEngine
+from repro.service.frontend import WireFrontend
 from repro.service.metrics import MetricsRegistry
 from repro.service.protocol import (
     BAD_REQUEST,
@@ -54,8 +54,6 @@ from repro.service.protocol import (
     OVERLOADED,
     SHUTTING_DOWN,
     UNKNOWN_OP,
-    decode,
-    encode,
     error_response,
     ok_response,
     request_cache_key,
@@ -152,7 +150,7 @@ class ServerConfig:
     plan_cache_size: int = DEFAULT_PLAN_CACHE_SIZE
 
 
-class ModelServer:
+class ModelServer(WireFrontend):
     """Serve the analytic models with micro-batching, caching, metrics."""
 
     def __init__(
@@ -162,15 +160,16 @@ class ModelServer:
         engine: EvalEngine | None = None,
     ):
         self.config = config or ServerConfig()
-        if self.config.wire not in ("auto", "binary", "ndjson"):
-            raise ValueError(
-                f"wire must be 'auto', 'binary', or 'ndjson', "
-                f"got {self.config.wire!r}"
-            )
         self.engine = engine or EvalEngine(
             plan_cache_size=self.config.plan_cache_size
         )
         self.metrics = MetricsRegistry()
+        self._init_frontend(
+            metrics=self.metrics,
+            wire=self.config.wire,
+            host=self.config.host,
+            port=self.config.port,
+        )
         self.cache = TTLCache(self.config.cache_size, self.config.cache_ttl)
         self.pool: WorkerPool | None = (
             WorkerPool(
@@ -198,8 +197,6 @@ class ModelServer:
         self._draining = False
         self._idle = asyncio.Event()
         self._idle.set()
-        self._tcp_server: asyncio.AbstractServer | None = None
-        self._conn_tasks: set[asyncio.Task] = set()
         # Hot-path instruments, resolved once.
         self._requests_total = self.metrics.counter("requests_total")
         self._errors_total = self.metrics.counter("errors_total")
@@ -208,14 +205,6 @@ class ModelServer:
         self._cache_hits = self.metrics.counter("cache_hits_total")
         self._latency_ms = self.metrics.histogram("request_latency_ms")
         self._queue_depth = self.metrics.gauge("queue_depth")
-        # Pre-created so both framing counters exist (at zero) in every
-        # stats payload, whichever framings connections actually used.
-        self._wire_binary_conns = self.metrics.counter(
-            "wire_binary_connections_total"
-        )
-        self._wire_ndjson_conns = self.metrics.counter(
-            "wire_ndjson_connections_total"
-        )
 
     # ------------------------------------------------------------------
     # Request pipeline (transport-independent)
@@ -252,9 +241,14 @@ class ModelServer:
             return ok_response(request_id, {"pong": True})
         if op == "stats":
             return ok_response(request_id, self.stats())
+        # Admission refusals happen before any work starts, so they are
+        # always safe to retry — the marker is what lets the scale-out
+        # router fail a request over to another replica instead of
+        # surfacing a draining or saturated backend to the client.
         if self._draining:
             return error_response(
-                request_id, SHUTTING_DOWN, "server is draining"
+                request_id, SHUTTING_DOWN, "server is draining",
+                retriable=True,
             )
         if self._inflight >= self.config.queue_limit:
             self._overloaded_total.inc()
@@ -263,6 +257,7 @@ class ModelServer:
                 OVERLOADED,
                 f"admission queue full ({self.config.queue_limit} in flight); "
                 "retry with backoff",
+                retriable=True,
             )
         self._inflight += 1
         if self._inflight == 1:
@@ -528,259 +523,6 @@ class ModelServer:
         return snapshot
 
     # ------------------------------------------------------------------
-    # TCP transport
-    # ------------------------------------------------------------------
-
-    @property
-    def address(self) -> tuple[str, int] | None:
-        """(host, port) the TCP listener is bound to, once started."""
-        if self._tcp_server is None or not self._tcp_server.sockets:
-            return None
-        host, port = self._tcp_server.sockets[0].getsockname()[:2]
-        return host, port
-
-    async def start(self) -> tuple[str, int]:
-        """Bind the TCP listener; returns the bound (host, port)."""
-        if self._tcp_server is not None:
-            raise ServiceError(INTERNAL, "server already started")
-        self._tcp_server = await asyncio.start_server(
-            self._on_connection, self.config.host, self.config.port
-        )
-        address = self.address
-        assert address is not None
-        return address
-
-    async def _on_connection(
-        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
-    ) -> None:
-        """Read request lines, answering each from its own task so slow
-        requests never head-of-line-block fast ones on the connection.
-
-        The *first* line may be a ``hello`` negotiating the binary
-        framing; on acceptance the connection hands over to
-        :meth:`_binary_loop` and never returns to NDJSON.
-        """
-        write_lock = asyncio.Lock()
-        request_tasks: set[asyncio.Task] = set()
-        self.metrics.counter("connections_total").inc()
-        upgraded = False
-        first = True
-        try:
-            while True:
-                try:
-                    line = await reader.readline()
-                except (ConnectionError, asyncio.LimitOverrunError):
-                    break
-                if not line:
-                    break
-                if line.strip() == b"":
-                    continue
-                if first:
-                    first = False
-                    hello = _sniff_hello(line)
-                    if hello is not None:
-                        upgraded = await self._negotiate(
-                            hello, writer, write_lock
-                        )
-                        if upgraded:
-                            self._wire_binary_conns.inc()
-                            await self._binary_loop(
-                                reader, writer, write_lock, request_tasks
-                            )
-                            break
-                        continue
-                task = asyncio.ensure_future(
-                    self._answer_line(line, writer, write_lock)
-                )
-                request_tasks.add(task)
-                self._conn_tasks.add(task)
-                task.add_done_callback(request_tasks.discard)
-                task.add_done_callback(self._conn_tasks.discard)
-        finally:
-            if not upgraded:
-                self._wire_ndjson_conns.inc()
-            if request_tasks:
-                await asyncio.gather(*request_tasks, return_exceptions=True)
-            writer.close()
-            try:
-                await writer.wait_closed()
-            except (ConnectionError, OSError):
-                pass
-
-    async def _negotiate(
-        self,
-        hello: dict[str, Any],
-        writer: asyncio.StreamWriter,
-        write_lock: asyncio.Lock,
-    ) -> bool:
-        """Answer one ``hello`` (in NDJSON); returns whether the
-        connection upgrades to binary framing."""
-        offered = hello.get("wire")
-        accept = (
-            self.config.wire in ("auto", "binary")
-            and isinstance(offered, list)
-            and wireformat.WIRE_BINARY in offered
-        )
-        if accept:
-            result = {
-                "wire": wireformat.WIRE_BINARY,
-                "version": wireformat.WIRE_VERSION,
-            }
-        else:
-            result = {"wire": wireformat.WIRE_NDJSON}
-        payload = encode(ok_response(hello.get("id"), result))
-        async with write_lock:
-            try:
-                writer.write(payload)
-                await writer.drain()
-            except (ConnectionError, OSError):
-                return False
-        return accept
-
-    async def _binary_loop(
-        self,
-        reader: asyncio.StreamReader,
-        writer: asyncio.StreamWriter,
-        write_lock: asyncio.Lock,
-        request_tasks: set[asyncio.Task],
-    ) -> None:
-        """Frame-at-a-time read loop for an upgraded connection.
-
-        Any malformed or truncated frame gets one structured
-        ``bad_frame`` error and ends the loop — the caller closes the
-        connection, because a corrupt framed stream has no resync
-        point.  Clean EOF *between* frames is a normal hangup.
-        """
-        while True:
-            try:
-                header = await reader.readexactly(wireformat.HEADER_SIZE)
-            except asyncio.IncompleteReadError as exc:
-                if exc.partial:
-                    await self._frame_error(
-                        writer, write_lock, 0, "truncated frame header"
-                    )
-                return
-            except (ConnectionError, OSError):
-                return
-            seq = 0
-            try:
-                kind, nsections, body_len, seq = wireformat.parse_header(
-                    header
-                )
-                # asyncio.timeout (not wait_for): an already-buffered
-                # body completes without yielding to the loop, so a
-                # burst of frames reaches the micro-batcher as one
-                # wave instead of flushing partial batches between
-                # per-frame suspensions.  The deadline still fires on
-                # a peer that stalls mid-body.
-                async with asyncio.timeout(wireformat.FRAME_BODY_TIMEOUT):
-                    body = await reader.readexactly(body_len)
-                request = wireformat.decode_body(kind, nsections, body)
-            except ServiceError as exc:
-                await self._frame_error(writer, write_lock, seq, exc.message)
-                return
-            except (
-                asyncio.IncompleteReadError,
-                asyncio.TimeoutError,
-                TimeoutError,
-            ):
-                await self._frame_error(
-                    writer, write_lock, seq, "truncated frame body"
-                )
-                return
-            except (ConnectionError, OSError):
-                return
-            task = asyncio.ensure_future(
-                self._answer_frame(request, writer, write_lock)
-            )
-            request_tasks.add(task)
-            self._conn_tasks.add(task)
-            task.add_done_callback(request_tasks.discard)
-            task.add_done_callback(self._conn_tasks.discard)
-
-    async def _frame_error(
-        self,
-        writer: asyncio.StreamWriter,
-        write_lock: asyncio.Lock,
-        seq: int,
-        message: str,
-    ) -> None:
-        self._errors_total.inc()
-        envelope = error_response(None, wireformat.BAD_FRAME, message)
-        payload = wireformat.encode_frame(
-            wireformat.KIND_RESPONSE, seq, envelope
-        )
-        async with write_lock:
-            try:
-                writer.write(payload)
-                await writer.drain()
-            except (ConnectionError, OSError):
-                pass
-
-    async def _answer_line(
-        self,
-        line: bytes,
-        writer: asyncio.StreamWriter,
-        write_lock: asyncio.Lock,
-    ) -> None:
-        try:
-            request = decode(line)
-        except ServiceError as exc:
-            response = error_response(None, exc.code, exc.message)
-        else:
-            response = await self.handle_request(request)
-        payload = encode(response)
-        async with write_lock:
-            try:
-                writer.write(payload)
-                await writer.drain()
-            except (ConnectionError, OSError):
-                pass  # peer went away; nothing to answer to
-
-    async def _answer_frame(
-        self,
-        request: dict[str, Any],
-        writer: asyncio.StreamWriter,
-        write_lock: asyncio.Lock,
-    ) -> None:
-        arrays: dict[str, Any] = {}
-        response = await self.handle_request(request, arrays=arrays)
-        request_id = request.get("id")
-        seq = (
-            request_id
-            if isinstance(request_id, int)
-            and not isinstance(request_id, bool)
-            and 0 <= request_id < 2**64
-            else 0
-        )
-        try:
-            payload = wireformat.encode_frame(
-                wireformat.KIND_RESPONSE,
-                seq,
-                response,
-                arrays=arrays if response.get("ok") else None,
-            )
-        except ServiceError as exc:  # pragma: no cover - oversize result
-            payload = wireformat.encode_frame(
-                wireformat.KIND_RESPONSE,
-                seq,
-                error_response(request_id, exc.code, exc.message),
-            )
-        async with write_lock:
-            try:
-                writer.write(payload)
-                await writer.drain()
-            except (ConnectionError, OSError):
-                pass  # peer went away; nothing to answer to
-
-    async def serve_forever(self) -> None:
-        """Block until cancelled (the ``serve`` CLI verb's main loop)."""
-        if self._tcp_server is None:
-            await self.start()
-        assert self._tcp_server is not None
-        await self._tcp_server.serve_forever()
-
-    # ------------------------------------------------------------------
     # Graceful shutdown
     # ------------------------------------------------------------------
 
@@ -815,24 +557,6 @@ class ModelServer:
             except (ConnectionError, OSError):
                 pass
             self._tcp_server = None
-
-
-def _sniff_hello(line: bytes) -> dict[str, Any] | None:
-    """The decoded request if this first line is a ``hello``, else None.
-
-    The byte-level substring check keeps the common case (an ordinary
-    first request) to one cheap scan instead of a JSON parse; anything
-    undecodable is left for the normal per-line error path.
-    """
-    if b'"hello"' not in line:
-        return None
-    try:
-        request = decode(line)
-    except ServiceError:
-        return None
-    if request.get("op") != wireformat.HELLO_OP:
-        return None
-    return request
 
 
 def _required(request: dict[str, Any], name: str, types: Any) -> Any:

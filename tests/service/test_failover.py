@@ -1,0 +1,153 @@
+"""Failover under real process death: SIGKILL a backend mid-stream.
+
+The scenario the router exists for: two real backend server processes
+(``multiprocessing`` spawn, real TCP), a router with replication 2 in
+front, a client driving concurrent curve requests — and one backend
+killed with SIGKILL while requests are in flight.  The acceptance
+bars, straight from the subsystem's contract:
+
+* every response the client reads is **byte-identical** to the
+  healthy-ring baseline (the ring never changes, so the surviving
+  replica computes the same canonical payload);
+* the client sees **zero errors** of any kind — in-flight requests on
+  the killed backend fail over transparently;
+* nothing leaks: no orphaned sockets in this process, no shared-memory
+  segments left in ``/dev/shm``, and both child processes are reaped.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import multiprocessing
+import os
+import signal
+
+import pytest
+
+from repro.service.client import AsyncServiceClient
+from repro.service.protocol import encode
+from repro.service.router import RouterConfig, RouterServer
+
+MACHINES = ("gtx580-double", "i7-950-double")
+
+
+def _backend_main(conn) -> None:
+    """Child-process entry: run one ModelServer, report its address."""
+    from repro.service.server import ModelServer, ServerConfig
+
+    async def serve() -> None:
+        server = ModelServer(
+            ServerConfig(port=0, cache_size=0, flush_window=0.0)
+        )
+        host, port = await server.start()
+        conn.send((host, port))
+        conn.close()
+        await server.serve_forever()
+
+    asyncio.run(serve())
+
+
+def _spawn_backend(ctx):
+    parent, child = ctx.Pipe()
+    process = ctx.Process(target=_backend_main, args=(child,), daemon=True)
+    process.start()
+    child.close()
+    host, port = parent.recv()
+    parent.close()
+    return process, f"{host}:{port}"
+
+
+def _request_stream() -> list[dict]:
+    requests = []
+    for i in range(40):
+        machine = MACHINES[i % len(MACHINES)]
+        if i % 3:
+            requests.append({
+                "op": "eval", "machine": machine, "model": "capped",
+                "metric": "energy_per_flop", "intensity": 0.5 + i,
+            })
+        else:
+            requests.append({
+                "op": "curve", "machine": machine, "kind": "archline",
+                "points_per_octave": 40,
+            })
+    return requests
+
+
+def _socket_fds() -> int:
+    count = 0
+    for fd in os.listdir("/proc/self/fd"):
+        try:
+            if os.readlink(f"/proc/self/fd/{fd}").startswith("socket:"):
+                count += 1
+        except OSError:
+            continue
+    return count
+
+
+@pytest.mark.skipif(
+    not os.path.isdir("/proc/self/fd"), reason="needs procfs"
+)
+def test_sigkill_mid_stream_is_invisible_to_the_client():
+    ctx = multiprocessing.get_context("spawn")
+    shm_before = set(os.listdir("/dev/shm")) if os.path.isdir(
+        "/dev/shm"
+    ) else set()
+    # Warm the event-loop machinery so the fd baseline is stable.
+    asyncio.run(asyncio.sleep(0))
+    sockets_before = _socket_fds()
+
+    victim, victim_addr = _spawn_backend(ctx)
+    survivor, survivor_addr = _spawn_backend(ctx)
+
+    async def scenario() -> tuple[list[bytes], list[bytes]]:
+        router = RouterServer(
+            [victim_addr, survivor_addr],
+            RouterConfig(
+                replication=2, base_delay=0.005, health_interval=0.2
+            ),
+        )
+        rhost, rport = await router.start()
+        try:
+            async def collect(kill: bool) -> list[bytes]:
+                client = await AsyncServiceClient.connect(rhost, rport)
+                try:
+                    tasks = [
+                        asyncio.ensure_future(client.request(dict(r)))
+                        for r in _request_stream()
+                    ]
+                    if kill:
+                        # Let the stream get airborne, then murder one
+                        # backend with requests still in flight on it.
+                        await asyncio.sleep(0.01)
+                        os.kill(victim.pid, signal.SIGKILL)
+                    replies = await asyncio.gather(*tasks)
+                    return [encode(reply) for reply in replies]
+                finally:
+                    await client.close()
+
+            baseline = await collect(kill=False)
+            killed = await collect(kill=True)
+            return baseline, killed
+        finally:
+            await router.stop()
+
+    try:
+        baseline, killed = asyncio.run(scenario())
+    finally:
+        for process in (victim, survivor):
+            if process.is_alive():
+                process.terminate()
+            process.join(timeout=10)
+
+    # Bar 1: no client-visible errors — every envelope says ok.
+    for payload in killed:
+        assert b'"ok":true' in payload
+    # Bar 2: byte-identity — the degraded run reads exactly the bytes
+    # the healthy ring produced.
+    assert killed == baseline
+    # Bar 3: nothing leaks.
+    assert victim.exitcode is not None and survivor.exitcode is not None
+    assert _socket_fds() == sockets_before
+    if os.path.isdir("/dev/shm"):
+        assert set(os.listdir("/dev/shm")) <= shm_before

@@ -1,0 +1,438 @@
+"""The scale-out router end to end: byte-identity, failover, reconfig.
+
+The load-bearing assertion is the **byte-identity invariant**: the
+canonical response bytes a client reads must not depend on topology —
+how many backends sit behind the router, the replication factor, which
+replica answered, or which framing the client negotiated.  The matrix
+here drives identical request streams through {direct server} x
+{1 backend, 3 backends} x {replication 1, 2} x {ndjson, binary} and
+compares *encoded envelope bytes*, not parsed values.  (Backends run
+with the response cache off: the ``cached: true`` marker is
+backend-local telemetry — a direct client re-asking the same server
+sees it too — so it is deliberately outside the invariant.)
+
+Around that core:
+
+* health: ``down_after`` consecutive failures demote a backend in the
+  failover order (placement never changes), first success promotes it;
+* failover: a stopped backend is retried on the next replica and the
+  client sees the same bytes it would have read from a healthy ring;
+* admin: add/remove/re-replicate a live router under traffic, with
+  minimal key movement and no failed requests;
+* the :class:`~repro.service.client.RetryPolicy` satellite: seeded
+  jitter, capped growth, retriable-only retries, sync and async.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.exceptions import ServiceError
+from repro.service.client import AsyncServiceClient, RetryPolicy
+from repro.service.protocol import encode
+from repro.service.router import (
+    HealthMonitor,
+    RouterConfig,
+    RouterServer,
+    parse_backend,
+)
+from repro.service.server import ModelServer, ServerConfig
+
+MACHINES = ("gtx580-double", "i7-950-double", "gtx580-single")
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+def make_backend(**overrides) -> ModelServer:
+    config = {"cache_size": 0, "flush_window": 0.0, "port": 0}
+    config.update(overrides)
+    return ModelServer(ServerConfig(**config))
+
+
+def request_stream() -> list[dict]:
+    """A mixed, deterministic request stream with stable ids."""
+    requests = []
+    rid = 0
+    for machine in MACHINES:
+        for intensity in (0.25, 2.0, 64.0):
+            requests.append({
+                "id": f"r{rid}", "op": "eval", "machine": machine,
+                "model": "capped", "metric": "energy_per_flop",
+                "intensity": intensity,
+            })
+            rid += 1
+        requests.append({
+            "id": f"r{rid}", "op": "curve", "machine": machine,
+            "kind": "archline", "points_per_octave": 20,
+        })
+        rid += 1
+    # Error paths must be byte-stable through the re-wrap too.
+    requests.append({"id": f"r{rid}", "op": "eval", "machine": "no-such",
+                     "model": "energy", "metric": "energy_per_flop",
+                     "intensity": 1.0})
+    requests.append({"id": f"r{rid + 1}", "op": "frobnicate"})
+    return requests
+
+
+async def collect_bytes(host: int, port: int, wire: str) -> list[bytes]:
+    """Canonical encoded bytes of every response, in request order."""
+    client = await AsyncServiceClient.connect(host, port, wire=wire)
+    try:
+        replies = await asyncio.gather(*(
+            client.request(dict(request)) for request in request_stream()
+        ))
+        return [encode(reply) for reply in replies]
+    finally:
+        await client.close()
+
+
+async def start_backends(n: int) -> tuple[list[ModelServer], list[str]]:
+    backends, addresses = [], []
+    for _ in range(n):
+        backend = make_backend()
+        host, port = await backend.start()
+        backends.append(backend)
+        addresses.append(f"{host}:{port}")
+    return backends, addresses
+
+
+class TestByteIdentity:
+    def test_topology_never_changes_bytes(self):
+        """The full matrix against a direct-server baseline."""
+
+        async def scenario():
+            baseline_server = make_backend()
+            host, port = await baseline_server.start()
+            baseline = await collect_bytes(host, port, "ndjson")
+            assert await collect_bytes(host, port, "binary") == baseline
+            await baseline_server.stop()
+
+            for n_backends in (1, 3):
+                for replication in (1, 2):
+                    backends, addresses = await start_backends(n_backends)
+                    router = RouterServer(
+                        addresses,
+                        RouterConfig(replication=replication),
+                    )
+                    rhost, rport = await router.start()
+                    try:
+                        for wire in ("ndjson", "binary"):
+                            routed = await collect_bytes(rhost, rport, wire)
+                            assert routed == baseline, (
+                                f"bytes diverged at backends={n_backends} "
+                                f"replication={replication} wire={wire}"
+                            )
+                    finally:
+                        await router.stop()
+                        for backend in backends:
+                            await backend.stop()
+
+        run(scenario())
+
+    def test_replica_choice_never_changes_bytes(self):
+        """With replication=2, the answer from replica 2 (primary dead)
+        is byte-identical to the answer replica 1 would have given."""
+
+        async def scenario():
+            backends, addresses = await start_backends(2)
+            router = RouterServer(
+                addresses,
+                RouterConfig(replication=2, base_delay=0.001),
+            )
+            rhost, rport = await router.start()
+            try:
+                healthy = await collect_bytes(rhost, rport, "ndjson")
+                # Kill one backend; every key now fails over to the
+                # surviving replica.
+                await backends[0].stop()
+                degraded = await collect_bytes(rhost, rport, "ndjson")
+                assert degraded == healthy
+                assert router.metrics.counter("failovers_total").value > 0
+            finally:
+                await router.stop()
+                for backend in backends[1:]:
+                    await backend.stop()
+
+        run(scenario())
+
+
+class TestRouting:
+    def test_same_machine_sticks_to_one_backend(self):
+        async def scenario():
+            backends, addresses = await start_backends(3)
+            router = RouterServer(addresses, RouterConfig())
+            rhost, rport = await router.start()
+            client = await AsyncServiceClient.connect(rhost, rport)
+            try:
+                for _ in range(6):
+                    await client.eval(
+                        "gtx580-double", "energy_per_flop",
+                        model="energy", intensity=2.0,
+                    )
+                stats = await client.stats()
+                served = [
+                    info["requests_total"]
+                    for info in stats["backends"].values()
+                    if info.get("requests_total")
+                ]
+                # One backend took all 6 evals (probe pings ride along).
+                assert max(served) >= 6
+            finally:
+                await client.close()
+                await router.stop()
+                for backend in backends:
+                    await backend.stop()
+
+        run(scenario())
+
+    def test_router_rejects_bad_requests_locally(self):
+        async def scenario():
+            backends, addresses = await start_backends(1)
+            router = RouterServer(addresses, RouterConfig())
+            rhost, rport = await router.start()
+            client = await AsyncServiceClient.connect(rhost, rport)
+            try:
+                reply = await client.request({"id": "x"})
+                assert reply["error"]["code"] == "bad_request"
+                pong = await client.request({"op": "ping", "id": "p"})
+                assert pong["result"] == {"pong": True}
+            finally:
+                await client.close()
+                await router.stop()
+                for backend in backends:
+                    await backend.stop()
+
+        run(scenario())
+
+    def test_parse_backend(self):
+        assert parse_backend("10.0.0.1:8733") == "10.0.0.1:8733"
+        with pytest.raises(ValueError):
+            parse_backend("no-port")
+        with pytest.raises(ValueError):
+            parse_backend("host:notaport")
+
+
+class TestHealth:
+    def test_mark_down_after_consecutive_failures_then_recovery(self):
+        async def probe(backend: str) -> bool:
+            return True
+
+        monitor = HealthMonitor(probe, ["a:1", "b:2"], down_after=3)
+        for _ in range(2):
+            monitor.record_failure("a:1")
+        assert monitor.is_healthy("a:1")
+        monitor.record_failure("a:1")
+        assert not monitor.is_healthy("a:1")
+        assert monitor.healthy_first(["a:1", "b:2"]) == ["b:2", "a:1"]
+        # A success interleaved before down_after resets the streak.
+        monitor.record_success("a:1")
+        assert monitor.is_healthy("a:1")
+        state = monitor.snapshot()["a:1"]
+        assert state["mark_downs"] == 1 and state["mark_ups"] == 1
+
+    def test_failure_streak_resets_on_success(self):
+        monitor = HealthMonitor(lambda b: None, ["a:1"], down_after=3)
+        for _ in range(2):
+            monitor.record_failure("a:1")
+        monitor.record_success("a:1")
+        for _ in range(2):
+            monitor.record_failure("a:1")
+        assert monitor.is_healthy("a:1")
+
+    def test_probe_round_feeds_the_state_machine(self):
+        answers = {"a:1": True, "b:2": False}
+
+        async def probe(backend: str) -> bool:
+            return answers[backend]
+
+        async def scenario():
+            monitor = HealthMonitor(probe, answers, down_after=2)
+            for _ in range(2):
+                await monitor.probe_once()
+            assert monitor.is_healthy("a:1")
+            assert not monitor.is_healthy("b:2")
+            answers["b:2"] = True
+            await monitor.probe_once()
+            assert monitor.is_healthy("b:2")
+
+        run(scenario())
+
+    def test_healthy_first_is_stable(self):
+        monitor = HealthMonitor(lambda b: None, ["a:1", "b:2", "c:3"],
+                                down_after=1)
+        monitor.record_failure("b:2")
+        assert monitor.healthy_first(["c:3", "b:2", "a:1"]) == [
+            "c:3", "a:1", "b:2",
+        ]
+
+    def test_unknown_backends_read_healthy(self):
+        monitor = HealthMonitor(lambda b: None)
+        assert monitor.is_healthy("never-seen:1")
+
+
+class TestAdmin:
+    def test_add_then_remove_under_traffic(self):
+        async def scenario():
+            backends, addresses = await start_backends(2)
+            extra = make_backend()
+            ehost, eport = await extra.start()
+            router = RouterServer(addresses, RouterConfig(replication=2))
+            rhost, rport = await router.start()
+            client = await AsyncServiceClient.connect(rhost, rport)
+
+            async def one(i: int):
+                return await client.eval(
+                    MACHINES[i % len(MACHINES)], "energy_per_flop",
+                    model="capped", intensity=1.0 + i,
+                )
+
+            try:
+                background = asyncio.gather(*(one(i) for i in range(24)))
+                report = await router.admin.add_backend(f"{ehost}:{eport}")
+                assert report["action"] == "add"
+                assert len(report["backends"]) == 3
+                values = await background
+                assert len(values) == 24
+                # And every machine still answers after the rebalance.
+                post_add = await asyncio.gather(*(one(i) for i in range(6)))
+                assert len(post_add) == 6
+
+                report = await router.admin.remove_backend(addresses[0])
+                assert report["action"] == "remove"
+                assert addresses[0] not in report["backends"]
+                assert addresses[0] not in router.ring
+                post_remove = await asyncio.gather(
+                    *(one(i) for i in range(6))
+                )
+                assert len(post_remove) == 6
+            finally:
+                await client.close()
+                await router.stop()
+                for backend in backends + [extra]:
+                    await backend.stop()
+
+        run(scenario())
+
+    def test_add_backend_moves_few_keys(self):
+        async def scenario():
+            backends, addresses = await start_backends(3)
+            extra = make_backend()
+            ehost, eport = await extra.start()
+            router = RouterServer(addresses, RouterConfig())
+            await router.start()
+            try:
+                keys = [f"machine-{i}" for i in range(600)]
+                old_ring = router.ring
+                await router.admin.add_backend(f"{ehost}:{eport}")
+                moved = old_ring.moved_keys(router.ring, keys)
+                assert 0 < len(moved) <= 0.40 * len(keys)
+                for key in moved:
+                    assert router.ring.primary(key) == f"{ehost}:{eport}"
+            finally:
+                await router.stop()
+                for backend in backends + [extra]:
+                    await backend.stop()
+
+        run(scenario())
+
+    def test_set_replication_swaps_the_ring(self):
+        async def scenario():
+            backends, addresses = await start_backends(2)
+            router = RouterServer(addresses, RouterConfig())
+            await router.start()
+            try:
+                report = await router.admin.set_replication(2)
+                assert report["replication"] == 2
+                assert router.ring.replication == 2
+                assert len(router.ring.replicas("gtx580-double")) == 2
+            finally:
+                await router.stop()
+                for backend in backends:
+                    await backend.stop()
+
+        run(scenario())
+
+    def test_cannot_remove_last_backend(self):
+        async def scenario():
+            backends, addresses = await start_backends(1)
+            router = RouterServer(addresses, RouterConfig())
+            await router.start()
+            try:
+                with pytest.raises(ValueError):
+                    await router.admin.remove_backend(addresses[0])
+            finally:
+                await router.stop()
+                for backend in backends:
+                    await backend.stop()
+
+        run(scenario())
+
+
+class TestRetryPolicy:
+    def test_backoff_is_seeded_and_capped(self):
+        a = RetryPolicy(base_delay=0.1, max_delay=0.3, seed=7)
+        b = RetryPolicy(base_delay=0.1, max_delay=0.3, seed=7)
+        seq_a = [a.backoff(n) for n in range(1, 8)]
+        seq_b = [b.backoff(n) for n in range(1, 8)]
+        assert seq_a == seq_b
+        for attempt, delay in enumerate(seq_a, start=1):
+            cap = min(0.1 * 2.0 ** (attempt - 1), 0.3)
+            assert 0.5 * cap <= delay < cap
+
+    def test_only_retriable_service_errors_retry(self):
+        policy = RetryPolicy(attempts=3)
+        retriable = ServiceError("backend_unavailable", "x", retriable=True)
+        final = ServiceError("bad_request", "x")
+        assert policy.should_retry(retriable, 1)
+        assert policy.should_retry(retriable, 2)
+        assert not policy.should_retry(retriable, 3)  # attempts exhausted
+        assert not policy.should_retry(final, 1)
+        assert not policy.should_retry(RuntimeError("x"), 1)
+
+    def test_run_sync_retries_then_succeeds(self):
+        policy = RetryPolicy(attempts=3, base_delay=0.0, max_delay=0.0)
+        calls = []
+
+        def flaky():
+            calls.append(1)
+            if len(calls) < 3:
+                raise ServiceError("backend_unavailable", "down",
+                                   retriable=True)
+            return "ok"
+
+        assert policy.run_sync(flaky) == "ok"
+        assert len(calls) == 3
+
+    def test_run_sync_gives_up_after_attempts(self):
+        policy = RetryPolicy(attempts=2, base_delay=0.0, max_delay=0.0)
+
+        def always_down():
+            raise ServiceError("backend_unavailable", "down", retriable=True)
+
+        with pytest.raises(ServiceError):
+            policy.run_sync(always_down)
+
+    def test_run_async_retries(self):
+        policy = RetryPolicy(attempts=3, base_delay=0.0, max_delay=0.0)
+        calls = []
+
+        async def flaky():
+            calls.append(1)
+            if len(calls) < 2:
+                raise ServiceError("overloaded", "busy", retriable=True)
+            return 42
+
+        assert run(policy.run_async(flaky)) == 42
+        assert len(calls) == 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(base_delay=-1.0)
+        with pytest.raises(ValueError):
+            RetryPolicy().backoff(0)
