@@ -407,12 +407,21 @@ def build_parser() -> argparse.ArgumentParser:
         help="files or directories to lint (default: the repro package)",
     )
     p_lint.add_argument(
-        "--format", choices=("text", "json"), default="text",
+        "--format", choices=("text", "json", "sarif"), default="text",
         help="report format (default: text)",
     )
     p_lint.add_argument(
         "--rules", metavar="IDS",
         help="comma-separated rule ids, e.g. RL001,RL005 (default: all)",
+    )
+    p_lint.add_argument(
+        "--project", action="store_true",
+        help="also run the whole-program flow rules (RL007-RL010)",
+    )
+    p_lint.add_argument(
+        "--changed", nargs="?", const="HEAD", default=None, metavar="REF",
+        help="lint only files whose dependency closure intersects the "
+        "git diff against REF (default REF: HEAD)",
     )
     p_lint.add_argument(
         "--jobs", type=int, default=1, metavar="N",
@@ -939,34 +948,135 @@ def _cmd_bench_serve(args: argparse.Namespace) -> str:
     return "\n\n".join(blocks)
 
 
+def _git_changed_python_files(ref: str) -> set[Path] | None:
+    """Python files touched relative to ``ref``, plus untracked ones.
+
+    Returns ``None`` when git is unavailable or the ref does not
+    resolve — the caller maps that to a usage error rather than
+    silently linting nothing.
+    """
+    import subprocess
+
+    def run(*argv: str) -> str:
+        return subprocess.run(
+            ["git", *argv], capture_output=True, text=True, check=True
+        ).stdout
+
+    try:
+        root = Path(run("rev-parse", "--show-toplevel").strip())
+        listed = run("diff", "--name-only", ref, "--").splitlines()
+        listed += run(
+            "ls-files", "--others", "--exclude-standard"
+        ).splitlines()
+    except (subprocess.CalledProcessError, FileNotFoundError, OSError):
+        return None
+    return {
+        (root / line).resolve()
+        for line in listed
+        if line.endswith(".py") and (root / line).is_file()
+    }
+
+
+def _merged_report(file_report, project_report):
+    from repro.lint import LintReport
+
+    findings = sorted(
+        [*file_report.findings, *project_report.findings],
+        key=lambda f: (f.path, f.line, f.col, f.rule),
+    )
+    suppressed = sorted(
+        [*file_report.suppressed, *project_report.suppressed],
+        key=lambda item: (item[0].path, item[0].line, item[0].rule),
+    )
+    return LintReport(
+        findings=findings,
+        suppressed=suppressed,
+        files_checked=file_report.files_checked,
+        rule_ids=sorted(
+            {*file_report.rule_ids, *project_report.rule_ids}
+        ),
+    )
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
     """Run replint; returns 0 clean, 1 findings, 2 usage error.
 
     Unlike the other subcommands this returns the exit code directly —
     lint distinguishes "violations found" (1) from "you asked for a rule
     that does not exist" (2), a contract the CI step and the pre-commit
-    wrapper both rely on.
+    wrapper both rely on.  ``--project`` layers the whole-program pass
+    (RL007–RL010) on top of the per-file rules and merges the reports;
+    ``--changed REF`` restricts both passes to the files whose
+    dependency closure intersects the diff against REF.
     """
-    from repro.lint import render_json, render_text, run_lint
-    from repro.lint.registry import UnknownRuleError, all_rules
+    from repro.lint import (
+        iter_python_files,
+        module_relpath,
+        render_json,
+        render_sarif,
+        render_text,
+        run_lint,
+        run_project_lint,
+    )
+    from repro.lint.registry import (
+        UnknownRuleError,
+        all_rules,
+        project_rules,
+        resolve_rules,
+    )
 
     if args.list_rules:
         rules = all_rules()
         width = max(len(rid) for rid in rules)
         for rid, rule in rules.items():
-            print(f"{rid:<{width}}  {rule.title}")
+            scope = " [project]" if rule.scope == "project" else ""
+            print(f"{rid:<{width}}  {rule.title}{scope}")
         return 0
     if args.jobs < 1:
         print(f"error: --jobs must be >= 1, got {args.jobs}", file=sys.stderr)
         return 2
     paths = args.paths or [Path(__file__).resolve().parent]
     try:
+        if args.rules is not None and not args.project:
+            selected_project = project_rules(resolve_rules(args.rules))
+            if selected_project:
+                print(
+                    "error: rule(s) "
+                    f"{', '.join(selected_project)} are project-scope; "
+                    "add --project to run them",
+                    file=sys.stderr,
+                )
+                return 2
+        file_targets: list[Path] | None = None
+        changed_relpaths: set[str] | None = None
+        if args.changed is not None:
+            changed = _git_changed_python_files(args.changed)
+            if changed is None:
+                print(
+                    f"error: cannot resolve git diff against "
+                    f"{args.changed!r}",
+                    file=sys.stderr,
+                )
+                return 2
+            file_targets = [
+                p for p in iter_python_files(paths) if p in changed
+            ]
+            changed_relpaths = {module_relpath(p) for p in file_targets}
         report = run_lint(
-            paths,
+            file_targets if file_targets is not None else paths,
             rules=args.rules,
             jobs=args.jobs,
             cache_dir=args.cache_dir,
         )
+        if args.project:
+            project_report = run_project_lint(
+                paths,
+                rules=args.rules,
+                jobs=args.jobs,
+                cache_dir=args.cache_dir,
+                changed_only=changed_relpaths,
+            )
+            report = _merged_report(report, project_report)
     except UnknownRuleError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -975,6 +1085,8 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         return 2
     if args.format == "json":
         print(render_json(report))
+    elif args.format == "sarif":
+        print(render_sarif(report))
     else:
         print(render_text(report, verbose=args.verbose))
     return 0 if report.clean else 1

@@ -9,7 +9,11 @@ checker can see:
 * a reproducibility contract — seeded RNG streams, no wall-clock reads
   in model paths — that one stray ``random()`` silently breaks;
 * asyncio discipline in :mod:`repro.service` (no blocking calls in
-  coroutines, no ``await`` under a synchronous lock).
+  coroutines, no ``await`` under a synchronous lock);
+* whole-program flow invariants (``repro lint --project``): blocking
+  reachability through call chains, resource release on all paths,
+  wire-protocol conformance, lock-order consistency — see
+  :mod:`repro.lint.project`.
 
 ``replint`` checks these mechanically.  It is self-contained — driven
 by :mod:`ast` from the standard library, no third-party lint framework
@@ -34,8 +38,15 @@ from repro.lint.engine import (
     parse_suppressions,
     run_lint,
 )
-from repro.lint.registry import LintRule, all_rules, register, resolve_rules
-from repro.lint.report import render_json, render_text
+from repro.lint.project.engine import run_project_lint
+from repro.lint.registry import (
+    LintRule,
+    ProjectRule,
+    all_rules,
+    register,
+    resolve_rules,
+)
+from repro.lint.report import render_json, render_sarif, render_text
 
 __all__ = [
     "FileContext",
@@ -43,6 +54,7 @@ __all__ = [
     "Finding",
     "LintReport",
     "LintRule",
+    "ProjectRule",
     "Suppression",
     "all_rules",
     "analyze_source",
@@ -51,7 +63,9 @@ __all__ = [
     "parse_suppressions",
     "register",
     "render_json",
+    "render_sarif",
     "render_text",
     "resolve_rules",
     "run_lint",
+    "run_project_lint",
 ]

@@ -237,9 +237,9 @@ def analyze_source(
     wrap — and the hook the fixture tests use directly.
     """
     if rules is None:
-        from repro.lint.registry import all_rules
+        from repro.lint.registry import all_rules, file_rules
 
-        rules = list(all_rules().values())
+        rules = list(file_rules(all_rules()).values())
     result = FileResult(relpath=relpath)
     try:
         tree = ast.parse(source)
@@ -348,10 +348,12 @@ def run_lint(
     jobs: int = 1,
     cache_dir: Path | None = None,
 ) -> LintReport:
-    """Lint every python file under ``paths`` with the selected rules."""
-    from repro.lint.registry import resolve_rules
+    """Lint every python file under ``paths`` with the selected
+    file-scope rules (project-scope rules run via
+    :func:`repro.lint.project.run_project_lint`)."""
+    from repro.lint.registry import file_rules, resolve_rules
 
-    selected = resolve_rules(rules)
+    selected = file_rules(resolve_rules(rules))
     rule_ids = list(selected)
     files = iter_python_files(paths)
     cache_str = str(cache_dir) if cache_dir is not None else None

@@ -1,0 +1,55 @@
+"""Whole-program analysis for replint (``repro lint --project``).
+
+The per-file rules (RL001–RL006) see one AST at a time; the serving
+stack's headline guarantees — byte-identical responses across worker
+counts and router topologies, zero shared-memory orphans after SIGKILL,
+retriable-only failover — are *cross-file* concurrency and protocol
+invariants.  This package grows replint into a whole-program engine:
+
+* :mod:`~repro.lint.project.symbols` — a cross-module symbol table
+  (imports resolved including aliases and re-export chains, classes
+  with their hierarchy, per-module functions);
+* :mod:`~repro.lint.project.callgraph` — a project call graph (methods
+  bound via the class hierarchy, a conservative unique-name fallback
+  for dynamic dispatch, executor/process submissions marked as
+  ``spawn`` edges so off-loop work is not confused with on-loop work);
+* :mod:`~repro.lint.project.cfg` — an intraprocedural control-flow
+  graph with exception edges, for lifecycle proofs;
+* four flow-rule families on top: RL007 (async-blocking reachability),
+  RL008 (resource lifecycle), RL009 (wire-protocol conformance),
+  RL010 (lock-order consistency);
+* :mod:`~repro.lint.project.engine` — the driver: dependency-closure
+  result cache and per-SCC parallel rule execution.
+
+See ``docs/LINT.md`` for the architecture walk-through.
+"""
+
+from __future__ import annotations
+
+from repro.lint.project.engine import (
+    PROJECT_LINT_VERSION,
+    run_project_lint,
+)
+from repro.lint.project.symbols import (
+    ClassInfo,
+    FunctionInfo,
+    ModuleInfo,
+    Project,
+    build_project,
+    build_project_from_sources,
+)
+from repro.lint.project.callgraph import CallEdge, CallGraph, strongly_connected
+
+__all__ = [
+    "CallEdge",
+    "CallGraph",
+    "ClassInfo",
+    "FunctionInfo",
+    "ModuleInfo",
+    "PROJECT_LINT_VERSION",
+    "Project",
+    "build_project",
+    "build_project_from_sources",
+    "run_project_lint",
+    "strongly_connected",
+]

@@ -1,0 +1,398 @@
+"""Project call graph: who calls whom, and how.
+
+Each project function (:class:`~repro.lint.project.symbols.FunctionInfo`)
+is a node addressed by its ``uid`` (``relpath::qualname``); edges are
+:class:`CallEdge` records carrying the call-site location and three
+semantic flags the flow rules depend on:
+
+* ``kind`` — ``"call"`` for ordinary invocation on the current thread
+  of control, ``"spawn"`` for work handed to another thread or process
+  (``run_in_executor``, ``asyncio.to_thread``, ``Executor.submit``,
+  ``Process(target=...)``/``Thread(target=...)``).  RL007 must *not*
+  propagate event-loop blocking through spawn edges — that boundary is
+  exactly how the serving stack gets blocking work off the loop;
+* ``awaited`` — the call sits directly under an ``await``;
+* ``weak`` — the edge comes from the conservative dynamic-dispatch
+  fallback: the receiver's class could not be inferred, and the method
+  name resolves to exactly one project class.  Ambiguous names (two or
+  more candidate classes) produce *no* edge — over-linking common
+  names like ``close`` would drown the rules in false paths.
+
+Receiver inference, in decreasing confidence: ``self.m()`` through the
+class hierarchy; ``self.attr.m()`` via attribute types assigned in the
+class (``self.attr = Ctor(...)``); ``var.m()`` via local single-class
+constructor assignment; dotted names through the symbol table
+(modules, imported functions, ``Class.method``); then the unique-name
+fallback.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.lint.project.symbols import (
+    ClassInfo,
+    FunctionInfo,
+    ModuleInfo,
+    Project,
+)
+from repro.lint.rules._common import dotted_name
+
+__all__ = [
+    "CallEdge",
+    "CallGraph",
+    "build_callgraph",
+    "strongly_connected",
+]
+
+#: Callables that hand their function argument to another thread or
+#: process.  ``(attr_suffix, arg_index)``; ``None`` index means the
+#: ``target=`` keyword (Process/Thread constructors).
+_SPAWNERS: dict[str, int | None] = {
+    "run_in_executor": 1,
+    "to_thread": 0,
+    "submit": 0,
+    "Process": None,
+    "Thread": None,
+}
+
+#: Loop-scheduling helpers whose argument *does* run on the loop —
+#: these stay ordinary call edges, not spawns.
+_LOOP_SCHEDULERS = {"create_task", "ensure_future", "call_soon", "call_later"}
+
+
+@dataclass(frozen=True, slots=True)
+class CallEdge:
+    caller: str  # FunctionInfo uid
+    callee: str  # FunctionInfo uid, or "ext:<dotted>" for externals
+    lineno: int
+    col: int
+    kind: str = "call"  # "call" | "spawn"
+    awaited: bool = False
+    weak: bool = False
+
+    @property
+    def external(self) -> bool:
+        return self.callee.startswith("ext:")
+
+
+@dataclass(slots=True)
+class CallGraph:
+    """Edges indexed by caller, by callee, and by call site."""
+
+    functions: dict[str, FunctionInfo]
+    edges: list[CallEdge] = field(default_factory=list)
+    by_caller: dict[str, list[CallEdge]] = field(default_factory=dict)
+    by_callee: dict[str, list[CallEdge]] = field(default_factory=dict)
+    by_site: dict[tuple[str, int, int], list[CallEdge]] = field(
+        default_factory=dict
+    )
+
+    def add(self, edge: CallEdge) -> None:
+        self.edges.append(edge)
+        self.by_caller.setdefault(edge.caller, []).append(edge)
+        self.by_callee.setdefault(edge.callee, []).append(edge)
+        self.by_site.setdefault(
+            (edge.caller, edge.lineno, edge.col), []
+        ).append(edge)
+
+    def calls_from(self, uid: str) -> list[CallEdge]:
+        return self.by_caller.get(uid, [])
+
+    def at_site(self, uid: str, lineno: int, col: int) -> list[CallEdge]:
+        return self.by_site.get((uid, lineno, col), [])
+
+
+def _attr_types(project: Project, cls: ClassInfo) -> dict[str, ClassInfo]:
+    """``self.attr`` → class, from constructor-call assignments.
+
+    Scans every method (so lazily-created attributes count), last
+    deterministic assignment wins; only single-class inference — an
+    attribute assigned two different project classes is dropped.
+    """
+    module = project.modules[cls.relpath]
+    types: dict[str, ClassInfo] = {}
+    conflicted: set[str] = set()
+    for method in sorted(cls.methods.values(), key=lambda m: m.qualname):
+        for node in ast.walk(method.node):
+            if not isinstance(node, (ast.Assign, ast.AnnAssign)):
+                continue
+            targets = (
+                node.targets if isinstance(node, ast.Assign) else [node.target]
+            )
+            value = node.value
+            if not isinstance(value, ast.Call):
+                continue
+            ctor = dotted_name(value.func)
+            if ctor is None:
+                continue
+            res = project.resolve(module, ctor)
+            if res.kind != "class" or res.attr is not None:
+                continue
+            for target in targets:
+                if (
+                    isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id == "self"
+                ):
+                    attr = target.attr
+                    if attr in conflicted:
+                        continue
+                    seen = types.get(attr)
+                    if seen is not None and seen.uid != res.target.uid:
+                        conflicted.add(attr)
+                        types.pop(attr, None)
+                    else:
+                        types[attr] = res.target
+    return types
+
+
+class _FunctionWalker:
+    """Extract call edges from one function body (nested defs excluded)."""
+
+    def __init__(
+        self,
+        project: Project,
+        module: ModuleInfo,
+        func: FunctionInfo,
+        attr_types: dict[str, ClassInfo],
+        graph: CallGraph,
+    ):
+        self.project = project
+        self.module = module
+        self.func = func
+        self.attr_types = attr_types
+        self.graph = graph
+        self.local_types: dict[str, ClassInfo] = {}
+        self._infer_local_types()
+
+    def _infer_local_types(self) -> None:
+        for node in self._walk_body():
+            if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                target = node.targets[0]
+                value = node.value
+                if isinstance(target, ast.Name) and isinstance(value, ast.Call):
+                    ctor = dotted_name(value.func)
+                    if ctor is None:
+                        continue
+                    res = self.project.resolve(self.module, ctor)
+                    if res.kind == "class" and res.attr is None:
+                        self.local_types[target.id] = res.target
+
+    def _walk_body(self) -> Iterator[ast.AST]:
+        stack: list[ast.AST] = list(self.func.node.body)
+        while stack:
+            node = stack.pop()
+            yield node
+            if isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            ):
+                continue
+            stack.extend(ast.iter_child_nodes(node))
+
+    # ------------------------------------------------------------------
+
+    def run(self) -> None:
+        awaited_calls = {
+            id(node.value)
+            for node in self._walk_body()
+            if isinstance(node, ast.Await)
+            and isinstance(node.value, ast.Call)
+        }
+        for node in self._walk_body():
+            if isinstance(node, ast.Call):
+                self._handle_call(node, awaited=id(node) in awaited_calls)
+
+    def _handle_call(self, call: ast.Call, *, awaited: bool) -> None:
+        spawned = self._spawn_argument(call)
+        if spawned is not None:
+            self._emit(spawned, call, kind="spawn", awaited=False)
+        chain = dotted_name(call.func)
+        if chain is not None and chain.rsplit(".", 1)[-1] in _LOOP_SCHEDULERS:
+            for arg in call.args[:1]:
+                self._emit(arg, call, kind="call", awaited=awaited)
+        self._emit(call.func, call, kind="call", awaited=awaited)
+
+    def _spawn_argument(self, call: ast.Call) -> ast.expr | None:
+        chain = dotted_name(call.func)
+        if chain is None:
+            return None
+        name = chain.rsplit(".", 1)[-1]
+        if name not in _SPAWNERS:
+            return None
+        index = _SPAWNERS[name]
+        if index is None:
+            for kw in call.keywords:
+                if kw.arg == "target":
+                    return kw.value
+            return None
+        if len(call.args) > index:
+            return call.args[index]
+        return None
+
+    def _emit(
+        self, target: ast.expr, site: ast.Call, *, kind: str, awaited: bool
+    ) -> None:
+        resolved = self._resolve_target(target)
+        if resolved is None:
+            return
+        callee, weak = resolved
+        self.graph.add(
+            CallEdge(
+                caller=self.func.uid,
+                callee=callee,
+                lineno=site.lineno,
+                col=site.col_offset,
+                kind=kind,
+                awaited=awaited,
+                weak=weak,
+            )
+        )
+
+    def _resolve_target(
+        self, target: ast.expr
+    ) -> tuple[str, bool] | None:
+        if isinstance(target, ast.Call):
+            # e.g. get_context("spawn").Process — resolve the inner
+            # attribute chain conservatively by its suffix name.
+            target = target.func
+        chain = dotted_name(target)
+        if chain is None:
+            return None
+        parts = chain.split(".")
+        # self.m() / self.attr.m() — bind through the hierarchy.
+        if parts[0] == "self" and self.func.class_name is not None:
+            cls = self.module.classes.get(self.func.class_name)
+            if cls is None:
+                return None
+            if len(parts) == 2:
+                method = self.project.method_of(cls, parts[1])
+                if method is not None:
+                    return method.uid, False
+                return self._fallback(parts[1])
+            if len(parts) == 3:
+                attr_cls = self.attr_types.get(parts[1])
+                if attr_cls is not None:
+                    method = self.project.method_of(attr_cls, parts[2])
+                    if method is not None:
+                        return method.uid, False
+                return self._fallback(parts[-1])
+            return self._fallback(parts[-1])
+        # var.m() with a constructor-inferred local type.
+        if len(parts) == 2 and parts[0] in self.local_types:
+            method = self.project.method_of(
+                self.local_types[parts[0]], parts[1]
+            )
+            if method is not None:
+                return method.uid, False
+            return self._fallback(parts[1])
+        # Plain dotted resolution through the symbol table.
+        res = self.project.resolve(self.module, chain)
+        if res.kind == "function":
+            return res.target.uid, False
+        if res.kind == "class" and res.attr is None:
+            # Constructor call → the class's __init__ when it has one.
+            init = self.project.method_of(res.target, "__init__")
+            if init is not None:
+                return init.uid, False
+            return None
+        if res.kind == "external":
+            name = str(res.target)
+            if len(parts) > 1 and "." in name:
+                # Unknown receiver: try the dynamic-dispatch fallback
+                # before settling for an external edge.
+                fallback = self._fallback(parts[-1])
+                if fallback is not None and not fallback[0].startswith("ext:"):
+                    return fallback
+            return f"ext:{name}", False
+        return None
+
+    def _fallback(self, method_name: str) -> tuple[str, bool] | None:
+        """Unique-name dynamic-dispatch fallback (weak edge)."""
+        candidates = self.project.methods_named(method_name)
+        if len(candidates) == 1:
+            return candidates[0].uid, True
+        return None
+
+
+def build_callgraph(project: Project) -> CallGraph:
+    """Build the full project call graph, deterministically ordered."""
+    functions = {
+        func.uid: func
+        for module in project.modules.values()
+        for func in module.functions.values()
+    }
+    graph = CallGraph(functions=functions)
+    attr_type_cache: dict[str, dict[str, ClassInfo]] = {}
+    for module in project.modules.values():
+        for qualname in sorted(module.functions):
+            func = module.functions[qualname]
+            types: dict[str, ClassInfo] = {}
+            if func.class_name is not None:
+                cls = module.classes.get(func.class_name)
+                if cls is not None:
+                    if cls.uid not in attr_type_cache:
+                        attr_type_cache[cls.uid] = _attr_types(project, cls)
+                    types = attr_type_cache[cls.uid]
+            _FunctionWalker(project, module, func, types, graph).run()
+    return graph
+
+
+def strongly_connected(graph: dict[str, set[str]]) -> list[list[str]]:
+    """Tarjan SCCs (iterative), in deterministic reverse-topological order.
+
+    Works on any ``node → successors`` adjacency dict; used both for
+    the import-graph condensation (cache closures, per-SCC work units)
+    and in tests over generated graphs.
+    """
+    index: dict[str, int] = {}
+    lowlink: dict[str, int] = {}
+    on_stack: set[str] = set()
+    stack: list[str] = []
+    sccs: list[list[str]] = []
+    counter = 0
+
+    for root in sorted(graph):
+        if root in index:
+            continue
+        work: list[tuple[str, Iterator[str]]] = [
+            (root, iter(sorted(graph.get(root, ()))))
+        ]
+        index[root] = lowlink[root] = counter
+        counter += 1
+        stack.append(root)
+        on_stack.add(root)
+        while work:
+            node, successors = work[-1]
+            advanced = False
+            for succ in successors:
+                if succ not in graph:
+                    continue
+                if succ not in index:
+                    index[succ] = lowlink[succ] = counter
+                    counter += 1
+                    stack.append(succ)
+                    on_stack.add(succ)
+                    work.append((succ, iter(sorted(graph.get(succ, ())))))
+                    advanced = True
+                    break
+                if succ in on_stack:
+                    lowlink[node] = min(lowlink[node], index[succ])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[node])
+            if lowlink[node] == index[node]:
+                component: list[str] = []
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.append(member)
+                    if member == node:
+                        break
+                sccs.append(sorted(component))
+    return sccs

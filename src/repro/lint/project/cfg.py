@@ -1,0 +1,355 @@
+"""Statement-level control-flow graph with exception edges.
+
+RL008 needs to prove that a resource acquired at statement *S* is
+released (or transferred) on **every** path to function exit — both
+the normal return paths and, for shared-memory resources, the paths
+that leave via an uncaught exception.  That calls for a CFG that keeps
+normal successors and raise successors separate:
+
+* ``succ[node]`` — ordinary fall-through / branch edges;
+* ``raise_succ[node]`` — where control goes if the statement raises
+  (the nearest handler dispatch, or a ``finally`` body, or the
+  synthetic :data:`RAISE` exit).
+
+Nodes are statement ids (``id()`` is unusable across pickling, so we
+number statements in visit order); :data:`EXIT` (normal return) and
+:data:`RAISE` (uncaught exception) are synthetic sinks.  ``try``
+/``finally`` is modelled with a single shared ``finally`` subgraph
+whose frontier conservatively edges to the normal continuation *and*
+the outer raise/return targets — sound (it may only add paths, never
+hide one) and cheap.
+
+The builder is syntactic and conservative: every statement containing
+a call, ``raise`` or ``assert`` is assumed able to raise; ``while``
+headers always keep their exit edge (even ``while True``), which can
+only create false *paths*, not false negatives, for a
+"release-on-all-paths" proof — and RL008 compensates by treating loop
+headers pessimistically.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+__all__ = ["CFG", "EXIT", "RAISE", "build_cfg"]
+
+EXIT = -1
+RAISE = -2
+
+
+@dataclass(slots=True)
+class CFG:
+    #: statement-node id → the ast statement it stands for (synthetic
+    #: dispatch/join nodes map to ``None``).
+    stmts: dict[int, ast.stmt | None] = field(default_factory=dict)
+    succ: dict[int, set[int]] = field(default_factory=dict)
+    raise_succ: dict[int, set[int]] = field(default_factory=dict)
+    #: If-statement node → entry node of its then-branch, letting a
+    #: client prune branches it can prove infeasible (RL008 uses this
+    #: for ``if resource is not None:`` release guards).
+    branch_true: dict[int, int] = field(default_factory=dict)
+    entry: int = 0
+
+    def node_for(self, stmt: ast.stmt) -> int | None:
+        for nid, s in self.stmts.items():
+            if s is stmt:
+                return nid
+        return None
+
+    def successors(
+        self, node: int, *, include_raise: bool = True
+    ) -> set[int]:
+        out = set(self.succ.get(node, ()))
+        if include_raise:
+            out |= self.raise_succ.get(node, set())
+        return out
+
+
+def _can_raise(stmt: ast.stmt) -> bool:
+    if isinstance(stmt, (ast.Raise, ast.Assert)):
+        return True
+    if isinstance(
+        stmt,
+        (ast.For, ast.AsyncFor, ast.While, ast.If, ast.With, ast.AsyncWith),
+    ):
+        # Only the header expression can raise at *this* node; the body
+        # statements are their own nodes.
+        headers: list[ast.expr] = []
+        if isinstance(stmt, (ast.For, ast.AsyncFor)):
+            headers = [stmt.iter]
+        elif isinstance(stmt, (ast.While, ast.If)):
+            headers = [stmt.test]
+        else:
+            headers = [item.context_expr for item in stmt.items]
+        return any(
+            isinstance(node, ast.Call)
+            for header in headers
+            for node in ast.walk(header)
+        )
+    if isinstance(stmt, (ast.Try, ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+        return False
+    return any(isinstance(node, ast.Call) for node in ast.walk(stmt))
+
+
+class _Builder:
+    def __init__(self) -> None:
+        self.cfg = CFG()
+        self._next = 0
+
+    def _new(self, stmt: ast.stmt | None) -> int:
+        nid = self._next
+        self._next += 1
+        self.cfg.stmts[nid] = stmt
+        self.cfg.succ[nid] = set()
+        self.cfg.raise_succ[nid] = set()
+        return nid
+
+    def _edge(self, src: int, dst: int) -> None:
+        if src in (EXIT, RAISE):
+            return
+        self.cfg.succ[src].add(dst)
+
+    def _raise_edge(self, src: int, dst: int) -> None:
+        if src in (EXIT, RAISE):
+            return
+        self.cfg.raise_succ[src].add(dst)
+
+    # ------------------------------------------------------------------
+
+    def build(self, func: ast.FunctionDef | ast.AsyncFunctionDef) -> CFG:
+        entry = self._new(None)
+        self.cfg.entry = entry
+        exits = self._block(
+            func.body,
+            preds=[entry],
+            raise_to=RAISE,
+            return_to=EXIT,
+            break_to=None,
+            continue_to=None,
+        )
+        for nid in exits:
+            self._edge(nid, EXIT)
+        return self.cfg
+
+    def _block(
+        self,
+        stmts: list[ast.stmt],
+        *,
+        preds: list[int],
+        raise_to: int,
+        return_to: int,
+        break_to: int | None,
+        continue_to: int | None,
+    ) -> list[int]:
+        """Wire ``stmts`` after ``preds``; return the open exits."""
+        current = list(preds)
+        for stmt in stmts:
+            if not current:
+                break  # unreachable tail
+            current = self._stmt(
+                stmt,
+                preds=current,
+                raise_to=raise_to,
+                return_to=return_to,
+                break_to=break_to,
+                continue_to=continue_to,
+            )
+        return current
+
+    def _stmt(
+        self,
+        stmt: ast.stmt,
+        *,
+        preds: list[int],
+        raise_to: int,
+        return_to: int,
+        break_to: int | None,
+        continue_to: int | None,
+    ) -> list[int]:
+        nid = self._new(stmt)
+        for pred in preds:
+            self._edge(pred, nid)
+        if _can_raise(stmt):
+            self._raise_edge(nid, raise_to)
+
+        if isinstance(stmt, ast.Return):
+            self._edge(nid, return_to)
+            return []
+        if isinstance(stmt, ast.Raise):
+            self._raise_edge(nid, raise_to)
+            return []
+        if isinstance(stmt, ast.Break) and break_to is not None:
+            self._edge(nid, break_to)
+            return []
+        if isinstance(stmt, ast.Continue) and continue_to is not None:
+            self._edge(nid, continue_to)
+            return []
+
+        if isinstance(stmt, ast.If):
+            self.cfg.branch_true[nid] = self._next  # body[0]'s node id
+            then_exits = self._block(
+                stmt.body,
+                preds=[nid],
+                raise_to=raise_to,
+                return_to=return_to,
+                break_to=break_to,
+                continue_to=continue_to,
+            )
+            else_exits = (
+                self._block(
+                    stmt.orelse,
+                    preds=[nid],
+                    raise_to=raise_to,
+                    return_to=return_to,
+                    break_to=break_to,
+                    continue_to=continue_to,
+                )
+                if stmt.orelse
+                else [nid]
+            )
+            return then_exits + else_exits
+
+        if isinstance(stmt, (ast.While, ast.For, ast.AsyncFor)):
+            join = self._new(None)  # loop exit join
+            body_exits = self._block(
+                stmt.body,
+                preds=[nid],
+                raise_to=raise_to,
+                return_to=return_to,
+                break_to=join,
+                continue_to=nid,
+            )
+            for b in body_exits:
+                self._edge(b, nid)  # back edge
+            self._edge(nid, join)  # conservative loop exit
+            else_exits = (
+                self._block(
+                    stmt.orelse,
+                    preds=[join],
+                    raise_to=raise_to,
+                    return_to=return_to,
+                    break_to=break_to,
+                    continue_to=continue_to,
+                )
+                if stmt.orelse
+                else [join]
+            )
+            return else_exits
+
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            return self._block(
+                stmt.body,
+                preds=[nid],
+                raise_to=raise_to,
+                return_to=return_to,
+                break_to=break_to,
+                continue_to=continue_to,
+            )
+
+        if isinstance(stmt, ast.Try):
+            return self._try(
+                stmt,
+                nid,
+                raise_to=raise_to,
+                return_to=return_to,
+                break_to=break_to,
+                continue_to=continue_to,
+            )
+
+        return [nid]
+
+    def _try(
+        self,
+        stmt: ast.Try,
+        nid: int,
+        *,
+        raise_to: int,
+        return_to: int,
+        break_to: int | None,
+        continue_to: int | None,
+    ) -> list[int]:
+        has_finally = bool(stmt.finalbody)
+        # Where a raise inside the try lands first: the handler
+        # dispatch if there are handlers, otherwise finally/outer.
+        dispatch = self._new(None) if stmt.handlers else None
+
+        if has_finally:
+            # Shared finally subgraph; its frontier edges to every
+            # possible continuation (normal, raise, return).
+            fin_entry = self._new(None)
+            fin_exits = self._block(
+                stmt.finalbody,
+                preds=[fin_entry],
+                raise_to=raise_to,
+                return_to=return_to,
+                break_to=break_to,
+                continue_to=continue_to,
+            )
+            inner_raise_to = dispatch if dispatch is not None else fin_entry
+            inner_return_to = fin_entry
+        else:
+            fin_entry = None
+            fin_exits = []
+            inner_raise_to = dispatch if dispatch is not None else raise_to
+            inner_return_to = return_to
+
+        body_exits = self._block(
+            stmt.body,
+            preds=[nid],
+            raise_to=inner_raise_to,
+            return_to=inner_return_to,
+            break_to=break_to,
+            continue_to=continue_to,
+        )
+        # else-clause runs only when the body completed normally, and
+        # its exceptions bypass the handlers.
+        else_raise_to = fin_entry if has_finally else raise_to
+        if stmt.orelse:
+            body_exits = self._block(
+                stmt.orelse,
+                preds=body_exits,
+                raise_to=else_raise_to if else_raise_to is not None else raise_to,
+                return_to=inner_return_to,
+                break_to=break_to,
+                continue_to=continue_to,
+            )
+
+        handler_exits: list[int] = []
+        if dispatch is not None:
+            # Unmatched exception falls through dispatch to
+            # finally/outer raise target.
+            unmatched = fin_entry if has_finally else raise_to
+            self._raise_edge(dispatch, unmatched)
+            handler_raise_to = fin_entry if has_finally else raise_to
+            for handler in stmt.handlers:
+                handler_exits += self._block(
+                    handler.body,
+                    preds=[dispatch],
+                    raise_to=(
+                        handler_raise_to
+                        if handler_raise_to is not None
+                        else raise_to
+                    ),
+                    return_to=inner_return_to,
+                    break_to=break_to,
+                    continue_to=continue_to,
+                )
+
+        exits = body_exits + handler_exits
+        if has_finally:
+            assert fin_entry is not None
+            for e in exits:
+                self._edge(e, fin_entry)
+            # Finally frontier: normal continuation plus the outer
+            # raise/return targets (conservative re-raise / pending
+            # return after finally).
+            for f in fin_exits:
+                self._raise_edge(f, raise_to)
+                self._edge(f, return_to)
+            return list(fin_exits)
+        return exits
+
+
+def build_cfg(func: ast.FunctionDef | ast.AsyncFunctionDef) -> CFG:
+    return _Builder().build(func)

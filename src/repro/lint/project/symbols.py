@@ -1,0 +1,440 @@
+"""Cross-module symbol table: the foundation of the project pass.
+
+One :class:`ModuleInfo` per source file records the module's imports
+(alias → dotted target), top-level functions, classes with their
+methods, and simple module-level assignments (used both for constant
+extraction and for ``X = Y`` re-export aliases).  A :class:`Project`
+ties the modules together and answers the two questions every flow
+rule asks:
+
+* *what does this dotted name mean here?* — :meth:`Project.resolve`,
+  following import aliases and re-export chains across modules, with a
+  visited set so import cycles terminate deterministically;
+* *which method does this class inherit?* — :meth:`Project.method_of`,
+  a left-to-right depth-first walk over project-resolvable bases
+  (deterministic under diamond inheritance, cycle-safe).
+
+Resolution is purely declarative — no code is imported or executed —
+so the table is safe to build over arbitrary (even broken) trees; a
+file that does not parse is simply absent, and rules degrade to the
+conservative fallback.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable
+
+__all__ = [
+    "ClassInfo",
+    "FunctionInfo",
+    "ModuleInfo",
+    "Project",
+    "Resolution",
+    "build_project",
+    "build_project_from_sources",
+]
+
+
+@dataclass(slots=True)
+class FunctionInfo:
+    """One function or method definition, addressable project-wide."""
+
+    qualname: str  # "Class.method", "func", or "outer.<locals>.inner"
+    relpath: str
+    node: ast.FunctionDef | ast.AsyncFunctionDef
+    is_async: bool
+    class_name: str | None = None
+
+    @property
+    def uid(self) -> str:
+        return f"{self.relpath}::{self.qualname}"
+
+    @property
+    def lineno(self) -> int:
+        return self.node.lineno
+
+
+@dataclass(slots=True)
+class ClassInfo:
+    """One class definition plus its own (non-inherited) methods."""
+
+    name: str
+    relpath: str
+    node: ast.ClassDef
+    bases: list[str]  # dotted base names as written, resolution deferred
+    methods: dict[str, FunctionInfo] = field(default_factory=dict)
+
+    @property
+    def uid(self) -> str:
+        return f"{self.relpath}::{self.name}"
+
+
+@dataclass(slots=True)
+class ModuleInfo:
+    """Everything the project pass knows about one source file."""
+
+    relpath: str
+    modname: str  # dotted, e.g. "repro.service.workers"
+    source: str
+    tree: ast.Module
+    imports: dict[str, str] = field(default_factory=dict)
+    functions: dict[str, FunctionInfo] = field(default_factory=dict)
+    classes: dict[str, ClassInfo] = field(default_factory=dict)
+    assigns: dict[str, ast.expr] = field(default_factory=dict)
+
+
+@dataclass(frozen=True, slots=True)
+class Resolution:
+    """Outcome of resolving a dotted name from some module.
+
+    ``kind`` is one of ``"function"`` / ``"class"`` / ``"module"`` /
+    ``"const"`` (a module-level assignment that is not an alias) /
+    ``"external"`` (outside the project).  ``target`` holds the
+    matching info object (or the canonical dotted name for
+    ``external``); ``attr`` carries a trailing unresolved attribute,
+    e.g. the ``"sleep"`` of ``time.sleep`` or a method name looked up
+    on a class.
+    """
+
+    kind: str
+    target: object
+    attr: str | None = None
+
+
+def _modname(relpath: str, package: str) -> str:
+    stem = relpath[:-3] if relpath.endswith(".py") else relpath
+    parts = [p for p in stem.split("/") if p]
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    if package:
+        parts = [package, *parts]
+    return ".".join(parts)
+
+
+def _collect_imports(
+    tree: ast.Module, modname: str, is_package: bool
+) -> dict[str, str]:
+    """Map each imported local alias to its absolute dotted target."""
+    imports: dict[str, str] = {}
+    # The containing package: a package __init__ *is* its package, a
+    # plain module lives one level below its package.
+    package_parts = modname.split(".")
+    if not is_package:
+        package_parts = package_parts[:-1]
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                local = alias.asname or alias.name.split(".")[0]
+                target = alias.name if alias.asname else alias.name.split(".")[0]
+                imports[local] = target
+        elif isinstance(node, ast.ImportFrom):
+            if node.level:
+                base = package_parts[: len(package_parts) - (node.level - 1)]
+                head = ".".join(
+                    p for p in (".".join(base), node.module or "") if p
+                )
+            else:
+                head = node.module or ""
+            for alias in node.names:
+                if alias.name == "*":
+                    continue  # star imports defeat static resolution
+                local = alias.asname or alias.name
+                imports[local] = f"{head}.{alias.name}" if head else alias.name
+    return imports
+
+
+def _index_functions(
+    module: ModuleInfo,
+) -> None:
+    """Populate ``functions``/``classes`` with qualified names."""
+
+    def visit(node: ast.AST, prefix: str, class_name: str | None) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                qual = f"{prefix}{child.name}"
+                info = FunctionInfo(
+                    qualname=qual,
+                    relpath=module.relpath,
+                    node=child,
+                    is_async=isinstance(child, ast.AsyncFunctionDef),
+                    class_name=class_name,
+                )
+                module.functions[qual] = info
+                if class_name is not None and prefix.count(".") == 1:
+                    module.classes[class_name].methods[child.name] = info
+                visit(child, f"{qual}.<locals>.", class_name)
+            elif isinstance(child, ast.ClassDef):
+                if prefix == "":
+                    bases = [
+                        dotted
+                        for base in child.bases
+                        if (dotted := _dotted(base)) is not None
+                    ]
+                    module.classes[child.name] = ClassInfo(
+                        name=child.name,
+                        relpath=module.relpath,
+                        node=child,
+                        bases=bases,
+                    )
+                    visit(child, f"{child.name}.", child.name)
+                else:
+                    visit(child, f"{prefix}{child.name}.", class_name)
+
+    visit(module.tree, "", None)
+
+
+def _dotted(node: ast.expr) -> str | None:
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+class Project:
+    """The resolved collection of modules under analysis."""
+
+    def __init__(self, modules: dict[str, ModuleInfo]):
+        #: relpath → module, in sorted order for determinism.
+        self.modules: dict[str, ModuleInfo] = dict(
+            sorted(modules.items())
+        )
+        self.by_modname: dict[str, str] = {
+            m.modname: m.relpath for m in self.modules.values()
+        }
+        self._import_graph: dict[str, set[str]] | None = None
+        self._callgraph = None  # built lazily by .callgraph
+
+    # ------------------------------------------------------------------
+    # Name resolution
+    # ------------------------------------------------------------------
+
+    def module_for(self, dotted: str) -> tuple[ModuleInfo | None, str]:
+        """Longest-prefix match of a dotted name against project modules.
+
+        Returns ``(module, rest)`` where ``rest`` is the unmatched
+        dotted suffix (empty when the name *is* the module).
+        """
+        parts = dotted.split(".")
+        for cut in range(len(parts), 0, -1):
+            prefix = ".".join(parts[:cut])
+            relpath = self.by_modname.get(prefix)
+            if relpath is not None:
+                return self.modules[relpath], ".".join(parts[cut:])
+        return None, dotted
+
+    def resolve(
+        self, module: ModuleInfo, dotted: str, _seen: frozenset | None = None
+    ) -> Resolution:
+        """Resolve a dotted name as written inside ``module``.
+
+        Deterministic and cycle-safe: re-export chains are followed
+        with a visited set, and unresolvable names collapse to an
+        ``external`` resolution carrying the canonical dotted target.
+        """
+        seen = _seen or frozenset()
+        key = (module.relpath, dotted)
+        if key in seen:
+            return Resolution("external", dotted)
+        seen = seen | {key}
+        head, _, rest = dotted.partition(".")
+        # 1. a symbol defined in this module
+        if head in module.classes:
+            cls = module.classes[head]
+            if not rest:
+                return Resolution("class", cls)
+            if "." not in rest:
+                method = self.method_of(cls, rest)
+                if method is not None:
+                    return Resolution("function", method)
+            return Resolution("class", cls, attr=rest)
+        if head in module.functions and "." not in head:
+            func = module.functions[head]
+            if not rest:
+                return Resolution("function", func)
+            return Resolution("external", dotted)
+        # 2. an imported name
+        if head in module.imports:
+            target = module.imports[head]
+            full = f"{target}.{rest}" if rest else target
+            return self._resolve_global(full, seen)
+        # 3. a module-level alias assignment (X = Y re-export)
+        if head in module.assigns:
+            value = module.assigns[head]
+            alias = _dotted(value)
+            if alias is not None and alias != head:
+                full = f"{alias}.{rest}" if rest else alias
+                return self.resolve(module, full, seen)
+            if not rest:
+                return Resolution("const", (module, head))
+        return Resolution("external", dotted)
+
+    def _resolve_global(self, dotted: str, seen: frozenset) -> Resolution:
+        target_module, rest = self.module_for(dotted)
+        if target_module is None:
+            return Resolution("external", dotted)
+        if not rest:
+            return Resolution("module", target_module)
+        return self.resolve(target_module, rest, seen)
+
+    # ------------------------------------------------------------------
+    # Class hierarchy
+    # ------------------------------------------------------------------
+
+    def bases_of(self, cls: ClassInfo) -> list[ClassInfo]:
+        """Project-resolvable base classes, left to right."""
+        module = self.modules[cls.relpath]
+        out: list[ClassInfo] = []
+        for base in cls.bases:
+            res = self.resolve(module, base)
+            if res.kind == "class" and res.attr is None:
+                out.append(res.target)  # type: ignore[arg-type]
+        return out
+
+    def method_of(
+        self, cls: ClassInfo, name: str, _seen: frozenset | None = None
+    ) -> FunctionInfo | None:
+        """Method lookup through the hierarchy (DFS, left-to-right).
+
+        Deterministic under diamond inheritance (the leftmost path
+        wins) and cycle-safe (a class is visited at most once).
+        """
+        seen = _seen or frozenset()
+        if cls.uid in seen:
+            return None
+        seen = seen | {cls.uid}
+        if name in cls.methods:
+            return cls.methods[name]
+        for base in self.bases_of(cls):
+            found = self.method_of(base, name, seen)
+            if found is not None:
+                return found
+        return None
+
+    def methods_named(self, name: str) -> list[FunctionInfo]:
+        """Every project method with this name, in deterministic order.
+
+        The conservative dynamic-dispatch fallback: when a receiver's
+        class cannot be inferred, a call ``x.frob()`` may target any of
+        these.
+        """
+        out = []
+        for module in self.modules.values():
+            for cls in sorted(module.classes.values(), key=lambda c: c.name):
+                if name in cls.methods:
+                    out.append(cls.methods[name])
+        return out
+
+    # ------------------------------------------------------------------
+    # Import graph (project-internal edges only)
+    # ------------------------------------------------------------------
+
+    @property
+    def import_graph(self) -> dict[str, set[str]]:
+        """relpath → relpaths of project modules it imports from."""
+        if self._import_graph is None:
+            graph: dict[str, set[str]] = {}
+            for relpath, module in self.modules.items():
+                deps: set[str] = set()
+                for target in module.imports.values():
+                    dep, _rest = self.module_for(target)
+                    if dep is not None and dep.relpath != relpath:
+                        deps.add(dep.relpath)
+                graph[relpath] = deps
+            self._import_graph = graph
+        return self._import_graph
+
+    def import_closure(self, relpath: str) -> set[str]:
+        """Transitive project-internal import closure, including self."""
+        graph = self.import_graph
+        closure: set[str] = set()
+        stack = [relpath]
+        while stack:
+            current = stack.pop()
+            if current in closure:
+                continue
+            closure.add(current)
+            stack.extend(graph.get(current, ()))
+        return closure
+
+    def dependents_closure(self, relpaths: Iterable[str]) -> set[str]:
+        """Every module whose import closure intersects ``relpaths``.
+
+        The ``--changed`` selector: a diff in file F invalidates F and
+        everything that (transitively) resolves symbols from F.
+        """
+        targets = set(relpaths)
+        return {
+            relpath
+            for relpath in self.modules
+            if self.import_closure(relpath) & targets
+        }
+
+    # ------------------------------------------------------------------
+    # Call graph (built on demand; see callgraph.py)
+    # ------------------------------------------------------------------
+
+    @property
+    def callgraph(self):
+        if self._callgraph is None:
+            from repro.lint.project.callgraph import build_callgraph
+
+            self._callgraph = build_callgraph(self)
+        return self._callgraph
+
+
+def _build_module(relpath: str, source: str, package: str) -> ModuleInfo | None:
+    try:
+        tree = ast.parse(source)
+    except SyntaxError:
+        return None  # reported by the engine as RL000; excluded here
+    modname = _modname(relpath, package)
+    module = ModuleInfo(
+        relpath=relpath, modname=modname, source=source, tree=tree
+    )
+    is_package = relpath.endswith("__init__.py") or relpath == "__init__.py"
+    module.imports = _collect_imports(tree, modname, is_package)
+    _index_functions(module)
+    for stmt in tree.body:
+        if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+            target = stmt.targets[0]
+            if isinstance(target, ast.Name):
+                module.assigns[target.id] = stmt.value
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            if isinstance(stmt.target, ast.Name):
+                module.assigns[stmt.target.id] = stmt.value
+    return module
+
+
+def build_project_from_sources(
+    sources: dict[str, str], *, package: str = "repro"
+) -> Project:
+    """Build a project from in-memory ``{relpath: source}`` (tests)."""
+    modules: dict[str, ModuleInfo] = {}
+    for relpath in sorted(sources):
+        module = _build_module(relpath, sources[relpath], package)
+        if module is not None:
+            modules[relpath] = module
+    return Project(modules)
+
+
+def build_project(
+    files: Iterable[Path], *, package: str = "repro"
+) -> Project:
+    """Parse files into a :class:`Project` (non-parsing files skipped)."""
+    from repro.lint.engine import module_relpath
+
+    modules: dict[str, ModuleInfo] = {}
+    for path in sorted(Path(p) for p in files):
+        relpath = module_relpath(path)
+        source = path.read_text(encoding="utf-8")
+        module = _build_module(relpath, source, package)
+        if module is not None:
+            modules[relpath] = module
+    return Project(modules)

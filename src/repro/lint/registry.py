@@ -18,6 +18,7 @@ from repro.exceptions import ReproError
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
     from repro.lint.engine import FileContext, Finding
+    from repro.lint.project.symbols import ModuleInfo, Project
 
 _RULE_ID = re.compile(r"^RL\d{3}$")
 
@@ -34,6 +35,10 @@ class LintRule:
 
     rule_id: str = ""
     title: str = ""
+    #: ``"file"`` rules see one AST at a time through :meth:`check`;
+    #: ``"project"`` rules (see :class:`ProjectRule`) get the whole
+    #: symbol table and only run under ``repro lint --project``.
+    scope: str = "file"
 
     def applies(self, relpath: str) -> bool:
         """Whether this rule runs on the file at package-relative path."""
@@ -51,6 +56,54 @@ class LintRule:
         return Finding(
             rule=self.rule_id,
             path=ctx.relpath,
+            line=line,
+            col=col,
+            message=message,
+        )
+
+
+class ProjectRule(LintRule):
+    """Base class for whole-program (flow) rules.
+
+    The project engine calls :meth:`prepare` once per run (sequential —
+    build fixpoints, extract schemas) and then :meth:`check_module` per
+    module, which the engine may parallelise per import-SCC.  The
+    ``closure`` attribute names the dependency-closure kind the result
+    cache keys on:
+
+    * ``"module"`` — the module's own content (plus ``extra_deps``);
+    * ``"imports"`` — the module's transitive import closure;
+    * ``"component"`` — the module's weakly-connected import component.
+    """
+
+    scope: str = "project"
+    closure: str = "imports"
+    #: Package-relative paths every result of this rule also depends on
+    #: (e.g. the protocol schema modules for RL009).
+    extra_deps: tuple[str, ...] = ()
+
+    def check(self, ctx: "FileContext") -> Iterable["Finding"]:
+        raise TypeError(
+            f"{self.rule_id} is a project-scope rule; use check_module()"
+        )
+
+    def prepare(self, project: "Project") -> object:
+        """Whole-project prepass; the return value feeds check_module."""
+        return None
+
+    def check_module(
+        self, project: "Project", module: "ModuleInfo", state: object
+    ) -> Iterable["Finding"]:
+        raise NotImplementedError
+
+    def module_finding(
+        self, module: "ModuleInfo", line: int, col: int, message: str
+    ) -> "Finding":
+        from repro.lint.engine import Finding
+
+        return Finding(
+            rule=self.rule_id,
+            path=module.relpath,
             line=line,
             col=col,
             message=message,
@@ -101,6 +154,20 @@ def resolve_rules(spec: str | Iterable[str] | None) -> dict[str, LintRule]:
             f"available: {', '.join(rules)}"
         )
     return {rid: rules[rid] for rid in sorted(set(wanted))}
+
+
+def file_rules(rules: dict[str, LintRule]) -> dict[str, LintRule]:
+    """The file-scope subset of a rule selection."""
+    return {rid: rule for rid, rule in rules.items() if rule.scope == "file"}
+
+
+def project_rules(rules: dict[str, LintRule]) -> dict[str, "ProjectRule"]:
+    """The project-scope subset of a rule selection."""
+    return {
+        rid: rule
+        for rid, rule in rules.items()
+        if isinstance(rule, ProjectRule)
+    }
 
 
 class UnknownRuleError(ReproError):

@@ -20,9 +20,20 @@ from dataclasses import asdict
 
 from repro.lint.engine import LintReport
 
-__all__ = ["render_json", "render_text", "JSON_SCHEMA_VERSION"]
+__all__ = [
+    "render_json",
+    "render_sarif",
+    "render_text",
+    "JSON_SCHEMA_VERSION",
+]
 
 JSON_SCHEMA_VERSION = 1
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
 
 
 def render_text(report: LintReport, *, verbose: bool = False) -> str:
@@ -58,5 +69,83 @@ def render_json(report: LintReport) -> str:
             "suppressed": len(report.suppressed),
             "clean": report.clean,
         },
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def render_sarif(
+    report: LintReport, *, uri_prefix: str = "src/repro/"
+) -> str:
+    """SARIF 2.1.0 report, for GitHub code-scanning upload.
+
+    Finding paths are package-relative (``service/workers.py``); the
+    ``uri_prefix`` maps them back to repository-relative URIs so the
+    annotations land on the right files in a PR.  Suppressed findings
+    are emitted with a SARIF ``suppressions`` entry rather than
+    dropped — code scanning then shows them as reviewed, matching the
+    in-tree ``replint: ignore`` semantics.
+    """
+    from repro.lint.registry import all_rules
+
+    registry = all_rules()
+    rules_meta = [
+        {
+            "id": rid,
+            "name": registry[rid].title if rid in registry else rid,
+            "shortDescription": {
+                "text": registry[rid].title if rid in registry else rid
+            },
+        }
+        for rid in report.rule_ids
+    ]
+
+    def result(finding, suppression_reason=None):
+        entry = {
+            "ruleId": finding.rule,
+            "level": "error",
+            "message": {"text": finding.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": f"{uri_prefix}{finding.path}"
+                        },
+                        "region": {
+                            "startLine": max(finding.line, 1),
+                            "startColumn": finding.col + 1,
+                        },
+                    }
+                }
+            ],
+        }
+        if suppression_reason is not None:
+            entry["suppressions"] = [
+                {
+                    "kind": "inSource",
+                    "justification": suppression_reason,
+                }
+            ]
+        return entry
+
+    payload = {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "replint",
+                        "rules": rules_meta,
+                    }
+                },
+                "results": [
+                    *[result(f) for f in report.findings],
+                    *[
+                        result(f, reason or "suppressed in source")
+                        for f, reason in report.suppressed
+                    ],
+                ],
+            }
+        ],
     }
     return json.dumps(payload, indent=2, sort_keys=True)

@@ -5,10 +5,14 @@ One module per rule family; each module registers exactly one
 """
 
 from repro.lint.rules import (  # noqa: F401 - imported for registration
+    asyncflow,
     asyncsafety,
     determinism,
     dtypes,
     floateq,
+    lifecycle,
+    lockorder,
     parity,
     units,
+    wireconf,
 )

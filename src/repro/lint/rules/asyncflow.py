@@ -1,0 +1,133 @@
+"""RL007 — async-blocking reachability (whole-program).
+
+RL004 catches a coroutine calling ``time.sleep`` *directly*; it is
+structurally blind to the two-hop version — a coroutine calling an
+innocent-looking sync helper that blocks three frames down.  RL007
+closes that gap: using the project call graph, compute the set of
+functions that can reach a blocking leaf call through any chain of
+ordinary calls, then flag every coroutine in that set whose path to
+the leaf crosses at least one *internal* call edge (the zero-hop case
+stays RL004's, so a single defect never fires twice).
+
+``spawn`` edges (``run_in_executor``, ``asyncio.to_thread``,
+``Executor.submit``, ``Process(target=...)``) are **not** traversed:
+handing blocking work to an executor is exactly the sanctioned fix,
+and following those edges would flag it.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable
+
+from repro.lint.engine import Finding
+from repro.lint.registry import ProjectRule, register
+from repro.lint.rules.asyncsafety import BLOCKING_CALLS
+
+if TYPE_CHECKING:  # pragma: no cover - types only
+    from repro.lint.project.callgraph import CallEdge
+    from repro.lint.project.symbols import ModuleInfo, Project
+
+#: Blocking leaves beyond RL004's set: pickle of request/reply bodies
+#: is CPU-bound serialization that stalls the loop for large payloads.
+_EXTRA_BLOCKING = frozenset(
+    {"pickle.dumps", "pickle.dump", "pickle.loads", "pickle.load"}
+)
+
+BLOCKING = BLOCKING_CALLS | _EXTRA_BLOCKING
+
+#: Method names that are blocking file I/O on any plausible receiver
+#: (pathlib handles); matched by attribute suffix when the receiver's
+#: type is unknown.
+BLOCKING_SUFFIXES = frozenset(
+    {"read_text", "write_text", "read_bytes", "write_bytes"}
+)
+
+
+def _blocking_leaf(dotted: str) -> str | None:
+    """The canonical blocking-call name, or ``None``."""
+    if dotted in BLOCKING:
+        return dotted
+    last = dotted.rsplit(".", 1)[-1]
+    if "." in dotted and last in BLOCKING_SUFFIXES:
+        return dotted
+    return None
+
+
+@register
+class AsyncBlockingReachabilityRule(ProjectRule):
+    rule_id = "RL007"
+    title = "coroutines must not transitively reach blocking calls"
+    closure = "imports"
+
+    def prepare(self, project: "Project") -> object:
+        graph = project.callgraph
+        # Functions with a direct blocking leaf, and the leaf's name.
+        direct: dict[str, str] = {}
+        for edge in graph.edges:
+            if not edge.external or edge.kind != "call":
+                continue
+            leaf = _blocking_leaf(edge.callee[4:])
+            if leaf is not None and edge.caller not in direct:
+                direct[edge.caller] = leaf
+        # Reverse BFS from the blocking functions over internal call
+        # edges: reach[f] = the first edge of f's shortest path to a
+        # blocking function (used to reconstruct the blame chain).
+        reverse: dict[str, list["CallEdge"]] = {}
+        for edge in graph.edges:
+            if edge.external or edge.kind != "call":
+                continue
+            reverse.setdefault(edge.callee, []).append(edge)
+        reach: dict[str, "CallEdge"] = {}
+        frontier = sorted(direct)
+        while frontier:
+            next_frontier: list[str] = []
+            for callee in frontier:
+                for edge in sorted(
+                    reverse.get(callee, ()),
+                    key=lambda e: (e.caller, e.lineno, e.col),
+                ):
+                    if edge.caller in reach or edge.caller in direct:
+                        continue
+                    reach[edge.caller] = edge
+                    next_frontier.append(edge.caller)
+            frontier = sorted(set(next_frontier))
+        return {"direct": direct, "reach": reach, "graph": graph}
+
+    def check_module(
+        self, project: "Project", module: "ModuleInfo", state: object
+    ) -> Iterable[Finding]:
+        assert isinstance(state, dict)
+        direct: dict[str, str] = state["direct"]
+        reach: dict[str, "CallEdge"] = state["reach"]
+        graph = state["graph"]
+        for qualname in sorted(module.functions):
+            func = module.functions[qualname]
+            if not func.is_async or func.uid not in reach:
+                continue
+            # Reconstruct the shortest blame chain to the leaf.
+            chain: list[str] = [qualname]
+            first = reach[func.uid]
+            edge = first
+            leaf = None
+            for _ in range(len(graph.functions) + 1):
+                callee = graph.functions.get(edge.callee)
+                if callee is None:
+                    break
+                chain.append(callee.qualname)
+                if edge.callee in direct:
+                    leaf = direct[edge.callee]
+                    break
+                nxt = reach.get(edge.callee)
+                if nxt is None:
+                    break
+                edge = nxt
+            if leaf is None:
+                continue
+            yield self.module_finding(
+                module,
+                first.lineno,
+                first.col,
+                f"coroutine '{qualname}' reaches blocking call "
+                f"'{leaf}' via {' -> '.join(chain)}; move the blocking "
+                "work behind run_in_executor or use an async API",
+            )

@@ -1,0 +1,304 @@
+"""RL008 — resource lifecycle: release on all paths, or transfer.
+
+The serving stack's "zero shm orphans after SIGKILL" guarantee is only
+as strong as the discipline that every ``SharedMemory`` / ``RingArena``
+/ socket / process acquisition is either closed on **every** path out
+of the acquiring function, or explicitly handed to another owner.
+RL008 proves this per function on the statement CFG
+(:mod:`repro.lint.project.cfg`):
+
+1. find each acquisition assigned to a plain local
+   (``seg = SharedMemory(...)``; assignment to ``self.x`` is by
+   definition a transfer to the object and is not tracked);
+2. classify every other statement as a *release* (``seg.close()``,
+   kind-specific), a *transfer* (returned/yielded, stored into an
+   attribute or container, passed to a call, aliased, captured by a
+   closure, used as a context manager, or rebound), or neutral;
+3. walk the normal-edge CFG from the acquisition: if function EXIT is
+   reachable without crossing a release/transfer, some return path
+   leaks — finding;
+4. for shm kinds only, also walk the exception edges: if the RAISE
+   exit is reachable, a throw between acquire and release orphans the
+   segment — finding ("wrap in try/finally").  The acquisition's own
+   raise edge is exempt (a failed constructor owns nothing).
+
+Transfer points are annotated in the finding message so a reviewer can
+see which exits were deliberate hand-offs.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import TYPE_CHECKING, Iterable
+
+from repro.lint.engine import Finding
+from repro.lint.registry import ProjectRule, register
+from repro.lint.rules._common import dotted_name
+
+if TYPE_CHECKING:  # pragma: no cover - types only
+    from repro.lint.project.cfg import CFG
+    from repro.lint.project.symbols import ModuleInfo, Project
+
+#: Release method names that end the tracked lifetime, per kind.
+RELEASES = {
+    "shm": frozenset({"close", "unlink", "release"}),
+    "socket": frozenset({"close", "shutdown", "detach"}),
+    "process": frozenset({"join", "terminate", "kill", "close", "wait"}),
+}
+
+
+def _acquire_kind(chain: str) -> str | None:
+    last = chain.rsplit(".", 1)[-1]
+    if last in ("SharedMemory", "RingArena"):
+        return "shm"
+    if (
+        chain in ("socket.socket", "create_connection", "socketpair")
+        or last in ("create_connection", "socketpair")
+    ):
+        return "socket"
+    if last in ("Process", "Popen"):
+        return "process"
+    return None
+
+
+def _stmt_exprs(stmt: ast.stmt) -> list[ast.AST]:
+    """The expressions evaluated *at this CFG node* (compound statement
+    bodies are their own nodes and must not be classified here)."""
+    if isinstance(stmt, (ast.If, ast.While)):
+        return [stmt.test]
+    if isinstance(stmt, (ast.For, ast.AsyncFor)):
+        return [stmt.iter]
+    if isinstance(stmt, (ast.With, ast.AsyncWith)):
+        return [item.context_expr for item in stmt.items]
+    if isinstance(stmt, ast.Try):
+        return []
+    return [stmt]
+
+
+def _contains_name(node: ast.AST, var: str) -> bool:
+    return any(
+        isinstance(child, ast.Name) and child.id == var
+        for child in ast.walk(node)
+    )
+
+
+def _classify(stmt: ast.stmt, var: str, kind: str) -> str | None:
+    """``"release"`` / ``"transfer"`` / ``None`` for this statement."""
+    releases = RELEASES[kind]
+    # Closure capture transfers ownership to the nested function.
+    if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+        return "transfer" if _contains_name(stmt, var) else None
+    if isinstance(stmt, (ast.With, ast.AsyncWith)):
+        for item in stmt.items:
+            expr = item.context_expr
+            if isinstance(expr, ast.Name) and expr.id == var:
+                return "release"  # `with var:` — managed exit
+            if _contains_name(expr, var):
+                return "transfer"  # e.g. `with closing(var):`
+        return None
+    if isinstance(stmt, (ast.Return, ast.Expr)) and isinstance(
+        getattr(stmt, "value", None), (ast.Yield, ast.YieldFrom)
+    ) or isinstance(stmt, ast.Return):
+        value = stmt.value
+        if value is not None and _contains_name(value, var):
+            return "transfer"
+    if isinstance(stmt, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+        targets = (
+            stmt.targets if isinstance(stmt, ast.Assign) else [stmt.target]
+        )
+        value = stmt.value
+        # Only a *direct* alias transfers: the bare name, or the name
+        # as an element of a literal container.  `x = var.method()`
+        # merely uses the resource and keeps tracking it.
+        direct = value is not None and (
+            (isinstance(value, ast.Name) and value.id == var)
+            or (
+                isinstance(value, (ast.Tuple, ast.List, ast.Dict, ast.Set))
+                and any(
+                    isinstance(el, ast.Name) and el.id == var
+                    for el in ast.walk(value)
+                )
+            )
+        )
+        for target in targets:
+            if isinstance(target, ast.Name) and target.id == var:
+                # Rebinding ends the tracked lifetime conservatively.
+                return "transfer"
+        if direct:
+            return "transfer"
+    result: str | None = None
+    for root in _stmt_exprs(stmt):
+        for node in ast.walk(root):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if (
+                isinstance(func, ast.Attribute)
+                and isinstance(func.value, ast.Name)
+                and func.value.id == var
+                and func.attr in releases
+            ):
+                return "release"
+            for arg in [*node.args, *[k.value for k in node.keywords]]:
+                if _contains_name(arg, var):
+                    result = "transfer"
+    return result
+
+
+def _none_guards(cfg: "CFG", var: str) -> dict[int, tuple[str, int]]:
+    """If-nodes testing ``var is [not] None`` → (polarity, then-entry).
+
+    After the acquisition (and before any rebinding, which stops the
+    walk anyway) the variable is provably non-``None``, so the walk may
+    prune the branch that requires it to be ``None`` — this is what
+    makes the universal ``if res is not None: res.close()`` cleanup
+    idiom provable.
+    """
+    guards: dict[int, tuple[str, int]] = {}
+    for nid, stmt in cfg.stmts.items():
+        if not isinstance(stmt, ast.If) or nid not in cfg.branch_true:
+            continue
+        test = stmt.test
+        if not (
+            isinstance(test, ast.Compare)
+            and len(test.ops) == 1
+            and isinstance(test.left, ast.Name)
+            and test.left.id == var
+            and isinstance(test.comparators[0], ast.Constant)
+            and test.comparators[0].value is None
+        ):
+            continue
+        if isinstance(test.ops[0], ast.IsNot):
+            guards[nid] = ("is_not_none", cfg.branch_true[nid])
+        elif isinstance(test.ops[0], ast.Is):
+            guards[nid] = ("is_none", cfg.branch_true[nid])
+    return guards
+
+
+def _reaches(
+    cfg: "CFG",
+    start: int,
+    stops: set[int],
+    sink: int,
+    *,
+    include_raise: bool,
+    guards: dict[int, tuple[str, int]] | None = None,
+) -> bool:
+    """Is ``sink`` reachable from ``start``'s successors avoiding stops?"""
+    guards = guards or {}
+
+    def normal_succ(node: int) -> list[int]:
+        succ = cfg.succ.get(node, set())
+        guard = guards.get(node)
+        if guard is not None:
+            polarity, then_entry = guard
+            if polarity == "is_not_none":
+                succ = succ & {then_entry}
+            else:
+                succ = succ - {then_entry}
+        return sorted(succ)
+
+    seen: set[int] = set()
+    # Seed from the acquisition's *normal* successors only: its own
+    # raise edge is exempt (a failed constructor owns nothing).  Later
+    # statements' raises all count when include_raise is set.
+    stack = normal_succ(start)
+    while stack:
+        node = stack.pop()
+        if node == sink:
+            return True
+        if node in seen or node in stops or node < 0:
+            continue
+        seen.add(node)
+        stack.extend(normal_succ(node))
+        if include_raise and not (
+            node in guards and guards[node][0] == "is_not_none"
+        ):
+            # A matched `is not None` guard's test cannot raise; any
+            # raise edge on it is a finally-frontier continuation that
+            # would bypass the guarded release — pruned like the else
+            # branch.
+            stack.extend(sorted(cfg.raise_succ.get(node, ())))
+    return False
+
+
+@register
+class ResourceLifecycleRule(ProjectRule):
+    rule_id = "RL008"
+    title = "acquired resources released on all paths or transferred"
+    closure = "module"
+
+    def check_module(
+        self, project: "Project", module: "ModuleInfo", state: object
+    ) -> Iterable[Finding]:
+        from repro.lint.project.cfg import EXIT, RAISE, build_cfg
+
+        for qualname in sorted(module.functions):
+            func = module.functions[qualname]
+            acquires: list[tuple[str, ast.stmt, str]] = []
+            for stmt in ast.walk(func.node):
+                if not isinstance(stmt, ast.Assign) or len(stmt.targets) != 1:
+                    continue
+                target = stmt.targets[0]
+                value = stmt.value
+                if not (
+                    isinstance(target, ast.Name)
+                    and isinstance(value, ast.Call)
+                ):
+                    continue
+                chain = dotted_name(value.func)
+                if chain is None and isinstance(value.func, ast.Attribute):
+                    # get_context("spawn").Process(...) — suffix only.
+                    chain = value.func.attr
+                if chain is None:
+                    continue
+                kind = _acquire_kind(chain)
+                if kind is not None:
+                    acquires.append((target.id, stmt, kind))
+            if not acquires:
+                continue
+            cfg = build_cfg(func.node)
+            for var, stmt, kind in acquires:
+                nid = cfg.node_for(stmt)
+                if nid is None:
+                    continue  # inside a nested def; its own pass covers it
+                guards = _none_guards(cfg, var)
+                stops: set[int] = set()
+                transfers: list[int] = []
+                for other_id, other in cfg.stmts.items():
+                    if other is None or other is stmt:
+                        continue
+                    verdict = _classify(other, var, kind)
+                    if verdict is not None:
+                        stops.add(other_id)
+                        if verdict == "transfer":
+                            transfers.append(other.lineno)
+                note = (
+                    f" (transferred at line{'s' if len(transfers) > 1 else ''}"
+                    f" {', '.join(str(n) for n in sorted(set(transfers)))} —"
+                    " other paths still leak)"
+                    if transfers
+                    else ""
+                )
+                if _reaches(
+                    cfg, nid, stops, EXIT, include_raise=False, guards=guards
+                ):
+                    yield self.module_finding(
+                        module,
+                        stmt.lineno,
+                        stmt.col_offset,
+                        f"{kind} resource '{var}' acquired here is not "
+                        "released on every return path; close it in a "
+                        f"finally or context manager{note}",
+                    )
+                elif kind == "shm" and _reaches(
+                    cfg, nid, stops, RAISE, include_raise=True, guards=guards
+                ):
+                    yield self.module_finding(
+                        module,
+                        stmt.lineno,
+                        stmt.col_offset,
+                        f"shm resource '{var}' acquired here leaks if a "
+                        "later statement raises; wrap the use in "
+                        f"try/finally (zero-orphans guarantee){note}",
+                    )

@@ -1,0 +1,360 @@
+"""RL010 — lock-order consistency, interprocedurally.
+
+Three deadlock patterns RL004's single-function syntax checks cannot
+see:
+
+* **conflicting acquisition order** — method A takes lock X then Y
+  (possibly Y through a callee), method B takes Y then X.  Two threads
+  interleaving A and B deadlock.  RL010 derives the acquisition-order
+  relation across the call graph and flags every pair ordered both
+  ways;
+* **re-acquiring a held sync lock through a call chain** — ``with
+  self._lock: self.helper()`` where ``helper`` also takes
+  ``self._lock``: ``threading.Lock`` is not reentrant, so this
+  self-deadlocks on the spot;
+* **await while holding an explicitly-acquired sync lock** —
+  ``lock.acquire() ... await ... lock.release()``.  RL004 covers the
+  ``with``-statement form; the explicit form slips through it.
+
+Locks are identified syntactically: a ``with``/``async with`` context
+(or ``.acquire()`` call) whose expression names something containing
+``lock``.  ``self._x`` locks canonicalise per class, module-level
+locks per module; locals are skipped (a lock nobody shares cannot
+deadlock anyone).  Only non-``spawn``, non-weak call edges propagate —
+work handed to an executor synchronises by other means.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterable
+
+from repro.lint.engine import Finding
+from repro.lint.registry import ProjectRule, register
+from repro.lint.rules._common import dotted_name
+from repro.lint.rules.asyncsafety import _lockish
+
+if TYPE_CHECKING:  # pragma: no cover - types only
+    from repro.lint.project.symbols import FunctionInfo, ModuleInfo, Project
+
+
+@dataclass(frozen=True, slots=True)
+class _Lock:
+    ident: str  # canonical id, e.g. "service/server.py::ModelServer._lock"
+    is_async: bool
+
+
+@dataclass(slots=True)
+class _FuncLocks:
+    """Per-function lock facts from one syntactic walk."""
+
+    #: (held-before stack, newly acquired lock, site line/col)
+    acquisitions: list[tuple[tuple[_Lock, ...], _Lock, int, int]] = field(
+        default_factory=list
+    )
+    #: (held stack, call node line/col) for every call made under a lock
+    calls_under: list[tuple[tuple[_Lock, ...], int, int]] = field(
+        default_factory=list
+    )
+    #: (lock, await line/col) for awaits under explicit .acquire()
+    explicit_awaits: list[tuple[_Lock, int, int]] = field(
+        default_factory=list
+    )
+
+
+def _canonical(
+    expr: ast.expr, func: "FunctionInfo", module: "ModuleInfo"
+) -> str | None:
+    if isinstance(expr, ast.Call):  # e.g. self._lock() factories — skip
+        return None
+    chain = dotted_name(expr)
+    if chain is None:
+        return None
+    parts = chain.split(".")
+    if parts[0] == "self" and len(parts) == 2 and func.class_name is not None:
+        return f"{module.relpath}::{func.class_name}.{parts[1]}"
+    if len(parts) == 1 and parts[0] in module.assigns:
+        return f"{module.relpath}::{parts[0]}"
+    return None
+
+
+def _walk_no_defs(node: ast.AST) -> Iterable[ast.AST]:
+    stack: list[ast.AST] = [node]
+    while stack:
+        current = stack.pop()
+        yield current
+        if isinstance(
+            current, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+        ):
+            continue
+        stack.extend(ast.iter_child_nodes(current))
+
+
+def _walk_function(func: "FunctionInfo", module: "ModuleInfo") -> _FuncLocks:
+    """One syntactic pass tracking the held-lock stack.
+
+    ``with``-acquired locks scope to the ``with`` body; explicitly
+    ``.acquire()``-d locks thread *sequentially* through statement
+    lists (including into later siblings) until a matching
+    ``.release()``.  Branches merge conservatively: the view that holds
+    more locks wins.
+    """
+    facts = _FuncLocks()
+    Explicit = tuple  # of _Lock
+
+    def scan(
+        node: ast.AST, held: tuple[_Lock, ...], explicit: Explicit
+    ) -> Explicit:
+        """Scan a simple statement / expression for lock events."""
+        for sub in _walk_no_defs(node):
+            if isinstance(sub, ast.Await):
+                for lock in explicit:
+                    if not lock.is_async:
+                        facts.explicit_awaits.append(
+                            (lock, sub.lineno, sub.col_offset)
+                        )
+            elif isinstance(sub, ast.Call):
+                chain = dotted_name(sub.func)
+                base = (
+                    sub.func.value
+                    if isinstance(sub.func, ast.Attribute)
+                    else None
+                )
+                if (
+                    chain is not None
+                    and chain.endswith(".acquire")
+                    and base is not None
+                    and _lockish(base)
+                ):
+                    ident = _canonical(base, func, module)
+                    if ident is not None:
+                        lock = _Lock(ident, False)
+                        facts.acquisitions.append(
+                            (
+                                (*held, *explicit),
+                                lock,
+                                sub.lineno,
+                                sub.col_offset,
+                            )
+                        )
+                        explicit = (*explicit, lock)
+                    continue
+                if (
+                    chain is not None
+                    and chain.endswith(".release")
+                    and base is not None
+                    and _lockish(base)
+                ):
+                    ident = _canonical(base, func, module)
+                    if ident is not None:
+                        explicit = tuple(
+                            lock for lock in explicit if lock.ident != ident
+                        )
+                    continue
+                combined = (*held, *explicit)
+                if combined:
+                    facts.calls_under.append(
+                        (combined, sub.lineno, sub.col_offset)
+                    )
+        return explicit
+
+    def visit_stmts(
+        stmts: list[ast.stmt], held: tuple[_Lock, ...], explicit: Explicit
+    ) -> Explicit:
+        for stmt in stmts:
+            if isinstance(
+                stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            ):
+                continue
+            if isinstance(stmt, (ast.With, ast.AsyncWith)):
+                inner = held
+                for item in stmt.items:
+                    expr = item.context_expr
+                    explicit = scan(expr, held, explicit)
+                    if _lockish(expr):
+                        ident = _canonical(expr, func, module)
+                        if ident is not None:
+                            lock = _Lock(
+                                ident, isinstance(stmt, ast.AsyncWith)
+                            )
+                            facts.acquisitions.append(
+                                (
+                                    (*inner, *explicit),
+                                    lock,
+                                    expr.lineno,
+                                    expr.col_offset,
+                                )
+                            )
+                            inner = (*inner, lock)
+                explicit = visit_stmts(stmt.body, inner, explicit)
+            elif isinstance(stmt, ast.If):
+                explicit = scan(stmt.test, held, explicit)
+                then_view = visit_stmts(stmt.body, held, explicit)
+                else_view = visit_stmts(stmt.orelse, held, explicit)
+                explicit = (
+                    then_view
+                    if len(then_view) >= len(else_view)
+                    else else_view
+                )
+            elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+                explicit = scan(stmt.iter, held, explicit)
+                explicit = visit_stmts(stmt.body, held, explicit)
+                explicit = visit_stmts(stmt.orelse, held, explicit)
+            elif isinstance(stmt, ast.While):
+                explicit = scan(stmt.test, held, explicit)
+                explicit = visit_stmts(stmt.body, held, explicit)
+                explicit = visit_stmts(stmt.orelse, held, explicit)
+            elif isinstance(stmt, ast.Try):
+                explicit = visit_stmts(stmt.body, held, explicit)
+                for handler in stmt.handlers:
+                    explicit = visit_stmts(handler.body, held, explicit)
+                explicit = visit_stmts(stmt.orelse, held, explicit)
+                explicit = visit_stmts(stmt.finalbody, held, explicit)
+            else:
+                explicit = scan(stmt, held, explicit)
+        return explicit
+
+    visit_stmts(func.node.body, (), ())
+    return facts
+
+
+class _State:
+    def __init__(self) -> None:
+        self.facts: dict[str, _FuncLocks] = {}
+        #: uid → lock idents (transitively) acquired
+        self.closure: dict[str, set[str]] = {}
+        #: ordered pair (A, B) → first site (relpath, qualname, line, col)
+        self.pairs: dict[tuple[str, str], tuple[str, str, int, int]] = {}
+        self.graph = None
+
+
+@register
+class LockOrderRule(ProjectRule):
+    rule_id = "RL010"
+    title = "consistent lock order; no awaits or re-entry under sync locks"
+    closure = "component"
+
+    def prepare(self, project: "Project") -> object:
+        state = _State()
+        graph = project.callgraph
+        state.graph = graph
+        for module in project.modules.values():
+            for qualname in sorted(module.functions):
+                func = module.functions[qualname]
+                state.facts[func.uid] = _walk_function(func, module)
+        # Fixpoint: locks a function may acquire, directly or through
+        # non-spawn, non-weak internal calls.
+        direct = {
+            uid: {lock.ident for _, lock, _, _ in facts.acquisitions}
+            for uid, facts in state.facts.items()
+        }
+        closure = {uid: set(locks) for uid, locks in direct.items()}
+        changed = True
+        while changed:
+            changed = False
+            for uid in closure:
+                for edge in graph.calls_from(uid):
+                    if edge.external or edge.kind != "call" or edge.weak:
+                        continue
+                    callee = closure.get(edge.callee)
+                    if callee and not callee <= closure[uid]:
+                        closure[uid] |= callee
+                        changed = True
+        state.closure = closure
+        # Acquisition-order pairs: intraprocedural nesting plus locks a
+        # callee may take while the caller holds some.
+        for uid in sorted(state.facts):
+            facts = state.facts[uid]
+            func = graph.functions.get(uid)
+            qualname = func.qualname if func is not None else uid
+            relpath = uid.split("::", 1)[0]
+            for held, lock, line, col in facts.acquisitions:
+                for outer in held:
+                    if outer.ident != lock.ident:
+                        state.pairs.setdefault(
+                            (outer.ident, lock.ident),
+                            (relpath, qualname, line, col),
+                        )
+            for held, line, col in facts.calls_under:
+                for edge in graph.at_site(uid, line, col):
+                    if edge.external or edge.kind != "call" or edge.weak:
+                        continue
+                    for inner in sorted(closure.get(edge.callee, ())):
+                        for outer in held:
+                            if outer.ident != inner:
+                                state.pairs.setdefault(
+                                    (outer.ident, inner),
+                                    (relpath, qualname, line, col),
+                                )
+        return state
+
+    # ------------------------------------------------------------------
+
+    def check_module(
+        self, project: "Project", module: "ModuleInfo", state: object
+    ) -> Iterable[Finding]:
+        assert isinstance(state, _State)
+        graph = state.graph
+        # (1) conflicting order — reported once per pair, at the first
+        # recorded site of the lexicographically smaller direction
+        # (which may be a call site when the nesting is only visible
+        # through a callee).
+        for (a, b), (rel, qual, line, col) in sorted(state.pairs.items()):
+            if rel != module.relpath:
+                continue
+            if (b, a) not in state.pairs or (a, b) > (b, a):
+                continue
+            o_rel, o_qual, o_line, _ = state.pairs[(b, a)]
+            yield self.module_finding(
+                module,
+                line,
+                col,
+                f"lock order conflict: '{a.split('::')[-1]}' "
+                f"then '{b.split('::')[-1]}' here, but the "
+                f"opposite order in {o_rel}:{o_line} "
+                f"({o_qual}); pick one global order",
+            )
+        for qualname in sorted(module.functions):
+            func = module.functions[qualname]
+            uid = func.uid
+            facts = state.facts.get(uid)
+            if facts is None:
+                continue
+            # (2) re-acquiring a held sync lock through a call chain.
+            for held, line, col in facts.calls_under:
+                sync_held = {
+                    lock.ident for lock in held if not lock.is_async
+                }
+                if not sync_held:
+                    continue
+                for edge in graph.at_site(uid, line, col):
+                    if edge.external or edge.kind != "call" or edge.weak:
+                        continue
+                    again = sync_held & state.closure.get(edge.callee, set())
+                    if again:
+                        callee = graph.functions.get(edge.callee)
+                        callee_name = (
+                            callee.qualname if callee is not None else edge.callee
+                        )
+                        ident = sorted(again)[0]
+                        yield self.module_finding(
+                            module,
+                            line,
+                            col,
+                            f"call to '{callee_name}' can re-acquire "
+                            f"'{ident.split('::')[-1]}' already held "
+                            "here; threading locks are not reentrant",
+                        )
+                        break
+            # (3) await while a sync lock is held via explicit acquire().
+            for lock, line, col in facts.explicit_awaits:
+                yield self.module_finding(
+                    module,
+                    line,
+                    col,
+                    f"'await' while sync lock "
+                    f"'{lock.ident.split('::')[-1]}' is held via "
+                    ".acquire(); a blocked awaiter deadlocks the loop — "
+                    "use asyncio.Lock with 'async with'",
+                )

@@ -1,0 +1,404 @@
+"""RL009 — wire-protocol conformance against ``protocol.py``.
+
+The NDJSON envelope schema lives in one place —
+:mod:`repro.service.protocol` (``ERROR_CODES``, ``RETRIABLE_CODES``,
+``OPS``, ``ENVELOPE_FIELDS``, ``ERROR_FIELDS``) — but it is *used* in
+half a dozen producers and consumers (server, router, workers, both
+clients, the load generator).  RL009 extracts the schema from the
+protocol module's AST (never importing it) and checks every service
+module against it:
+
+* error codes passed to ``error_response(...)`` / ``ServiceError(...)``
+  must be schema codes (literal strings and resolvable constants are
+  checked; dynamically computed codes are skipped);
+* a schema-retriable code built *without* ``retriable=True`` breaks
+  client failover — flagged; ``retriable=True`` on a non-retriable
+  code is flagged too;
+* operation-name literals (in request dicts and in comparisons against
+  an ``op`` expression) must be schema ops;
+* consumers indexing a variable literally named ``stats`` must use
+  keys some producer (a ``stats()``/``snapshot()`` function anywhere
+  in the project) actually emits;
+* consumers indexing a variable named ``reply``/``resp``/``response``/
+  ``envelope`` (or ``error``/``err``) must use schema envelope (error)
+  fields.
+
+The receiver-name conventions are deliberate: they make conformance
+checkable without type inference, and the service code already follows
+them.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import TYPE_CHECKING, Iterable
+
+from repro.lint.engine import Finding
+from repro.lint.registry import ProjectRule, register
+from repro.lint.rules._common import dotted_name
+
+if TYPE_CHECKING:  # pragma: no cover - types only
+    from repro.lint.project.symbols import ModuleInfo, Project
+
+PROTOCOL = "service/protocol.py"
+_ENVELOPE_NAMES = frozenset({"reply", "resp", "response", "envelope"})
+_ERROR_NAMES = frozenset({"error", "err"})
+_STATS_PRODUCERS = frozenset({"stats", "snapshot", "_stats"})
+
+
+def _literal_set(
+    expr: ast.expr, assigns: dict[str, ast.expr], _depth: int = 0
+) -> set[str] | None:
+    """Statically evaluate a frozenset-of-strings expression."""
+    if _depth > 10:
+        return None
+    if isinstance(expr, ast.Constant) and isinstance(expr.value, str):
+        return {expr.value}
+    if isinstance(expr, ast.Name):
+        inner = assigns.get(expr.id)
+        return None if inner is None else _literal_set(inner, assigns, _depth + 1)
+    if isinstance(expr, ast.Call) and len(expr.args) == 1:
+        return _literal_set(expr.args[0], assigns, _depth + 1)
+    if isinstance(expr, (ast.Set, ast.List, ast.Tuple)):
+        out: set[str] = set()
+        for element in expr.elts:
+            sub = _literal_set(element, assigns, _depth + 1)
+            if sub is None:
+                return None
+            out |= sub
+        return out
+    if isinstance(expr, ast.BinOp) and isinstance(expr.op, ast.BitOr):
+        left = _literal_set(expr.left, assigns, _depth + 1)
+        right = _literal_set(expr.right, assigns, _depth + 1)
+        if left is None or right is None:
+            return None
+        return left | right
+    return None
+
+
+def _is_op_expr(node: ast.expr) -> bool:
+    """Does this expression denote a request's operation name?"""
+    if isinstance(node, ast.Name) and node.id == "op":
+        return True
+    if isinstance(node, ast.Attribute) and node.attr == "op":
+        return True
+    if isinstance(node, ast.Subscript):
+        sl = node.slice
+        return isinstance(sl, ast.Constant) and sl.value == "op"
+    if (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Attribute)
+        and node.func.attr == "get"
+        and node.args
+        and isinstance(node.args[0], ast.Constant)
+        and node.args[0].value == "op"
+    ):
+        return True
+    return False
+
+
+def _const_strs(node: ast.expr) -> list[tuple[str, ast.expr]]:
+    """String constants in a comparator (scalar or small collection)."""
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return [(node.value, node)]
+    if isinstance(node, (ast.Set, ast.Tuple, ast.List)):
+        out = []
+        for element in node.elts:
+            if isinstance(element, ast.Constant) and isinstance(
+                element.value, str
+            ):
+                out.append((element.value, element))
+        return out
+    return []
+
+
+class _Schema:
+    def __init__(
+        self,
+        codes: set[str],
+        retriable: set[str],
+        ops: set[str],
+        envelope_fields: set[str],
+        error_fields: set[str],
+        const_values: dict[str, str],
+        stats_keys: set[str],
+    ):
+        self.codes = codes
+        self.retriable = retriable
+        self.ops = ops
+        self.envelope_fields = envelope_fields
+        self.error_fields = error_fields
+        self.const_values = const_values
+        self.stats_keys = stats_keys
+
+
+@register
+class WireConformanceRule(ProjectRule):
+    rule_id = "RL009"
+    title = "service modules agree with the protocol.py envelope schema"
+    closure = "module"
+    extra_deps = (
+        PROTOCOL,
+        "exceptions.py",
+        # stats-producer functions feed the consumer-side key check
+        "service/server.py",
+        "service/metrics.py",
+    )
+
+    def applies(self, relpath: str) -> bool:
+        return relpath.startswith("service/")
+
+    # ------------------------------------------------------------------
+
+    def prepare(self, project: "Project") -> object:
+        proto = project.modules.get(PROTOCOL)
+        if proto is None:
+            return None
+        const_values: dict[str, str] = {
+            name: value.value
+            for name, value in proto.assigns.items()
+            if name.isupper()
+            and isinstance(value, ast.Constant)
+            and isinstance(value.value, str)
+        }
+
+        def named_set(name: str) -> set[str]:
+            expr = proto.assigns.get(name)
+            if expr is None:
+                return set()
+            resolved = _literal_set(expr, proto.assigns)
+            return resolved or set()
+
+        stats_keys: set[str] = set()
+        for module in project.modules.values():
+            for qualname, func in module.functions.items():
+                if func.qualname.rsplit(".", 1)[-1] not in _STATS_PRODUCERS:
+                    continue
+                for node in ast.walk(func.node):
+                    if isinstance(node, ast.Dict):
+                        for key in node.keys:
+                            if isinstance(key, ast.Constant) and isinstance(
+                                key.value, str
+                            ):
+                                stats_keys.add(key.value)
+                    elif isinstance(node, ast.Assign):
+                        for target in node.targets:
+                            if (
+                                isinstance(target, ast.Subscript)
+                                and isinstance(target.slice, ast.Constant)
+                                and isinstance(target.slice.value, str)
+                            ):
+                                stats_keys.add(target.slice.value)
+        return _Schema(
+            codes=named_set("ERROR_CODES"),
+            retriable=named_set("RETRIABLE_CODES"),
+            ops=named_set("OPS"),
+            envelope_fields=named_set("ENVELOPE_FIELDS"),
+            error_fields=named_set("ERROR_FIELDS"),
+            const_values=const_values,
+            stats_keys=stats_keys,
+        )
+
+    # ------------------------------------------------------------------
+
+    def check_module(
+        self, project: "Project", module: "ModuleInfo", state: object
+    ) -> Iterable[Finding]:
+        if not isinstance(state, _Schema) or not state.codes:
+            return
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Call):
+                yield from self._check_error_call(module, node, state)
+                yield from self._check_get_fields(module, node, state)
+            elif isinstance(node, ast.Dict):
+                yield from self._check_op_dict(module, node, state)
+            elif isinstance(node, ast.Compare):
+                yield from self._check_op_compare(module, node, state)
+            elif isinstance(node, ast.Subscript):
+                yield from self._check_subscript(module, node, state)
+
+    # -- error codes and retriable flags -------------------------------
+
+    def _code_value(self, expr: ast.expr, schema: _Schema) -> str | None:
+        if isinstance(expr, ast.Constant) and isinstance(expr.value, str):
+            return expr.value
+        chain = dotted_name(expr)
+        if chain is not None:
+            return schema.const_values.get(chain.rsplit(".", 1)[-1])
+        return None
+
+    def _check_error_call(
+        self, module: "ModuleInfo", call: ast.Call, schema: _Schema
+    ) -> Iterable[Finding]:
+        chain = dotted_name(call.func)
+        if chain is None:
+            return
+        last = chain.rsplit(".", 1)[-1]
+        if last == "error_response" and len(call.args) >= 2:
+            code_expr = call.args[1]
+        elif last == "ServiceError" and len(call.args) >= 1:
+            code_expr = call.args[0]
+        else:
+            return
+        code = self._code_value(code_expr, schema)
+        if code is None:
+            return  # dynamically computed; pass-through sites are fine
+        if code not in schema.codes:
+            yield self.module_finding(
+                module,
+                code_expr.lineno,
+                code_expr.col_offset,
+                f"error code '{code}' is not in protocol.ERROR_CODES; "
+                "add it to the schema or use an existing code",
+            )
+            return
+        retriable_kw = next(
+            (kw for kw in call.keywords if kw.arg == "retriable"), None
+        )
+        if code in schema.retriable:
+            marked = (
+                retriable_kw is not None
+                and isinstance(retriable_kw.value, ast.Constant)
+                and retriable_kw.value.value is True
+            )
+            if retriable_kw is None:
+                yield self.module_finding(
+                    module,
+                    call.lineno,
+                    call.col_offset,
+                    f"'{code}' is in protocol.RETRIABLE_CODES but this "
+                    "envelope is built without retriable=True; clients "
+                    "will not fail over",
+                )
+            elif not marked and isinstance(retriable_kw.value, ast.Constant):
+                yield self.module_finding(
+                    module,
+                    call.lineno,
+                    call.col_offset,
+                    f"'{code}' is in protocol.RETRIABLE_CODES but "
+                    "retriable is explicitly falsy here",
+                )
+        elif (
+            retriable_kw is not None
+            and isinstance(retriable_kw.value, ast.Constant)
+            and retriable_kw.value.value is True
+        ):
+            yield self.module_finding(
+                module,
+                call.lineno,
+                call.col_offset,
+                f"'{code}' is marked retriable=True but is not in "
+                "protocol.RETRIABLE_CODES; clients may resubmit a "
+                "request that already executed",
+            )
+
+    # -- operation names ------------------------------------------------
+
+    def _check_op_dict(
+        self, module: "ModuleInfo", node: ast.Dict, schema: _Schema
+    ) -> Iterable[Finding]:
+        if not schema.ops:
+            return
+        for key, value in zip(node.keys, node.values):
+            if (
+                isinstance(key, ast.Constant)
+                and key.value == "op"
+                and isinstance(value, ast.Constant)
+                and isinstance(value.value, str)
+                and value.value not in schema.ops
+            ):
+                yield self.module_finding(
+                    module,
+                    value.lineno,
+                    value.col_offset,
+                    f"request op '{value.value}' is not in protocol.OPS",
+                )
+
+    def _check_op_compare(
+        self, module: "ModuleInfo", node: ast.Compare, schema: _Schema
+    ) -> Iterable[Finding]:
+        if not schema.ops:
+            return
+        sides = [node.left, *node.comparators]
+        if not any(_is_op_expr(side) for side in sides):
+            return
+        for side in sides:
+            for value, expr in _const_strs(side):
+                if value not in schema.ops:
+                    yield self.module_finding(
+                        module,
+                        expr.lineno,
+                        expr.col_offset,
+                        f"op comparison against '{value}', which is not "
+                        "in protocol.OPS",
+                    )
+
+    # -- envelope / error / stats key discipline ------------------------
+
+    def _field_check(
+        self,
+        module: "ModuleInfo",
+        receiver: str,
+        key: str,
+        site: ast.expr,
+        schema: _Schema,
+    ) -> Iterable[Finding]:
+        if receiver in _ENVELOPE_NAMES and schema.envelope_fields:
+            if key not in schema.envelope_fields:
+                yield self.module_finding(
+                    module,
+                    site.lineno,
+                    site.col_offset,
+                    f"envelope field '{key}' read from '{receiver}' is "
+                    "not in protocol.ENVELOPE_FIELDS",
+                )
+        elif receiver in _ERROR_NAMES and schema.error_fields:
+            if key not in schema.error_fields:
+                yield self.module_finding(
+                    module,
+                    site.lineno,
+                    site.col_offset,
+                    f"error field '{key}' read from '{receiver}' is not "
+                    "in protocol.ERROR_FIELDS",
+                )
+        elif receiver == "stats" and schema.stats_keys:
+            if key not in schema.stats_keys:
+                yield self.module_finding(
+                    module,
+                    site.lineno,
+                    site.col_offset,
+                    f"stats key '{key}' is not produced by any "
+                    "stats()/snapshot() in the project",
+                )
+
+    def _check_subscript(
+        self, module: "ModuleInfo", node: ast.Subscript, schema: _Schema
+    ) -> Iterable[Finding]:
+        if not (
+            isinstance(node.value, ast.Name)
+            and isinstance(node.slice, ast.Constant)
+            and isinstance(node.slice.value, str)
+        ):
+            return
+        if isinstance(node.ctx, ast.Store):
+            return  # producers build envelopes key by key
+        yield from self._field_check(
+            module, node.value.id, node.slice.value, node, schema
+        )
+
+    def _check_get_fields(
+        self, module: "ModuleInfo", call: ast.Call, schema: _Schema
+    ) -> Iterable[Finding]:
+        func = call.func
+        if not (
+            isinstance(func, ast.Attribute)
+            and func.attr == "get"
+            and isinstance(func.value, ast.Name)
+            and call.args
+            and isinstance(call.args[0], ast.Constant)
+            and isinstance(call.args[0].value, str)
+        ):
+            return
+        yield from self._field_check(
+            module, func.value.id, call.args[0].value, call, schema
+        )

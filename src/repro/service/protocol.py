@@ -77,7 +77,12 @@ __all__ = [
     "INTERNAL",
     "BACKEND_UNAVAILABLE",
     "CACHEABLE_OPS",
+    "ENVELOPE_FIELDS",
+    "ERROR_CODES",
+    "ERROR_FIELDS",
     "MAX_LINE_BYTES",
+    "OPS",
+    "RETRIABLE_CODES",
     "encode",
     "decode",
     "ok_response",
@@ -97,12 +102,51 @@ BAD_FRAME = "bad_frame"
 INTERNAL = "internal"
 BACKEND_UNAVAILABLE = "backend_unavailable"
 
+#: Every error code the protocol defines.  This — not any consumer's
+#: private list — is the schema; replint RL009 checks every producer
+#: and consumer in the service layer against it.
+ERROR_CODES = frozenset(
+    {
+        BAD_REQUEST,
+        UNKNOWN_MACHINE,
+        UNKNOWN_OP,
+        OVERLOADED,
+        DEADLINE_EXCEEDED,
+        SHUTTING_DOWN,
+        WORKER_CRASHED,
+        BAD_FRAME,
+        INTERNAL,
+        BACKEND_UNAVAILABLE,
+    }
+)
+
+#: Codes whose error envelopes MUST carry ``"retriable": true``: the
+#: request may be resubmitted verbatim (nothing ran, or another
+#: replica can take it).  Producers building one of these codes
+#: without the marker break client failover — RL009 flags them.
+RETRIABLE_CODES = frozenset(
+    {OVERLOADED, SHUTTING_DOWN, WORKER_CRASHED, BACKEND_UNAVAILABLE}
+)
+
 #: Operations whose responses are pure functions of the request body.
 #: ``stats`` and ``ping`` are intentionally absent: both describe the
 #: server's mutable state, not the model.
 CACHEABLE_OPS = frozenset(
     {"eval", "curve", "balance", "tradeoff", "greenup", "machines", "describe"}
 )
+
+#: The complete operation vocabulary (requests name exactly one).
+OPS = CACHEABLE_OPS | frozenset({"hello", "ping", "stats"})
+
+#: Keys that may appear in a response envelope.  ``wire``/``version``
+#: are the hello-negotiation reply, which rides outside the normal
+#: success/error shape (see "Wire negotiation" above).
+ENVELOPE_FIELDS = frozenset(
+    {"id", "ok", "result", "error", "cached", "wire", "version"}
+)
+
+#: Keys that may appear in an error object.
+ERROR_FIELDS = frozenset({"code", "message", "retriable"})
 
 #: Hard per-line bound — a single request never legitimately approaches
 #: this; anything larger is a protocol violation, not a big workload.

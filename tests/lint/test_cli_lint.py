@@ -97,7 +97,7 @@ class TestRuleFilter:
     def test_list_rules(self, capsys):
         assert main(["lint", "--list-rules"]) == 0
         out = capsys.readouterr().out.strip().splitlines()
-        assert len(out) == 6
+        assert len(out) == 10
         assert out[0].startswith("RL001")
 
 

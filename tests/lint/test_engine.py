@@ -15,7 +15,12 @@ from repro.lint import (
     run_lint,
 )
 from repro.lint.engine import _cache_key
-from repro.lint.registry import UnknownRuleError, all_rules, resolve_rules
+from repro.lint.registry import (
+    UnknownRuleError,
+    all_rules,
+    file_rules,
+    resolve_rules,
+)
 
 # ---------------------------------------------------------------------------
 # Suppression parsing
@@ -110,7 +115,7 @@ class TestSuppressionCoverage:
 
 
 class TestRegistry:
-    def test_six_rule_families_registered(self):
+    def test_rule_families_registered(self):
         rules = all_rules()
         assert list(rules) == [
             "RL001",
@@ -119,9 +124,19 @@ class TestRegistry:
             "RL004",
             "RL005",
             "RL006",
+            "RL007",
+            "RL008",
+            "RL009",
+            "RL010",
         ]
         for rule in rules.values():
             assert rule.title
+        assert [rid for rid, r in rules.items() if r.scope == "project"] == [
+            "RL007",
+            "RL008",
+            "RL009",
+            "RL010",
+        ]
 
     def test_resolve_comma_string(self):
         assert list(resolve_rules("RL005,RL001")) == ["RL001", "RL005"]
@@ -247,7 +262,7 @@ class TestRunLint:
             ],
             "suppressed": [],
         }
-        key = _cache_key(source, list(all_rules()))
+        key = _cache_key(source, list(file_rules(all_rules())))
         (cache / f"{key}.json").write_text(json.dumps(planted))
         report = run_lint([target], cache_dir=cache)
         assert [f.message for f in report.findings] == [
