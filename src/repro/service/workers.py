@@ -268,76 +268,84 @@ def _worker_main(
         else EvalEngine(plan_cache_size=plan_cache_size)
     )
     job_ring = reply_ring = None
-    if ring_spec is not None:
-        job_name, reply_name, slots, slot_size = ring_spec
-        job_ring = RingArena(job_name, slots, slot_size, create=False)
-        reply_ring = RingArena(reply_name, slots, slot_size, create=False)
-    while True:
-        try:
-            job = conn.recv()
-        except (EOFError, OSError):
-            break
-        if job is None:
-            break
-        seq, kind, body = job
-        started = time.perf_counter()
-        try:
-            payload = _unpack_body(body, job_ring)
-        except RingError:
-            break  # lost transport state; die so the parent respawns us
-        except Exception as exc:  # noqa: BLE001 - the process boundary
-            conn.send((seq, "err", INTERNAL, f"bad job payload: {exc}"))
-            continue
-        try:
-            if kind == "eval_batch":
-                machine, model, metric, intensities = payload
-                result: Any = engine.eval_batch(
-                    machine, model, metric, intensities
-                )
-            elif kind == "ping":
-                result = None
-            elif kind == "op":
-                op, kwargs = payload
-                if op not in _ENGINE_OPS:
-                    raise ServiceError(
-                        INTERNAL, f"op {op!r} is not worker-executable"
+    # The rings MUST detach even when the loop exits abnormally (e.g.
+    # a send on a torn pipe raising outside the guarded spots below) —
+    # a leaked attachment keeps the segment alive past parent cleanup.
+    try:
+        if ring_spec is not None:
+            job_name, reply_name, slots, slot_size = ring_spec
+            job_ring = RingArena(job_name, slots, slot_size, create=False)
+            reply_ring = RingArena(reply_name, slots, slot_size, create=False)
+        while True:
+            try:
+                job = conn.recv()
+            except (EOFError, OSError):
+                break
+            if job is None:
+                break
+            seq, kind, body = job
+            started = time.perf_counter()
+            try:
+                payload = _unpack_body(body, job_ring)
+            except RingError:
+                break  # lost transport state; die so the parent respawns us
+            except Exception as exc:  # noqa: BLE001 - the process boundary
+                conn.send((seq, "err", INTERNAL, f"bad job payload: {exc}"))
+                continue
+            try:
+                if kind == "eval_batch":
+                    machine, model, metric, intensities = payload
+                    result: Any = engine.eval_batch(
+                        machine, model, metric, intensities
                     )
-                # Ops with a bulk-series result ship it as ndarrays
-                # (cheap buffer pickle); the parent restores the lists.
-                method = _ARRAY_RESULT_FIELDS.get(op, (op, ()))[0]
-                result = getattr(engine, method)(**kwargs)
+                elif kind == "ping":
+                    result = None
+                elif kind == "op":
+                    op, kwargs = payload
+                    if op not in _ENGINE_OPS:
+                        raise ServiceError(
+                            INTERNAL, f"op {op!r} is not worker-executable"
+                        )
+                    # Ops with a bulk-series result ship it as ndarrays
+                    # (cheap buffer pickle); the parent restores the lists.
+                    method = _ARRAY_RESULT_FIELDS.get(op, (op, ()))[0]
+                    result = getattr(engine, method)(**kwargs)
+                else:
+                    raise ServiceError(INTERNAL, f"unknown job kind {kind!r}")
+            except ServiceError as exc:
+                reply = (seq, "err", exc.code, exc.message)
+            except ReproError as exc:
+                reply = (seq, "err", BAD_REQUEST, str(exc))
+            except Exception as exc:  # noqa: BLE001 - the process boundary
+                reply = (seq, "err", INTERNAL, f"{type(exc).__name__}: {exc}")
             else:
-                raise ServiceError(INTERNAL, f"unknown job kind {kind!r}")
-        except ServiceError as exc:
-            reply = (seq, "err", exc.code, exc.message)
-        except ReproError as exc:
-            reply = (seq, "err", BAD_REQUEST, str(exc))
-        except Exception as exc:  # noqa: BLE001 - the process boundary
-            reply = (seq, "err", INTERNAL, f"{type(exc).__name__}: {exc}")
-        else:
-            compute = time.perf_counter() - started
-            data = pickle.dumps(result, protocol=pickle.HIGHEST_PROTOCOL)
-            reply_body = None
-            if reply_ring is not None:
-                triple = reply_ring.write(data)
-                if triple is not None:
-                    reply_body = ("ring", *triple)
-            if reply_body is None:
-                reply_body = _pack_data(
-                    data,
-                    shm_threshold,
-                    f"{spill_prefix}{seq:x}r" if spill_prefix else None,
-                )
-            reply = (seq, "ok", reply_body, compute)
+                compute = time.perf_counter() - started
+                data = pickle.dumps(result, protocol=pickle.HIGHEST_PROTOCOL)
+                reply_body = None
+                if reply_ring is not None:
+                    triple = reply_ring.write(data)
+                    if triple is not None:
+                        reply_body = ("ring", *triple)
+                if reply_body is None:
+                    reply_body = _pack_data(
+                        data,
+                        shm_threshold,
+                        f"{spill_prefix}{seq:x}r" if spill_prefix else None,
+                    )
+                reply = (seq, "ok", reply_body, compute)
+            try:
+                conn.send(reply)
+            except (BrokenPipeError, OSError):
+                break
+    finally:
+        # Nested so a raising close() cannot skip the next detach.
         try:
-            conn.send(reply)
-        except (BrokenPipeError, OSError):
-            break
-    if job_ring is not None:
-        job_ring.close()
-    if reply_ring is not None:
-        reply_ring.close()
-    conn.close()
+            if job_ring is not None:
+                job_ring.close()
+        finally:
+            if reply_ring is not None:
+                reply_ring.close()
+            conn.close()
 
 
 # ----------------------------------------------------------------------
