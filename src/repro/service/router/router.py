@@ -474,13 +474,19 @@ class RouterServer(WireFrontend):
         """
         if not isinstance(reply, dict):
             return error_response(
-                request_id, BACKEND_UNAVAILABLE, "malformed backend reply"
+                request_id,
+                BACKEND_UNAVAILABLE,
+                "malformed backend reply",
+                retriable=True,
             )
         if reply.get("ok"):
             result = reply.get("result")
             if not isinstance(result, dict):
                 return error_response(
-                    request_id, BACKEND_UNAVAILABLE, "malformed backend reply"
+                    request_id,
+                    BACKEND_UNAVAILABLE,
+                    "malformed backend reply",
+                    retriable=True,
                 )
             return ok_response(
                 request_id, result, cached=bool(reply.get("cached"))

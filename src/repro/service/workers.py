@@ -659,6 +659,7 @@ class WorkerPool:
                 OVERLOADED,
                 f"worker shard {shard.index} queue full "
                 f"({self.queue_limit} jobs in flight); retry with backoff",
+                retriable=True,
             )
         loop = asyncio.get_running_loop()
         shard.inflight += 1
