@@ -1,0 +1,317 @@
+"""Symbol table and call graph: determinism, cycle safety, SCCs.
+
+The project pass promises *deterministic, cycle-safe* resolution over
+arbitrary module graphs — including import cycles, aliased re-export
+chains, and diamond inheritance.  Hypothesis generates adversarial
+graphs; directed examples pin the specific semantics (leftmost-wins
+method lookup, alias chains, spawn-edge classification).
+"""
+
+from __future__ import annotations
+
+import textwrap
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lint.project.callgraph import build_callgraph, strongly_connected
+from repro.lint.project.symbols import build_project_from_sources
+
+# ---------------------------------------------------------------------------
+# Generators
+# ---------------------------------------------------------------------------
+
+#: A small universe of module slots; each either defines ``f`` locally
+#: or re-exports it from another slot (possibly forming a cycle).
+reexport_graphs = st.integers(min_value=2, max_value=5).flatmap(
+    lambda n: st.tuples(
+        st.just(n),
+        st.lists(
+            st.one_of(
+                st.none(),  # defines f locally
+                st.integers(min_value=0, max_value=n - 1),  # re-exports
+            ),
+            min_size=n,
+            max_size=n,
+        ),
+        # Re-export flavour per module: from-import vs alias assignment.
+        st.lists(st.booleans(), min_size=n, max_size=n),
+    )
+)
+
+
+def _sources_for(n: int, origins: list[int | None], flavours: list[bool]):
+    sources: dict[str, str] = {}
+    for i in range(n):
+        origin = origins[i]
+        if origin is None or origin == i:
+            body = "def f():\n    return 1\n"
+        elif flavours[i]:
+            body = f"from repro.m{origin} import f\n"
+        else:
+            body = f"import repro.m{origin} as src\nf = src.f\n"
+        sources[f"m{i}.py"] = body
+    return sources
+
+
+digraphs = st.integers(min_value=1, max_value=8).flatmap(
+    lambda n: st.tuples(
+        st.just(n),
+        st.sets(
+            st.tuples(
+                st.integers(min_value=0, max_value=n - 1),
+                st.integers(min_value=0, max_value=n - 1),
+            ),
+            max_size=n * 3,
+        ),
+    )
+)
+
+
+# ---------------------------------------------------------------------------
+# Properties
+# ---------------------------------------------------------------------------
+
+
+class TestResolutionProperties:
+    @settings(deadline=None, max_examples=60)
+    @given(reexport_graphs)
+    def test_reexport_chains_terminate_and_are_deterministic(self, spec):
+        n, origins, flavours = spec
+        sources = _sources_for(n, origins, flavours)
+        project = build_project_from_sources(sources)
+        results = {}
+        for relpath, module in project.modules.items():
+            res = project.resolve(module, "f")
+            # Cycle-safe: always an answer, never a hang or a raise.
+            assert res.kind in {"function", "external", "const", "class"}
+            results[relpath] = (res.kind, getattr(res.target, "uid", res.target))
+        # Same result on a second pass (no hidden memo-order effects).
+        for relpath, module in project.modules.items():
+            res = project.resolve(module, "f")
+            key = (res.kind, getattr(res.target, "uid", res.target))
+            assert key == results[relpath]
+
+    @settings(deadline=None, max_examples=60)
+    @given(reexport_graphs)
+    def test_build_order_invariance(self, spec):
+        n, origins, flavours = spec
+        sources = _sources_for(n, origins, flavours)
+        forward = build_project_from_sources(dict(sources))
+        backward = build_project_from_sources(
+            dict(sorted(sources.items(), reverse=True))
+        )
+        assert list(forward.modules) == list(backward.modules)
+        for relpath in forward.modules:
+            a = forward.resolve(forward.modules[relpath], "f")
+            b = backward.resolve(backward.modules[relpath], "f")
+            assert a.kind == b.kind
+            assert getattr(a.target, "uid", a.target) == getattr(
+                b.target, "uid", b.target
+            )
+
+    @settings(deadline=None, max_examples=60)
+    @given(reexport_graphs)
+    def test_callgraph_is_deterministic(self, spec):
+        n, origins, flavours = spec
+        sources = _sources_for(n, origins, flavours)
+        # A caller module exercising every slot's f through the graph.
+        sources["caller.py"] = "".join(
+            f"from repro.m{i} import f as f{i}\n" for i in range(n)
+        ) + "def use():\n" + "".join(
+            f"    f{i}()\n" for i in range(n)
+        )
+        first = build_callgraph(build_project_from_sources(dict(sources)))
+        second = build_callgraph(
+            build_project_from_sources(
+                dict(sorted(sources.items(), reverse=True))
+            )
+        )
+        assert first.edges == second.edges
+
+
+class TestInheritanceProperties:
+    @settings(deadline=None, max_examples=60)
+    @given(
+        st.integers(min_value=2, max_value=5).flatmap(
+            lambda n: st.tuples(
+                st.just(n),
+                st.lists(  # bases per class — arbitrary, cycles allowed
+                    st.lists(
+                        st.integers(min_value=0, max_value=n - 1), max_size=2
+                    ),
+                    min_size=n,
+                    max_size=n,
+                ),
+                st.lists(st.booleans(), min_size=n, max_size=n),  # defines m?
+            )
+        )
+    )
+    def test_method_lookup_terminates_on_arbitrary_hierarchies(self, spec):
+        n, bases, defines = spec
+        lines = []
+        for i in range(n):
+            base_list = ", ".join(f"C{j}" for j in bases[i] if j != i)
+            lines.append(f"class C{i}({base_list}):")
+            if defines[i]:
+                lines.append("    def m(self):")
+                lines.append("        return 1")
+            else:
+                lines.append("    pass")
+        # Forward references make some hierarchies invalid at runtime —
+        # irrelevant here: resolution is declarative, nothing executes.
+        source = "\n".join(lines) + "\n"
+        project = build_project_from_sources({"h.py": source})
+        module = project.modules["h.py"]
+        for i in range(n):
+            cls = module.classes[f"C{i}"]
+            found = project.method_of(cls, "m")
+            again = project.method_of(cls, "m")
+            assert (found.uid if found else None) == (
+                again.uid if again else None
+            )
+            if defines[i]:  # own definition always wins
+                assert found is not None
+                assert found.qualname == f"C{i}.m"
+
+
+class TestSCCProperties:
+    @settings(deadline=None, max_examples=80)
+    @given(digraphs)
+    def test_partition_and_reverse_topological_order(self, spec):
+        n, edge_set = spec
+        graph = {f"n{i}": set() for i in range(n)}
+        for src, dst in edge_set:
+            graph[f"n{src}"].add(f"n{dst}")
+        sccs = strongly_connected(graph)
+        # Partition: every node in exactly one component.
+        flat = [node for comp in sccs for node in comp]
+        assert sorted(flat) == sorted(graph)
+        assert len(flat) == len(set(flat))
+        # Reverse-topological: a cross-component edge u -> v means v's
+        # component was emitted before u's.
+        position = {
+            node: index
+            for index, comp in enumerate(sccs)
+            for node in comp
+        }
+        for src, dsts in graph.items():
+            for dst in dsts:
+                if position[src] != position[dst]:
+                    assert position[dst] < position[src]
+
+    @settings(deadline=None, max_examples=40)
+    @given(digraphs)
+    def test_deterministic_output(self, spec):
+        n, edge_set = spec
+        graph = {f"n{i}": set() for i in range(n)}
+        for src, dst in edge_set:
+            graph[f"n{src}"].add(f"n{dst}")
+        assert strongly_connected(graph) == strongly_connected(dict(graph))
+
+
+# ---------------------------------------------------------------------------
+# Directed examples — the semantics the properties cannot pin alone
+# ---------------------------------------------------------------------------
+
+
+class TestDirectedResolution:
+    def test_aliased_reexport_chain(self):
+        project = build_project_from_sources(
+            {
+                "a.py": "def work():\n    return 1\n",
+                "b.py": "from repro.a import work as labour\n",
+                "c.py": "from repro.b import labour as toil\n",
+                "d.py": "from repro.c import toil\n\ndef go():\n    toil()\n",
+            }
+        )
+        res = project.resolve(project.modules["d.py"], "toil")
+        assert res.kind == "function"
+        assert res.target.uid == "a.py::work"
+
+    def test_import_cycle_collapses_to_external(self):
+        project = build_project_from_sources(
+            {
+                "x.py": "from repro.y import f\n",
+                "y.py": "from repro.x import f\n",
+            }
+        )
+        res = project.resolve(project.modules["x.py"], "f")
+        assert res.kind == "external"
+
+    def test_diamond_inheritance_leftmost_wins(self):
+        source = textwrap.dedent(
+            """
+            class Base:
+                def m(self):
+                    return 0
+
+            class Left(Base):
+                def m(self):
+                    return 1
+
+            class Right(Base):
+                def m(self):
+                    return 2
+
+            class Leaf(Left, Right):
+                pass
+            """
+        )
+        project = build_project_from_sources({"d.py": source})
+        leaf = project.modules["d.py"].classes["Leaf"]
+        found = project.method_of(leaf, "m")
+        assert found is not None
+        assert found.qualname == "Left.m"
+
+
+class TestDirectedCallgraph:
+    def test_method_and_spawn_edges(self):
+        source = textwrap.dedent(
+            """
+            import asyncio
+
+            class Worker:
+                def grind(self):
+                    return 1
+
+            class Owner:
+                def __init__(self):
+                    self.worker = Worker()
+
+                async def run(self, loop):
+                    self.worker.grind()
+                    await loop.run_in_executor(None, self.helper)
+
+                def helper(self):
+                    return 2
+            """
+        )
+        graph = build_callgraph(
+            build_project_from_sources({"w.py": source})
+        )
+        edges = {
+            (e.callee, e.kind) for e in graph.calls_from("w.py::Owner.run")
+        }
+        assert ("w.py::Worker.grind", "call") in edges
+        assert ("w.py::Owner.helper", "spawn") in edges
+
+    def test_unknown_receiver_falls_back_to_weak_edges(self):
+        source = textwrap.dedent(
+            """
+            class OnlyHome:
+                def frob(self):
+                    return 1
+
+            def use(thing):
+                thing.frob()
+            """
+        )
+        graph = build_callgraph(
+            build_project_from_sources({"u.py": source})
+        )
+        (edge,) = [
+            e for e in graph.calls_from("u.py::use") if not e.external
+        ]
+        assert edge.callee == "u.py::OnlyHome.frob"
+        assert edge.weak

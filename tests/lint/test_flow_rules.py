@@ -1,0 +1,734 @@
+"""RL007–RL010 fire/pass fixtures, including pre-fix regressions.
+
+Each rule gets (a) a fixture distilled from the *actual* defect the
+dogfood sweep found in this repo — asserted to fire, so the rule can
+never silently regress below the bar that justified it — and (b) the
+idiomatic fixed form, asserted clean.
+"""
+
+from __future__ import annotations
+
+import textwrap
+
+from repro.lint.engine import Finding
+from repro.lint.project.symbols import build_project_from_sources
+from repro.lint.registry import all_rules
+
+
+def findings_for(
+    sources: dict[str, str], rule_id: str, relpath: str | None = None
+) -> list[Finding]:
+    rule = all_rules()[rule_id]
+    project = build_project_from_sources(sources)
+    state = rule.prepare(project)
+    out: list[Finding] = []
+    for rel in sorted(project.modules):
+        if relpath is not None and rel != relpath:
+            continue
+        if not rule.applies(rel):
+            continue
+        out.extend(rule.check_module(project, project.modules[rel], state))
+    return sorted(out, key=lambda f: (f.path, f.line, f.col))
+
+
+def dedent(source: str) -> str:
+    return textwrap.dedent(source).lstrip("\n")
+
+
+# ---------------------------------------------------------------------------
+# RL007 — async-blocking reachability
+# ---------------------------------------------------------------------------
+
+
+class TestRL007:
+    def test_two_hop_blocking_chain_fires(self):
+        sources = {
+            "util.py": dedent(
+                """
+                import time
+
+                def backoff():
+                    time.sleep(0.1)
+                """
+            ),
+            "srv.py": dedent(
+                """
+                from repro.util import backoff
+
+                async def handler(request):
+                    backoff()
+                    return request
+                """
+            ),
+        }
+        (finding,) = findings_for(sources, "RL007")
+        assert finding.path == "srv.py"
+        assert "handler" in finding.message
+        assert "time.sleep" in finding.message
+        assert "handler -> backoff" in finding.message
+
+    def test_three_hop_chain_reports_full_path(self):
+        sources = {
+            "deep.py": dedent(
+                """
+                import time
+
+                def leaf():
+                    time.sleep(1)
+
+                def middle():
+                    leaf()
+
+                async def top():
+                    middle()
+                """
+            )
+        }
+        (finding,) = findings_for(sources, "RL007")
+        assert "top -> middle -> leaf" in finding.message
+
+    def test_zero_hop_is_rl004s_job(self):
+        # Direct blocking in a coroutine is the file rule's finding;
+        # RL007 must stay silent so one defect never fires twice.
+        sources = {
+            "direct.py": dedent(
+                """
+                import time
+
+                async def handler():
+                    time.sleep(1)
+                """
+            )
+        }
+        assert findings_for(sources, "RL007") == []
+
+    def test_executor_spawn_edge_is_sanctioned(self):
+        sources = {
+            "ok.py": dedent(
+                """
+                import time
+
+                def backoff():
+                    time.sleep(0.1)
+
+                async def handler(loop):
+                    await loop.run_in_executor(None, backoff)
+                """
+            )
+        }
+        assert findings_for(sources, "RL007") == []
+
+    def test_sync_caller_not_flagged(self):
+        sources = {
+            "sync.py": dedent(
+                """
+                import time
+
+                def backoff():
+                    time.sleep(0.1)
+
+                def driver():
+                    backoff()
+                """
+            )
+        }
+        assert findings_for(sources, "RL007") == []
+
+    def test_pickle_and_path_io_are_blocking_leaves(self):
+        sources = {
+            "ser.py": dedent(
+                """
+                import pickle
+
+                def encode(job):
+                    return pickle.dumps(job)
+
+                def load_config(path):
+                    return path.read_text()
+
+                async def submit(job):
+                    return encode(job)
+
+                async def reload(path):
+                    return load_config(path)
+                """
+            )
+        }
+        findings = findings_for(sources, "RL007")
+        assert len(findings) == 2
+        assert any("pickle.dumps" in f.message for f in findings)
+        assert any("read_text" in f.message for f in findings)
+
+
+# ---------------------------------------------------------------------------
+# RL008 — resource lifecycle
+# ---------------------------------------------------------------------------
+
+
+class TestRL008:
+    def test_early_return_leak_fires(self):
+        sources = {
+            "leak.py": dedent(
+                """
+                from multiprocessing.shared_memory import SharedMemory
+
+                def attach(name, fast):
+                    seg = SharedMemory(name=name)
+                    if fast:
+                        return True
+                    seg.close()
+                    return False
+                """
+            )
+        }
+        (finding,) = findings_for(sources, "RL008")
+        assert "not released on every return path" in finding.message
+        assert "'seg'" in finding.message
+
+    def test_workers_ring_regression_raise_path_fires(self):
+        # Distilled from the pre-fix bug RL008 caught in
+        # service/workers.py: the worker loop ran between ring
+        # attachment and the close, so any raise orphaned the segment.
+        sources = {
+            "worker.py": dedent(
+                """
+                from repro.shm import RingArena
+
+                def worker_main(conn):
+                    ring = RingArena(1024)
+                    while True:
+                        job = conn.recv()
+                        if job is None:
+                            break
+                        ring.write(job)
+                    ring.close()
+                """
+            ),
+            "shm.py": "class RingArena:\n    pass\n",
+        }
+        (finding,) = findings_for(sources, "RL008", relpath="worker.py")
+        assert "leaks if a later statement raises" in finding.message
+        assert "try/finally" in finding.message
+
+    def test_workers_ring_fixed_form_is_clean(self):
+        # The committed fix: try/finally plus the `is not None` guard —
+        # provable only because the walk is branch-sensitive on
+        # None-guards.
+        sources = {
+            "worker.py": dedent(
+                """
+                from repro.shm import RingArena
+
+                def worker_main(conn):
+                    ring = None
+                    try:
+                        ring = RingArena(1024)
+                        while True:
+                            job = conn.recv()
+                            if job is None:
+                                break
+                            ring.write(job)
+                    finally:
+                        if ring is not None:
+                            ring.close()
+                """
+            ),
+            "shm.py": "class RingArena:\n    pass\n",
+        }
+        assert findings_for(sources, "RL008", relpath="worker.py") == []
+
+    def test_sibling_close_in_flat_finally_fires(self):
+        # The residual dogfood bug: two rings closed back to back in
+        # one finally — the first close raising skips the second.
+        sources = {
+            "pair.py": dedent(
+                """
+                from repro.shm import RingArena
+
+                def run(payload):
+                    a = RingArena(1)
+                    try:
+                        b = RingArena(1)
+                        a.write(payload)
+                        b.write(payload)
+                    finally:
+                        a.close()
+                        b.close()
+                """
+            ),
+            "shm.py": "class RingArena:\n    pass\n",
+        }
+        findings = findings_for(sources, "RL008", relpath="pair.py")
+        assert [f for f in findings if "'b'" in f.message]
+        assert all("'a'" not in f.message for f in findings)
+
+    def test_nested_finally_close_is_clean(self):
+        sources = {
+            "pair.py": dedent(
+                """
+                from repro.shm import RingArena
+
+                def run(payload):
+                    a = RingArena(1)
+                    try:
+                        b = RingArena(1)
+                        a.write(payload)
+                        b.write(payload)
+                    finally:
+                        try:
+                            a.close()
+                        finally:
+                            b.close()
+                """
+            ),
+            "shm.py": "class RingArena:\n    pass\n",
+        }
+        assert findings_for(sources, "RL008", relpath="pair.py") == []
+
+    def test_return_transfers_ownership(self):
+        sources = {
+            "hand.py": dedent(
+                """
+                from multiprocessing.shared_memory import SharedMemory
+
+                def open_segment(name):
+                    seg = SharedMemory(name=name)
+                    return seg
+                """
+            )
+        }
+        assert findings_for(sources, "RL008") == []
+
+    def test_partial_transfer_notes_the_handoff(self):
+        sources = {
+            "part.py": dedent(
+                """
+                from multiprocessing.shared_memory import SharedMemory
+
+                def attach(name, registry, fast):
+                    seg = SharedMemory(name=name)
+                    if fast:
+                        registry.append(seg)
+                        return
+                    seg.unlink()
+                """
+            )
+        }
+        findings = findings_for(sources, "RL008")
+        # The append is a call-arg transfer but the else path relies on
+        # unlink... which *is* a release, so the remaining leak is the
+        # raise path between acquire and the branch.
+        assert all("transferred at line" in f.message for f in findings)
+
+    def test_socket_and_process_kinds_tracked(self):
+        sources = {
+            "sock.py": dedent(
+                """
+                import socket
+
+                def probe(host, fast):
+                    conn = socket.create_connection((host, 80))
+                    if fast:
+                        return True
+                    conn.close()
+                    return False
+                """
+            ),
+            "proc.py": dedent(
+                """
+                from multiprocessing import get_context
+
+                def launch(run, fast):
+                    proc = get_context("spawn").Process(target=run)
+                    proc.start()
+                    if fast:
+                        return None
+                    proc.join()
+                """
+            ),
+        }
+        by_path = {f.path for f in findings_for(sources, "RL008")}
+        assert by_path == {"sock.py", "proc.py"}
+
+    def test_with_statement_is_a_release(self):
+        sources = {
+            "ctx.py": dedent(
+                """
+                import socket
+
+                def probe(host):
+                    conn = socket.create_connection((host, 80))
+                    with conn:
+                        return conn.recv(1)
+                """
+            )
+        }
+        assert findings_for(sources, "RL008") == []
+
+
+# ---------------------------------------------------------------------------
+# RL009 — wire-protocol conformance
+# ---------------------------------------------------------------------------
+
+PROTOCOL = dedent(
+    """
+    BAD_REQUEST = "bad_request"
+    OVERLOADED = "overloaded"
+    BACKEND_UNAVAILABLE = "backend_unavailable"
+    INTERNAL = "internal"
+
+    ERROR_CODES = frozenset(
+        {BAD_REQUEST, OVERLOADED, BACKEND_UNAVAILABLE, INTERNAL}
+    )
+    RETRIABLE_CODES = frozenset({OVERLOADED, BACKEND_UNAVAILABLE})
+    OPS = frozenset({"eval", "curve", "ping"})
+    ENVELOPE_FIELDS = frozenset({"id", "ok", "result", "error"})
+    ERROR_FIELDS = frozenset({"code", "message", "retriable"})
+    """
+)
+
+
+def service_sources(body: str) -> dict[str, str]:
+    return {
+        "service/protocol.py": PROTOCOL,
+        "service/under_test.py": dedent(body),
+    }
+
+
+class TestRL009:
+    def test_unknown_error_code_fires(self):
+        findings = findings_for(
+            service_sources(
+                """
+                from repro.service.protocol import BAD_REQUEST
+
+                def reject(request_id):
+                    return error_response(request_id, "bad_requets", "typo")
+                """
+            ),
+            "RL009",
+        )
+        (finding,) = findings
+        assert "'bad_requets' is not in protocol.ERROR_CODES" in finding.message
+
+    def test_router_retriable_regression_fires(self):
+        # Distilled from the pre-fix bug in service/router/router.py:
+        # BACKEND_UNAVAILABLE is schema-retriable, but the rewrap path
+        # built the envelope without retriable=True — clients would
+        # never fail over on a dead backend.
+        findings = findings_for(
+            service_sources(
+                """
+                from repro.service.protocol import BACKEND_UNAVAILABLE
+
+                def rewrap(request_id):
+                    return error_response(
+                        request_id, BACKEND_UNAVAILABLE, "malformed reply"
+                    )
+                """
+            ),
+            "RL009",
+        )
+        (finding,) = findings
+        assert "RETRIABLE_CODES" in finding.message
+        assert "without retriable=True" in finding.message
+
+    def test_router_retriable_fixed_form_is_clean(self):
+        findings = findings_for(
+            service_sources(
+                """
+                from repro.service.protocol import BACKEND_UNAVAILABLE
+
+                def rewrap(request_id):
+                    return error_response(
+                        request_id,
+                        BACKEND_UNAVAILABLE,
+                        "malformed reply",
+                        retriable=True,
+                    )
+                """
+            ),
+            "RL009",
+        )
+        assert findings == []
+
+    def test_workers_service_error_regression_fires(self):
+        # The other dogfood catch: ServiceError(OVERLOADED, ...) raised
+        # on a full shard queue without the retriable flag.
+        findings = findings_for(
+            service_sources(
+                """
+                from repro.exceptions import ServiceError
+                from repro.service.protocol import OVERLOADED
+
+                def admit(shard):
+                    raise ServiceError(OVERLOADED, "shard queue full")
+                """
+            ),
+            "RL009",
+        )
+        (finding,) = findings
+        assert "RETRIABLE_CODES" in finding.message
+
+    def test_spurious_retriable_fires(self):
+        findings = findings_for(
+            service_sources(
+                """
+                from repro.service.protocol import BAD_REQUEST
+
+                def reject(request_id):
+                    return error_response(
+                        request_id, BAD_REQUEST, "nope", retriable=True
+                    )
+                """
+            ),
+            "RL009",
+        )
+        (finding,) = findings
+        assert "not in protocol.RETRIABLE_CODES" in finding.message
+
+    def test_dynamic_code_passthrough_is_skipped(self):
+        findings = findings_for(
+            service_sources(
+                """
+                def forward(request_id, exc):
+                    return error_response(
+                        request_id, exc.code, exc.message
+                    )
+                """
+            ),
+            "RL009",
+        )
+        assert findings == []
+
+    def test_unknown_op_literal_fires_in_dict_and_compare(self):
+        findings = findings_for(
+            service_sources(
+                """
+                def build():
+                    return {"op": "evaluate", "id": 1}
+
+                def dispatch(op):
+                    if op == "pong":
+                        return None
+                    if op in ("eval", "curve"):
+                        return True
+                """
+            ),
+            "RL009",
+        )
+        messages = [f.message for f in findings]
+        assert len(findings) == 2
+        assert any("'evaluate'" in m for m in messages)
+        assert any("'pong'" in m for m in messages)
+
+    def test_envelope_field_discipline(self):
+        findings = findings_for(
+            service_sources(
+                """
+                def consume(reply):
+                    if reply.get("okay"):
+                        return reply["result"]
+                    return reply["error"]
+                """
+            ),
+            "RL009",
+        )
+        (finding,) = findings
+        assert "'okay'" in finding.message
+        assert "ENVELOPE_FIELDS" in finding.message
+
+    def test_stats_keys_checked_against_producers(self):
+        sources = {
+            "service/protocol.py": PROTOCOL,
+            "service/metrics.py": dedent(
+                """
+                def snapshot():
+                    return {"hits": 0, "misses": 0}
+                """
+            ),
+            "service/under_test.py": dedent(
+                """
+                def hit_rate(stats):
+                    return stats["hits"] / (stats["hits"] + stats["miss"])
+                """
+            ),
+        }
+        findings = findings_for(sources, "RL009", relpath="service/under_test.py")
+        (finding,) = findings
+        assert "'miss'" in finding.message
+
+    def test_non_service_modules_out_of_scope(self):
+        rule = all_rules()["RL009"]
+        assert rule.applies("service/server.py")
+        assert not rule.applies("core/energy_model.py")
+
+
+# ---------------------------------------------------------------------------
+# RL010 — lock order and sync-lock discipline
+# ---------------------------------------------------------------------------
+
+
+class TestRL010:
+    def test_conflicting_order_fires_once(self):
+        sources = {
+            "locks.py": dedent(
+                """
+                import threading
+
+                class Store:
+                    def __init__(self):
+                        self._index_lock = threading.Lock()
+                        self._data_lock = threading.Lock()
+
+                    def put(self, key, value):
+                        with self._index_lock:
+                            with self._data_lock:
+                                return (key, value)
+
+                    def evict(self, key):
+                        with self._data_lock:
+                            with self._index_lock:
+                                return key
+                """
+            )
+        }
+        (finding,) = findings_for(sources, "RL010")
+        assert "lock order conflict" in finding.message
+        assert "pick one global order" in finding.message
+
+    def test_consistent_order_is_clean(self):
+        sources = {
+            "locks.py": dedent(
+                """
+                import threading
+
+                class Store:
+                    def __init__(self):
+                        self._index_lock = threading.Lock()
+                        self._data_lock = threading.Lock()
+
+                    def put(self, key):
+                        with self._index_lock:
+                            with self._data_lock:
+                                return key
+
+                    def evict(self, key):
+                        with self._index_lock:
+                            with self._data_lock:
+                                return key
+                """
+            )
+        }
+        assert findings_for(sources, "RL010") == []
+
+    def test_interprocedural_order_conflict(self):
+        # put() holds A and calls a helper that takes B; evict() nests
+        # B then A directly.  The conflict is only visible through the
+        # call graph.
+        sources = {
+            "locks.py": dedent(
+                """
+                import threading
+
+                class Store:
+                    def __init__(self):
+                        self._a_lock = threading.Lock()
+                        self._b_lock = threading.Lock()
+
+                    def put(self, key):
+                        with self._a_lock:
+                            return self.flush(key)
+
+                    def flush(self, key):
+                        with self._b_lock:
+                            return key
+
+                    def evict(self, key):
+                        with self._b_lock:
+                            with self._a_lock:
+                                return key
+                """
+            )
+        }
+        (finding,) = findings_for(sources, "RL010")
+        assert "lock order conflict" in finding.message
+
+    def test_reentrant_acquisition_through_callee_fires(self):
+        sources = {
+            "reent.py": dedent(
+                """
+                import threading
+
+                class Cache:
+                    def __init__(self):
+                        self._lock = threading.Lock()
+
+                    def get(self, key):
+                        with self._lock:
+                            return self.refresh(key)
+
+                    def refresh(self, key):
+                        with self._lock:
+                            return key
+                """
+            )
+        }
+        findings = findings_for(sources, "RL010")
+        assert any(
+            "can re-acquire 'Cache._lock'" in f.message
+            and "not reentrant" in f.message
+            for f in findings
+        )
+
+    def test_await_under_explicit_acquire_fires(self):
+        sources = {
+            "aw.py": dedent(
+                """
+                import threading
+
+                _cache_lock = threading.Lock()
+
+                async def refresh(fetch):
+                    _cache_lock.acquire()
+                    value = await fetch()
+                    _cache_lock.release()
+                    return value
+                """
+            )
+        }
+        (finding,) = findings_for(sources, "RL010")
+        assert "via .acquire()" in finding.message
+
+    def test_release_before_await_is_clean(self):
+        sources = {
+            "aw.py": dedent(
+                """
+                import threading
+
+                _cache_lock = threading.Lock()
+
+                async def refresh(fetch):
+                    _cache_lock.acquire()
+                    stale = None
+                    _cache_lock.release()
+                    return await fetch(stale)
+                """
+            )
+        }
+        assert findings_for(sources, "RL010") == []
+
+    def test_local_locks_are_out_of_scope(self):
+        sources = {
+            "loc.py": dedent(
+                """
+                import threading
+
+                def isolated():
+                    lock = threading.Lock()
+                    with lock:
+                        return 1
+                """
+            )
+        }
+        assert findings_for(sources, "RL010") == []

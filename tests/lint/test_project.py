@@ -1,0 +1,300 @@
+"""Project pass end-to-end: cache closures, --changed, SARIF, CLI.
+
+Also hosts the acceptance gate: ``repro lint --project`` must be
+self-clean over ``src/repro`` — the dogfood contract that keeps the
+flow rules honest.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+from repro.lint import run_project_lint
+from repro.lint.report import SARIF_VERSION
+
+SRC_REPRO = Path(__file__).resolve().parents[2] / "src" / "repro"
+
+
+BLOCKING_UTIL = textwrap.dedent(
+    """
+    import time
+
+    def backoff():
+        time.sleep(0.1)
+    """
+).lstrip("\n")
+
+CLEAN_UTIL = textwrap.dedent(
+    """
+    def backoff():
+        return None
+    """
+).lstrip("\n")
+
+HANDLER = textwrap.dedent(
+    """
+    from repro.util import backoff
+
+    async def handler(request):
+        backoff()
+        return request
+    """
+).lstrip("\n")
+
+
+def write_tree(tmp_path: Path, util: str = BLOCKING_UTIL) -> Path:
+    root = tmp_path / "repro"
+    root.mkdir(exist_ok=True)
+    (root / "util.py").write_text(util)
+    (root / "srv.py").write_text(HANDLER)
+    (root / "other.py").write_text("def unrelated():\n    return 0\n")
+    return root
+
+
+# ---------------------------------------------------------------------------
+# run_project_lint
+# ---------------------------------------------------------------------------
+
+
+class TestRunProjectLint:
+    def test_cross_module_finding_surfaces(self, tmp_path):
+        report = run_project_lint([write_tree(tmp_path)])
+        (finding,) = report.findings
+        assert finding.rule == "RL007"
+        assert finding.path == "srv.py"
+        assert report.files_checked == 3
+
+    def test_parallel_equals_serial(self, tmp_path):
+        root = write_tree(tmp_path)
+        serial = run_project_lint([root], jobs=1)
+        parallel = run_project_lint([root], jobs=4)
+        assert parallel.findings == serial.findings
+        assert parallel.files_checked == serial.files_checked
+
+    def test_suppression_applies_to_project_findings(self, tmp_path):
+        root = write_tree(tmp_path)
+        dirty = run_project_lint([root])
+        (finding,) = dirty.findings
+        lines = (root / "srv.py").read_text().splitlines()
+        lines[finding.line - 1] += (
+            "  # replint: ignore[RL007] -- executor wraps this upstream"
+        )
+        (root / "srv.py").write_text("\n".join(lines) + "\n")
+        report = run_project_lint([root])
+        assert report.findings == []
+        assert [f.rule for f, _ in report.suppressed] == ["RL007"]
+
+
+class TestProjectCache:
+    def test_entries_written_and_stable(self, tmp_path):
+        root = write_tree(tmp_path)
+        cache = tmp_path / "cache"
+        first = run_project_lint([root], cache_dir=cache)
+        entries = sorted(p.name for p in cache.glob("proj-*.json"))
+        assert entries
+        second = run_project_lint([root], cache_dir=cache)
+        assert second.findings == first.findings
+        assert sorted(p.name for p in cache.glob("proj-*.json")) == entries
+
+    def test_editing_dependency_invalidates_importer(self, tmp_path):
+        # The closure contract: srv.py's RL007 verdict depends on
+        # util.py, so fixing util.py must change srv.py's answer even
+        # with a warm cache — a per-file key would serve the stale
+        # finding here.
+        root = write_tree(tmp_path)
+        cache = tmp_path / "cache"
+        dirty = run_project_lint([root], cache_dir=cache)
+        assert [f.rule for f in dirty.findings] == ["RL007"]
+        (root / "util.py").write_text(CLEAN_UTIL)
+        clean = run_project_lint([root], cache_dir=cache)
+        assert clean.findings == []
+
+    def test_torn_entry_recomputed(self, tmp_path):
+        root = write_tree(tmp_path)
+        cache = tmp_path / "cache"
+        first = run_project_lint([root], cache_dir=cache)
+        for entry in cache.glob("proj-*.json"):
+            entry.write_text("{ torn")
+        again = run_project_lint([root], cache_dir=cache)
+        assert again.findings == first.findings
+
+
+class TestChangedOnly:
+    def test_dependents_closure_checked(self, tmp_path):
+        root = write_tree(tmp_path)
+        # util.py changed → srv.py (its importer) must be re-checked.
+        report = run_project_lint([root], changed_only={"util.py"})
+        assert report.files_checked == 2
+        assert [f.path for f in report.findings] == ["srv.py"]
+
+    def test_leaf_change_stays_local(self, tmp_path):
+        root = write_tree(tmp_path)
+        report = run_project_lint([root], changed_only={"other.py"})
+        assert report.files_checked == 1
+        assert report.findings == []
+
+    def test_unknown_relpaths_ignored(self, tmp_path):
+        root = write_tree(tmp_path)
+        report = run_project_lint([root], changed_only={"ghost.py"})
+        assert report.files_checked == 0
+        assert report.findings == []
+
+
+# ---------------------------------------------------------------------------
+# CLI: --project, --changed, SARIF
+# ---------------------------------------------------------------------------
+
+
+class TestCliProject:
+    def test_project_findings_exit_one(self, tmp_path, capsys):
+        root = write_tree(tmp_path)
+        assert main(["lint", "--project", str(root)]) == 1
+        assert "RL007" in capsys.readouterr().out
+
+    def test_project_clean_exit_zero(self, tmp_path, capsys):
+        root = write_tree(tmp_path, util=CLEAN_UTIL)
+        assert main(["lint", "--project", str(root)]) == 0
+
+    def test_project_rule_without_flag_exits_two(self, tmp_path, capsys):
+        root = write_tree(tmp_path)
+        assert main(["lint", "--rules", "RL007", str(root)]) == 2
+        err = capsys.readouterr().err
+        assert "RL007" in err and "--project" in err
+
+    def test_project_rule_filter(self, tmp_path, capsys):
+        root = write_tree(tmp_path)
+        code = main(
+            [
+                "lint",
+                "--project",
+                "--rules",
+                "RL007",
+                "--format",
+                "json",
+                str(root),
+            ]
+        )
+        assert code == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["rules"] == ["RL007"]
+
+    def test_list_rules_marks_project_scope(self, capsys):
+        assert main(["lint", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        assert "RL007" in out
+        assert "[project]" in out
+
+
+class TestCliSarif:
+    def test_sarif_schema_and_locations(self, tmp_path, capsys):
+        root = write_tree(tmp_path)
+        code = main(["lint", "--project", "--format", "sarif", str(root)])
+        assert code == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["version"] == SARIF_VERSION
+        assert "sarif-schema-2.1.0" in payload["$schema"]
+        (run,) = payload["runs"]
+        assert run["tool"]["driver"]["name"] == "replint"
+        rule_ids = {r["id"] for r in run["tool"]["driver"]["rules"]}
+        assert "RL007" in rule_ids
+        result = next(
+            r for r in run["results"] if r["ruleId"] == "RL007"
+        )
+        location = result["locations"][0]["physicalLocation"]
+        assert location["artifactLocation"]["uri"].endswith("srv.py")
+        assert location["region"]["startLine"] >= 1
+        assert location["region"]["startColumn"] >= 1
+
+    def test_sarif_carries_suppressions(self, tmp_path, capsys):
+        path = tmp_path / "guard.py"
+        path.write_text(
+            "flag = x == 0.5  # replint: ignore[RL005] -- exact sentinel\n"
+        )
+        assert main(["lint", "--format", "sarif", str(path)]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        (result,) = payload["runs"][0]["results"]
+        (suppression,) = result["suppressions"]
+        assert suppression["kind"] == "inSource"
+        assert suppression["justification"] == "exact sentinel"
+
+
+def _git(repo: Path, *argv: str) -> None:
+    subprocess.run(
+        [
+            "git",
+            "-c",
+            "user.email=replint@example.invalid",
+            "-c",
+            "user.name=replint",
+            *argv,
+        ],
+        cwd=repo,
+        check=True,
+        capture_output=True,
+    )
+
+
+class TestCliChanged:
+    @pytest.fixture
+    def repo(self, tmp_path, monkeypatch):
+        _git(tmp_path, "init", "-q")
+        write_tree(tmp_path, util=CLEAN_UTIL)
+        _git(tmp_path, "add", "-A")
+        _git(tmp_path, "commit", "-qm", "seed")
+        monkeypatch.chdir(tmp_path)
+        return tmp_path
+
+    def test_changed_picks_up_dependents(self, repo, capsys):
+        # Re-introduce the blocking helper: only util.py differs from
+        # HEAD, but the finding lands in srv.py via the closure.
+        (repo / "repro" / "util.py").write_text(BLOCKING_UTIL)
+        code = main(
+            [
+                "lint",
+                "--project",
+                "--changed",
+                "HEAD",
+                "--format",
+                "json",
+                str(repo / "repro"),
+            ]
+        )
+        assert code == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert [f["rule"] for f in payload["findings"]] == ["RL007"]
+        assert payload["findings"][0]["path"] == "srv.py"
+        # File pass ran over the one changed file only.
+        assert payload["files_checked"] == 1
+
+    def test_changed_clean_diff_exits_zero(self, repo, capsys):
+        code = main(
+            ["lint", "--project", "--changed", "HEAD", str(repo / "repro")]
+        )
+        assert code == 0
+        assert "0 findings" in capsys.readouterr().out
+
+    def test_changed_bad_ref_exits_two(self, repo, capsys):
+        code = main(
+            ["lint", "--changed", "no-such-ref", str(repo / "repro")]
+        )
+        assert code == 2
+        assert "no-such-ref" in capsys.readouterr().err
+
+
+# ---------------------------------------------------------------------------
+# Acceptance gate: the tree lints itself clean
+# ---------------------------------------------------------------------------
+
+
+class TestSelfClean:
+    def test_src_repro_is_project_clean(self):
+        report = run_project_lint([SRC_REPRO], jobs=4)
+        assert report.findings == [], [
+            f.render() for f in report.findings
+        ]
