@@ -1,7 +1,8 @@
 """Serving benchmarks: micro-batching, the worker-pool tier, the
-zero-copy wire path, and the scale-out router's hop tax.
+zero-copy wire path, the scale-out router's hop tax, and cost-model
+admission under saturation.
 
-Four acceptance bars for the serving subsystem:
+Five acceptance bars for the serving subsystem:
 
 * on a scalar-evaluation workload (the capped model's
   ``energy_per_flop`` — the heaviest analytic path the protocol
@@ -23,16 +24,24 @@ Four acceptance bars for the serving subsystem:
   server on the same wire and workload — the extra loopback hop and
   envelope re-wrap are the whole tax.  The gate is on p50, not p99:
   the client, router, and backends all share one host here, so the
-  routed tail measures scheduler contention, not the hop.
+  routed tail measures scheduler contention, not the hop;
+* at an offered load well past single-loop capacity (heavy workload,
+  open loop, plan and response caches off), cost-model admission with
+  deadline-aware batching must cut p99 latency — measured from the
+  intended arrival instant, refused requests included — at least
+  1.5× against depth admission at the identical seeded arrival
+  schedule and request deadline.
 
 All comparisons run through
 :func:`repro.perfreg.checks.measure_micro_batching`,
 :func:`repro.perfreg.checks.measure_worker_pool`,
-:func:`repro.perfreg.checks.measure_wire_path`, and
-:func:`repro.perfreg.checks.measure_router_path` — the same
+:func:`repro.perfreg.checks.measure_wire_path`,
+:func:`repro.perfreg.checks.measure_router_path`, and
+:func:`repro.perfreg.checks.measure_cost_admission` — the same
 measurement functions the ``service.micro_batching``,
-``service.worker_pool``, ``service.wire_framing``, and
-``service.router`` perfreg checks record trajectories with —
+``service.worker_pool``, ``service.wire_framing``,
+``service.router``, and ``service.cost_admission`` perfreg checks
+record trajectories with —
 so a number that gates CI and a number in ``BENCH_service.json``
 were produced the same way.  Sanity (zero errors, batching genuinely
 on/off, worker topology) is asserted inside the measurement; the
@@ -48,9 +57,11 @@ import pytest
 
 from repro.perfreg.checks import (
     MAX_ROUTER_P50_OVERHEAD,
+    MIN_COST_ADMISSION_P99_SPEEDUP,
     MIN_MICROBATCH_SPEEDUP,
     MIN_WIRE_P99_SPEEDUP,
     MIN_WORKER_SPEEDUP,
+    measure_cost_admission,
     measure_micro_batching,
     measure_router_path,
     measure_serving,
@@ -63,6 +74,7 @@ REQUESTS = 4000
 WORKER_REQUESTS = 1600
 WIRE_REQUESTS = 1200
 ROUTER_REQUESTS = 600
+ADMISSION_REQUESTS = 600
 
 USABLE_CORES = usable_cores()
 
@@ -243,3 +255,39 @@ def test_router_hop_tax_is_bounded(benchmark, methodology):
         f"(p99 {values['p99_overhead']:.2f}x, untracked)"
     )
     assert overhead <= MAX_ROUTER_P50_OVERHEAD
+
+
+def test_cost_admission_cuts_saturated_p99(benchmark, methodology):
+    values = measure_cost_admission(
+        requests=ADMISSION_REQUESTS, repeats=methodology.reps
+    )
+    governed, baseline = values["governed"], values["baseline"]
+    benchmark.pedantic(
+        lambda: measure_cost_admission(requests=ADMISSION_REQUESTS),
+        rounds=1, iterations=1, warmup_rounds=0,
+    )
+
+    speedup = values["p99_speedup"]
+    benchmark.extra_info.update(
+        {
+            "workload": "heavy",
+            "requests": ADMISSION_REQUESTS,
+            "governed_p50_ms": round(governed.p50_ms, 3),
+            "governed_p99_ms": round(governed.p99_ms, 3),
+            "baseline_p50_ms": round(baseline.p50_ms, 3),
+            "baseline_p99_ms": round(baseline.p99_ms, 3),
+            "refused": values["refused"],
+            "p99_speedup": round(speedup, 1),
+        }
+    )
+    print(
+        f"\ncost-governed : p50 {governed.p50_ms:.3f} ms, "
+        f"p99 {governed.p99_ms:.3f} ms "
+        f"({values['refused']} refused fast and retriably)"
+    )
+    print(
+        f"depth baseline: p50 {baseline.p50_ms:.3f} ms, "
+        f"p99 {baseline.p99_ms:.3f} ms (tail past the deadline)"
+    )
+    print(f"cost admission: p99 {speedup:.1f}x lower at equal offered load")
+    assert speedup >= MIN_COST_ADMISSION_P99_SPEEDUP

@@ -268,6 +268,44 @@ def build_parser() -> argparse.ArgumentParser:
         help="compiled curve-plan cache entries; 0 disables "
         "(default: the server's built-in size)",
     )
+    p_serve.add_argument(
+        "--admission", choices=("depth", "cost"), default="depth",
+        help="admission policy: queue-depth limit, or predicted-work "
+        "budget from the roofline cost model (needs --work-budget)",
+    )
+    p_serve.add_argument(
+        "--work-budget", type=float, default=None, metavar="S",
+        help="predicted seconds of admitted work allowed in flight "
+        "under --admission cost",
+    )
+    p_serve.add_argument(
+        "--power-cap", type=float, default=None, metavar="W",
+        help="cap on aggregate predicted power (watts); over it, "
+        "priority<=0 work is shed, higher priorities may wait",
+    )
+    p_serve.add_argument(
+        "--admission-wait-ms", type=float, default=0.0, metavar="MS",
+        help="max time a request may queue for budget/cap headroom "
+        "before an 'overloaded' reply (0: reject immediately)",
+    )
+    p_serve.add_argument(
+        "--deadline-batching", action="store_true",
+        help="let predicted batch service time shrink batch windows "
+        "so the earliest member's deadline holds",
+    )
+    p_serve.add_argument(
+        "--autoscale-min", type=int, default=0, metavar="N",
+        help="lower worker bound for the autoscaler (with "
+        "--autoscale-max; both 0 disables autoscaling)",
+    )
+    p_serve.add_argument(
+        "--autoscale-max", type=int, default=0, metavar="N",
+        help="upper worker bound for the autoscaler",
+    )
+    p_serve.add_argument(
+        "--autoscale-interval", type=float, default=0.25, metavar="S",
+        help="seconds between autoscaler sizing decisions",
+    )
 
     p_route = sub.add_parser(
         "route",
@@ -367,6 +405,48 @@ def build_parser() -> argparse.ArgumentParser:
         "--open-loop", type=float, default=None, metavar="RPS",
         help="open-loop (Poisson arrival) mode at RPS requests/s; "
         "latency is measured from intended arrival time",
+    )
+    p_bench.add_argument(
+        "--arrival", default=None, metavar="SPEC",
+        help="arrival-schedule spec, e.g. ramp:LO:HI:SECS for a seeded "
+        "linear rate ramp (open loop; excludes --open-loop; the "
+        "schedule sets the request count)",
+    )
+    p_bench.add_argument(
+        "--timeout-ms", type=float, default=None, metavar="MS",
+        help="per-request deadline stamped on every generated request",
+    )
+    p_bench.add_argument(
+        "--admission", choices=("depth", "cost"), default=None,
+        help="server admission policy (cost needs --work-budget)",
+    )
+    p_bench.add_argument(
+        "--work-budget", type=float, default=None, metavar="S",
+        help="predicted-work budget (seconds) for --admission cost",
+    )
+    p_bench.add_argument(
+        "--power-cap", type=float, default=None, metavar="W",
+        help="server cap on aggregate predicted power (watts)",
+    )
+    p_bench.add_argument(
+        "--admission-wait-ms", type=float, default=None, metavar="MS",
+        help="max queueing time for budget/cap headroom",
+    )
+    p_bench.add_argument(
+        "--deadline-batching", action="store_true",
+        help="enable deadline-aware batch sizing on the server",
+    )
+    p_bench.add_argument(
+        "--autoscale-min", type=int, default=None, metavar="N",
+        help="autoscaler lower worker bound",
+    )
+    p_bench.add_argument(
+        "--autoscale-max", type=int, default=None, metavar="N",
+        help="autoscaler upper worker bound",
+    )
+    p_bench.add_argument(
+        "--autoscale-interval", type=float, default=None, metavar="S",
+        help="seconds between autoscaler sizing decisions",
     )
     p_bench.add_argument(
         "--wire", choices=("inproc", "ndjson", "binary"), default="inproc",
@@ -767,6 +847,14 @@ def _cmd_serve(args: argparse.Namespace) -> str:
         shard_by=args.shard_by,
         wire=args.wire,
         job_transport=args.job_transport,
+        admission=args.admission,
+        work_budget=args.work_budget,
+        power_cap=args.power_cap,
+        admission_wait=units.milliseconds(args.admission_wait_ms),
+        deadline_batching=args.deadline_batching,
+        autoscale_min=args.autoscale_min,
+        autoscale_max=args.autoscale_max,
+        autoscale_interval=args.autoscale_interval,
         **(
             {"plan_cache_size": args.plan_cache_size}
             if args.plan_cache_size is not None
@@ -886,6 +974,18 @@ def _cmd_route(args: argparse.Namespace) -> str:
 def _cmd_bench_serve(args: argparse.Namespace) -> str:
     from repro.service import bench_serving
 
+    if (args.target or args.router_backends) and args.wire == "inproc":
+        where = "--target" if args.target else "--router-backends"
+        raise SystemExit(
+            f"bench-serve: {where} drives a real TCP connection and "
+            "cannot use --wire inproc; pass --wire ndjson or "
+            "--wire binary"
+        )
+    if args.target and args.job_transport != "ring":
+        raise SystemExit(
+            "bench-serve: --job-transport configures a locally built "
+            "server and has no effect on an external --target"
+        )
     kwargs = dict(
         requests=args.requests,
         concurrency=args.concurrency,
@@ -898,17 +998,37 @@ def _cmd_bench_serve(args: argparse.Namespace) -> str:
         workload=args.workload,
         shard_by=args.shard_by,
         open_loop_rate=args.open_loop,
+        arrival=args.arrival,
+        timeout_ms=args.timeout_ms,
         wire=args.wire,
-        job_transport=args.job_transport,
+        job_transport=None if args.target else args.job_transport,
         plan_cache_size=args.plan_cache_size,
+        admission=args.admission,
+        work_budget=args.work_budget,
+        power_cap=args.power_cap,
+        admission_wait=(
+            units.milliseconds(args.admission_wait_ms)
+            if args.admission_wait_ms is not None
+            else None
+        ),
+        deadline_batching=args.deadline_batching or None,
+        autoscale_min=args.autoscale_min,
+        autoscale_max=args.autoscale_max,
+        autoscale_interval=args.autoscale_interval,
         router_backends=args.router_backends,
         replication=args.replication,
         target=args.target,
     )
     report = bench_serving(
-        max_batch=args.max_batch, workers=args.workers, **kwargs
+        max_batch=args.max_batch,
+        workers=0 if args.target else args.workers,
+        **kwargs,
     )
-    mode = "open-loop" if args.open_loop is not None else "closed-loop"
+    mode = (
+        "open-loop"
+        if args.open_loop is not None or args.arrival is not None
+        else "closed-loop"
+    )
     blocks = [
         f"{mode} serving benchmark ({args.model}/{args.metric}, "
         f"workload: {args.workload}, machines: {', '.join(args.machines)})",

@@ -35,11 +35,13 @@ __all__ = [
     "MAX_ROUTER_P50_OVERHEAD",
     "MIN_BATCH_SPEEDUP",
     "MIN_CACHESIM_SPEEDUP",
+    "MIN_COST_ADMISSION_P99_SPEEDUP",
     "MIN_MICROBATCH_SPEEDUP",
     "MIN_WIRE_P99_SPEEDUP",
     "MIN_WORKER_SPEEDUP",
     "measure_batch_sweep",
     "measure_cachesim_trace",
+    "measure_cost_admission",
     "measure_micro_batching",
     "measure_router_path",
     "measure_serving",
@@ -70,6 +72,14 @@ MIN_WIRE_P99_SPEEDUP = 5.0
 #: not p99: in this single-process harness every tier shares one event
 #: loop, so the routed tail measures scheduler contention, not the hop.
 MAX_ROUTER_P50_OVERHEAD = 5.0
+#: Cost-model admission + deadline batching vs depth admission at the
+#: same past-saturation offered load: p99 latency (measured from the
+#: intended arrival instant, rejections included) must improve at
+#: least this factor.  The baseline queues everything it accepts and
+#: pins its tail at the request deadline; the governed server bounds
+#: predicted work in flight, so its tail is the service time of what
+#: it admits plus a fast retriable refusal for the rest.
+MIN_COST_ADMISSION_P99_SPEEDUP = 1.5
 
 #: Seed of the shared intensity grid (the paper's publication date).
 _GRID_SEED = 20130520
@@ -416,6 +426,96 @@ def measure_router_path(
     }
 
 
+#: Request deadline shared by both cost-admission runs: the baseline's
+#: tail blows past it once its queue holds a deadline's worth of work
+#: (the replies — mostly ``deadline_exceeded`` — arrive even later
+#: than this, because the saturated loop fires its timers late).
+_ADMISSION_TIMEOUT_MS = 250.0
+#: Predicted seconds of admitted work in flight under the governed
+#: run — a few dozen heavy requests' worth, so the governed server
+#: holds a short queue and refuses the overflow.
+_ADMISSION_WORK_BUDGET_S = 0.05
+
+
+def measure_cost_admission(
+    *, requests: int = 600, rate: float = 3000.0, repeats: int = 1
+) -> dict[str, Any]:
+    """Cost-governed admission vs depth admission past saturation.
+
+    Both runs drive the identical seeded open-loop arrival schedule —
+    ``rate`` req/s of the heavy workload, chosen well past single-loop
+    capacity — at the same request deadline, with the response cache
+    and the curve-plan cache off so every request costs real work.
+    The *baseline* admits by queue depth (the deep default queue), so
+    accepted requests wait behind everything ahead of them and the
+    tail collapses to the deadline.  The *governed* run predicts each
+    request's service time with the roofline cost model, bounds
+    predicted work in flight to a small budget, sizes batches against
+    member deadlines, and refuses the overflow immediately with the
+    retriable ``overloaded`` envelope.
+
+    Open-loop latency is measured from the intended arrival instant
+    for every request, refused or served — coordinated omission would
+    otherwise hide exactly the queueing this measures.  Sanity: the
+    governed run genuinely refused some of the stream and genuinely
+    served some of it, and the baseline saturated (its p99 is past
+    the deadline) — otherwise the comparison is void.
+    """
+    from repro.service.loadgen import bench_serving
+
+    kwargs: dict[str, Any] = dict(
+        requests=requests,
+        concurrency=64,
+        max_batch=64,
+        flush_window=units.milliseconds(2.0),
+        cache_size=0,
+        machines=_SERVE_MACHINES,
+        model=_SERVE_MODEL,
+        metric=_SERVE_METRIC,
+        workload="heavy",
+        open_loop_rate=rate,
+        timeout_ms=_ADMISSION_TIMEOUT_MS,
+        plan_cache_size=0,
+    )
+    governed_runs, baseline_runs = [], []
+    for _ in range(max(1, repeats)):
+        governed = bench_serving(
+            admission="cost",
+            work_budget=_ADMISSION_WORK_BUDGET_S,
+            deadline_batching=True,
+            **kwargs,
+        )
+        baseline = bench_serving(**kwargs)
+        if governed.requests != requests or baseline.requests != requests:
+            raise SanityError(
+                f"admission runs drove {governed.requests}/"
+                f"{baseline.requests} of {requests} requests"
+            )
+        if not 0 < governed.errors < requests:
+            raise SanityError(
+                f"governed run refused {governed.errors} of {requests} "
+                "requests; the budget never engaged (0) or starved "
+                "everything (all) — the comparison is void"
+            )
+        if baseline.p99_ms < _ADMISSION_TIMEOUT_MS:
+            raise SanityError(
+                f"baseline p99 {baseline.p99_ms:.0f} ms never reached "
+                f"the {_ADMISSION_TIMEOUT_MS:.0f} ms deadline; the "
+                "offered load did not saturate the server"
+            )
+        governed_runs.append(governed)
+        baseline_runs.append(baseline)
+    governed = min(governed_runs, key=lambda report: report.p99_ms)
+    baseline = min(baseline_runs, key=lambda report: report.p99_ms)
+    return {
+        "governed": governed,
+        "baseline": baseline,
+        "p99_speedup": baseline.p99_ms / governed.p99_ms,
+        "p50_speedup": baseline.p50_ms / governed.p50_ms,
+        "refused": governed.errors,
+    }
+
+
 def measure_worker_pool(
     *, requests: int = 1600, repeats: int = 1
 ) -> dict[str, Any]:
@@ -625,6 +725,33 @@ class RouterCheck(_ServingCheck):
         return {
             "p50_overhead": values["p50_overhead"],
             "throughput_ratio": values["throughput_ratio"],
+        }
+
+
+@register
+class CostAdmissionCheck(_ServingCheck):
+    """Cost-model admission's p99 win over depth admission.
+
+    Self-normalising like the router check: governed and baseline are
+    measured back to back at the identical seeded offered load, so
+    the graded ratio cancels container speed.  The governed run's own
+    percentiles ride along for the trajectory.
+    """
+
+    name = "service.cost_admission"
+    requests = 400
+    metrics = (
+        Metric("p99_speedup", "x"),
+        Metric("governed_p99_ms", "ms", LOWER_IS_BETTER),
+        Metric("baseline_p99_ms", "ms", LOWER_IS_BETTER),
+    )
+
+    def run(self, ctx: CheckContext) -> Mapping[str, float]:
+        values = measure_cost_admission(requests=self.requests)
+        return {
+            "p99_speedup": values["p99_speedup"],
+            "governed_p99_ms": values["governed"].p99_ms,
+            "baseline_p99_ms": values["baseline"].p99_ms,
         }
 
 

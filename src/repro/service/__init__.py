@@ -21,8 +21,13 @@ Layers (one module each):
     TTL+LRU response cache.
 :mod:`~repro.service.metrics`
     Counters / gauges / histograms behind the ``stats`` request.
+:mod:`~repro.service.costmodel`
+    Analytic-seeded, EWMA-refined per-request cost prediction — the
+    roofline model pointed at its own serving tier.
 :mod:`~repro.service.workers`
     Sharded worker-pool execution tier (``workers=N`` servers).
+:mod:`~repro.service.autoscale`
+    Worker-pool autoscaling from arrival rate vs. fitted service cost.
 :mod:`~repro.service.server`
     The asyncio server: TCP + in-process, deadlines, graceful drain.
 :mod:`~repro.service.client`
@@ -50,8 +55,10 @@ Quickstart::
 See ``docs/SERVICE.md`` for the protocol and capacity-tuning notes.
 """
 
+from repro.service.autoscale import AutoScaler
 from repro.service.batcher import MicroBatcher
 from repro.service.cache import TTLCache
+from repro.service.costmodel import CostEstimate, CostPredictor
 from repro.service.client import (
     AsyncServiceClient,
     InProcessClient,
@@ -65,7 +72,13 @@ from repro.service.loadgen import (
     run_closed_loop,
     run_open_loop,
 )
-from repro.service.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.service.metrics import (
+    Counter,
+    Ewma,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
 from repro.service.router import (
     HashRing,
     HealthMonitor,
@@ -78,10 +91,14 @@ from repro.service.workers import WorkerPool
 
 __all__ = [
     "AsyncServiceClient",
+    "AutoScaler",
+    "CostEstimate",
+    "CostPredictor",
     "Counter",
     "CURVE_KINDS",
     "EVAL_METRICS",
     "EvalEngine",
+    "Ewma",
     "Gauge",
     "HashRing",
     "HealthMonitor",

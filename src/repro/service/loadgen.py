@@ -31,6 +31,7 @@ parameters offer byte-identical workloads.  Two workload mixes:
 from __future__ import annotations
 
 import asyncio
+import math
 import time
 from dataclasses import dataclass, replace
 from typing import Any, Sequence
@@ -44,12 +45,19 @@ from repro.units import to_milliseconds
 
 __all__ = [
     "LoadReport",
+    "TARGET_CONNECT_TIMEOUT",
     "arrival_schedule",
     "build_requests",
+    "parse_arrival_spec",
+    "ramp_arrival_schedule",
     "run_closed_loop",
     "run_open_loop",
     "bench_serving",
 ]
+
+#: Seconds ``bench_serving(target=...)`` waits for the external server
+#: before failing with a clear error instead of hanging on connect.
+TARGET_CONNECT_TIMEOUT = 5.0
 
 _DEFAULT_MACHINES = ("gtx580-double", "i7-950-double")
 
@@ -185,6 +193,8 @@ def build_requests(
     unique_intensities: bool = True,
     workload: str = "scalar",
     seed: int = _DEFAULT_SEED,
+    timeout_ms: float | None = None,
+    priorities: Sequence[int] | None = None,
 ) -> list[dict[str, Any]]:
     """The deterministic request stream both loops drive.
 
@@ -200,6 +210,13 @@ def build_requests(
     and IPC cost, which is the regime the worker-pool benchmark gate
     needs (and its curve replies are large enough to travel via shared
     memory, exercising that path too).
+
+    ``timeout_ms`` stamps the same per-request deadline onto every
+    body (what deadline-aware batch sizing keys on); ``priorities``
+    cycles its values onto the ``priority`` field (what the power-cap
+    throttle ranks by).  Both ride outside the semantic body — the
+    response cache ignores them — so stamped and unstamped streams
+    still produce identical result bytes.
     """
     if workload not in ("scalar", "mixed", "heavy"):
         raise ValueError(
@@ -285,6 +302,13 @@ def build_requests(
                 )
             else:
                 requests.append({"op": "describe", "machine": machine})
+    if timeout_ms is not None:
+        for body in requests:
+            body["timeout_ms"] = timeout_ms
+    if priorities:
+        cycle = list(priorities)
+        for i, body in enumerate(requests):
+            body["priority"] = cycle[i % len(cycle)]
     return requests
 
 
@@ -307,6 +331,75 @@ def arrival_schedule(
         raise ValueError(f"rate must be positive, got {rate!r}")
     rng = np.random.default_rng(seed)
     return np.cumsum(rng.exponential(1.0 / rate, requests))
+
+
+def ramp_arrival_schedule(
+    lo: float, hi: float, seconds: float, *, seed: int = _DEFAULT_SEED
+) -> np.ndarray:
+    """Inhomogeneous-Poisson arrivals ramping ``lo`` → ``hi`` req/s.
+
+    The instantaneous rate rises (or falls) linearly over ``seconds``,
+    which is the canonical autoscaler-convergence drive: demand grows
+    smoothly through the scale-up threshold and back down after the
+    window ends.  Sampling is by inversion — unit-rate exponential
+    inter-arrivals are mapped through the inverse of the cumulative
+    rate ``Λ(t) = lo·t + (hi − lo)·t²/(2·seconds)`` — so, like
+    :func:`arrival_schedule`, one seeded ``np.random.default_rng``
+    draw makes the same ``(lo, hi, seconds, seed)`` quadruple yield a
+    bit-identical schedule everywhere.  Expected arrivals:
+    ``(lo + hi) / 2 * seconds``.
+    """
+    if not lo > 0 or not hi > 0:
+        raise ValueError(f"ramp rates must be positive, got lo={lo} hi={hi}")
+    if not seconds > 0:
+        raise ValueError(f"ramp duration must be positive, got {seconds}")
+    rng = np.random.default_rng(seed)
+    slope = (hi - lo) / seconds
+    total = lo * seconds + slope * seconds * seconds / 2.0
+    # Oversample the unit-rate stream so one draw almost always covers
+    # Λ(seconds); top up (rarely) if the tail came up short.
+    marks = np.cumsum(
+        rng.exponential(1.0, int(total + 6.0 * math.sqrt(total) + 16.0))
+    )
+    while marks[-1] <= total:  # pragma: no cover - ~6-sigma tail
+        extra = np.cumsum(rng.exponential(1.0, 64)) + marks[-1]
+        marks = np.concatenate([marks, extra])
+    marks = marks[marks <= total]
+    if math.isclose(hi, lo):
+        return marks / lo  # degenerate flat ramp: homogeneous Poisson
+    # Invert lo·t + slope·t²/2 = E for t; the discriminant is
+    # (lo + slope·t)² >= hi² > 0 on the covered range, so sqrt is safe
+    # for ramps down as well as up.
+    return (np.sqrt(lo * lo + 2.0 * slope * marks) - lo) / slope
+
+
+def parse_arrival_spec(
+    spec: str, *, seed: int = _DEFAULT_SEED
+) -> np.ndarray:
+    """Arrival schedule named by a CLI spec string.
+
+    ``"ramp:LO:HI:SECS"`` is the linear ramp of
+    :func:`ramp_arrival_schedule`; the request count is whatever the
+    schedule yields (callers size their request stream to match).
+    """
+    kind, _, rest = spec.partition(":")
+    if kind == "ramp":
+        parts = rest.split(":")
+        if len(parts) != 3:
+            raise ValueError(
+                f"ramp arrival spec must be 'ramp:LO:HI:SECS', got {spec!r}"
+            )
+        try:
+            lo, hi, seconds = (float(part) for part in parts)
+        except ValueError:
+            raise ValueError(
+                f"ramp arrival spec must be 'ramp:LO:HI:SECS' with numeric "
+                f"fields, got {spec!r}"
+            ) from None
+        return ramp_arrival_schedule(lo, hi, seconds, seed=seed)
+    raise ValueError(
+        f"unknown arrival spec {spec!r}; supported: 'ramp:LO:HI:SECS'"
+    )
 
 
 def _merge_server_stats(servers: Sequence[ModelServer]) -> dict[str, Any]:
@@ -415,6 +508,7 @@ async def run_closed_loop(
     metric: str = "energy_per_flop",
     unique_intensities: bool = True,
     workload: str = "scalar",
+    timeout_ms: float | None = None,
     client: Any | None = None,
     backends: Sequence[ModelServer] = (),
 ) -> LoadReport:
@@ -441,6 +535,7 @@ async def run_closed_loop(
         metric=metric,
         unique_intensities=unique_intensities,
         workload=workload,
+        timeout_ms=timeout_ms,
     )
     await _warm_servers(server, backends, machines)
     latencies = np.empty(requests, dtype=float)
@@ -481,7 +576,7 @@ async def run_closed_loop(
 async def run_open_loop(
     server: ModelServer | None,
     *,
-    rate: float,
+    rate: float | None = None,
     requests: int = 2000,
     machines: Sequence[str] = _DEFAULT_MACHINES,
     model: str = "energy",
@@ -489,6 +584,8 @@ async def run_open_loop(
     unique_intensities: bool = True,
     workload: str = "scalar",
     seed: int = _DEFAULT_SEED,
+    timeout_ms: float | None = None,
+    arrivals: np.ndarray | None = None,
     client: Any | None = None,
     backends: Sequence[ModelServer] = (),
 ) -> LoadReport:
@@ -502,11 +599,18 @@ async def run_open_loop(
     **intended** arrival time — dispatch lateness and queueing delay
     count, which closed-loop generators structurally cannot see
     (coordinated omission).
+
+    ``arrivals`` overrides the Poisson schedule with explicit arrival
+    instants (e.g. :func:`ramp_arrival_schedule`); the request count
+    then follows the schedule length and ``rate`` is unused.
     """
-    if client is None:
-        if server is None:
-            raise ValueError("server=None requires an explicit client")
-        client = InProcessClient(server)
+    if arrivals is None:
+        if rate is None:
+            raise ValueError("either rate or arrivals is required")
+        arrivals = arrival_schedule(rate, requests, seed=seed)
+    else:
+        arrivals = np.asarray(arrivals, dtype=float)
+        requests = int(arrivals.size)
     bodies = build_requests(
         requests,
         machines=machines,
@@ -515,9 +619,13 @@ async def run_open_loop(
         unique_intensities=unique_intensities,
         workload=workload,
         seed=seed,
+        timeout_ms=timeout_ms,
     )
+    if client is None:
+        if server is None:
+            raise ValueError("server=None requires an explicit client")
+        client = InProcessClient(server)
     await _warm_servers(server, backends, machines)
-    arrivals = arrival_schedule(rate, requests, seed=seed)
     latencies = np.empty(requests, dtype=float)
     errors = 0
     call = client.call
@@ -570,9 +678,19 @@ def bench_serving(
     workers: int = 0,
     shard_by: str = "machine",
     open_loop_rate: float | None = None,
+    arrival: str | None = None,
+    timeout_ms: float | None = None,
     wire: str = "inproc",
     job_transport: str | None = None,
     plan_cache_size: int | None = None,
+    admission: str | None = None,
+    work_budget: float | None = None,
+    power_cap: float | None = None,
+    admission_wait: float | None = None,
+    deadline_batching: bool | None = None,
+    autoscale_min: int | None = None,
+    autoscale_max: int | None = None,
+    autoscale_interval: float | None = None,
     router_backends: int = 0,
     replication: int = 1,
     target: str | None = None,
@@ -609,7 +727,18 @@ def bench_serving(
     server or router: no local processes are built, and the pipeline
     statistics (engine calls, batch sizes, cache ratio) read as zero
     since they live in the remote process — latency, throughput, and
-    bytes-on-wire are still measured.
+    bytes-on-wire are still measured.  A target that cannot be reached
+    within :data:`TARGET_CONNECT_TIMEOUT` seconds fails with a clear
+    error instead of hanging.
+
+    ``arrival="ramp:LO:HI:SECS"`` drives the seeded linear-ramp
+    arrival schedule (:func:`ramp_arrival_schedule`) instead of the
+    fixed-rate Poisson open loop; the request count follows the
+    schedule.  ``admission`` / ``work_budget`` / ``power_cap`` /
+    ``admission_wait`` / ``deadline_batching`` / ``autoscale_*`` pass
+    through to :class:`ServerConfig` when given (``None`` keeps server
+    defaults) — how the cost-admission perfreg check builds its
+    treatment and baseline servers from one code path.
     """
     if wire not in ("inproc", "ndjson", "binary"):
         raise ValueError(
@@ -625,13 +754,29 @@ def bench_serving(
         )
     if router_backends > 0 and target is not None:
         raise ValueError("router_backends and target are mutually exclusive")
+    if arrival is not None and open_loop_rate is not None:
+        raise ValueError(
+            "arrival and open_loop_rate are mutually exclusive — the "
+            "arrival spec defines its own rate profile"
+        )
+    if target is not None and (
+        workers
+        or autoscale_max
+        or job_transport is not None
+        or plan_cache_size is not None
+    ):
+        raise ValueError(
+            "workers/autoscale/job_transport/plan_cache_size configure a "
+            "locally built server and cannot apply to an external --target"
+        )
+    arrivals = parse_arrival_spec(arrival) if arrival is not None else None
 
     async def _drive(
         server: ModelServer | None,
         client: Any | None,
         backends: Sequence[ModelServer] = (),
     ) -> LoadReport:
-        if open_loop_rate is not None:
+        if open_loop_rate is not None or arrivals is not None:
             return await run_open_loop(
                 server,
                 rate=open_loop_rate,
@@ -641,6 +786,8 @@ def bench_serving(
                 metric=metric,
                 unique_intensities=unique_intensities,
                 workload=workload,
+                timeout_ms=timeout_ms,
+                arrivals=arrivals,
                 client=client,
                 backends=backends,
             )
@@ -653,6 +800,7 @@ def bench_serving(
             metric=metric,
             unique_intensities=unique_intensities,
             workload=workload,
+            timeout_ms=timeout_ms,
             client=client,
             backends=backends,
         )
@@ -663,6 +811,22 @@ def bench_serving(
             config_kwargs["job_transport"] = job_transport
         if plan_cache_size is not None:
             config_kwargs["plan_cache_size"] = plan_cache_size
+        if admission is not None:
+            config_kwargs["admission"] = admission
+        if work_budget is not None:
+            config_kwargs["work_budget"] = work_budget
+        if power_cap is not None:
+            config_kwargs["power_cap"] = power_cap
+        if admission_wait is not None:
+            config_kwargs["admission_wait"] = admission_wait
+        if deadline_batching is not None:
+            config_kwargs["deadline_batching"] = deadline_batching
+        if autoscale_min is not None:
+            config_kwargs["autoscale_min"] = autoscale_min
+        if autoscale_max is not None:
+            config_kwargs["autoscale_max"] = autoscale_max
+        if autoscale_interval is not None:
+            config_kwargs["autoscale_interval"] = autoscale_interval
         return ServerConfig(
             max_batch=max_batch,
             flush_window=flush_window,
@@ -683,7 +847,26 @@ def bench_serving(
 
     async def _run_target() -> LoadReport:
         host, _, port = str(target).rpartition(":")
-        client = await AsyncServiceClient.connect(host, int(port), wire=wire)
+        if not host or not port.isdigit():
+            raise ValueError(
+                f"target must look like HOST:PORT, got {target!r}"
+            )
+        try:
+            client = await asyncio.wait_for(
+                AsyncServiceClient.connect(host, int(port), wire=wire),
+                timeout=TARGET_CONNECT_TIMEOUT,
+            )
+        except asyncio.TimeoutError:
+            raise ConnectionError(
+                f"could not connect to target {target!r} within "
+                f"{TARGET_CONNECT_TIMEOUT:g}s — check the address is a "
+                f"running repro server/router and that the requested "
+                f"wire ({wire!r}) matches what it speaks"
+            ) from None
+        except OSError as exc:
+            raise ConnectionError(
+                f"could not connect to target {target!r}: {exc}"
+            ) from exc
         try:
             report = await _drive(None, client)
             return replace(

@@ -17,7 +17,11 @@ or an error envelope with a machine-readable code::
 
 ``id`` is opaque to the server and echoed verbatim — clients use it to
 multiplex concurrent requests over one connection.  ``timeout_ms`` is a
-per-request deadline; neither field participates in response caching.
+per-request deadline and ``priority`` (an integer, default 0) ranks a
+request for the power-cap throttle — priority <= 0 work is shed first
+when aggregate predicted power exceeds the cap.  None of these three
+fields participates in response caching: they affect *when and
+whether* a request is served, never its result bytes.
 
 Error codes
 -----------
@@ -26,9 +30,11 @@ Error codes
 ``unknown_machine`` / ``unknown_op``
     The named machine or operation does not exist.
 ``overloaded``
-    Admission control rejected the request (queue full) — the 429 of
-    this protocol; carries ``"retriable": true`` (nothing ran), so
-    retry with backoff.
+    Admission control rejected the request — the 429 of this protocol;
+    carries ``"retriable": true`` (nothing ran), so retry with
+    backoff.  Produced by the depth limit (queue full), the cost-based
+    work budget, and the power-cap throttle alike: the envelope is
+    identical, so router failover composes with every admission mode.
 ``deadline_exceeded``
     The per-request deadline expired before a result was ready.
 ``shutting_down``
@@ -153,7 +159,7 @@ ERROR_FIELDS = frozenset({"code", "message", "retriable"})
 MAX_LINE_BYTES = 1_048_576
 
 #: Envelope/bookkeeping fields excluded from the cache key.
-_NON_SEMANTIC_FIELDS = ("id", "timeout_ms")
+_NON_SEMANTIC_FIELDS = ("id", "timeout_ms", "priority")
 
 
 def encode(payload: dict[str, Any]) -> bytes:
@@ -237,8 +243,8 @@ def request_cache_key(request: dict[str, Any]) -> str | None:
 
     Canonicalisation (sorted keys, fixed separators — see
     :mod:`repro._canon`) means field order on the wire never splits
-    cache entries; the ``id`` and ``timeout_ms`` envelope fields are
-    dropped because they do not affect the result.
+    cache entries; the ``id``, ``timeout_ms`` and ``priority`` envelope
+    fields are dropped because they do not affect the result.
     """
     if request.get("op") not in CACHEABLE_OPS:
         return None

@@ -42,8 +42,10 @@ from dataclasses import dataclass, field
 from typing import Any, Callable
 
 from repro.exceptions import ReproError, ServiceError
+from repro.service.autoscale import AutoScaler
 from repro.service.batcher import MicroBatcher
 from repro.service.cache import TTLCache
+from repro.service.costmodel import CostEstimate, CostPredictor
 from repro.service.engine import DEFAULT_PLAN_CACHE_SIZE, EvalEngine
 from repro.service.frontend import WireFrontend
 from repro.service.metrics import MetricsRegistry
@@ -126,6 +128,43 @@ class ServerConfig:
     plan_cache_size:
         Compiled curve-plan cache entries per engine (in-loop and per
         worker); ``0`` disables plan caching.
+    admission:
+        ``"depth"`` (default) admits by in-flight request *count*
+        against ``queue_limit``; ``"cost"`` admits by predicted
+        in-flight *work* — the sum of
+        :class:`~repro.service.costmodel.CostPredictor` service-time
+        estimates — against ``work_budget``.  Both refuse with the
+        same retriable ``overloaded`` envelope, so router failover
+        composes unchanged.
+    work_budget:
+        Seconds of predicted work allowed in flight under cost
+        admission (strict SI; required when ``admission="cost"``).
+        A request whose estimate lands the total exactly *on* the
+        budget is admitted; ``0.0`` therefore rejects everything.
+    power_cap:
+        Optional watts bound on aggregate predicted power of admitted
+        work — the serving analogue of the paper's §V-B power cap.
+        Over the cap, priority <= 0 requests are shed immediately;
+        higher priorities may wait up to ``admission_wait`` for power
+        to free before being shed.  Composes with either admission
+        mode.
+    admission_wait:
+        Seconds a cost-refused or throttled request may wait for
+        budget/cap headroom before the refusal is final; ``0``
+        (default) refuses immediately.
+    deadline_batching:
+        When true (and a cost predictor is active), the micro-batcher
+        sizes batches against each request's deadline: a batch closes
+        when its predicted service time would breach the earliest
+        member's ``timeout_ms``.  Scatter stays bit-identical.
+    autoscale_min, autoscale_max:
+        Worker-pool autoscaling bounds; ``autoscale_max=0`` (default)
+        disables autoscaling.  When enabled the pool starts at
+        ``autoscale_min`` workers (or ``workers`` clamped into range)
+        and an :class:`~repro.service.autoscale.AutoScaler` resizes it
+        from observed arrival rate vs. fitted service cost.
+    autoscale_interval:
+        Seconds between autoscaler evaluations.
     """
 
     host: str = "127.0.0.1"
@@ -148,6 +187,14 @@ class ServerConfig:
     ring_slots: int = DEFAULT_RING_SLOTS
     ring_slot_size: int = DEFAULT_RING_SLOT_SIZE
     plan_cache_size: int = DEFAULT_PLAN_CACHE_SIZE
+    admission: str = "depth"
+    work_budget: float | None = None
+    power_cap: float | None = None
+    admission_wait: float = 0.0
+    deadline_batching: bool = False
+    autoscale_min: int = 0
+    autoscale_max: int = 0
+    autoscale_interval: float = 0.25
 
 
 class ModelServer(WireFrontend):
@@ -160,6 +207,7 @@ class ModelServer(WireFrontend):
         engine: EvalEngine | None = None,
     ):
         self.config = config or ServerConfig()
+        _validate_config(self.config)
         self.engine = engine or EvalEngine(
             plan_cache_size=self.config.plan_cache_size
         )
@@ -171,9 +219,26 @@ class ModelServer(WireFrontend):
             port=self.config.port,
         )
         self.cache = TTLCache(self.config.cache_size, self.config.cache_ttl)
+        cost_enabled = (
+            self.config.admission == "cost"
+            or self.config.power_cap is not None
+            or self.config.deadline_batching
+            or self.config.autoscale_max > 0
+        )
+        self.cost: CostPredictor | None = (
+            CostPredictor(self.engine, metrics=self.metrics)
+            if cost_enabled
+            else None
+        )
+        workers = self.config.workers
+        if self.config.autoscale_max > 0:
+            workers = min(
+                max(workers, self.config.autoscale_min),
+                self.config.autoscale_max,
+            )
         self.pool: WorkerPool | None = (
             WorkerPool(
-                self.config.workers,
+                workers,
                 shard_by=self.config.shard_by,
                 queue_limit=self.config.worker_queue_limit,
                 shm_threshold=self.config.shm_threshold,
@@ -183,7 +248,7 @@ class ModelServer(WireFrontend):
                 plan_cache_size=self.config.plan_cache_size,
                 metrics=self.metrics,
             )
-            if self.config.workers > 0
+            if workers > 0
             else None
         )
         self.batcher = MicroBatcher(
@@ -192,6 +257,7 @@ class ModelServer(WireFrontend):
             flush_window=self.config.flush_window,
             metrics=self.metrics,
             execute=self._pool_eval_batch if self.pool is not None else None,
+            cost=self.cost,
         )
         self._inflight = 0
         self._draining = False
@@ -205,6 +271,43 @@ class ModelServer(WireFrontend):
         self._cache_hits = self.metrics.counter("cache_hits_total")
         self._latency_ms = self.metrics.histogram("request_latency_ms")
         self._queue_depth = self.metrics.gauge("queue_depth")
+        # Cost-loop state: predicted work/power of admitted requests,
+        # instruments created only when a predictor is active so plain
+        # depth-admission servers keep their exact stats surface.
+        self._work_inflight = 0.0
+        self._power_inflight = 0.0
+        self._power_hwm = 0.0
+        self._admission_waiters: list[asyncio.Future] = []
+        if self.cost is not None:
+            self._admission_accepted = self.metrics.counter(
+                "admission_accepted_total"
+            )
+            self._admission_queued = self.metrics.counter(
+                "admission_queued_total"
+            )
+            self._admission_rejected = self.metrics.counter(
+                "admission_rejected_total"
+            )
+            self._admission_shed = self.metrics.counter(
+                "admission_shed_total"
+            )
+            self._throttle_delayed = self.metrics.counter(
+                "throttle_delayed_total"
+            )
+            self._work_gauge = self.metrics.gauge("predicted_work_s")
+            self._power_gauge = self.metrics.gauge("predicted_power_w")
+            self._service_ewma = self.metrics.ewma("predicted_service_s")
+        self.autoscaler: AutoScaler | None = None
+        if self.config.autoscale_max > 0 and self.pool is not None:
+            self.autoscaler = AutoScaler(
+                self.pool,
+                min_workers=self.config.autoscale_min,
+                max_workers=self.config.autoscale_max,
+                interval=self.config.autoscale_interval,
+                arrivals=lambda: self._requests_total.value,
+                service_seconds=lambda: self._service_ewma.value,
+                metrics=self.metrics,
+            )
 
     # ------------------------------------------------------------------
     # Request pipeline (transport-independent)
@@ -235,6 +338,10 @@ class ModelServer(WireFrontend):
             return error_response(
                 request_id, BAD_REQUEST, "request needs a string 'op' field"
             )
+        if self.autoscaler is not None and not self.autoscaler.started:
+            # Started lazily from the first request so the periodic
+            # task binds to whichever loop actually serves traffic.
+            self.autoscaler.start()
         # Control-plane operations bypass admission and caching: health
         # checks and stats must work on a saturated or draining server.
         if op == "ping":
@@ -250,19 +357,38 @@ class ModelServer(WireFrontend):
                 request_id, SHUTTING_DOWN, "server is draining",
                 retriable=True,
             )
-        if self._inflight >= self.config.queue_limit:
-            self._overloaded_total.inc()
+        priority = request.get("priority", 0)
+        if isinstance(priority, bool) or not isinstance(priority, int):
             return error_response(
                 request_id,
-                OVERLOADED,
-                f"admission queue full ({self.config.queue_limit} in flight); "
-                "retry with backoff",
-                retriable=True,
+                BAD_REQUEST,
+                f"priority must be an integer, got {priority!r}",
             )
+        estimate: CostEstimate | None = (
+            self.cost.estimate_request(request)
+            if self.cost is not None
+            else None
+        )
+        if self.config.admission == "cost":
+            refusal = await self._admit_cost(request_id, estimate)
+        else:
+            refusal = self._admit_depth(request_id)
+        if refusal is None and self.config.power_cap is not None:
+            refusal = await self._admit_power(request_id, priority, estimate)
+        if refusal is not None:
+            return refusal
         self._inflight += 1
         if self._inflight == 1:
             self._idle.clear()
         self._queue_depth.set(self._inflight)
+        if estimate is not None:
+            self._work_inflight += estimate.seconds
+            self._power_inflight += estimate.watts
+            if self._power_inflight > self._power_hwm:
+                self._power_hwm = self._power_inflight
+            self._work_gauge.set(self._work_inflight)
+            self._power_gauge.set(self._power_inflight)
+            self._service_ewma.update(estimate.seconds)
         started = time.perf_counter()
         status = "ok"
         cached = False
@@ -277,10 +403,19 @@ class ModelServer(WireFrontend):
                     self._cache_hits.inc()
                     return ok_response(request_id, hit, cached=True)
             timeout = self._deadline(request)
+            batch_deadline = (
+                asyncio.get_running_loop().time() + timeout
+                if timeout is not None
+                and self.config.deadline_batching
+                and self.cost is not None
+                else None
+            )
+            dispatched = time.perf_counter()
             if timeout is not None:
                 try:
                     result = await asyncio.wait_for(
-                        self._dispatch(op, request, arrays), timeout
+                        self._dispatch(op, request, arrays, batch_deadline),
+                        timeout,
                     )
                 except (asyncio.TimeoutError, TimeoutError):
                     self._deadline_total.inc()
@@ -292,6 +427,13 @@ class ModelServer(WireFrontend):
                     )
             else:
                 result = await self._dispatch(op, request, arrays)
+            if self.cost is not None:
+                # Success-path refinement; scalar evals are skipped
+                # here (their dispatch time is mostly flush-window
+                # queueing) — the batcher reports those batch times.
+                self.cost.observe_request(
+                    request, time.perf_counter() - dispatched
+                )
             if cache_key is not None:
                 if arrays:
                     # Deposited series are cached in their list form, so
@@ -332,6 +474,19 @@ class ModelServer(WireFrontend):
             if self._inflight == 0:
                 self._idle.set()
             self._queue_depth.set(self._inflight)
+            if estimate is not None:
+                # Clamp at zero: float summation drift must never
+                # wedge the budget open or shut.
+                self._work_inflight = max(
+                    0.0, self._work_inflight - estimate.seconds
+                )
+                self._power_inflight = max(
+                    0.0, self._power_inflight - estimate.watts
+                )
+                self._work_gauge.set(self._work_inflight)
+                self._power_gauge.set(self._power_inflight)
+                if self._admission_waiters:
+                    self._notify_admission()
             self._requests_total.inc()
             self._latency_ms.observe(elapsed_ms)
             log = self.config.access_log
@@ -345,6 +500,123 @@ class ModelServer(WireFrontend):
                         "cached": cached,
                     }
                 )
+
+    # ------------------------------------------------------------------
+    # Admission (depth, cost, power cap)
+    # ------------------------------------------------------------------
+
+    def _admit_depth(self, request_id: Any) -> dict[str, Any] | None:
+        """Count-based admission: the original queue-depth limit."""
+        if self._inflight >= self.config.queue_limit:
+            self._overloaded_total.inc()
+            return error_response(
+                request_id,
+                OVERLOADED,
+                f"admission queue full ({self.config.queue_limit} in flight); "
+                "retry with backoff",
+                retriable=True,
+            )
+        return None
+
+    async def _admit_cost(
+        self, request_id: Any, estimate: CostEstimate | None
+    ) -> dict[str, Any] | None:
+        """Work-based admission: predicted in-flight seconds vs budget.
+
+        A request landing the total exactly on the budget is admitted
+        (the budget is inclusive); a zero budget therefore rejects any
+        request with positive predicted cost.  With ``admission_wait``
+        configured the request may briefly queue for budget to free.
+        """
+        budget = self.config.work_budget
+        cost = estimate.seconds if estimate is not None else 0.0
+        if self._work_inflight + cost <= budget:
+            self._admission_accepted.inc()
+            return None
+        if self.config.admission_wait > 0:
+            self._admission_queued.inc()
+            admitted = await self._await_admission(
+                lambda: self._work_inflight + cost <= budget
+            )
+            if admitted:
+                self._admission_accepted.inc()
+                return None
+        self._admission_rejected.inc()
+        self._overloaded_total.inc()
+        return error_response(
+            request_id,
+            OVERLOADED,
+            f"predicted work in flight ({self._work_inflight:.6g} s) plus "
+            f"this request ({cost:.6g} s) exceeds work_budget "
+            f"({budget:.6g} s); retry with backoff",
+            retriable=True,
+        )
+
+    async def _admit_power(
+        self, request_id: Any, priority: int, estimate: CostEstimate | None
+    ) -> dict[str, Any] | None:
+        """Power-cap throttle: aggregate predicted watts vs the cap.
+
+        The serving analogue of the paper's §V-B cap: when admitting a
+        request would push aggregate predicted power over the cap,
+        priority <= 0 work is shed immediately; higher priorities may
+        wait up to ``admission_wait`` for power to free before being
+        shed.  Sheds reuse the retriable ``overloaded`` envelope.
+        """
+        cap = self.config.power_cap
+        watts = estimate.watts if estimate is not None else 0.0
+        if self._power_inflight + watts <= cap:
+            return None
+        if priority > 0 and self.config.admission_wait > 0:
+            self._throttle_delayed.inc()
+            admitted = await self._await_admission(
+                lambda: self._power_inflight + watts <= cap
+            )
+            if admitted:
+                return None
+        self._admission_shed.inc()
+        self._overloaded_total.inc()
+        return error_response(
+            request_id,
+            OVERLOADED,
+            f"predicted power in flight ({self._power_inflight:.6g} W) plus "
+            f"this request ({watts:.6g} W) exceeds power_cap "
+            f"({cap:.6g} W); shed at priority {priority}; "
+            "retry with backoff",
+            retriable=True,
+        )
+
+    async def _await_admission(self, fits: Callable[[], bool]) -> bool:
+        """Wait up to ``admission_wait`` for ``fits()`` to hold.
+
+        Wakes on every admitted-work release (see ``handle_request``'s
+        ``finally``); returns False on timeout or drain.
+        """
+        loop = asyncio.get_running_loop()
+        deadline = loop.time() + self.config.admission_wait
+        while not self._draining:
+            if fits():
+                return True
+            remaining = deadline - loop.time()
+            if remaining <= 0:
+                return False
+            waiter: asyncio.Future = loop.create_future()
+            self._admission_waiters.append(waiter)
+            try:
+                await asyncio.wait_for(waiter, remaining)
+            except (asyncio.TimeoutError, TimeoutError):
+                return fits() and not self._draining
+            finally:
+                if waiter in self._admission_waiters:
+                    self._admission_waiters.remove(waiter)
+        return False
+
+    def _notify_admission(self) -> None:
+        """Wake every queued admission waiter (work was released)."""
+        waiters, self._admission_waiters = self._admission_waiters, []
+        for waiter in waiters:
+            if not waiter.done():
+                waiter.set_result(None)
 
     def _deadline(self, request: dict[str, Any]) -> float | None:
         timeout_ms = request.get("timeout_ms")
@@ -361,6 +633,7 @@ class ModelServer(WireFrontend):
         op: str,
         request: dict[str, Any],
         arrays: dict[str, Any] | None = None,
+        batch_deadline: float | None = None,
     ) -> dict[str, Any]:
         """Execute one admitted, uncached request.
 
@@ -399,7 +672,11 @@ class ModelServer(WireFrontend):
                 return {"values": values.tolist()}
             intensity = _required(request, "intensity", (int, float))
             value = await self.batcher.submit(
-                machine, model, metric, float(intensity)
+                machine,
+                model,
+                metric,
+                float(intensity),
+                deadline=batch_deadline,
             )
             return {"value": value}
         if op == "curve":
@@ -517,9 +794,24 @@ class ModelServer(WireFrontend):
             "wire": self.config.wire,
             "job_transport": self.config.job_transport,
             "plan_cache_size": self.config.plan_cache_size,
+            "admission": self.config.admission,
+            "deadline_batching": self.config.deadline_batching,
         }
+        if self.cost is not None:
+            snapshot["cost"] = self.cost.stats()
+            snapshot["admission"] = {
+                "mode": self.config.admission,
+                "work_budget": self.config.work_budget,
+                "power_cap": self.config.power_cap,
+                "admission_wait": self.config.admission_wait,
+                "predicted_work_s": self._work_inflight,
+                "predicted_power_w": self._power_inflight,
+                "predicted_power_hwm_w": self._power_hwm,
+            }
         if self.pool is not None:
             snapshot["workers"] = self.pool.stats()
+        if self.autoscaler is not None:
+            snapshot["autoscale"] = self.autoscaler.stats()
         return snapshot
 
     # ------------------------------------------------------------------
@@ -536,6 +828,9 @@ class ModelServer(WireFrontend):
         listener down.
         """
         self._draining = True
+        self._notify_admission()  # queued admissions must fail fast now
+        if self.autoscaler is not None:
+            await self.autoscaler.stop()
         if self._tcp_server is not None:
             self._tcp_server.close()
         if drain:
@@ -557,6 +852,35 @@ class ModelServer(WireFrontend):
             except (ConnectionError, OSError):
                 pass
             self._tcp_server = None
+
+
+def _validate_config(config: ServerConfig) -> None:
+    if config.admission not in ("depth", "cost"):
+        raise ValueError(
+            f"admission must be 'depth' or 'cost', got {config.admission!r}"
+        )
+    if config.admission == "cost" and config.work_budget is None:
+        raise ValueError(
+            "admission='cost' requires work_budget "
+            "(seconds of predicted work in flight)"
+        )
+    if config.work_budget is not None and config.work_budget < 0:
+        raise ValueError(
+            f"work_budget must be >= 0, got {config.work_budget}"
+        )
+    if config.power_cap is not None and config.power_cap <= 0:
+        raise ValueError(f"power_cap must be > 0, got {config.power_cap}")
+    if config.admission_wait < 0:
+        raise ValueError(
+            f"admission_wait must be >= 0, got {config.admission_wait}"
+        )
+    if config.autoscale_max > 0 and not (
+        1 <= config.autoscale_min <= config.autoscale_max
+    ):
+        raise ValueError(
+            "autoscaling needs 1 <= autoscale_min <= autoscale_max, got "
+            f"min={config.autoscale_min} max={config.autoscale_max}"
+        )
 
 
 def _required(request: dict[str, Any], name: str, types: Any) -> Any:

@@ -1,0 +1,316 @@
+"""AutoScaler state machine + lossless pool resize under load.
+
+The state machine is tested against a stub pool so every transition is
+deterministic; the drain guarantee (scale-down never drops an in-flight
+reply) is tested against a *real* :class:`WorkerPool` with a large
+curve job still running on the retiring shard.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.service.autoscale import AutoScaler
+from repro.service.costmodel import CostPredictor
+from repro.service.engine import EvalEngine
+from repro.service.metrics import MetricsRegistry
+from repro.service.server import ModelServer, ServerConfig
+from repro.service.workers import WorkerPool, _stable_shard
+
+MACHINES = ("gtx580-double", "i7-950-double")
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class StubPool:
+    """Just enough pool surface for the state machine: a worker count
+    and an awaitable resize that records its calls."""
+
+    def __init__(self, workers: int = 1):
+        self.workers = workers
+        self.resizes: list[int] = []
+
+    async def resize(self, workers: int) -> None:
+        self.resizes.append(workers)
+        self.workers = workers
+
+
+class Feed:
+    """Mutable arrival/service feed for driving steps by hand."""
+
+    def __init__(self):
+        self.total = 0
+        self.service = 0.01
+
+    def arrivals(self) -> int:
+        return self.total
+
+    def service_seconds(self) -> float:
+        return self.service
+
+
+def make_scaler(pool, feed, **overrides) -> AutoScaler:
+    kwargs = dict(
+        min_workers=1,
+        max_workers=4,
+        arrivals=feed.arrivals,
+        service_seconds=feed.service_seconds,
+        interval=0.05,
+        alpha=1.0,  # no smoothing: each step sees the raw interval rate
+        cooldown_intervals=3,
+    )
+    kwargs.update(overrides)
+    return AutoScaler(pool, **kwargs)
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "overrides",
+        [
+            {"min_workers": 0},
+            {"min_workers": 3, "max_workers": 2},
+            {"interval": 0.0},
+            {"target_utilization": 0.0},
+            {"target_utilization": 1.5},
+            {"cooldown_intervals": 0},
+            {"alpha": 0.0},
+            {"alpha": 1.0001},
+        ],
+    )
+    def test_bad_parameters_rejected(self, overrides):
+        with pytest.raises(ValueError):
+            make_scaler(StubPool(), Feed(), **overrides)
+
+
+class TestStateMachine:
+    def test_scale_up_is_immediate(self):
+        pool, feed = StubPool(1), Feed()
+        scaler = make_scaler(pool, feed)
+
+        async def scenario():
+            # 100 arrivals in 1s at 30 ms each / 0.75 target -> 4 workers.
+            feed.total = 100
+            feed.service = 0.03
+            return await scaler.step(1.0)
+
+        assert run(scenario()) == 4
+        assert pool.resizes == [4]
+        assert scaler.stats()["scale_ups"] == 1
+        assert scaler.stats()["state"] == "scale_up"
+
+    def test_scale_down_waits_out_the_cooldown(self):
+        pool, feed = StubPool(1), Feed()
+        scaler = make_scaler(pool, feed)
+
+        async def scenario():
+            feed.total = 100
+            feed.service = 0.03
+            await scaler.step(1.0)  # -> 4 workers
+            results = []
+            for _ in range(3):  # demand gone: three consecutive lows
+                results.append(await scaler.step(1.0))
+            return results
+
+        assert run(scenario()) == [None, None, 1]
+        assert pool.resizes == [4, 1]
+        stats = scaler.stats()
+        assert stats["scale_downs"] == 1
+        assert stats["state"] == "steady"
+
+    def test_interleaved_demand_resets_the_cooldown(self):
+        pool, feed = StubPool(1), Feed()
+        scaler = make_scaler(pool, feed)
+
+        async def scenario():
+            feed.total = 100
+            feed.service = 0.03
+            await scaler.step(1.0)  # -> 4 workers
+            await scaler.step(1.0)  # low #1
+            await scaler.step(1.0)  # low #2
+            feed.total += 100  # burst returns: steady at 4, counter resets
+            assert await scaler.step(1.0) is None
+            results = []
+            for _ in range(3):
+                results.append(await scaler.step(1.0))
+            return results
+
+        assert run(scenario()) == [None, None, 1]
+        assert pool.resizes == [4, 1]
+
+    def test_steady_when_desired_matches(self):
+        pool, feed = StubPool(1), Feed()
+        scaler = make_scaler(pool, feed)
+
+        async def scenario():
+            return await scaler.step(1.0)
+
+        assert run(scenario()) is None
+        assert pool.resizes == []
+        assert scaler.stats()["state"] == "steady"
+
+    def test_desired_clamps_to_bounds(self):
+        pool, feed = StubPool(1), Feed()
+        scaler = make_scaler(pool, feed, max_workers=2)
+
+        async def scenario():
+            feed.total = 10_000
+            feed.service = 1.0
+            return await scaler.step(1.0)
+
+        assert run(scenario()) == 2
+
+    def test_stats_shape(self):
+        scaler = make_scaler(StubPool(), Feed())
+        stats = scaler.stats()
+        assert set(stats) == {
+            "min_workers", "max_workers", "workers", "desired",
+            "arrival_rate", "service_seconds", "state", "steps",
+            "scale_ups", "scale_downs", "errors",
+        }
+
+    def test_workers_gauge_tracks_resizes(self):
+        metrics = MetricsRegistry()
+        pool, feed = StubPool(1), Feed()
+        scaler = make_scaler(pool, feed, metrics=metrics)
+
+        async def scenario():
+            feed.total = 100
+            feed.service = 0.03
+            await scaler.step(1.0)
+
+        run(scenario())
+        assert metrics.snapshot()["gauges"]["workers_current"] == 4
+
+    def test_start_stop_idempotent(self):
+        pool, feed = StubPool(1), Feed()
+        scaler = make_scaler(pool, feed)
+
+        async def scenario():
+            scaler.start()
+            first = scaler._task
+            scaler.start()
+            assert scaler._task is first
+            assert scaler.started
+            await scaler.stop()
+            await scaler.stop()
+            assert not scaler.started
+
+        run(scenario())
+
+    def test_step_error_in_background_loop_is_counted(self):
+        class ExplodingPool(StubPool):
+            async def resize(self, workers: int) -> None:
+                raise RuntimeError("boom")
+
+        pool, feed = ExplodingPool(1), Feed()
+        scaler = make_scaler(pool, feed, interval=0.01)
+
+        async def scenario():
+            feed.total = 100
+            feed.service = 0.03
+            scaler.start()
+            for _ in range(200):
+                await asyncio.sleep(0.01)
+                if scaler.stats()["errors"]:
+                    break
+            await scaler.stop()
+            return scaler.stats()["errors"]
+
+        assert run(scenario()) >= 1
+
+
+def retiring_shard_machine() -> str:
+    """A catalog machine that routes to shard 1 of a 2-shard pool —
+    i.e. the shard a 2 -> 1 resize retires."""
+    for machine in MACHINES:
+        if _stable_shard(machine, 2) == 1:
+            return machine
+    raise AssertionError(
+        f"no machine in {MACHINES} routes to shard 1 of 2"
+    )  # pragma: no cover
+
+
+class TestRealPoolDrain:
+    def test_scale_down_completes_inflight_reply(self):
+        machine = retiring_shard_machine()
+
+        async def scenario():
+            pool = WorkerPool(1)
+            try:
+                await pool.ready()
+                await pool.resize(2)
+                assert pool.workers == 2
+                # ~10k-point curve on the shard about to retire.
+                job = asyncio.ensure_future(pool.submit(
+                    "op",
+                    (
+                        "curve",
+                        {
+                            "machine_key": machine,
+                            "kind": "roofline",
+                            "lo": 0.5,
+                            "hi": 512.0,
+                            "points_per_octave": 1000,
+                        },
+                    ),
+                    pool.key_for(machine),
+                ))
+                await asyncio.sleep(0)  # hand the job to the executor
+                await pool.resize(1)
+                assert pool.workers == 1
+                result = await job
+            finally:
+                await pool.close()
+            return result
+
+        result = run(scenario())
+        assert len(result["values"]) == 10_001
+        assert len(result["intensities"]) == 10_001
+
+    def test_server_level_convergence(self):
+        """A server-managed autoscaler driven by hand: requests push the
+        arrival counter, step() grows the pool, quiet steps shrink it."""
+
+        async def scenario():
+            server = ModelServer(ServerConfig(
+                cache_size=0, flush_window=0.0, workers=1,
+                autoscale_min=1, autoscale_max=2,
+                autoscale_interval=60.0,  # timers irrelevant: manual steps
+            ))
+            try:
+                await server.pool.ready()
+                scaler = server.autoscaler
+                await scaler.stop()  # take the wheel
+                for i in range(20):
+                    response = await server.handle_request({
+                        "op": "eval", "machine": MACHINES[0],
+                        "model": "energy", "metric": "energy_per_flop",
+                        "intensity": float(i + 1),
+                    })
+                    assert response["ok"] is True
+                # Pretend those 20 arrivals took 1 ms at a fat service
+                # time: demand far exceeds one worker.
+                scaler._rate = 0.0
+                scaler.alpha = 1.0
+                scaler._service_seconds = lambda: 0.1
+                grown = await scaler.step(0.001)
+                assert grown == 2
+                assert server.pool.workers == 2
+                for _ in range(scaler.cooldown_intervals):
+                    shrunk = await scaler.step(60.0)
+                assert shrunk == 1
+                assert server.pool.workers == 1
+                stats = server.stats()
+            finally:
+                await server.stop()
+            return stats
+
+        stats = run(scenario())
+        auto = stats["autoscale"]
+        assert auto["scale_ups"] == 1
+        assert auto["scale_downs"] == 1
+        assert stats["inflight"] == 0
